@@ -1,0 +1,80 @@
+//! **Figure 4**: ResNet-18 accuracy vs width multiplier at several
+//! bit-widths for im2row / F2 / F4 (± flex).
+//!
+//! Expected shape (paper): at FP32 all algorithms tie at every width; as
+//! precision drops, static large-tile curves fall away from im2row while
+//! `-flex` curves stay strictly above their static counterparts;
+//! accuracy scales with width for every configuration.
+
+use serde::Serialize;
+use wa_bench::{pct, prepare, save_json, train_resnet, Scale};
+use wa_core::ConvAlgo;
+use wa_quant::BitWidth;
+
+#[derive(Serialize)]
+struct Point {
+    width: f64,
+    bits: String,
+    algo: String,
+    accuracy: f64,
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let full = std::env::var("WA_FULL").map(|v| v == "1").unwrap_or(false);
+    let widths: Vec<f64> = if full { vec![0.125, 0.25, 0.5] } else { vec![0.125, 0.25] };
+    let bit_list = if full {
+        vec![BitWidth::FP32, BitWidth::INT16, BitWidth::INT10, BitWidth::INT8]
+    } else {
+        vec![BitWidth::FP32, BitWidth::INT8]
+    };
+    let algos: Vec<(&str, ConvAlgo)> = vec![
+        ("im2row", ConvAlgo::Im2row),
+        ("F4", ConvAlgo::Winograd { m: 4 }),
+        ("F4-flex", ConvAlgo::WinogradFlex { m: 4 }),
+    ];
+
+    let ds = wa_data::cifar10_like(scale.per_class, scale.img, 7);
+    let (train_b, val_b) = prepare(&ds, scale.batch, 1);
+
+    let mut points = Vec::new();
+    for &bits in &bit_list {
+        println!("\nResNet-18 {} — accuracy vs width", bits);
+        print!("{:<10}", "width");
+        for (name, _) in &algos {
+            print!(" {:>9}", name);
+        }
+        println!();
+        for &w in &widths {
+            print!("{:<10}", w);
+            for (j, (name, algo)) in algos.iter().enumerate() {
+                let s = Scale { width: w, ..scale };
+                let acc = train_resnet(*algo, bits, s, &train_b, &val_b, 7 + j as u64)
+                    .best_val_acc();
+                print!(" {:>9}", pct(acc));
+                points.push(Point {
+                    width: w,
+                    bits: bits.to_string(),
+                    algo: name.to_string(),
+                    accuracy: acc,
+                });
+            }
+            println!();
+        }
+    }
+
+    // headline: at INT8, flex F4 ≥ static F4 on every width
+    let int8 = |algo: &str, w: f64| {
+        points
+            .iter()
+            .find(|p| p.bits == "INT8" && p.algo == algo && p.width == w)
+            .map(|p| p.accuracy)
+            .unwrap_or(0.0)
+    };
+    for &w in &widths {
+        let s = int8("F4", w);
+        let f = int8("F4-flex", w);
+        println!("width {:>5}: INT8 F4 static {} vs flex {}", w, pct(s), pct(f));
+    }
+    save_json("figure4", &points);
+}

@@ -1,0 +1,75 @@
+//! **Figure 5**: INT8 LeNet (5×5 filters) per-epoch validation accuracy
+//! for im2row and Winograd-aware F2 (± flex), plus larger tiles.
+//!
+//! Expected shape (paper): flex strictly above static throughout
+//! training; larger tiles (F4 uses 8×8 tiles, F6 10×10) degrade further
+//! — static F(6×6, 5×5) loses ~47%.
+
+use serde::Serialize;
+use wa_bench::{pct, prepare, recipe, save_json, Scale};
+use wa_core::{fit, ConvAlgo};
+use wa_models::LeNet;
+use wa_nn::QuantConfig;
+use wa_quant::BitWidth;
+use wa_tensor::SeededRng;
+
+#[derive(Serialize)]
+struct Curve {
+    config: String,
+    val_acc_per_epoch: Vec<f64>,
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let img = 12; // LeNet geometry needs size ≡ 0 (mod 4); 12 or 28
+    let ds = wa_data::mnist_like(scale.per_class, img, 3);
+    let (train_b, val_b) = prepare(&ds, scale.batch, 2);
+    let epochs = (2 * scale.epochs).max(16);
+
+    let configs: Vec<(&str, Option<ConvAlgo>)> = vec![
+        ("im2row", None),
+        ("F2", Some(ConvAlgo::Winograd { m: 2 })),
+        ("F2-flex", Some(ConvAlgo::WinogradFlex { m: 2 })),
+        ("F4", Some(ConvAlgo::Winograd { m: 4 })),
+        ("F4-flex", Some(ConvAlgo::WinogradFlex { m: 4 })),
+    ];
+    println!("INT8 LeNet (5×5 filters) on {} — validation accuracy per epoch\n", ds.name);
+    let mut curves = Vec::new();
+    for (i, (name, algo)) in configs.iter().enumerate() {
+        let mut rng = SeededRng::new(20 + i as u64);
+        let mut net = LeNet::new(10, img, QuantConfig::uniform(BitWidth::INT8), &mut rng);
+        if let Some(a) = algo {
+            net.set_algo(*a);
+        }
+        let hist = fit(&mut net, &train_b, &val_b, &recipe(epochs));
+        let accs: Vec<f64> = hist.epochs.iter().map(|e| e.val_acc).collect();
+        println!(
+            "{:<8} final {} best {}  curve: {}",
+            name,
+            pct(*accs.last().unwrap()),
+            pct(hist.best_val_acc()),
+            accs.iter().map(|a| format!("{:.0}", 100.0 * a)).collect::<Vec<_>>().join(" ")
+        );
+        curves.push(Curve { config: name.to_string(), val_acc_per_epoch: accs });
+    }
+    let best = |name: &str| {
+        curves
+            .iter()
+            .find(|c| c.config == name)
+            .unwrap()
+            .val_acc_per_epoch
+            .iter()
+            .cloned()
+            .fold(0.0, f64::max)
+    };
+    println!(
+        "\nflex − static gaps: F2 {:+.1}%  F4 {:+.1}%",
+        100.0 * (best("F2-flex") - best("F2")),
+        100.0 * (best("F4-flex") - best("F4"))
+    );
+    assert!(
+        best("F2-flex") >= best("F2") - 0.02,
+        "flex must not trail static at F2"
+    );
+    save_json("figure5", &curves);
+}

@@ -1,0 +1,47 @@
+//! **Figure 8**: per-stage latency breakdown of ResNet-18 layers on both
+//! cores, normalized to im2row.
+//!
+//! Expected shape (paper): Winograd ratios > 1 on the 3→32 stem (its
+//! transforms are 65–75% of cost), well below 1 on the 128-channel
+//! mid-network layer on the A73, and less favourable on the A53.
+
+use wa_bench::save_json;
+use wa_latency::{figure8_bars, Core, LatAlgo};
+
+fn main() {
+    for core in [Core::CortexA73, Core::CortexA53] {
+        println!("\n=== {core} (FP32, default transforms) ===");
+        println!(
+            "{:<24} {:>8} {:>9} {:>9} {:>9} {:>8} {:>8}",
+            "layer", "algo", "input", "gemm", "output", "ratio", "tf%"
+        );
+        for bar in figure8_bars(core) {
+            println!(
+                "{:<24} {:>8} {:>9.3} {:>9.3} {:>9.3} {:>7.2}x {:>7.0}%",
+                format!(
+                    "{}x{} {}->{}",
+                    bar.shape.out_h, bar.shape.out_w, bar.shape.in_ch, bar.shape.out_ch
+                ),
+                bar.algo.to_string(),
+                bar.breakdown.input_stage_ms,
+                bar.breakdown.gemm_ms,
+                bar.breakdown.output_stage_ms,
+                bar.ratio_vs_im2row,
+                100.0 * bar.breakdown.transform_fraction(),
+            );
+        }
+    }
+    let a73 = figure8_bars(Core::CortexA73);
+    let stem_f4 = a73
+        .iter()
+        .find(|b| b.shape.in_ch == 3 && b.algo == LatAlgo::Winograd { m: 4 })
+        .unwrap();
+    assert!(stem_f4.ratio_vs_im2row > 1.0, "stem F4 must lose to im2row");
+    let mid_f4 = a73
+        .iter()
+        .find(|b| b.shape.in_ch == 128 && b.algo == LatAlgo::Winograd { m: 4 })
+        .unwrap();
+    assert!(mid_f4.ratio_vs_im2row < 0.8, "mid-layer F4 must win on the A73");
+    println!("\nStem transforms dominate; mid-network Winograd wins (paper §6.2).");
+    save_json("figure8", &(figure8_bars(Core::CortexA73), figure8_bars(Core::CortexA53)));
+}

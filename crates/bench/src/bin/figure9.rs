@@ -1,0 +1,82 @@
+//! **Figure 9** (and the wiNAS rows of Table 3): per-layer architectures
+//! found by wiNAS on the ResNet-18 macro-architecture, for the WA space
+//! at INT8 and the WA-Q space, at two latency weights λ₂.
+//!
+//! Expected shape (paper): higher λ₂ yields faster architectures; the
+//! `-Q` search keeps early layers at higher precision; 1×1/stem layers
+//! stay on im2row by construction.
+
+use serde::Serialize;
+use wa_bench::{pct, prepare, save_json, Scale};
+use wa_latency::Core;
+use wa_nas::{MacroArch, SearchSpace, WiNas, WiNasConfig};
+use wa_quant::BitWidth;
+use wa_tensor::SeededRng;
+
+#[derive(Serialize)]
+struct Found {
+    space: String,
+    lambda2: f32,
+    expected_latency_ms: f64,
+    val_acc: f64,
+    layers: Vec<String>,
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let ds = wa_data::cifar10_like(scale.per_class, scale.img, 7);
+    let (train_b, val_b) = prepare(&ds, scale.batch, 3);
+    let arch = MacroArch::resnet18(10, scale.width, scale.img);
+    println!(
+        "wiNAS on ResNet-18 macro-architecture ({} searchable 3×3 layers)\n",
+        arch.slot_count()
+    );
+
+    let mut found = Vec::new();
+    for (space, label) in [
+        (SearchSpace::wa(BitWidth::INT8), "wiNAS-WA INT8"),
+        (SearchSpace::wa_q(), "wiNAS-WA-Q"),
+    ] {
+        for lambda2 in [0.005f32, 2.0] {
+            let cfg = WiNasConfig {
+                epochs: scale.nas_epochs,
+                lambda2,
+                arch_lr: 0.2,
+                core: Core::CortexA73,
+                seed: 11,
+                ..WiNasConfig::default()
+            };
+            let mut rng = SeededRng::new(17 + (lambda2 * 1000.0) as u64);
+            let mut nas = WiNas::new(&arch, space.clone(), cfg, &mut rng);
+            let log = nas.search(&train_b, &val_b);
+            let last = log.last().unwrap();
+            let layers: Vec<String> = nas.extract().iter().map(|c| c.to_string()).collect();
+            println!(
+                "{label:<16} λ₂={lambda2:<6} E[lat] {:>7.2} ms  val acc {:>6}",
+                last.expected_latency_ms,
+                pct(last.val_acc)
+            );
+            println!("  input -> im2row(stem) -> {} -> FC\n", layers.join(" -> "));
+            found.push(Found {
+                space: label.to_string(),
+                lambda2,
+                expected_latency_ms: last.expected_latency_ms,
+                val_acc: last.val_acc,
+                layers,
+            });
+        }
+    }
+    // monotonicity: within each space, strong latency pressure must not
+    // yield a slower architecture (small slack absorbs search noise)
+    for pair in found.chunks(2) {
+        assert!(
+            pair[1].expected_latency_ms <= pair[0].expected_latency_ms * 1.1,
+            "{}: higher λ₂ should reduce expected latency ({:.2} vs {:.2})",
+            pair[0].space,
+            pair[0].expected_latency_ms,
+            pair[1].expected_latency_ms
+        );
+    }
+    println!("Higher λ₂ trades accuracy headroom for speed (paper Fig. 9, Table 3).");
+    save_json("figure9", &found);
+}

@@ -1,0 +1,135 @@
+//! # wa-bench
+//!
+//! The benchmark harness: one binary per table/figure of the paper (run
+//! with `cargo run -p wa-bench --release --bin <id>`), plus Criterion
+//! kernel benches (`cargo bench -p wa-bench`).
+//!
+//! Every binary prints the same rows/series the paper reports and appends
+//! a JSON record under `results/` for `EXPERIMENTS.md`. Absolute numbers
+//! differ from the paper (synthetic data, scaled-down training, modeled
+//! hardware — see `DESIGN.md`), but orderings and rough factors must
+//! match; the binaries assert the headline orderings where meaningful.
+//!
+//! Set `WA_FULL=1` for larger (slower) runs closer to the paper's scale.
+
+use std::path::PathBuf;
+
+use serde::Serialize;
+use wa_core::{fit, ConvAlgo, History, LabeledBatch, OptimKind, TrainConfig};
+use wa_data::Dataset;
+use wa_nn::QuantConfig;
+use wa_quant::BitWidth;
+use wa_tensor::SeededRng;
+
+/// Experiment scale knobs (env-controlled).
+#[derive(Clone, Copy, Debug)]
+pub struct Scale {
+    /// Images per class for CIFAR-shaped sets.
+    pub per_class: usize,
+    /// Image side length.
+    pub img: usize,
+    /// ResNet width multiplier for single-width experiments.
+    pub width: f64,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Batch size.
+    pub batch: usize,
+    /// wiNAS search epochs.
+    pub nas_epochs: usize,
+}
+
+impl Scale {
+    /// Default (CI-friendly) scale, or the larger `WA_FULL=1` scale.
+    pub fn from_env() -> Scale {
+        if std::env::var("WA_FULL").map(|v| v == "1").unwrap_or(false) {
+            Scale { per_class: 200, img: 32, width: 0.25, epochs: 30, batch: 32, nas_epochs: 20 }
+        } else {
+            Scale { per_class: 60, img: 16, width: 0.125, epochs: 10, batch: 24, nas_epochs: 6 }
+        }
+    }
+}
+
+/// Standard train/val batch preparation from a dataset.
+pub fn prepare(ds: &Dataset, batch: usize, seed: u64) -> (Vec<LabeledBatch>, Vec<LabeledBatch>) {
+    let mut rng = SeededRng::new(seed);
+    let (train, val) = ds.split(0.8);
+    (train.shuffled_batches(batch, &mut rng), val.batches(batch))
+}
+
+/// The training recipe shared by all accuracy experiments (paper §5.1:
+/// Adam + cosine annealing).
+pub fn recipe(epochs: usize) -> TrainConfig {
+    TrainConfig {
+        epochs,
+        optim: OptimKind::Adam { lr: 2e-3 },
+        weight_decay: 1e-4,
+        cosine_to: Some(1e-5),
+    }
+}
+
+/// Trains a fresh ResNet-18 with the given algorithm/precision and
+/// returns its history (paper policy: last two blocks pinned to F2).
+pub fn train_resnet(
+    algo: ConvAlgo,
+    bits: BitWidth,
+    scale: Scale,
+    train_b: &[LabeledBatch],
+    val_b: &[LabeledBatch],
+    seed: u64,
+) -> History {
+    let mut rng = SeededRng::new(seed);
+    let mut net = wa_models::ResNet18::new(10, scale.width, QuantConfig::uniform(bits), &mut rng);
+    net.set_algo(algo);
+    fit(&mut net, train_b, val_b, &recipe(scale.epochs))
+}
+
+/// Writes a JSON record to `results/<name>.json` (best effort; prints the
+/// path on success).
+pub fn save_json<T: Serialize>(name: &str, value: &T) {
+    let dir = results_dir();
+    if std::fs::create_dir_all(&dir).is_err() {
+        return;
+    }
+    let path = dir.join(format!("{name}.json"));
+    match serde_json::to_string_pretty(value) {
+        Ok(s) => {
+            if std::fs::write(&path, s).is_ok() {
+                println!("\n[saved {}]", path.display());
+            }
+        }
+        Err(e) => eprintln!("could not serialize {name}: {e}"),
+    }
+}
+
+fn results_dir() -> PathBuf {
+    // workspace root when run via cargo, cwd otherwise
+    std::env::var("CARGO_MANIFEST_DIR")
+        .map(|m| PathBuf::from(m).join("../../results"))
+        .unwrap_or_else(|_| PathBuf::from("results"))
+}
+
+/// Percent formatting helper.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", 100.0 * x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_defaults_are_small() {
+        let s = Scale::from_env();
+        assert!(s.per_class <= 200);
+        assert!(s.epochs <= 30);
+    }
+
+    #[test]
+    fn prepare_splits_and_batches() {
+        let ds = wa_data::cifar10_like(10, 8, 1);
+        let (train, val) = prepare(&ds, 16, 2);
+        let train_n: usize = train.iter().map(|(_, l)| l.len()).sum();
+        let val_n: usize = val.iter().map(|(_, l)| l.len()).sum();
+        assert_eq!(train_n + val_n, 100);
+    }
+}

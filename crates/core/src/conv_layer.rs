@@ -1,0 +1,392 @@
+//! Algorithm-switchable convolution and post-training surgery.
+
+use serde::{Deserialize, Serialize};
+use wa_nn::{Conv2d, Layer, Param, QuantConfig, Tape, Var};
+use wa_tensor::SeededRng;
+
+use crate::winograd_layer::WinogradAwareConv2d;
+
+/// The convolution algorithm implementing a 3×3 (or 5×5) layer — the
+/// choice wiNAS searches over (paper Figure 3).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ConvAlgo {
+    /// Patch-lowering + GEMM (lossless baseline).
+    Im2row,
+    /// Winograd-aware `F(m×m, r×r)` with static Cook-Toom transforms.
+    Winograd {
+        /// Output tile size `m` (2, 4 or 6 in the paper).
+        m: usize,
+    },
+    /// Winograd-aware with learnable transforms (the paper's `-flex`).
+    WinogradFlex {
+        /// Output tile size `m`.
+        m: usize,
+    },
+}
+
+impl ConvAlgo {
+    /// Output tile size for Winograd variants, `None` for im2row.
+    pub fn tile_m(&self) -> Option<usize> {
+        match self {
+            ConvAlgo::Im2row => None,
+            ConvAlgo::Winograd { m } | ConvAlgo::WinogradFlex { m } => Some(*m),
+        }
+    }
+
+    /// Whether transforms are learnable.
+    pub fn is_flex(&self) -> bool {
+        matches!(self, ConvAlgo::WinogradFlex { .. })
+    }
+}
+
+impl std::fmt::Display for ConvAlgo {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConvAlgo::Im2row => write!(f, "im2row"),
+            ConvAlgo::Winograd { m } => write!(f, "F{}", m),
+            ConvAlgo::WinogradFlex { m } => write!(f, "F{}-flex", m),
+        }
+    }
+}
+
+/// A convolution layer that can be implemented by any [`ConvAlgo`] and
+/// re-implemented in place (surgery) without losing its trained weights.
+///
+/// This is the unit the paper's experiments manipulate: Table 1 swaps
+/// trained `im2row` layers to Winograd post-hoc; Figure 6 adapts them with
+/// a few retraining epochs; wiNAS picks a per-layer algorithm.
+#[derive(Debug)]
+#[allow(clippy::large_enum_variant)] // two layer kinds by design; boxing
+                                     // would complicate every forward call
+pub enum ConvLayer {
+    /// Lowering-based convolution.
+    Direct(Conv2d),
+    /// Winograd-aware convolution.
+    Winograd(WinogradAwareConv2d),
+}
+
+impl ConvLayer {
+    /// Creates the layer with the given algorithm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dims are zero or a Winograd algorithm is requested with
+    /// `stride != 1`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        name: &str,
+        in_ch: usize,
+        out_ch: usize,
+        kernel: usize,
+        stride: usize,
+        pad: usize,
+        algo: ConvAlgo,
+        quant: QuantConfig,
+        rng: &mut SeededRng,
+    ) -> ConvLayer {
+        match algo {
+            ConvAlgo::Im2row => ConvLayer::Direct(Conv2d::new(
+                name, in_ch, out_ch, kernel, stride, pad, false, quant, rng,
+            )),
+            ConvAlgo::Winograd { m } | ConvAlgo::WinogradFlex { m } => {
+                assert_eq!(stride, 1, "Winograd layers require stride 1 (paper §5.1)");
+                ConvLayer::Winograd(WinogradAwareConv2d::new(
+                    name,
+                    in_ch,
+                    out_ch,
+                    m,
+                    kernel,
+                    pad,
+                    algo.is_flex(),
+                    quant,
+                    rng,
+                ))
+            }
+        }
+    }
+
+    /// The algorithm currently implementing this layer.
+    pub fn algo(&self) -> ConvAlgo {
+        match self {
+            ConvLayer::Direct(_) => ConvAlgo::Im2row,
+            ConvLayer::Winograd(w) => {
+                if w.is_flex() {
+                    ConvAlgo::WinogradFlex { m: w.m() }
+                } else {
+                    ConvAlgo::Winograd { m: w.m() }
+                }
+            }
+        }
+    }
+
+    /// Output channels.
+    pub fn out_channels(&self) -> usize {
+        match self {
+            ConvLayer::Direct(c) => c.out_channels(),
+            ConvLayer::Winograd(w) => w.out_channels(),
+        }
+    }
+
+    /// Input channels.
+    pub fn in_channels(&self) -> usize {
+        match self {
+            ConvLayer::Direct(c) => c.in_channels(),
+            ConvLayer::Winograd(w) => w.in_channels(),
+        }
+    }
+
+    /// Current quantization config.
+    pub fn quant(&self) -> QuantConfig {
+        match self {
+            ConvLayer::Direct(c) => c.quant,
+            ConvLayer::Winograd(w) => w.quant,
+        }
+    }
+
+    /// Sets the quantization config (used by wiNAS-Q to assign per-layer
+    /// precision).
+    pub fn set_quant(&mut self, q: QuantConfig) {
+        match self {
+            ConvLayer::Direct(c) => c.quant = q,
+            ConvLayer::Winograd(w) => w.quant = q,
+        }
+    }
+
+    /// **Surgery**: re-implements the layer with `algo`, carrying the
+    /// trained weights (and bias) over and resetting observers. Converting
+    /// to the same algorithm is a no-op.
+    ///
+    /// This is the paper's Table 1 experiment (swap after training) and
+    /// the starting point of Figure 6 adaptation.
+    ///
+    /// # Panics
+    ///
+    /// Panics when converting a strided direct conv to Winograd.
+    pub fn convert(&mut self, algo: ConvAlgo) {
+        if self.algo() == algo {
+            return;
+        }
+        let quant = self.quant();
+        // Temporarily replace self with a cheap placeholder to take
+        // ownership of the parameters.
+        let old = std::mem::replace(
+            self,
+            ConvLayer::Direct(Conv2d::new(
+                "placeholder",
+                1,
+                1,
+                1,
+                1,
+                0,
+                false,
+                QuantConfig::FP32,
+                &mut SeededRng::new(0),
+            )),
+        );
+        let (weight, bias, pad, stride, name) = match old {
+            ConvLayer::Direct(c) => {
+                let name = c.weight.name.trim_end_matches(".weight").to_string();
+                (c.weight, c.bias, c.pad, c.stride, name)
+            }
+            ConvLayer::Winograd(w) => {
+                let name = w.weight.name.trim_end_matches(".weight").to_string();
+                let pad = w.pad_size();
+                (w.weight, w.bias, pad, 1, name)
+            }
+        };
+        *self = match algo {
+            ConvAlgo::Im2row => {
+                let kernel = weight.value.dim(2);
+                let mut conv = Conv2d::new(
+                    &name,
+                    weight.value.dim(1),
+                    weight.value.dim(0),
+                    kernel,
+                    stride,
+                    pad,
+                    bias.is_some(),
+                    quant,
+                    &mut SeededRng::new(0),
+                );
+                conv.weight = weight;
+                conv.bias = bias;
+                ConvLayer::Direct(conv)
+            }
+            ConvAlgo::Winograd { m } | ConvAlgo::WinogradFlex { m } => {
+                assert_eq!(stride, 1, "cannot convert a strided conv to Winograd");
+                let r = weight.value.dim(2);
+                ConvLayer::Winograd(WinogradAwareConv2d::with_weight(
+                    &name,
+                    weight,
+                    bias,
+                    m,
+                    r,
+                    pad,
+                    algo.is_flex(),
+                    quant,
+                ))
+            }
+        };
+    }
+}
+
+impl Layer for ConvLayer {
+    fn forward(&mut self, tape: &mut Tape, x: Var, train: bool) -> Var {
+        match self {
+            ConvLayer::Direct(c) => c.forward(tape, x, train),
+            ConvLayer::Winograd(w) => w.forward(tape, x, train),
+        }
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        match self {
+            ConvLayer::Direct(c) => c.visit_params(f),
+            ConvLayer::Winograd(w) => w.visit_params(f),
+        }
+    }
+
+    fn reset_statistics(&mut self) {
+        match self {
+            ConvLayer::Direct(c) => c.reset_statistics(),
+            ConvLayer::Winograd(w) => w.reset_statistics(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wa_tensor::Tensor;
+
+    #[test]
+    fn algo_display_matches_paper_nomenclature() {
+        assert_eq!(ConvAlgo::Im2row.to_string(), "im2row");
+        assert_eq!(ConvAlgo::Winograd { m: 4 }.to_string(), "F4");
+        assert_eq!(ConvAlgo::WinogradFlex { m: 6 }.to_string(), "F6-flex");
+    }
+
+    #[test]
+    fn convert_direct_to_winograd_keeps_weights_and_output() {
+        let mut rng = SeededRng::new(1);
+        let mut layer = ConvLayer::new(
+            "c",
+            2,
+            3,
+            3,
+            1,
+            1,
+            ConvAlgo::Im2row,
+            QuantConfig::FP32,
+            &mut rng,
+        );
+        let x = rng.uniform_tensor(&[1, 2, 8, 8], -1.0, 1.0);
+        let before = {
+            let mut tape = Tape::new();
+            let xv = tape.leaf(x.clone());
+            let y = layer.forward(&mut tape, xv, false);
+            tape.value(y).clone()
+        };
+        layer.convert(ConvAlgo::Winograd { m: 2 });
+        assert_eq!(layer.algo(), ConvAlgo::Winograd { m: 2 });
+        let after = {
+            let mut tape = Tape::new();
+            let xv = tape.leaf(x);
+            let y = layer.forward(&mut tape, xv, false);
+            tape.value(y).clone()
+        };
+        // FP32 F2 post-training swap is safe (Table 1 column 1)
+        assert_eq!(before.shape(), after.shape());
+        for (a, b) in before.data().iter().zip(after.data()) {
+            assert!((a - b).abs() < 1e-3, "{} vs {}", a, b);
+        }
+    }
+
+    #[test]
+    fn convert_roundtrip_restores_algo() {
+        let mut rng = SeededRng::new(2);
+        let mut layer = ConvLayer::new(
+            "c",
+            1,
+            1,
+            3,
+            1,
+            1,
+            ConvAlgo::Im2row,
+            QuantConfig::FP32,
+            &mut rng,
+        );
+        let w0 = match &layer {
+            ConvLayer::Direct(c) => c.weight.value.clone(),
+            _ => unreachable!(),
+        };
+        layer.convert(ConvAlgo::WinogradFlex { m: 4 });
+        layer.convert(ConvAlgo::Im2row);
+        match &layer {
+            ConvLayer::Direct(c) => assert_eq!(c.weight.value, w0),
+            _ => panic!("expected direct layer"),
+        }
+    }
+
+    #[test]
+    fn convert_same_algo_is_noop() {
+        let mut rng = SeededRng::new(3);
+        let mut layer = ConvLayer::new(
+            "c",
+            1,
+            2,
+            3,
+            1,
+            1,
+            ConvAlgo::Winograd { m: 2 },
+            QuantConfig::FP32,
+            &mut rng,
+        );
+        let w0 = match &layer {
+            ConvLayer::Winograd(w) => w.weight.value.clone(),
+            _ => unreachable!(),
+        };
+        layer.convert(ConvAlgo::Winograd { m: 2 });
+        match &layer {
+            ConvLayer::Winograd(w) => assert_eq!(w.weight.value, w0),
+            _ => panic!("expected winograd layer"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot convert a strided conv")]
+    fn strided_conversion_panics() {
+        let mut rng = SeededRng::new(4);
+        let mut layer = ConvLayer::new(
+            "c",
+            1,
+            1,
+            3,
+            2,
+            1,
+            ConvAlgo::Im2row,
+            QuantConfig::FP32,
+            &mut rng,
+        );
+        layer.convert(ConvAlgo::Winograd { m: 2 });
+    }
+
+    #[test]
+    fn set_quant_applies() {
+        let mut rng = SeededRng::new(5);
+        let mut layer = ConvLayer::new(
+            "c",
+            1,
+            1,
+            3,
+            1,
+            1,
+            ConvAlgo::Im2row,
+            QuantConfig::FP32,
+            &mut rng,
+        );
+        let q = QuantConfig::uniform(wa_quant::BitWidth::INT8);
+        layer.set_quant(q);
+        assert_eq!(layer.quant(), q);
+        let _ = Tensor::zeros(&[1]);
+    }
+}

@@ -1,0 +1,42 @@
+//! # wa-core
+//!
+//! The primary contribution of *Searching for Winograd-aware Quantized
+//! Networks* (MLSys 2020), as a library:
+//!
+//! * [`WinogradAwareConv2d`] — a convolution layer evaluated explicitly as
+//!   `Aᵀ[(G·g·Gᵀ) ⊙ (Bᵀ·d·B)]A` with every intermediate fake-quantized,
+//!   so training absorbs the numerical error of the Winograd algorithm
+//!   (paper §3.2, Figure 2). Transforms are Cook-Toom-initialized and,
+//!   in `-flex` mode, learnable.
+//! * [`ConvLayer`] / [`ConvAlgo`] — algorithm-switchable convolutions with
+//!   in-place **surgery** (swap a trained im2row layer to Winograd, the
+//!   Table 1 experiment) and the basis for wiNAS search.
+//! * [`fit`] / [`evaluate`] / [`warm_up`] — the training pipeline used by
+//!   every experiment, including the moving-average warm-up the paper
+//!   applies before post-training swaps.
+//!
+//! # Example: quantized Winograd-aware training recovers what a
+//! post-training swap destroys
+//!
+//! ```
+//! use wa_core::{ConvAlgo, ConvLayer};
+//! use wa_nn::QuantConfig;
+//! use wa_quant::BitWidth;
+//! use wa_tensor::SeededRng;
+//!
+//! let mut rng = SeededRng::new(0);
+//! let q = QuantConfig::uniform(BitWidth::INT8);
+//! // A layer that *trains through* the quantized F4 pipeline:
+//! let layer = ConvLayer::new("c", 16, 16, 3, 1, 1, ConvAlgo::WinogradFlex { m: 4 }, q, &mut rng);
+//! assert_eq!(layer.algo().tile_m(), Some(4));
+//! ```
+
+mod conv_layer;
+mod trainer;
+mod winograd_layer;
+
+pub use conv_layer::{ConvAlgo, ConvLayer};
+pub use trainer::{
+    evaluate, fit, train_step, warm_up, EpochStats, History, LabeledBatch, OptimKind, TrainConfig,
+};
+pub use winograd_layer::WinogradAwareConv2d;

@@ -1,0 +1,283 @@
+//! The training pipeline shared by every experiment.
+
+use serde::{Deserialize, Serialize};
+use wa_nn::{accuracy, Adam, CosineAnnealing, Layer, Optimizer, RunningMean, Sgd, Tape};
+use wa_tensor::Tensor;
+
+/// A mini-batch: NCHW images plus integer class labels.
+pub type LabeledBatch = (Tensor, Vec<usize>);
+
+/// Which optimizer drives the model weights.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum OptimKind {
+    /// Adam — the paper's choice for Winograd-aware training (§5.1).
+    Adam {
+        /// Learning rate.
+        lr: f32,
+    },
+    /// SGD + Nesterov momentum — the wiNAS weight stage (§5.2).
+    SgdNesterov {
+        /// Learning rate.
+        lr: f32,
+        /// Momentum μ.
+        momentum: f32,
+    },
+}
+
+/// Training hyper-parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TrainConfig {
+    /// Number of epochs.
+    pub epochs: usize,
+    /// Optimizer for model weights.
+    pub optim: OptimKind,
+    /// L2 penalty λ₀ on the weights (Eq. 2).
+    pub weight_decay: f32,
+    /// Cosine-anneal the learning rate to this floor (None = constant LR).
+    pub cosine_to: Option<f32>,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            epochs: 10,
+            optim: OptimKind::Adam { lr: 1e-3 },
+            weight_decay: 1e-4,
+            cosine_to: Some(0.0),
+        }
+    }
+}
+
+/// Loss/accuracy for one epoch.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct EpochStats {
+    /// Epoch index (0-based).
+    pub epoch: usize,
+    /// Mean training loss.
+    pub train_loss: f64,
+    /// Training accuracy.
+    pub train_acc: f64,
+    /// Validation loss.
+    pub val_loss: f64,
+    /// Validation accuracy.
+    pub val_acc: f64,
+}
+
+/// Full training history.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct History {
+    /// Per-epoch statistics.
+    pub epochs: Vec<EpochStats>,
+}
+
+impl History {
+    /// Best validation accuracy across epochs (0.0 if empty).
+    pub fn best_val_acc(&self) -> f64 {
+        self.epochs.iter().map(|e| e.val_acc).fold(0.0, f64::max)
+    }
+
+    /// Final validation accuracy (0.0 if empty).
+    pub fn final_val_acc(&self) -> f64 {
+        self.epochs.last().map(|e| e.val_acc).unwrap_or(0.0)
+    }
+}
+
+fn make_optimizer(kind: OptimKind, weight_decay: f32) -> Box<dyn Optimizer> {
+    match kind {
+        OptimKind::Adam { lr } => {
+            let mut a = Adam::new(lr);
+            a.weight_decay = weight_decay;
+            Box::new(a)
+        }
+        OptimKind::SgdNesterov { lr, momentum } => {
+            Box::new(Sgd::new(lr, momentum, true, weight_decay))
+        }
+    }
+}
+
+/// Runs one optimization step on a batch, returning `(loss, accuracy)`.
+pub fn train_step(
+    model: &mut dyn Layer,
+    opt: &mut dyn Optimizer,
+    images: &Tensor,
+    labels: &[usize],
+) -> (f64, f64) {
+    let mut tape = Tape::new();
+    let x = tape.leaf(images.clone());
+    let logits = model.forward(&mut tape, x, true);
+    let loss = tape.cross_entropy(logits, labels);
+    let loss_val = tape.value(loss).data()[0] as f64;
+    let acc = accuracy(tape.value(logits), labels);
+    let grads = tape.backward(loss);
+    model.visit_params(&mut |p| {
+        p.absorb(&grads);
+        opt.update(p);
+    });
+    (loss_val, acc)
+}
+
+/// Evaluates the model over batches (no parameter or observer updates),
+/// returning `(mean loss, accuracy)`.
+pub fn evaluate(model: &mut dyn Layer, batches: &[LabeledBatch]) -> (f64, f64) {
+    let mut loss_m = RunningMean::new();
+    let mut acc_m = RunningMean::new();
+    for (images, labels) in batches {
+        let mut tape = Tape::new();
+        let x = tape.leaf(images.clone());
+        let logits = model.forward(&mut tape, x, false);
+        let loss = tape.cross_entropy(logits, labels);
+        let w = labels.len() as f64;
+        loss_m.add(tape.value(loss).data()[0] as f64, w);
+        acc_m.add(accuracy(tape.value(logits), labels), w);
+    }
+    (loss_m.mean(), acc_m.mean())
+}
+
+/// Runs forward passes in training mode **without optimizer updates** so
+/// range observers (and batch-norm running statistics) warm up — the
+/// relaxation the paper applies before evaluating post-training Winograd
+/// swaps ("we performed a warmup of all the moving averages involved in
+/// Eq. 1 using the training set but without modifying the weights",
+/// Table 1 caption).
+pub fn warm_up(model: &mut dyn Layer, batches: &[LabeledBatch]) {
+    // two passes: the first re-centres batch-norm running statistics, the
+    // second settles the quantization ranges measured on top of them
+    for _ in 0..2 {
+        for (images, labels) in batches {
+            let mut tape = Tape::new();
+            let x = tape.leaf(images.clone());
+            let logits = model.forward(&mut tape, x, true);
+            // touch logits so the forward pass is not optimized away
+            debug_assert_eq!(tape.value(logits).dim(0), labels.len());
+        }
+    }
+}
+
+/// Trains `model` on pre-batched data, evaluating after every epoch.
+///
+/// # Example
+///
+/// ```
+/// use wa_core::{fit, TrainConfig};
+/// use wa_nn::{Linear, QuantConfig};
+/// use wa_tensor::{SeededRng, Tensor};
+///
+/// let mut rng = SeededRng::new(0);
+/// let mut model = Linear::new("m", 4, 2, QuantConfig::FP32, &mut rng);
+/// // two separable batches
+/// let mk = |c: usize| {
+///     let img = Tensor::from_fn(&[4, 4], |i| if i % 4 == c { 1.0 } else { 0.0 });
+///     (img, vec![c; 4])
+/// };
+/// let train = vec![mk(0), mk(1)];
+/// let cfg = TrainConfig { epochs: 80, optim: wa_core::OptimKind::Adam { lr: 0.05 }, ..TrainConfig::default() };
+/// let hist = fit(&mut model, &train, &train, &cfg);
+/// assert!(hist.best_val_acc() > 0.9);
+/// ```
+pub fn fit(
+    model: &mut dyn Layer,
+    train_batches: &[LabeledBatch],
+    val_batches: &[LabeledBatch],
+    config: &TrainConfig,
+) -> History {
+    let mut opt = make_optimizer(config.optim, config.weight_decay);
+    let base_lr = opt.lr();
+    let schedule = config
+        .cosine_to
+        .map(|floor| CosineAnnealing::new(base_lr, floor, config.epochs.max(1)));
+    let mut history = History::default();
+    for epoch in 0..config.epochs {
+        if let Some(s) = &schedule {
+            opt.set_lr(s.lr_at(epoch));
+        }
+        let mut loss_m = RunningMean::new();
+        let mut acc_m = RunningMean::new();
+        for (images, labels) in train_batches {
+            let (l, a) = train_step(model, opt.as_mut(), images, labels);
+            let w = labels.len() as f64;
+            loss_m.add(l, w);
+            acc_m.add(a, w);
+        }
+        let (val_loss, val_acc) = evaluate(model, val_batches);
+        history.epochs.push(EpochStats {
+            epoch,
+            train_loss: loss_m.mean(),
+            train_acc: acc_m.mean(),
+            val_loss,
+            val_acc,
+        });
+    }
+    history
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wa_nn::QuantConfig;
+    use wa_tensor::SeededRng;
+
+    /// Tiny two-class problem: class = which half of the vector is hot.
+    fn toy_batches(rng: &mut SeededRng, batches: usize, bs: usize) -> Vec<LabeledBatch> {
+        (0..batches)
+            .map(|_| {
+                let mut labels = Vec::with_capacity(bs);
+                let img = Tensor::from_fn(&[bs, 8], |i| {
+                    let row = i / 8;
+                    let col = i % 8;
+                    if row >= labels.len() {
+                        labels.push(if rng.chance(0.5) { 1usize } else { 0 });
+                    }
+                    let cls = labels[row];
+                    let hot = (col / 4) == cls;
+                    if hot {
+                        rng.uniform(0.6, 1.0)
+                    } else {
+                        rng.uniform(0.0, 0.2)
+                    }
+                });
+                (img, labels)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fit_learns_toy_problem() {
+        let mut rng = SeededRng::new(1);
+        let train = toy_batches(&mut rng, 8, 16);
+        let val = toy_batches(&mut rng, 2, 16);
+        let mut model = wa_nn::Linear::new("m", 8, 2, QuantConfig::FP32, &mut rng);
+        let cfg = TrainConfig { epochs: 15, ..TrainConfig::default() };
+        let hist = fit(&mut model, &train, &val, &cfg);
+        assert_eq!(hist.epochs.len(), 15);
+        assert!(hist.best_val_acc() > 0.95, "val acc {}", hist.best_val_acc());
+        assert!(
+            hist.epochs.last().unwrap().train_loss < hist.epochs[0].train_loss,
+            "loss must decrease"
+        );
+    }
+
+    #[test]
+    fn evaluate_is_side_effect_free() {
+        let mut rng = SeededRng::new(2);
+        let data = toy_batches(&mut rng, 2, 8);
+        let mut model = wa_nn::Linear::new("m", 8, 2, QuantConfig::FP32, &mut rng);
+        let w0 = model.weight.value.clone();
+        let _ = evaluate(&mut model, &data);
+        assert_eq!(model.weight.value, w0);
+    }
+
+    #[test]
+    fn sgd_nesterov_config_trains() {
+        let mut rng = SeededRng::new(3);
+        let train = toy_batches(&mut rng, 8, 16);
+        let mut model = wa_nn::Linear::new("m", 8, 2, QuantConfig::FP32, &mut rng);
+        let cfg = TrainConfig {
+            epochs: 20,
+            optim: OptimKind::SgdNesterov { lr: 0.1, momentum: 0.9 },
+            weight_decay: 0.0,
+            cosine_to: Some(1e-4),
+        };
+        let hist = fit(&mut model, &train, &train, &cfg);
+        assert!(hist.best_val_acc() > 0.9, "val acc {}", hist.best_val_acc());
+    }
+}

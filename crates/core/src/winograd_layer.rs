@@ -1,0 +1,449 @@
+//! The Winograd-aware convolution layer (paper §3.2, Figure 2).
+
+use wa_nn::{observe_quant, Layer, Param, QuantConfig, Tape, Var};
+use wa_quant::Observer;
+use wa_tensor::{SeededRng, Tensor};
+use wa_winograd::{TileGeometry, WinogradTransform};
+
+/// Range observers for every quantization point `Qx` of Figure 2.
+#[derive(Debug, Default)]
+struct WinogradObservers {
+    input: Observer,
+    weight: Observer,
+    gg: Observer,    // G·g
+    ggt: Observer,   // G·g·Gᵀ
+    bd: Observer,    // Bᵀ·d
+    bdb: Observer,   // Bᵀ·d·B
+    hadamard: Observer,
+    ay: Observer,    // Aᵀ·y
+    aya: Observer,   // Aᵀ·y·A (layer output)
+}
+
+/// A convolution layer evaluated *explicitly* as
+/// `Y = Aᵀ[(G·g·Gᵀ) ⊙ (Bᵀ·d·B)]A` with every intermediate
+/// fake-quantized, so training sees the numerical error of the Winograd
+/// algorithm (the central idea of the paper).
+///
+/// * **Static** configurations (paper `WAF2`, `WAF4`, …) keep `Aᵀ`, `G`,
+///   `Bᵀ` fixed at their Cook-Toom values.
+/// * **Flex** configurations (`-flex`) mark them trainable, letting
+///   back-propagation reshape the transforms to absorb quantization error
+///   — worth up to 10% accuracy at INT8/F4 in the paper.
+///
+/// Stride is fixed at 1: the paper replaces stride-2 convolutions with
+/// max-pool + dense conv because "there is no known equivalent for strided
+/// Winograd convolutions" (§5.1).
+///
+/// # Example
+///
+/// ```
+/// use wa_core::WinogradAwareConv2d;
+/// use wa_nn::{Layer, QuantConfig, Tape};
+/// use wa_quant::BitWidth;
+/// use wa_tensor::SeededRng;
+///
+/// let mut rng = SeededRng::new(0);
+/// let mut layer = WinogradAwareConv2d::new(
+///     "wa", 3, 8, 4, 3, 1, true, QuantConfig::uniform(BitWidth::INT8), &mut rng,
+/// );
+/// let mut tape = Tape::new();
+/// let x = tape.leaf(rng.uniform_tensor(&[1, 3, 8, 8], -1.0, 1.0));
+/// let y = layer.forward(&mut tape, x, true);
+/// assert_eq!(tape.value(y).shape(), &[1, 8, 8, 8]);
+/// ```
+#[derive(Debug)]
+pub struct WinogradAwareConv2d {
+    /// Spatial filter `[K, C, r, r]` (the layer's *deploy-time* weights —
+    /// Winograd-aware training does not change model size, §1).
+    pub weight: Param,
+    /// Optional bias `[K]`.
+    pub bias: Option<Param>,
+    /// Output transform `Aᵀ` `[m, n]`; trainable iff `-flex`.
+    pub at: Param,
+    /// Filter transform `G` `[n, r]`; trainable iff `-flex`.
+    pub g: Param,
+    /// Input transform `Bᵀ` `[n, n]`; trainable iff `-flex`.
+    pub bt: Param,
+    /// Quantization applied to weights, activations and every intermediate.
+    pub quant: QuantConfig,
+    m: usize,
+    r: usize,
+    pad: usize,
+    obs: WinogradObservers,
+}
+
+impl WinogradAwareConv2d {
+    /// Creates a Winograd-aware layer `F(m×m, r×r)` with Kaiming weights
+    /// and Cook-Toom-initialized transforms (canonical Lavin & Gray
+    /// matrices for F2/F4 with r = 3).
+    ///
+    /// `flex` controls whether the transforms are learnable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        name: &str,
+        in_ch: usize,
+        out_ch: usize,
+        m: usize,
+        r: usize,
+        pad: usize,
+        flex: bool,
+        quant: QuantConfig,
+        rng: &mut SeededRng,
+    ) -> WinogradAwareConv2d {
+        assert!(in_ch > 0 && out_ch > 0 && m > 0 && r > 0, "layer dims must be positive");
+        let weight =
+            Param::new(format!("{name}.weight"), rng.kaiming_tensor(&[out_ch, in_ch, r, r]));
+        Self::with_weight(name, weight, None, m, r, pad, flex, quant)
+    }
+
+    /// Builds the layer around existing weight/bias parameters — the
+    /// surgery path used to convert a trained direct-convolution model
+    /// into its Winograd-aware counterpart (paper Table 1 / Figure 6).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weight` is not 4-D square-kernel `[K, C, r, r]`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_weight(
+        name: &str,
+        weight: Param,
+        bias: Option<Param>,
+        m: usize,
+        r: usize,
+        pad: usize,
+        flex: bool,
+        quant: QuantConfig,
+    ) -> WinogradAwareConv2d {
+        assert_eq!(weight.value.ndim(), 4, "weight must be [K, C, r, r]");
+        assert_eq!(weight.value.dim(2), r, "weight kernel {} != r {}", weight.value.dim(2), r);
+        assert_eq!(weight.value.dim(3), r, "weight kernel must be square");
+        let t = WinogradTransform::canonical(m, r);
+        let mk = |suffix: &str, v: &Tensor| {
+            if flex {
+                Param::new(format!("{name}.{suffix}"), v.clone())
+            } else {
+                Param::frozen(format!("{name}.{suffix}"), v.clone())
+            }
+        };
+        WinogradAwareConv2d {
+            at: mk("at", t.at()),
+            g: mk("g", t.g()),
+            bt: mk("bt", t.bt()),
+            weight,
+            bias,
+            quant,
+            m,
+            r,
+            pad,
+            obs: WinogradObservers::default(),
+        }
+    }
+
+    /// Output tile size `m`.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Filter size `r`.
+    pub fn r(&self) -> usize {
+        self.r
+    }
+
+    /// Input tile size `n = m + r − 1`.
+    pub fn input_tile(&self) -> usize {
+        self.m + self.r - 1
+    }
+
+    /// Whether the transforms are trainable (`-flex`).
+    pub fn is_flex(&self) -> bool {
+        self.at.trainable
+    }
+
+    /// Output channel count.
+    pub fn out_channels(&self) -> usize {
+        self.weight.value.dim(0)
+    }
+
+    /// Input channel count.
+    pub fn in_channels(&self) -> usize {
+        self.weight.value.dim(1)
+    }
+
+    /// The current transform triple (e.g. to persist learned `-flex`
+    /// transforms or hand them to the latency model).
+    pub fn transform(&self) -> WinogradTransform {
+        WinogradTransform::from_matrices(
+            self.m,
+            self.r,
+            self.at.value.clone(),
+            self.g.value.clone(),
+            self.bt.value.clone(),
+        )
+    }
+
+    /// Run-time weight-memory growth factor `n²/r²` (1.78× for F2, 4× for
+    /// F4 — paper §3.1).
+    pub fn weight_memory_factor(&self) -> f64 {
+        let n = self.input_tile() as f64;
+        (n * n) / (self.r * self.r) as f64
+    }
+
+    /// Zero-padding applied by the layer.
+    pub fn pad_size(&self) -> usize {
+        self.pad
+    }
+}
+
+impl Layer for WinogradAwareConv2d {
+    fn forward(&mut self, tape: &mut Tape, x: Var, train: bool) -> Var {
+        let (batch, in_ch, h, w) = {
+            let v = tape.value(x);
+            assert_eq!(v.ndim(), 4, "WinogradAwareConv2d expects NCHW, got {:?}", v.shape());
+            (v.dim(0), v.dim(1), v.dim(2), v.dim(3))
+        };
+        assert_eq!(in_ch, self.in_channels(), "input channels mismatch");
+        let (m, r) = (self.m, self.r);
+        let n = self.input_tile();
+        let out_ch = self.out_channels();
+        let geom = TileGeometry::for_conv(h, w, m, r, self.pad);
+        let total_tiles = batch * geom.tiles();
+        let abits = self.quant.activations;
+        let wbits = self.quant.weights;
+
+        // -- inputs & parameters, quantized
+        let xq = observe_quant(tape, x, abits, &mut self.obs.input, train);
+        let wv = tape.param(&mut self.weight);
+        let wq = observe_quant(tape, wv, wbits, &mut self.obs.weight, train);
+        let at = tape.param(&mut self.at);
+        let g = tape.param(&mut self.g);
+        let bt = tape.param(&mut self.bt);
+
+        // -- input transform BᵀdB (two one-sided products, Qx after each)
+        let xp = tape.pad_tiles(xq, geom);
+        let tiles = tape.gather_tiles(xp, geom); // [B·T·C, n²]
+        let rows = total_tiles * in_ch;
+        let t1 = tape.reshape(tiles, &[rows * n, n]);
+        let t2 = tape.matmul_nt(t1, bt); // X·B  ≡ (Bᵀ·Xᵀ)ᵀ
+        let t2q = observe_quant(tape, t2, abits, &mut self.obs.bd, train);
+        let t3 = tape.reshape(t2q, &[rows, n * n]);
+        let t4 = tape.tile_transpose(t3, n, n);
+        let t5 = tape.reshape(t4, &[rows * n, n]);
+        let t6 = tape.matmul_nt(t5, bt);
+        let t7 = tape.reshape(t6, &[rows, n * n]);
+        let v_rows = tape.tile_transpose(t7, n, n); // BᵀdB
+        let v_rows = observe_quant(tape, v_rows, abits, &mut self.obs.bdb, train);
+
+        // -- filter transform GgGᵀ
+        let wrows = out_ch * in_ch;
+        let w1 = tape.reshape(wq, &[wrows * r, r]);
+        let w2 = tape.matmul_nt(w1, g); // g·Gᵀ ≡ (G·gᵀ)ᵀ
+        let w2q = observe_quant(tape, w2, wbits, &mut self.obs.gg, train);
+        let w3 = tape.reshape(w2q, &[wrows, r * n]);
+        let w4 = tape.tile_transpose(w3, r, n);
+        let w5 = tape.reshape(w4, &[wrows * n, r]);
+        let w6 = tape.matmul_nt(w5, g);
+        let w7 = tape.reshape(w6, &[wrows, n * n]);
+        let u_rows = tape.tile_transpose(w7, n, n); // GgGᵀ
+        let u_rows = observe_quant(tape, u_rows, wbits, &mut self.obs.ggt, train);
+
+        // -- Hadamard product + summation across channels, as one GEMM per
+        //    Winograd-domain coordinate (Maji et al. 2019 formulation)
+        let v_p = tape.permute3(v_rows, [total_tiles, in_ch, n * n], [2, 1, 0]); // [n², C, T]
+        let u_p = tape.permute3(u_rows, [out_ch, in_ch, n * n], [2, 0, 1]); // [n², K, C]
+        let mm = tape.bmm(u_p, v_p, n * n, out_ch, in_ch, total_tiles); // [n², K, T]
+        let mm = observe_quant(tape, mm, abits, &mut self.obs.hadamard, train);
+
+        // -- output transform AᵀyA
+        let m3 = tape.permute3(mm, [n * n, out_ch, total_tiles], [2, 1, 0]); // [T, K, n²]
+        let orows = total_tiles * out_ch;
+        let m_rows = tape.reshape(m3, &[orows, n * n]);
+        let o1 = tape.reshape(m_rows, &[orows * n, n]);
+        let o2 = tape.matmul_nt(o1, at); // Y·A
+        let o2q = observe_quant(tape, o2, abits, &mut self.obs.ay, train);
+        let o3 = tape.reshape(o2q, &[orows, n * m]);
+        let o4 = tape.tile_transpose(o3, n, m);
+        let o5 = tape.reshape(o4, &[orows * m, n]);
+        let o6 = tape.matmul_nt(o5, at);
+        let o7 = tape.reshape(o6, &[orows, m * m]);
+        let y_rows = tape.tile_transpose(o7, m, m);
+
+        let mut y = tape.assemble_output(y_rows, geom, batch, out_ch);
+        if let Some(b) = &mut self.bias {
+            let bv = tape.param(b);
+            y = tape.add_bias_chan(y, bv);
+        }
+        observe_quant(tape, y, abits, &mut self.obs.aya, train)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.weight);
+        if let Some(b) = &mut self.bias {
+            f(b);
+        }
+        f(&mut self.at);
+        f(&mut self.g);
+        f(&mut self.bt);
+    }
+
+    fn reset_statistics(&mut self) {
+        self.obs = WinogradObservers::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wa_quant::BitWidth;
+    use wa_tensor::conv2d_direct;
+
+    fn fwd(layer: &mut WinogradAwareConv2d, x: &Tensor, train: bool) -> Tensor {
+        let mut tape = Tape::new();
+        let xv = tape.leaf(x.clone());
+        let y = layer.forward(&mut tape, xv, train);
+        tape.value(y).clone()
+    }
+
+    #[test]
+    fn fp32_matches_direct_convolution() {
+        let mut rng = SeededRng::new(1);
+        for m in [2usize, 4] {
+            let mut layer =
+                WinogradAwareConv2d::new("wa", 3, 4, m, 3, 1, false, QuantConfig::FP32, &mut rng);
+            let x = rng.uniform_tensor(&[2, 3, 8, 8], -1.0, 1.0);
+            let got = fwd(&mut layer, &x, false);
+            let want = conv2d_direct(&x, &layer.weight.value, None, 1, 1);
+            assert_eq!(got.shape(), want.shape());
+            for (a, b) in got.data().iter().zip(want.data()) {
+                assert!((a - b).abs() < 1e-3, "F{}: {} vs {}", m, a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn odd_spatial_sizes_with_tile_waste() {
+        let mut rng = SeededRng::new(2);
+        let mut layer =
+            WinogradAwareConv2d::new("wa", 2, 3, 4, 3, 1, false, QuantConfig::FP32, &mut rng);
+        let x = rng.uniform_tensor(&[1, 2, 7, 9], -1.0, 1.0);
+        let got = fwd(&mut layer, &x, false);
+        let want = conv2d_direct(&x, &layer.weight.value, None, 1, 1);
+        assert_eq!(got.shape(), want.shape());
+        for (a, b) in got.data().iter().zip(want.data()) {
+            assert!((a - b).abs() < 1e-3, "{} vs {}", a, b);
+        }
+    }
+
+    #[test]
+    fn int8_f4_shows_winograd_error_while_f2_is_mild() {
+        // Single-layer version of Table 1: quantize all intermediates and
+        // compare with direct conv of the same (unquantized) weights.
+        let mut rng = SeededRng::new(3);
+        let x = rng.uniform_tensor(&[1, 4, 8, 8], -1.0, 1.0);
+        let mut rel_err = |m: usize| {
+            let mut layer = WinogradAwareConv2d::new(
+                "wa",
+                4,
+                4,
+                m,
+                3,
+                1,
+                false,
+                QuantConfig::uniform(BitWidth::INT8),
+                &mut rng.fork(m as u64),
+            );
+            // warm up observers
+            let _ = fwd(&mut layer, &x, true);
+            let got = fwd(&mut layer, &x, false);
+            let want = conv2d_direct(&x, &layer.weight.value, None, 1, 1);
+            let num: f64 = got
+                .data()
+                .iter()
+                .zip(want.data())
+                .map(|(a, b)| ((a - b) as f64).powi(2))
+                .sum();
+            let den: f64 = want.data().iter().map(|v| (*v as f64).powi(2)).sum();
+            (num / den).sqrt()
+        };
+        let e2 = rel_err(2);
+        let e4 = rel_err(4);
+        assert!(e2 < e4, "INT8 error must grow with tile size: F2 {} vs F4 {}", e2, e4);
+    }
+
+    #[test]
+    fn flex_transforms_receive_gradients_static_do_not() {
+        let mut rng = SeededRng::new(4);
+        for flex in [true, false] {
+            let mut layer =
+                WinogradAwareConv2d::new("wa", 2, 2, 2, 3, 1, flex, QuantConfig::FP32, &mut rng);
+            let mut tape = Tape::new();
+            let x = tape.leaf(rng.uniform_tensor(&[1, 2, 4, 4], -1.0, 1.0));
+            let y = layer.forward(&mut tape, x, true);
+            let loss = tape.sq_sum(y);
+            let grads = tape.backward(loss);
+            layer.visit_params(&mut |p| p.absorb(&grads));
+            let bt_grad = layer.bt.grad.is_some();
+            let w_grad = layer.weight.grad.is_some();
+            assert!(w_grad, "weights always receive gradients");
+            assert_eq!(bt_grad, flex, "transform gradient presence must track flex");
+            if flex {
+                assert!(layer.bt.grad.as_ref().unwrap().max_abs() > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn surgery_preserves_weights() {
+        let mut rng = SeededRng::new(5);
+        let w = Param::new("w", rng.kaiming_tensor(&[4, 3, 3, 3]));
+        let wv = w.value.clone();
+        let layer = WinogradAwareConv2d::with_weight(
+            "wa",
+            w,
+            None,
+            4,
+            3,
+            1,
+            true,
+            QuantConfig::FP32,
+        );
+        assert_eq!(layer.weight.value, wv);
+        assert!((layer.weight_memory_factor() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bias_is_applied() {
+        let mut rng = SeededRng::new(6);
+        let w = Param::new("w", Tensor::zeros(&[2, 1, 3, 3]));
+        let b = Param::new("b", Tensor::from_vec(vec![1.5, -0.5], &[2]));
+        let mut layer = WinogradAwareConv2d::with_weight(
+            "wa",
+            w,
+            Some(b),
+            2,
+            3,
+            1,
+            false,
+            QuantConfig::FP32,
+        );
+        let x = rng.uniform_tensor(&[1, 1, 4, 4], -1.0, 1.0);
+        let y = fwd(&mut layer, &x, false);
+        for i in 0..16 {
+            assert!((y.data()[i] - 1.5).abs() < 1e-4);
+            assert!((y.data()[16 + i] + 0.5).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn transform_accessor_roundtrips() {
+        let mut rng = SeededRng::new(7);
+        let layer =
+            WinogradAwareConv2d::new("wa", 1, 1, 4, 3, 1, false, QuantConfig::FP32, &mut rng);
+        let t = layer.transform();
+        assert_eq!(t.m(), 4);
+        assert_eq!(t.bt(), WinogradTransform::canonical(4, 3).bt());
+    }
+}

@@ -1,0 +1,192 @@
+//! Labeled image datasets and batching.
+
+use serde::{Deserialize, Serialize};
+use wa_tensor::{SeededRng, Tensor};
+
+/// A labeled image-classification dataset in NCHW layout.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Dataset {
+    /// Images `[N, C, H, W]`, roughly normalized to `[−1, 1]`.
+    pub images: Tensor,
+    /// Class index per image.
+    pub labels: Vec<usize>,
+    /// Number of classes.
+    pub classes: usize,
+    /// Dataset name (for logs).
+    pub name: String,
+}
+
+impl Dataset {
+    /// Creates a dataset, validating invariants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes/labels disagree or any label is out of range.
+    pub fn new(name: impl Into<String>, images: Tensor, labels: Vec<usize>, classes: usize) -> Dataset {
+        assert_eq!(images.ndim(), 4, "images must be NCHW");
+        assert_eq!(images.dim(0), labels.len(), "image/label count mismatch");
+        assert!(classes > 0, "need at least one class");
+        assert!(labels.iter().all(|&l| l < classes), "label out of range");
+        Dataset { images, labels, classes, name: name.into() }
+    }
+
+    /// Number of examples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Splits into `(first, second)` with `first` receiving `frac` of the
+    /// examples (stratification-free split; generators interleave classes
+    /// so plain splits stay balanced).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 < frac < 1.0`.
+    pub fn split(&self, frac: f64) -> (Dataset, Dataset) {
+        assert!(frac > 0.0 && frac < 1.0, "frac must be in (0, 1), got {}", frac);
+        let cut = ((self.len() as f64) * frac).round() as usize;
+        let cut = cut.clamp(1, self.len() - 1);
+        let a = Dataset {
+            images: self.images.slice_dim0(0, cut),
+            labels: self.labels[..cut].to_vec(),
+            classes: self.classes,
+            name: format!("{}[:{}]", self.name, cut),
+        };
+        let b = Dataset {
+            images: self.images.slice_dim0(cut, self.len()),
+            labels: self.labels[cut..].to_vec(),
+            classes: self.classes,
+            name: format!("{}[{}:]", self.name, cut),
+        };
+        (a, b)
+    }
+
+    /// Chops the dataset into `(images, labels)` mini-batches in order
+    /// (the final short batch is kept).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size == 0`.
+    pub fn batches(&self, batch_size: usize) -> Vec<(Tensor, Vec<usize>)> {
+        assert!(batch_size > 0, "batch_size must be positive");
+        let mut out = Vec::new();
+        let mut start = 0;
+        while start < self.len() {
+            let end = (start + batch_size).min(self.len());
+            out.push((self.images.slice_dim0(start, end), self.labels[start..end].to_vec()));
+            start = end;
+        }
+        out
+    }
+
+    /// Batches in a seeded-shuffled order (fresh permutation per call).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size == 0`.
+    pub fn shuffled_batches(&self, batch_size: usize, rng: &mut SeededRng) -> Vec<(Tensor, Vec<usize>)> {
+        assert!(batch_size > 0, "batch_size must be positive");
+        let mut order: Vec<usize> = (0..self.len()).collect();
+        rng.shuffle(&mut order);
+        let (c, h, w) = (self.images.dim(1), self.images.dim(2), self.images.dim(3));
+        let img_len = c * h * w;
+        let mut out = Vec::new();
+        let mut start = 0;
+        while start < self.len() {
+            let end = (start + batch_size).min(self.len());
+            let idxs = &order[start..end];
+            let mut data = Vec::with_capacity(idxs.len() * img_len);
+            let mut labels = Vec::with_capacity(idxs.len());
+            for &i in idxs {
+                data.extend_from_slice(&self.images.data()[i * img_len..(i + 1) * img_len]);
+                labels.push(self.labels[i]);
+            }
+            out.push((Tensor::from_vec(data, &[idxs.len(), c, h, w]), labels));
+            start = end;
+        }
+        out
+    }
+
+    /// Per-class example counts.
+    pub fn class_histogram(&self) -> Vec<usize> {
+        let mut h = vec![0usize; self.classes];
+        for &l in &self.labels {
+            h[l] += 1;
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Dataset {
+        let images = Tensor::from_fn(&[6, 1, 2, 2], |i| i as f32);
+        Dataset::new("t", images, vec![0, 1, 0, 1, 0, 1], 2)
+    }
+
+    #[test]
+    fn new_validates() {
+        let ds = tiny();
+        assert_eq!(ds.len(), 6);
+        assert_eq!(ds.class_histogram(), vec![3, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn out_of_range_label_panics() {
+        let images = Tensor::zeros(&[1, 1, 2, 2]);
+        let _ = Dataset::new("bad", images, vec![5], 2);
+    }
+
+    #[test]
+    fn split_preserves_examples() {
+        let ds = tiny();
+        let (a, b) = ds.split(0.5);
+        assert_eq!(a.len() + b.len(), ds.len());
+        assert_eq!(a.images.data()[0], 0.0);
+        assert_eq!(b.labels.len(), b.images.dim(0));
+    }
+
+    #[test]
+    fn batches_cover_everything() {
+        let ds = tiny();
+        let bs = ds.batches(4);
+        assert_eq!(bs.len(), 2);
+        assert_eq!(bs[0].1.len(), 4);
+        assert_eq!(bs[1].1.len(), 2);
+        let total: usize = bs.iter().map(|(_, l)| l.len()).sum();
+        assert_eq!(total, 6);
+    }
+
+    #[test]
+    fn shuffled_batches_are_permutations() {
+        let ds = tiny();
+        let mut rng = SeededRng::new(1);
+        let bs = ds.shuffled_batches(6, &mut rng);
+        let mut labels = bs[0].1.clone();
+        labels.sort_unstable();
+        assert_eq!(labels, vec![0, 0, 0, 1, 1, 1]);
+    }
+
+    #[test]
+    fn shuffled_batches_keep_image_label_pairing() {
+        // image content encodes its index; verify pairing survives shuffle
+        let ds = tiny();
+        let mut rng = SeededRng::new(2);
+        let bs = ds.shuffled_batches(3, &mut rng);
+        for (imgs, labels) in bs {
+            for (row, &lab) in labels.iter().enumerate() {
+                let first = imgs.data()[row * 4];
+                let orig_idx = (first / 4.0) as usize;
+                assert_eq!(ds.labels[orig_idx], lab);
+            }
+        }
+    }
+}

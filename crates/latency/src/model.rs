@@ -1,0 +1,409 @@
+//! The analytical convolution latency model.
+//!
+//! Every algorithm is decomposed into the stages the paper instruments
+//! (Figure 8): lowering/input transform, the main GEMM (element-wise GEMM
+//! stage for Winograd), and output transform. Each stage pays an
+//! arithmetic term (MACs over an efficiency-discounted peak), a memory
+//! term (bytes over sustained bandwidth) and per-GEMM-call overhead, and
+//! the slower of compute/memory dominates (roofline).
+
+use serde::{Deserialize, Serialize};
+
+use crate::cores::{Core, DType};
+
+/// One convolution layer's geometry (stride 1; the paper's Winograd
+/// networks replace strides with pooling).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct LayerShape {
+    /// Input channels.
+    pub in_ch: usize,
+    /// Output channels.
+    pub out_ch: usize,
+    /// Output height.
+    pub out_h: usize,
+    /// Output width.
+    pub out_w: usize,
+    /// Filter size `r` (3 or 5).
+    pub kernel: usize,
+}
+
+impl LayerShape {
+    /// Square-output helper.
+    pub fn square(in_ch: usize, out_ch: usize, out: usize, kernel: usize) -> LayerShape {
+        LayerShape { in_ch, out_ch, out_h: out, out_w: out, kernel }
+    }
+}
+
+/// Convolution algorithm whose latency is being modeled.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LatAlgo {
+    /// Row-lowering + one large GEMM.
+    Im2row,
+    /// Column-lowering (extra transposed copy; consistently slower than
+    /// im2row in the paper's Table 3).
+    Im2col,
+    /// Winograd `F(m×m, r×r)` with sparse canonical transforms.
+    Winograd {
+        /// Output tile size.
+        m: usize,
+    },
+    /// Winograd with dense *learned* transforms (the `-flex` deployment
+    /// penalty of Appendix A.2).
+    WinogradDense {
+        /// Output tile size.
+        m: usize,
+    },
+}
+
+impl LatAlgo {
+    /// Tile size if Winograd.
+    pub fn tile_m(self) -> Option<usize> {
+        match self {
+            LatAlgo::Winograd { m } | LatAlgo::WinogradDense { m } => Some(m),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for LatAlgo {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LatAlgo::Im2row => write!(f, "im2row"),
+            LatAlgo::Im2col => write!(f, "im2col"),
+            LatAlgo::Winograd { m } => write!(f, "F{}", m),
+            LatAlgo::WinogradDense { m } => write!(f, "F{}†", m),
+        }
+    }
+}
+
+/// Per-stage latency decomposition in milliseconds (Figure 8's stacked
+/// bars).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct LatencyBreakdown {
+    /// Lowering (im2row/im2col) or Winograd input transform `BᵀdB`.
+    pub input_stage_ms: f64,
+    /// Main GEMM (im2row) or element-wise per-coordinate GEMM (Winograd).
+    pub gemm_ms: f64,
+    /// Winograd output transform `AᵀyA` (zero for lowering algorithms).
+    pub output_stage_ms: f64,
+}
+
+impl LatencyBreakdown {
+    /// Total latency.
+    pub fn total_ms(&self) -> f64 {
+        self.input_stage_ms + self.gemm_ms + self.output_stage_ms
+    }
+
+    /// Fraction of the total spent in transforms (the quantity the paper
+    /// reports as 25–75%, §6.2).
+    pub fn transform_fraction(&self) -> f64 {
+        let t = self.total_ms();
+        if t <= 0.0 {
+            0.0
+        } else {
+            (self.input_stage_ms + self.output_stage_ms) / t
+        }
+    }
+}
+
+/// Work fraction of the canonical (sparse) transforms relative to dense:
+/// Arm Compute Library's transform kernels skip the zero entries of the
+/// published matrices, so canonical transforms execute only this share of
+/// a dense transform's loads and multiplies.
+fn canonical_density(m: usize) -> f64 {
+    match m {
+        2 => 0.55, // F2: Bᵀ 50% zeros, G 33%, Aᵀ 25%
+        4 => 0.70,
+        _ => 0.80,
+    }
+}
+
+/// Stage-level factor for *learned* transforms, which are dense
+/// (Appendix A.2): the whole transform stage — arithmetic, per-tile
+/// overhead and traffic — grows by the inverse canonical density. The F2
+/// penalty is the largest because its canonical transforms are binary and
+/// very sparse, exactly as the paper notes.
+fn dense_stage_factor(algo: LatAlgo, m: usize) -> f64 {
+    match algo {
+        LatAlgo::WinogradDense { .. } => 1.0 / canonical_density(m),
+        _ => 1.0,
+    }
+}
+
+/// Saturating GEMM efficiency in `(0, 1)`: small dimensions underfill the
+/// SIMD lanes and register tiles.
+fn gemm_eff(m: f64, k: f64, n: f64) -> f64 {
+    let s = |x: f64, h: f64| x / (x + h);
+    s(m, 6.0) * s(k, 6.0) * s(n, 8.0)
+}
+
+/// Latency of one convolution layer (batch 1) on `core` at `dtype` using
+/// `algo`.
+///
+/// # Panics
+///
+/// Panics for Winograd tiles with `m == 0`.
+pub fn conv_latency(core: Core, dtype: DType, algo: LatAlgo, shape: LayerShape) -> LatencyBreakdown {
+    let spec = core.spec();
+    let peak = core.peak_macs(dtype);
+    let cycles_to_ms = 1.0 / (spec.clock_ghz * 1e6);
+    let bytes = dtype.bytes();
+    let (c, k, oh, ow, r) =
+        (shape.in_ch as f64, shape.out_ch as f64, shape.out_h as f64, shape.out_w as f64, shape.kernel as f64);
+
+    match algo {
+        LatAlgo::Im2row | LatAlgo::Im2col => {
+            // lowering: write the M×K patch matrix, read the input
+            let gm = oh * ow;
+            let gk = c * r * r;
+            let gn = k;
+            let mut lower_bytes = bytes * (gm * gk + c * (oh + r) * (ow + r));
+            if algo == LatAlgo::Im2col {
+                // extra transposed copy of the patch matrix
+                lower_bytes += 6.0 * bytes * gm * gk;
+            }
+            // strided patch writes run well below streaming bandwidth
+            let lower_cycles = lower_bytes / (0.55 * spec.bytes_per_cycle);
+
+            let macs = gm * gk * gn;
+            let compute = macs / (peak * gemm_eff(gm, gk, gn));
+            let traffic = bytes * (gm * gk + gk * gn + gm * gn) / spec.bytes_per_cycle;
+            let gemm_cycles = compute.max(traffic) + spec.gemm_call_overhead;
+
+            LatencyBreakdown {
+                input_stage_ms: lower_cycles * cycles_to_ms,
+                gemm_ms: gemm_cycles * cycles_to_ms,
+                output_stage_ms: 0.0,
+            }
+        }
+        LatAlgo::Winograd { m } | LatAlgo::WinogradDense { m } => {
+            assert!(m > 0, "Winograd tile m must be positive");
+            let n = (m + shape.kernel - 1) as f64;
+            let tiles = (oh / m as f64).ceil() * (ow / m as f64).ceil();
+            let density = canonical_density(m);
+            let dense_factor = dense_stage_factor(algo, m);
+            let tile_ovh = spec.tile_overhead * (0.4 + 0.6 * bytes / 4.0);
+
+            // input transform: two one-sided n×n products per (tile, ch)
+            let in_macs = tiles * c * 2.0 * n * n * n * density;
+            let in_bytes = bytes * tiles * c * (3.0 * n * n);
+            let in_cycles = ((in_macs / (peak * spec.transform_eff))
+                .max(in_bytes / spec.bytes_per_cycle)
+                + tiles * c * tile_ovh)
+                * dense_factor;
+
+            // element-wise GEMM stage: n² GEMMs of K×C · C×T
+            let had_macs = n * n * k * c * tiles;
+            let had_eff = gemm_eff(k, c, tiles);
+            let had_compute = had_macs / (peak * had_eff);
+            let had_bytes = bytes * n * n * (k * c + c * tiles + k * tiles);
+            let had_cycles =
+                had_compute.max(had_bytes / spec.bytes_per_cycle) + n * n * spec.gemm_call_overhead;
+
+            // output transform: per (tile, K): Aᵀ·Y (m·n·n) then ·A (m·m·n)
+            let out_macs = tiles * k * (m as f64 * n * n + m as f64 * m as f64 * n) * density;
+            let out_bytes = bytes * tiles * k * (n * n + 2.0 * m as f64 * m as f64);
+            let out_cycles = ((out_macs / (peak * spec.transform_eff))
+                .max(out_bytes / spec.bytes_per_cycle)
+                + tiles * k * tile_ovh)
+                * dense_factor;
+
+            LatencyBreakdown {
+                input_stage_ms: in_cycles * cycles_to_ms,
+                gemm_ms: had_cycles * cycles_to_ms,
+                output_stage_ms: out_cycles * cycles_to_ms,
+            }
+        }
+    }
+}
+
+/// Total latency in ms (convenience wrapper over [`conv_latency`]).
+pub fn conv_latency_ms(core: Core, dtype: DType, algo: LatAlgo, shape: LayerShape) -> f64 {
+    conv_latency(core, dtype, algo, shape).total_ms()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A73: Core = Core::CortexA73;
+    const A53: Core = Core::CortexA53;
+
+    fn ms(core: Core, dtype: DType, algo: LatAlgo, shape: LayerShape) -> f64 {
+        conv_latency_ms(core, dtype, algo, shape)
+    }
+
+    #[test]
+    fn input_layer_favors_im2row() {
+        // Figure 7 column 1 / §6.2: "Input layers do not benefit from
+        // Winograd" — 3→32 channels at 32×32.
+        let s = LayerShape::square(3, 32, 32, 3);
+        let im2row = ms(A73, DType::Fp32, LatAlgo::Im2row, s);
+        for m in [2usize, 4, 6] {
+            let w = ms(A73, DType::Fp32, LatAlgo::Winograd { m }, s);
+            assert!(im2row < w, "im2row {} must beat F{} {} on the stem", im2row, m, w);
+        }
+    }
+
+    #[test]
+    fn stem_transform_fraction_is_dominant() {
+        // §6.2: transforms are up to 65% (A73) / 75% (A53) of the stem cost
+        let s = LayerShape::square(3, 32, 32, 3);
+        let b73 = conv_latency(A73, DType::Fp32, LatAlgo::Winograd { m: 4 }, s);
+        assert!(b73.transform_fraction() > 0.5, "A73 stem tf {}", b73.transform_fraction());
+        let b53 = conv_latency(A53, DType::Fp32, LatAlgo::Winograd { m: 4 }, s);
+        assert!(b53.transform_fraction() > 0.55, "A53 stem tf {}", b53.transform_fraction());
+    }
+
+    #[test]
+    fn mid_layer_winograd_wins_on_a73() {
+        // 128→128 @16×16 (Figure 8 middle group): F2/F4 beat im2row on A73
+        let s = LayerShape::square(128, 128, 16, 3);
+        let im2row = ms(A73, DType::Fp32, LatAlgo::Im2row, s);
+        let f2 = ms(A73, DType::Fp32, LatAlgo::Winograd { m: 2 }, s);
+        let f4 = ms(A73, DType::Fp32, LatAlgo::Winograd { m: 4 }, s);
+        assert!(f2 < im2row, "F2 {} vs im2row {}", f2, im2row);
+        assert!(f4 < f2, "F4 {} vs F2 {}", f4, f2);
+    }
+
+    #[test]
+    fn im2col_slower_than_im2row() {
+        for core in [A73, A53] {
+            let s = LayerShape::square(64, 64, 16, 3);
+            assert!(
+                ms(core, DType::Fp32, LatAlgo::Im2col, s)
+                    > ms(core, DType::Fp32, LatAlgo::Im2row, s)
+            );
+        }
+    }
+
+    #[test]
+    fn f6_wins_for_large_inputs() {
+        // §6.2: "fades away as input dimensions exceed 40×40, where F6
+        // consistently becomes the fastest"
+        let s = LayerShape::square(64, 64, 48, 3);
+        let f4 = ms(A73, DType::Fp32, LatAlgo::Winograd { m: 4 }, s);
+        let f6 = ms(A73, DType::Fp32, LatAlgo::Winograd { m: 6 }, s);
+        assert!(f6 < f4, "F6 {} must beat F4 {} at 48×48", f6, f4);
+    }
+
+    #[test]
+    fn tile_waste_creates_f4_f6_alternation() {
+        // §6.2: optimal m alternates with output width due to ceil
+        // division. At outW=12 (divisible by 4 and 6) compare with
+        // outW=14 (waste for both, worse for F6 which jumps to 18).
+        let best = |ow: usize| -> usize {
+            let s = LayerShape { in_ch: 64, out_ch: 64, out_h: ow, out_w: ow, kernel: 3 };
+            [2usize, 4, 6]
+                .into_iter()
+                .min_by(|&a, &b| {
+                    ms(A73, DType::Fp32, LatAlgo::Winograd { m: a }, s)
+                        .partial_cmp(&ms(A73, DType::Fp32, LatAlgo::Winograd { m: b }, s))
+                        .unwrap()
+                })
+                .unwrap()
+        };
+        // the winner must change somewhere across this sweep
+        let winners: Vec<usize> = (6..=24).step_by(2).map(best).collect();
+        let first = winners[0];
+        assert!(
+            winners.iter().any(|&w| w != first),
+            "optimal m should alternate with output width, got {:?}",
+            winners
+        );
+    }
+
+    #[test]
+    fn int8_speedup_larger_on_a73_than_a53() {
+        // Table 3: im2row FP32→INT8 is 85→54 on A73 (1.57×) but
+        // 118→117 on A53 (1.01×).
+        let s = LayerShape::square(128, 128, 16, 3);
+        let a73_gain = ms(A73, DType::Fp32, LatAlgo::Im2row, s) / ms(A73, DType::Int8, LatAlgo::Im2row, s);
+        let a53_gain = ms(A53, DType::Fp32, LatAlgo::Im2row, s) / ms(A53, DType::Int8, LatAlgo::Im2row, s);
+        assert!(a73_gain > 1.3, "A73 INT8 gain {}", a73_gain);
+        assert!(a53_gain < a73_gain, "A53 gain {} must trail A73 {}", a53_gain, a73_gain);
+    }
+
+    #[test]
+    fn dense_learned_transforms_cost_more() {
+        // Appendix A.2: +17% (FP32) / +20% (INT8) worst case for WAF4
+        let s = LayerShape::square(128, 128, 16, 3);
+        for dtype in [DType::Fp32, DType::Int8] {
+            let sparse = ms(A73, dtype, LatAlgo::Winograd { m: 4 }, s);
+            let dense = ms(A73, dtype, LatAlgo::WinogradDense { m: 4 }, s);
+            assert!(dense > sparse, "dense {} must exceed sparse {}", dense, sparse);
+            assert!(dense / sparse < 1.6, "dense overhead too large: {}", dense / sparse);
+        }
+    }
+
+    #[test]
+    fn winograd_advantage_smaller_on_a53() {
+        // §6.2: "On A53, the speedups from FP32 Winograd convolutions are
+        // smaller than on A73"
+        let s = LayerShape::square(128, 128, 16, 3);
+        let gain = |core: Core| {
+            ms(core, DType::Fp32, LatAlgo::Im2row, s)
+                / ms(core, DType::Fp32, LatAlgo::Winograd { m: 4 }, s)
+        };
+        assert!(gain(A73) > gain(A53), "A73 {} vs A53 {}", gain(A73), gain(A53));
+    }
+
+    #[test]
+    fn tiny_outputs_prefer_im2row() {
+        // Figure 7 outW=2 row: im2row 0.007ms < F2 0.008 < F4 < F6
+        let s = LayerShape::square(32, 64, 2, 3);
+        let i = ms(A73, DType::Fp32, LatAlgo::Im2row, s);
+        let f2 = ms(A73, DType::Fp32, LatAlgo::Winograd { m: 2 }, s);
+        let f6 = ms(A73, DType::Fp32, LatAlgo::Winograd { m: 6 }, s);
+        assert!(i < f2 && f2 < f6, "{} {} {}", i, f2, f6);
+    }
+
+    #[test]
+    fn latencies_scale_with_work() {
+        let small = LayerShape::square(32, 32, 8, 3);
+        let big = LayerShape::square(256, 256, 24, 3);
+        for algo in [LatAlgo::Im2row, LatAlgo::Winograd { m: 4 }] {
+            assert!(
+                ms(A73, DType::Fp32, algo, big) > 10.0 * ms(A73, DType::Fp32, algo, small),
+                "{:?}",
+                algo
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod calibration {
+    use super::*;
+    use crate::network::{network_latency_ms, resnet18_shapes, uniform_config};
+
+    /// Prints the Table 3 analog for manual calibration:
+    /// `cargo test -p wa-latency calibration_dump -- --ignored --nocapture`
+    #[test]
+    #[ignore = "manual calibration aid"]
+    fn calibration_dump() {
+        let shapes = resnet18_shapes(1.0, 32);
+        for core in [Core::CortexA73, Core::CortexA53] {
+            for dtype in [DType::Fp32, DType::Int8] {
+                let lat = |algo: LatAlgo, pin: usize| {
+                    network_latency_ms(core, &uniform_config(&shapes, algo, dtype, pin))
+                };
+                println!(
+                    "{core} {dtype}: im2row {:7.1} im2col {:7.1} WF2 {:7.1} WF4 {:7.1} WF4d {:7.1} WF6 {:7.1}",
+                    lat(LatAlgo::Im2row, 0),
+                    lat(LatAlgo::Im2col, 0),
+                    lat(LatAlgo::Winograd { m: 2 }, 0),
+                    lat(LatAlgo::Winograd { m: 4 }, 4),
+                    lat(LatAlgo::WinogradDense { m: 4 }, 4),
+                    lat(LatAlgo::Winograd { m: 6 }, 4),
+                );
+            }
+        }
+        // stem breakdown
+        let stem = LayerShape::square(3, 32, 32, 3);
+        for core in [Core::CortexA73, Core::CortexA53] {
+            let b = conv_latency(core, DType::Fp32, LatAlgo::Winograd { m: 4 }, stem);
+            println!("{core} stem F4: tf_frac {:.2} total {:.3}ms", b.transform_fraction(), b.total_ms());
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! Network-level latency: per-layer algorithm/precision assignments summed
+//! over a model's layer shapes (the quantity Table 3 reports and wiNAS
+//! optimizes).
+
+use serde::{Deserialize, Serialize};
+
+use crate::cores::{Core, DType};
+use crate::model::{conv_latency_ms, LatAlgo, LayerShape};
+
+/// One layer's deployment choice.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LayerChoice {
+    /// Geometry.
+    pub shape: LayerShape,
+    /// Algorithm.
+    pub algo: LatAlgo,
+    /// Precision.
+    pub dtype: DType,
+}
+
+/// Sums per-layer latencies for a whole network configuration.
+pub fn network_latency_ms(core: Core, layers: &[LayerChoice]) -> f64 {
+    layers.iter().map(|l| conv_latency_ms(core, l.dtype, l.algo, l.shape)).sum()
+}
+
+/// The 3×3-convolution layer shapes of the paper's ResNet-18 CIFAR
+/// variant (stem + 16 block convs) at a given width multiplier and input
+/// resolution. The stem is first; Table 3 and wiNAS fix it to im2row.
+///
+/// Downsampling halves the spatial size entering stages 2–4, matching the
+/// max-pool placement of `wa-models::ResNet18`.
+pub fn resnet18_shapes(width: f64, input: usize) -> Vec<LayerShape> {
+    let w = |c: usize| ((c as f64 * width).round() as usize).max(1);
+    let mut shapes = vec![LayerShape::square(3, w(32), input, 3)];
+    let stages = [(w(64), input), (w(128), input / 2), (w(256), input / 4), (w(512), input / 8)];
+    let mut in_ch = w(32);
+    for &(out_ch, size) in &stages {
+        for _ in 0..2 {
+            // each BasicBlock has two 3×3 convs
+            shapes.push(LayerShape::square(in_ch, out_ch, size, 3));
+            shapes.push(LayerShape::square(out_ch, out_ch, size, 3));
+            in_ch = out_ch;
+        }
+    }
+    shapes
+}
+
+/// Uniform network configuration helper: stem on im2row, everything else
+/// on `algo`, all at `dtype`. `pin_last_f2` pins the last `k` layers to
+/// F2 as in the paper's WAF4/WAF6 configurations.
+pub fn uniform_config(
+    shapes: &[LayerShape],
+    algo: LatAlgo,
+    dtype: DType,
+    pin_last_f2: usize,
+) -> Vec<LayerChoice> {
+    let n = shapes.len();
+    shapes
+        .iter()
+        .enumerate()
+        .map(|(i, &shape)| {
+            let a = if i == 0 {
+                LatAlgo::Im2row
+            } else if i + pin_last_f2 >= n && algo.tile_m().map(|m| m > 2).unwrap_or(false) {
+                match algo {
+                    LatAlgo::WinogradDense { .. } => LatAlgo::WinogradDense { m: 2 },
+                    _ => LatAlgo::Winograd { m: 2 },
+                }
+            } else {
+                algo
+            };
+            LayerChoice { shape, algo: a, dtype }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resnet18_shape_inventory() {
+        let shapes = resnet18_shapes(1.0, 32);
+        assert_eq!(shapes.len(), 17); // stem + 16
+        assert_eq!(shapes[0], LayerShape::square(3, 32, 32, 3));
+        assert_eq!(shapes[1], LayerShape::square(32, 64, 32, 3));
+        assert_eq!(shapes[16], LayerShape::square(512, 512, 4, 3));
+    }
+
+    #[test]
+    fn table3_orderings_hold_network_level() {
+        // Network-level Table 3 shape on the A73 at FP32:
+        // im2col > im2row > WF2 > WF4
+        let shapes = resnet18_shapes(1.0, 32);
+        let lat = |algo: LatAlgo, dtype: DType| {
+            network_latency_ms(Core::CortexA73, &uniform_config(&shapes, algo, dtype, 4))
+        };
+        let im2row = lat(LatAlgo::Im2row, DType::Fp32);
+        let im2col = lat(LatAlgo::Im2col, DType::Fp32);
+        let wf2 = lat(LatAlgo::Winograd { m: 2 }, DType::Fp32);
+        let wf4 = lat(LatAlgo::Winograd { m: 4 }, DType::Fp32);
+        assert!(im2col > im2row, "im2col {} vs im2row {}", im2col, im2row);
+        assert!(im2row > wf2, "im2row {} vs WF2 {}", im2row, wf2);
+        assert!(wf2 > wf4, "WF2 {} vs WF4 {}", wf2, wf4);
+        // speedups in the right ballpark (paper: 1.52× and 1.85×)
+        assert!((1.2..2.2).contains(&(im2row / wf2)), "WF2 speedup {}", im2row / wf2);
+        assert!((1.4..2.6).contains(&(im2row / wf4)), "WF4 speedup {}", im2row / wf4);
+    }
+
+    #[test]
+    fn int8_waf4_beats_fp32_im2row_by_large_margin_on_a73() {
+        // Table 3: WAF4 INT8 (dense transforms) is 2.43× vs FP32 im2row
+        let shapes = resnet18_shapes(1.0, 32);
+        let base = network_latency_ms(
+            Core::CortexA73,
+            &uniform_config(&shapes, LatAlgo::Im2row, DType::Fp32, 0),
+        );
+        let waf4 = network_latency_ms(
+            Core::CortexA73,
+            &uniform_config(&shapes, LatAlgo::WinogradDense { m: 4 }, DType::Int8, 4),
+        );
+        let speedup = base / waf4;
+        assert!((1.8..3.2).contains(&speedup), "WAF4-INT8 speedup {}", speedup);
+    }
+
+    #[test]
+    fn a53_f2_fp32_not_faster_than_im2row() {
+        // Table 3 quirk: on the A53 at FP32, WF2 (126 ms) loses to
+        // im2row (118 ms) — transforms are memory-bound on the little core.
+        let shapes = resnet18_shapes(1.0, 32);
+        let im2row = network_latency_ms(
+            Core::CortexA53,
+            &uniform_config(&shapes, LatAlgo::Im2row, DType::Fp32, 0),
+        );
+        let wf2 = network_latency_ms(
+            Core::CortexA53,
+            &uniform_config(&shapes, LatAlgo::Winograd { m: 2 }, DType::Fp32, 0),
+        );
+        assert!(
+            wf2 > 0.9 * im2row,
+            "A53 WF2 {} should not decisively beat im2row {}",
+            wf2,
+            im2row
+        );
+    }
+}

@@ -1,0 +1,161 @@
+//! Benchmark sweep drivers that regenerate Figure 7 and Figure 8.
+
+use serde::{Deserialize, Serialize};
+
+use crate::cores::{Core, DType};
+use crate::model::{conv_latency, LatAlgo, LatencyBreakdown, LayerShape};
+
+/// The channel configurations of Figure 7's columns.
+pub const FIGURE7_CHANNELS: [(usize, usize); 5] =
+    [(3, 32), (32, 64), (128, 192), (192, 256), (256, 512)];
+
+/// The output widths of Figure 7's rows.
+pub const FIGURE7_WIDTHS: [usize; 12] = [2, 4, 6, 8, 10, 12, 14, 16, 18, 20, 22, 24];
+
+/// The algorithms of Figure 7's sub-columns.
+pub const FIGURE7_ALGOS: [LatAlgo; 4] = [
+    LatAlgo::Im2row,
+    LatAlgo::Winograd { m: 2 },
+    LatAlgo::Winograd { m: 4 },
+    LatAlgo::Winograd { m: 6 },
+];
+
+/// One cell of the Figure 7 grid.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SweepCell {
+    /// Output width/height.
+    pub out_w: usize,
+    /// Input channels.
+    pub in_ch: usize,
+    /// Output channels.
+    pub out_ch: usize,
+    /// Algorithm.
+    pub algo: LatAlgo,
+    /// Modeled latency in ms.
+    pub latency_ms: f64,
+}
+
+/// Runs the dense Figure 7 sweep on one core/precision.
+pub fn figure7_sweep(core: Core, dtype: DType) -> Vec<SweepCell> {
+    let mut cells = Vec::new();
+    for &(in_ch, out_ch) in &FIGURE7_CHANNELS {
+        for &ow in &FIGURE7_WIDTHS {
+            for &algo in &FIGURE7_ALGOS {
+                let shape = LayerShape::square(in_ch, out_ch, ow, 3);
+                cells.push(SweepCell {
+                    out_w: ow,
+                    in_ch,
+                    out_ch,
+                    algo,
+                    latency_ms: conv_latency(core, dtype, algo, shape).total_ms(),
+                });
+            }
+        }
+    }
+    cells
+}
+
+/// The three ResNet-18 layer shapes of Figure 8.
+pub const FIGURE8_SHAPES: [LayerShape; 3] = [
+    LayerShape { in_ch: 3, out_ch: 32, out_h: 32, out_w: 32, kernel: 3 },
+    LayerShape { in_ch: 128, out_ch: 128, out_h: 16, out_w: 16, kernel: 3 },
+    LayerShape { in_ch: 256, out_ch: 256, out_h: 8, out_w: 8, kernel: 3 },
+];
+
+/// One bar of Figure 8: an algorithm's stage breakdown normalized by the
+/// im2row latency of the same shape.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct NormalizedBar {
+    /// Layer shape.
+    pub shape: LayerShape,
+    /// Algorithm.
+    pub algo: LatAlgo,
+    /// Stage breakdown (ms).
+    pub breakdown: LatencyBreakdown,
+    /// Total relative to im2row on the same shape.
+    pub ratio_vs_im2row: f64,
+}
+
+/// Regenerates Figure 8's normalized stacked bars for one core (FP32 with
+/// default transforms, as the paper measures).
+pub fn figure8_bars(core: Core) -> Vec<NormalizedBar> {
+    let algos = [
+        LatAlgo::Im2row,
+        LatAlgo::Im2col,
+        LatAlgo::Winograd { m: 2 },
+        LatAlgo::Winograd { m: 4 },
+        LatAlgo::Winograd { m: 6 },
+    ];
+    let mut bars = Vec::new();
+    for &shape in &FIGURE8_SHAPES {
+        let base = conv_latency(core, DType::Fp32, LatAlgo::Im2row, shape).total_ms();
+        for &algo in &algos {
+            let breakdown = conv_latency(core, DType::Fp32, algo, shape);
+            bars.push(NormalizedBar {
+                shape,
+                algo,
+                breakdown,
+                ratio_vs_im2row: breakdown.total_ms() / base,
+            });
+        }
+    }
+    bars
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure7_grid_is_complete() {
+        let cells = figure7_sweep(Core::CortexA73, DType::Fp32);
+        assert_eq!(cells.len(), 5 * 12 * 4);
+        assert!(cells.iter().all(|c| c.latency_ms > 0.0));
+    }
+
+    #[test]
+    fn figure7_latency_monotone_in_outw_for_fixed_algo() {
+        let cells = figure7_sweep(Core::CortexA73, DType::Fp32);
+        // within one channel config and algorithm, latency grows with outW
+        // allowing small non-monotonicity from tile-waste boundaries
+        for &(ic, oc) in &FIGURE7_CHANNELS {
+            let series: Vec<f64> = FIGURE7_WIDTHS
+                .iter()
+                .map(|&w| {
+                    cells
+                        .iter()
+                        .find(|c| c.in_ch == ic && c.out_ch == oc && c.out_w == w && c.algo == LatAlgo::Im2row)
+                        .unwrap()
+                        .latency_ms
+                })
+                .collect();
+            for pair in series.windows(2) {
+                assert!(pair[1] >= pair[0] * 0.95, "im2row series must grow: {:?}", series);
+            }
+        }
+    }
+
+    #[test]
+    fn figure8_has_15_bars_and_im2row_ratio_one() {
+        let bars = figure8_bars(Core::CortexA73);
+        assert_eq!(bars.len(), 15);
+        for b in bars.iter().filter(|b| b.algo == LatAlgo::Im2row) {
+            assert!((b.ratio_vs_im2row - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn figure8_winograd_stem_ratio_above_one_mid_below() {
+        let bars = figure8_bars(Core::CortexA73);
+        let get = |shape_idx: usize, algo: LatAlgo| {
+            bars.iter()
+                .find(|b| b.shape == FIGURE8_SHAPES[shape_idx] && b.algo == algo)
+                .unwrap()
+                .ratio_vs_im2row
+        };
+        // stem: Winograd worse than im2row
+        assert!(get(0, LatAlgo::Winograd { m: 4 }) > 1.0);
+        // 128-ch mid layer: F4 clearly better on A73
+        assert!(get(1, LatAlgo::Winograd { m: 4 }) < 0.8);
+    }
+}

@@ -1,0 +1,103 @@
+//! Post-training workflows: Table 1 swaps and Figure 6 adaptation.
+
+use wa_core::{evaluate, fit, warm_up, ConvAlgo, History, LabeledBatch, TrainConfig};
+use wa_nn::QuantConfig;
+
+use crate::common::{convert_convs, set_conv_quant, ConvNet};
+
+/// Table 1 experiment: swap a trained model's convolutions to `algo` at
+/// quantization `quant`, warm up every moving average on (a subset of)
+/// the training set *without touching the weights*, and evaluate.
+///
+/// Returns `(val_loss, val_accuracy)` after the swap.
+pub fn swap_and_evaluate(
+    net: &mut dyn ConvNet,
+    algo: ConvAlgo,
+    quant: QuantConfig,
+    warmup_batches: &[LabeledBatch],
+    val_batches: &[LabeledBatch],
+    pin_last_f2: usize,
+) -> (f64, f64) {
+    convert_convs(net, algo, pin_last_f2);
+    set_conv_quant(net, quant);
+    // re-estimate every moving average from scratch: batch-norm statistics
+    // may carry values from a previous (possibly collapsed) configuration
+    net.reset_statistics();
+    warm_up(net, warmup_batches);
+    evaluate(net, val_batches)
+}
+
+/// Figure 6 experiment: swap a pretrained model to a Winograd-aware
+/// configuration and *retrain for a few epochs* — "an INT8 ResNet-18 F4
+/// can be adapted from a model … trained end-to-end with standard
+/// convolutions in 20 epochs of retraining … only possible when allowing
+/// the transformation matrices to evolve" (§6.1).
+pub fn adapt(
+    net: &mut dyn ConvNet,
+    algo: ConvAlgo,
+    quant: QuantConfig,
+    train_batches: &[LabeledBatch],
+    val_batches: &[LabeledBatch],
+    config: &TrainConfig,
+    pin_last_f2: usize,
+) -> History {
+    convert_convs(net, algo, pin_last_f2);
+    set_conv_quant(net, quant);
+    fit(net, train_batches, val_batches, config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lenet::LeNet;
+    use wa_core::OptimKind;
+    use wa_data::mnist_like;
+    use wa_tensor::SeededRng;
+
+    #[test]
+    fn swap_fp32_f2_is_accuracy_neutral_and_int8_f6_collapses() {
+        // miniature Table 1 on LeNet/mnist-like
+        let mut rng = SeededRng::new(0);
+        let ds = mnist_like(12, 12, 1);
+        let (train, val) = ds.split(0.8);
+        let train_b = train.batches(24);
+        let val_b = val.batches(24);
+        let mut net = LeNet::new(10, 12, QuantConfig::FP32, &mut rng);
+        let cfg = TrainConfig {
+            epochs: 6,
+            optim: OptimKind::Adam { lr: 2e-3 },
+            weight_decay: 0.0,
+            cosine_to: Some(1e-4),
+        };
+        let hist = fit(&mut net, &train_b, &val_b, &cfg);
+        let base = hist.final_val_acc();
+        assert!(base > 0.5, "baseline LeNet should learn, got {}", base);
+
+        // FP32 F2 swap: accuracy preserved
+        let (_, acc_f2) = swap_and_evaluate(
+            &mut net,
+            ConvAlgo::Winograd { m: 2 },
+            QuantConfig::FP32,
+            &train_b[..1],
+            &val_b,
+            0,
+        );
+        assert!((acc_f2 - base).abs() < 0.12, "FP32 F2 swap: {} vs {}", acc_f2, base);
+
+        // INT8 F6 swap (10×10 tiles on 5×5 filters): collapse
+        let (_, acc_f6) = swap_and_evaluate(
+            &mut net,
+            ConvAlgo::Winograd { m: 6 },
+            QuantConfig::uniform(wa_quant::BitWidth::INT8),
+            &train_b[..1],
+            &val_b,
+            0,
+        );
+        assert!(
+            acc_f6 < base - 0.2,
+            "INT8 F6 swap should collapse: {} vs baseline {}",
+            acc_f6,
+            base
+        );
+    }
+}

@@ -1,0 +1,102 @@
+//! The model-zoo trait and whole-model surgery helpers.
+
+use wa_core::{ConvAlgo, ConvLayer};
+use wa_nn::{Layer, QuantConfig};
+
+/// A CNN whose 3×3 (or 5×5) convolutions can be re-implemented with any
+/// [`ConvAlgo`] — the interface the paper's experiments (Tables 1/3/4/5,
+/// Figures 4/5/6) and wiNAS operate on.
+pub trait ConvNet: Layer {
+    /// Mutable access to the swappable convolution layers, in network
+    /// order. 1×1 convolutions and the input layer are *not* included:
+    /// the paper fixes both to direct convolution (§5.1, A.3).
+    fn conv_layers_mut(&mut self) -> Vec<&mut ConvLayer>;
+
+    /// Model name for logs.
+    fn model_name(&self) -> &str;
+
+    /// Number of swappable convolution layers.
+    fn conv_count(&mut self) -> usize {
+        self.conv_layers_mut().len()
+    }
+}
+
+/// Converts every swappable convolution to `algo`, pinning the **last**
+/// `pin_last_f2` layers to F2 instead — the paper's policy for ResNet-18:
+/// "all layers in the network use the same tile size, except the last two
+/// residual blocks which are kept fixed to F2" (§5.1).
+///
+/// Weights are preserved (surgery), so this implements both the Table 1
+/// post-training swap and the network construction for Winograd-aware
+/// training.
+pub fn convert_convs(net: &mut dyn ConvNet, algo: ConvAlgo, pin_last_f2: usize) {
+    let mut layers = net.conv_layers_mut();
+    let n = layers.len();
+    for (i, layer) in layers.iter_mut().enumerate() {
+        let target = if i + pin_last_f2 >= n && algo.tile_m().map(|m| m > 2).unwrap_or(false) {
+            match algo {
+                ConvAlgo::WinogradFlex { .. } => ConvAlgo::WinogradFlex { m: 2 },
+                _ => ConvAlgo::Winograd { m: 2 },
+            }
+        } else {
+            algo
+        };
+        layer.convert(target);
+    }
+}
+
+/// Applies per-layer algorithm assignments (e.g. a wiNAS result).
+///
+/// # Panics
+///
+/// Panics if `algos.len()` differs from the layer count.
+pub fn apply_algos(net: &mut dyn ConvNet, algos: &[ConvAlgo]) {
+    let mut layers = net.conv_layers_mut();
+    assert_eq!(layers.len(), algos.len(), "expected {} algo assignments", layers.len());
+    for (layer, &algo) in layers.iter_mut().zip(algos) {
+        layer.convert(algo);
+    }
+}
+
+/// Reads back the current per-layer algorithms.
+pub fn current_algos(net: &mut dyn ConvNet) -> Vec<ConvAlgo> {
+    net.conv_layers_mut().iter().map(|l| l.algo()).collect()
+}
+
+/// Sets the quantization config on every swappable convolution.
+pub fn set_conv_quant(net: &mut dyn ConvNet, q: QuantConfig) {
+    for layer in net.conv_layers_mut() {
+        layer.set_quant(q);
+    }
+}
+
+/// Applies per-layer quantization assignments (wiNAS-Q results).
+///
+/// # Panics
+///
+/// Panics if lengths disagree.
+pub fn apply_quants(net: &mut dyn ConvNet, quants: &[QuantConfig]) {
+    let mut layers = net.conv_layers_mut();
+    assert_eq!(layers.len(), quants.len(), "expected {} quant assignments", layers.len());
+    for (layer, &q) in layers.iter_mut().zip(quants) {
+        layer.set_quant(q);
+    }
+}
+
+/// Scales a channel count by a width multiplier, keeping at least one
+/// channel (the MobileNet-style sweep of paper Figure 4).
+pub fn scale_width(base: usize, width: f64) -> usize {
+    ((base as f64 * width).round() as usize).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_width_rounds_and_floors() {
+        assert_eq!(scale_width(64, 1.0), 64);
+        assert_eq!(scale_width(64, 0.125), 8);
+        assert_eq!(scale_width(3, 0.125), 1);
+    }
+}

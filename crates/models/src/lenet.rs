@@ -1,0 +1,165 @@
+//! LeNet with 5×5 filters (paper §5.1): the testbed for Winograd-aware
+//! layers on larger filters, where `F(m×m, 5×5)` needs tiles up to 10×10
+//! and static transforms fail hard (Figure 5).
+
+use wa_core::{ConvAlgo, ConvLayer};
+use wa_nn::{Layer, Linear, Param, QuantConfig, Tape, Var};
+use wa_tensor::SeededRng;
+
+use crate::common::ConvNet;
+
+/// LeNet-5-style network: two 5×5 convolutions (both Winograd-swappable)
+/// with 2×2 max-pooling, then three fully connected layers.
+///
+/// # Example
+///
+/// ```
+/// use wa_models::{ConvNet, LeNet};
+/// use wa_nn::{Layer, QuantConfig, Tape};
+/// use wa_tensor::SeededRng;
+///
+/// let mut rng = SeededRng::new(0);
+/// let mut net = LeNet::new(10, 28, QuantConfig::FP32, &mut rng);
+/// assert_eq!(net.conv_count(), 2);
+/// let mut tape = Tape::new();
+/// let x = tape.leaf(rng.uniform_tensor(&[1, 1, 28, 28], -1.0, 1.0));
+/// let y = net.forward(&mut tape, x, false);
+/// assert_eq!(tape.value(y).shape(), &[1, 10]);
+/// ```
+pub struct LeNet {
+    conv1: ConvLayer,
+    conv2: ConvLayer,
+    fc1: Linear,
+    fc2: Linear,
+    fc3: Linear,
+    flat_dim: usize,
+}
+
+impl LeNet {
+    /// Builds LeNet for square single-channel inputs of `input_size`
+    /// (28 for MNIST).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input is too small for the two conv/pool stages
+    /// (needs `input_size ≥ 12` and even intermediate sizes).
+    pub fn new(classes: usize, input_size: usize, quant: QuantConfig, rng: &mut SeededRng) -> LeNet {
+        assert!(classes > 0, "need at least one class");
+        // conv1: 5×5 pad 2 keeps size; pool halves; conv2: 5×5 valid; pool halves
+        assert!(input_size >= 12, "LeNet needs input_size >= 12, got {}", input_size);
+        assert!(input_size.is_multiple_of(2), "input_size must be even, got {}", input_size);
+        let s_pool1 = input_size / 2;
+        let s_conv2 = s_pool1 - 4;
+        assert!(
+            s_conv2 >= 2 && s_conv2.is_multiple_of(2),
+            "input_size {} incompatible with LeNet geometry",
+            input_size
+        );
+        let s_pool2 = s_conv2 / 2;
+        let flat_dim = 16 * s_pool2 * s_pool2;
+        LeNet {
+            conv1: ConvLayer::new("conv1", 1, 6, 5, 1, 2, ConvAlgo::Im2row, quant, rng),
+            conv2: ConvLayer::new("conv2", 6, 16, 5, 1, 0, ConvAlgo::Im2row, quant, rng),
+            fc1: Linear::new("fc1", flat_dim, 120, quant, rng),
+            fc2: Linear::new("fc2", 120, 84, quant, rng),
+            fc3: Linear::new("fc3", 84, classes, quant, rng),
+            flat_dim,
+        }
+    }
+
+    /// Converts both conv layers to the given algorithm (5×5 filters use
+    /// Cook-Toom synthesized `F(m, 5)` transforms).
+    pub fn set_algo(&mut self, algo: ConvAlgo) {
+        self.conv1.convert(algo);
+        self.conv2.convert(algo);
+    }
+}
+
+impl Layer for LeNet {
+    fn forward(&mut self, tape: &mut Tape, x: Var, train: bool) -> Var {
+        let mut h = self.conv1.forward(tape, x, train);
+        h = tape.relu(h);
+        h = tape.max_pool2d(h);
+        h = self.conv2.forward(tape, h, train);
+        h = tape.relu(h);
+        h = tape.max_pool2d(h);
+        let n = tape.value(h).dim(0);
+        let flat = tape.reshape(h, &[n, self.flat_dim]);
+        let mut f = self.fc1.forward(tape, flat, train);
+        f = tape.relu(f);
+        f = self.fc2.forward(tape, f, train);
+        f = tape.relu(f);
+        self.fc3.forward(tape, f, train)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.conv1.visit_params(f);
+        self.conv2.visit_params(f);
+        self.fc1.visit_params(f);
+        self.fc2.visit_params(f);
+        self.fc3.visit_params(f);
+    }
+
+    fn reset_statistics(&mut self) {
+        self.conv1.reset_statistics();
+        self.conv2.reset_statistics();
+        self.fc1.reset_statistics();
+        self.fc2.reset_statistics();
+        self.fc3.reset_statistics();
+    }
+}
+
+impl ConvNet for LeNet {
+    fn conv_layers_mut(&mut self) -> Vec<&mut ConvLayer> {
+        vec![&mut self.conv1, &mut self.conv2]
+    }
+
+    fn model_name(&self) -> &str {
+        "LeNet"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_shapes_mnist_size() {
+        let mut rng = SeededRng::new(0);
+        let mut net = LeNet::new(10, 28, QuantConfig::FP32, &mut rng);
+        let mut tape = Tape::new();
+        let x = tape.leaf(rng.uniform_tensor(&[3, 1, 28, 28], -1.0, 1.0));
+        let y = net.forward(&mut tape, x, true);
+        assert_eq!(tape.value(y).shape(), &[3, 10]);
+    }
+
+    #[test]
+    fn five_by_five_winograd_swap_preserves_output_fp32() {
+        let mut rng = SeededRng::new(1);
+        let mut net = LeNet::new(10, 20, QuantConfig::FP32, &mut rng);
+        let x = rng.uniform_tensor(&[1, 1, 20, 20], -1.0, 1.0);
+        let before = {
+            let mut tape = Tape::new();
+            let xv = tape.leaf(x.clone());
+            let y = net.forward(&mut tape, xv, false);
+            tape.value(y).clone()
+        };
+        net.set_algo(ConvAlgo::Winograd { m: 2 }); // F(2×2, 5×5), 6×6 tiles
+        let after = {
+            let mut tape = Tape::new();
+            let xv = tape.leaf(x);
+            let y = net.forward(&mut tape, xv, false);
+            tape.value(y).clone()
+        };
+        for (a, b) in before.data().iter().zip(after.data()) {
+            assert!((a - b).abs() < 2e-2, "{} vs {}", a, b);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "needs input_size >= 12")]
+    fn too_small_input_panics() {
+        let mut rng = SeededRng::new(2);
+        let _ = LeNet::new(10, 8, QuantConfig::FP32, &mut rng);
+    }
+}

@@ -1,0 +1,32 @@
+//! # wa-models
+//!
+//! The model zoo of *Searching for Winograd-aware Quantized Networks*
+//! (MLSys 2020), with every architecture modification the paper applies:
+//!
+//! * [`ResNet18`] — CIFAR variant: 32-channel stem, max-pool replacing
+//!   stride-2, width multiplier, 16 Winograd-swappable 3×3 convs with the
+//!   last two residual blocks pinned to F2 (§5.1).
+//! * [`LeNet`] — 5×5 filters for the `F(m, 5×5)` study (Figure 5).
+//! * [`SqueezeNet`] — 8 swappable expand-3×3 convs (Table 4).
+//! * [`ResNeXt20`] — 6 grouped-3×3 bottleneck stages, cardinality 8
+//!   (Table 5).
+//!
+//! The [`ConvNet`] trait plus [`convert_convs`]/[`apply_algos`] implement
+//! model-level surgery; [`swap_and_evaluate`] and [`adapt`] reproduce the
+//! Table 1 and Figure 6 workflows.
+
+mod adaptation;
+mod common;
+mod lenet;
+mod resnet;
+mod resnext;
+mod squeezenet;
+
+pub use adaptation::{adapt, swap_and_evaluate};
+pub use common::{
+    apply_algos, apply_quants, convert_convs, current_algos, scale_width, set_conv_quant, ConvNet,
+};
+pub use lenet::LeNet;
+pub use resnet::ResNet18;
+pub use resnext::ResNeXt20;
+pub use squeezenet::SqueezeNet;

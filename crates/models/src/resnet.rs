@@ -1,0 +1,312 @@
+//! ResNet-18, modified for CIFAR and Winograd as in the paper (§5.1):
+//!
+//! * stride-2 convolutions replaced by 2×2 max-pool + dense 3×3 conv
+//!   ("there is no known equivalent for strided Winograd convolutions");
+//! * the stem outputs 32 channels instead of 64 (memory peak reduction);
+//! * the stem uses normal (direct) convolution — only the 16 block convs
+//!   are Winograd-swappable;
+//! * width multiplier 0.125–1.0 scales every channel count (Figure 4).
+
+use wa_core::{ConvAlgo, ConvLayer};
+use wa_nn::{BatchNorm2d, Conv2d, Layer, Param, QuantConfig, Tape, Var};
+use wa_tensor::SeededRng;
+
+use crate::common::{convert_convs, scale_width, ConvNet};
+
+/// Two 3×3 convolutions with identity (or 1×1-projected) shortcut; the
+/// downsampling variant max-pools its input first.
+struct BasicBlock {
+    conv1: ConvLayer,
+    bn1: BatchNorm2d,
+    conv2: ConvLayer,
+    bn2: BatchNorm2d,
+    /// 1×1 projection when channel counts change (always direct conv).
+    shortcut: Option<(Conv2d, BatchNorm2d)>,
+    downsample: bool,
+}
+
+impl BasicBlock {
+    fn new(
+        name: &str,
+        in_ch: usize,
+        out_ch: usize,
+        downsample: bool,
+        quant: QuantConfig,
+        rng: &mut SeededRng,
+    ) -> BasicBlock {
+        let conv1 = ConvLayer::new(
+            &format!("{name}.conv1"),
+            in_ch,
+            out_ch,
+            3,
+            1,
+            1,
+            ConvAlgo::Im2row,
+            quant,
+            rng,
+        );
+        let conv2 = ConvLayer::new(
+            &format!("{name}.conv2"),
+            out_ch,
+            out_ch,
+            3,
+            1,
+            1,
+            ConvAlgo::Im2row,
+            quant,
+            rng,
+        );
+        let shortcut = (in_ch != out_ch).then(|| {
+            (
+                Conv2d::new(&format!("{name}.proj"), in_ch, out_ch, 1, 1, 0, false, quant, rng),
+                BatchNorm2d::new(&format!("{name}.proj_bn"), out_ch),
+            )
+        });
+        BasicBlock {
+            conv1,
+            bn1: BatchNorm2d::new(&format!("{name}.bn1"), out_ch),
+            conv2,
+            bn2: BatchNorm2d::new(&format!("{name}.bn2"), out_ch),
+            shortcut,
+            downsample,
+        }
+    }
+
+    fn forward(&mut self, tape: &mut Tape, x: Var, train: bool) -> Var {
+        let x = if self.downsample { tape.max_pool2d(x) } else { x };
+        let mut h = self.conv1.forward(tape, x, train);
+        h = self.bn1.forward(tape, h, train);
+        h = tape.relu(h);
+        h = self.conv2.forward(tape, h, train);
+        h = self.bn2.forward(tape, h, train);
+        let s = match &mut self.shortcut {
+            Some((proj, bn)) => {
+                let p = proj.forward(tape, x, train);
+                bn.forward(tape, p, train)
+            }
+            None => x,
+        };
+        let sum = tape.add(h, s);
+        tape.relu(sum)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.conv1.visit_params(f);
+        self.bn1.visit_params(f);
+        self.conv2.visit_params(f);
+        self.bn2.visit_params(f);
+        if let Some((proj, bn)) = &mut self.shortcut {
+            proj.visit_params(f);
+            bn.visit_params(f);
+        }
+    }
+
+    fn reset_statistics(&mut self) {
+        self.conv1.reset_statistics();
+        self.bn1.reset_statistics();
+        self.conv2.reset_statistics();
+        self.bn2.reset_statistics();
+        if let Some((proj, bn)) = &mut self.shortcut {
+            proj.reset_statistics();
+            bn.reset_statistics();
+        }
+    }
+}
+
+/// The paper's ResNet-18 variant (see module docs).
+///
+/// # Example
+///
+/// ```
+/// use wa_core::ConvAlgo;
+/// use wa_models::{ConvNet, ResNet18};
+/// use wa_nn::{Layer, QuantConfig, Tape};
+/// use wa_tensor::SeededRng;
+///
+/// let mut rng = SeededRng::new(0);
+/// let mut net = ResNet18::new(10, 0.125, QuantConfig::FP32, &mut rng);
+/// assert_eq!(net.conv_count(), 16); // the 16 swappable 3×3 convs
+/// net.set_algo(ConvAlgo::Winograd { m: 4 }); // last two blocks pinned to F2
+/// let mut tape = Tape::new();
+/// let x = tape.leaf(rng.uniform_tensor(&[1, 3, 16, 16], -1.0, 1.0));
+/// let y = net.forward(&mut tape, x, false);
+/// assert_eq!(tape.value(y).shape(), &[1, 10]);
+/// ```
+pub struct ResNet18 {
+    stem: Conv2d,
+    stem_bn: BatchNorm2d,
+    blocks: Vec<BasicBlock>,
+    head: wa_nn::Linear,
+    width: f64,
+}
+
+impl ResNet18 {
+    /// Builds the network with the given class count and width multiplier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `classes == 0` or `width <= 0.0`.
+    pub fn new(classes: usize, width: f64, quant: QuantConfig, rng: &mut SeededRng) -> ResNet18 {
+        assert!(classes > 0, "need at least one class");
+        assert!(width > 0.0, "width multiplier must be positive");
+        let stem_ch = scale_width(32, width);
+        let chans = [
+            scale_width(64, width),
+            scale_width(128, width),
+            scale_width(256, width),
+            scale_width(512, width),
+        ];
+        let stem = Conv2d::new("stem", 3, stem_ch, 3, 1, 1, false, quant, rng);
+        let stem_bn = BatchNorm2d::new("stem_bn", stem_ch);
+        let mut blocks = Vec::with_capacity(8);
+        let mut in_ch = stem_ch;
+        for (stage, &out_ch) in chans.iter().enumerate() {
+            for b in 0..2 {
+                let downsample = stage > 0 && b == 0;
+                blocks.push(BasicBlock::new(
+                    &format!("layer{}.{}", stage + 1, b),
+                    in_ch,
+                    out_ch,
+                    downsample,
+                    quant,
+                    rng,
+                ));
+                in_ch = out_ch;
+            }
+        }
+        let head = wa_nn::Linear::new("fc", chans[3], classes, quant, rng);
+        ResNet18 { stem, stem_bn, blocks, head, width }
+    }
+
+    /// Applies a uniform algorithm with the paper's policy: the last two
+    /// residual blocks (4 convs) are pinned to F2 whenever `algo` uses a
+    /// tile larger than F2.
+    pub fn set_algo(&mut self, algo: ConvAlgo) {
+        convert_convs(self, algo, 4);
+    }
+
+    /// Width multiplier used at construction.
+    pub fn width(&self) -> f64 {
+        self.width
+    }
+}
+
+impl Layer for ResNet18 {
+    fn forward(&mut self, tape: &mut Tape, x: Var, train: bool) -> Var {
+        let mut h = self.stem.forward(tape, x, train);
+        h = self.stem_bn.forward(tape, h, train);
+        h = tape.relu(h);
+        for b in &mut self.blocks {
+            h = b.forward(tape, h, train);
+        }
+        let pooled = tape.global_avg_pool(h);
+        self.head.forward(tape, pooled, train)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.stem.visit_params(f);
+        self.stem_bn.visit_params(f);
+        for b in &mut self.blocks {
+            b.visit_params(f);
+        }
+        self.head.visit_params(f);
+    }
+
+    fn reset_statistics(&mut self) {
+        self.stem.reset_statistics();
+        self.stem_bn.reset_statistics();
+        for b in &mut self.blocks {
+            b.reset_statistics();
+        }
+        self.head.reset_statistics();
+    }
+}
+
+impl ConvNet for ResNet18 {
+    fn conv_layers_mut(&mut self) -> Vec<&mut ConvLayer> {
+        let mut out = Vec::with_capacity(16);
+        for b in &mut self.blocks {
+            out.push(&mut b.conv1);
+            out.push(&mut b.conv2);
+        }
+        out
+    }
+
+    fn model_name(&self) -> &str {
+        "ResNet-18"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::current_algos;
+
+    #[test]
+    fn sixteen_swappable_convs() {
+        let mut rng = SeededRng::new(0);
+        let mut net = ResNet18::new(10, 0.125, QuantConfig::FP32, &mut rng);
+        assert_eq!(net.conv_count(), 16);
+    }
+
+    #[test]
+    fn full_width_parameter_count_near_11m() {
+        let mut rng = SeededRng::new(1);
+        let mut net = ResNet18::new(10, 1.0, QuantConfig::FP32, &mut rng);
+        let params = net.param_count();
+        assert!(
+            (10_000_000..13_000_000).contains(&params),
+            "full ResNet-18 should be ≈11M params, got {}",
+            params
+        );
+    }
+
+    #[test]
+    fn eighth_width_parameter_count_near_215k() {
+        // paper §5.1: models range between 215K and 11M parameters
+        let mut rng = SeededRng::new(2);
+        let mut net = ResNet18::new(10, 0.125, QuantConfig::FP32, &mut rng);
+        let params = net.param_count();
+        assert!(
+            (120_000..320_000).contains(&params),
+            "0.125-width ResNet-18 should be ≈215K params, got {}",
+            params
+        );
+    }
+
+    #[test]
+    fn forward_shape_and_downsampling() {
+        let mut rng = SeededRng::new(3);
+        let mut net = ResNet18::new(7, 0.125, QuantConfig::FP32, &mut rng);
+        let mut tape = Tape::new();
+        let x = tape.leaf(rng.uniform_tensor(&[2, 3, 16, 16], -1.0, 1.0));
+        let y = net.forward(&mut tape, x, true);
+        assert_eq!(tape.value(y).shape(), &[2, 7]);
+    }
+
+    #[test]
+    fn set_algo_pins_last_two_blocks_to_f2() {
+        let mut rng = SeededRng::new(4);
+        let mut net = ResNet18::new(10, 0.125, QuantConfig::FP32, &mut rng);
+        net.set_algo(ConvAlgo::Winograd { m: 4 });
+        let algos = current_algos(&mut net);
+        assert_eq!(algos.len(), 16);
+        for a in &algos[..12] {
+            assert_eq!(*a, ConvAlgo::Winograd { m: 4 });
+        }
+        for a in &algos[12..] {
+            assert_eq!(*a, ConvAlgo::Winograd { m: 2 }, "last two blocks must be F2");
+        }
+        // F2 itself is not pinned
+        net.set_algo(ConvAlgo::Winograd { m: 2 });
+        assert!(current_algos(&mut net).iter().all(|a| *a == ConvAlgo::Winograd { m: 2 }));
+    }
+
+    #[test]
+    fn width_scales_channels() {
+        let mut rng = SeededRng::new(5);
+        let mut half = ResNet18::new(10, 0.5, QuantConfig::FP32, &mut rng);
+        let mut full = ResNet18::new(10, 1.0, QuantConfig::FP32, &mut rng);
+        assert!(half.param_count() < full.param_count() / 3);
+    }
+}

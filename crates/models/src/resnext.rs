@@ -1,0 +1,307 @@
+//! ResNeXt-20 (8×16) — aggregated-transform bottleneck blocks with
+//! grouped 3×3 convolutions (Xie et al. 2017), the Table 5 architecture.
+//! Six bottleneck blocks → six (grouped) swappable 3×3 stages.
+
+use wa_core::{ConvAlgo, ConvLayer};
+use wa_nn::{BatchNorm2d, Conv2d, Layer, Param, QuantConfig, Tape, Var};
+use wa_tensor::SeededRng;
+
+use crate::common::{scale_width, ConvNet};
+
+/// Bottleneck: 1×1 reduce → grouped 3×3 (cardinality `groups`) → 1×1
+/// expand, with projected shortcut. The grouped 3×3 is realized as
+/// `groups` parallel [`ConvLayer`]s over channel slices — each is
+/// independently Winograd-swappable (policies apply uniformly).
+struct ResNeXtBlock {
+    reduce: Conv2d,
+    bn1: BatchNorm2d,
+    group_convs: Vec<ConvLayer>,
+    bn2: BatchNorm2d,
+    expand: Conv2d,
+    bn3: BatchNorm2d,
+    shortcut: Option<(Conv2d, BatchNorm2d)>,
+    downsample: bool,
+    group_width: usize,
+}
+
+impl ResNeXtBlock {
+    #[allow(clippy::too_many_arguments)]
+    fn new(
+        name: &str,
+        in_ch: usize,
+        inner: usize,
+        out_ch: usize,
+        groups: usize,
+        downsample: bool,
+        quant: QuantConfig,
+        rng: &mut SeededRng,
+    ) -> ResNeXtBlock {
+        assert!(inner.is_multiple_of(groups), "inner width {} not divisible by {} groups", inner, groups);
+        let gw = inner / groups;
+        let group_convs = (0..groups)
+            .map(|g| {
+                ConvLayer::new(
+                    &format!("{name}.group{}", g),
+                    gw,
+                    gw,
+                    3,
+                    1,
+                    1,
+                    ConvAlgo::Im2row,
+                    quant,
+                    rng,
+                )
+            })
+            .collect();
+        let shortcut = (in_ch != out_ch).then(|| {
+            (
+                Conv2d::new(&format!("{name}.proj"), in_ch, out_ch, 1, 1, 0, false, quant, rng),
+                BatchNorm2d::new(&format!("{name}.proj_bn"), out_ch),
+            )
+        });
+        ResNeXtBlock {
+            reduce: Conv2d::new(&format!("{name}.reduce"), in_ch, inner, 1, 1, 0, false, quant, rng),
+            bn1: BatchNorm2d::new(&format!("{name}.bn1"), inner),
+            group_convs,
+            bn2: BatchNorm2d::new(&format!("{name}.bn2"), inner),
+            expand: Conv2d::new(&format!("{name}.expand"), inner, out_ch, 1, 1, 0, false, quant, rng),
+            bn3: BatchNorm2d::new(&format!("{name}.bn3"), out_ch),
+            shortcut,
+            downsample,
+            group_width: gw,
+        }
+    }
+
+    fn forward(&mut self, tape: &mut Tape, x: Var, train: bool) -> Var {
+        let x = if self.downsample { tape.max_pool2d(x) } else { x };
+        let mut h = self.reduce.forward(tape, x, train);
+        h = self.bn1.forward(tape, h, train);
+        h = tape.relu(h);
+        // grouped 3×3: slice, convolve per group, concat
+        let gw = self.group_width;
+        let mut parts = Vec::with_capacity(self.group_convs.len());
+        for (g, conv) in self.group_convs.iter_mut().enumerate() {
+            let slice = tape.slice_chan(h, g * gw, (g + 1) * gw);
+            parts.push(conv.forward(tape, slice, train));
+        }
+        let mut cat = tape.concat_chan(&parts);
+        cat = self.bn2.forward(tape, cat, train);
+        cat = tape.relu(cat);
+        let mut e = self.expand.forward(tape, cat, train);
+        e = self.bn3.forward(tape, e, train);
+        let s = match &mut self.shortcut {
+            Some((proj, bn)) => {
+                let p = proj.forward(tape, x, train);
+                bn.forward(tape, p, train)
+            }
+            None => x,
+        };
+        let sum = tape.add(e, s);
+        tape.relu(sum)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.reduce.visit_params(f);
+        self.bn1.visit_params(f);
+        for c in &mut self.group_convs {
+            c.visit_params(f);
+        }
+        self.bn2.visit_params(f);
+        self.expand.visit_params(f);
+        self.bn3.visit_params(f);
+        if let Some((proj, bn)) = &mut self.shortcut {
+            proj.visit_params(f);
+            bn.visit_params(f);
+        }
+    }
+
+    fn reset_statistics(&mut self) {
+        self.reduce.reset_statistics();
+        self.bn1.reset_statistics();
+        for c in &mut self.group_convs {
+            c.reset_statistics();
+        }
+        self.bn2.reset_statistics();
+        self.expand.reset_statistics();
+        self.bn3.reset_statistics();
+        if let Some((proj, bn)) = &mut self.shortcut {
+            proj.reset_statistics();
+            bn.reset_statistics();
+        }
+    }
+}
+
+/// ResNeXt-20 with cardinality 8 and base group width 16 ("8×16"),
+/// stride-2 replaced by max-pool as throughout the paper.
+///
+/// # Example
+///
+/// ```
+/// use wa_models::{ConvNet, ResNeXt20};
+/// use wa_nn::{Layer, QuantConfig, Tape};
+/// use wa_tensor::SeededRng;
+///
+/// let mut rng = SeededRng::new(0);
+/// let mut net = ResNeXt20::new(10, 0.25, QuantConfig::FP32, &mut rng);
+/// assert_eq!(net.logical_conv_count(), 6); // 6 grouped 3×3 stages
+/// ```
+pub struct ResNeXt20 {
+    stem: Conv2d,
+    stem_bn: BatchNorm2d,
+    blocks: Vec<ResNeXtBlock>,
+    head: wa_nn::Linear,
+    groups: usize,
+}
+
+impl ResNeXt20 {
+    /// Builds the network with a width multiplier (1.0 = paper scale).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `classes == 0` or `width <= 0.0`.
+    pub fn new(classes: usize, width: f64, quant: QuantConfig, rng: &mut SeededRng) -> ResNeXt20 {
+        assert!(classes > 0, "need at least one class");
+        assert!(width > 0.0, "width multiplier must be positive");
+        let groups = 8;
+        // base width 16 per group → inner widths 128/256/512, outs 256/512/1024
+        let inner = [
+            scale_width(128, width).div_ceil(groups) * groups,
+            scale_width(256, width).div_ceil(groups) * groups,
+            scale_width(512, width).div_ceil(groups) * groups,
+        ];
+        let outs = [scale_width(256, width), scale_width(512, width), scale_width(1024, width)];
+        let stem_ch = scale_width(64, width);
+        let stem = Conv2d::new("stem", 3, stem_ch, 3, 1, 1, false, quant, rng);
+        let stem_bn = BatchNorm2d::new("stem_bn", stem_ch);
+        let mut blocks = Vec::with_capacity(6);
+        let mut in_ch = stem_ch;
+        for stage in 0..3 {
+            for b in 0..2 {
+                let downsample = stage > 0 && b == 0;
+                blocks.push(ResNeXtBlock::new(
+                    &format!("stage{}.{}", stage + 1, b),
+                    in_ch,
+                    inner[stage],
+                    outs[stage],
+                    groups,
+                    downsample,
+                    quant,
+                    rng,
+                ));
+                in_ch = outs[stage];
+            }
+        }
+        let head = wa_nn::Linear::new("fc", outs[2], classes, quant, rng);
+        ResNeXt20 { stem, stem_bn, blocks, head, groups }
+    }
+
+    /// Number of *logical* grouped-3×3 stages (6), as the paper counts.
+    pub fn logical_conv_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Cardinality (number of groups per block).
+    pub fn cardinality(&self) -> usize {
+        self.groups
+    }
+
+    /// Converts every group conv in every block to the given algorithm.
+    pub fn set_algo(&mut self, algo: ConvAlgo) {
+        for b in &mut self.blocks {
+            for c in &mut b.group_convs {
+                c.convert(algo);
+            }
+        }
+    }
+}
+
+impl Layer for ResNeXt20 {
+    fn forward(&mut self, tape: &mut Tape, x: Var, train: bool) -> Var {
+        let mut h = self.stem.forward(tape, x, train);
+        h = self.stem_bn.forward(tape, h, train);
+        h = tape.relu(h);
+        for b in &mut self.blocks {
+            h = b.forward(tape, h, train);
+        }
+        let pooled = tape.global_avg_pool(h);
+        self.head.forward(tape, pooled, train)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.stem.visit_params(f);
+        self.stem_bn.visit_params(f);
+        for b in &mut self.blocks {
+            b.visit_params(f);
+        }
+        self.head.visit_params(f);
+    }
+
+    fn reset_statistics(&mut self) {
+        self.stem.reset_statistics();
+        self.stem_bn.reset_statistics();
+        for b in &mut self.blocks {
+            b.reset_statistics();
+        }
+        self.head.reset_statistics();
+    }
+}
+
+impl ConvNet for ResNeXt20 {
+    fn conv_layers_mut(&mut self) -> Vec<&mut ConvLayer> {
+        self.blocks
+            .iter_mut()
+            .flat_map(|b| b.group_convs.iter_mut())
+            .collect()
+    }
+
+    fn model_name(&self) -> &str {
+        "ResNeXt-20 (8x16)"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_shape() {
+        let mut rng = SeededRng::new(0);
+        let mut net = ResNeXt20::new(10, 0.25, QuantConfig::FP32, &mut rng);
+        let mut tape = Tape::new();
+        let x = tape.leaf(rng.uniform_tensor(&[2, 3, 16, 16], -1.0, 1.0));
+        let y = net.forward(&mut tape, x, true);
+        assert_eq!(tape.value(y).shape(), &[2, 10]);
+    }
+
+    #[test]
+    fn six_logical_blocks_cardinality_eight() {
+        let mut rng = SeededRng::new(1);
+        let mut net = ResNeXt20::new(10, 0.25, QuantConfig::FP32, &mut rng);
+        assert_eq!(net.logical_conv_count(), 6);
+        assert_eq!(net.cardinality(), 8);
+        assert_eq!(net.conv_count(), 48); // 6 blocks × 8 groups
+    }
+
+    #[test]
+    fn fp32_group_swap_preserves_output() {
+        let mut rng = SeededRng::new(2);
+        let mut net = ResNeXt20::new(4, 0.25, QuantConfig::FP32, &mut rng);
+        let x = rng.uniform_tensor(&[1, 3, 8, 8], -1.0, 1.0);
+        let before = {
+            let mut tape = Tape::new();
+            let xv = tape.leaf(x.clone());
+            let y = net.forward(&mut tape, xv, false);
+            tape.value(y).clone()
+        };
+        net.set_algo(ConvAlgo::Winograd { m: 2 });
+        let after = {
+            let mut tape = Tape::new();
+            let xv = tape.leaf(x);
+            let y = net.forward(&mut tape, xv, false);
+            tape.value(y).clone()
+        };
+        for (a, b) in before.data().iter().zip(after.data()) {
+            assert!((a - b).abs() < 1e-2, "{} vs {}", a, b);
+        }
+    }
+}

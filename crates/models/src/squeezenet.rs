@@ -1,0 +1,232 @@
+//! SqueezeNet (Iandola et al. 2016), CIFAR-sized, with Winograd-swappable
+//! expand-3×3 convolutions — the Table 4 architecture. It has 8 swappable
+//! 3×3 layers (one per fire module), which the paper credits for its
+//! milder INT8/F4 degradation versus ResNet-18's 16.
+
+use wa_core::{ConvAlgo, ConvLayer};
+use wa_nn::{BatchNorm2d, Conv2d, Layer, Param, QuantConfig, Tape, Var};
+use wa_tensor::SeededRng;
+
+use crate::common::{scale_width, ConvNet};
+
+/// Fire module: 1×1 squeeze, then parallel 1×1 and 3×3 expands,
+/// channel-concatenated. Only the 3×3 expand is Winograd-swappable.
+struct Fire {
+    squeeze: Conv2d,
+    expand1: Conv2d,
+    expand3: ConvLayer,
+}
+
+impl Fire {
+    fn new(
+        name: &str,
+        in_ch: usize,
+        squeeze_ch: usize,
+        expand_ch: usize,
+        quant: QuantConfig,
+        rng: &mut SeededRng,
+    ) -> Fire {
+        Fire {
+            squeeze: Conv2d::new(&format!("{name}.squeeze"), in_ch, squeeze_ch, 1, 1, 0, true, quant, rng),
+            expand1: Conv2d::new(&format!("{name}.expand1"), squeeze_ch, expand_ch, 1, 1, 0, true, quant, rng),
+            expand3: ConvLayer::new(
+                &format!("{name}.expand3"),
+                squeeze_ch,
+                expand_ch,
+                3,
+                1,
+                1,
+                ConvAlgo::Im2row,
+                quant,
+                rng,
+            ),
+        }
+    }
+
+    fn out_channels(&self) -> usize {
+        self.expand1.out_channels() * 2
+    }
+
+    fn forward(&mut self, tape: &mut Tape, x: Var, train: bool) -> Var {
+        let s = self.squeeze.forward(tape, x, train);
+        let s = tape.relu(s);
+        let e1 = self.expand1.forward(tape, s, train);
+        let e3 = self.expand3.forward(tape, s, train);
+        let cat = tape.concat_chan(&[e1, e3]);
+        tape.relu(cat)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.squeeze.visit_params(f);
+        self.expand1.visit_params(f);
+        self.expand3.visit_params(f);
+    }
+
+    fn reset_statistics(&mut self) {
+        self.squeeze.reset_statistics();
+        self.expand1.reset_statistics();
+        self.expand3.reset_statistics();
+    }
+}
+
+/// CIFAR-sized SqueezeNet: 3×3 stem, eight fire modules with two
+/// max-pool stages, 1×1 classifier conv and global average pooling.
+///
+/// # Example
+///
+/// ```
+/// use wa_models::{ConvNet, SqueezeNet};
+/// use wa_nn::{Layer, QuantConfig, Tape};
+/// use wa_tensor::SeededRng;
+///
+/// let mut rng = SeededRng::new(0);
+/// let mut net = SqueezeNet::new(10, 0.25, QuantConfig::FP32, &mut rng);
+/// assert_eq!(net.conv_count(), 8); // one expand-3×3 per fire module
+/// ```
+pub struct SqueezeNet {
+    stem: Conv2d,
+    stem_bn: BatchNorm2d,
+    fires: Vec<Fire>,
+    classifier: Conv2d,
+    /// Max-pool after these fire indices (0-based, applied post-module).
+    pools_after: Vec<usize>,
+}
+
+impl SqueezeNet {
+    /// Builds the network with a width multiplier (1.0 = paper scale).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `classes == 0` or `width <= 0.0`.
+    pub fn new(classes: usize, width: f64, quant: QuantConfig, rng: &mut SeededRng) -> SqueezeNet {
+        assert!(classes > 0, "need at least one class");
+        assert!(width > 0.0, "width multiplier must be positive");
+        let w = |c: usize| scale_width(c, width);
+        let stem_ch = w(64);
+        let stem = Conv2d::new("stem", 3, stem_ch, 3, 1, 1, false, quant, rng);
+        let stem_bn = BatchNorm2d::new("stem_bn", stem_ch);
+        // (squeeze, expand) per fire module, SqueezeNet v1.1 ratios
+        let cfg = [
+            (16, 64),
+            (16, 64),
+            (32, 128),
+            (32, 128),
+            (48, 192),
+            (48, 192),
+            (64, 256),
+            (64, 256),
+        ];
+        let mut fires = Vec::with_capacity(8);
+        let mut in_ch = stem_ch;
+        for (i, &(s, e)) in cfg.iter().enumerate() {
+            let fire = Fire::new(&format!("fire{}", i + 2), in_ch, w(s), w(e), quant, rng);
+            in_ch = fire.out_channels();
+            fires.push(fire);
+        }
+        let classifier =
+            Conv2d::new("classifier", in_ch, classes, 1, 1, 0, true, quant, rng);
+        SqueezeNet { stem, stem_bn, fires, classifier, pools_after: vec![1, 3] }
+    }
+
+    /// Converts every expand-3×3 to the given algorithm.
+    pub fn set_algo(&mut self, algo: ConvAlgo) {
+        for fire in &mut self.fires {
+            fire.expand3.convert(algo);
+        }
+    }
+}
+
+impl Layer for SqueezeNet {
+    fn forward(&mut self, tape: &mut Tape, x: Var, train: bool) -> Var {
+        let mut h = self.stem.forward(tape, x, train);
+        h = self.stem_bn.forward(tape, h, train);
+        h = tape.relu(h);
+        h = tape.max_pool2d(h);
+        for (i, fire) in self.fires.iter_mut().enumerate() {
+            h = fire.forward(tape, h, train);
+            if self.pools_after.contains(&i) && tape.value(h).dim(2) >= 4 {
+                h = tape.max_pool2d(h);
+            }
+        }
+        let logits_map = self.classifier.forward(tape, h, train);
+        tape.global_avg_pool(logits_map)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.stem.visit_params(f);
+        self.stem_bn.visit_params(f);
+        for fire in &mut self.fires {
+            fire.visit_params(f);
+        }
+        self.classifier.visit_params(f);
+    }
+
+    fn reset_statistics(&mut self) {
+        self.stem.reset_statistics();
+        self.stem_bn.reset_statistics();
+        for fire in &mut self.fires {
+            fire.reset_statistics();
+        }
+        self.classifier.reset_statistics();
+    }
+}
+
+impl ConvNet for SqueezeNet {
+    fn conv_layers_mut(&mut self) -> Vec<&mut ConvLayer> {
+        self.fires.iter_mut().map(|f| &mut f.expand3).collect()
+    }
+
+    fn model_name(&self) -> &str {
+        "SqueezeNet"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::current_algos;
+
+    #[test]
+    fn forward_shape() {
+        let mut rng = SeededRng::new(0);
+        let mut net = SqueezeNet::new(10, 0.25, QuantConfig::FP32, &mut rng);
+        let mut tape = Tape::new();
+        let x = tape.leaf(rng.uniform_tensor(&[2, 3, 16, 16], -1.0, 1.0));
+        let y = net.forward(&mut tape, x, true);
+        assert_eq!(tape.value(y).shape(), &[2, 10]);
+    }
+
+    #[test]
+    fn eight_swappable_convs_and_swap() {
+        let mut rng = SeededRng::new(1);
+        let mut net = SqueezeNet::new(10, 0.25, QuantConfig::FP32, &mut rng);
+        assert_eq!(net.conv_count(), 8);
+        net.set_algo(ConvAlgo::WinogradFlex { m: 4 });
+        assert!(current_algos(&mut net)
+            .iter()
+            .all(|a| *a == ConvAlgo::WinogradFlex { m: 4 }));
+    }
+
+    #[test]
+    fn fp32_swap_preserves_output() {
+        let mut rng = SeededRng::new(2);
+        let mut net = SqueezeNet::new(5, 0.25, QuantConfig::FP32, &mut rng);
+        let x = rng.uniform_tensor(&[1, 3, 16, 16], -1.0, 1.0);
+        let before = {
+            let mut tape = Tape::new();
+            let xv = tape.leaf(x.clone());
+            let y = net.forward(&mut tape, xv, false);
+            tape.value(y).clone()
+        };
+        net.set_algo(ConvAlgo::Winograd { m: 2 });
+        let after = {
+            let mut tape = Tape::new();
+            let xv = tape.leaf(x);
+            let y = net.forward(&mut tape, xv, false);
+            tape.value(y).clone()
+        };
+        for (a, b) in before.data().iter().zip(after.data()) {
+            assert!((a - b).abs() < 1e-2, "{} vs {}", a, b);
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! # wa-nas
+//!
+//! **wiNAS**: the Winograd-aware neural architecture search of the paper's
+//! §4 — a ProxylessNAS-style micro-architecture search that picks, per
+//! 3×3 convolution, an algorithm from {im2row, F2, F4, F6} (and, in the
+//! `WA-Q` space, a precision from {FP32, INT16, INT8}), jointly optimizing
+//! accuracy and hardware latency:
+//!
+//! * `L_weights = CE + λ₀‖w‖²` (Eq. 2) — SGD + Nesterov on sampled paths;
+//! * `L_arch = CE + λ₁‖a‖² + λ₂·E{latency}` (Eq. 3) — Adam (β₁ = 0) on
+//!   architecture logits via the REINFORCE variant of the ProxylessNAS
+//!   update, with latencies from the `wa-latency` Cortex-A73/A53 model.
+//!
+//! # Example
+//!
+//! ```
+//! use wa_latency::Core;
+//! use wa_nas::{MacroArch, SearchSpace, WiNas, WiNasConfig};
+//! use wa_quant::BitWidth;
+//! use wa_tensor::SeededRng;
+//!
+//! let mut rng = SeededRng::new(0);
+//! let arch = MacroArch::tiny(10, 8, 8);
+//! let space = SearchSpace::wa(BitWidth::INT8);
+//! let nas = WiNas::new(&arch, space, WiNasConfig::default(), &mut rng);
+//! assert!(nas.expected_latency_ms() > 0.0);
+//! ```
+
+mod search;
+mod space;
+mod supernet;
+
+pub use search::{SearchEpoch, WiNas, WiNasConfig};
+pub use space::{Candidate, SearchSpace};
+pub use supernet::{Bank, MacroArch, SuperNet};

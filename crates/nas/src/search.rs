@@ -1,0 +1,411 @@
+//! The two-stage wiNAS optimization loop (paper §4.1/§5.2).
+//!
+//! Alternates:
+//!
+//! 1. **Weight stage** — path-sampled training of the supernet weights
+//!    with SGD + Nesterov momentum under `L_weights = CE + λ₀‖w‖²`
+//!    (Eq. 2); only the sampled candidate per slot is evaluated/updated.
+//! 2. **Architecture stage** — updates per-slot logits under
+//!    `L_arch = CE + λ₁‖a‖² + λ₂·E{latency}` (Eq. 3) with Adam at β₁ = 0
+//!    ("so the optimizer only updates paths that have been sampled").
+//!    We implement the REINFORCE variant of ProxylessNAS's architecture
+//!    update: sampled-path reward `CE_val + λ₂·latency(path)` whose
+//!    expectation equals Eq. 3's objective, with an EMA baseline.
+
+use serde::{Deserialize, Serialize};
+use wa_core::train_step;
+use wa_latency::{conv_latency_ms, Core};
+use wa_nn::{accuracy, Layer, RunningMean, Sgd, Tape};
+use wa_tensor::{SeededRng, Tensor};
+
+use crate::space::{Candidate, SearchSpace};
+use crate::supernet::{MacroArch, SuperNet};
+
+/// wiNAS hyper-parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct WiNasConfig {
+    /// Search epochs (paper: 100).
+    pub epochs: usize,
+    /// Weight-stage learning rate (SGD + Nesterov).
+    pub weight_lr: f32,
+    /// Weight-stage momentum.
+    pub weight_momentum: f32,
+    /// Weight decay λ₀ (Eq. 2).
+    pub lambda0: f32,
+    /// Architecture L2 λ₁ (Eq. 3).
+    pub lambda1: f32,
+    /// Latency weight λ₂ (Eq. 3; the paper sweeps 1e-3 … 0.1).
+    pub lambda2: f32,
+    /// Architecture-stage learning rate (Adam, β₁ = 0).
+    pub arch_lr: f32,
+    /// Target core for the latency term.
+    pub core: Core,
+    /// RNG seed for path sampling.
+    pub seed: u64,
+}
+
+impl Default for WiNasConfig {
+    fn default() -> Self {
+        WiNasConfig {
+            epochs: 10,
+            weight_lr: 0.05,
+            weight_momentum: 0.9,
+            lambda0: 1e-4,
+            lambda1: 1e-3,
+            lambda2: 0.01,
+            arch_lr: 0.1,
+            core: Core::CortexA73,
+            seed: 0,
+        }
+    }
+}
+
+/// Per-epoch search telemetry.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct SearchEpoch {
+    /// Epoch index.
+    pub epoch: usize,
+    /// Mean sampled-path training loss.
+    pub train_loss: f64,
+    /// Mean sampled-path validation accuracy (arch stage).
+    pub val_acc: f64,
+    /// Expected latency of the current architecture distribution (ms).
+    pub expected_latency_ms: f64,
+    /// Mean per-slot entropy of the architecture distribution (nats).
+    pub entropy: f64,
+}
+
+/// The wiNAS searcher: supernet + architecture parameters.
+pub struct WiNas {
+    /// The over-parameterized network (public so callers can fine-tune
+    /// the extracted architecture in place).
+    pub supernet: SuperNet,
+    space: SearchSpace,
+    logits: Vec<Vec<f32>>,
+    adam_v: Vec<Vec<f32>>,
+    adam_t: u32,
+    lat_table: Vec<Vec<f64>>,
+    cfg: WiNasConfig,
+    baseline: f64,
+    baseline_init: bool,
+    rng: SeededRng,
+}
+
+impl WiNas {
+    /// Builds the searcher: instantiates the supernet and pre-computes the
+    /// per-slot × per-candidate latency table from the analytical model
+    /// (the paper's measured-lookup equivalent).
+    pub fn new(arch: &MacroArch, space: SearchSpace, cfg: WiNasConfig, rng: &mut SeededRng) -> WiNas {
+        let supernet = SuperNet::new(arch, &space, rng);
+        let slots = arch.slot_count();
+        let shapes = arch.slot_shapes();
+        let lat_table = shapes
+            .iter()
+            .map(|&shape| {
+                space
+                    .candidates
+                    .iter()
+                    .map(|c| conv_latency_ms(cfg.core, c.lat_dtype(), c.lat_algo(), shape))
+                    .collect()
+            })
+            .collect();
+        WiNas {
+            supernet,
+            logits: vec![vec![0.0; space.len()]; slots],
+            adam_v: vec![vec![0.0; space.len()]; slots],
+            adam_t: 0,
+            lat_table,
+            space,
+            cfg,
+            baseline: 0.0,
+            baseline_init: false,
+            rng: rng.fork(0x77a5),
+        }
+    }
+
+    /// Softmax over a slot's logits.
+    pub fn probs(&self, slot: usize) -> Vec<f32> {
+        softmax(&self.logits[slot])
+    }
+
+    /// Samples one candidate per slot from the current distribution.
+    pub fn sample(&mut self) -> Vec<usize> {
+        (0..self.logits.len())
+            .map(|s| {
+                let p = softmax(&self.logits[s]);
+                let mut u = self.rng.uniform(0.0, 1.0);
+                for (i, &pi) in p.iter().enumerate() {
+                    if u < pi {
+                        return i;
+                    }
+                    u -= pi;
+                }
+                p.len() - 1
+            })
+            .collect()
+    }
+
+    /// Expected latency of the architecture distribution:
+    /// `Σ_slots Σ_cands p·lat` — the paper's `E{latency}` (§4.1).
+    pub fn expected_latency_ms(&self) -> f64 {
+        self.logits
+            .iter()
+            .enumerate()
+            .map(|(s, l)| {
+                softmax(l)
+                    .iter()
+                    .zip(&self.lat_table[s])
+                    .map(|(&p, &lat)| p as f64 * lat)
+                    .sum::<f64>()
+            })
+            .sum()
+    }
+
+    /// Latency of one concrete path.
+    pub fn path_latency_ms(&self, selection: &[usize]) -> f64 {
+        selection.iter().enumerate().map(|(s, &c)| self.lat_table[s][c]).sum()
+    }
+
+    /// Argmax architecture (the extracted result).
+    pub fn extract(&self) -> Vec<Candidate> {
+        self.logits
+            .iter()
+            .map(|l| {
+                let best = l
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                    .map(|(i, _)| i)
+                    .unwrap_or(0);
+                self.space.candidates[best]
+            })
+            .collect()
+    }
+
+    /// Applies the argmax architecture to the supernet (after which it can
+    /// be trained end-to-end like any model, §5.2).
+    pub fn finalize(&mut self) {
+        let sel: Vec<usize> = self
+            .logits
+            .iter()
+            .map(|l| {
+                l.iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                    .map(|(i, _)| i)
+                    .unwrap_or(0)
+            })
+            .collect();
+        self.supernet.set_selection(&sel);
+    }
+
+    /// Runs the alternating two-stage search.
+    pub fn search(
+        &mut self,
+        train_batches: &[(Tensor, Vec<usize>)],
+        val_batches: &[(Tensor, Vec<usize>)],
+    ) -> Vec<SearchEpoch> {
+        let mut opt = Sgd::new(self.cfg.weight_lr, self.cfg.weight_momentum, true, self.cfg.lambda0);
+        let mut log = Vec::with_capacity(self.cfg.epochs);
+        for epoch in 0..self.cfg.epochs {
+            // ---- weight stage: path-sampled supernet training
+            let mut train_loss = RunningMean::new();
+            for (images, labels) in train_batches {
+                let sel = self.sample();
+                self.supernet.set_selection(&sel);
+                let (l, _) = train_step(&mut self.supernet, &mut opt, images, labels);
+                train_loss.add(l, labels.len() as f64);
+            }
+
+            // ---- architecture stage: REINFORCE on validation batches
+            let mut val_acc = RunningMean::new();
+            for (images, labels) in val_batches {
+                let sel = self.sample();
+                self.supernet.set_selection(&sel);
+                let (ce, acc) = {
+                    let mut tape = Tape::new();
+                    let x = tape.leaf(images.clone());
+                    let logits = self.supernet.forward(&mut tape, x, false);
+                    let loss = tape.cross_entropy(logits, labels);
+                    (tape.value(loss).data()[0] as f64, accuracy(tape.value(logits), labels))
+                };
+                val_acc.add(acc, labels.len() as f64);
+                let reward = ce + self.cfg.lambda2 as f64 * self.path_latency_ms(&sel);
+                self.arch_update(&sel, reward);
+            }
+
+            let entropy = self.mean_entropy();
+            log.push(SearchEpoch {
+                epoch,
+                train_loss: train_loss.mean(),
+                val_acc: val_acc.mean(),
+                expected_latency_ms: self.expected_latency_ms(),
+                entropy,
+            });
+        }
+        log
+    }
+
+    /// One REINFORCE step on the architecture logits with Adam (β₁ = 0).
+    fn arch_update(&mut self, selection: &[usize], reward: f64) {
+        if !self.baseline_init {
+            self.baseline = reward;
+            self.baseline_init = true;
+        }
+        let advantage = (reward - self.baseline) as f32;
+        self.baseline = 0.9 * self.baseline + 0.1 * reward;
+        self.adam_t += 1;
+        let beta2 = 0.999f32;
+        let bc2 = 1.0 - beta2.powi(self.adam_t as i32);
+        for (s, &c) in selection.iter().enumerate() {
+            let p = softmax(&self.logits[s]);
+            for (i, &pi) in p.iter().enumerate() {
+                let onehot = if i == c { 1.0 } else { 0.0 };
+                // ∇_α of the sampled-path surrogate + λ₁ L2 term
+                let grad = advantage * (onehot - pi) + 2.0 * self.cfg.lambda1 * self.logits[s][i];
+                let v = &mut self.adam_v[s][i];
+                *v = beta2 * *v + (1.0 - beta2) * grad * grad;
+                let vhat = *v / bc2;
+                self.logits[s][i] -= self.cfg.arch_lr * grad / (vhat.sqrt() + 1e-8);
+            }
+        }
+    }
+
+    /// Mean per-slot entropy of the architecture distribution.
+    pub fn mean_entropy(&self) -> f64 {
+        let mut total = 0.0;
+        for l in &self.logits {
+            for &p in &softmax(l) {
+                if p > 0.0 {
+                    total -= (p as f64) * (p as f64).ln();
+                }
+            }
+        }
+        total / self.logits.len() as f64
+    }
+
+    /// The search space in use.
+    pub fn space(&self) -> &SearchSpace {
+        &self.space
+    }
+}
+
+fn softmax(logits: &[f32]) -> Vec<f32> {
+    let m = logits.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    let exps: Vec<f32> = logits.iter().map(|&l| (l - m).exp()).collect();
+    let z: f32 = exps.iter().sum();
+    exps.iter().map(|&e| e / z).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wa_quant::BitWidth;
+
+    fn toy_batches(rng: &mut SeededRng, n: usize, bs: usize, size: usize) -> Vec<(Tensor, Vec<usize>)> {
+        let ds = wa_data::cifar10_like(2.max(n * bs / 10), size, 3);
+        ds.shuffled_batches(bs, rng).into_iter().take(n).collect()
+    }
+
+    #[test]
+    fn latency_table_matches_model() {
+        let mut rng = SeededRng::new(0);
+        let arch = MacroArch::tiny(4, 8, 8);
+        let space = SearchSpace::small(BitWidth::FP32);
+        let nas = WiNas::new(&arch, space, WiNasConfig::default(), &mut rng);
+        // expected latency with uniform logits = mean of candidate latencies
+        let el = nas.expected_latency_ms();
+        assert!(el > 0.0);
+        let manual: f64 = arch
+            .slot_shapes()
+            .iter()
+            .map(|&s| {
+                let cands = &nas.space().candidates;
+                cands
+                    .iter()
+                    .map(|c| conv_latency_ms(Core::CortexA73, c.lat_dtype(), c.lat_algo(), s))
+                    .sum::<f64>()
+                    / cands.len() as f64
+            })
+            .sum();
+        assert!((el - manual).abs() / manual < 1e-5, "{} vs {}", el, manual);
+    }
+
+    #[test]
+    fn sampling_follows_logits() {
+        let mut rng = SeededRng::new(1);
+        let arch = MacroArch::tiny(4, 8, 8);
+        let space = SearchSpace::small(BitWidth::FP32);
+        let mut nas = WiNas::new(&arch, space, WiNasConfig::default(), &mut rng);
+        // bias slot 0 hard toward candidate 2
+        nas.logits[0] = vec![-10.0, -10.0, 10.0];
+        let counts = (0..50).map(|_| nas.sample()[0]).filter(|&c| c == 2).count();
+        assert!(counts >= 48, "sampling should respect logits, got {}/50", counts);
+    }
+
+    #[test]
+    fn pure_latency_search_finds_fastest_path() {
+        // with λ₂ huge the reward is dominated by latency → the search
+        // must converge to the per-slot latency argmin.
+        let mut rng = SeededRng::new(2);
+        let arch = MacroArch::tiny(10, 16, 16);
+        let space = SearchSpace::small(BitWidth::INT8);
+        let cfg = WiNasConfig {
+            epochs: 8,
+            lambda2: 1000.0,
+            arch_lr: 0.3,
+            lambda1: 0.0,
+            ..WiNasConfig::default()
+        };
+        let mut nas = WiNas::new(&arch, space, cfg, &mut rng);
+        let train = toy_batches(&mut rng, 2, 8, 16);
+        let val = toy_batches(&mut rng, 4, 8, 16);
+        let log = nas.search(&train, &val);
+        // expected latency decreased over the search
+        assert!(
+            log.last().unwrap().expected_latency_ms < log[0].expected_latency_ms,
+            "latency should fall: {:?}",
+            log.iter().map(|e| e.expected_latency_ms).collect::<Vec<_>>()
+        );
+        // extraction matches the latency argmin in every slot
+        let extracted = nas.extract();
+        for (s, cand) in extracted.iter().enumerate() {
+            let lat_best = nas.lat_table[s]
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .unwrap()
+                .0;
+            assert_eq!(
+                *cand, nas.space().candidates[lat_best],
+                "slot {} should pick the fastest candidate",
+                s
+            );
+        }
+    }
+
+    #[test]
+    fn finalize_applies_argmax_to_supernet() {
+        let mut rng = SeededRng::new(3);
+        let arch = MacroArch::tiny(4, 8, 8);
+        let space = SearchSpace::small(BitWidth::FP32);
+        let mut nas = WiNas::new(&arch, space, WiNasConfig::default(), &mut rng);
+        nas.logits[0] = vec![0.0, 5.0, 0.0];
+        nas.logits[1] = vec![0.0, 0.0, 5.0];
+        nas.finalize();
+        let algos = nas.supernet.active_algos();
+        assert_eq!(algos[0], wa_core::ConvAlgo::WinogradFlex { m: 2 });
+        assert_eq!(algos[1], wa_core::ConvAlgo::WinogradFlex { m: 4 });
+    }
+
+    #[test]
+    fn entropy_decreases_as_distribution_sharpens() {
+        let mut rng = SeededRng::new(4);
+        let arch = MacroArch::tiny(4, 8, 8);
+        let space = SearchSpace::small(BitWidth::FP32);
+        let mut nas = WiNas::new(&arch, space, WiNasConfig::default(), &mut rng);
+        let e0 = nas.mean_entropy();
+        nas.logits[0] = vec![0.0, 8.0, 0.0];
+        assert!(nas.mean_entropy() < e0);
+    }
+}

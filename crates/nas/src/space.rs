@@ -1,0 +1,157 @@
+//! wiNAS search spaces (paper §4/§5.2, Figure 3).
+
+use serde::{Deserialize, Serialize};
+use wa_core::ConvAlgo;
+use wa_latency::{DType, LatAlgo};
+use wa_nn::QuantConfig;
+use wa_quant::BitWidth;
+
+/// One candidate operation for a conv slot: an algorithm at a precision.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Candidate {
+    /// Convolution algorithm (Winograd candidates are `-flex`, matching
+    /// the paper's Winograd-aware layers with learned transforms).
+    pub algo: ConvAlgo,
+    /// Weight/activation precision.
+    pub quant: QuantConfig,
+}
+
+impl Candidate {
+    /// The latency-model algorithm for this candidate. Learned (`-flex`)
+    /// transforms are dense, so they map to the Appendix A.2 penalized
+    /// variant.
+    pub fn lat_algo(&self) -> LatAlgo {
+        match self.algo {
+            ConvAlgo::Im2row => LatAlgo::Im2row,
+            ConvAlgo::Winograd { m } => LatAlgo::Winograd { m },
+            ConvAlgo::WinogradFlex { m } => LatAlgo::WinogradDense { m },
+        }
+    }
+
+    /// The latency-model dtype for this candidate.
+    pub fn lat_dtype(&self) -> DType {
+        match self.quant.activations {
+            BitWidth::Fp32 => DType::Fp32,
+            BitWidth::Int(b) if b <= 8 => DType::Int8,
+            BitWidth::Int(_) => DType::Int16,
+        }
+    }
+}
+
+impl std::fmt::Display for Candidate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} {}", self.algo, self.quant.activations)
+    }
+}
+
+/// A wiNAS search space: which candidates each 3×3 conv may choose from.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SearchSpace {
+    /// Candidate set shared by every searchable layer.
+    pub candidates: Vec<Candidate>,
+    /// Space name for logs ("wiNAS-WA", "wiNAS-WA-Q").
+    pub name: String,
+}
+
+impl SearchSpace {
+    /// `wiNAS_WA`: {im2row, F2, F4, F6} at one fixed bit-width (§5.2).
+    pub fn wa(bits: BitWidth) -> SearchSpace {
+        let quant = QuantConfig::uniform(bits);
+        SearchSpace {
+            candidates: vec![
+                Candidate { algo: ConvAlgo::Im2row, quant },
+                Candidate { algo: ConvAlgo::WinogradFlex { m: 2 }, quant },
+                Candidate { algo: ConvAlgo::WinogradFlex { m: 4 }, quant },
+                Candidate { algo: ConvAlgo::WinogradFlex { m: 6 }, quant },
+            ],
+            name: format!("wiNAS-WA ({bits})"),
+        }
+    }
+
+    /// `wiNAS_WA-Q`: each algorithm at each of FP32 / INT16 / INT8 —
+    /// "introduces in the search space candidates of each operation
+    /// quantized to FP32, INT16 and INT8" (§5.2).
+    pub fn wa_q() -> SearchSpace {
+        let algos = [
+            ConvAlgo::Im2row,
+            ConvAlgo::WinogradFlex { m: 2 },
+            ConvAlgo::WinogradFlex { m: 4 },
+            ConvAlgo::WinogradFlex { m: 6 },
+        ];
+        let precisions = [BitWidth::FP32, BitWidth::INT16, BitWidth::INT8];
+        let mut candidates = Vec::with_capacity(algos.len() * precisions.len());
+        for &algo in &algos {
+            for &bits in &precisions {
+                candidates.push(Candidate { algo, quant: QuantConfig::uniform(bits) });
+            }
+        }
+        SearchSpace { candidates, name: "wiNAS-WA-Q".to_string() }
+    }
+
+    /// A reduced space for unit tests and small demos.
+    pub fn small(bits: BitWidth) -> SearchSpace {
+        let quant = QuantConfig::uniform(bits);
+        SearchSpace {
+            candidates: vec![
+                Candidate { algo: ConvAlgo::Im2row, quant },
+                Candidate { algo: ConvAlgo::WinogradFlex { m: 2 }, quant },
+                Candidate { algo: ConvAlgo::WinogradFlex { m: 4 }, quant },
+            ],
+            name: format!("wiNAS-small ({bits})"),
+        }
+    }
+
+    /// Number of candidates per layer.
+    pub fn len(&self) -> usize {
+        self.candidates.len()
+    }
+
+    /// Whether the space is empty (never for built-ins).
+    pub fn is_empty(&self) -> bool {
+        self.candidates.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wa_space_has_four_algorithms() {
+        let s = SearchSpace::wa(BitWidth::INT8);
+        assert_eq!(s.len(), 4);
+        assert!(s.candidates.iter().all(|c| c.quant.activations == BitWidth::INT8));
+    }
+
+    #[test]
+    fn wa_q_space_is_cross_product() {
+        let s = SearchSpace::wa_q();
+        assert_eq!(s.len(), 12);
+        let fp32 = s.candidates.iter().filter(|c| c.quant.activations == BitWidth::FP32).count();
+        assert_eq!(fp32, 4);
+    }
+
+    #[test]
+    fn flex_candidates_map_to_dense_latency() {
+        let c = Candidate {
+            algo: ConvAlgo::WinogradFlex { m: 4 },
+            quant: QuantConfig::uniform(BitWidth::INT8),
+        };
+        assert_eq!(c.lat_algo(), LatAlgo::WinogradDense { m: 4 });
+        assert_eq!(c.lat_dtype(), DType::Int8);
+        let c16 = Candidate {
+            algo: ConvAlgo::Im2row,
+            quant: QuantConfig::uniform(BitWidth::INT16),
+        };
+        assert_eq!(c16.lat_dtype(), DType::Int16);
+    }
+
+    #[test]
+    fn display_is_figure9_style() {
+        let c = Candidate {
+            algo: ConvAlgo::WinogradFlex { m: 4 },
+            quant: QuantConfig::uniform(BitWidth::INT8),
+        };
+        assert_eq!(c.to_string(), "F4-flex INT8");
+    }
+}

@@ -1,0 +1,343 @@
+//! The over-parameterized search network.
+//!
+//! Following ProxylessNAS (Cai et al. 2019), every searchable 3×3 slot
+//! holds one instantiation of *each* candidate operation (its own weights
+//! and observers); path sampling activates a single candidate per batch,
+//! so only sampled paths are evaluated and updated — "enabling the
+//! allocation of the entire network on a single GPU" (paper §4.1).
+
+use serde::{Deserialize, Serialize};
+use wa_core::{ConvAlgo, ConvLayer};
+use wa_latency::LayerShape;
+use wa_nn::{BatchNorm2d, Conv2d, Layer, Linear, Param, QuantConfig, Tape, Var};
+use wa_tensor::SeededRng;
+
+use crate::space::SearchSpace;
+
+/// Macro-architecture description: wiNAS keeps this fixed and only picks
+/// per-layer convolution algorithms/precisions (paper §4: "without
+/// modifying the network's macro-architecture").
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MacroArch {
+    /// Output classes.
+    pub classes: usize,
+    /// Stem output channels (the stem itself is fixed to direct conv).
+    pub stem_ch: usize,
+    /// Stages: `(out_channels, blocks, downsample_first)`.
+    pub stages: Vec<(usize, usize, bool)>,
+    /// Input spatial size (square) — needed for latency lookups (§4.1:
+    /// "introducing latency … requires knowing the shape of the input
+    /// tensor at each layer").
+    pub input_size: usize,
+}
+
+impl MacroArch {
+    /// The paper's ResNet-18 CIFAR macro-architecture at a width
+    /// multiplier.
+    pub fn resnet18(classes: usize, width: f64, input_size: usize) -> MacroArch {
+        let w = |c: usize| ((c as f64 * width).round() as usize).max(1);
+        MacroArch {
+            classes,
+            stem_ch: w(32),
+            stages: vec![
+                (w(64), 2, false),
+                (w(128), 2, true),
+                (w(256), 2, true),
+                (w(512), 2, true),
+            ],
+            input_size,
+        }
+    }
+
+    /// A miniature macro-architecture for tests and demos.
+    pub fn tiny(classes: usize, channels: usize, input_size: usize) -> MacroArch {
+        MacroArch { classes, stem_ch: channels, stages: vec![(channels, 1, false)], input_size }
+    }
+
+    /// Number of searchable conv slots (two per block).
+    pub fn slot_count(&self) -> usize {
+        2 * self.stages.iter().map(|&(_, b, _)| b).sum::<usize>()
+    }
+
+    /// Layer geometry per searchable slot, in forward order.
+    pub fn slot_shapes(&self) -> Vec<LayerShape> {
+        let mut shapes = Vec::with_capacity(self.slot_count());
+        let mut in_ch = self.stem_ch;
+        let mut size = self.input_size;
+        for &(out_ch, blocks, downsample) in &self.stages {
+            for b in 0..blocks {
+                if downsample && b == 0 {
+                    size /= 2;
+                }
+                shapes.push(LayerShape::square(in_ch, out_ch, size, 3));
+                shapes.push(LayerShape::square(out_ch, out_ch, size, 3));
+                in_ch = out_ch;
+            }
+        }
+        shapes
+    }
+}
+
+/// A slot's bank of candidate convolutions with one active path.
+pub struct Bank {
+    candidates: Vec<ConvLayer>,
+    active: usize,
+}
+
+impl Bank {
+    fn new(
+        name: &str,
+        in_ch: usize,
+        out_ch: usize,
+        space: &SearchSpace,
+        rng: &mut SeededRng,
+    ) -> Bank {
+        let candidates = space
+            .candidates
+            .iter()
+            .enumerate()
+            .map(|(i, cand)| {
+                ConvLayer::new(
+                    &format!("{name}.cand{i}"),
+                    in_ch,
+                    out_ch,
+                    3,
+                    1,
+                    1,
+                    cand.algo,
+                    cand.quant,
+                    rng,
+                )
+            })
+            .collect();
+        Bank { candidates, active: 0 }
+    }
+
+    /// Currently active candidate index.
+    pub fn active(&self) -> usize {
+        self.active
+    }
+
+    /// Selects the active candidate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn set_active(&mut self, i: usize) {
+        assert!(i < self.candidates.len(), "candidate {} out of {}", i, self.candidates.len());
+        self.active = i;
+    }
+
+    /// Algorithm of the active candidate.
+    pub fn active_algo(&self) -> ConvAlgo {
+        self.candidates[self.active].algo()
+    }
+
+    fn forward(&mut self, tape: &mut Tape, x: Var, train: bool) -> Var {
+        self.candidates[self.active].forward(tape, x, train)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        for c in &mut self.candidates {
+            c.visit_params(f);
+        }
+    }
+}
+
+struct SuperBlock {
+    bank1: Bank,
+    bn1: BatchNorm2d,
+    bank2: Bank,
+    bn2: BatchNorm2d,
+    shortcut: Option<(Conv2d, BatchNorm2d)>,
+    downsample: bool,
+}
+
+/// The searchable network: fixed stem/shortcuts/head, candidate banks in
+/// every 3×3 slot.
+pub struct SuperNet {
+    stem: Conv2d,
+    stem_bn: BatchNorm2d,
+    blocks: Vec<SuperBlock>,
+    head: Linear,
+    arch: MacroArch,
+}
+
+impl SuperNet {
+    /// Instantiates the supernet for a macro-architecture and search
+    /// space. All candidates start with independent Kaiming weights.
+    pub fn new(arch: &MacroArch, space: &SearchSpace, rng: &mut SeededRng) -> SuperNet {
+        // fixed parts use the first candidate's precision (paper keeps
+        // non-searched layers at the network-wide precision)
+        let fixed_quant: QuantConfig = space.candidates[0].quant;
+        let stem = Conv2d::new("stem", 3, arch.stem_ch, 3, 1, 1, false, fixed_quant, rng);
+        let stem_bn = BatchNorm2d::new("stem_bn", arch.stem_ch);
+        let mut blocks = Vec::new();
+        let mut in_ch = arch.stem_ch;
+        for (si, &(out_ch, nblocks, downsample)) in arch.stages.iter().enumerate() {
+            for b in 0..nblocks {
+                let name = format!("s{si}b{b}");
+                let shortcut = (in_ch != out_ch).then(|| {
+                    (
+                        Conv2d::new(&format!("{name}.proj"), in_ch, out_ch, 1, 1, 0, false, fixed_quant, rng),
+                        BatchNorm2d::new(&format!("{name}.proj_bn"), out_ch),
+                    )
+                });
+                blocks.push(SuperBlock {
+                    bank1: Bank::new(&format!("{name}.c1"), in_ch, out_ch, space, rng),
+                    bn1: BatchNorm2d::new(&format!("{name}.bn1"), out_ch),
+                    bank2: Bank::new(&format!("{name}.c2"), out_ch, out_ch, space, rng),
+                    bn2: BatchNorm2d::new(&format!("{name}.bn2"), out_ch),
+                    shortcut,
+                    downsample: downsample && b == 0,
+                });
+                in_ch = out_ch;
+            }
+        }
+        let head = Linear::new("fc", in_ch, arch.classes, fixed_quant, rng);
+        SuperNet { stem, stem_bn, blocks, head, arch: arch.clone() }
+    }
+
+    /// The macro-architecture this supernet was built for.
+    pub fn arch(&self) -> &MacroArch {
+        &self.arch
+    }
+
+    /// Applies a full path selection (one candidate index per slot).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `selection.len() != slot_count`.
+    pub fn set_selection(&mut self, selection: &[usize]) {
+        let mut banks = self.banks_mut();
+        assert_eq!(selection.len(), banks.len(), "selection length mismatch");
+        for (bank, &s) in banks.iter_mut().zip(selection) {
+            bank.set_active(s);
+        }
+    }
+
+    /// The banks in slot order.
+    pub fn banks_mut(&mut self) -> Vec<&mut Bank> {
+        let mut out = Vec::with_capacity(2 * self.blocks.len());
+        for b in &mut self.blocks {
+            out.push(&mut b.bank1);
+            out.push(&mut b.bank2);
+        }
+        out
+    }
+
+    /// Current per-slot active algorithms (Figure 9 readout).
+    pub fn active_algos(&self) -> Vec<ConvAlgo> {
+        let mut out = Vec::with_capacity(2 * self.blocks.len());
+        for b in &self.blocks {
+            out.push(b.bank1.active_algo());
+            out.push(b.bank2.active_algo());
+        }
+        out
+    }
+}
+
+impl Layer for SuperNet {
+    fn forward(&mut self, tape: &mut Tape, x: Var, train: bool) -> Var {
+        let mut h = self.stem.forward(tape, x, train);
+        h = self.stem_bn.forward(tape, h, train);
+        h = tape.relu(h);
+        for b in &mut self.blocks {
+            let x_in = if b.downsample { tape.max_pool2d(h) } else { h };
+            let mut m = b.bank1.forward(tape, x_in, train);
+            m = b.bn1.forward(tape, m, train);
+            m = tape.relu(m);
+            m = b.bank2.forward(tape, m, train);
+            m = b.bn2.forward(tape, m, train);
+            let s = match &mut b.shortcut {
+                Some((proj, bn)) => {
+                    let p = proj.forward(tape, x_in, train);
+                    bn.forward(tape, p, train)
+                }
+                None => x_in,
+            };
+            let sum = tape.add(m, s);
+            h = tape.relu(sum);
+        }
+        let pooled = tape.global_avg_pool(h);
+        self.head.forward(tape, pooled, train)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.stem.visit_params(f);
+        self.stem_bn.visit_params(f);
+        for b in &mut self.blocks {
+            b.bank1.visit_params(f);
+            b.bn1.visit_params(f);
+            b.bank2.visit_params(f);
+            b.bn2.visit_params(f);
+            if let Some((proj, bn)) = &mut b.shortcut {
+                proj.visit_params(f);
+                bn.visit_params(f);
+            }
+        }
+        self.head.visit_params(f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wa_quant::BitWidth;
+
+    #[test]
+    fn macro_arch_slot_inventory() {
+        let arch = MacroArch::resnet18(10, 1.0, 32);
+        assert_eq!(arch.slot_count(), 16);
+        let shapes = arch.slot_shapes();
+        assert_eq!(shapes.len(), 16);
+        assert_eq!(shapes[0], LayerShape::square(32, 64, 32, 3));
+        assert_eq!(shapes[15], LayerShape::square(512, 512, 4, 3));
+    }
+
+    #[test]
+    fn supernet_forward_and_selection() {
+        let mut rng = SeededRng::new(0);
+        let arch = MacroArch::tiny(4, 8, 8);
+        let space = SearchSpace::small(BitWidth::FP32);
+        let mut net = SuperNet::new(&arch, &space, &mut rng);
+        assert_eq!(net.banks_mut().len(), 2);
+
+        net.set_selection(&[0, 2]);
+        assert_eq!(net.active_algos()[1], ConvAlgo::WinogradFlex { m: 4 });
+
+        let mut tape = Tape::new();
+        let x = tape.leaf(rng.uniform_tensor(&[2, 3, 8, 8], -1.0, 1.0));
+        let y = net.forward(&mut tape, x, true);
+        assert_eq!(tape.value(y).shape(), &[2, 4]);
+    }
+
+    #[test]
+    fn different_selections_give_different_outputs() {
+        let mut rng = SeededRng::new(1);
+        let arch = MacroArch::tiny(3, 8, 8);
+        let space = SearchSpace::small(BitWidth::FP32);
+        let mut net = SuperNet::new(&arch, &space, &mut rng);
+        let x = rng.uniform_tensor(&[1, 3, 8, 8], -1.0, 1.0);
+        let run = |net: &mut SuperNet, sel: &[usize], x: &wa_tensor::Tensor| {
+            net.set_selection(sel);
+            let mut tape = Tape::new();
+            let xv = tape.leaf(x.clone());
+            let y = net.forward(&mut tape, xv, false);
+            tape.value(y).clone()
+        };
+        let a = run(&mut net, &[0, 0], &x);
+        let b = run(&mut net, &[1, 1], &x);
+        assert_ne!(a.data(), b.data(), "candidates have independent weights");
+    }
+
+    #[test]
+    #[should_panic(expected = "selection length mismatch")]
+    fn wrong_selection_length_panics() {
+        let mut rng = SeededRng::new(2);
+        let arch = MacroArch::tiny(2, 4, 8);
+        let space = SearchSpace::small(BitWidth::FP32);
+        let mut net = SuperNet::new(&arch, &space, &mut rng);
+        net.set_selection(&[0]);
+    }
+}

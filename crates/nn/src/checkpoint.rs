@@ -1,0 +1,175 @@
+//! Parameter checkpointing: export/import every parameter of a model as
+//! a name-keyed JSON document.
+//!
+//! This is how experiments persist trained models — including learned
+//! Winograd transforms, whose matrices ride along as ordinary parameters
+//! (`<layer>.at`, `<layer>.g`, `<layer>.bt`).
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+use wa_tensor::Tensor;
+
+use crate::layers::Layer;
+
+/// A serialized set of parameters, keyed by parameter name.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Checkpoint {
+    /// Parameter values in model-visit order, keyed by name.
+    pub params: BTreeMap<String, Tensor>,
+}
+
+/// Errors raised when applying a checkpoint.
+#[derive(Debug, PartialEq)]
+pub enum CheckpointError {
+    /// The model has a parameter the checkpoint lacks.
+    Missing(String),
+    /// A stored tensor's shape disagrees with the model's parameter.
+    ShapeMismatch {
+        /// Parameter name.
+        name: String,
+        /// Shape in the model.
+        expected: Vec<usize>,
+        /// Shape in the checkpoint.
+        found: Vec<usize>,
+    },
+    /// Two parameters in the model share one name (checkpoints require
+    /// unique names).
+    DuplicateName(String),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Missing(n) => write!(f, "checkpoint is missing parameter `{}`", n),
+            CheckpointError::ShapeMismatch { name, expected, found } => write!(
+                f,
+                "shape mismatch for `{}`: model {:?} vs checkpoint {:?}",
+                name, expected, found
+            ),
+            CheckpointError::DuplicateName(n) => {
+                write!(f, "model contains duplicate parameter name `{}`", n)
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+/// Snapshots every parameter of `model`.
+///
+/// # Errors
+///
+/// Returns [`CheckpointError::DuplicateName`] if two parameters share a
+/// name (names must be unique for the checkpoint to round-trip).
+pub fn export_params(model: &mut dyn Layer) -> Result<Checkpoint, CheckpointError> {
+    let mut params = BTreeMap::new();
+    let mut dup = None;
+    model.visit_params(&mut |p| {
+        if params.insert(p.name.clone(), p.value.clone()).is_some() && dup.is_none() {
+            dup = Some(p.name.clone());
+        }
+    });
+    match dup {
+        Some(n) => Err(CheckpointError::DuplicateName(n)),
+        None => Ok(Checkpoint { params }),
+    }
+}
+
+/// Loads a checkpoint into `model`, returning how many parameters were
+/// updated. Extra entries in the checkpoint are ignored (so a full-model
+/// checkpoint can initialize a sub-model).
+///
+/// # Errors
+///
+/// Fails without modifying *any* parameter if a model parameter is
+/// missing from the checkpoint or shapes disagree.
+pub fn import_params(model: &mut dyn Layer, ckpt: &Checkpoint) -> Result<usize, CheckpointError> {
+    // validate first — import must be all-or-nothing
+    let mut problem = None;
+    model.visit_params(&mut |p| {
+        if problem.is_some() {
+            return;
+        }
+        match ckpt.params.get(&p.name) {
+            None => problem = Some(CheckpointError::Missing(p.name.clone())),
+            Some(t) if t.shape() != p.value.shape() => {
+                problem = Some(CheckpointError::ShapeMismatch {
+                    name: p.name.clone(),
+                    expected: p.value.shape().to_vec(),
+                    found: t.shape().to_vec(),
+                })
+            }
+            Some(_) => {}
+        }
+    });
+    if let Some(e) = problem {
+        return Err(e);
+    }
+    let mut count = 0;
+    model.visit_params(&mut |p| {
+        if let Some(t) = ckpt.params.get(&p.name) {
+            p.value = t.clone();
+            p.grad = None;
+            count += 1;
+        }
+    });
+    Ok(count)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Linear, QuantConfig};
+    use wa_tensor::SeededRng;
+
+    #[test]
+    fn roundtrip_restores_values() {
+        let mut rng = SeededRng::new(0);
+        let mut a = Linear::new("l", 4, 3, QuantConfig::FP32, &mut rng);
+        let ckpt = export_params(&mut a).unwrap();
+        let mut b = Linear::new("l", 4, 3, QuantConfig::FP32, &mut rng);
+        assert_ne!(a.weight.value, b.weight.value);
+        let n = import_params(&mut b, &ckpt).unwrap();
+        assert_eq!(n, 2);
+        assert_eq!(a.weight.value, b.weight.value);
+        assert_eq!(a.bias.value, b.bias.value);
+    }
+
+    #[test]
+    fn json_serialization_roundtrip() {
+        let mut rng = SeededRng::new(1);
+        let mut a = Linear::new("l", 2, 2, QuantConfig::FP32, &mut rng);
+        let ckpt = export_params(&mut a).unwrap();
+        let json = serde_json::to_string(&ckpt).unwrap();
+        let back: Checkpoint = serde_json::from_str(&json).unwrap();
+        assert_eq!(ckpt.params, back.params);
+    }
+
+    #[test]
+    fn missing_param_fails_atomically() {
+        let mut rng = SeededRng::new(2);
+        let mut model = Linear::new("l", 2, 2, QuantConfig::FP32, &mut rng);
+        let before = model.weight.value.clone();
+        let empty = Checkpoint::default();
+        let err = import_params(&mut model, &empty).unwrap_err();
+        assert!(matches!(err, CheckpointError::Missing(_)));
+        assert_eq!(model.weight.value, before, "failed import must not mutate");
+    }
+
+    #[test]
+    fn shape_mismatch_detected() {
+        let mut rng = SeededRng::new(3);
+        let mut a = Linear::new("l", 2, 2, QuantConfig::FP32, &mut rng);
+        let ckpt = export_params(&mut a).unwrap();
+        let mut b = Linear::new("l", 3, 2, QuantConfig::FP32, &mut rng);
+        let err = import_params(&mut b, &ckpt).unwrap_err();
+        assert!(matches!(err, CheckpointError::ShapeMismatch { .. }), "{err}");
+    }
+
+    #[test]
+    fn error_display_is_meaningful() {
+        let e = CheckpointError::Missing("fc.weight".into());
+        assert!(e.to_string().contains("fc.weight"));
+    }
+}

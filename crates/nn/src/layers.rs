@@ -1,0 +1,476 @@
+//! Parameterized layers built on the tape.
+
+use serde::{Deserialize, Serialize};
+use wa_quant::{BitWidth, Observer};
+use wa_tensor::{SeededRng, Tensor};
+
+use crate::param::Param;
+use crate::tape::{Tape, Var};
+
+/// Per-layer quantization configuration (per-layer symmetric uniform, as
+/// in Krishnamoorthi 2018 / paper §5.1). `FP32` disables quantization.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct QuantConfig {
+    /// Precision of activations (and, in Winograd-aware layers, of every
+    /// intermediate — paper Figure 2 default).
+    pub activations: BitWidth,
+    /// Precision of weights.
+    pub weights: BitWidth,
+}
+
+impl QuantConfig {
+    /// Full precision (no quantization).
+    pub const FP32: QuantConfig =
+        QuantConfig { activations: BitWidth::Fp32, weights: BitWidth::Fp32 };
+
+    /// Uniform precision for weights and activations, as the paper's
+    /// INT8/INT10/INT16 experiments use.
+    pub fn uniform(bits: BitWidth) -> QuantConfig {
+        QuantConfig { activations: bits, weights: bits }
+    }
+
+    /// Whether any quantization is active.
+    pub fn is_quantized(&self) -> bool {
+        !self.activations.is_float() || !self.weights.is_float()
+    }
+}
+
+impl Default for QuantConfig {
+    fn default() -> Self {
+        QuantConfig::FP32
+    }
+}
+
+/// Fake-quantizes `x` through `obs` at `bits`, updating the observer only
+/// in training mode. FP32 passes through untouched.
+///
+/// This helper is the shared implementation of every `Qx` site in both the
+/// direct and Winograd-aware layers.
+pub fn observe_quant(
+    tape: &mut Tape,
+    x: Var,
+    bits: BitWidth,
+    obs: &mut Observer,
+    train: bool,
+) -> Var {
+    if bits.is_float() {
+        return x;
+    }
+    if train {
+        obs.observe(tape.value(x));
+    } else if obs.observations() == 0 {
+        // Never warmed: fall back to observing once so eval is sane.
+        obs.observe(tape.value(x));
+    }
+    let scale = obs.scale(bits);
+    tape.fake_quant(x, bits, scale)
+}
+
+/// Anything with trainable parameters and a tape-level forward.
+pub trait Layer {
+    /// Runs the layer, appending ops to `tape`. `train` selects batch-stat
+    /// behaviour (batch norm) and observer updates (quantizers).
+    fn forward(&mut self, tape: &mut Tape, x: Var, train: bool) -> Var;
+
+    /// Visits every parameter (for optimizers, serialization, counting).
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param));
+
+    /// Clears learned *statistics* (batch-norm running estimates,
+    /// quantization range observers) without touching weights. Called
+    /// before a post-training swap so the warm-up re-estimates every
+    /// moving average from scratch (paper Table 1 procedure). Layers
+    /// without statistics keep the default no-op; composite layers must
+    /// forward the call to children.
+    fn reset_statistics(&mut self) {}
+
+    /// Total trainable scalar count.
+    fn param_count(&mut self) -> usize {
+        let mut n = 0;
+        self.visit_params(&mut |p| {
+            if p.trainable {
+                n += p.len()
+            }
+        });
+        n
+    }
+}
+
+/// Standard 2-D convolution lowered via `im2row` + GEMM — the paper's
+/// baseline algorithm ("im2row, one of the most widely used optimized
+/// convolution implementations").
+///
+/// Supports optional fake-quantization of input activations, weights and
+/// outputs (the INT8 `im2row` rows of Table 3).
+#[derive(Debug)]
+pub struct Conv2d {
+    /// Weight `[K, C, kh, kw]`.
+    pub weight: Param,
+    /// Optional bias `[K]`.
+    pub bias: Option<Param>,
+    /// Stride (both dims).
+    pub stride: usize,
+    /// Zero padding (all sides).
+    pub pad: usize,
+    /// Quantization of activations/weights.
+    pub quant: QuantConfig,
+    obs_in: Observer,
+    obs_w: Observer,
+    obs_out: Observer,
+}
+
+impl Conv2d {
+    /// Creates a conv layer with Kaiming-normal weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        name: &str,
+        in_ch: usize,
+        out_ch: usize,
+        kernel: usize,
+        stride: usize,
+        pad: usize,
+        bias: bool,
+        quant: QuantConfig,
+        rng: &mut SeededRng,
+    ) -> Conv2d {
+        assert!(in_ch > 0 && out_ch > 0 && kernel > 0 && stride > 0, "conv dims must be positive");
+        let weight = Param::new(
+            format!("{name}.weight"),
+            rng.kaiming_tensor(&[out_ch, in_ch, kernel, kernel]),
+        );
+        let bias = bias.then(|| Param::new(format!("{name}.bias"), Tensor::zeros(&[out_ch])));
+        Conv2d {
+            weight,
+            bias,
+            stride,
+            pad,
+            quant,
+            obs_in: Observer::default(),
+            obs_w: Observer::default(),
+            obs_out: Observer::default(),
+        }
+    }
+
+    /// Output channel count.
+    pub fn out_channels(&self) -> usize {
+        self.weight.value.dim(0)
+    }
+
+    /// Input channel count.
+    pub fn in_channels(&self) -> usize {
+        self.weight.value.dim(1)
+    }
+
+    /// Kernel size.
+    pub fn kernel(&self) -> usize {
+        self.weight.value.dim(2)
+    }
+
+    /// Freezes/unfreezes the layer's range observers (eval vs train).
+    pub fn set_observers_frozen(&mut self, frozen: bool) {
+        for o in [&mut self.obs_in, &mut self.obs_w, &mut self.obs_out] {
+            if frozen {
+                o.freeze()
+            } else {
+                o.unfreeze()
+            }
+        }
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, tape: &mut Tape, x: Var, train: bool) -> Var {
+        let (n, _c, h, w) = {
+            let v = tape.value(x);
+            assert_eq!(v.ndim(), 4, "Conv2d expects NCHW input, got {:?}", v.shape());
+            (v.dim(0), v.dim(1), v.dim(2), v.dim(3))
+        };
+        let k = self.out_channels();
+        let (kh, kw) = (self.kernel(), self.kernel());
+        let oh = (h + 2 * self.pad - kh) / self.stride + 1;
+        let ow = (w + 2 * self.pad - kw) / self.stride + 1;
+
+        let xq = observe_quant(tape, x, self.quant.activations, &mut self.obs_in, train);
+        let wv = tape.param(&mut self.weight);
+        let wq = observe_quant(tape, wv, self.quant.weights, &mut self.obs_w, train);
+
+        let xp = tape.pad(xq, self.pad);
+        let rows = tape.im2row(xp, kh, kw, self.stride);
+        let wmat = tape.reshape(wq, &[k, self.in_channels() * kh * kw]);
+        let mut out = tape.matmul_nt(rows, wmat); // [N·oh·ow, K]
+        if let Some(b) = &mut self.bias {
+            let bv = tape.param(b);
+            out = tape.add_bias_rows(out, bv);
+        }
+        // [N, oh·ow, K] -> [N, K, oh·ow] -> NCHW
+        let p = tape.permute3(out, [n, oh * ow, k], [0, 2, 1]);
+        let y = tape.reshape(p, &[n, k, oh, ow]);
+        observe_quant(tape, y, self.quant.activations, &mut self.obs_out, train)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.weight);
+        if let Some(b) = &mut self.bias {
+            f(b);
+        }
+    }
+
+    fn reset_statistics(&mut self) {
+        self.obs_in.reset();
+        self.obs_w.reset();
+        self.obs_out.reset();
+    }
+}
+
+/// Fully connected layer `y = x·Wᵀ + b` with optional quantization.
+#[derive(Debug)]
+pub struct Linear {
+    /// Weight `[out, in]`.
+    pub weight: Param,
+    /// Bias `[out]`.
+    pub bias: Param,
+    /// Quantization of activations/weights.
+    pub quant: QuantConfig,
+    obs_in: Observer,
+    obs_w: Observer,
+}
+
+impl Linear {
+    /// Creates a linear layer with Kaiming-normal weights and zero bias.
+    pub fn new(name: &str, in_dim: usize, out_dim: usize, quant: QuantConfig, rng: &mut SeededRng) -> Linear {
+        Linear {
+            weight: Param::new(format!("{name}.weight"), rng.kaiming_tensor(&[out_dim, in_dim])),
+            bias: Param::new(format!("{name}.bias"), Tensor::zeros(&[out_dim])),
+            quant,
+            obs_in: Observer::default(),
+            obs_w: Observer::default(),
+        }
+    }
+}
+
+impl Layer for Linear {
+    fn forward(&mut self, tape: &mut Tape, x: Var, train: bool) -> Var {
+        let xq = observe_quant(tape, x, self.quant.activations, &mut self.obs_in, train);
+        let wv = tape.param(&mut self.weight);
+        let wq = observe_quant(tape, wv, self.quant.weights, &mut self.obs_w, train);
+        let bv = tape.param(&mut self.bias);
+        let y = tape.matmul_nt(xq, wq);
+        tape.add_bias_rows(y, bv)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.weight);
+        f(&mut self.bias);
+    }
+
+    fn reset_statistics(&mut self) {
+        self.obs_in.reset();
+        self.obs_w.reset();
+    }
+}
+
+/// Batch normalization over NCHW with learnable affine and running
+/// statistics.
+#[derive(Debug)]
+pub struct BatchNorm2d {
+    /// Scale `[C]`.
+    pub gamma: Param,
+    /// Shift `[C]`.
+    pub beta: Param,
+    running_mean: Vec<f32>,
+    running_var: Vec<f32>,
+    momentum: f32,
+    eps: f32,
+}
+
+impl BatchNorm2d {
+    /// Creates a batch-norm layer for `channels` channels.
+    pub fn new(name: &str, channels: usize) -> BatchNorm2d {
+        BatchNorm2d {
+            gamma: Param::new(format!("{name}.gamma"), Tensor::ones(&[channels])),
+            beta: Param::new(format!("{name}.beta"), Tensor::zeros(&[channels])),
+            running_mean: vec![0.0; channels],
+            running_var: vec![1.0; channels],
+            momentum: 0.9,
+            eps: 1e-5,
+        }
+    }
+
+    /// Current running mean (for tests/serialization).
+    pub fn running_mean(&self) -> &[f32] {
+        &self.running_mean
+    }
+
+    /// Current running variance.
+    pub fn running_var(&self) -> &[f32] {
+        &self.running_var
+    }
+}
+
+impl Layer for BatchNorm2d {
+    fn forward(&mut self, tape: &mut Tape, x: Var, train: bool) -> Var {
+        let g = tape.param(&mut self.gamma);
+        let b = tape.param(&mut self.beta);
+        let (y, mean, var) = tape.batch_norm(
+            x,
+            g,
+            b,
+            &self.running_mean,
+            &self.running_var,
+            self.eps,
+            train,
+        );
+        if train {
+            for c in 0..self.running_mean.len() {
+                self.running_mean[c] =
+                    self.momentum * self.running_mean[c] + (1.0 - self.momentum) * mean[c];
+                self.running_var[c] =
+                    self.momentum * self.running_var[c] + (1.0 - self.momentum) * var[c];
+            }
+        }
+        y
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.gamma);
+        f(&mut self.beta);
+    }
+
+    fn reset_statistics(&mut self) {
+        self.running_mean.fill(0.0);
+        self.running_var.fill(1.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv2d_shapes_and_param_count() {
+        let mut rng = SeededRng::new(0);
+        let mut conv = Conv2d::new("c", 3, 8, 3, 1, 1, true, QuantConfig::FP32, &mut rng);
+        assert_eq!(conv.param_count(), 8 * 3 * 9 + 8);
+        let mut tape = Tape::new();
+        let x = tape.leaf(rng.uniform_tensor(&[2, 3, 8, 8], -1.0, 1.0));
+        let y = conv.forward(&mut tape, x, true);
+        assert_eq!(tape.value(y).shape(), &[2, 8, 8, 8]);
+    }
+
+    #[test]
+    fn conv2d_stride_two_shape() {
+        let mut rng = SeededRng::new(1);
+        let mut conv = Conv2d::new("c", 2, 4, 3, 2, 1, false, QuantConfig::FP32, &mut rng);
+        let mut tape = Tape::new();
+        let x = tape.leaf(rng.uniform_tensor(&[1, 2, 8, 8], -1.0, 1.0));
+        let y = conv.forward(&mut tape, x, true);
+        assert_eq!(tape.value(y).shape(), &[1, 4, 4, 4]);
+    }
+
+    #[test]
+    fn conv2d_matches_direct_reference() {
+        let mut rng = SeededRng::new(2);
+        let mut conv = Conv2d::new("c", 3, 5, 3, 1, 1, true, QuantConfig::FP32, &mut rng);
+        let x = rng.uniform_tensor(&[2, 3, 6, 7], -1.0, 1.0);
+        let mut tape = Tape::new();
+        let xv = tape.leaf(x.clone());
+        let y = conv.forward(&mut tape, xv, false);
+        let want = wa_tensor::conv2d_direct(
+            &x,
+            &conv.weight.value,
+            conv.bias.as_ref().map(|b| &b.value),
+            1,
+            1,
+        );
+        let got = tape.value(y);
+        assert_eq!(got.shape(), want.shape());
+        for (a, b) in got.data().iter().zip(want.data()) {
+            assert!((a - b).abs() < 1e-4, "{} vs {}", a, b);
+        }
+    }
+
+    #[test]
+    fn quantized_conv_differs_but_is_close() {
+        let mut rng = SeededRng::new(3);
+        let mut conv_fp =
+            Conv2d::new("c", 2, 4, 3, 1, 1, false, QuantConfig::FP32, &mut rng);
+        let mut conv_q =
+            Conv2d::new("q", 2, 4, 3, 1, 1, false, QuantConfig::uniform(BitWidth::INT8), &mut rng);
+        conv_q.weight.value = conv_fp.weight.value.clone();
+        let x = rng.uniform_tensor(&[1, 2, 6, 6], -1.0, 1.0);
+        let mut t1 = Tape::new();
+        let x1 = t1.leaf(x.clone());
+        let y1 = conv_fp.forward(&mut t1, x1, true);
+        let mut t2 = Tape::new();
+        let x2 = t2.leaf(x);
+        let y2 = conv_q.forward(&mut t2, x2, true);
+        let (a, b) = (t1.value(y1), t2.value(y2));
+        assert_ne!(a.data(), b.data(), "INT8 must differ from FP32");
+        let mut max_err = 0.0f32;
+        for (p, q) in a.data().iter().zip(b.data()) {
+            max_err = max_err.max((p - q).abs());
+        }
+        assert!(max_err < 0.2, "INT8 error should be moderate: {}", max_err);
+    }
+
+    #[test]
+    fn linear_forward_values() {
+        let mut rng = SeededRng::new(4);
+        let mut lin = Linear::new("l", 3, 2, QuantConfig::FP32, &mut rng);
+        lin.weight.value = Tensor::from_vec(vec![1.0, 0.0, 0.0, 0.0, 1.0, 0.0], &[2, 3]);
+        lin.bias.value = Tensor::from_vec(vec![0.5, -0.5], &[2]);
+        let mut tape = Tape::new();
+        let x = tape.leaf(Tensor::from_vec(vec![1.0, 2.0, 3.0], &[1, 3]));
+        let y = lin.forward(&mut tape, x, true);
+        assert_eq!(tape.value(y).data(), &[1.5, 1.5]);
+    }
+
+    #[test]
+    fn batchnorm_normalizes_in_train_mode() {
+        let mut bn = BatchNorm2d::new("bn", 2);
+        let mut rng = SeededRng::new(5);
+        let mut tape = Tape::new();
+        let x = tape.leaf(rng.uniform_tensor(&[4, 2, 5, 5], 3.0, 5.0));
+        let y = bn.forward(&mut tape, x, true);
+        let yv = tape.value(y);
+        // per-channel mean ≈ 0, var ≈ 1
+        let (n, c, h, w) = (4, 2, 5, 5);
+        for ch in 0..c {
+            let mut mean = 0.0f64;
+            let mut count = 0;
+            for img in 0..n {
+                let base = (img * c + ch) * h * w;
+                for i in base..base + h * w {
+                    mean += yv.data()[i] as f64;
+                    count += 1;
+                }
+            }
+            mean /= count as f64;
+            assert!(mean.abs() < 1e-4, "channel {} mean {}", ch, mean);
+        }
+        // running stats moved toward batch stats
+        assert!(bn.running_mean()[0] > 0.0);
+    }
+
+    #[test]
+    fn batchnorm_eval_uses_running_stats() {
+        let mut bn = BatchNorm2d::new("bn", 1);
+        let mut rng = SeededRng::new(6);
+        // Train several batches to move running stats
+        for _ in 0..20 {
+            let mut tape = Tape::new();
+            let x = tape.leaf(rng.uniform_tensor(&[8, 1, 4, 4], 1.0, 3.0));
+            let _ = bn.forward(&mut tape, x, true);
+        }
+        let mut tape = Tape::new();
+        let x = tape.leaf(Tensor::full(&[1, 1, 2, 2], 2.0));
+        let y = bn.forward(&mut tape, x, false);
+        // running mean ≈ 2, so output ≈ 0
+        for &v in tape.value(y).data() {
+            assert!(v.abs() < 0.6, "eval output {}", v);
+        }
+    }
+}

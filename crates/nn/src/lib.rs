@@ -1,0 +1,54 @@
+//! # wa-nn
+//!
+//! A compact define-by-run neural-network stack: tape-based reverse-mode
+//! autodiff ([`Tape`]), layers ([`Conv2d`], [`Linear`], [`BatchNorm2d`]),
+//! optimizers ([`Sgd`], [`Adam`], [`CosineAnnealing`]) and metrics.
+//!
+//! Built from scratch so that the Winograd-aware convolution of
+//! *Searching for Winograd-aware Quantized Networks* (MLSys 2020) can be
+//! expressed op-by-op — matmuls, tile gathers/scatters, per-coordinate
+//! batched GEMM and straight-through fake-quantization — with gradients
+//! flowing through **every** stage, including the transform matrices
+//! `Aᵀ`, `G`, `Bᵀ` when they are trainable (`-flex`).
+//!
+//! # Example
+//!
+//! ```
+//! use wa_nn::{accuracy, Layer, Linear, Optimizer, QuantConfig, Sgd, Tape};
+//! use wa_tensor::{SeededRng, Tensor};
+//!
+//! // learn y = argmax over a linear map of 2-D points
+//! let mut rng = SeededRng::new(7);
+//! let mut model = Linear::new("clf", 2, 2, QuantConfig::FP32, &mut rng);
+//! let mut opt = Sgd::new(0.5, 0.0, false, 0.0);
+//! for _ in 0..200 {
+//!     let xs = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], &[2, 2]);
+//!     let mut tape = Tape::new();
+//!     let x = tape.leaf(xs);
+//!     let logits = model.forward(&mut tape, x, true);
+//!     let loss = tape.cross_entropy(logits, &[0, 1]);
+//!     let grads = tape.backward(loss);
+//!     model.visit_params(&mut |p| {
+//!         p.absorb(&grads);
+//!         opt.update(p);
+//!     });
+//! }
+//! let mut tape = Tape::new();
+//! let x = tape.leaf(Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], &[2, 2]));
+//! let logits = model.forward(&mut tape, x, false);
+//! assert_eq!(accuracy(tape.value(logits), &[0, 1]), 1.0);
+//! ```
+
+mod checkpoint;
+mod layers;
+mod metrics;
+mod optim;
+mod param;
+mod tape;
+
+pub use checkpoint::{export_params, import_params, Checkpoint, CheckpointError};
+pub use layers::{observe_quant, BatchNorm2d, Conv2d, Layer, Linear, QuantConfig};
+pub use metrics::{accuracy, RunningMean};
+pub use optim::{Adam, CosineAnnealing, Optimizer, Sgd};
+pub use param::Param;
+pub use tape::{Gradients, Tape, Var};

@@ -1,0 +1,78 @@
+//! Classification metrics.
+
+use wa_tensor::Tensor;
+
+/// Top-1 accuracy of `logits` `[N, K]` against integer `targets`.
+///
+/// # Panics
+///
+/// Panics if `logits` is not 2-D or lengths disagree.
+///
+/// # Example
+///
+/// ```
+/// use wa_nn::accuracy;
+/// use wa_tensor::Tensor;
+///
+/// let logits = Tensor::from_vec(vec![0.9, 0.1, 0.2, 0.8], &[2, 2]);
+/// assert_eq!(accuracy(&logits, &[0, 1]), 1.0);
+/// assert_eq!(accuracy(&logits, &[1, 1]), 0.5);
+/// ```
+pub fn accuracy(logits: &Tensor, targets: &[usize]) -> f64 {
+    assert_eq!(logits.ndim(), 2, "accuracy expects [N, K] logits");
+    assert_eq!(logits.dim(0), targets.len(), "batch size mismatch");
+    if targets.is_empty() {
+        return 0.0;
+    }
+    let preds = logits.argmax_rows();
+    let correct = preds.iter().zip(targets).filter(|(p, t)| p == t).count();
+    correct as f64 / targets.len() as f64
+}
+
+/// Running average helper for epoch-level metrics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RunningMean {
+    sum: f64,
+    weight: f64,
+}
+
+impl RunningMean {
+    /// Creates an empty accumulator.
+    pub fn new() -> RunningMean {
+        RunningMean::default()
+    }
+
+    /// Adds an observation with the given weight (e.g. batch size).
+    pub fn add(&mut self, value: f64, weight: f64) {
+        self.sum += value * weight;
+        self.weight += weight;
+    }
+
+    /// Weighted mean so far (0.0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.weight == 0.0 {
+            0.0
+        } else {
+            self.sum / self.weight
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_counts_matches() {
+        let logits = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0, 1.0, 0.0], &[3, 2]);
+        assert_eq!(accuracy(&logits, &[0, 1, 1]), 2.0 / 3.0);
+    }
+
+    #[test]
+    fn running_mean_weights() {
+        let mut rm = RunningMean::new();
+        rm.add(1.0, 1.0);
+        rm.add(0.0, 3.0);
+        assert!((rm.mean() - 0.25).abs() < 1e-12);
+    }
+}

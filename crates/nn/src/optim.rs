@@ -1,0 +1,275 @@
+//! Optimizers and learning-rate schedules.
+//!
+//! The paper trains Winograd-aware networks with Adam (§5.1) and runs the
+//! wiNAS weight stage with SGD + Nesterov momentum and the architecture
+//! stage with Adam at β₁ = 0 ("so the optimizer only updates paths that
+//! have been sampled"), both under cosine-annealing schedules (§5.2).
+
+use std::collections::HashMap;
+
+use wa_tensor::Tensor;
+
+use crate::param::Param;
+
+/// A parameter-wise optimizer.
+pub trait Optimizer {
+    /// Applies one update to `p` from `p.grad` (no-op if absent or frozen)
+    /// and clears the gradient.
+    fn update(&mut self, p: &mut Param);
+
+    /// Sets the learning rate (driven by a schedule).
+    fn set_lr(&mut self, lr: f32);
+
+    /// Current learning rate.
+    fn lr(&self) -> f32;
+}
+
+/// Mini-batch SGD with (optionally Nesterov) momentum and L2 weight decay.
+///
+/// Matches the PyTorch update rule: `v ← μ·v + (g + λw)`; step is
+/// `g + μ·v` for Nesterov, `v` otherwise.
+#[derive(Debug)]
+pub struct Sgd {
+    lr: f32,
+    /// Momentum coefficient μ.
+    pub momentum: f32,
+    /// Use the Nesterov variant.
+    pub nesterov: bool,
+    /// L2 penalty λ (the `λ₀‖w‖²` of the paper's Eq. 2 enters the update
+    /// as `λ·w`).
+    pub weight_decay: f32,
+    velocity: HashMap<u64, Tensor>,
+}
+
+impl Sgd {
+    /// Creates SGD with the given hyper-parameters.
+    pub fn new(lr: f32, momentum: f32, nesterov: bool, weight_decay: f32) -> Sgd {
+        Sgd { lr, momentum, nesterov, weight_decay, velocity: HashMap::new() }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn update(&mut self, p: &mut Param) {
+        if !p.trainable {
+            p.zero_grad();
+            return;
+        }
+        let Some(grad) = p.grad.take() else { return };
+        let mut g = grad;
+        if self.weight_decay != 0.0 {
+            g.add_scaled_assign(&p.value, self.weight_decay);
+        }
+        let step = if self.momentum != 0.0 {
+            let v = self
+                .velocity
+                .entry(p.id())
+                .or_insert_with(|| Tensor::zeros(p.value.shape()));
+            // v = μ·v + g
+            *v = v.scale(self.momentum);
+            v.add_assign(&g);
+            if self.nesterov {
+                let mut s = g;
+                s.add_scaled_assign(v, self.momentum);
+                s
+            } else {
+                v.clone()
+            }
+        } else {
+            g
+        };
+        p.value.add_scaled_assign(&step, -self.lr);
+    }
+
+    fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+
+    fn lr(&self) -> f32 {
+        self.lr
+    }
+}
+
+/// Adam (Kingma & Ba 2015). Setting `beta1 = 0` disables the first-moment
+/// EMA, the configuration wiNAS uses for architecture parameters.
+#[derive(Debug)]
+pub struct Adam {
+    lr: f32,
+    /// First-moment decay β₁.
+    pub beta1: f32,
+    /// Second-moment decay β₂.
+    pub beta2: f32,
+    /// Numerical stabilizer ε.
+    pub eps: f32,
+    /// Decoupled L2 weight decay λ.
+    pub weight_decay: f32,
+    state: HashMap<u64, AdamState>,
+}
+
+#[derive(Debug)]
+struct AdamState {
+    m: Tensor,
+    v: Tensor,
+    t: u32,
+}
+
+impl Adam {
+    /// Creates Adam with standard defaults `β₁ = 0.9, β₂ = 0.999, ε = 1e-8`.
+    pub fn new(lr: f32) -> Adam {
+        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, weight_decay: 0.0, state: HashMap::new() }
+    }
+
+    /// Adam with explicit β₁ (wiNAS architecture stage uses β₁ = 0).
+    pub fn with_beta1(lr: f32, beta1: f32) -> Adam {
+        Adam { beta1, ..Adam::new(lr) }
+    }
+}
+
+impl Optimizer for Adam {
+    fn update(&mut self, p: &mut Param) {
+        if !p.trainable {
+            p.zero_grad();
+            return;
+        }
+        let Some(grad) = p.grad.take() else { return };
+        let mut g = grad;
+        if self.weight_decay != 0.0 {
+            g.add_scaled_assign(&p.value, self.weight_decay);
+        }
+        let st = self.state.entry(p.id()).or_insert_with(|| AdamState {
+            m: Tensor::zeros(p.value.shape()),
+            v: Tensor::zeros(p.value.shape()),
+            t: 0,
+        });
+        st.t += 1;
+        // m = β₁m + (1−β₁)g ; v = β₂v + (1−β₂)g²
+        st.m = st.m.scale(self.beta1);
+        st.m.add_scaled_assign(&g, 1.0 - self.beta1);
+        let g2 = g.mul(&g);
+        st.v = st.v.scale(self.beta2);
+        st.v.add_scaled_assign(&g2, 1.0 - self.beta2);
+        let bc1 = 1.0 - self.beta1.powi(st.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(st.t as i32);
+        let lr = self.lr;
+        let eps = self.eps;
+        let update = st.m.zip_map(&st.v, |m, v| {
+            let mhat = if bc1 > 0.0 { m / bc1 } else { m };
+            let vhat = v / bc2;
+            lr * mhat / (vhat.sqrt() + eps)
+        });
+        p.value.add_scaled_assign(&update, -1.0);
+    }
+
+    fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+
+    fn lr(&self) -> f32 {
+        self.lr
+    }
+}
+
+/// Cosine-annealing learning-rate schedule (Loshchilov & Hutter 2017,
+/// without restarts): `lr(t) = lr_min + ½(lr_max − lr_min)(1 + cos(πt/T))`.
+#[derive(Clone, Copy, Debug)]
+pub struct CosineAnnealing {
+    /// Peak learning rate (epoch 0).
+    pub lr_max: f32,
+    /// Floor learning rate (epoch T).
+    pub lr_min: f32,
+    /// Total epochs T.
+    pub total_epochs: usize,
+}
+
+impl CosineAnnealing {
+    /// Creates a schedule decaying from `lr_max` to `lr_min` over
+    /// `total_epochs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total_epochs == 0`.
+    pub fn new(lr_max: f32, lr_min: f32, total_epochs: usize) -> CosineAnnealing {
+        assert!(total_epochs > 0, "schedule needs at least one epoch");
+        CosineAnnealing { lr_max, lr_min, total_epochs }
+    }
+
+    /// Learning rate at the given epoch (clamped to the horizon).
+    pub fn lr_at(&self, epoch: usize) -> f32 {
+        let t = epoch.min(self.total_epochs) as f32 / self.total_epochs as f32;
+        self.lr_min + 0.5 * (self.lr_max - self.lr_min) * (1.0 + (std::f32::consts::PI * t).cos())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quad_param(x0: f32) -> Param {
+        Param::new("w", Tensor::from_vec(vec![x0], &[1]))
+    }
+
+    /// Minimize f(w) = w² with analytic gradient 2w.
+    fn descend(opt: &mut dyn Optimizer, steps: usize, x0: f32) -> f32 {
+        let mut p = quad_param(x0);
+        for _ in 0..steps {
+            p.grad = Some(p.value.scale(2.0));
+            opt.update(&mut p);
+        }
+        p.value.data()[0]
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut opt = Sgd::new(0.1, 0.0, false, 0.0);
+        assert!(descend(&mut opt, 50, 3.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn sgd_momentum_and_nesterov_converge() {
+        let mut m = Sgd::new(0.05, 0.9, false, 0.0);
+        assert!(descend(&mut m, 200, 3.0).abs() < 1e-2);
+        let mut n = Sgd::new(0.05, 0.9, true, 0.0);
+        assert!(descend(&mut n, 200, 3.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut opt = Adam::new(0.1);
+        assert!(descend(&mut opt, 300, 3.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn adam_beta1_zero_converges() {
+        let mut opt = Adam::with_beta1(0.1, 0.0);
+        assert!(descend(&mut opt, 300, 3.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn weight_decay_shrinks_params_without_gradient_signal() {
+        let mut opt = Sgd::new(0.1, 0.0, false, 0.5);
+        let mut p = quad_param(2.0);
+        p.grad = Some(Tensor::zeros(&[1]));
+        opt.update(&mut p);
+        // w ← w − lr·λ·w = 2 − 0.1·0.5·2
+        assert!((p.value.data()[0] - 1.9).abs() < 1e-6);
+    }
+
+    #[test]
+    fn frozen_params_are_not_updated() {
+        let mut opt = Sgd::new(0.1, 0.0, false, 0.0);
+        let mut p = quad_param(1.0);
+        p.trainable = false;
+        p.grad = Some(Tensor::ones(&[1]));
+        opt.update(&mut p);
+        assert_eq!(p.value.data()[0], 1.0);
+        assert!(p.grad.is_none(), "frozen update must still clear grads");
+    }
+
+    #[test]
+    fn cosine_schedule_endpoints_and_midpoint() {
+        let s = CosineAnnealing::new(1.0, 0.0, 100);
+        assert!((s.lr_at(0) - 1.0).abs() < 1e-6);
+        assert!((s.lr_at(50) - 0.5).abs() < 1e-6);
+        assert!(s.lr_at(100) < 1e-6);
+        assert!(s.lr_at(1000) < 1e-6, "clamps past horizon");
+    }
+}

@@ -1,0 +1,111 @@
+//! Trainable parameters.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use serde::{Deserialize, Serialize};
+use wa_tensor::Tensor;
+
+use crate::tape::Var;
+
+static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+
+/// A named, trainable tensor owned by a layer.
+///
+/// Parameters live *outside* the tape (which is rebuilt every forward
+/// pass). Each forward, a layer registers its parameters on the tape with
+/// [`crate::Tape::param`]; after `backward`, gradients are pulled back into
+/// [`Param::grad`] with [`Param::absorb`]. Optimizers key their per-parameter
+/// state on [`Param::id`], which is unique for the process lifetime.
+///
+/// The paper's `-flex` configurations simply mark the Winograd transform
+/// parameters `Aᵀ`, `G`, `Bᵀ` as `trainable`; static configurations keep
+/// the same parameters with `trainable = false`.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct Param {
+    /// Human-readable name (used in logs and serialization).
+    pub name: String,
+    /// Current value.
+    pub value: Tensor,
+    /// Gradient accumulated by the most recent backward pass(es).
+    pub grad: Option<Tensor>,
+    /// Whether the optimizer may update this parameter.
+    pub trainable: bool,
+    #[serde(skip, default = "fresh_id")]
+    id: u64,
+    #[serde(skip)]
+    last_var: Option<(u64, Var)>,
+}
+
+fn fresh_id() -> u64 {
+    NEXT_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+impl Param {
+    /// Creates a trainable parameter.
+    pub fn new(name: impl Into<String>, value: Tensor) -> Param {
+        Param {
+            name: name.into(),
+            value,
+            grad: None,
+            trainable: true,
+            id: fresh_id(),
+            last_var: None,
+        }
+    }
+
+    /// Creates a frozen (non-trainable) parameter — e.g. static Winograd
+    /// transforms.
+    pub fn frozen(name: impl Into<String>, value: Tensor) -> Param {
+        let mut p = Param::new(name, value);
+        p.trainable = false;
+        p
+    }
+
+    /// Process-unique identity, stable across forward passes.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The tape variable this parameter was registered as in the most
+    /// recent forward pass.
+    pub fn last_var(&self) -> Option<Var> {
+        self.last_var.map(|(_, v)| v)
+    }
+
+    pub(crate) fn set_last_var(&mut self, tape_id: u64, v: Var) {
+        self.last_var = Some((tape_id, v));
+    }
+
+    /// Pulls this parameter's gradient out of `grads`, **accumulating**
+    /// into any existing gradient (so mini-batch gradient accumulation
+    /// works). No-op if the parameter was not used in the forward pass
+    /// that produced `grads` — in particular, a registration from an
+    /// *older* tape is ignored rather than misread (stale `Var` indices
+    /// would otherwise alias arbitrary nodes of the new tape).
+    pub fn absorb(&mut self, grads: &crate::tape::Gradients) {
+        let Some((tape_id, v)) = self.last_var else { return };
+        if tape_id != grads.tape_id() {
+            return;
+        }
+        let Some(g) = grads.get(v) else { return };
+        match &mut self.grad {
+            Some(acc) => acc.add_assign(g),
+            None => self.grad = Some(g.clone()),
+        }
+    }
+
+    /// Clears the stored gradient.
+    pub fn zero_grad(&mut self) {
+        self.grad = None;
+    }
+
+    /// Number of scalar elements.
+    pub fn len(&self) -> usize {
+        self.value.len()
+    }
+
+    /// Whether the parameter is empty (never true in practice).
+    pub fn is_empty(&self) -> bool {
+        self.value.is_empty()
+    }
+}

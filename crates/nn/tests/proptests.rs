@@ -1,0 +1,154 @@
+//! Property-based tests for the autograd engine.
+
+use proptest::prelude::*;
+use wa_nn::Tape;
+use wa_tensor::{SeededRng, Tensor};
+
+fn rand_tensor(shape: &[usize], seed: u64) -> Tensor {
+    let mut rng = SeededRng::new(seed);
+    rng.uniform_tensor(shape, -1.0, 1.0)
+}
+
+fn dot(a: &Tensor, b: &Tensor) -> f64 {
+    a.data().iter().zip(b.data()).map(|(&x, &y)| (x as f64) * (y as f64)).sum()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Linearity of the gradient: ∇(αf) = α∇f for a matmul-chain loss.
+    #[test]
+    fn gradient_scales_linearly(
+        m in 1usize..5,
+        k in 1usize..5,
+        alpha in 0.1f32..3.0,
+        seed in 0u64..500,
+    ) {
+        let a = rand_tensor(&[m, k], seed);
+        let b = rand_tensor(&[k, m], seed + 1);
+        let grad_of = |scale: f32| {
+            let mut tape = Tape::new();
+            let av = tape.leaf_grad(a.clone());
+            let bv = tape.leaf(b.clone());
+            let c = tape.matmul(av, bv);
+            let s = tape.sq_sum(c);
+            let loss = tape.scale(s, scale);
+            let grads = tape.backward(loss);
+            grads.get(av).unwrap().clone()
+        };
+        let g1 = grad_of(1.0);
+        let ga = grad_of(alpha);
+        for (x, y) in g1.data().iter().zip(ga.data()) {
+            prop_assert!((alpha * x - y).abs() < 1e-3 * (1.0 + y.abs()), "{} vs {}", alpha * x, y);
+        }
+    }
+
+    /// The gradient of ⟨w, x⟩ w.r.t. w is x — for any shape, through a
+    /// reshape round-trip.
+    #[test]
+    fn inner_product_gradient_is_other_factor(
+        n in 1usize..30,
+        seed in 0u64..500,
+    ) {
+        let w = rand_tensor(&[n], seed);
+        let x = rand_tensor(&[n], seed + 7);
+        let mut tape = Tape::new();
+        let wv = tape.leaf_grad(w.clone());
+        let xv = tape.leaf(x.clone());
+        let wr = tape.reshape(wv, &[1, n]);
+        let xr = tape.reshape(xv, &[1, n]);
+        let prod = tape.mul(wr, xr);
+        // sum via sq_sum of sqrt is awkward; use matmul with ones instead
+        let ones = tape.leaf(Tensor::ones(&[n, 1]));
+        let s = tape.matmul(prod, ones); // [1,1]
+        let loss = tape.reshape(s, &[1]);
+        let grads = tape.backward(loss);
+        let g = grads.get(wv).unwrap();
+        for (a, b) in g.data().iter().zip(x.data()) {
+            prop_assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    /// Backward of a linear op L is its adjoint: ⟨L(x), y⟩ = ⟨x, Lᵀ(y)⟩,
+    /// checked through the tape for the tile-transpose op.
+    #[test]
+    fn tape_linear_ops_are_adjoint(
+        rows in 1usize..4,
+        a in 2usize..5,
+        b in 2usize..5,
+        seed in 0u64..500,
+    ) {
+        let x = rand_tensor(&[rows, a * b], seed);
+        let y = rand_tensor(&[rows, b * a], seed + 3);
+        // forward L(x)
+        let mut tape = Tape::new();
+        let xv = tape.leaf_grad(x.clone());
+        let lx = tape.tile_transpose(xv, a, b);
+        // loss = <L(x), y>: backward gives Lᵀ(y)
+        let yv = tape.leaf(y.clone());
+        let prod = tape.mul(lx, yv);
+        let flat = tape.reshape(prod, &[rows * a * b]);
+        let ones = tape.leaf(Tensor::ones(&[rows * a * b, 1]));
+        let row = tape.reshape(flat, &[1, rows * a * b]);
+        let s = tape.matmul(row, ones);
+        let loss = tape.reshape(s, &[1]);
+        let lx_val = tape.value(lx).clone();
+        let grads = tape.backward(loss);
+        let lt_y = grads.get(xv).unwrap();
+        prop_assert!((dot(&lx_val, &y) - dot(&x, lt_y)).abs() < 1e-3);
+    }
+
+    /// Cross-entropy loss is non-negative and its logit gradients sum to
+    /// zero per row (softmax shift invariance).
+    #[test]
+    fn cross_entropy_invariants(
+        n in 1usize..5,
+        k in 2usize..6,
+        seed in 0u64..500,
+    ) {
+        let logits = rand_tensor(&[n, k], seed);
+        let targets: Vec<usize> = (0..n).map(|i| (i * 31 + seed as usize) % k).collect();
+        let mut tape = Tape::new();
+        let lv = tape.leaf_grad(logits);
+        let loss = tape.cross_entropy(lv, &targets);
+        prop_assert!(tape.value(loss).data()[0] >= 0.0);
+        let grads = tape.backward(loss);
+        let g = grads.get(lv).unwrap();
+        for i in 0..n {
+            let row_sum: f64 = g.data()[i * k..(i + 1) * k].iter().map(|&v| v as f64).sum();
+            prop_assert!(row_sum.abs() < 1e-5, "row {} grad sum {}", i, row_sum);
+        }
+    }
+
+    /// Fake-quant STE: the op's output is on the quantization grid and
+    /// the gradient mask is binary.
+    #[test]
+    fn fake_quant_grid_and_mask(
+        n in 1usize..20,
+        scale in 0.01f32..0.5,
+        seed in 0u64..500,
+    ) {
+        use wa_quant::BitWidth;
+        let x = rand_tensor(&[n], seed).scale(3.0);
+        let mut tape = Tape::new();
+        let xv = tape.leaf_grad(x.clone());
+        let q = tape.fake_quant(xv, BitWidth::INT8, scale);
+        for &v in tape.value(q).data() {
+            let steps = v / scale;
+            prop_assert!((steps - steps.round()).abs() < 1e-3, "{} not on grid {}", v, scale);
+        }
+        let loss = tape.sq_sum(q);
+        let grads = tape.backward(loss);
+        let g = grads.get(xv).unwrap();
+        let qv = tape.value(q);
+        for (i, (&gi, &xi)) in g.data().iter().zip(x.data()).enumerate() {
+            let saturated = xi.abs() > 127.0 * scale;
+            if saturated {
+                prop_assert!(gi == 0.0, "elem {}: saturated but grad {}", i, gi);
+            } else {
+                // unsaturated STE passes 2·q through
+                prop_assert!((gi - 2.0 * qv.data()[i]).abs() < 1e-4);
+            }
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Numeric precision descriptors.
+
+use serde::{Deserialize, Serialize};
+
+/// The precision a tensor is (fake-)quantized to.
+///
+/// `Fp32` is the identity (no quantization); `Int(b)` is signed symmetric
+/// uniform quantization with `2^(b−1) − 1` positive levels, i.e. the
+/// representable integers are `−qmax ..= qmax` with `qmax = 2^(b−1) − 1`
+/// (the symmetric, zero-point-free scheme of Krishnamoorthi 2018 §2.2 used
+/// throughout the paper).
+///
+/// # Example
+///
+/// ```
+/// use wa_quant::BitWidth;
+///
+/// assert_eq!(BitWidth::INT8.qmax(), 127);
+/// assert_eq!(BitWidth::INT16.qmax(), 32767);
+/// assert!(BitWidth::FP32.is_float());
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum BitWidth {
+    /// 32-bit floating point — no quantization.
+    Fp32,
+    /// Signed integer with the given number of bits (2 ..= 31).
+    Int(u8),
+}
+
+impl BitWidth {
+    /// 32-bit float (identity).
+    pub const FP32: BitWidth = BitWidth::Fp32;
+    /// 16-bit signed integer.
+    pub const INT16: BitWidth = BitWidth::Int(16);
+    /// 10-bit signed integer (Figure 4's third panel).
+    pub const INT10: BitWidth = BitWidth::Int(10);
+    /// 8-bit signed integer.
+    pub const INT8: BitWidth = BitWidth::Int(8);
+
+    /// Largest representable quantized magnitude, `2^(b−1) − 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics for `Fp32` (which has no quantization grid) and for widths
+    /// outside `2..=31`.
+    pub fn qmax(self) -> i32 {
+        match self {
+            BitWidth::Fp32 => panic!("FP32 has no quantization maximum"),
+            BitWidth::Int(b) => {
+                assert!((2..=31).contains(&b), "unsupported bit width {}", b);
+                (1i32 << (b - 1)) - 1
+            }
+        }
+    }
+
+    /// Whether this is the floating-point (identity) precision.
+    pub fn is_float(self) -> bool {
+        matches!(self, BitWidth::Fp32)
+    }
+
+    /// Number of bits used to store one value (32 for FP32).
+    pub fn bits(self) -> u8 {
+        match self {
+            BitWidth::Fp32 => 32,
+            BitWidth::Int(b) => b,
+        }
+    }
+
+    /// Bytes per element when deployed (ceil of bits/8); INT10 deploys in
+    /// 16-bit containers as on real hardware.
+    pub fn storage_bytes(self) -> usize {
+        match self {
+            BitWidth::Fp32 => 4,
+            BitWidth::Int(b) if b <= 8 => 1,
+            BitWidth::Int(b) if b <= 16 => 2,
+            BitWidth::Int(_) => 4,
+        }
+    }
+}
+
+impl std::fmt::Display for BitWidth {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BitWidth::Fp32 => write!(f, "FP32"),
+            BitWidth::Int(b) => write!(f, "INT{}", b),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qmax_values() {
+        assert_eq!(BitWidth::INT8.qmax(), 127);
+        assert_eq!(BitWidth::INT10.qmax(), 511);
+        assert_eq!(BitWidth::INT16.qmax(), 32767);
+        assert_eq!(BitWidth::Int(2).qmax(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "FP32 has no quantization maximum")]
+    fn fp32_qmax_panics() {
+        let _ = BitWidth::FP32.qmax();
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported bit width")]
+    fn int1_panics() {
+        let _ = BitWidth::Int(1).qmax();
+    }
+
+    #[test]
+    fn display_matches_paper_nomenclature() {
+        assert_eq!(BitWidth::FP32.to_string(), "FP32");
+        assert_eq!(BitWidth::INT8.to_string(), "INT8");
+        assert_eq!(BitWidth::INT10.to_string(), "INT10");
+    }
+
+    #[test]
+    fn storage_bytes() {
+        assert_eq!(BitWidth::FP32.storage_bytes(), 4);
+        assert_eq!(BitWidth::INT8.storage_bytes(), 1);
+        assert_eq!(BitWidth::INT10.storage_bytes(), 2);
+        assert_eq!(BitWidth::INT16.storage_bytes(), 2);
+    }
+
+    #[test]
+    fn ordering_is_by_precision() {
+        assert!(BitWidth::Int(8) < BitWidth::Int(16));
+    }
+}

@@ -1,0 +1,38 @@
+//! # wa-quant
+//!
+//! Uniform **symmetric** per-tensor quantization with straight-through
+//! estimator (STE) gradients, following the scheme of Krishnamoorthi (2018)
+//! that *Searching for Winograd-aware Quantized Networks* (MLSys 2020)
+//! adopts for its INT8/INT10/INT16 experiments.
+//!
+//! The building blocks are:
+//!
+//! * [`BitWidth`] — FP32 or a signed integer width (INT8/INT10/INT16, …).
+//! * [`Observer`] — tracks the dynamic range of a tensor as a running
+//!   maximum or an exponential moving average (the paper warms these up
+//!   on the training set before evaluating post-training swaps, Table 1).
+//! * [`fake_quant`] / [`fake_quant_scale`] — quantize-dequantize in f32,
+//!   exposing the rounding error to training.
+//! * [`ste_mask`] — the STE pass-through mask used by the autograd engine.
+//!
+//! # Example
+//!
+//! ```
+//! use wa_quant::{fake_quant_scale, BitWidth};
+//! use wa_tensor::Tensor;
+//!
+//! let x = Tensor::from_vec(vec![0.1, -0.5, 0.92], &[3]);
+//! let q = fake_quant_scale(&x, BitWidth::INT8, 1.0 / 127.0);
+//! // INT8 symmetric over [-1, 1]: 0.1 snaps to 13/127
+//! assert!((q.data()[0] - 13.0 / 127.0).abs() < 1e-6);
+//! ```
+
+mod bitwidth;
+mod observer;
+mod quantize;
+
+pub use bitwidth::BitWidth;
+pub use observer::{Observer, ObserverMode};
+pub use quantize::{
+    dequantize_i32, fake_quant, fake_quant_scale, quantize_i32, quantization_rmse, ste_mask,
+};

@@ -1,0 +1,196 @@
+//! Dynamic-range observers.
+
+use serde::{Deserialize, Serialize};
+use wa_tensor::Tensor;
+
+use crate::bitwidth::BitWidth;
+
+/// How an [`Observer`] aggregates the ranges it sees.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum ObserverMode {
+    /// Running maximum of |x| over all observations (never shrinks).
+    RunningMax,
+    /// Exponential moving average of the per-batch max |x| — the "moving
+    /// averages" the paper warms up before post-training swaps (Table 1).
+    Ema {
+        /// EMA momentum in `(0, 1)`; the running value keeps `momentum`
+        /// of its history each step.
+        momentum: f32,
+    },
+}
+
+impl Default for ObserverMode {
+    fn default() -> Self {
+        ObserverMode::Ema { momentum: 0.99 }
+    }
+}
+
+/// Tracks the symmetric dynamic range (max |x|) of a tensor stream and
+/// turns it into a quantization scale.
+///
+/// One observer is attached to every quantization point `Qx` of the
+/// Winograd-aware pipeline (weights, activations, `Gg`, `GgGᵀ`, `Bᵀd`,
+/// `BᵀdB`, Hadamard product, `Aᵀy`, `AᵀyA` — Figure 2 of the paper).
+///
+/// # Example
+///
+/// ```
+/// use wa_quant::{BitWidth, Observer, ObserverMode};
+/// use wa_tensor::Tensor;
+///
+/// let mut obs = Observer::new(ObserverMode::RunningMax);
+/// obs.observe(&Tensor::from_vec(vec![0.5, -2.0], &[2]));
+/// assert_eq!(obs.range(), 2.0);
+/// assert!((obs.scale(BitWidth::INT8) - 2.0 / 127.0).abs() < 1e-7);
+/// ```
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Observer {
+    mode: ObserverMode,
+    running: f32,
+    seen: u64,
+    frozen: bool,
+}
+
+impl Default for Observer {
+    fn default() -> Self {
+        Observer::new(ObserverMode::default())
+    }
+}
+
+impl Observer {
+    /// Creates an observer with the given aggregation mode.
+    pub fn new(mode: ObserverMode) -> Self {
+        Observer { mode, running: 0.0, seen: 0, frozen: false }
+    }
+
+    /// Updates the range estimate with a new tensor and returns the current
+    /// range. Frozen observers return the stored range unchanged.
+    pub fn observe(&mut self, x: &Tensor) -> f32 {
+        if self.frozen {
+            return self.running;
+        }
+        let batch_max = x.max_abs();
+        self.running = match self.mode {
+            ObserverMode::RunningMax => self.running.max(batch_max),
+            ObserverMode::Ema { momentum } => {
+                if self.seen == 0 {
+                    batch_max
+                } else {
+                    momentum * self.running + (1.0 - momentum) * batch_max
+                }
+            }
+        };
+        self.seen += 1;
+        self.running
+    }
+
+    /// The current range estimate (max |x|). Zero until first observation.
+    pub fn range(&self) -> f32 {
+        self.running
+    }
+
+    /// Number of batches observed so far.
+    pub fn observations(&self) -> u64 {
+        self.seen
+    }
+
+    /// Stops range updates (evaluation mode).
+    pub fn freeze(&mut self) {
+        self.frozen = true;
+    }
+
+    /// Resumes range updates (training mode).
+    pub fn unfreeze(&mut self) {
+        self.frozen = false;
+    }
+
+    /// Whether the observer is frozen.
+    pub fn is_frozen(&self) -> bool {
+        self.frozen
+    }
+
+    /// Resets the observer to its initial empty state.
+    pub fn reset(&mut self) {
+        self.running = 0.0;
+        self.seen = 0;
+        self.frozen = false;
+    }
+
+    /// Quantization scale for the given precision: `range / qmax`.
+    ///
+    /// Returns a tiny positive scale before any observation so that
+    /// quantizing with an un-warmed observer is safe (everything maps to
+    /// zero) rather than a division by zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is FP32 — FP32 has no scale; callers skip
+    /// quantization entirely at float precision.
+    pub fn scale(&self, bits: BitWidth) -> f32 {
+        let qmax = bits.qmax() as f32;
+        if self.running <= 0.0 {
+            f32::MIN_POSITIVE
+        } else {
+            self.running / qmax
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn running_max_never_shrinks() {
+        let mut obs = Observer::new(ObserverMode::RunningMax);
+        obs.observe(&Tensor::from_vec(vec![3.0], &[1]));
+        obs.observe(&Tensor::from_vec(vec![1.0], &[1]));
+        assert_eq!(obs.range(), 3.0);
+    }
+
+    #[test]
+    fn ema_first_observation_initializes() {
+        let mut obs = Observer::new(ObserverMode::Ema { momentum: 0.9 });
+        obs.observe(&Tensor::from_vec(vec![2.0], &[1]));
+        assert_eq!(obs.range(), 2.0);
+        obs.observe(&Tensor::from_vec(vec![0.0, 1.0], &[2]));
+        assert!((obs.range() - (0.9 * 2.0 + 0.1 * 1.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn freeze_stops_updates() {
+        let mut obs = Observer::new(ObserverMode::RunningMax);
+        obs.observe(&Tensor::from_vec(vec![1.0], &[1]));
+        obs.freeze();
+        obs.observe(&Tensor::from_vec(vec![10.0], &[1]));
+        assert_eq!(obs.range(), 1.0);
+        obs.unfreeze();
+        obs.observe(&Tensor::from_vec(vec![10.0], &[1]));
+        assert_eq!(obs.range(), 10.0);
+    }
+
+    #[test]
+    fn unwarmed_scale_is_tiny_but_positive() {
+        let obs = Observer::default();
+        let s = obs.scale(BitWidth::INT8);
+        assert!(s > 0.0 && s < 1e-30);
+    }
+
+    #[test]
+    fn scale_divides_by_qmax() {
+        let mut obs = Observer::new(ObserverMode::RunningMax);
+        obs.observe(&Tensor::from_vec(vec![-12.7], &[1]));
+        assert!((obs.scale(BitWidth::INT8) - 0.1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut obs = Observer::default();
+        obs.observe(&Tensor::from_vec(vec![5.0], &[1]));
+        obs.freeze();
+        obs.reset();
+        assert_eq!(obs.range(), 0.0);
+        assert_eq!(obs.observations(), 0);
+        assert!(!obs.is_frozen());
+    }
+}

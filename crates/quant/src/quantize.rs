@@ -1,0 +1,190 @@
+//! Quantize/dequantize kernels and the STE gradient mask.
+
+use wa_tensor::Tensor;
+
+use crate::bitwidth::BitWidth;
+use crate::observer::Observer;
+
+/// Fake-quantizes `x` (quantize then dequantize, staying in f32) using a
+/// scale derived from `observer`, updating the observer first.
+///
+/// FP32 returns a clone. This is the training-time forward of every `Qx`
+/// box in Figure 2 of the paper.
+pub fn fake_quant(x: &Tensor, bits: BitWidth, observer: &mut Observer) -> Tensor {
+    if bits.is_float() {
+        return x.clone();
+    }
+    observer.observe(x);
+    fake_quant_scale(x, bits, observer.scale(bits))
+}
+
+/// Fake-quantizes `x` with an explicit scale.
+///
+/// Values are mapped to `clamp(round(x / scale), −qmax, qmax) · scale`.
+/// FP32 returns a clone; a non-positive scale maps everything to zero.
+///
+/// # Example
+///
+/// ```
+/// use wa_quant::{fake_quant_scale, BitWidth};
+/// use wa_tensor::Tensor;
+///
+/// let x = Tensor::from_vec(vec![1.0, -3.0], &[2]);
+/// // scale chosen so qmax*scale = 2.0 -> -3.0 saturates to -2.0
+/// let q = fake_quant_scale(&x, BitWidth::INT8, 2.0 / 127.0);
+/// assert!((q.data()[1] + 2.0).abs() < 1e-6);
+/// ```
+pub fn fake_quant_scale(x: &Tensor, bits: BitWidth, scale: f32) -> Tensor {
+    if bits.is_float() {
+        return x.clone();
+    }
+    if scale <= 0.0 {
+        return Tensor::zeros(x.shape());
+    }
+    let qmax = bits.qmax() as f32;
+    x.map(|v| {
+        let q = (v / scale).round().clamp(-qmax, qmax);
+        q * scale
+    })
+}
+
+/// Straight-through-estimator mask: 1 where the quantizer passes gradients
+/// (|x| within the representable range), 0 where it saturates.
+///
+/// The STE treats `round` as identity but blocks gradients outside the clip
+/// range, matching the behaviour of `FakeQuantize` in mainstream
+/// frameworks. FP32 returns all-ones.
+pub fn ste_mask(x: &Tensor, bits: BitWidth, scale: f32) -> Tensor {
+    if bits.is_float() || scale <= 0.0 {
+        return Tensor::ones(x.shape());
+    }
+    let lim = bits.qmax() as f32 * scale;
+    x.map(|v| if v.abs() <= lim { 1.0 } else { 0.0 })
+}
+
+/// Quantizes to integers `clamp(round(x/scale), −qmax, qmax)`.
+///
+/// # Panics
+///
+/// Panics if `bits` is FP32 or `scale <= 0`.
+pub fn quantize_i32(x: &Tensor, bits: BitWidth, scale: f32) -> Vec<i32> {
+    assert!(!bits.is_float(), "cannot integer-quantize at FP32");
+    assert!(scale > 0.0, "quantization scale must be positive, got {}", scale);
+    let qmax = bits.qmax();
+    x.data()
+        .iter()
+        .map(|&v| ((v / scale).round() as i64).clamp(-(qmax as i64), qmax as i64) as i32)
+        .collect()
+}
+
+/// Dequantizes integers back to f32: `q * scale`.
+pub fn dequantize_i32(q: &[i32], scale: f32, shape: &[usize]) -> Tensor {
+    Tensor::from_vec(q.iter().map(|&v| v as f32 * scale).collect(), shape)
+}
+
+/// Root-mean-square quantization error of fake-quantizing `x` at the given
+/// precision and scale — a direct measure of the numerical noise a layer
+/// injects (the quantity that explodes for large Winograd tiles, Table 1).
+pub fn quantization_rmse(x: &Tensor, bits: BitWidth, scale: f32) -> f64 {
+    if bits.is_float() {
+        return 0.0;
+    }
+    let q = fake_quant_scale(x, bits, scale);
+    let mut acc = 0.0f64;
+    for (a, b) in x.data().iter().zip(q.data()) {
+        let d = (a - b) as f64;
+        acc += d * d;
+    }
+    (acc / x.len().max(1) as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observer::ObserverMode;
+    use wa_tensor::SeededRng;
+
+    #[test]
+    fn fp32_is_identity() {
+        let x = Tensor::from_vec(vec![0.123456, -9.87], &[2]);
+        let mut obs = Observer::default();
+        assert_eq!(fake_quant(&x, BitWidth::FP32, &mut obs), x);
+        assert_eq!(obs.observations(), 0, "FP32 must not touch the observer");
+    }
+
+    #[test]
+    fn grid_snapping() {
+        let x = Tensor::from_vec(vec![0.26, -0.26, 0.24], &[3]);
+        // scale 0.1: rounds to 0.3, -0.3, 0.2
+        let q = fake_quant_scale(&x, BitWidth::INT8, 0.1);
+        let want = [0.3f32, -0.3, 0.2];
+        for (a, b) in q.data().iter().zip(&want) {
+            assert!((a - b).abs() < 1e-6, "{} vs {}", a, b);
+        }
+    }
+
+    #[test]
+    fn saturation_clamps_to_qmax() {
+        let x = Tensor::from_vec(vec![100.0, -100.0], &[2]);
+        let q = fake_quant_scale(&x, BitWidth::INT8, 0.1);
+        assert!((q.data()[0] - 12.7).abs() < 1e-5);
+        assert!((q.data()[1] + 12.7).abs() < 1e-5);
+    }
+
+    #[test]
+    fn idempotence() {
+        let mut rng = SeededRng::new(3);
+        let x = rng.uniform_tensor(&[64], -1.0, 1.0);
+        let q1 = fake_quant_scale(&x, BitWidth::INT8, 1.0 / 127.0);
+        let q2 = fake_quant_scale(&q1, BitWidth::INT8, 1.0 / 127.0);
+        assert_eq!(q1, q2, "fake-quant must be idempotent at fixed scale");
+    }
+
+    #[test]
+    fn error_bounded_by_half_step() {
+        let mut rng = SeededRng::new(4);
+        let x = rng.uniform_tensor(&[256], -1.0, 1.0);
+        let scale = 1.0 / 127.0;
+        let q = fake_quant_scale(&x, BitWidth::INT8, scale);
+        for (a, b) in x.data().iter().zip(q.data()) {
+            assert!((a - b).abs() <= scale / 2.0 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn higher_precision_lower_rmse() {
+        let mut rng = SeededRng::new(5);
+        let x = rng.uniform_tensor(&[512], -1.0, 1.0);
+        let e8 = quantization_rmse(&x, BitWidth::INT8, 1.0 / 127.0);
+        let e16 = quantization_rmse(&x, BitWidth::INT16, 1.0 / 32767.0);
+        assert!(e16 < e8 / 100.0, "INT16 rmse {} vs INT8 {}", e16, e8);
+        assert_eq!(quantization_rmse(&x, BitWidth::FP32, 1.0), 0.0);
+    }
+
+    #[test]
+    fn ste_mask_zeroes_saturated() {
+        let x = Tensor::from_vec(vec![0.5, 20.0, -20.0], &[3]);
+        let m = ste_mask(&x, BitWidth::INT8, 0.1); // limit = 12.7
+        assert_eq!(m.data(), &[1.0, 0.0, 0.0]);
+        assert_eq!(ste_mask(&x, BitWidth::FP32, 0.1).data(), &[1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn integer_roundtrip() {
+        let x = Tensor::from_vec(vec![0.5, -0.25, 0.0], &[3]);
+        let q = quantize_i32(&x, BitWidth::INT8, 0.25);
+        assert_eq!(q, vec![2, -1, 0]);
+        let back = dequantize_i32(&q, 0.25, &[3]);
+        assert_eq!(back.data(), x.data());
+    }
+
+    #[test]
+    fn observer_driven_fake_quant_uses_range() {
+        let mut obs = Observer::new(ObserverMode::RunningMax);
+        let x = Tensor::from_vec(vec![1.27, -0.635], &[2]);
+        let q = fake_quant(&x, BitWidth::INT8, &mut obs);
+        // range = 1.27 => scale = 0.01; -63.5 rounds half-away to -64
+        assert!((q.data()[0] - 1.27).abs() < 1e-6);
+        assert!((q.data()[1] + 0.64).abs() < 1e-5);
+    }
+}

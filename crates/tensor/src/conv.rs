@@ -1,0 +1,461 @@
+//! Convolution lowering primitives: padding, `im2row`, `col2im`, and a
+//! direct (naïve) reference convolution.
+//!
+//! CNN "convolution" here means cross-correlation, as in every deep-learning
+//! framework. `im2row` lowers each input patch to a row so a convolution
+//! becomes one GEMM — the baseline algorithm the paper compares Winograd
+//! against (its `im2row`/`im2col` rows of Table 3 and Figure 7).
+
+use serde::{Deserialize, Serialize};
+
+use crate::tensor::Tensor;
+
+/// Geometry of a 2-D convolution layer.
+///
+/// # Example
+///
+/// ```
+/// use wa_tensor::ConvShape;
+///
+/// let s = ConvShape { batch: 1, in_ch: 3, in_h: 32, in_w: 32, out_ch: 32, kh: 3, kw: 3, stride: 1, pad: 1 };
+/// assert_eq!((s.out_h(), s.out_w()), (32, 32));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ConvShape {
+    /// Batch size N.
+    pub batch: usize,
+    /// Input channels C.
+    pub in_ch: usize,
+    /// Input height H.
+    pub in_h: usize,
+    /// Input width W.
+    pub in_w: usize,
+    /// Output channels K.
+    pub out_ch: usize,
+    /// Kernel height.
+    pub kh: usize,
+    /// Kernel width.
+    pub kw: usize,
+    /// Stride (same in both spatial dims).
+    pub stride: usize,
+    /// Zero padding (same on all four sides).
+    pub pad: usize,
+}
+
+impl ConvShape {
+    /// Output height.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel does not fit in the padded input or `stride == 0`.
+    pub fn out_h(&self) -> usize {
+        assert!(self.stride > 0, "stride must be positive");
+        let padded = self.in_h + 2 * self.pad;
+        assert!(padded >= self.kh, "kernel height {} exceeds padded input {}", self.kh, padded);
+        (padded - self.kh) / self.stride + 1
+    }
+
+    /// Output width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel does not fit in the padded input or `stride == 0`.
+    pub fn out_w(&self) -> usize {
+        assert!(self.stride > 0, "stride must be positive");
+        let padded = self.in_w + 2 * self.pad;
+        assert!(padded >= self.kw, "kernel width {} exceeds padded input {}", self.kw, padded);
+        (padded - self.kw) / self.stride + 1
+    }
+
+    /// Multiply–accumulate count of the direct algorithm (one output needs
+    /// `C·kh·kw` MACs).
+    pub fn direct_macs(&self) -> u64 {
+        (self.batch * self.out_ch * self.out_h() * self.out_w() * self.in_ch * self.kh * self.kw)
+            as u64
+    }
+}
+
+/// Zero-pads an NCHW tensor by `pad` on all spatial sides.
+///
+/// # Panics
+///
+/// Panics if `x` is not 4-D.
+pub fn pad_nchw(x: &Tensor, pad: usize) -> Tensor {
+    assert_eq!(x.ndim(), 4, "pad_nchw expects NCHW, got {:?}", x.shape());
+    if pad == 0 {
+        return x.clone();
+    }
+    let (n, c, h, w) = (x.dim(0), x.dim(1), x.dim(2), x.dim(3));
+    let (ph, pw) = (h + 2 * pad, w + 2 * pad);
+    let mut out = Tensor::zeros(&[n, c, ph, pw]);
+    let src = x.data();
+    let dst = out.data_mut();
+    for img in 0..n * c {
+        let s0 = img * h * w;
+        let d0 = img * ph * pw;
+        for row in 0..h {
+            let s = s0 + row * w;
+            let d = d0 + (row + pad) * pw + pad;
+            dst[d..d + w].copy_from_slice(&src[s..s + w]);
+        }
+    }
+    out
+}
+
+/// Crops `pad` from all spatial sides — the adjoint of [`pad_nchw`].
+///
+/// # Panics
+///
+/// Panics if `x` is not 4-D or too small to crop.
+pub fn unpad_nchw(x: &Tensor, pad: usize) -> Tensor {
+    assert_eq!(x.ndim(), 4, "unpad_nchw expects NCHW, got {:?}", x.shape());
+    if pad == 0 {
+        return x.clone();
+    }
+    let (n, c, ph, pw) = (x.dim(0), x.dim(1), x.dim(2), x.dim(3));
+    assert!(ph > 2 * pad && pw > 2 * pad, "cannot crop {} from {:?}", pad, x.shape());
+    let (h, w) = (ph - 2 * pad, pw - 2 * pad);
+    let mut out = Tensor::zeros(&[n, c, h, w]);
+    let src = x.data();
+    let dst = out.data_mut();
+    for img in 0..n * c {
+        let s0 = img * ph * pw;
+        let d0 = img * h * w;
+        for row in 0..h {
+            let s = s0 + (row + pad) * pw + pad;
+            let d = d0 + row * w;
+            dst[d..d + w].copy_from_slice(&src[s..s + w]);
+        }
+    }
+    out
+}
+
+/// Lowers a *padded* NCHW input to patch rows.
+///
+/// Returns a `[N·outH·outW, C·kh·kw]` matrix whose row index is
+/// `(n·outH + oy)·outW + ox` and whose content is the flattened
+/// `C×kh×kw` patch under kernel position `(oy, ox)`. A convolution is
+/// then `rows · Wᵀ` with the weight matrix `[K, C·kh·kw]`.
+///
+/// # Panics
+///
+/// Panics if `x` is not 4-D or the kernel does not fit.
+pub fn im2row(x: &Tensor, kh: usize, kw: usize, stride: usize) -> Tensor {
+    assert_eq!(x.ndim(), 4, "im2row expects NCHW, got {:?}", x.shape());
+    assert!(stride > 0, "stride must be positive");
+    let (n, c, h, w) = (x.dim(0), x.dim(1), x.dim(2), x.dim(3));
+    assert!(h >= kh && w >= kw, "kernel {}x{} does not fit input {}x{}", kh, kw, h, w);
+    let oh = (h - kh) / stride + 1;
+    let ow = (w - kw) / stride + 1;
+    let patch = c * kh * kw;
+    let mut out = Tensor::zeros(&[n * oh * ow, patch]);
+    let src = x.data();
+    let dst = out.data_mut();
+    for img in 0..n {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let row = ((img * oh + oy) * ow + ox) * patch;
+                let (iy, ix) = (oy * stride, ox * stride);
+                for ch in 0..c {
+                    let s0 = ((img * c + ch) * h + iy) * w + ix;
+                    let d0 = row + ch * kh * kw;
+                    for ky in 0..kh {
+                        let s = s0 + ky * w;
+                        let d = d0 + ky * kw;
+                        dst[d..d + kw].copy_from_slice(&src[s..s + kw]);
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Adjoint of [`im2row`]: scatter-adds patch-row gradients back into a
+/// padded-input-shaped tensor.
+///
+/// `rows` must be `[N·outH·outW, C·kh·kw]` for an input of padded size
+/// `[n, c, h, w]`; returns that `[n, c, h, w]` gradient.
+///
+/// The geometry arguments mirror [`im2row`]'s implicit ones.
+///
+/// # Panics
+///
+/// Panics if the row count or patch size disagrees with the geometry.
+#[allow(clippy::too_many_arguments)]
+pub fn col2im(
+    rows: &Tensor,
+    n: usize,
+    c: usize,
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    stride: usize,
+) -> Tensor {
+    assert!(stride > 0, "stride must be positive");
+    let oh = (h - kh) / stride + 1;
+    let ow = (w - kw) / stride + 1;
+    let patch = c * kh * kw;
+    assert_eq!(
+        rows.shape(),
+        &[n * oh * ow, patch],
+        "col2im rows shape {:?} does not match geometry [{}, {}]",
+        rows.shape(),
+        n * oh * ow,
+        patch
+    );
+    let mut out = Tensor::zeros(&[n, c, h, w]);
+    let src = rows.data();
+    let dst = out.data_mut();
+    for img in 0..n {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let row = ((img * oh + oy) * ow + ox) * patch;
+                let (iy, ix) = (oy * stride, ox * stride);
+                for ch in 0..c {
+                    let d0 = ((img * c + ch) * h + iy) * w + ix;
+                    let s0 = row + ch * kh * kw;
+                    for ky in 0..kh {
+                        let d = d0 + ky * w;
+                        let s = s0 + ky * kw;
+                        for kx in 0..kw {
+                            dst[d + kx] += src[s + kx];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Direct (naïve loop) 2-D convolution reference with f64 accumulation.
+///
+/// `x` is NCHW, `weight` is `[K, C, kh, kw]`, `bias` is `[K]` or `None`.
+/// Used as the semantic ground truth in tests and as the paper's "direct"
+/// baseline row of Table 1.
+///
+/// # Panics
+///
+/// Panics on shape mismatches.
+pub fn conv2d_direct(
+    x: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    stride: usize,
+    pad: usize,
+) -> Tensor {
+    assert_eq!(x.ndim(), 4, "conv2d_direct input must be NCHW, got {:?}", x.shape());
+    assert_eq!(weight.ndim(), 4, "conv2d_direct weight must be KCkhkw, got {:?}", weight.shape());
+    assert_eq!(
+        x.dim(1),
+        weight.dim(1),
+        "input channels {} vs weight channels {}",
+        x.dim(1),
+        weight.dim(1)
+    );
+    let shape = ConvShape {
+        batch: x.dim(0),
+        in_ch: x.dim(1),
+        in_h: x.dim(2),
+        in_w: x.dim(3),
+        out_ch: weight.dim(0),
+        kh: weight.dim(2),
+        kw: weight.dim(3),
+        stride,
+        pad,
+    };
+    if let Some(b) = bias {
+        assert_eq!(b.shape(), &[shape.out_ch], "bias must be [{}], got {:?}", shape.out_ch, b.shape());
+    }
+    let xp = pad_nchw(x, pad);
+    let (n, c) = (shape.batch, shape.in_ch);
+    let (h, w) = (xp.dim(2), xp.dim(3));
+    let (k, kh, kw) = (shape.out_ch, shape.kh, shape.kw);
+    let (oh, ow) = (shape.out_h(), shape.out_w());
+    let mut out = Tensor::zeros(&[n, k, oh, ow]);
+    let src = xp.data();
+    let wts = weight.data();
+    let dst = out.data_mut();
+    for img in 0..n {
+        for f in 0..k {
+            let b = bias.map(|b| b.data()[f] as f64).unwrap_or(0.0);
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = b;
+                    let (iy, ix) = (oy * stride, ox * stride);
+                    for ch in 0..c {
+                        let s0 = ((img * c + ch) * h + iy) * w + ix;
+                        let w0 = ((f * c + ch) * kh) * kw;
+                        for ky in 0..kh {
+                            for kx in 0..kw {
+                                acc += (src[s0 + ky * w + kx] as f64) * (wts[w0 + ky * kw + kx] as f64);
+                            }
+                        }
+                    }
+                    dst[((img * k + f) * oh + oy) * ow + ox] = acc as f32;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Single-channel `valid` cross-correlation over `f64` slices.
+///
+/// The exactness ground truth for Winograd algebra property tests: Winograd
+/// convolution over rationals must reproduce this bit-for-bit in `f64` for
+/// moderate values.
+///
+/// # Panics
+///
+/// Panics if the kernel does not fit or slice lengths disagree with the
+/// stated dimensions.
+pub fn conv2d_direct_f64(
+    input: &[f64],
+    ih: usize,
+    iw: usize,
+    kernel: &[f64],
+    kh: usize,
+    kw: usize,
+) -> Vec<f64> {
+    assert_eq!(input.len(), ih * iw, "input length {} != {}x{}", input.len(), ih, iw);
+    assert_eq!(kernel.len(), kh * kw, "kernel length {} != {}x{}", kernel.len(), kh, kw);
+    assert!(ih >= kh && iw >= kw, "kernel {}x{} does not fit {}x{}", kh, kw, ih, iw);
+    let (oh, ow) = (ih - kh + 1, iw - kw + 1);
+    let mut out = vec![0.0; oh * ow];
+    for oy in 0..oh {
+        for ox in 0..ow {
+            let mut acc = 0.0;
+            for ky in 0..kh {
+                for kx in 0..kw {
+                    acc += input[(oy + ky) * iw + (ox + kx)] * kernel[ky * kw + kx];
+                }
+            }
+            out[oy * ow + ox] = acc;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::Transpose;
+    use crate::rng::SeededRng;
+
+    #[test]
+    fn conv_shape_output_dims() {
+        let s = ConvShape {
+            batch: 2,
+            in_ch: 3,
+            in_h: 32,
+            in_w: 30,
+            out_ch: 8,
+            kh: 3,
+            kw: 3,
+            stride: 1,
+            pad: 1,
+        };
+        assert_eq!(s.out_h(), 32);
+        assert_eq!(s.out_w(), 30);
+        assert_eq!(s.direct_macs(), (2 * 8 * 32 * 30 * 3 * 9) as u64);
+    }
+
+    #[test]
+    fn pad_then_unpad_roundtrip() {
+        let mut rng = SeededRng::new(0);
+        let x = rng.uniform_tensor(&[2, 3, 5, 4], -1.0, 1.0);
+        let p = pad_nchw(&x, 2);
+        assert_eq!(p.shape(), &[2, 3, 9, 8]);
+        assert_eq!(unpad_nchw(&p, 2), x);
+    }
+
+    #[test]
+    fn pad_places_zeros_on_border() {
+        let x = Tensor::ones(&[1, 1, 2, 2]);
+        let p = pad_nchw(&x, 1);
+        assert_eq!(p.at(&[0, 0, 0, 0]), 0.0);
+        assert_eq!(p.at(&[0, 0, 1, 1]), 1.0);
+        assert_eq!(p.at(&[0, 0, 3, 3]), 0.0);
+    }
+
+    #[test]
+    fn im2row_gemm_equals_direct_conv() {
+        let mut rng = SeededRng::new(1);
+        let x = rng.uniform_tensor(&[2, 3, 8, 7], -1.0, 1.0);
+        let w = rng.uniform_tensor(&[5, 3, 3, 3], -1.0, 1.0);
+        let want = conv2d_direct(&x, &w, None, 1, 1);
+
+        let xp = pad_nchw(&x, 1);
+        let rows = im2row(&xp, 3, 3, 1);
+        let wmat = w.reshape(&[5, 3 * 3 * 3]);
+        let out = crate::gemm::gemm(&rows, Transpose::No, &wmat, Transpose::Yes);
+        // rows are [N*oh*ow, K]; rearrange to NCHW
+        let (n, k, oh, ow) = (2, 5, 8, 7);
+        let mut got = Tensor::zeros(&[n, k, oh, ow]);
+        for img in 0..n {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    for f in 0..k {
+                        *got.at_mut(&[img, f, oy, ox]) =
+                            out.at(&[(img * oh + oy) * ow + ox, f]);
+                    }
+                }
+            }
+        }
+        for (a, b) in got.data().iter().zip(want.data()) {
+            assert!((a - b).abs() < 1e-4, "{} vs {}", a, b);
+        }
+    }
+
+    #[test]
+    fn im2row_strided_shapes() {
+        let x = Tensor::zeros(&[1, 2, 9, 9]);
+        let rows = im2row(&x, 3, 3, 2);
+        assert_eq!(rows.shape(), &[16, 18]); // 4x4 positions, 2*9 patch
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2row() {
+        // <im2row(x), y> == <x, col2im(y)> for random x, y.
+        let mut rng = SeededRng::new(2);
+        let x = rng.uniform_tensor(&[1, 2, 6, 5], -1.0, 1.0);
+        let rows = im2row(&x, 3, 3, 1);
+        let y = rng.uniform_tensor(rows.shape(), -1.0, 1.0);
+        let back = col2im(&y, 1, 2, 6, 5, 3, 3, 1);
+        let lhs: f64 = rows.data().iter().zip(y.data()).map(|(&a, &b)| (a as f64) * (b as f64)).sum();
+        let rhs: f64 = x.data().iter().zip(back.data()).map(|(&a, &b)| (a as f64) * (b as f64)).sum();
+        assert!((lhs - rhs).abs() < 1e-3, "{} vs {}", lhs, rhs);
+    }
+
+    #[test]
+    fn direct_conv_bias_is_added() {
+        let x = Tensor::ones(&[1, 1, 3, 3]);
+        let w = Tensor::ones(&[2, 1, 3, 3]);
+        let b = Tensor::from_vec(vec![0.5, -1.0], &[2]);
+        let y = conv2d_direct(&x, &w, Some(&b), 1, 0);
+        assert_eq!(y.shape(), &[1, 2, 1, 1]);
+        assert_eq!(y.at(&[0, 0, 0, 0]), 9.5);
+        assert_eq!(y.at(&[0, 1, 0, 0]), 8.0);
+    }
+
+    #[test]
+    fn direct_conv_stride_two() {
+        let x = Tensor::from_fn(&[1, 1, 4, 4], |i| i as f32);
+        let w = Tensor::from_vec(vec![1.0], &[1, 1, 1, 1]);
+        let y = conv2d_direct(&x, &w, None, 2, 0);
+        assert_eq!(y.shape(), &[1, 1, 2, 2]);
+        assert_eq!(y.data(), &[0.0, 2.0, 8.0, 10.0]);
+    }
+
+    #[test]
+    fn f64_reference_hand_example() {
+        // 3x3 input, 2x2 kernel
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0];
+        let k = [1.0, 0.0, 0.0, 1.0];
+        let y = conv2d_direct_f64(&x, 3, 3, &k, 2, 2);
+        assert_eq!(y, vec![6.0, 8.0, 12.0, 14.0]);
+    }
+}

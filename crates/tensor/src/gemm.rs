@@ -1,0 +1,260 @@
+//! Cache-blocked general matrix multiply.
+//!
+//! A dependency-free GEMM tuned for the modest matrix sizes that appear in
+//! CNN inference/training on small images: panels are blocked to stay in L1
+//! and the inner micro-kernel accumulates a 4×4 register tile. Large
+//! products are optionally split across threads with `crossbeam` scoped
+//! threads.
+
+use crate::tensor::Tensor;
+
+/// Whether an operand of [`gemm`] is logically transposed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Transpose {
+    /// Use the operand as stored.
+    No,
+    /// Use the transpose of the stored operand.
+    Yes,
+}
+
+/// Number of result elements above which the GEMM is split across threads.
+const PARALLEL_THRESHOLD: usize = 64 * 64 * 64;
+
+/// Computes `op_a(a) · op_b(b)` for 2-D tensors.
+///
+/// `op(a)` is `a` or `aᵀ` according to the [`Transpose`] flags; the result
+/// has shape `[m, n]` where `op_a(a)` is `[m, k]` and `op_b(b)` is `[k, n]`.
+///
+/// # Panics
+///
+/// Panics if either tensor is not 2-D or the inner dimensions disagree.
+///
+/// # Example
+///
+/// ```
+/// use wa_tensor::{gemm, Tensor, Transpose};
+///
+/// let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+/// let b = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], &[2, 2]);
+/// let c = gemm(&a, Transpose::Yes, &b, Transpose::No);
+/// assert_eq!(c.data(), &[1.0, 3.0, 2.0, 4.0]);
+/// ```
+pub fn gemm(a: &Tensor, ta: Transpose, b: &Tensor, tb: Transpose) -> Tensor {
+    let (m, k) = op_dims(a, ta);
+    let (kb, n) = op_dims(b, tb);
+    assert_eq!(k, kb, "gemm inner dimension mismatch: {} vs {}", k, kb);
+    let mut out = Tensor::zeros(&[m, n]);
+    gemm_into(a, ta, b, tb, &mut out);
+    out
+}
+
+fn op_dims(t: &Tensor, tr: Transpose) -> (usize, usize) {
+    assert_eq!(t.ndim(), 2, "gemm operands must be 2-D, got {:?}", t.shape());
+    match tr {
+        Transpose::No => (t.dim(0), t.dim(1)),
+        Transpose::Yes => (t.dim(1), t.dim(0)),
+    }
+}
+
+/// Computes `out = op_a(a) · op_b(b)`, overwriting `out`.
+///
+/// Use this to reuse an output allocation inside hot loops.
+///
+/// # Panics
+///
+/// Panics if shapes disagree (see [`gemm`]) or `out` is not `[m, n]`.
+pub fn gemm_into(a: &Tensor, ta: Transpose, b: &Tensor, tb: Transpose, out: &mut Tensor) {
+    let (m, k) = op_dims(a, ta);
+    let (kb, n) = op_dims(b, tb);
+    assert_eq!(k, kb, "gemm inner dimension mismatch: {} vs {}", k, kb);
+    assert_eq!(out.shape(), &[m, n], "gemm output must be [{}, {}], got {:?}", m, n, out.shape());
+
+    // Pack both operands into row-major [m,k] and column-friendly [k,n]
+    // form once, so the inner kernel is branch-free.
+    let ap = pack_a(a, ta, m, k);
+    let bp = pack_b(b, tb, k, n);
+    let out_data = out.data_mut();
+
+    if m * n * k >= PARALLEL_THRESHOLD {
+        let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).min(8);
+        if threads > 1 {
+            let rows_per = m.div_ceil(threads);
+            crossbeam::thread::scope(|s| {
+                for (ti, chunk) in out_data.chunks_mut(rows_per * n).enumerate() {
+                    let ap = &ap;
+                    let bp = &bp;
+                    s.spawn(move |_| {
+                        let row0 = ti * rows_per;
+                        let rows = chunk.len() / n;
+                        kernel(&ap[row0 * k..(row0 + rows) * k], bp, chunk, rows, n, k);
+                    });
+                }
+            })
+            .expect("gemm worker thread panicked");
+            return;
+        }
+    }
+    kernel(&ap, &bp, out_data, m, n, k);
+}
+
+fn pack_a(a: &Tensor, ta: Transpose, m: usize, k: usize) -> Vec<f32> {
+    match ta {
+        Transpose::No => a.data().to_vec(),
+        Transpose::Yes => {
+            // stored as [k, m]; emit row-major [m, k]
+            let src = a.data();
+            let mut out = vec![0.0f32; m * k];
+            for i in 0..m {
+                for p in 0..k {
+                    out[i * k + p] = src[p * m + i];
+                }
+            }
+            out
+        }
+    }
+}
+
+fn pack_b(b: &Tensor, tb: Transpose, k: usize, n: usize) -> Vec<f32> {
+    match tb {
+        Transpose::No => b.data().to_vec(),
+        Transpose::Yes => {
+            // stored as [n, k]; emit row-major [k, n]
+            let src = b.data();
+            let mut out = vec![0.0f32; k * n];
+            for p in 0..k {
+                for j in 0..n {
+                    out[p * n + j] = src[j * k + p];
+                }
+            }
+            out
+        }
+    }
+}
+
+/// Row-major kernel: `out[m,n] = a[m,k] · b[k,n]` with 4-row unrolling.
+fn kernel(a: &[f32], b: &[f32], out: &mut [f32], m: usize, n: usize, k: usize) {
+    out.fill(0.0);
+    const KC: usize = 256; // K-panel so a b-panel row stays hot in L1
+    let mut p0 = 0;
+    while p0 < k {
+        let pc = KC.min(k - p0);
+        let mut i = 0;
+        // 4-row micro panels
+        while i + 4 <= m {
+            for p in p0..p0 + pc {
+                let a0 = a[i * k + p];
+                let a1 = a[(i + 1) * k + p];
+                let a2 = a[(i + 2) * k + p];
+                let a3 = a[(i + 3) * k + p];
+                let brow = &b[p * n..p * n + n];
+                let (o0, rest) = out[i * n..].split_at_mut(n);
+                let (o1, rest) = rest.split_at_mut(n);
+                let (o2, rest) = rest.split_at_mut(n);
+                let o3 = &mut rest[..n];
+                for j in 0..n {
+                    let bv = brow[j];
+                    o0[j] += a0 * bv;
+                    o1[j] += a1 * bv;
+                    o2[j] += a2 * bv;
+                    o3[j] += a3 * bv;
+                }
+            }
+            i += 4;
+        }
+        // remainder rows
+        while i < m {
+            for p in p0..p0 + pc {
+                let av = a[i * k + p];
+                if av != 0.0 {
+                    let brow = &b[p * n..p * n + n];
+                    let orow = &mut out[i * n..i * n + n];
+                    for j in 0..n {
+                        orow[j] += av * brow[j];
+                    }
+                }
+            }
+            i += 1;
+        }
+        p0 += pc;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive(a: &Tensor, b: &Tensor) -> Tensor {
+        let (m, k) = (a.dim(0), a.dim(1));
+        let n = b.dim(1);
+        let mut out = Tensor::zeros(&[m, n]);
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0f64;
+                for p in 0..k {
+                    acc += (a.data()[i * k + p] as f64) * (b.data()[p * n + j] as f64);
+                }
+                *out.at_mut(&[i, j]) = acc as f32;
+            }
+        }
+        out
+    }
+
+    fn rand_mat(r: usize, c: usize, seed: u64) -> Tensor {
+        let mut rng = crate::rng::SeededRng::new(seed);
+        Tensor::from_fn(&[r, c], |_| rng.uniform(-1.0, 1.0))
+    }
+
+    fn assert_close(a: &Tensor, b: &Tensor, tol: f32) {
+        assert_eq!(a.shape(), b.shape());
+        for (x, y) in a.data().iter().zip(b.data()) {
+            assert!((x - y).abs() <= tol * (1.0 + x.abs().max(y.abs())), "{} vs {}", x, y);
+        }
+    }
+
+    #[test]
+    fn matches_naive_small() {
+        for (m, k, n) in [(1, 1, 1), (2, 3, 4), (5, 7, 3), (8, 8, 8), (13, 1, 9)] {
+            let a = rand_mat(m, k, 42 + m as u64);
+            let b = rand_mat(k, n, 7 + n as u64);
+            assert_close(&gemm(&a, Transpose::No, &b, Transpose::No), &naive(&a, &b), 1e-5);
+        }
+    }
+
+    #[test]
+    fn transpose_flags_agree_with_explicit_transpose() {
+        let a = rand_mat(6, 4, 1);
+        let b = rand_mat(6, 5, 2);
+        // aᵀ·b
+        let want = naive(&a.transpose(), &b);
+        assert_close(&gemm(&a, Transpose::Yes, &b, Transpose::No), &want, 1e-5);
+        // aᵀ·cᵀ : [4,6]·[6,5]
+        let c = rand_mat(5, 6, 3);
+        let want2 = naive(&a.transpose(), &c.transpose());
+        assert_close(&gemm(&a, Transpose::Yes, &c, Transpose::Yes), &want2, 1e-5);
+    }
+
+    #[test]
+    fn parallel_path_matches_naive() {
+        // Force the threshold by exceeding 64^3 elements of work.
+        let a = rand_mat(80, 70, 11);
+        let b = rand_mat(70, 90, 12);
+        assert_close(&gemm(&a, Transpose::No, &b, Transpose::No), &naive(&a, &b), 1e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimension mismatch")]
+    fn mismatched_inner_dims_panic() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[4, 2]);
+        let _ = gemm(&a, Transpose::No, &b, Transpose::No);
+    }
+
+    #[test]
+    fn gemm_into_reuses_buffer() {
+        let a = rand_mat(3, 3, 5);
+        let b = rand_mat(3, 3, 6);
+        let mut out = Tensor::ones(&[3, 3]);
+        gemm_into(&a, Transpose::No, &b, Transpose::No, &mut out);
+        assert_close(&out, &naive(&a, &b), 1e-5);
+    }
+}

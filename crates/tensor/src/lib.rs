@@ -1,0 +1,33 @@
+//! # wa-tensor
+//!
+//! Dense row-major `f32` tensors and the numeric primitives that the rest of
+//! the `winograd-aware` workspace is built on: a cache-blocked GEMM,
+//! padding, `im2row`/`col2im` lowering for convolutions, and a deterministic
+//! seeded RNG for reproducible experiments.
+//!
+//! The crate is deliberately small and dependency-light; it is the substrate
+//! on which the `wa-winograd` kernels and the `wa-nn` autograd engine are
+//! built. Shape mismatches are programming errors and panic with a
+//! descriptive message (the convention used by `ndarray` and friends);
+//! fallible *data* operations return [`Result`].
+//!
+//! # Example
+//!
+//! ```
+//! use wa_tensor::Tensor;
+//!
+//! let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+//! let b = Tensor::eye(2);
+//! let c = a.matmul(&b);
+//! assert_eq!(c.data(), a.data());
+//! ```
+
+mod conv;
+mod gemm;
+mod rng;
+mod tensor;
+
+pub use conv::{col2im, conv2d_direct, conv2d_direct_f64, im2row, pad_nchw, unpad_nchw, ConvShape};
+pub use gemm::{gemm, gemm_into, Transpose};
+pub use rng::SeededRng;
+pub use tensor::Tensor;

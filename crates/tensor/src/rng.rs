@@ -1,0 +1,180 @@
+//! Deterministic random number generation for reproducible experiments.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use crate::tensor::Tensor;
+
+/// A seeded, portable pseudo-random number generator.
+///
+/// Wraps `ChaCha8Rng` so every experiment in the workspace is bit-for-bit
+/// reproducible across platforms and `rand` upgrades (the stream of a
+/// ChaCha RNG is specified, unlike `StdRng`).
+///
+/// # Example
+///
+/// ```
+/// use wa_tensor::SeededRng;
+///
+/// let mut a = SeededRng::new(7);
+/// let mut b = SeededRng::new(7);
+/// assert_eq!(a.uniform(0.0, 1.0), b.uniform(0.0, 1.0));
+/// ```
+#[derive(Clone, Debug)]
+pub struct SeededRng {
+    inner: ChaCha8Rng,
+}
+
+impl SeededRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        SeededRng { inner: ChaCha8Rng::seed_from_u64(seed) }
+    }
+
+    /// Derives an independent child generator; useful for giving each
+    /// layer/worker its own stream while keeping global determinism.
+    pub fn fork(&mut self, salt: u64) -> SeededRng {
+        let s = self.inner.gen::<u64>() ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        SeededRng::new(s)
+    }
+
+    /// Uniform sample in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn uniform(&mut self, lo: f32, hi: f32) -> f32 {
+        assert!(lo < hi, "uniform requires lo < hi, got [{}, {})", lo, hi);
+        self.inner.gen::<f32>() * (hi - lo) + lo
+    }
+
+    /// Standard normal sample (Box–Muller).
+    pub fn normal(&mut self) -> f32 {
+        loop {
+            let u1: f32 = self.inner.gen();
+            let u2: f32 = self.inner.gen();
+            if u1 > f32::MIN_POSITIVE {
+                let r = (-2.0 * u1.ln()).sqrt();
+                return r * (2.0 * std::f32::consts::PI * u2).cos();
+            }
+        }
+    }
+
+    /// Uniform integer in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn below(&mut self, n: usize) -> usize {
+        assert!(n > 0, "below(0) is undefined");
+        self.inner.gen_range(0..n)
+    }
+
+    /// Bernoulli sample with probability `p` of `true`.
+    pub fn chance(&mut self, p: f32) -> bool {
+        self.inner.gen::<f32>() < p
+    }
+
+    /// Fisher–Yates shuffle of a slice.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.inner.gen_range(0..=i);
+            xs.swap(i, j);
+        }
+    }
+
+    /// Tensor of i.i.d. uniform values in `[lo, hi)`.
+    pub fn uniform_tensor(&mut self, shape: &[usize], lo: f32, hi: f32) -> Tensor {
+        Tensor::from_fn(shape, |_| self.uniform(lo, hi))
+    }
+
+    /// Tensor of i.i.d. normal values with the given std deviation.
+    pub fn normal_tensor(&mut self, shape: &[usize], std: f32) -> Tensor {
+        Tensor::from_fn(shape, |_| self.normal() * std)
+    }
+
+    /// Kaiming/He-normal initialisation for a conv weight
+    /// `[c_out, c_in, kh, kw]` or linear weight `[out, in]`: std =
+    /// √(2 / fan_in).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shape` has fewer than 2 dimensions.
+    pub fn kaiming_tensor(&mut self, shape: &[usize]) -> Tensor {
+        assert!(shape.len() >= 2, "kaiming init needs >= 2 dims, got {:?}", shape);
+        let fan_in: usize = shape[1..].iter().product();
+        let std = (2.0 / fan_in as f32).sqrt();
+        self.normal_tensor(shape, std)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn determinism_same_seed() {
+        let mut a = SeededRng::new(123);
+        let mut b = SeededRng::new(123);
+        for _ in 0..100 {
+            assert_eq!(a.uniform(-1.0, 1.0), b.uniform(-1.0, 1.0));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SeededRng::new(1);
+        let mut b = SeededRng::new(2);
+        let xs: Vec<f32> = (0..16).map(|_| a.uniform(0.0, 1.0)).collect();
+        let ys: Vec<f32> = (0..16).map(|_| b.uniform(0.0, 1.0)).collect();
+        assert_ne!(xs, ys);
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut r = SeededRng::new(9);
+        for _ in 0..1000 {
+            let v = r.uniform(2.0, 3.0);
+            assert!((2.0..3.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn normal_moments_are_plausible() {
+        let mut r = SeededRng::new(4);
+        let n = 20_000;
+        let xs: Vec<f32> = (0..n).map(|_| r.normal()).collect();
+        let mean = xs.iter().sum::<f32>() / n as f32;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / n as f32;
+        assert!(mean.abs() < 0.05, "mean {}", mean);
+        assert!((var - 1.0).abs() < 0.1, "var {}", var);
+    }
+
+    #[test]
+    fn kaiming_std_tracks_fan_in() {
+        let mut r = SeededRng::new(5);
+        let w = r.kaiming_tensor(&[64, 32, 3, 3]);
+        let fan_in = 32.0 * 9.0;
+        let want = (2.0f32 / fan_in).sqrt();
+        let std = (w.sq_norm() / w.len() as f64).sqrt() as f32;
+        assert!((std - want).abs() < 0.2 * want, "std {} want {}", std, want);
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut r = SeededRng::new(6);
+        let mut xs: Vec<usize> = (0..50).collect();
+        r.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn fork_streams_are_independent() {
+        let mut parent = SeededRng::new(10);
+        let mut c1 = parent.fork(1);
+        let mut c2 = parent.fork(2);
+        assert_ne!(c1.uniform(0.0, 1.0), c2.uniform(0.0, 1.0));
+    }
+}

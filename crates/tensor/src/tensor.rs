@@ -1,0 +1,589 @@
+//! The dense row-major `f32` [`Tensor`] type.
+
+use serde::{Deserialize, Serialize};
+
+use crate::gemm::{self, Transpose};
+
+/// A dense, contiguous, row-major tensor of `f32` values.
+///
+/// `Tensor` is the single numeric container used across the workspace.
+/// Convolution activations follow the NCHW layout `[batch, channel, height,
+/// width]`; matrices are `[rows, cols]`.
+///
+/// # Example
+///
+/// ```
+/// use wa_tensor::Tensor;
+///
+/// let t = Tensor::zeros(&[2, 3]);
+/// assert_eq!(t.shape(), &[2, 3]);
+/// assert_eq!(t.len(), 6);
+/// ```
+#[derive(Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor {
+    shape: Vec<usize>,
+    data: Vec<f32>,
+}
+
+impl std::fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Tensor{:?}", self.shape)?;
+        if self.len() <= 16 {
+            write!(f, " {:?}", self.data)
+        } else {
+            write!(
+                f,
+                " [{:.4}, {:.4}, …, {:.4}] (n={})",
+                self.data[0],
+                self.data[1],
+                self.data[self.len() - 1],
+                self.len()
+            )
+        }
+    }
+}
+
+impl Default for Tensor {
+    /// The empty scalar-shaped tensor `[0.0]` so that `Debug` output is never
+    /// empty and `Default` values are usable.
+    fn default() -> Self {
+        Tensor::zeros(&[1])
+    }
+}
+
+fn numel(shape: &[usize]) -> usize {
+    shape.iter().product()
+}
+
+impl Tensor {
+    // ----- constructors ------------------------------------------------
+
+    /// Creates a tensor of zeros with the given shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shape` is empty.
+    pub fn zeros(shape: &[usize]) -> Self {
+        assert!(!shape.is_empty(), "tensor shape must be non-empty");
+        Tensor { shape: shape.to_vec(), data: vec![0.0; numel(shape)] }
+    }
+
+    /// Creates a tensor of ones with the given shape.
+    pub fn ones(shape: &[usize]) -> Self {
+        Tensor::full(shape, 1.0)
+    }
+
+    /// Creates a tensor filled with `value`.
+    pub fn full(shape: &[usize], value: f32) -> Self {
+        assert!(!shape.is_empty(), "tensor shape must be non-empty");
+        Tensor { shape: shape.to_vec(), data: vec![value; numel(shape)] }
+    }
+
+    /// Creates a tensor that takes ownership of `data`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` does not equal the product of `shape`.
+    pub fn from_vec(data: Vec<f32>, shape: &[usize]) -> Self {
+        assert_eq!(
+            data.len(),
+            numel(shape),
+            "data length {} does not match shape {:?}",
+            data.len(),
+            shape
+        );
+        Tensor { shape: shape.to_vec(), data }
+    }
+
+    /// Creates a tensor by evaluating `f` at every flat index.
+    pub fn from_fn(shape: &[usize], mut f: impl FnMut(usize) -> f32) -> Self {
+        let n = numel(shape);
+        Tensor { shape: shape.to_vec(), data: (0..n).map(&mut f).collect() }
+    }
+
+    /// The `n × n` identity matrix.
+    pub fn eye(n: usize) -> Self {
+        let mut t = Tensor::zeros(&[n, n]);
+        for i in 0..n {
+            t.data[i * n + i] = 1.0;
+        }
+        t
+    }
+
+    /// Builds a matrix from rows of `f64` values (convenience for transform
+    /// matrices produced by exact Cook-Toom synthesis).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows are ragged or empty.
+    pub fn from_rows_f64(rows: &[Vec<f64>]) -> Self {
+        assert!(!rows.is_empty(), "matrix must have at least one row");
+        let cols = rows[0].len();
+        assert!(cols > 0, "matrix must have at least one column");
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            assert_eq!(r.len(), cols, "ragged rows: {} vs {}", r.len(), cols);
+            data.extend(r.iter().map(|&v| v as f32));
+        }
+        Tensor { shape: vec![rows.len(), cols], data }
+    }
+
+    // ----- shape accessors ---------------------------------------------
+
+    /// The shape of the tensor.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Number of dimensions.
+    pub fn ndim(&self) -> usize {
+        self.shape.len()
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Size of dimension `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.ndim()`.
+    pub fn dim(&self, i: usize) -> usize {
+        self.shape[i]
+    }
+
+    /// Borrow the underlying data slice (row-major order).
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutably borrow the underlying data slice.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consume the tensor and return its data buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    // ----- reshaping ----------------------------------------------------
+
+    /// Returns a tensor viewing the same data with a new shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the element counts differ.
+    pub fn reshape(&self, shape: &[usize]) -> Tensor {
+        assert_eq!(
+            self.len(),
+            numel(shape),
+            "cannot reshape {:?} ({} elems) to {:?} ({} elems)",
+            self.shape,
+            self.len(),
+            shape,
+            numel(shape)
+        );
+        Tensor { shape: shape.to_vec(), data: self.data.clone() }
+    }
+
+    /// In-place reshape, avoiding the copy of [`Tensor::reshape`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the element counts differ.
+    pub fn reshape_in_place(&mut self, shape: &[usize]) {
+        assert_eq!(self.len(), numel(shape), "cannot reshape {:?} to {:?}", self.shape, shape);
+        self.shape = shape.to_vec();
+    }
+
+    /// Transpose of a 2-D tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not 2-D.
+    pub fn transpose(&self) -> Tensor {
+        assert_eq!(self.ndim(), 2, "transpose requires a 2-D tensor, got {:?}", self.shape);
+        let (r, c) = (self.shape[0], self.shape[1]);
+        let mut out = Tensor::zeros(&[c, r]);
+        for i in 0..r {
+            for j in 0..c {
+                out.data[j * r + i] = self.data[i * c + j];
+            }
+        }
+        out
+    }
+
+    // ----- element access -----------------------------------------------
+
+    /// Flat offset of a multi-dimensional index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` has the wrong rank or is out of bounds.
+    pub fn offset(&self, idx: &[usize]) -> usize {
+        assert_eq!(idx.len(), self.ndim(), "index rank {} vs tensor rank {}", idx.len(), self.ndim());
+        let mut off = 0;
+        for (d, (&i, &s)) in idx.iter().zip(&self.shape).enumerate() {
+            assert!(i < s, "index {} out of bounds for dim {} of size {}", i, d, s);
+            off = off * s + i;
+        }
+        off
+    }
+
+    /// Element at a multi-dimensional index.
+    pub fn at(&self, idx: &[usize]) -> f32 {
+        self.data[self.offset(idx)]
+    }
+
+    /// Mutable element at a multi-dimensional index.
+    pub fn at_mut(&mut self, idx: &[usize]) -> &mut f32 {
+        let off = self.offset(idx);
+        &mut self.data[off]
+    }
+
+    // ----- elementwise ops ----------------------------------------------
+
+    /// Elementwise sum `self + other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn add(&self, other: &Tensor) -> Tensor {
+        self.zip_map(other, |a, b| a + b)
+    }
+
+    /// Elementwise difference `self - other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn sub(&self, other: &Tensor) -> Tensor {
+        self.zip_map(other, |a, b| a - b)
+    }
+
+    /// Elementwise (Hadamard) product `self ⊙ other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn mul(&self, other: &Tensor) -> Tensor {
+        self.zip_map(other, |a, b| a * b)
+    }
+
+    /// Multiply every element by a scalar.
+    pub fn scale(&self, s: f32) -> Tensor {
+        self.map(|a| a * s)
+    }
+
+    /// Apply `f` to every element, returning a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor { shape: self.shape.clone(), data: self.data.iter().map(|&a| f(a)).collect() }
+    }
+
+    /// Apply `f` to every element in place.
+    pub fn map_in_place(&mut self, f: impl Fn(f32) -> f32) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+
+    /// Combine two same-shaped tensors elementwise with `f`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn zip_map(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+        assert_eq!(
+            self.shape, other.shape,
+            "shape mismatch in elementwise op: {:?} vs {:?}",
+            self.shape, other.shape
+        );
+        Tensor {
+            shape: self.shape.clone(),
+            data: self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect(),
+        }
+    }
+
+    /// `self += other` in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn add_assign(&mut self, other: &Tensor) {
+        assert_eq!(self.shape, other.shape, "shape mismatch: {:?} vs {:?}", self.shape, other.shape);
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// `self += s * other` in place (AXPY).
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn add_scaled_assign(&mut self, other: &Tensor, s: f32) {
+        assert_eq!(self.shape, other.shape, "shape mismatch: {:?} vs {:?}", self.shape, other.shape);
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += s * b;
+        }
+    }
+
+    // ----- reductions ----------------------------------------------------
+
+    /// Sum of all elements (f64 accumulator).
+    pub fn sum(&self) -> f64 {
+        self.data.iter().map(|&v| v as f64).sum()
+    }
+
+    /// Mean of all elements.
+    ///
+    /// Returns `0.0` for empty tensors.
+    pub fn mean(&self) -> f64 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f64
+        }
+    }
+
+    /// Maximum absolute value (0 for empty tensors).
+    pub fn max_abs(&self) -> f32 {
+        self.data.iter().fold(0.0f32, |m, &v| m.max(v.abs()))
+    }
+
+    /// Minimum and maximum element values.
+    ///
+    /// Returns `(0.0, 0.0)` for empty tensors.
+    pub fn min_max(&self) -> (f32, f32) {
+        if self.data.is_empty() {
+            return (0.0, 0.0);
+        }
+        let mut lo = f32::INFINITY;
+        let mut hi = f32::NEG_INFINITY;
+        for &v in &self.data {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        (lo, hi)
+    }
+
+    /// Index of the maximum element of each row of a 2-D tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not 2-D.
+    pub fn argmax_rows(&self) -> Vec<usize> {
+        assert_eq!(self.ndim(), 2, "argmax_rows requires a 2-D tensor, got {:?}", self.shape);
+        let (r, c) = (self.shape[0], self.shape[1]);
+        (0..r)
+            .map(|i| {
+                let row = &self.data[i * c..(i + 1) * c];
+                row.iter().enumerate().fold((0usize, f32::NEG_INFINITY), |(bi, bv), (j, &v)| {
+                    if v > bv {
+                        (j, v)
+                    } else {
+                        (bi, bv)
+                    }
+                }).0
+            })
+            .collect()
+    }
+
+    /// Squared L2 norm.
+    pub fn sq_norm(&self) -> f64 {
+        self.data.iter().map(|&v| (v as f64) * (v as f64)).sum()
+    }
+
+    // ----- linear algebra -------------------------------------------------
+
+    /// Matrix product `self · other` for 2-D tensors.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `self` is `[m, k]` and `other` is `[k, n]`.
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        gemm::gemm(self, Transpose::No, other, Transpose::No)
+    }
+
+    /// Matrix product `selfᵀ · other`.
+    pub fn matmul_tn(&self, other: &Tensor) -> Tensor {
+        gemm::gemm(self, Transpose::Yes, other, Transpose::No)
+    }
+
+    /// Matrix product `self · otherᵀ`.
+    pub fn matmul_nt(&self, other: &Tensor) -> Tensor {
+        gemm::gemm(self, Transpose::No, other, Transpose::Yes)
+    }
+
+    // ----- slicing along dim 0 ---------------------------------------------
+
+    /// Copies rows `[start, end)` along the leading dimension.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > end` or `end > self.dim(0)`.
+    pub fn slice_dim0(&self, start: usize, end: usize) -> Tensor {
+        assert!(start <= end && end <= self.shape[0], "slice {}..{} out of bounds {}", start, end, self.shape[0]);
+        let row = self.len() / self.shape[0];
+        let mut shape = self.shape.clone();
+        shape[0] = end - start;
+        Tensor { shape, data: self.data[start * row..end * row].to_vec() }
+    }
+
+    /// Concatenates tensors along the leading dimension.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts` is empty or trailing shapes mismatch.
+    pub fn concat_dim0(parts: &[&Tensor]) -> Tensor {
+        assert!(!parts.is_empty(), "concat_dim0 needs at least one tensor");
+        let tail = &parts[0].shape[1..];
+        let mut dim0 = 0;
+        for p in parts {
+            assert_eq!(&p.shape[1..], tail, "trailing shape mismatch in concat");
+            dim0 += p.shape[0];
+        }
+        let mut shape = parts[0].shape.clone();
+        shape[0] = dim0;
+        let mut data = Vec::with_capacity(numel(&shape));
+        for p in parts {
+            data.extend_from_slice(&p.data);
+        }
+        Tensor { shape, data }
+    }
+
+    /// Checks every element is finite, returning the first bad index if not.
+    pub fn first_non_finite(&self) -> Option<usize> {
+        self.data.iter().position(|v| !v.is_finite())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_shape_and_len() {
+        let t = Tensor::zeros(&[2, 3, 4]);
+        assert_eq!(t.shape(), &[2, 3, 4]);
+        assert_eq!(t.len(), 24);
+        assert!(t.data().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn from_vec_roundtrip() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        assert_eq!(t.at(&[0, 0]), 1.0);
+        assert_eq!(t.at(&[1, 2]), 6.0);
+        assert_eq!(t.clone().into_vec(), vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match shape")]
+    fn from_vec_bad_len_panics() {
+        let _ = Tensor::from_vec(vec![1.0; 5], &[2, 3]);
+    }
+
+    #[test]
+    fn eye_matmul_is_identity() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let c = a.matmul(&Tensor::eye(2));
+        assert_eq!(c.data(), a.data());
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Tensor::from_fn(&[3, 5], |i| i as f32);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn transpose_entries() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let t = a.transpose();
+        assert_eq!(t.shape(), &[3, 2]);
+        assert_eq!(t.at(&[2, 1]), 6.0);
+        assert_eq!(t.at(&[0, 1]), 4.0);
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = Tensor::from_vec(vec![1.0, -2.0], &[2]);
+        let b = Tensor::from_vec(vec![3.0, 4.0], &[2]);
+        assert_eq!(a.add(&b).data(), &[4.0, 2.0]);
+        assert_eq!(a.sub(&b).data(), &[-2.0, -6.0]);
+        assert_eq!(a.mul(&b).data(), &[3.0, -8.0]);
+        assert_eq!(a.scale(2.0).data(), &[2.0, -4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn elementwise_shape_mismatch_panics() {
+        let a = Tensor::zeros(&[2]);
+        let b = Tensor::zeros(&[3]);
+        let _ = a.add(&b);
+    }
+
+    #[test]
+    fn reductions() {
+        let a = Tensor::from_vec(vec![1.0, -5.0, 2.0], &[3]);
+        assert_eq!(a.sum(), -2.0);
+        assert_eq!(a.max_abs(), 5.0);
+        assert_eq!(a.min_max(), (-5.0, 2.0));
+        assert!((a.mean() + 2.0 / 3.0).abs() < 1e-9);
+        assert_eq!(a.sq_norm(), 30.0);
+    }
+
+    #[test]
+    fn argmax_rows_picks_first_max() {
+        let a = Tensor::from_vec(vec![1.0, 3.0, 2.0, 9.0, 9.0, 0.0], &[2, 3]);
+        assert_eq!(a.argmax_rows(), vec![1, 0]);
+    }
+
+    #[test]
+    fn slice_and_concat_dim0_roundtrip() {
+        let a = Tensor::from_fn(&[4, 3], |i| i as f32);
+        let top = a.slice_dim0(0, 2);
+        let bot = a.slice_dim0(2, 4);
+        assert_eq!(Tensor::concat_dim0(&[&top, &bot]), a);
+    }
+
+    #[test]
+    fn add_scaled_assign_axpy() {
+        let mut a = Tensor::ones(&[3]);
+        let b = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]);
+        a.add_scaled_assign(&b, 0.5);
+        assert_eq!(a.data(), &[1.5, 2.0, 2.5]);
+    }
+
+    #[test]
+    fn reshape_checks_numel() {
+        let a = Tensor::zeros(&[2, 6]);
+        let b = a.reshape(&[3, 4]);
+        assert_eq!(b.shape(), &[3, 4]);
+    }
+
+    #[test]
+    fn debug_is_never_empty() {
+        let t = Tensor::default();
+        assert!(!format!("{:?}", t).is_empty());
+        let big = Tensor::zeros(&[100]);
+        assert!(format!("{:?}", big).contains("n=100"));
+    }
+
+    #[test]
+    fn first_non_finite_detects_nan() {
+        let mut t = Tensor::ones(&[4]);
+        assert_eq!(t.first_non_finite(), None);
+        t.data_mut()[2] = f32::NAN;
+        assert_eq!(t.first_non_finite(), Some(2));
+    }
+}

@@ -1,0 +1,400 @@
+//! Cook-Toom synthesis of Winograd transformation matrices.
+//!
+//! The minimal filtering algorithm `F(m, r)` computes `m` outputs of an
+//! `r`-tap FIR filter with `n = m + r − 1` general multiplications
+//! (Winograd 1980). Its matrix form `y = Aᵀ[(G·g) ⊙ (Bᵀ·d)]` is obtained
+//! from the Cook-Toom algorithm (Toom 1963; see Blahut 2010 §5.2):
+//! evaluate at `n − 1` distinct *polynomial points* plus the point at
+//! infinity, multiply pointwise, and interpolate. Concretely, with `V_k`
+//! the `n × k` evaluation (Vandermonde) matrix over the chosen points,
+//!
+//! * `G  = V_r` (filter evaluation, `n × r`),
+//! * `Aᵀ = V_mᵀ` (output interpolation via the transposition principle, `m × n`),
+//! * `Bᵀ = V_n⁻ᵀ` (data interpolation, `n × n`),
+//!
+//! all constructed over exact rationals. The *choice of points* controls
+//! the magnitude of the matrix entries and hence the numerical error that
+//! the paper identifies as the obstacle to quantized Winograd (its §3.1,
+//! citing Barabasz et al. 2018).
+
+use serde::{Deserialize, Serialize};
+
+use crate::rational::{Frac, FracMat};
+
+/// A Cook-Toom interpolation point: a finite rational or the point at
+/// infinity (which selects the leading polynomial coefficient).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PolyPoint {
+    /// A finite rational point.
+    Finite(Frac),
+    /// The point at infinity.
+    Infinity,
+}
+
+impl PolyPoint {
+    /// Convenience constructor for the rational point `num/den`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den == 0`.
+    pub fn rational(num: i128, den: i128) -> PolyPoint {
+        PolyPoint::Finite(Frac::new(num, den))
+    }
+
+    /// Convenience constructor for an integer point.
+    pub fn int(n: i128) -> PolyPoint {
+        PolyPoint::Finite(Frac::int(n))
+    }
+}
+
+/// The default point sequence `0, 1, −1, 2, −2, ½, −½, 3, −3, ⅓, −⅓, 4, −4, …`.
+///
+/// Small magnitudes and reciprocal pairs keep Vandermonde entries small —
+/// the "good polynomial points" consensus the paper refers to for
+/// F(2×2, 3×3) and F(4×4, 3×3) (its §3.1), extended per Barabasz et al.
+/// (2018) for larger tiles.
+///
+/// # Panics
+///
+/// Panics if `count > 13` (enough for `F(8×8, 5×5)`); larger algorithms
+/// need a hand-picked point set passed to [`cook_toom_with_points`].
+pub fn default_points(count: usize) -> Vec<PolyPoint> {
+    const SEQ: [(i128, i128); 13] = [
+        (0, 1),
+        (1, 1),
+        (-1, 1),
+        (2, 1),
+        (-2, 1),
+        (1, 2),
+        (-1, 2),
+        (3, 1),
+        (-3, 1),
+        (1, 3),
+        (-1, 3),
+        (4, 1),
+        (-4, 1),
+    ];
+    assert!(
+        count <= SEQ.len(),
+        "default point sequence has {} points, {} requested; supply custom points",
+        SEQ.len(),
+        count
+    );
+    SEQ[..count].iter().map(|&(n, d)| PolyPoint::rational(n, d)).collect()
+}
+
+/// The exact-rational transform triple produced by [`cook_toom`].
+#[derive(Clone, Debug)]
+pub struct CookToom {
+    /// Output count `m` (per dimension).
+    pub m: usize,
+    /// Filter taps `r` (per dimension).
+    pub r: usize,
+    /// `m × n` output transform.
+    pub at: FracMat,
+    /// `n × r` filter transform.
+    pub g: FracMat,
+    /// `n × n` input transform.
+    pub bt: FracMat,
+}
+
+impl CookToom {
+    /// Input tile size `n = m + r − 1`.
+    pub fn n(&self) -> usize {
+        self.m + self.r - 1
+    }
+}
+
+/// Vandermonde-with-infinity evaluation matrix: row `i` is
+/// `[1, aᵢ, aᵢ², …, aᵢ^(cols−1)]` for a finite point, or `e_{cols−1}` for
+/// the point at infinity.
+fn vandermonde(points: &[PolyPoint], cols: usize) -> FracMat {
+    let mut v = FracMat::zeros(points.len(), cols);
+    for (i, p) in points.iter().enumerate() {
+        match p {
+            PolyPoint::Finite(a) => {
+                let mut pow = Frac::ONE;
+                for j in 0..cols {
+                    v[(i, j)] = pow;
+                    pow = pow * *a;
+                }
+            }
+            PolyPoint::Infinity => {
+                v[(i, cols - 1)] = Frac::ONE;
+            }
+        }
+    }
+    v
+}
+
+/// Synthesizes `F(m, r)` transforms with the default point set
+/// (`m + r − 2` finite points plus infinity), normalized so `Bᵀ` has
+/// integer entries where possible.
+///
+/// # Panics
+///
+/// Panics if `m == 0` or `r == 0`, or if more default points are needed
+/// than [`default_points`] provides.
+///
+/// # Example
+///
+/// ```
+/// use wa_winograd::cook_toom;
+///
+/// let ct = cook_toom(2, 3); // F(2, 3)
+/// assert_eq!(ct.n(), 4);
+/// assert_eq!(ct.at.rows(), 2);
+/// assert_eq!(ct.g.rows(), 4);
+/// assert_eq!(ct.bt.rows(), 4);
+/// ```
+pub fn cook_toom(m: usize, r: usize) -> CookToom {
+    assert!(m >= 1 && r >= 1, "F(m, r) requires m, r >= 1, got F({}, {})", m, r);
+    let n = m + r - 1;
+    let mut points = default_points(n - 1);
+    points.push(PolyPoint::Infinity);
+    cook_toom_with_points(m, r, &points)
+}
+
+/// Synthesizes `F(m, r)` transforms from explicit points.
+///
+/// The last point may be [`PolyPoint::Infinity`]; all points must be
+/// distinct and there must be exactly `m + r − 1` of them.
+///
+/// # Panics
+///
+/// Panics on a wrong point count, duplicate points, or an infinity that is
+/// not in the final position.
+pub fn cook_toom_with_points(m: usize, r: usize, points: &[PolyPoint]) -> CookToom {
+    assert!(m >= 1 && r >= 1, "F(m, r) requires m, r >= 1, got F({}, {})", m, r);
+    let n = m + r - 1;
+    assert_eq!(points.len(), n, "F({}, {}) needs {} points, got {}", m, r, n, points.len());
+    for (i, a) in points.iter().enumerate() {
+        for b in &points[..i] {
+            assert_ne!(a, b, "duplicate Cook-Toom point {:?}", a);
+        }
+        if *a == PolyPoint::Infinity {
+            assert_eq!(i, n - 1, "the infinity point must be last");
+        }
+    }
+
+    let at = vandermonde(points, m).transpose();
+    let g = vandermonde(points, r);
+    let bt = vandermonde(points, n).inverse().transpose();
+    let mut ct = CookToom { m, r, at, g, bt };
+    normalize(&mut ct);
+    ct
+}
+
+/// Rescales the triple so `Bᵀ` rows are integral, pushing the
+/// compensating factor into the matching `G` row — the convention of the
+/// published Lavin & Gray matrices (integer `Bᵀ`, fractional `G`), which
+/// is also the friendly form for fixed-point arithmetic.
+///
+/// Correctness is invariant: component `i` of the Hadamard product is
+/// `(G·g)ᵢ (Bᵀ·d)ᵢ`, so scaling `Bᵀ` row `i` by `s` while scaling `G` row
+/// `i` by `1/s` leaves `y = Aᵀ[(G·g) ⊙ (Bᵀ·d)]` unchanged.
+fn normalize(ct: &mut CookToom) {
+    let n = ct.n();
+    for i in 0..n {
+        // lcm of denominators in Bᵀ row i
+        let mut lcm: i128 = 1;
+        for j in 0..n {
+            let d = ct.bt[(i, j)].denominator();
+            let g = {
+                let (mut a, mut b) = (lcm, d);
+                while b != 0 {
+                    (a, b) = (b, a % b);
+                }
+                a
+            };
+            lcm = (lcm / g) * d;
+        }
+        if lcm == 1 {
+            continue;
+        }
+        let s = Frac::int(lcm);
+        let inv = Frac::new(1, lcm);
+        for j in 0..n {
+            ct.bt[(i, j)] = ct.bt[(i, j)] * s;
+        }
+        for j in 0..ct.r {
+            ct.g[(i, j)] = ct.g[(i, j)] * inv;
+        }
+    }
+}
+
+/// Exact 1-D Winograd filtering over rationals: `y = Aᵀ[(G·g) ⊙ (Bᵀ·d)]`.
+///
+/// Used by property tests to show the synthesized triple computes FIR
+/// filtering *exactly* (no floating point involved).
+///
+/// # Panics
+///
+/// Panics if `d.len() != n` or `g.len() != r`.
+pub fn winograd_1d_exact(ct: &CookToom, d: &[Frac], g: &[Frac]) -> Vec<Frac> {
+    let n = ct.n();
+    assert_eq!(d.len(), n, "data length {} != n {}", d.len(), n);
+    assert_eq!(g.len(), ct.r, "filter length {} != r {}", g.len(), ct.r);
+    // G·g
+    let gg: Vec<Frac> = (0..n)
+        .map(|i| (0..ct.r).fold(Frac::ZERO, |acc, j| acc + ct.g[(i, j)] * g[j]))
+        .collect();
+    // Bᵀ·d
+    let bd: Vec<Frac> = (0..n)
+        .map(|i| (0..n).fold(Frac::ZERO, |acc, j| acc + ct.bt[(i, j)] * d[j]))
+        .collect();
+    // Aᵀ·(gg ⊙ bd)
+    (0..ct.m)
+        .map(|i| (0..n).fold(Frac::ZERO, |acc, j| acc + ct.at[(i, j)] * gg[j] * bd[j]))
+        .collect()
+}
+
+// serde helpers so CookToom products can be persisted in experiment logs
+impl Serialize for PolyPoint {
+    fn serialize<S: serde::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        match self {
+            PolyPoint::Finite(f) => (f.numerator(), f.denominator()).serialize(s),
+            PolyPoint::Infinity => (0i128, 0i128).serialize(s),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for PolyPoint {
+    fn deserialize<D: serde::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let (n, den) = <(i128, i128)>::deserialize(d)?;
+        if den == 0 {
+            Ok(PolyPoint::Infinity)
+        } else {
+            Ok(PolyPoint::Finite(Frac::new(n, den)))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fir_exact(d: &[Frac], g: &[Frac]) -> Vec<Frac> {
+        let m = d.len() - g.len() + 1;
+        (0..m)
+            .map(|i| {
+                g.iter()
+                    .enumerate()
+                    .fold(Frac::ZERO, |acc, (k, &gk)| acc + gk * d[i + k])
+            })
+            .collect()
+    }
+
+    #[test]
+    fn f23_matches_fir_exactly() {
+        let ct = cook_toom(2, 3);
+        let d: Vec<Frac> = [3, -1, 4, 1].iter().map(|&x| Frac::int(x)).collect();
+        let g: Vec<Frac> = [2, 7, -5].iter().map(|&x| Frac::int(x)).collect();
+        assert_eq!(winograd_1d_exact(&ct, &d, &g), fir_exact(&d, &g));
+    }
+
+    #[test]
+    fn many_sizes_match_fir_exactly() {
+        // every (m, r) pair used anywhere in the paper
+        for (m, r) in [(2, 3), (4, 3), (6, 3), (2, 5), (4, 5), (6, 5), (8, 3), (3, 3), (5, 3)] {
+            let ct = cook_toom(m, r);
+            let n = ct.n();
+            let d: Vec<Frac> = (0..n).map(|i| Frac::new(2 * i as i128 - 3, 1 + (i as i128 % 3))).collect();
+            let g: Vec<Frac> = (0..r).map(|i| Frac::new(1 - i as i128, 2)).collect();
+            assert_eq!(winograd_1d_exact(&ct, &d, &g), fir_exact(&d, &g), "F({}, {})", m, r);
+        }
+    }
+
+    #[test]
+    fn normalized_bt_is_integral() {
+        for (m, r) in [(2, 3), (4, 3), (6, 3), (4, 5)] {
+            let ct = cook_toom(m, r);
+            let n = ct.n();
+            for i in 0..n {
+                for j in 0..n {
+                    assert!(
+                        ct.bt[(i, j)].is_integer(),
+                        "F({},{}) Bᵀ[{},{}] = {} not integral",
+                        m,
+                        r,
+                        i,
+                        j,
+                        ct.bt[(i, j)]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn f23_reproduces_lavin_gray_up_to_row_sign() {
+        // The generated F(2,3) equals the canonical Lavin & Gray matrices
+        // except that Bᵀ row 3 and Aᵀ column 3 are both negated — an
+        // equivalent minimal algorithm (the two sign flips cancel in the
+        // pointwise product). Magnitudes and sparsity are identical.
+        let ct = cook_toom(2, 3);
+        let bt: Vec<Vec<f64>> = ct.bt.to_f64_rows();
+        assert_eq!(bt[0], vec![1.0, 0.0, -1.0, 0.0]);
+        assert_eq!(bt[1], vec![0.0, 1.0, 1.0, 0.0]);
+        assert_eq!(bt[2], vec![0.0, -1.0, 1.0, 0.0]);
+        assert_eq!(bt[3], vec![0.0, -1.0, 0.0, 1.0]);
+        let g = ct.g.to_f64_rows();
+        assert_eq!(g[0], vec![1.0, 0.0, 0.0]);
+        assert_eq!(g[1], vec![0.5, 0.5, 0.5]);
+        assert_eq!(g[2], vec![0.5, -0.5, 0.5]);
+        assert_eq!(g[3], vec![0.0, 0.0, 1.0]);
+        let at = ct.at.to_f64_rows();
+        assert_eq!(at[0], vec![1.0, 1.0, 1.0, 0.0]);
+        assert_eq!(at[1], vec![0.0, 1.0, -1.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate Cook-Toom point")]
+    fn duplicate_points_panic() {
+        let pts = vec![PolyPoint::int(0), PolyPoint::int(0), PolyPoint::int(1), PolyPoint::Infinity];
+        let _ = cook_toom_with_points(2, 3, &pts);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs 4 points")]
+    fn wrong_point_count_panics() {
+        let _ = cook_toom_with_points(2, 3, &[PolyPoint::int(0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "infinity point must be last")]
+    fn infinity_must_be_last() {
+        let pts = vec![PolyPoint::Infinity, PolyPoint::int(0), PolyPoint::int(1), PolyPoint::int(2)];
+        let _ = cook_toom_with_points(2, 3, &pts);
+    }
+
+    #[test]
+    fn all_finite_points_also_work() {
+        let pts = vec![PolyPoint::int(0), PolyPoint::int(1), PolyPoint::int(-1), PolyPoint::int(2)];
+        let ct = cook_toom_with_points(2, 3, &pts);
+        let d: Vec<Frac> = [1, 2, 3, 4].iter().map(|&x| Frac::int(x)).collect();
+        let g: Vec<Frac> = [1, 1, 1].iter().map(|&x| Frac::int(x)).collect();
+        assert_eq!(winograd_1d_exact(&ct, &d, &g), fir_exact(&d, &g));
+    }
+
+    #[test]
+    fn bad_points_grow_entries() {
+        // Large points → large matrix entries → numerical error (the root
+        // cause discussed in paper §3.1).
+        let good = cook_toom(4, 3);
+        let bad_pts: Vec<PolyPoint> =
+            vec![PolyPoint::int(0), PolyPoint::int(1), PolyPoint::int(2), PolyPoint::int(3), PolyPoint::int(4), PolyPoint::Infinity];
+        let bad = cook_toom_with_points(4, 3, &bad_pts);
+        let max_abs = |m: &FracMat| {
+            let mut best = 0.0f64;
+            for row in m.to_f64_rows() {
+                for v in row {
+                    best = best.max(v.abs());
+                }
+            }
+            best
+        };
+        assert!(max_abs(&bad.bt) > max_abs(&good.bt), "bad points should inflate Bᵀ");
+    }
+}
+

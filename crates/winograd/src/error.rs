@@ -1,0 +1,174 @@
+//! Numerical-error analysis of Winograd convolutions.
+//!
+//! Quantifies the phenomenon behind Table 1 of the paper: the entries of
+//! `G`, `Bᵀ`, `Aᵀ` grow with tile size, so the transforms amplify
+//! rounding error — catastrophically once intermediates are quantized.
+
+use serde::{Deserialize, Serialize};
+use wa_quant::{fake_quant_scale, BitWidth};
+use wa_tensor::{conv2d_direct_f64, SeededRng, Tensor};
+
+use crate::transform::WinogradTransform;
+
+/// Error statistics of Winograd vs direct convolution over random tiles.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct ErrorStats {
+    /// Mean absolute elementwise error.
+    pub mean_abs: f64,
+    /// Maximum absolute elementwise error.
+    pub max_abs: f64,
+    /// Relative Frobenius error ‖y − ŷ‖ / ‖y‖.
+    pub rel_fro: f64,
+}
+
+fn direct_tile_f64(d: &Tensor, g: &Tensor, m: usize, r: usize) -> Vec<f64> {
+    let n = m + r - 1;
+    let din: Vec<f64> = d.data().iter().map(|&v| v as f64).collect();
+    let ker: Vec<f64> = g.data().iter().map(|&v| v as f64).collect();
+    conv2d_direct_f64(&din, n, n, &ker, r, r)
+}
+
+fn stats_from(trials: &[(Vec<f64>, Vec<f64>)]) -> ErrorStats {
+    let mut sum_abs = 0.0;
+    let mut max_abs: f64 = 0.0;
+    let mut err_sq = 0.0;
+    let mut ref_sq = 0.0;
+    let mut count = 0usize;
+    for (want, got) in trials {
+        for (w, g) in want.iter().zip(got) {
+            let e = (w - g).abs();
+            sum_abs += e;
+            max_abs = max_abs.max(e);
+            err_sq += e * e;
+            ref_sq += w * w;
+            count += 1;
+        }
+    }
+    ErrorStats {
+        mean_abs: sum_abs / count.max(1) as f64,
+        max_abs,
+        rel_fro: if ref_sq > 0.0 { (err_sq / ref_sq).sqrt() } else { 0.0 },
+    }
+}
+
+/// Error of the *floating point* Winograd algorithm against an f64 direct
+/// convolution, over `trials` random tiles with inputs in `[−1, 1]`.
+///
+/// Small for F2, growing with tile size — but benign at FP32, which is why
+/// post-training Winograd substitution works in full precision (Table 1,
+/// column 1).
+pub fn tile_error_fp32(t: &WinogradTransform, trials: usize, seed: u64) -> ErrorStats {
+    let n = t.input_tile();
+    let r = t.r();
+    let mut rng = SeededRng::new(seed);
+    let mut results = Vec::with_capacity(trials);
+    for _ in 0..trials {
+        let d = rng.uniform_tensor(&[n, n], -1.0, 1.0);
+        let g = rng.uniform_tensor(&[r, r], -1.0, 1.0);
+        let got: Vec<f64> = t.convolve_tile(&d, &g).data().iter().map(|&v| v as f64).collect();
+        results.push((direct_tile_f64(&d, &g, t.m(), t.r()), got));
+    }
+    stats_from(&results)
+}
+
+/// Error of the Winograd algorithm with **every intermediate
+/// fake-quantized** to `bits` (inputs, transformed weights `GgGᵀ`,
+/// transformed data `BᵀdB`, Hadamard product, and output), against a
+/// direct f64 convolution of the *same quantized inputs*.
+///
+/// This isolates the error Winograd itself introduces under quantization —
+/// the quantity that "grows at least exponentially with tile size"
+/// (Barabasz et al. 2018, cited in §3.1) and collapses F4/F6 in Table 1.
+pub fn tile_error_quantized(
+    t: &WinogradTransform,
+    bits: BitWidth,
+    trials: usize,
+    seed: u64,
+) -> ErrorStats {
+    if bits.is_float() {
+        return tile_error_fp32(t, trials, seed);
+    }
+    let n = t.input_tile();
+    let r = t.r();
+    let mut rng = SeededRng::new(seed);
+    let q = |x: &Tensor| {
+        let range = x.max_abs();
+        if range == 0.0 {
+            x.clone()
+        } else {
+            fake_quant_scale(x, bits, range / bits.qmax() as f32)
+        }
+    };
+    let mut results = Vec::with_capacity(trials);
+    for _ in 0..trials {
+        let d = q(&rng.uniform_tensor(&[n, n], -1.0, 1.0));
+        let g = q(&rng.uniform_tensor(&[r, r], -1.0, 1.0));
+        // Winograd with quantized intermediates (Fig. 2 pipeline)
+        let u = q(&t.transform_filter(&g));
+        let v = q(&t.transform_input(&d));
+        let h = q(&u.mul(&v));
+        let y = q(&t.transform_output(&h));
+        let got: Vec<f64> = y.data().iter().map(|&x| x as f64).collect();
+        results.push((direct_tile_f64(&d, &g, t.m(), t.r()), got));
+    }
+    stats_from(&results)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fp32_error_is_tiny_for_f2() {
+        let t = WinogradTransform::canonical(2, 3);
+        let e = tile_error_fp32(&t, 50, 1);
+        assert!(e.max_abs < 1e-5, "F2 FP32 max error {}", e.max_abs);
+    }
+
+    #[test]
+    fn fp32_error_grows_with_tile_size_but_stays_benign() {
+        let e2 = tile_error_fp32(&WinogradTransform::canonical(2, 3), 100, 2).rel_fro;
+        let e6 = tile_error_fp32(&WinogradTransform::cook_toom(6, 3), 100, 2).rel_fro;
+        assert!(e6 > e2, "error should grow with tile size: {} vs {}", e2, e6);
+        assert!(e6 < 1e-4, "but remain benign at FP32: {}", e6);
+    }
+
+    #[test]
+    fn int8_error_explodes_with_tile_size() {
+        // The Table 1 phenomenon: at INT8, F2 is usable, F4/F6 are not.
+        let e2 = tile_error_quantized(&WinogradTransform::canonical(2, 3), BitWidth::INT8, 100, 3);
+        let e4 = tile_error_quantized(&WinogradTransform::canonical(4, 3), BitWidth::INT8, 100, 3);
+        let e6 = tile_error_quantized(&WinogradTransform::cook_toom(6, 3), BitWidth::INT8, 100, 3);
+        assert!(e2.rel_fro < e4.rel_fro && e4.rel_fro < e6.rel_fro,
+            "INT8 error must grow with tile size: {} {} {}", e2.rel_fro, e4.rel_fro, e6.rel_fro);
+        assert!(e2.rel_fro < 0.05, "F2 INT8 should be mild: {}", e2.rel_fro);
+        assert!(e6.rel_fro > 0.05, "F6 INT8 should be severe: {}", e6.rel_fro);
+    }
+
+    #[test]
+    fn higher_precision_reduces_error() {
+        let t = WinogradTransform::canonical(4, 3);
+        let e8 = tile_error_quantized(&t, BitWidth::INT8, 100, 4).rel_fro;
+        let e16 = tile_error_quantized(&t, BitWidth::INT16, 100, 4).rel_fro;
+        assert!(e16 < e8 / 10.0, "INT16 {} should be far below INT8 {}", e16, e8);
+    }
+
+    #[test]
+    fn five_by_five_worse_than_three_by_three() {
+        // Larger filters need larger tiles: F(6,5) uses 10×10 tiles and is
+        // the paper's hardest case (Fig. 5: static F(6×6,5×5) loses ~47%).
+        let t33 = WinogradTransform::cook_toom(6, 3);
+        let t55 = WinogradTransform::cook_toom(6, 5);
+        let e33 = tile_error_quantized(&t33, BitWidth::INT8, 100, 5).rel_fro;
+        let e55 = tile_error_quantized(&t55, BitWidth::INT8, 100, 5).rel_fro;
+        assert!(e55 > e33, "5×5 filters should be worse: {} vs {}", e55, e33);
+    }
+
+    #[test]
+    fn stats_are_deterministic_per_seed() {
+        let t = WinogradTransform::canonical(2, 3);
+        let a = tile_error_quantized(&t, BitWidth::INT8, 20, 7);
+        let b = tile_error_quantized(&t, BitWidth::INT8, 20, 7);
+        assert_eq!(a, b);
+    }
+}

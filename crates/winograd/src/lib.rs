@@ -1,0 +1,51 @@
+//! # wa-winograd
+//!
+//! Winograd minimal-filtering convolutions: exact Cook-Toom synthesis of
+//! the transformation triple `(Aᵀ, G, Bᵀ)`, the canonical published
+//! Lavin & Gray matrices, tile geometry, batched GEMM-formulated
+//! convolution kernels, and numerical-error analysis.
+//!
+//! This crate is the algorithmic core of the *Searching for
+//! Winograd-aware Quantized Networks* (MLSys 2020) reproduction: it
+//! implements Eq. (1) of the paper,
+//!
+//! ```text
+//! Y = Aᵀ[(G·g·Gᵀ) ⊙ (Bᵀ·d·B)]A
+//! ```
+//!
+//! and everything needed to study *why* it breaks under quantization
+//! (entry growth with tile size) and to build the Winograd-aware training
+//! layer on top (in `wa-nn`/`wa-core`).
+//!
+//! # Example
+//!
+//! ```
+//! use wa_tensor::{SeededRng, Tensor};
+//! use wa_winograd::{winograd_conv2d, WinogradTransform};
+//!
+//! // F(4×4, 3×3): 2.25 multiplies per output instead of 9.
+//! let t = WinogradTransform::canonical(4, 3);
+//! assert_eq!(t.mults_per_output(), 2.25);
+//!
+//! let mut rng = SeededRng::new(0);
+//! let x = rng.uniform_tensor(&[1, 3, 16, 16], -1.0, 1.0);
+//! let w = rng.uniform_tensor(&[8, 3, 3, 3], -1.0, 1.0);
+//! let y = winograd_conv2d(&x, &w, None, &t, 1);
+//! assert_eq!(y.shape(), &[1, 8, 16, 16]);
+//! ```
+
+mod cook_toom;
+mod error;
+mod kernels;
+mod rational;
+mod tiling;
+mod transform;
+
+pub use cook_toom::{
+    cook_toom, cook_toom_with_points, default_points, winograd_1d_exact, CookToom, PolyPoint,
+};
+pub use error::{tile_error_fp32, tile_error_quantized, ErrorStats};
+pub use kernels::{transform_weights, winograd_conv2d, winograd_conv2d_pretransformed};
+pub use rational::{Frac, FracMat};
+pub use tiling::TileGeometry;
+pub use transform::WinogradTransform;

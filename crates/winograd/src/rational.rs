@@ -1,0 +1,408 @@
+//! Exact rational arithmetic for Cook-Toom synthesis.
+//!
+//! Transformation matrices must be constructed *exactly*: tiny errors in
+//! `G`, `Bᵀ`, `Aᵀ` would be amplified by the very numerical instability the
+//! paper studies. `Frac` is a reduced `i128` fraction with overflow-checked
+//! operations — plenty of headroom for the Vandermonde inverses of
+//! `F(6×6, 5×5)` (10×10) and beyond.
+
+use std::fmt;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// An exact rational number `num/den` in lowest terms with `den > 0`.
+///
+/// # Example
+///
+/// ```
+/// use wa_winograd::Frac;
+///
+/// let half = Frac::new(1, 2);
+/// let third = Frac::new(1, 3);
+/// assert_eq!(half + third, Frac::new(5, 6));
+/// assert_eq!((half * third).to_f64(), 1.0 / 6.0);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Frac {
+    num: i128,
+    den: i128,
+}
+
+fn gcd(a: i128, b: i128) -> i128 {
+    let (mut a, mut b) = (a.abs(), b.abs());
+    while b != 0 {
+        (a, b) = (b, a % b);
+    }
+    a
+}
+
+impl Frac {
+    /// Zero.
+    pub const ZERO: Frac = Frac { num: 0, den: 1 };
+    /// One.
+    pub const ONE: Frac = Frac { num: 1, den: 1 };
+
+    /// Creates the reduced fraction `num/den`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den == 0`.
+    pub fn new(num: i128, den: i128) -> Frac {
+        assert!(den != 0, "fraction denominator must be non-zero");
+        let sign = if den < 0 { -1 } else { 1 };
+        let g = gcd(num, den).max(1);
+        Frac { num: sign * num / g, den: sign * den / g }
+    }
+
+    /// The integer `n` as a fraction.
+    pub fn int(n: i128) -> Frac {
+        Frac { num: n, den: 1 }
+    }
+
+    /// Numerator (after reduction, sign-carrying).
+    pub fn numerator(&self) -> i128 {
+        self.num
+    }
+
+    /// Denominator (after reduction, always positive).
+    pub fn denominator(&self) -> i128 {
+        self.den
+    }
+
+    /// Whether the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.num == 0
+    }
+
+    /// Whether the value is an integer.
+    pub fn is_integer(&self) -> bool {
+        self.den == 1
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero.
+    pub fn recip(&self) -> Frac {
+        assert!(self.num != 0, "cannot invert zero");
+        Frac::new(self.den, self.num)
+    }
+
+    /// Nearest `f64` value.
+    pub fn to_f64(&self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+
+    fn checked_mul_i128(a: i128, b: i128) -> i128 {
+        a.checked_mul(b).expect("rational arithmetic overflow (i128)")
+    }
+}
+
+impl Add for Frac {
+    type Output = Frac;
+    fn add(self, rhs: Frac) -> Frac {
+        // reduce across denominators first to delay overflow
+        let g = gcd(self.den, rhs.den).max(1);
+        let (da, db) = (self.den / g, rhs.den / g);
+        let num = Frac::checked_mul_i128(self.num, db)
+            .checked_add(Frac::checked_mul_i128(rhs.num, da))
+            .expect("rational arithmetic overflow (i128)");
+        let den = Frac::checked_mul_i128(self.den, db);
+        Frac::new(num, den)
+    }
+}
+
+impl Sub for Frac {
+    type Output = Frac;
+    fn sub(self, rhs: Frac) -> Frac {
+        self + (-rhs)
+    }
+}
+
+impl Neg for Frac {
+    type Output = Frac;
+    fn neg(self) -> Frac {
+        Frac { num: -self.num, den: self.den }
+    }
+}
+
+impl Mul for Frac {
+    type Output = Frac;
+    fn mul(self, rhs: Frac) -> Frac {
+        // cross-reduce before multiplying
+        let g1 = gcd(self.num, rhs.den).max(1);
+        let g2 = gcd(rhs.num, self.den).max(1);
+        let num = Frac::checked_mul_i128(self.num / g1, rhs.num / g2);
+        let den = Frac::checked_mul_i128(self.den / g2, rhs.den / g1);
+        Frac::new(num, den)
+    }
+}
+
+impl Div for Frac {
+    type Output = Frac;
+    /// # Panics
+    ///
+    /// Panics on division by zero.
+    #[allow(clippy::suspicious_arithmetic_impl)] // a/b = a·b⁻¹ is the definition
+    fn div(self, rhs: Frac) -> Frac {
+        self * rhs.recip()
+    }
+}
+
+impl fmt::Debug for Frac {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+impl fmt::Display for Frac {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// A dense matrix of exact rationals.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FracMat {
+    rows: usize,
+    cols: usize,
+    data: Vec<Frac>,
+}
+
+impl FracMat {
+    /// Zero matrix of the given size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn zeros(rows: usize, cols: usize) -> FracMat {
+        assert!(rows > 0 && cols > 0, "FracMat dimensions must be positive");
+        FracMat { rows, cols, data: vec![Frac::ZERO; rows * cols] }
+    }
+
+    /// Identity matrix.
+    pub fn identity(n: usize) -> FracMat {
+        let mut m = FracMat::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = Frac::ONE;
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> FracMat {
+        let mut t = FracMat::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                t[(j, i)] = self[(i, j)];
+            }
+        }
+        t
+    }
+
+    /// Matrix product.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inner-dimension mismatch.
+    pub fn matmul(&self, rhs: &FracMat) -> FracMat {
+        assert_eq!(self.cols, rhs.rows, "FracMat inner dims: {} vs {}", self.cols, rhs.rows);
+        let mut out = FracMat::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a.is_zero() {
+                    continue;
+                }
+                for j in 0..rhs.cols {
+                    let b = rhs[(k, j)];
+                    if !b.is_zero() {
+                        out[(i, j)] = out[(i, j)] + a * b;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Exact inverse via Gauss–Jordan elimination with partial pivoting on
+    /// non-zero entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square or is singular.
+    pub fn inverse(&self) -> FracMat {
+        assert_eq!(self.rows, self.cols, "inverse requires a square matrix");
+        let n = self.rows;
+        let mut a = self.clone();
+        let mut inv = FracMat::identity(n);
+        for col in 0..n {
+            // find a pivot
+            let pivot = (col..n)
+                .find(|&r| !a[(r, col)].is_zero())
+                .unwrap_or_else(|| panic!("singular matrix: no pivot in column {}", col));
+            if pivot != col {
+                for j in 0..n {
+                    let (x, y) = (a[(pivot, j)], a[(col, j)]);
+                    a[(pivot, j)] = y;
+                    a[(col, j)] = x;
+                    let (x, y) = (inv[(pivot, j)], inv[(col, j)]);
+                    inv[(pivot, j)] = y;
+                    inv[(col, j)] = x;
+                }
+            }
+            let p = a[(col, col)].recip();
+            for j in 0..n {
+                a[(col, j)] = a[(col, j)] * p;
+                inv[(col, j)] = inv[(col, j)] * p;
+            }
+            for r in 0..n {
+                if r != col && !a[(r, col)].is_zero() {
+                    let f = a[(r, col)];
+                    for j in 0..n {
+                        a[(r, j)] = a[(r, j)] - f * a[(col, j)];
+                        inv[(r, j)] = inv[(r, j)] - f * inv[(col, j)];
+                    }
+                }
+            }
+        }
+        inv
+    }
+
+    /// Converts to a row-major `f64` matrix.
+    pub fn to_f64_rows(&self) -> Vec<Vec<f64>> {
+        (0..self.rows)
+            .map(|i| (0..self.cols).map(|j| self[(i, j)].to_f64()).collect())
+            .collect()
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for FracMat {
+    type Output = Frac;
+    fn index(&self, (i, j): (usize, usize)) -> &Frac {
+        assert!(i < self.rows && j < self.cols, "index ({}, {}) out of bounds", i, j);
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for FracMat {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut Frac {
+        assert!(i < self.rows && j < self.cols, "index ({}, {}) out of bounds", i, j);
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frac_reduction_and_sign() {
+        assert_eq!(Frac::new(2, 4), Frac::new(1, 2));
+        assert_eq!(Frac::new(1, -2), Frac::new(-1, 2));
+        assert_eq!(Frac::new(-3, -6), Frac::new(1, 2));
+        assert_eq!(Frac::new(0, 5), Frac::ZERO);
+    }
+
+    #[test]
+    fn frac_field_ops() {
+        let a = Frac::new(3, 4);
+        let b = Frac::new(5, 6);
+        assert_eq!(a + b, Frac::new(19, 12));
+        assert_eq!(a - b, Frac::new(-1, 12));
+        assert_eq!(a * b, Frac::new(5, 8));
+        assert_eq!(a / b, Frac::new(9, 10));
+        assert_eq!(-a, Frac::new(-3, 4));
+        assert_eq!(a.recip(), Frac::new(4, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "denominator must be non-zero")]
+    fn zero_denominator_panics() {
+        let _ = Frac::new(1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot invert zero")]
+    fn zero_recip_panics() {
+        let _ = Frac::ZERO.recip();
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Frac::new(3, 1).to_string(), "3");
+        assert_eq!(Frac::new(-1, 2).to_string(), "-1/2");
+    }
+
+    #[test]
+    fn identity_inverse_is_identity() {
+        let i = FracMat::identity(4);
+        assert_eq!(i.inverse(), i);
+    }
+
+    #[test]
+    fn inverse_times_self_is_identity() {
+        // A 4x4 Vandermonde-like matrix with fractional points.
+        let pts = [Frac::int(0), Frac::int(1), Frac::int(-1), Frac::new(1, 2)];
+        let mut v = FracMat::zeros(4, 4);
+        for (i, p) in pts.iter().enumerate() {
+            let mut pow = Frac::ONE;
+            for j in 0..4 {
+                v[(i, j)] = pow;
+                pow = pow * *p;
+            }
+        }
+        let vi = v.inverse();
+        assert_eq!(v.matmul(&vi), FracMat::identity(4));
+        assert_eq!(vi.matmul(&v), FracMat::identity(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "singular matrix")]
+    fn singular_inverse_panics() {
+        let mut m = FracMat::zeros(2, 2);
+        m[(0, 0)] = Frac::ONE;
+        m[(0, 1)] = Frac::ONE;
+        m[(1, 0)] = Frac::ONE;
+        m[(1, 1)] = Frac::ONE;
+        let _ = m.inverse();
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let mut m = FracMat::zeros(2, 3);
+        m[(0, 2)] = Frac::new(7, 3);
+        m[(1, 0)] = Frac::int(-2);
+        assert_eq!(m.transpose().transpose(), m);
+        assert_eq!(m.transpose()[(2, 0)], Frac::new(7, 3));
+    }
+
+    #[test]
+    fn matmul_hand_example() {
+        let mut a = FracMat::zeros(2, 2);
+        a[(0, 0)] = Frac::int(1);
+        a[(0, 1)] = Frac::int(2);
+        a[(1, 0)] = Frac::int(3);
+        a[(1, 1)] = Frac::int(4);
+        let b = a.clone();
+        let c = a.matmul(&b);
+        assert_eq!(c[(0, 0)], Frac::int(7));
+        assert_eq!(c[(0, 1)], Frac::int(10));
+        assert_eq!(c[(1, 0)], Frac::int(15));
+        assert_eq!(c[(1, 1)], Frac::int(22));
+    }
+}

@@ -1,0 +1,446 @@
+//! Tile geometry and gather/scatter between NCHW images and Winograd
+//! tiles.
+//!
+//! A Winograd convolution `F(m×m, r×r)` slides an `n×n` window (`n = m +
+//! r − 1`) with stride `m`, producing non-overlapping `m×m` output tiles
+//! (Figure 1 of the paper). When the output extent is not a multiple of
+//! `m`, the last tile column/row overruns and its extra outputs are
+//! discarded — the "wasted calculations when operating around the matrix
+//! edges" that make the optimal tile size alternate with output width
+//! (paper §6.2, Figure 7).
+
+use serde::{Deserialize, Serialize};
+use wa_tensor::Tensor;
+
+/// Tile decomposition of one convolution layer.
+///
+/// # Example
+///
+/// ```
+/// use wa_winograd::TileGeometry;
+///
+/// // 32×32 output, F4: 8×8 tiles of 4×4 outputs, no waste
+/// let g = TileGeometry::for_conv(32, 32, 4, 3, 1);
+/// assert_eq!((g.tiles_y, g.tiles_x), (8, 8));
+/// assert_eq!(g.wasted_outputs(), 0);
+///
+/// // 30×30 output, F4: 8×8 tiles cover 32×32 -> waste
+/// let g = TileGeometry::for_conv(30, 30, 4, 3, 1);
+/// assert_eq!(g.wasted_outputs(), 32 * 32 - 30 * 30);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TileGeometry {
+    /// Output tile size `m`.
+    pub m: usize,
+    /// Filter size `r`.
+    pub r: usize,
+    /// Input height (unpadded).
+    pub in_h: usize,
+    /// Input width (unpadded).
+    pub in_w: usize,
+    /// Convolution zero-padding on each side.
+    pub pad: usize,
+    /// Output height `in_h + 2·pad − r + 1`.
+    pub out_h: usize,
+    /// Output width.
+    pub out_w: usize,
+    /// Number of tile rows `⌈out_h / m⌉`.
+    pub tiles_y: usize,
+    /// Number of tile columns `⌈out_w / m⌉`.
+    pub tiles_x: usize,
+}
+
+impl TileGeometry {
+    /// Computes the decomposition of a stride-1 `r×r` convolution of an
+    /// `in_h × in_w` input with `pad` zero-padding into `F(m×m, r×r)`
+    /// tiles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0`, `r == 0`, or the padded input is smaller than
+    /// the filter.
+    pub fn for_conv(in_h: usize, in_w: usize, m: usize, r: usize, pad: usize) -> TileGeometry {
+        assert!(m >= 1 && r >= 1, "F(m, r) requires m, r >= 1");
+        let (ph, pw) = (in_h + 2 * pad, in_w + 2 * pad);
+        assert!(ph >= r && pw >= r, "padded input {}x{} smaller than filter {}", ph, pw, r);
+        let out_h = ph - r + 1;
+        let out_w = pw - r + 1;
+        TileGeometry {
+            m,
+            r,
+            in_h,
+            in_w,
+            pad,
+            out_h,
+            out_w,
+            tiles_y: out_h.div_ceil(m),
+            tiles_x: out_w.div_ceil(m),
+        }
+    }
+
+    /// Input tile size `n = m + r − 1`.
+    pub fn tile(&self) -> usize {
+        self.m + self.r - 1
+    }
+
+    /// Tiles per image.
+    pub fn tiles(&self) -> usize {
+        self.tiles_y * self.tiles_x
+    }
+
+    /// Height the padded input must have so every tile is in bounds:
+    /// `tiles_y·m + r − 1`.
+    pub fn padded_h(&self) -> usize {
+        self.tiles_y * self.m + self.r - 1
+    }
+
+    /// Width the padded input must have (see [`TileGeometry::padded_h`]).
+    pub fn padded_w(&self) -> usize {
+        self.tiles_x * self.m + self.r - 1
+    }
+
+    /// Outputs computed but discarded because the tile grid overruns the
+    /// output extent.
+    pub fn wasted_outputs(&self) -> usize {
+        self.tiles() * self.m * self.m - self.out_h * self.out_w
+    }
+
+    /// Pads `x` (NCHW, unpadded) with `pad` zeros plus whatever extra
+    /// bottom/right zeros the tile grid requires.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` spatial dims disagree with the geometry.
+    pub fn pad_input(&self, x: &Tensor) -> Tensor {
+        assert_eq!(x.ndim(), 4, "pad_input expects NCHW");
+        assert_eq!(
+            (x.dim(2), x.dim(3)),
+            (self.in_h, self.in_w),
+            "input {}x{} does not match geometry {}x{}",
+            x.dim(2),
+            x.dim(3),
+            self.in_h,
+            self.in_w
+        );
+        let (n, c) = (x.dim(0), x.dim(1));
+        let (ph, pw) = (self.padded_h(), self.padded_w());
+        let mut out = Tensor::zeros(&[n, c, ph, pw]);
+        let src = x.data();
+        let dst = out.data_mut();
+        for img in 0..n * c {
+            let s0 = img * self.in_h * self.in_w;
+            let d0 = img * ph * pw;
+            for row in 0..self.in_h {
+                let s = s0 + row * self.in_w;
+                let d = d0 + (row + self.pad) * pw + self.pad;
+                dst[d..d + self.in_w].copy_from_slice(&src[s..s + self.in_w]);
+            }
+        }
+        out
+    }
+
+    /// Adjoint of [`TileGeometry::pad_input`]: crops a padded gradient back
+    /// to the unpadded input shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` does not have the padded shape.
+    pub fn unpad_input(&self, g: &Tensor) -> Tensor {
+        assert_eq!(g.ndim(), 4, "unpad_input expects NCHW");
+        let (ph, pw) = (self.padded_h(), self.padded_w());
+        assert_eq!(
+            (g.dim(2), g.dim(3)),
+            (ph, pw),
+            "gradient {}x{} does not match padded {}x{}",
+            g.dim(2),
+            g.dim(3),
+            ph,
+            pw
+        );
+        let (n, c) = (g.dim(0), g.dim(1));
+        let mut out = Tensor::zeros(&[n, c, self.in_h, self.in_w]);
+        let src = g.data();
+        let dst = out.data_mut();
+        for img in 0..n * c {
+            let s0 = img * ph * pw;
+            let d0 = img * self.in_h * self.in_w;
+            for row in 0..self.in_h {
+                let s = s0 + (row + self.pad) * pw + self.pad;
+                let d = d0 + row * self.in_w;
+                dst[d..d + self.in_w].copy_from_slice(&src[s..s + self.in_w]);
+            }
+        }
+        out
+    }
+
+    /// Gathers overlapping `n×n` input tiles from a *padded* input.
+    ///
+    /// Returns `[N·T·C, n·n]` where `T = tiles()`, with row index
+    /// `((img·T + t)·C + c)` — tiles vary slower than channels so the
+    /// downstream per-frequency GEMM sees contiguous channel runs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xp` does not have the padded shape.
+    pub fn gather_tiles(&self, xp: &Tensor) -> Tensor {
+        let (ph, pw) = (self.padded_h(), self.padded_w());
+        assert_eq!(xp.ndim(), 4, "gather_tiles expects NCHW");
+        assert_eq!(
+            (xp.dim(2), xp.dim(3)),
+            (ph, pw),
+            "input {}x{} does not match padded {}x{}",
+            xp.dim(2),
+            xp.dim(3),
+            ph,
+            pw
+        );
+        let (nb, c) = (xp.dim(0), xp.dim(1));
+        let t = self.tiles();
+        let n = self.tile();
+        let mut out = Tensor::zeros(&[nb * t * c, n * n]);
+        let src = xp.data();
+        let dst = out.data_mut();
+        for img in 0..nb {
+            for ty in 0..self.tiles_y {
+                for tx in 0..self.tiles_x {
+                    let tile = ty * self.tiles_x + tx;
+                    let (y0, x0) = (ty * self.m, tx * self.m);
+                    for ch in 0..c {
+                        let row = ((img * t + tile) * c + ch) * n * n;
+                        let s0 = ((img * c + ch) * ph + y0) * pw + x0;
+                        for dy in 0..n {
+                            let s = s0 + dy * pw;
+                            let d = row + dy * n;
+                            dst[d..d + n].copy_from_slice(&src[s..s + n]);
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Adjoint of [`TileGeometry::gather_tiles`]: scatter-adds tile
+    /// gradients back onto the padded input shape (overlaps accumulate).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tiles` has the wrong shape for `batch`/`channels`.
+    pub fn scatter_tiles(&self, tiles: &Tensor, batch: usize, channels: usize) -> Tensor {
+        let t = self.tiles();
+        let n = self.tile();
+        assert_eq!(
+            tiles.shape(),
+            &[batch * t * channels, n * n],
+            "tiles shape {:?} does not match [{}, {}]",
+            tiles.shape(),
+            batch * t * channels,
+            n * n
+        );
+        let (ph, pw) = (self.padded_h(), self.padded_w());
+        let mut out = Tensor::zeros(&[batch, channels, ph, pw]);
+        let src = tiles.data();
+        let dst = out.data_mut();
+        for img in 0..batch {
+            for ty in 0..self.tiles_y {
+                for tx in 0..self.tiles_x {
+                    let tile = ty * self.tiles_x + tx;
+                    let (y0, x0) = (ty * self.m, tx * self.m);
+                    for ch in 0..channels {
+                        let row = ((img * t + tile) * channels + ch) * n * n;
+                        let d0 = ((img * channels + ch) * ph + y0) * pw + x0;
+                        for dy in 0..n {
+                            let d = d0 + dy * pw;
+                            let s = row + dy * n;
+                            for dx in 0..n {
+                                dst[d + dx] += src[s + dx];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Assembles `m×m` output tiles into the NCHW output, cropping the
+    /// overrun.
+    ///
+    /// `tiles` is `[N·T·K, m·m]` with row index `((img·T + t)·K + k)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tiles` has the wrong shape.
+    pub fn assemble_output(&self, tiles: &Tensor, batch: usize, out_ch: usize) -> Tensor {
+        let t = self.tiles();
+        let m = self.m;
+        assert_eq!(
+            tiles.shape(),
+            &[batch * t * out_ch, m * m],
+            "output tiles shape {:?} does not match [{}, {}]",
+            tiles.shape(),
+            batch * t * out_ch,
+            m * m
+        );
+        let mut out = Tensor::zeros(&[batch, out_ch, self.out_h, self.out_w]);
+        let src = tiles.data();
+        let dst = out.data_mut();
+        for img in 0..batch {
+            for ty in 0..self.tiles_y {
+                for tx in 0..self.tiles_x {
+                    let tile = ty * self.tiles_x + tx;
+                    let (y0, x0) = (ty * m, tx * m);
+                    let ylim = m.min(self.out_h.saturating_sub(y0));
+                    let xlim = m.min(self.out_w.saturating_sub(x0));
+                    for k in 0..out_ch {
+                        let row = ((img * t + tile) * out_ch + k) * m * m;
+                        let d0 = ((img * out_ch + k) * self.out_h + y0) * self.out_w + x0;
+                        for dy in 0..ylim {
+                            let s = row + dy * m;
+                            let d = d0 + dy * self.out_w;
+                            dst[d..d + xlim].copy_from_slice(&src[s..s + xlim]);
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Adjoint of [`TileGeometry::assemble_output`]: splits an output
+    /// gradient into `m×m` tile gradients, zero-filling the overrun.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grad` is not `[batch, out_ch, out_h, out_w]`.
+    pub fn disassemble_output(&self, grad: &Tensor) -> Tensor {
+        assert_eq!(grad.ndim(), 4, "disassemble_output expects NCHW");
+        let (batch, out_ch) = (grad.dim(0), grad.dim(1));
+        assert_eq!(
+            (grad.dim(2), grad.dim(3)),
+            (self.out_h, self.out_w),
+            "gradient {}x{} does not match output {}x{}",
+            grad.dim(2),
+            grad.dim(3),
+            self.out_h,
+            self.out_w
+        );
+        let t = self.tiles();
+        let m = self.m;
+        let mut out = Tensor::zeros(&[batch * t * out_ch, m * m]);
+        let src = grad.data();
+        let dst = out.data_mut();
+        for img in 0..batch {
+            for ty in 0..self.tiles_y {
+                for tx in 0..self.tiles_x {
+                    let tile = ty * self.tiles_x + tx;
+                    let (y0, x0) = (ty * m, tx * m);
+                    let ylim = m.min(self.out_h.saturating_sub(y0));
+                    let xlim = m.min(self.out_w.saturating_sub(x0));
+                    for k in 0..out_ch {
+                        let row = ((img * t + tile) * out_ch + k) * m * m;
+                        let s0 = ((img * out_ch + k) * self.out_h + y0) * self.out_w + x0;
+                        for dy in 0..ylim {
+                            let d = row + dy * m;
+                            let s = s0 + dy * self.out_w;
+                            dst[d..d + xlim].copy_from_slice(&src[s..s + xlim]);
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wa_tensor::SeededRng;
+
+    #[test]
+    fn geometry_even_division() {
+        let g = TileGeometry::for_conv(32, 32, 4, 3, 1);
+        assert_eq!((g.out_h, g.out_w), (32, 32));
+        assert_eq!(g.tile(), 6);
+        assert_eq!(g.tiles(), 64);
+        assert_eq!(g.padded_h(), 34);
+        assert_eq!(g.wasted_outputs(), 0);
+    }
+
+    #[test]
+    fn geometry_with_overrun() {
+        // 7x7 output with m=4 -> 2x2 tiles covering 8x8
+        let g = TileGeometry::for_conv(7, 7, 4, 3, 1);
+        assert_eq!((g.out_h, g.out_w), (7, 7));
+        assert_eq!((g.tiles_y, g.tiles_x), (2, 2));
+        assert_eq!(g.wasted_outputs(), 64 - 49);
+        // padded input must cover 2*4+2 = 10
+        assert_eq!(g.padded_h(), 10);
+        assert!(g.padded_h() >= g.in_h + 2 * g.pad);
+    }
+
+    #[test]
+    fn pad_unpad_roundtrip() {
+        let g = TileGeometry::for_conv(5, 7, 4, 3, 1);
+        let mut rng = SeededRng::new(0);
+        let x = rng.uniform_tensor(&[2, 3, 5, 7], -1.0, 1.0);
+        let xp = g.pad_input(&x);
+        assert_eq!(xp.shape(), &[2, 3, g.padded_h(), g.padded_w()]);
+        assert_eq!(g.unpad_input(&xp), x);
+    }
+
+    #[test]
+    fn gather_scatter_are_adjoint() {
+        // <gather(x), y> == <x, scatter(y)>
+        let g = TileGeometry::for_conv(6, 5, 2, 3, 1);
+        let mut rng = SeededRng::new(1);
+        let xp = rng.uniform_tensor(&[1, 2, g.padded_h(), g.padded_w()], -1.0, 1.0);
+        let tiles = g.gather_tiles(&xp);
+        let y = rng.uniform_tensor(tiles.shape(), -1.0, 1.0);
+        let back = g.scatter_tiles(&y, 1, 2);
+        let lhs: f64 = tiles.data().iter().zip(y.data()).map(|(&a, &b)| (a * b) as f64).sum();
+        let rhs: f64 = xp.data().iter().zip(back.data()).map(|(&a, &b)| (a * b) as f64).sum();
+        assert!((lhs - rhs).abs() < 1e-3, "{} vs {}", lhs, rhs);
+    }
+
+    #[test]
+    fn assemble_disassemble_are_adjoint() {
+        let g = TileGeometry::for_conv(7, 7, 4, 3, 1); // with overrun
+        let mut rng = SeededRng::new(2);
+        let tiles = rng.uniform_tensor(&[g.tiles() * 3, 16], -1.0, 1.0);
+        let out = g.assemble_output(&tiles, 1, 3);
+        let grad = rng.uniform_tensor(out.shape(), -1.0, 1.0);
+        let back = g.disassemble_output(&grad);
+        let lhs: f64 = out.data().iter().zip(grad.data()).map(|(&a, &b)| (a * b) as f64).sum();
+        let rhs: f64 = tiles.data().iter().zip(back.data()).map(|(&a, &b)| (a * b) as f64).sum();
+        assert!((lhs - rhs).abs() < 1e-3, "{} vs {}", lhs, rhs);
+    }
+
+    #[test]
+    fn gather_tile_content() {
+        // one image, one channel, tile grid 2x1 with m=2, r=3 (n=4)
+        let g = TileGeometry::for_conv(4, 2, 2, 3, 1);
+        assert_eq!((g.tiles_y, g.tiles_x), (2, 1));
+        let x = Tensor::from_fn(&[1, 1, 4, 2], |i| i as f32);
+        let xp = g.pad_input(&x);
+        let tiles = g.gather_tiles(&xp);
+        assert_eq!(tiles.shape(), &[2, 16]);
+        // first tile covers padded rows 0..4, cols 0..4
+        let t0 = &tiles.data()[..16];
+        assert_eq!(t0[5], x.at(&[0, 0, 0, 0])); // padded (1,1) = original (0,0)
+        assert_eq!(t0[6], x.at(&[0, 0, 0, 1]));
+        // second tile starts at padded row 2
+        let t1 = &tiles.data()[16..];
+        assert_eq!(t1[1], x.at(&[0, 0, 1, 0])); // padded (2,1) = original (1,0)
+    }
+
+    #[test]
+    fn assemble_crops_overrun() {
+        let g = TileGeometry::for_conv(3, 3, 2, 3, 1); // out 3x3, tiles 2x2 covering 4x4
+        let tiles = Tensor::ones(&[4, 4]);
+        let out = g.assemble_output(&tiles, 1, 1);
+        assert_eq!(out.shape(), &[1, 1, 3, 3]);
+        assert!(out.data().iter().all(|&v| v == 1.0));
+    }
+}

@@ -1,0 +1,366 @@
+//! The [`WinogradTransform`] triple in `f32`/`f64` form, canonical
+//! published matrices, and sparsity statistics.
+
+use serde::{Deserialize, Serialize};
+use wa_tensor::Tensor;
+
+use crate::cook_toom::{cook_toom, CookToom};
+
+/// A ready-to-use Winograd transform triple for `F(m×m, r×r)`.
+///
+/// Holds `Aᵀ` (`m × n`), `G` (`n × r`) and `Bᵀ` (`n × n`) as `f32`
+/// matrices, where `n = m + r − 1` is the input tile size. Obtain one from
+/// [`WinogradTransform::cook_toom`] (synthesized, any size) or
+/// [`WinogradTransform::canonical`] (the published Lavin & Gray matrices
+/// for F2/F4 with 3×3 filters, synthesized for other sizes).
+///
+/// # Example
+///
+/// ```
+/// use wa_winograd::WinogradTransform;
+///
+/// let t = WinogradTransform::canonical(4, 3); // the paper's F4
+/// assert_eq!(t.input_tile(), 6);
+/// assert_eq!((t.m(), t.r()), (4, 3));
+/// // 36 Hadamard multiplies produce 16 outputs -> 2.25 mults/output
+/// assert!((t.mults_per_output() - 2.25).abs() < 1e-9);
+/// ```
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct WinogradTransform {
+    m: usize,
+    r: usize,
+    at: Tensor,
+    g: Tensor,
+    bt: Tensor,
+}
+
+impl WinogradTransform {
+    /// Builds the triple from an exact [`CookToom`] synthesis result.
+    pub fn from_cook_toom(ct: &CookToom) -> Self {
+        WinogradTransform {
+            m: ct.m,
+            r: ct.r,
+            at: Tensor::from_rows_f64(&ct.at.to_f64_rows()),
+            g: Tensor::from_rows_f64(&ct.g.to_f64_rows()),
+            bt: Tensor::from_rows_f64(&ct.bt.to_f64_rows()),
+        }
+    }
+
+    /// Synthesizes `F(m, r)` with the default Cook-Toom points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0` or `r == 0` or the size exceeds the default
+    /// point sequence (see [`crate::default_points`]).
+    pub fn cook_toom(m: usize, r: usize) -> Self {
+        Self::from_cook_toom(&cook_toom(m, r))
+    }
+
+    /// The canonical published transforms: exact Lavin & Gray (2016)
+    /// matrices for `F(2×2, 3×3)` and `F(4×4, 3×3)`; Cook-Toom synthesis
+    /// (identical point sets to common practice) otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`WinogradTransform::cook_toom`].
+    pub fn canonical(m: usize, r: usize) -> Self {
+        match (m, r) {
+            (2, 3) => WinogradTransform {
+                m,
+                r,
+                at: Tensor::from_vec(
+                    vec![
+                        1.0, 1.0, 1.0, 0.0, //
+                        0.0, 1.0, -1.0, -1.0,
+                    ],
+                    &[2, 4],
+                ),
+                g: Tensor::from_vec(
+                    vec![
+                        1.0, 0.0, 0.0, //
+                        0.5, 0.5, 0.5, //
+                        0.5, -0.5, 0.5, //
+                        0.0, 0.0, 1.0,
+                    ],
+                    &[4, 3],
+                ),
+                bt: Tensor::from_vec(
+                    vec![
+                        1.0, 0.0, -1.0, 0.0, //
+                        0.0, 1.0, 1.0, 0.0, //
+                        0.0, -1.0, 1.0, 0.0, //
+                        0.0, 1.0, 0.0, -1.0,
+                    ],
+                    &[4, 4],
+                ),
+            },
+            (4, 3) => WinogradTransform {
+                m,
+                r,
+                at: Tensor::from_vec(
+                    vec![
+                        1.0, 1.0, 1.0, 1.0, 1.0, 0.0, //
+                        0.0, 1.0, -1.0, 2.0, -2.0, 0.0, //
+                        0.0, 1.0, 1.0, 4.0, 4.0, 0.0, //
+                        0.0, 1.0, -1.0, 8.0, -8.0, 1.0,
+                    ],
+                    &[4, 6],
+                ),
+                g: Tensor::from_vec(
+                    vec![
+                        0.25, 0.0, 0.0, //
+                        -1.0 / 6.0, -1.0 / 6.0, -1.0 / 6.0, //
+                        -1.0 / 6.0, 1.0 / 6.0, -1.0 / 6.0, //
+                        1.0 / 24.0, 1.0 / 12.0, 1.0 / 6.0, //
+                        1.0 / 24.0, -1.0 / 12.0, 1.0 / 6.0, //
+                        0.0, 0.0, 1.0,
+                    ],
+                    &[6, 3],
+                ),
+                bt: Tensor::from_vec(
+                    vec![
+                        4.0, 0.0, -5.0, 0.0, 1.0, 0.0, //
+                        0.0, -4.0, -4.0, 1.0, 1.0, 0.0, //
+                        0.0, 4.0, -4.0, -1.0, 1.0, 0.0, //
+                        0.0, -2.0, -1.0, 2.0, 1.0, 0.0, //
+                        0.0, 2.0, -1.0, -2.0, 1.0, 0.0, //
+                        0.0, 4.0, 0.0, -5.0, 0.0, 1.0,
+                    ],
+                    &[6, 6],
+                ),
+            },
+            _ => Self::cook_toom(m, r),
+        }
+    }
+
+    /// Builds a transform from explicit matrices — used to re-materialize
+    /// *learned* (`-flex`) transforms after training.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes are not `Aᵀ: [m, n]`, `G: [n, r]`, `Bᵀ: [n, n]`
+    /// with consistent `n = m + r − 1`.
+    pub fn from_matrices(m: usize, r: usize, at: Tensor, g: Tensor, bt: Tensor) -> Self {
+        let n = m + r - 1;
+        assert_eq!(at.shape(), &[m, n], "Aᵀ must be [{}, {}], got {:?}", m, n, at.shape());
+        assert_eq!(g.shape(), &[n, r], "G must be [{}, {}], got {:?}", n, r, g.shape());
+        assert_eq!(bt.shape(), &[n, n], "Bᵀ must be [{}, {}], got {:?}", n, n, bt.shape());
+        WinogradTransform { m, r, at, g, bt }
+    }
+
+    /// Output tile size `m`.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Filter size `r`.
+    pub fn r(&self) -> usize {
+        self.r
+    }
+
+    /// Input tile size `n = m + r − 1`.
+    pub fn input_tile(&self) -> usize {
+        self.m + self.r - 1
+    }
+
+    /// The `m × n` output transform `Aᵀ`.
+    pub fn at(&self) -> &Tensor {
+        &self.at
+    }
+
+    /// The `n × r` filter transform `G`.
+    pub fn g(&self) -> &Tensor {
+        &self.g
+    }
+
+    /// The `n × n` input transform `Bᵀ`.
+    pub fn bt(&self) -> &Tensor {
+        &self.bt
+    }
+
+    /// General multiplications per output pixel for the 2-D algorithm:
+    /// `n² / m²` (e.g. 4 for F2, 2.25 for F4 — paper §3.1).
+    pub fn mults_per_output(&self) -> f64 {
+        let n = self.input_tile() as f64;
+        let m = self.m as f64;
+        (n * n) / (m * m)
+    }
+
+    /// Transforms a single `r × r` filter tile: `G·g·Gᵀ` (returns `n × n`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is not `[r, r]`.
+    pub fn transform_filter(&self, g: &Tensor) -> Tensor {
+        assert_eq!(g.shape(), &[self.r, self.r], "filter tile must be [{0}, {0}]", self.r);
+        self.g.matmul(g).matmul_nt(&self.g)
+    }
+
+    /// Transforms a single `n × n` input tile: `Bᵀ·d·B` (returns `n × n`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d` is not `[n, n]`.
+    pub fn transform_input(&self, d: &Tensor) -> Tensor {
+        let n = self.input_tile();
+        assert_eq!(d.shape(), &[n, n], "input tile must be [{0}, {0}]", n);
+        self.bt.matmul(d).matmul_nt(&self.bt)
+    }
+
+    /// Inverse-transforms a Winograd-domain `n × n` tile: `Aᵀ·y·A`
+    /// (returns `m × m`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y` is not `[n, n]`.
+    pub fn transform_output(&self, y: &Tensor) -> Tensor {
+        let n = self.input_tile();
+        assert_eq!(y.shape(), &[n, n], "Winograd-domain tile must be [{0}, {0}]", n);
+        self.at.matmul(y).matmul_nt(&self.at)
+    }
+
+    /// Full single-tile Winograd convolution
+    /// `Aᵀ[(G·g·Gᵀ) ⊙ (Bᵀ·d·B)]A` — Eq. (1) of the paper.
+    ///
+    /// # Panics
+    ///
+    /// Panics if tile shapes disagree with `(m, r)`.
+    pub fn convolve_tile(&self, d: &Tensor, g: &Tensor) -> Tensor {
+        let u = self.transform_filter(g);
+        let v = self.transform_input(d);
+        self.transform_output(&u.mul(&v))
+    }
+
+    /// Fraction of exactly-zero entries in (`Bᵀ`, `G`, `Aᵀ`) — the
+    /// sparsity the paper's Appendix A.2 reports (50%/33%/25% for
+    /// canonical F2), which learned dense transforms forfeit.
+    pub fn sparsity(&self) -> (f64, f64, f64) {
+        let frac0 = |t: &Tensor| {
+            t.data().iter().filter(|&&v| v == 0.0).count() as f64 / t.len() as f64
+        };
+        (frac0(&self.bt), frac0(&self.g), frac0(&self.at))
+    }
+
+    /// Largest absolute entry across the triple — grows with tile size and
+    /// drives the numerical error (paper §3.1).
+    pub fn max_entry(&self) -> f32 {
+        self.bt.max_abs().max(self.g.max_abs()).max(self.at.max_abs())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wa_tensor::{conv2d_direct, SeededRng};
+
+    fn assert_close(a: &Tensor, b: &Tensor, tol: f32) {
+        assert_eq!(a.shape(), b.shape());
+        for (x, y) in a.data().iter().zip(b.data()) {
+            assert!((x - y).abs() <= tol * (1.0 + x.abs().max(y.abs())), "{} vs {}", x, y);
+        }
+    }
+
+    /// Single-tile equivalence with direct convolution for a given triple.
+    fn check_tile_equivalence(t: &WinogradTransform, seed: u64, tol: f32) {
+        let n = t.input_tile();
+        let r = t.r();
+        let mut rng = SeededRng::new(seed);
+        let d = rng.uniform_tensor(&[n, n], -1.0, 1.0);
+        let g = rng.uniform_tensor(&[r, r], -1.0, 1.0);
+        let got = t.convolve_tile(&d, &g);
+        let want = conv2d_direct(
+            &d.reshape(&[1, 1, n, n]),
+            &g.reshape(&[1, 1, r, r]),
+            None,
+            1,
+            0,
+        )
+        .reshape(&[t.m(), t.m()]);
+        assert_close(&got, &want, tol);
+    }
+
+    #[test]
+    fn canonical_f2_tile_equals_direct() {
+        check_tile_equivalence(&WinogradTransform::canonical(2, 3), 1, 1e-5);
+    }
+
+    #[test]
+    fn canonical_f4_tile_equals_direct() {
+        check_tile_equivalence(&WinogradTransform::canonical(4, 3), 2, 1e-4);
+    }
+
+    #[test]
+    fn synthesized_f6_tile_equals_direct() {
+        check_tile_equivalence(&WinogradTransform::cook_toom(6, 3), 3, 1e-3);
+    }
+
+    #[test]
+    fn five_by_five_filters_for_lenet() {
+        for (m, seed) in [(2usize, 4u64), (4, 5), (6, 6)] {
+            check_tile_equivalence(&WinogradTransform::cook_toom(m, 5), seed, 1e-3);
+        }
+    }
+
+    #[test]
+    fn mults_per_output_match_paper() {
+        assert_eq!(WinogradTransform::canonical(2, 3).mults_per_output(), 4.0);
+        assert_eq!(WinogradTransform::canonical(4, 3).mults_per_output(), 2.25);
+        // direct convolution: 9 mults per output for 3x3
+        let f6 = WinogradTransform::cook_toom(6, 3);
+        assert!((f6.mults_per_output() - 64.0 / 36.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn canonical_f2_sparsity_matches_appendix_a2() {
+        let (bt, g, at) = WinogradTransform::canonical(2, 3).sparsity();
+        assert!((bt - 0.50).abs() < 1e-9, "Bᵀ sparsity {}", bt);
+        assert!((g - 1.0 / 3.0).abs() < 1e-9, "G sparsity {}", g);
+        assert!((at - 0.25).abs() < 1e-9, "Aᵀ sparsity {}", at);
+    }
+
+    #[test]
+    fn canonical_f4_sparsity_matches_appendix_a2() {
+        let (bt, g, at) = WinogradTransform::canonical(4, 3).sparsity();
+        // Appendix A.2: "for the default transforms F4 these ratios are
+        // 22%, 22% and 25%" for Bᵀ/G/Aᵀ. G and Aᵀ match exactly; the
+        // published Bᵀ matrix actually contains 14/36 ≈ 39% zeros — we
+        // assert the exact counts of the published matrix.
+        assert!((bt - 14.0 / 36.0).abs() < 1e-9, "Bᵀ sparsity {}", bt);
+        assert!((g - 4.0 / 18.0).abs() < 1e-9, "G sparsity {}", g);
+        assert!((at - 6.0 / 24.0).abs() < 1e-9, "Aᵀ sparsity {}", at);
+    }
+
+    #[test]
+    fn max_entry_grows_with_tile_size() {
+        let f2 = WinogradTransform::canonical(2, 3).max_entry();
+        let f4 = WinogradTransform::canonical(4, 3).max_entry();
+        let f6 = WinogradTransform::cook_toom(6, 3).max_entry();
+        assert!(f2 < f4 && f4 < f6, "{} {} {}", f2, f4, f6);
+    }
+
+    #[test]
+    fn from_matrices_roundtrip() {
+        let t = WinogradTransform::canonical(2, 3);
+        let t2 = WinogradTransform::from_matrices(
+            2,
+            3,
+            t.at().clone(),
+            t.g().clone(),
+            t.bt().clone(),
+        );
+        assert_eq!(t, t2);
+    }
+
+    #[test]
+    #[should_panic(expected = "Aᵀ must be")]
+    fn from_matrices_rejects_bad_shapes() {
+        let t = WinogradTransform::canonical(2, 3);
+        let _ = WinogradTransform::from_matrices(
+            4,
+            3,
+            t.at().clone(),
+            t.g().clone(),
+            t.bt().clone(),
+        );
+    }
+}

@@ -1,0 +1,80 @@
+//! Figures 7 and 8: when does Winograd actually win on a mobile CPU?
+//!
+//! Prints the modeled Cortex-A73 latency grid (output size × channel
+//! configuration × algorithm) and the per-stage breakdown for three
+//! ResNet-18 layers on both cores — the decision data wiNAS consumes.
+//!
+//! Run with: `cargo run --release --example latency_sweep`
+
+use winograd_aware::latency::{
+    conv_latency_ms, figure8_bars, Core, DType, LatAlgo, LayerShape, FIGURE7_ALGOS,
+    FIGURE7_CHANNELS, FIGURE7_WIDTHS,
+};
+
+fn main() {
+    println!("Modeled latencies (ms), Cortex-A73, FP32 — Figure 7 analog\n");
+    print!("{:>5}", "outW");
+    for (ic, oc) in FIGURE7_CHANNELS {
+        print!(" | {:^31}", format!("{}->{}", ic, oc));
+    }
+    println!();
+    print!("{:>5}", "");
+    for _ in FIGURE7_CHANNELS {
+        print!(" | {:>7}{:>8}{:>8}{:>8}", "im2row", "F2", "F4", "F6");
+    }
+    println!();
+    for &ow in &FIGURE7_WIDTHS {
+        print!("{:>5}", ow);
+        for &(ic, oc) in &FIGURE7_CHANNELS {
+            print!(" |");
+            for &algo in &FIGURE7_ALGOS {
+                let shape = LayerShape::square(ic, oc, ow, 3);
+                let ms = conv_latency_ms(Core::CortexA73, DType::Fp32, algo, shape);
+                print!("{:>8.3}", ms);
+            }
+        }
+        println!();
+    }
+
+    println!("\nBest algorithm per output width (64->64 channels):");
+    for &ow in &FIGURE7_WIDTHS {
+        let shape = LayerShape::square(64, 64, ow, 3);
+        let best = FIGURE7_ALGOS
+            .iter()
+            .min_by(|&&a, &&b| {
+                conv_latency_ms(Core::CortexA73, DType::Fp32, a, shape)
+                    .partial_cmp(&conv_latency_ms(Core::CortexA73, DType::Fp32, b, shape))
+                    .unwrap()
+            })
+            .unwrap();
+        print!("{}@{} ", best, ow);
+    }
+    println!("\n(note the F4/F6 alternation from tile waste — paper §6.2)");
+
+    for core in [Core::CortexA73, Core::CortexA53] {
+        println!("\nStage breakdown vs im2row on {core} (Figure 8 analog):");
+        println!(
+            "{:<22} {:>8} {:>9} {:>9} {:>9} {:>7}",
+            "layer", "algo", "input", "gemm", "output", "ratio"
+        );
+        for bar in figure8_bars(core) {
+            if bar.algo == LatAlgo::Im2col {
+                continue;
+            }
+            println!(
+                "{:<22} {:>8} {:>8.3} {:>8.3} {:>8.3} {:>6.2}x",
+                format!(
+                    "{}x{} {}->{}",
+                    bar.shape.out_h, bar.shape.out_w, bar.shape.in_ch, bar.shape.out_ch
+                ),
+                bar.algo.to_string(),
+                bar.breakdown.input_stage_ms,
+                bar.breakdown.gemm_ms,
+                bar.breakdown.output_stage_ms,
+                bar.ratio_vs_im2row,
+            );
+        }
+    }
+    println!("\nInput layers do not benefit from Winograd; mid-network layers do,");
+    println!("more on the A73 than on the bandwidth-bound A53 (paper §6.2).");
+}

@@ -1,0 +1,85 @@
+//! The Table 1 experiment: why you cannot just swap in Winograd.
+//!
+//! Trains a LeNet with standard convolutions, then replaces them with
+//! Winograd convolutions of growing tile size at FP32 and INT8 — with the
+//! paper's observer warm-up but *no retraining*. Full precision survives;
+//! quantized large tiles collapse. This is the problem Winograd-aware
+//! training solves.
+//!
+//! Run with: `cargo run --release --example post_training_winograd`
+
+use winograd_aware::core::{fit, ConvAlgo, OptimKind, TrainConfig};
+use winograd_aware::data::mnist_like;
+use winograd_aware::models::{swap_and_evaluate, LeNet};
+use winograd_aware::nn::QuantConfig;
+use winograd_aware::quant::BitWidth;
+use winograd_aware::tensor::SeededRng;
+
+fn main() {
+    let mut rng = SeededRng::new(1);
+    let ds = mnist_like(30, 12, 3);
+    let (train, val) = ds.split(0.8);
+    let train_b = train.shuffled_batches(32, &mut rng);
+    let val_b = val.batches(32);
+
+    let mut net = LeNet::new(10, 12, QuantConfig::FP32, &mut rng);
+    let cfg = TrainConfig {
+        epochs: 8,
+        optim: OptimKind::Adam { lr: 2e-3 },
+        weight_decay: 0.0,
+        cosine_to: Some(1e-4),
+    };
+    let hist = fit(&mut net, &train_b, &val_b, &cfg);
+    let baseline = hist.final_val_acc();
+    println!("baseline (direct conv, FP32): {:.1}%\n", 100.0 * baseline);
+    println!("post-training swap (observer warm-up, no retraining):");
+    println!("{:<14} {:>8} {:>8}", "convolution", "FP32", "INT8");
+
+    // direct-conv reference separates pure-quantization loss from
+    // Winograd-induced loss
+    {
+        let mut row = format!("{:<14}", "direct");
+        for bits in [BitWidth::FP32, BitWidth::INT8] {
+            let (_, acc) = swap_and_evaluate(
+                &mut net,
+                ConvAlgo::Im2row,
+                QuantConfig::uniform(bits),
+                &train_b[..2],
+                &val_b,
+                0,
+            );
+            row.push_str(&format!(" {:>7.1}%", 100.0 * acc));
+        }
+        println!("{row}");
+    }
+
+    for m in [2usize, 4, 6] {
+        let mut row = format!("{:<14}", format!("Winograd F{}", m));
+        for bits in [BitWidth::FP32, BitWidth::INT8] {
+            // fresh copy of the trained model for each cell
+            let (_, acc) = swap_and_evaluate(
+                &mut net,
+                ConvAlgo::Winograd { m },
+                QuantConfig::uniform(bits),
+                &train_b[..2],
+                &val_b,
+                0,
+            );
+            row.push_str(&format!(" {:>7.1}%", 100.0 * acc));
+            // restore direct convolution for the next cell
+            let (_, _) = swap_and_evaluate(
+                &mut net,
+                ConvAlgo::Im2row,
+                QuantConfig::FP32,
+                &train_b[..2],
+                &val_b,
+                0,
+            );
+        }
+        println!("{row}");
+    }
+    println!("\nLarger tiles amplify quantization noise (paper Table 1).");
+    println!("FP32 columns stay near the baseline; INT8 degrades with tile size —");
+    println!("note these are 5×5 filters (6×6 tiles already at F2), the paper's");
+    println!("hardest case; the bench harness reproduces Table 1 on 3×3 ResNet-18.");
+}

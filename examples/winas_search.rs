@@ -1,0 +1,60 @@
+//! Figure 9: wiNAS picks a per-layer convolution algorithm (and
+//! precision) for a fixed macro-architecture.
+//!
+//! Runs the two-stage search on a reduced ResNet-style macro-architecture
+//! at two latency weights λ₂, then prints the chosen architectures — high
+//! λ₂ pushes layers toward fast Winograd tiles, low λ₂ keeps
+//! numerically-safer choices.
+//!
+//! Run with: `cargo run --release --example winas_search`
+
+use winograd_aware::data::cifar10_like;
+use winograd_aware::latency::Core;
+use winograd_aware::nas::{MacroArch, SearchSpace, WiNas, WiNasConfig};
+use winograd_aware::quant::BitWidth;
+use winograd_aware::tensor::SeededRng;
+
+fn main() {
+    let mut rng = SeededRng::new(3);
+    let ds = cifar10_like(16, 16, 5);
+    let (train, val) = ds.split(0.75);
+    let train_b = train.shuffled_batches(20, &mut rng);
+    let val_b = val.batches(20);
+
+    // a 2-stage / 2-block macro-arch (8 searchable slots) for demo speed
+    let arch = MacroArch {
+        classes: 10,
+        stem_ch: 8,
+        stages: vec![(8, 1, false), (16, 1, true)],
+        input_size: 16,
+    };
+    let space = SearchSpace::wa(BitWidth::INT8);
+    println!("search space: {} ({} candidates/layer, {} layers)\n", space.name, space.len(), arch.slot_count());
+
+    for lambda2 in [0.0f32, 5.0] {
+        let cfg = WiNasConfig {
+            epochs: 6,
+            lambda2,
+            arch_lr: 0.2,
+            core: Core::CortexA73,
+            seed: 7,
+            ..WiNasConfig::default()
+        };
+        let mut nas = WiNas::new(&arch, space.clone(), cfg, &mut rng.fork(lambda2 as u64));
+        let log = nas.search(&train_b, &val_b);
+        let last = log.last().unwrap();
+        println!(
+            "λ₂ = {:<5} val acc {:>5.1}%  E[latency] {:>6.3} ms  entropy {:.2}",
+            lambda2,
+            100.0 * last.val_acc,
+            last.expected_latency_ms,
+            last.entropy
+        );
+        print!("  architecture: input -> im2row(stem)");
+        for cand in nas.extract() {
+            print!(" -> {}", cand);
+        }
+        println!(" -> FC\n");
+    }
+    println!("Higher λ₂ trades numerical headroom for speed (paper Fig. 9 / Table 3).");
+}

@@ -1,0 +1,80 @@
+//! # winograd-aware
+//!
+//! A from-scratch Rust reproduction of **“Searching for Winograd-aware
+//! Quantized Networks”** (Fernandez-Marques, Whatmough, Mundy, Mattina —
+//! MLSys 2020, [arXiv:2002.10711](https://arxiv.org/abs/2002.10711)).
+//!
+//! Winograd convolutions are the fastest known algorithm for the small
+//! convolutions that dominate CNNs, but their transformation matrices
+//! amplify rounding error so badly that they were unusable in quantized
+//! (INT8) networks. The paper fixes this by evaluating the convolution
+//! *explicitly* as `Y = Aᵀ[(G·g·Gᵀ) ⊙ (Bᵀ·d·B)]A` during training with
+//! every intermediate fake-quantized — and, optionally, by *learning* the
+//! transforms themselves (`-flex`) — then searches per-layer algorithms
+//! with a latency-aware NAS (wiNAS).
+//!
+//! This facade re-exports the whole workspace:
+//!
+//! | crate | contents |
+//! |---|---|
+//! | [`tensor`] | NCHW tensors, blocked GEMM, im2row/col2im, seeded RNG |
+//! | [`quant`] | symmetric uniform fake-quantization with STE |
+//! | [`winograd`] | exact Cook-Toom synthesis, canonical transforms, kernels, error analysis |
+//! | [`nn`] | tape autograd, layers, optimizers, metrics |
+//! | [`core`] | `WinogradAwareConv2d`, `ConvLayer` surgery, the training pipeline |
+//! | [`data`] | synthetic CIFAR-10/100- and MNIST-shaped datasets |
+//! | [`models`] | ResNet-18 (paper variant), LeNet, SqueezeNet, ResNeXt-20 |
+//! | [`latency`] | analytical Cortex-A73/A53 latency model (Figure 7/8, Table 3) |
+//! | [`nas`] | wiNAS search (Figure 9) |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use winograd_aware::core::{ConvAlgo, ConvLayer};
+//! use winograd_aware::nn::{Layer, QuantConfig, Tape};
+//! use winograd_aware::quant::BitWidth;
+//! use winograd_aware::tensor::SeededRng;
+//!
+//! // An INT8 Winograd-aware F4 layer with learnable transforms:
+//! let mut rng = SeededRng::new(0);
+//! let mut layer = ConvLayer::new(
+//!     "conv", 8, 8, 3, 1, 1,
+//!     ConvAlgo::WinogradFlex { m: 4 },
+//!     QuantConfig::uniform(BitWidth::INT8),
+//!     &mut rng,
+//! );
+//! let mut tape = Tape::new();
+//! let x = tape.leaf(rng.uniform_tensor(&[1, 8, 16, 16], -1.0, 1.0));
+//! let y = layer.forward(&mut tape, x, true);
+//! assert_eq!(tape.value(y).shape(), &[1, 8, 16, 16]);
+//! ```
+//!
+//! See `examples/` for runnable end-to-end scenarios and `crates/bench`
+//! for the regenerators of every table and figure in the paper.
+
+/// Re-export of [`wa_tensor`].
+pub use wa_tensor as tensor;
+
+/// Re-export of [`wa_quant`].
+pub use wa_quant as quant;
+
+/// Re-export of [`wa_winograd`].
+pub use wa_winograd as winograd;
+
+/// Re-export of [`wa_nn`].
+pub use wa_nn as nn;
+
+/// Re-export of [`wa_core`].
+pub use wa_core as core;
+
+/// Re-export of [`wa_data`].
+pub use wa_data as data;
+
+/// Re-export of [`wa_models`].
+pub use wa_models as models;
+
+/// Re-export of [`wa_latency`].
+pub use wa_latency as latency;
+
+/// Re-export of [`wa_nas`].
+pub use wa_nas as nas;

@@ -1,0 +1,247 @@
+//! Cross-crate integration tests: the full pipelines each experiment
+//! relies on, at miniature scale.
+
+use winograd_aware::core::{
+    evaluate, fit, ConvAlgo, ConvLayer, OptimKind, TrainConfig,
+};
+use winograd_aware::data::{cifar10_like, mnist_like};
+use winograd_aware::latency::{conv_latency_ms, Core, DType, LatAlgo, LayerShape};
+use winograd_aware::models::{swap_and_evaluate, ConvNet, LeNet, ResNet18};
+use winograd_aware::nas::{MacroArch, SearchSpace, WiNas, WiNasConfig};
+use winograd_aware::nn::{Layer, QuantConfig, Tape};
+use winograd_aware::quant::BitWidth;
+use winograd_aware::tensor::{conv2d_direct, SeededRng};
+use winograd_aware::winograd::{winograd_conv2d, WinogradTransform};
+
+fn quick_cfg(epochs: usize) -> TrainConfig {
+    TrainConfig {
+        epochs,
+        optim: OptimKind::Adam { lr: 2e-3 },
+        weight_decay: 1e-4,
+        cosine_to: Some(1e-5),
+    }
+}
+
+/// End-to-end: an INT8 F4-flex Winograd-aware ResNet-18 learns a synthetic
+/// task well above chance (the paper's core capability).
+#[test]
+fn winograd_aware_int8_resnet_learns() {
+    // full scale in release; a light smoke profile under debug builds
+    let (per_class, epochs, bar) = if cfg!(debug_assertions) { (16, 3, 0.11) } else { (80, 10, 0.3) };
+    let mut rng = SeededRng::new(42);
+    let ds = cifar10_like(per_class, 16, 7);
+    let (train, val) = ds.split(0.8);
+    let train_b = train.shuffled_batches(24, &mut rng);
+    let val_b = val.batches(24);
+    let mut model = ResNet18::new(10, 0.125, QuantConfig::uniform(BitWidth::INT8), &mut rng);
+    model.set_algo(ConvAlgo::WinogradFlex { m: 4 });
+    let hist = fit(&mut model, &train_b, &val_b, &quick_cfg(epochs));
+    assert!(
+        hist.best_val_acc() > bar,
+        "INT8 F4-flex ResNet must beat chance: {}",
+        hist.best_val_acc()
+    );
+    assert!(hist.epochs.last().unwrap().train_loss < hist.epochs[0].train_loss);
+}
+
+/// Table 1 pipeline: train direct → swap to Winograd → FP32 survives,
+/// INT8 F6 collapses; the model itself is restorable.
+#[test]
+fn table1_pipeline_shape() {
+    let mut rng = SeededRng::new(2);
+    let n = if cfg!(debug_assertions) { 12 } else { 16 };
+    let ds = mnist_like(n, 12, 3);
+    let (train, val) = ds.split(0.8);
+    let train_b = train.shuffled_batches(32, &mut rng);
+    let val_b = val.batches(32);
+    let mut net = LeNet::new(10, 12, QuantConfig::FP32, &mut rng);
+    let hist = fit(&mut net, &train_b, &val_b, &quick_cfg(8));
+    let base = hist.final_val_acc();
+    assert!(base > 0.4, "baseline too weak: {}", base);
+
+    let (_, fp32_f2) = swap_and_evaluate(
+        &mut net,
+        ConvAlgo::Winograd { m: 2 },
+        QuantConfig::FP32,
+        &train_b,
+        &val_b,
+        0,
+    );
+    assert!((fp32_f2 - base).abs() < 0.15, "FP32 F2 swap must track baseline");
+
+    let (_, int8_f6) = swap_and_evaluate(
+        &mut net,
+        ConvAlgo::Winograd { m: 6 },
+        QuantConfig::uniform(BitWidth::INT8),
+        &train_b,
+        &val_b,
+        0,
+    );
+    assert!(int8_f6 < base - 0.2, "INT8 F6 must collapse: {} vs {}", int8_f6, base);
+
+    // restore: back to direct FP32, accuracy returns
+    let (_, restored) = swap_and_evaluate(
+        &mut net,
+        ConvAlgo::Im2row,
+        QuantConfig::FP32,
+        &train_b,
+        &val_b,
+        0,
+    );
+    assert!((restored - base).abs() < 0.1, "surgery must be reversible: {} vs {}", restored, base);
+}
+
+/// The Winograd kernels, the autograd layer and the direct reference all
+/// compute the same convolution at FP32.
+#[test]
+fn three_implementations_agree() {
+    let mut rng = SeededRng::new(3);
+    let x = rng.uniform_tensor(&[2, 3, 10, 10], -1.0, 1.0);
+    let w = rng.uniform_tensor(&[4, 3, 3, 3], -1.0, 1.0);
+    let direct = conv2d_direct(&x, &w, None, 1, 1);
+
+    let t = WinogradTransform::canonical(4, 3);
+    let kernel = winograd_conv2d(&x, &w, None, &t, 1);
+
+    let mut layer = ConvLayer::new(
+        "c",
+        3,
+        4,
+        3,
+        1,
+        1,
+        ConvAlgo::Winograd { m: 4 },
+        QuantConfig::FP32,
+        &mut rng,
+    );
+    if let ConvLayer::Winograd(wl) = &mut layer {
+        wl.weight.value = w.clone();
+    }
+    let mut tape = Tape::new();
+    let xv = tape.leaf(x);
+    let y = layer.forward(&mut tape, xv, false);
+    let layer_out = tape.value(y);
+
+    for (a, b) in kernel.data().iter().zip(direct.data()) {
+        assert!((a - b).abs() < 1e-3, "kernel vs direct: {} vs {}", a, b);
+    }
+    for (a, b) in layer_out.data().iter().zip(direct.data()) {
+        assert!((a - b).abs() < 1e-3, "layer vs direct: {} vs {}", a, b);
+    }
+}
+
+/// wiNAS produces a well-formed architecture whose expected latency falls
+/// when λ₂ rises (the Table 3 / Figure 9 trade-off).
+#[test]
+fn winas_latency_pressure() {
+    let mut rng = SeededRng::new(4);
+    let ds = cifar10_like(10, 8, 5);
+    let (train, val) = ds.split(0.75);
+    let train_b = train.shuffled_batches(16, &mut rng);
+    let val_b = val.batches(16);
+    let arch = MacroArch::tiny(10, 8, 8);
+    let space = SearchSpace::wa(BitWidth::INT8);
+
+    let run = |lambda2: f32, rng: &mut SeededRng| {
+        let cfg = WiNasConfig {
+            epochs: 4,
+            lambda2,
+            arch_lr: 0.3,
+            core: Core::CortexA73,
+            seed: 9,
+            ..WiNasConfig::default()
+        };
+        let mut nas = WiNas::new(&arch, space.clone(), cfg, rng);
+        let _ = nas.search(&train_b, &val_b);
+        nas.finalize();
+        let cands = nas.extract();
+        assert_eq!(cands.len(), arch.slot_count());
+        (nas.expected_latency_ms(), cands)
+    };
+    let (lat_hi, _) = run(100.0, &mut rng);
+    let (lat_none, _) = run(0.0, &mut rng);
+    assert!(
+        lat_hi <= lat_none * 1.05,
+        "latency pressure must not slow the result: {} vs {}",
+        lat_hi,
+        lat_none
+    );
+}
+
+/// The latency model and the real model zoo agree on layer inventories:
+/// summing modeled per-layer latencies over the ResNet-18 shape list
+/// matches the network's conv structure.
+#[test]
+fn latency_shapes_match_model_zoo() {
+    let mut rng = SeededRng::new(5);
+    let mut net = ResNet18::new(10, 1.0, QuantConfig::FP32, &mut rng);
+    let shapes = winograd_aware::latency::resnet18_shapes(1.0, 32);
+    // 1 stem + 16 block convs
+    assert_eq!(shapes.len(), 1 + net.conv_count());
+    // channel trajectory agrees with the real network
+    let layers = net.conv_layers_mut();
+    for (shape, layer) in shapes[1..].iter().zip(&layers) {
+        assert_eq!(shape.in_ch, layer.in_channels(), "in_ch mismatch");
+        assert_eq!(shape.out_ch, layer.out_channels(), "out_ch mismatch");
+    }
+}
+
+/// Evaluation does not mutate the model (params, statistics, observers).
+#[test]
+fn evaluation_is_pure() {
+    let mut rng = SeededRng::new(6);
+    let ds = cifar10_like(6, 8, 9);
+    let batches = ds.batches(12);
+    let mut net = ResNet18::new(10, 0.125, QuantConfig::uniform(BitWidth::INT8), &mut rng);
+    net.set_algo(ConvAlgo::WinogradFlex { m: 2 });
+    // warm the observers once so eval has sane scales
+    winograd_aware::core::warm_up(&mut net, &batches);
+    let (l1, a1) = evaluate(&mut net, &batches);
+    let (l2, a2) = evaluate(&mut net, &batches);
+    assert_eq!(l1, l2, "evaluate must be deterministic and side-effect free");
+    assert_eq!(a1, a2);
+}
+
+/// Modeled latency honors the paper's headline Table 3 numbers in shape:
+/// INT8 WAF4 ≥ 2× over FP32 im2row on the A73.
+#[test]
+fn headline_speedup_holds() {
+    let shapes = winograd_aware::latency::resnet18_shapes(1.0, 32);
+    let base: f64 = shapes
+        .iter()
+        .map(|&s| conv_latency_ms(Core::CortexA73, DType::Fp32, LatAlgo::Im2row, s))
+        .sum();
+    let waf4: f64 = shapes
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| {
+            let algo = if i == 0 {
+                LatAlgo::Im2row
+            } else if i >= shapes.len() - 4 {
+                LatAlgo::WinogradDense { m: 2 }
+            } else {
+                LatAlgo::WinogradDense { m: 4 }
+            };
+            conv_latency_ms(Core::CortexA73, DType::Int8, algo, s)
+        })
+        .sum();
+    let speedup = base / waf4;
+    assert!(
+        (1.8..3.0).contains(&speedup),
+        "WAF4-INT8 speedup {} out of the paper's ballpark (2.43×)",
+        speedup
+    );
+}
+
+/// A single LayerShape round-trips through the latency model sanely at
+/// every precision.
+#[test]
+fn latency_precisions_ordered() {
+    let s = LayerShape::square(128, 128, 16, 3);
+    for algo in [LatAlgo::Im2row, LatAlgo::Winograd { m: 4 }] {
+        let fp32 = conv_latency_ms(Core::CortexA73, DType::Fp32, algo, s);
+        let int16 = conv_latency_ms(Core::CortexA73, DType::Int16, algo, s);
+        let int8 = conv_latency_ms(Core::CortexA73, DType::Int8, algo, s);
+        assert!(fp32 >= int16 && int16 >= int8, "{:?}: {} {} {}", algo, fp32, int16, int8);
+    }
+}
