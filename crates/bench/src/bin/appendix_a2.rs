@@ -10,6 +10,7 @@
 
 use wa_bench::save_json;
 use wa_latency::{network_latency_ms, resnet18_shapes, uniform_config, Core, DType, LatAlgo};
+use wa_tensor::Json;
 use wa_winograd::WinogradTransform;
 
 fn main() {
@@ -21,11 +22,20 @@ fn main() {
         ("F(6×6, 3×3)", WinogradTransform::cook_toom(6, 3)),
     ] {
         let (bt, g, at) = t.sparsity();
-        println!("{:<14} {:>5.0}% {:>5.0}% {:>5.0}%", label, 100.0 * bt, 100.0 * g, 100.0 * at);
+        println!(
+            "{:<14} {:>5.0}% {:>5.0}% {:>5.0}%",
+            label,
+            100.0 * bt,
+            100.0 * g,
+            100.0 * at
+        );
     }
 
     println!("\nWorst-case dense-transform overhead (ResNet-18, transforms only):");
-    println!("{:<12} {:>6} {:>10} {:>10} {:>9}", "core", "dtype", "sparse ms", "dense ms", "overhead");
+    println!(
+        "{:<12} {:>6} {:>10} {:>10} {:>9}",
+        "core", "dtype", "sparse ms", "dense ms", "overhead"
+    );
     let shapes = resnet18_shapes(1.0, 32);
     let mut records = Vec::new();
     for core in [Core::CortexA73, Core::CortexA53] {
@@ -52,7 +62,11 @@ fn main() {
                     100.0 * overhead
                 );
                 records.push((core.to_string(), dtype.to_string(), m, sparse, dense));
-                assert!(overhead > 0.0 && overhead < 0.6, "overhead out of range: {}", overhead);
+                assert!(
+                    overhead > 0.0 && overhead < 0.6,
+                    "overhead out of range: {}",
+                    overhead
+                );
             }
         }
     }
@@ -63,5 +77,14 @@ fn main() {
     println!("conjectures (\"some additional computation can be tolerated\"), so");
     println!("our F4 premium is smaller while the F2 premium — canonical F2 being");
     println!("binary and very sparse — is the largest, matching the paper's note.");
-    save_json("appendix_a2", &records);
+    let records_json = Json::arr(records.iter().map(|(core, dtype, m, sparse, dense)| {
+        Json::obj([
+            ("core", Json::from(core.clone())),
+            ("dtype", Json::from(dtype.clone())),
+            ("m", Json::from(*m)),
+            ("sparse_ms", Json::from(*sparse)),
+            ("dense_ms", Json::from(*dense)),
+        ])
+    }));
+    save_json("appendix_a2", &records_json);
 }

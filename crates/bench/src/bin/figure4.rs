@@ -6,12 +6,11 @@
 //! `-flex` curves stay strictly above their static counterparts;
 //! accuracy scales with width for every configuration.
 
-use serde::Serialize;
 use wa_bench::{pct, prepare, save_json, train_resnet, Scale};
 use wa_core::ConvAlgo;
 use wa_quant::BitWidth;
+use wa_tensor::Json;
 
-#[derive(Serialize)]
 struct Point {
     width: f64,
     bits: String,
@@ -19,12 +18,32 @@ struct Point {
     accuracy: f64,
 }
 
+impl Point {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("width", Json::from(self.width)),
+            ("bits", Json::from(self.bits.clone())),
+            ("algo", Json::from(self.algo.clone())),
+            ("accuracy", Json::from(self.accuracy)),
+        ])
+    }
+}
+
 fn main() {
     let scale = Scale::from_env();
     let full = std::env::var("WA_FULL").map(|v| v == "1").unwrap_or(false);
-    let widths: Vec<f64> = if full { vec![0.125, 0.25, 0.5] } else { vec![0.125, 0.25] };
+    let widths: Vec<f64> = if full {
+        vec![0.125, 0.25, 0.5]
+    } else {
+        vec![0.125, 0.25]
+    };
     let bit_list = if full {
-        vec![BitWidth::FP32, BitWidth::INT16, BitWidth::INT10, BitWidth::INT8]
+        vec![
+            BitWidth::FP32,
+            BitWidth::INT16,
+            BitWidth::INT10,
+            BitWidth::INT8,
+        ]
     } else {
         vec![BitWidth::FP32, BitWidth::INT8]
     };
@@ -49,8 +68,8 @@ fn main() {
             print!("{:<10}", w);
             for (j, (name, algo)) in algos.iter().enumerate() {
                 let s = Scale { width: w, ..scale };
-                let acc = train_resnet(*algo, bits, s, &train_b, &val_b, 7 + j as u64)
-                    .best_val_acc();
+                let acc =
+                    train_resnet(*algo, bits, s, &train_b, &val_b, 7 + j as u64).best_val_acc();
                 print!(" {:>9}", pct(acc));
                 points.push(Point {
                     width: w,
@@ -74,7 +93,12 @@ fn main() {
     for &w in &widths {
         let s = int8("F4", w);
         let f = int8("F4-flex", w);
-        println!("width {:>5}: INT8 F4 static {} vs flex {}", w, pct(s), pct(f));
+        println!(
+            "width {:>5}: INT8 F4 static {} vs flex {}",
+            w,
+            pct(s),
+            pct(f)
+        );
     }
-    save_json("figure4", &points);
+    save_json("figure4", &Json::arr(points.iter().map(Point::to_json)));
 }

@@ -5,18 +5,28 @@
 //! training; larger tiles (F4 uses 8×8 tiles, F6 10×10) degrade further
 //! — static F(6×6, 5×5) loses ~47%.
 
-use serde::Serialize;
 use wa_bench::{pct, prepare, recipe, save_json, Scale};
 use wa_core::{fit, ConvAlgo};
-use wa_models::LeNet;
+use wa_models::{LeNet, ModelSpec};
 use wa_nn::QuantConfig;
 use wa_quant::BitWidth;
-use wa_tensor::SeededRng;
+use wa_tensor::{Json, SeededRng};
 
-#[derive(Serialize)]
 struct Curve {
     config: String,
     val_acc_per_epoch: Vec<f64>,
+}
+
+impl Curve {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("config", Json::from(self.config.clone())),
+            (
+                "val_acc_per_epoch",
+                Json::arr(self.val_acc_per_epoch.iter().copied()),
+            ),
+        ])
+    }
 }
 
 fn main() {
@@ -33,14 +43,22 @@ fn main() {
         ("F4", Some(ConvAlgo::Winograd { m: 4 })),
         ("F4-flex", Some(ConvAlgo::WinogradFlex { m: 4 })),
     ];
-    println!("INT8 LeNet (5×5 filters) on {} — validation accuracy per epoch\n", ds.name);
+    println!(
+        "INT8 LeNet (5×5 filters) on {} — validation accuracy per epoch\n",
+        ds.name
+    );
     let mut curves = Vec::new();
     for (i, (name, algo)) in configs.iter().enumerate() {
         let mut rng = SeededRng::new(20 + i as u64);
-        let mut net = LeNet::new(10, img, QuantConfig::uniform(BitWidth::INT8), &mut rng);
+        let mut spec = ModelSpec::builder()
+            .classes(10)
+            .input_size(img)
+            .quant(QuantConfig::uniform(BitWidth::INT8));
         if let Some(a) = algo {
-            net.set_algo(*a);
+            spec = spec.algo(*a);
         }
+        let mut net =
+            LeNet::from_spec(&spec.build().expect("valid spec"), &mut rng).expect("valid spec");
         let hist = fit(&mut net, &train_b, &val_b, &recipe(epochs));
         let accs: Vec<f64> = hist.epochs.iter().map(|e| e.val_acc).collect();
         println!(
@@ -48,9 +66,15 @@ fn main() {
             name,
             pct(*accs.last().unwrap()),
             pct(hist.best_val_acc()),
-            accs.iter().map(|a| format!("{:.0}", 100.0 * a)).collect::<Vec<_>>().join(" ")
+            accs.iter()
+                .map(|a| format!("{:.0}", 100.0 * a))
+                .collect::<Vec<_>>()
+                .join(" ")
         );
-        curves.push(Curve { config: name.to_string(), val_acc_per_epoch: accs });
+        curves.push(Curve {
+            config: name.to_string(),
+            val_acc_per_epoch: accs,
+        });
     }
     let best = |name: &str| {
         curves
@@ -71,5 +95,5 @@ fn main() {
         best("F2-flex") >= best("F2") - 0.02,
         "flex must not trail static at F2"
     );
-    save_json("figure5", &curves);
+    save_json("figure5", &Json::arr(curves.iter().map(Curve::to_json)));
 }

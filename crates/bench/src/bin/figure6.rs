@@ -5,21 +5,40 @@
 //! fastest; from-scratch WA training needs several times the budget; a
 //! swap without retraining collapses.
 
-use serde::Serialize;
 use wa_bench::{pct, prepare, recipe, save_json, Scale};
 use wa_core::{evaluate, fit, warm_up, ConvAlgo};
-use wa_models::{adapt, convert_convs, set_conv_quant, ResNet18};
+use wa_models::{adapt, convert_convs, set_conv_quant, ModelSpec, ResNet18};
 use wa_nn::QuantConfig;
 use wa_quant::BitWidth;
-use wa_tensor::SeededRng;
+use wa_tensor::{Json, SeededRng};
 
-#[derive(Serialize)]
 struct Out {
     pretrained_acc: f64,
     swap_only_acc: f64,
     scratch_curve: Vec<f64>,
     adapted_static_curve: Vec<f64>,
     adapted_flex_curve: Vec<f64>,
+}
+
+impl Out {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("pretrained_acc", Json::from(self.pretrained_acc)),
+            ("swap_only_acc", Json::from(self.swap_only_acc)),
+            (
+                "scratch_curve",
+                Json::arr(self.scratch_curve.iter().copied()),
+            ),
+            (
+                "adapted_static_curve",
+                Json::arr(self.adapted_static_curve.iter().copied()),
+            ),
+            (
+                "adapted_flex_curve",
+                Json::arr(self.adapted_flex_curve.iter().copied()),
+            ),
+        ])
+    }
 }
 
 fn main() {
@@ -30,13 +49,25 @@ fn main() {
     let budget = scale.epochs.max(8);
 
     // from-scratch reference
-    let mut scratch = ResNet18::new(10, scale.width, int8, &mut SeededRng::new(31));
-    scratch.set_algo(ConvAlgo::WinogradFlex { m: 4 });
+    let scratch_spec = ModelSpec::builder()
+        .classes(10)
+        .width(scale.width)
+        .quant(int8)
+        .algo(ConvAlgo::WinogradFlex { m: 4 })
+        .build()
+        .expect("valid spec");
+    let mut scratch =
+        ResNet18::from_spec(&scratch_spec, &mut SeededRng::new(31)).expect("valid spec");
     let h_scratch = fit(&mut scratch, &train_b, &val_b, &recipe(budget));
 
     // pretrain FP32 direct
     let pretrain = |seed: u64| {
-        let mut net = ResNet18::new(10, scale.width, QuantConfig::FP32, &mut SeededRng::new(seed));
+        let spec = ModelSpec::builder()
+            .classes(10)
+            .width(scale.width)
+            .build()
+            .expect("valid spec");
+        let mut net = ResNet18::from_spec(&spec, &mut SeededRng::new(seed)).expect("valid spec");
         let h = fit(&mut net, &train_b, &val_b, &recipe(budget + 2));
         (net, h.final_val_acc())
     };
@@ -45,14 +76,32 @@ fn main() {
     let (mut net_swap, _) = pretrain(32);
 
     // swap-only control
-    convert_convs(&mut net_swap, ConvAlgo::Winograd { m: 4 }, 4);
+    convert_convs(&mut net_swap, ConvAlgo::Winograd { m: 4 }, 4).expect("known-good algo");
     set_conv_quant(&mut net_swap, int8);
     warm_up(&mut net_swap, &train_b);
     let (_, swap_acc) = evaluate(&mut net_swap, &val_b);
 
     // adaptation, static vs flex
-    let h_static = adapt(&mut net_static, ConvAlgo::Winograd { m: 4 }, int8, &train_b, &val_b, &recipe(budget), 4);
-    let h_flex = adapt(&mut net_flex, ConvAlgo::WinogradFlex { m: 4 }, int8, &train_b, &val_b, &recipe(budget), 4);
+    let h_static = adapt(
+        &mut net_static,
+        ConvAlgo::Winograd { m: 4 },
+        int8,
+        &train_b,
+        &val_b,
+        &recipe(budget),
+        4,
+    )
+    .expect("known-good algo");
+    let h_flex = adapt(
+        &mut net_flex,
+        ConvAlgo::WinogradFlex { m: 4 },
+        int8,
+        &train_b,
+        &val_b,
+        &recipe(budget),
+        4,
+    )
+    .expect("known-good algo");
 
     let curve = |h: &wa_core::History| h.epochs.iter().map(|e| e.val_acc).collect::<Vec<_>>();
     let show = |label: &str, c: &[f64]| {
@@ -60,24 +109,28 @@ fn main() {
             "{:<22} best {}  curve: {}",
             label,
             pct(c.iter().cloned().fold(0.0, f64::max)),
-            c.iter().map(|a| format!("{:.0}", 100.0 * a)).collect::<Vec<_>>().join(" ")
+            c.iter()
+                .map(|a| format!("{:.0}", 100.0 * a))
+                .collect::<Vec<_>>()
+                .join(" ")
         );
     };
     println!("FP32 direct-conv pretraining: {}", pct(pre_acc));
-    println!("swap to INT8 F4 + warm-up (no retraining): {}\n", pct(swap_acc));
+    println!(
+        "swap to INT8 F4 + warm-up (no retraining): {}\n",
+        pct(swap_acc)
+    );
     show("from scratch (flex)", &curve(&h_scratch));
     show("adapted (static)", &curve(&h_static));
     show("adapted (flex)", &curve(&h_flex));
     println!("\nAdaptation with learned transforms recovers fastest (paper Fig. 6).");
 
-    save_json(
-        "figure6",
-        &Out {
-            pretrained_acc: pre_acc,
-            swap_only_acc: swap_acc,
-            scratch_curve: curve(&h_scratch),
-            adapted_static_curve: curve(&h_static),
-            adapted_flex_curve: curve(&h_flex),
-        },
-    );
+    let out = Out {
+        pretrained_acc: pre_acc,
+        swap_only_acc: swap_acc,
+        scratch_curve: curve(&h_scratch),
+        adapted_static_curve: curve(&h_static),
+        adapted_flex_curve: curve(&h_flex),
+    };
+    save_json("figure6", &out.to_json());
 }

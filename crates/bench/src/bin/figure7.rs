@@ -9,6 +9,7 @@
 
 use wa_bench::save_json;
 use wa_latency::{figure7_sweep, Core, DType, LatAlgo, FIGURE7_CHANNELS, FIGURE7_WIDTHS};
+use wa_tensor::Json;
 
 fn main() {
     let dtype = if std::env::var("WA_INT8").map(|v| v == "1").unwrap_or(false) {
@@ -32,7 +33,12 @@ fn main() {
         print!("{:>5}", ow);
         for &(ic, oc) in &FIGURE7_CHANNELS {
             print!(" |");
-            for algo in [LatAlgo::Im2row, LatAlgo::Winograd { m: 2 }, LatAlgo::Winograd { m: 4 }, LatAlgo::Winograd { m: 6 }] {
+            for algo in [
+                LatAlgo::Im2row,
+                LatAlgo::Winograd { m: 2 },
+                LatAlgo::Winograd { m: 4 },
+                LatAlgo::Winograd { m: 6 },
+            ] {
                 let c = cells
                     .iter()
                     .find(|c| c.out_w == ow && c.in_ch == ic && c.out_ch == oc && c.algo == algo)
@@ -51,14 +57,21 @@ fn main() {
             .filter(|c| c.in_ch == 3 && c.out_w == ow)
             .min_by(|a, b| a.latency_ms.partial_cmp(&b.latency_ms).unwrap())
             .unwrap();
-        assert_eq!(best.algo, LatAlgo::Im2row, "stem at outW={} must prefer im2row", ow);
+        assert_eq!(
+            best.algo,
+            LatAlgo::Im2row,
+            "stem at outW={} must prefer im2row",
+            ow
+        );
     }
     // (2) winograd winner per outW is channel-invariant for deep configs
     for &ow in &FIGURE7_WIDTHS[2..] {
         let winner = |ic: usize, oc: usize| {
             cells
                 .iter()
-                .filter(|c| c.in_ch == ic && c.out_ch == oc && c.out_w == ow && c.algo != LatAlgo::Im2row)
+                .filter(|c| {
+                    c.in_ch == ic && c.out_ch == oc && c.out_w == ow && c.algo != LatAlgo::Im2row
+                })
                 .min_by(|a, b| a.latency_ms.partial_cmp(&b.latency_ms).unwrap())
                 .unwrap()
                 .algo
@@ -73,5 +86,14 @@ fn main() {
     println!("\n(1) im2row wins the 3→32 input column at every size;");
     println!("(2) the F2/F4/F6 winner depends on output size, not channels;");
     println!("(3) compare with the paper's Figure 7 milliseconds directly.");
-    save_json("figure7", &cells);
+    let cells_json = Json::arr(cells.iter().map(|c| {
+        Json::obj([
+            ("out_w", Json::from(c.out_w)),
+            ("in_ch", Json::from(c.in_ch)),
+            ("out_ch", Json::from(c.out_ch)),
+            ("algo", Json::from(c.algo.to_string())),
+            ("latency_ms", Json::from(c.latency_ms)),
+        ])
+    }));
+    save_json("figure7", &cells_json);
 }

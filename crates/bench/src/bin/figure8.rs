@@ -6,7 +6,24 @@
 //! mid-network layer on the A73, and less favourable on the A53.
 
 use wa_bench::save_json;
-use wa_latency::{figure8_bars, Core, LatAlgo};
+use wa_latency::{figure8_bars, Core, LatAlgo, NormalizedBar};
+use wa_tensor::Json;
+
+fn bars_json(bars: &[NormalizedBar]) -> Json {
+    Json::arr(bars.iter().map(|b| {
+        Json::obj([
+            ("in_ch", Json::from(b.shape.in_ch)),
+            ("out_ch", Json::from(b.shape.out_ch)),
+            ("out_h", Json::from(b.shape.out_h)),
+            ("out_w", Json::from(b.shape.out_w)),
+            ("algo", Json::from(b.algo.to_string())),
+            ("input_stage_ms", Json::from(b.breakdown.input_stage_ms)),
+            ("gemm_ms", Json::from(b.breakdown.gemm_ms)),
+            ("output_stage_ms", Json::from(b.breakdown.output_stage_ms)),
+            ("ratio_vs_im2row", Json::from(b.ratio_vs_im2row)),
+        ])
+    }))
+}
 
 fn main() {
     for core in [Core::CortexA73, Core::CortexA53] {
@@ -41,7 +58,16 @@ fn main() {
         .iter()
         .find(|b| b.shape.in_ch == 128 && b.algo == LatAlgo::Winograd { m: 4 })
         .unwrap();
-    assert!(mid_f4.ratio_vs_im2row < 0.8, "mid-layer F4 must win on the A73");
+    assert!(
+        mid_f4.ratio_vs_im2row < 0.8,
+        "mid-layer F4 must win on the A73"
+    );
     println!("\nStem transforms dominate; mid-network Winograd wins (paper §6.2).");
-    save_json("figure8", &(figure8_bars(Core::CortexA73), figure8_bars(Core::CortexA53)));
+    save_json(
+        "figure8",
+        &Json::obj([
+            ("a73", bars_json(&figure8_bars(Core::CortexA73))),
+            ("a53", bars_json(&figure8_bars(Core::CortexA53))),
+        ]),
+    );
 }

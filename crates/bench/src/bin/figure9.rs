@@ -6,20 +6,30 @@
 //! `-Q` search keeps early layers at higher precision; 1×1/stem layers
 //! stay on im2row by construction.
 
-use serde::Serialize;
 use wa_bench::{pct, prepare, save_json, Scale};
 use wa_latency::Core;
 use wa_nas::{MacroArch, SearchSpace, WiNas, WiNasConfig};
 use wa_quant::BitWidth;
-use wa_tensor::SeededRng;
+use wa_tensor::{Json, SeededRng};
 
-#[derive(Serialize)]
 struct Found {
     space: String,
     lambda2: f32,
     expected_latency_ms: f64,
     val_acc: f64,
     layers: Vec<String>,
+}
+
+impl Found {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("space", Json::from(self.space.clone())),
+            ("lambda2", Json::from(self.lambda2)),
+            ("expected_latency_ms", Json::from(self.expected_latency_ms)),
+            ("val_acc", Json::from(self.val_acc)),
+            ("layers", Json::arr(self.layers.iter().cloned())),
+        ])
+    }
 }
 
 fn main() {
@@ -47,7 +57,8 @@ fn main() {
                 ..WiNasConfig::default()
             };
             let mut rng = SeededRng::new(17 + (lambda2 * 1000.0) as u64);
-            let mut nas = WiNas::new(&arch, space.clone(), cfg, &mut rng);
+            let mut nas =
+                WiNas::new(&arch, space.clone(), cfg, &mut rng).expect("valid search space");
             let log = nas.search(&train_b, &val_b);
             let last = log.last().unwrap();
             let layers: Vec<String> = nas.extract().iter().map(|c| c.to_string()).collect();
@@ -78,5 +89,5 @@ fn main() {
         );
     }
     println!("Higher λ₂ trades accuracy headroom for speed (paper Fig. 9, Table 3).");
-    save_json("figure9", &found);
+    save_json("figure9", &Json::arr(found.iter().map(Found::to_json)));
 }

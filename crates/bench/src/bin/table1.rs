@@ -5,20 +5,28 @@
 //! Expected shape (paper): full precision survives for every tile size;
 //! under quantization F2 survives but F4/F6 collapse toward chance.
 
-use serde::Serialize;
 use wa_bench::{pct, prepare, recipe, save_json, Scale};
 use wa_core::{fit, ConvAlgo};
-use wa_models::{swap_and_evaluate, ResNet18};
-use wa_nn::QuantConfig;
+use wa_models::{swap_and_evaluate, ModelSpec, ResNet18};
 use wa_quant::BitWidth;
-use wa_tensor::SeededRng;
+use wa_tensor::{Json, SeededRng};
 
-#[derive(Serialize)]
 struct Row {
     method: String,
     fp32: f64,
     int16: f64,
     int8: f64,
+}
+
+impl Row {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("method", Json::from(self.method.clone())),
+            ("fp32", Json::from(self.fp32)),
+            ("int16", Json::from(self.int16)),
+            ("int8", Json::from(self.int8)),
+        ])
+    }
 }
 
 fn main() {
@@ -28,7 +36,12 @@ fn main() {
 
     // train the baseline with direct convolutions, FP32
     let mut rng = SeededRng::new(3);
-    let mut net = ResNet18::new(10, scale.width, QuantConfig::FP32, &mut rng);
+    let spec = ModelSpec::builder()
+        .classes(10)
+        .width(scale.width)
+        .build()
+        .expect("valid spec");
+    let mut net = ResNet18::from_spec(&spec, &mut rng).expect("valid spec");
     let hist = fit(&mut net, &train_b, &val_b, &recipe(scale.epochs));
     println!(
         "ResNet-18 (width {}) on {}: baseline FP32 accuracy {}\n",
@@ -38,7 +51,10 @@ fn main() {
     );
 
     let bits = [BitWidth::FP32, BitWidth::INT16, BitWidth::INT8];
-    println!("{:<16} {:>8} {:>8} {:>8}", "Conv method", "32-bit", "16-bit", "8-bit");
+    println!(
+        "{:<16} {:>8} {:>8} {:>8}",
+        "Conv method", "32-bit", "16-bit", "8-bit"
+    );
     let mut rows = Vec::new();
     let mut run = |label: String, algo: ConvAlgo| {
         let mut accs = [0.0f64; 3];
@@ -49,11 +65,12 @@ fn main() {
             let (_, acc) = swap_and_evaluate(
                 &mut net,
                 algo,
-                QuantConfig::uniform(b),
+                wa_nn::QuantConfig::uniform(b),
                 &train_b,
                 &val_b,
                 0,
-            );
+            )
+            .expect("swap with known-good algorithm");
             accs[i] = acc;
         }
         println!(
@@ -63,7 +80,12 @@ fn main() {
             pct(accs[1]),
             pct(accs[2])
         );
-        rows.push(Row { method: label, fp32: accs[0], int16: accs[1], int8: accs[2] });
+        rows.push(Row {
+            method: label,
+            fp32: accs[0],
+            int16: accs[1],
+            int8: accs[2],
+        });
         accs
     };
 
@@ -86,5 +108,5 @@ fn main() {
 
     println!("\nShape reproduced: FP32 swaps are safe; quantized large tiles collapse");
     println!("(paper: F4/F6 fall to ~10-19% at INT8/INT16 while F2 holds).");
-    save_json("table1", &rows);
+    save_json("table1", &Json::arr(rows.iter().map(Row::to_json)));
 }

@@ -6,13 +6,12 @@
 //! 32×32 ResNet-18 shapes (so the latency column is directly comparable
 //! with the paper's milliseconds). Speedups are against FP32 im2row.
 
-use serde::Serialize;
 use wa_bench::{pct, prepare, save_json, train_resnet, Scale};
 use wa_core::ConvAlgo;
 use wa_latency::{network_latency_ms, resnet18_shapes, uniform_config, Core, DType, LatAlgo};
 use wa_quant::BitWidth;
+use wa_tensor::Json;
 
-#[derive(Serialize)]
 struct Row {
     config: String,
     bits: String,
@@ -21,6 +20,20 @@ struct Row {
     a53_speedup: f64,
     a73_ms: f64,
     a73_speedup: f64,
+}
+
+impl Row {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("config", Json::from(self.config.clone())),
+            ("bits", Json::from(self.bits.clone())),
+            ("accuracy", Json::from(self.accuracy)),
+            ("a53_ms", Json::from(self.a53_ms)),
+            ("a53_speedup", Json::from(self.a53_speedup)),
+            ("a73_ms", Json::from(self.a73_ms)),
+            ("a73_speedup", Json::from(self.a73_speedup)),
+        ])
+    }
 }
 
 fn main() {
@@ -37,13 +50,62 @@ fn main() {
     let base73 = lat(LatAlgo::Im2row, DType::Fp32, 0, Core::CortexA73);
 
     let configs: Vec<(&str, ConvAlgo, BitWidth, LatAlgo, DType, usize)> = vec![
-        ("im2row", ConvAlgo::Im2row, BitWidth::FP32, LatAlgo::Im2row, DType::Fp32, 0),
-        ("im2col", ConvAlgo::Im2row, BitWidth::FP32, LatAlgo::Im2col, DType::Fp32, 0),
-        ("WF2*", ConvAlgo::Winograd { m: 2 }, BitWidth::FP32, LatAlgo::Winograd { m: 2 }, DType::Fp32, 0),
-        ("WAF4", ConvAlgo::WinogradFlex { m: 4 }, BitWidth::FP32, LatAlgo::WinogradDense { m: 4 }, DType::Fp32, 4),
-        ("im2row", ConvAlgo::Im2row, BitWidth::INT8, LatAlgo::Im2row, DType::Int8, 0),
-        ("WAF2*", ConvAlgo::Winograd { m: 2 }, BitWidth::INT8, LatAlgo::Winograd { m: 2 }, DType::Int8, 0),
-        ("WAF4", ConvAlgo::WinogradFlex { m: 4 }, BitWidth::INT8, LatAlgo::WinogradDense { m: 4 }, DType::Int8, 4),
+        (
+            "im2row",
+            ConvAlgo::Im2row,
+            BitWidth::FP32,
+            LatAlgo::Im2row,
+            DType::Fp32,
+            0,
+        ),
+        (
+            "im2col",
+            ConvAlgo::Im2row,
+            BitWidth::FP32,
+            LatAlgo::Im2col,
+            DType::Fp32,
+            0,
+        ),
+        (
+            "WF2*",
+            ConvAlgo::Winograd { m: 2 },
+            BitWidth::FP32,
+            LatAlgo::Winograd { m: 2 },
+            DType::Fp32,
+            0,
+        ),
+        (
+            "WAF4",
+            ConvAlgo::WinogradFlex { m: 4 },
+            BitWidth::FP32,
+            LatAlgo::WinogradDense { m: 4 },
+            DType::Fp32,
+            4,
+        ),
+        (
+            "im2row",
+            ConvAlgo::Im2row,
+            BitWidth::INT8,
+            LatAlgo::Im2row,
+            DType::Int8,
+            0,
+        ),
+        (
+            "WAF2*",
+            ConvAlgo::Winograd { m: 2 },
+            BitWidth::INT8,
+            LatAlgo::Winograd { m: 2 },
+            DType::Int8,
+            0,
+        ),
+        (
+            "WAF4",
+            ConvAlgo::WinogradFlex { m: 4 },
+            BitWidth::INT8,
+            LatAlgo::WinogradDense { m: 4 },
+            DType::Int8,
+            4,
+        ),
     ];
 
     println!(
@@ -88,5 +150,5 @@ fn main() {
     println!("\nShape to compare with the paper: WAF4-INT8 ≈ 2.3–2.4× over FP32");
     println!("im2row on the A73 (paper: 2.43×), and INT8 barely helps im2row on");
     println!("the A53 (paper: 118 → 117 ms).");
-    save_json("table3", &rows);
+    save_json("table3", &Json::arr(rows.iter().map(Row::to_json)));
 }

@@ -5,15 +5,13 @@
 //! static F4 collapses (79.3% vs 91.2% baseline in the paper) while flex
 //! F4 recovers to within a point.
 
-use serde::Serialize;
 use wa_bench::{pct, prepare, recipe, save_json, Scale};
 use wa_core::{fit, ConvAlgo};
-use wa_models::SqueezeNet;
+use wa_models::{ModelSpec, SqueezeNet};
 use wa_nn::QuantConfig;
 use wa_quant::BitWidth;
-use wa_tensor::SeededRng;
+use wa_tensor::{Json, SeededRng};
 
-#[derive(Serialize)]
 struct Row {
     config: String,
     bits: String,
@@ -21,11 +19,26 @@ struct Row {
     cifar100_like: f64,
 }
 
+impl Row {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("config", Json::from(self.config.clone())),
+            ("bits", Json::from(self.bits.clone())),
+            ("cifar10_like", Json::from(self.cifar10_like)),
+            ("cifar100_like", Json::from(self.cifar100_like)),
+        ])
+    }
+}
+
 fn train(algo: Option<ConvAlgo>, bits: BitWidth, classes: usize, scale: Scale, seed: u64) -> f64 {
     // CIFAR-100-shaped runs need enough examples per class to be
     // learnable at all; SqueezeNet also converges slower than ResNet at
     // this scale, so both datasets get a doubled epoch budget.
-    let per_class = if classes == 100 { (scale.per_class / 2).max(12) } else { scale.per_class };
+    let per_class = if classes == 100 {
+        (scale.per_class / 2).max(12)
+    } else {
+        scale.per_class
+    };
     let ds = if classes == 100 {
         wa_data::cifar100_like(per_class, scale.img, 13)
     } else {
@@ -33,10 +46,15 @@ fn train(algo: Option<ConvAlgo>, bits: BitWidth, classes: usize, scale: Scale, s
     };
     let (train_b, val_b) = prepare(&ds, scale.batch, seed);
     let mut rng = SeededRng::new(seed);
-    let mut net = SqueezeNet::new(classes, 0.25, QuantConfig::uniform(bits), &mut rng);
+    let mut spec = ModelSpec::builder()
+        .classes(classes)
+        .width(0.25)
+        .quant(QuantConfig::uniform(bits));
     if let Some(a) = algo {
-        net.set_algo(a);
+        spec = spec.algo(a);
     }
+    let mut net =
+        SqueezeNet::from_spec(&spec.build().expect("valid spec"), &mut rng).expect("valid spec");
     fit(&mut net, &train_b, &val_b, &recipe(2 * scale.epochs)).best_val_acc()
 }
 
@@ -44,22 +62,55 @@ fn main() {
     let scale = Scale::from_env();
     let configs: Vec<(&str, Option<ConvAlgo>, BitWidth)> = vec![
         ("im2row", None, BitWidth::FP32),
-        ("WAF2 static", Some(ConvAlgo::Winograd { m: 2 }), BitWidth::FP32),
-        ("WAF2 flex", Some(ConvAlgo::WinogradFlex { m: 2 }), BitWidth::FP32),
+        (
+            "WAF2 static",
+            Some(ConvAlgo::Winograd { m: 2 }),
+            BitWidth::FP32,
+        ),
+        (
+            "WAF2 flex",
+            Some(ConvAlgo::WinogradFlex { m: 2 }),
+            BitWidth::FP32,
+        ),
         ("im2row", None, BitWidth::INT8),
-        ("WAF2 static", Some(ConvAlgo::Winograd { m: 2 }), BitWidth::INT8),
-        ("WAF2 flex", Some(ConvAlgo::WinogradFlex { m: 2 }), BitWidth::INT8),
-        ("WAF4 static", Some(ConvAlgo::Winograd { m: 4 }), BitWidth::INT8),
-        ("WAF4 flex", Some(ConvAlgo::WinogradFlex { m: 4 }), BitWidth::INT8),
+        (
+            "WAF2 static",
+            Some(ConvAlgo::Winograd { m: 2 }),
+            BitWidth::INT8,
+        ),
+        (
+            "WAF2 flex",
+            Some(ConvAlgo::WinogradFlex { m: 2 }),
+            BitWidth::INT8,
+        ),
+        (
+            "WAF4 static",
+            Some(ConvAlgo::Winograd { m: 4 }),
+            BitWidth::INT8,
+        ),
+        (
+            "WAF4 flex",
+            Some(ConvAlgo::WinogradFlex { m: 4 }),
+            BitWidth::INT8,
+        ),
     ];
     println!("SqueezeNet (8 expand-3×3 convs), Winograd-aware training");
-    println!("{:<14} {:>6} {:>14} {:>15}", "Conv", "bits", "cifar10-like", "cifar100-like");
+    println!(
+        "{:<14} {:>6} {:>14} {:>15}",
+        "Conv", "bits", "cifar10-like", "cifar100-like"
+    );
     let mut rows = Vec::new();
     let mut int8 = std::collections::HashMap::new();
     for (i, (name, algo, bits)) in configs.iter().enumerate() {
         let c10 = train(*algo, *bits, 10, scale, 40 + i as u64);
         let c100 = train(*algo, *bits, 100, scale, 60 + i as u64);
-        println!("{:<14} {:>6} {:>14} {:>15}", name, bits.to_string(), pct(c10), pct(c100));
+        println!(
+            "{:<14} {:>6} {:>14} {:>15}",
+            name,
+            bits.to_string(),
+            pct(c10),
+            pct(c100)
+        );
         if *bits == BitWidth::INT8 {
             int8.insert(name.to_string(), c10);
         }
@@ -77,6 +128,11 @@ fn main() {
         pct(s4),
         pct(f4)
     );
-    assert!(f4 >= s4 - 0.02, "flex must not trail static at INT8 F4: {} vs {}", f4, s4);
-    save_json("table4", &rows);
+    assert!(
+        f4 >= s4 - 0.02,
+        "flex must not trail static at INT8 F4: {} vs {}",
+        f4,
+        s4
+    );
+    save_json("table4", &Json::arr(rows.iter().map(Row::to_json)));
 }

@@ -5,42 +5,81 @@
 //! baseline) while flex F4 fully recovers (93.3%) — fewer 3×3 layers than
 //! ResNet-18 make the flex recovery even cleaner.
 
-use serde::Serialize;
 use wa_bench::{pct, prepare, recipe, save_json, Scale};
 use wa_core::{fit, ConvAlgo};
-use wa_models::ResNeXt20;
+use wa_models::{ModelSpec, ResNeXt20};
 use wa_nn::QuantConfig;
 use wa_quant::BitWidth;
-use wa_tensor::SeededRng;
+use wa_tensor::{Json, SeededRng};
 
-#[derive(Serialize)]
 struct Row {
     config: String,
     bits: String,
     cifar10_like: f64,
 }
 
+impl Row {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("config", Json::from(self.config.clone())),
+            ("bits", Json::from(self.bits.clone())),
+            ("cifar10_like", Json::from(self.cifar10_like)),
+        ])
+    }
+}
+
 fn train(algo: Option<ConvAlgo>, bits: BitWidth, scale: Scale, seed: u64) -> f64 {
     let ds = wa_data::cifar10_like(scale.per_class, scale.img, 13);
     let (train_b, val_b) = prepare(&ds, scale.batch, seed);
     let mut rng = SeededRng::new(seed);
-    let mut net = ResNeXt20::new(10, 0.125, QuantConfig::uniform(bits), &mut rng);
+    let mut spec = ModelSpec::builder()
+        .classes(10)
+        .width(0.125)
+        .quant(QuantConfig::uniform(bits));
     if let Some(a) = algo {
-        net.set_algo(a);
+        spec = spec.algo(a);
     }
-    fit(&mut net, &train_b, &val_b, &recipe(scale.epochs + scale.epochs / 2)).best_val_acc()
+    let mut net =
+        ResNeXt20::from_spec(&spec.build().expect("valid spec"), &mut rng).expect("valid spec");
+    fit(
+        &mut net,
+        &train_b,
+        &val_b,
+        &recipe(scale.epochs + scale.epochs / 2),
+    )
+    .best_val_acc()
 }
 
 fn main() {
     let scale = Scale::from_env();
     let configs: Vec<(&str, Option<ConvAlgo>, BitWidth)> = vec![
         ("im2row", None, BitWidth::FP32),
-        ("WAF2 flex", Some(ConvAlgo::WinogradFlex { m: 2 }), BitWidth::FP32),
+        (
+            "WAF2 flex",
+            Some(ConvAlgo::WinogradFlex { m: 2 }),
+            BitWidth::FP32,
+        ),
         ("im2row", None, BitWidth::INT8),
-        ("WAF2 static", Some(ConvAlgo::Winograd { m: 2 }), BitWidth::INT8),
-        ("WAF2 flex", Some(ConvAlgo::WinogradFlex { m: 2 }), BitWidth::INT8),
-        ("WAF4 static", Some(ConvAlgo::Winograd { m: 4 }), BitWidth::INT8),
-        ("WAF4 flex", Some(ConvAlgo::WinogradFlex { m: 4 }), BitWidth::INT8),
+        (
+            "WAF2 static",
+            Some(ConvAlgo::Winograd { m: 2 }),
+            BitWidth::INT8,
+        ),
+        (
+            "WAF2 flex",
+            Some(ConvAlgo::WinogradFlex { m: 2 }),
+            BitWidth::INT8,
+        ),
+        (
+            "WAF4 static",
+            Some(ConvAlgo::Winograd { m: 4 }),
+            BitWidth::INT8,
+        ),
+        (
+            "WAF4 flex",
+            Some(ConvAlgo::WinogradFlex { m: 4 }),
+            BitWidth::INT8,
+        ),
     ];
     println!("ResNeXt-20 (8×16): 6 grouped 3×3 stages, cardinality 8");
     println!("{:<14} {:>6} {:>14}", "Conv", "bits", "cifar10-like");
@@ -52,11 +91,15 @@ fn main() {
         if *bits == BitWidth::INT8 {
             int8.insert(name.to_string(), acc);
         }
-        rows.push(Row { config: name.to_string(), bits: bits.to_string(), cifar10_like: acc });
+        rows.push(Row {
+            config: name.to_string(),
+            bits: bits.to_string(),
+            cifar10_like: acc,
+        });
     }
     let s4 = int8["WAF4 static"];
     let f4 = int8["WAF4 flex"];
     println!("\nINT8 F4: static {} vs flex {}", pct(s4), pct(f4));
     assert!(f4 >= s4 - 0.02, "flex must not trail static at INT8 F4");
-    save_json("table5", &rows);
+    save_json("table5", &Json::arr(rows.iter().map(Row::to_json)));
 }

@@ -14,12 +14,12 @@
 
 use std::path::PathBuf;
 
-use serde::Serialize;
 use wa_core::{fit, ConvAlgo, History, LabeledBatch, OptimKind, TrainConfig};
 use wa_data::Dataset;
+use wa_models::ModelSpec;
 use wa_nn::QuantConfig;
 use wa_quant::BitWidth;
-use wa_tensor::SeededRng;
+use wa_tensor::{Json, SeededRng};
 
 /// Experiment scale knobs (env-controlled).
 #[derive(Clone, Copy, Debug)]
@@ -42,9 +42,23 @@ impl Scale {
     /// Default (CI-friendly) scale, or the larger `WA_FULL=1` scale.
     pub fn from_env() -> Scale {
         if std::env::var("WA_FULL").map(|v| v == "1").unwrap_or(false) {
-            Scale { per_class: 200, img: 32, width: 0.25, epochs: 30, batch: 32, nas_epochs: 20 }
+            Scale {
+                per_class: 200,
+                img: 32,
+                width: 0.25,
+                epochs: 30,
+                batch: 32,
+                nas_epochs: 20,
+            }
         } else {
-            Scale { per_class: 60, img: 16, width: 0.125, epochs: 10, batch: 24, nas_epochs: 6 }
+            Scale {
+                per_class: 60,
+                img: 16,
+                width: 0.125,
+                epochs: 10,
+                batch: 24,
+                nas_epochs: 6,
+            }
         }
     }
 }
@@ -78,27 +92,42 @@ pub fn train_resnet(
     seed: u64,
 ) -> History {
     let mut rng = SeededRng::new(seed);
-    let mut net = wa_models::ResNet18::new(10, scale.width, QuantConfig::uniform(bits), &mut rng);
-    net.set_algo(algo);
+    let spec = ModelSpec::builder()
+        .classes(10)
+        .width(scale.width)
+        .quant(QuantConfig::uniform(bits))
+        .algo(algo)
+        .build()
+        .expect("bench ResNet spec is statically valid");
+    let mut net = wa_models::ResNet18::from_spec(&spec, &mut rng)
+        .expect("bench ResNet spec is statically valid");
     fit(&mut net, train_b, val_b, &recipe(scale.epochs))
 }
 
 /// Writes a JSON record to `results/<name>.json` (best effort; prints the
 /// path on success).
-pub fn save_json<T: Serialize>(name: &str, value: &T) {
+pub fn save_json(name: &str, value: &Json) {
     let dir = results_dir();
     if std::fs::create_dir_all(&dir).is_err() {
         return;
     }
     let path = dir.join(format!("{name}.json"));
-    match serde_json::to_string_pretty(value) {
-        Ok(s) => {
-            if std::fs::write(&path, s).is_ok() {
-                println!("\n[saved {}]", path.display());
-            }
-        }
-        Err(e) => eprintln!("could not serialize {name}: {e}"),
+    if std::fs::write(&path, value.to_string_pretty()).is_ok() {
+        println!("\n[saved {}]", path.display());
     }
+}
+
+/// Serializes a [`History`] as a JSON array of per-epoch records.
+pub fn history_json(h: &History) -> Json {
+    Json::arr(h.epochs.iter().map(|e| {
+        Json::obj([
+            ("epoch", Json::from(e.epoch)),
+            ("train_loss", Json::from(e.train_loss)),
+            ("train_acc", Json::from(e.train_acc)),
+            ("val_loss", Json::from(e.val_loss)),
+            ("val_acc", Json::from(e.val_acc)),
+        ])
+    }))
 }
 
 fn results_dir() -> PathBuf {

@@ -1,14 +1,14 @@
 //! Algorithm-switchable convolution and post-training surgery.
 
-use serde::{Deserialize, Serialize};
-use wa_nn::{Conv2d, Layer, Param, QuantConfig, Tape, Var};
+use wa_nn::{Conv2d, Layer, Param, QuantConfig, Tape, Var, WaError};
 use wa_tensor::SeededRng;
 
+use crate::spec::{validate_algo_geometry, ConvSpec};
 use crate::winograd_layer::WinogradAwareConv2d;
 
 /// The convolution algorithm implementing a 3×3 (or 5×5) layer — the
 /// choice wiNAS searches over (paper Figure 3).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum ConvAlgo {
     /// Patch-lowering + GEMM (lossless baseline).
     Im2row,
@@ -66,42 +66,22 @@ pub enum ConvLayer {
 }
 
 impl ConvLayer {
-    /// Creates the layer with the given algorithm.
+    /// Creates the layer described by a validated [`ConvSpec`].
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if dims are zero or a Winograd algorithm is requested with
-    /// `stride != 1`.
-    #[allow(clippy::too_many_arguments)]
-    pub fn new(
-        name: &str,
-        in_ch: usize,
-        out_ch: usize,
-        kernel: usize,
-        stride: usize,
-        pad: usize,
-        algo: ConvAlgo,
-        quant: QuantConfig,
-        rng: &mut SeededRng,
-    ) -> ConvLayer {
-        match algo {
-            ConvAlgo::Im2row => ConvLayer::Direct(Conv2d::new(
-                name, in_ch, out_ch, kernel, stride, pad, false, quant, rng,
+    /// [`WaError::InvalidSpec`] / [`WaError::UnsupportedAlgo`] if the
+    /// spec was mutated into an invalid state after building.
+    pub fn from_spec(spec: &ConvSpec, rng: &mut SeededRng) -> Result<ConvLayer, WaError> {
+        spec.validate()?;
+        match spec.algo {
+            ConvAlgo::Im2row => Ok(ConvLayer::Direct(Conv2d::from_spec(
+                &spec.as_conv2d_spec()?,
+                rng,
+            )?)),
+            ConvAlgo::Winograd { .. } | ConvAlgo::WinogradFlex { .. } => Ok(ConvLayer::Winograd(
+                WinogradAwareConv2d::from_spec(spec, rng)?,
             )),
-            ConvAlgo::Winograd { m } | ConvAlgo::WinogradFlex { m } => {
-                assert_eq!(stride, 1, "Winograd layers require stride 1 (paper §5.1)");
-                ConvLayer::Winograd(WinogradAwareConv2d::new(
-                    name,
-                    in_ch,
-                    out_ch,
-                    m,
-                    kernel,
-                    pad,
-                    algo.is_flex(),
-                    quant,
-                    rng,
-                ))
-            }
         }
     }
 
@@ -135,6 +115,22 @@ impl ConvLayer {
         }
     }
 
+    /// Kernel size `r`.
+    pub fn kernel(&self) -> usize {
+        match self {
+            ConvLayer::Direct(c) => c.kernel(),
+            ConvLayer::Winograd(w) => w.r(),
+        }
+    }
+
+    /// Stride (always 1 for Winograd layers).
+    pub fn stride(&self) -> usize {
+        match self {
+            ConvLayer::Direct(c) => c.stride,
+            ConvLayer::Winograd(_) => 1,
+        }
+    }
+
     /// Current quantization config.
     pub fn quant(&self) -> QuantConfig {
         match self {
@@ -152,6 +148,35 @@ impl ConvLayer {
         }
     }
 
+    /// The layer's current configuration as a [`ConvSpec`] (geometry,
+    /// algorithm and precision — the round-trippable description wiNAS
+    /// mutates).
+    pub fn spec(&self) -> ConvSpec {
+        let (name, pad, bias) = match self {
+            ConvLayer::Direct(c) => (
+                c.weight.name.trim_end_matches(".weight").to_string(),
+                c.pad,
+                c.bias.is_some(),
+            ),
+            ConvLayer::Winograd(w) => (
+                w.weight.name.trim_end_matches(".weight").to_string(),
+                w.pad_size(),
+                w.bias.is_some(),
+            ),
+        };
+        ConvSpec {
+            name,
+            in_channels: self.in_channels(),
+            out_channels: self.out_channels(),
+            kernel: self.kernel(),
+            stride: self.stride(),
+            pad,
+            bias,
+            algo: self.algo(),
+            quant: self.quant(),
+        }
+    }
+
     /// **Surgery**: re-implements the layer with `algo`, carrying the
     /// trained weights (and bias) over and resetting observers. Converting
     /// to the same algorithm is a no-op.
@@ -159,30 +184,30 @@ impl ConvLayer {
     /// This is the paper's Table 1 experiment (swap after training) and
     /// the starting point of Figure 6 adaptation.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics when converting a strided direct conv to Winograd.
-    pub fn convert(&mut self, algo: ConvAlgo) {
+    /// [`WaError::UnsupportedAlgo`] when `algo` cannot implement this
+    /// layer's geometry (e.g. converting a strided direct conv to
+    /// Winograd) — the layer is left untouched.
+    pub fn try_convert(&mut self, algo: ConvAlgo) -> Result<(), WaError> {
         if self.algo() == algo {
-            return;
+            return Ok(());
         }
+        validate_algo_geometry(algo, self.kernel(), self.stride())?;
         let quant = self.quant();
         // Temporarily replace self with a cheap placeholder to take
         // ownership of the parameters.
-        let old = std::mem::replace(
-            self,
-            ConvLayer::Direct(Conv2d::new(
-                "placeholder",
-                1,
-                1,
-                1,
-                1,
-                0,
-                false,
-                QuantConfig::FP32,
-                &mut SeededRng::new(0),
-            )),
-        );
+        let placeholder_spec = ConvSpec::builder()
+            .name("placeholder")
+            .in_channels(1)
+            .out_channels(1)
+            .kernel(1)
+            .pad(0)
+            .build()
+            .expect("placeholder spec is statically valid");
+        let placeholder = ConvLayer::from_spec(&placeholder_spec, &mut SeededRng::new(0))
+            .expect("placeholder layer is statically valid");
+        let old = std::mem::replace(self, placeholder);
         let (weight, bias, pad, stride, name) = match old {
             ConvLayer::Direct(c) => {
                 let name = c.weight.name.trim_end_matches(".weight").to_string();
@@ -194,43 +219,52 @@ impl ConvLayer {
                 (w.weight, w.bias, pad, 1, name)
             }
         };
+        let spec = ConvSpec {
+            name,
+            in_channels: weight.value.dim(1),
+            out_channels: weight.value.dim(0),
+            kernel: weight.value.dim(2),
+            stride,
+            pad,
+            bias: bias.is_some(),
+            algo,
+            quant,
+        };
         *self = match algo {
             ConvAlgo::Im2row => {
-                let kernel = weight.value.dim(2);
-                let mut conv = Conv2d::new(
-                    &name,
-                    weight.value.dim(1),
-                    weight.value.dim(0),
-                    kernel,
-                    stride,
-                    pad,
-                    bias.is_some(),
-                    quant,
-                    &mut SeededRng::new(0),
-                );
+                let mut conv = Conv2d::from_spec(&spec.as_conv2d_spec()?, &mut SeededRng::new(0))?;
                 conv.weight = weight;
                 conv.bias = bias;
                 ConvLayer::Direct(conv)
             }
-            ConvAlgo::Winograd { m } | ConvAlgo::WinogradFlex { m } => {
-                assert_eq!(stride, 1, "cannot convert a strided conv to Winograd");
-                let r = weight.value.dim(2);
-                ConvLayer::Winograd(WinogradAwareConv2d::with_weight(
-                    &name,
-                    weight,
-                    bias,
-                    m,
-                    r,
-                    pad,
-                    algo.is_flex(),
-                    quant,
-                ))
-            }
+            ConvAlgo::Winograd { .. } | ConvAlgo::WinogradFlex { .. } => ConvLayer::Winograd(
+                WinogradAwareConv2d::from_spec_with_weight(&spec, weight, bias)?,
+            ),
         };
+        Ok(())
+    }
+
+    /// Panicking convenience wrapper around [`ConvLayer::try_convert`]
+    /// for experiment code that converts between known-good algorithms.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the conversion is invalid (e.g. a strided direct conv
+    /// to Winograd).
+    pub fn convert(&mut self, algo: ConvAlgo) {
+        self.try_convert(algo)
+            .unwrap_or_else(|e| panic!("cannot convert layer to {algo}: {e}"));
     }
 }
 
 impl Layer for ConvLayer {
+    fn try_forward(&mut self, tape: &mut Tape, x: Var, train: bool) -> Result<Var, WaError> {
+        match self {
+            ConvLayer::Direct(c) => c.try_forward(tape, x, train),
+            ConvLayer::Winograd(w) => w.try_forward(tape, x, train),
+        }
+    }
+
     fn forward(&mut self, tape: &mut Tape, x: Var, train: bool) -> Var {
         match self {
             ConvLayer::Direct(c) => c.forward(tape, x, train),
@@ -258,6 +292,24 @@ mod tests {
     use super::*;
     use wa_tensor::Tensor;
 
+    fn mk(
+        in_ch: usize,
+        out_ch: usize,
+        stride: usize,
+        algo: ConvAlgo,
+        rng: &mut SeededRng,
+    ) -> ConvLayer {
+        let spec = ConvSpec::builder()
+            .name("c")
+            .in_channels(in_ch)
+            .out_channels(out_ch)
+            .stride(stride)
+            .algo(algo)
+            .build()
+            .unwrap();
+        ConvLayer::from_spec(&spec, rng).unwrap()
+    }
+
     #[test]
     fn algo_display_matches_paper_nomenclature() {
         assert_eq!(ConvAlgo::Im2row.to_string(), "im2row");
@@ -268,17 +320,7 @@ mod tests {
     #[test]
     fn convert_direct_to_winograd_keeps_weights_and_output() {
         let mut rng = SeededRng::new(1);
-        let mut layer = ConvLayer::new(
-            "c",
-            2,
-            3,
-            3,
-            1,
-            1,
-            ConvAlgo::Im2row,
-            QuantConfig::FP32,
-            &mut rng,
-        );
+        let mut layer = mk(2, 3, 1, ConvAlgo::Im2row, &mut rng);
         let x = rng.uniform_tensor(&[1, 2, 8, 8], -1.0, 1.0);
         let before = {
             let mut tape = Tape::new();
@@ -286,7 +328,7 @@ mod tests {
             let y = layer.forward(&mut tape, xv, false);
             tape.value(y).clone()
         };
-        layer.convert(ConvAlgo::Winograd { m: 2 });
+        layer.try_convert(ConvAlgo::Winograd { m: 2 }).unwrap();
         assert_eq!(layer.algo(), ConvAlgo::Winograd { m: 2 });
         let after = {
             let mut tape = Tape::new();
@@ -304,17 +346,7 @@ mod tests {
     #[test]
     fn convert_roundtrip_restores_algo() {
         let mut rng = SeededRng::new(2);
-        let mut layer = ConvLayer::new(
-            "c",
-            1,
-            1,
-            3,
-            1,
-            1,
-            ConvAlgo::Im2row,
-            QuantConfig::FP32,
-            &mut rng,
-        );
+        let mut layer = mk(1, 1, 1, ConvAlgo::Im2row, &mut rng);
         let w0 = match &layer {
             ConvLayer::Direct(c) => c.weight.value.clone(),
             _ => unreachable!(),
@@ -330,17 +362,7 @@ mod tests {
     #[test]
     fn convert_same_algo_is_noop() {
         let mut rng = SeededRng::new(3);
-        let mut layer = ConvLayer::new(
-            "c",
-            1,
-            2,
-            3,
-            1,
-            1,
-            ConvAlgo::Winograd { m: 2 },
-            QuantConfig::FP32,
-            &mut rng,
-        );
+        let mut layer = mk(1, 2, 1, ConvAlgo::Winograd { m: 2 }, &mut rng);
         let w0 = match &layer {
             ConvLayer::Winograd(w) => w.weight.value.clone(),
             _ => unreachable!(),
@@ -353,37 +375,55 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "cannot convert a strided conv")]
-    fn strided_conversion_panics() {
+    fn strided_conversion_errors_and_leaves_layer_intact() {
         let mut rng = SeededRng::new(4);
-        let mut layer = ConvLayer::new(
-            "c",
-            1,
-            1,
-            3,
-            2,
-            1,
+        let mut layer = mk(1, 1, 2, ConvAlgo::Im2row, &mut rng);
+        let err = layer.try_convert(ConvAlgo::Winograd { m: 2 }).unwrap_err();
+        assert!(matches!(err, WaError::UnsupportedAlgo { .. }), "{err}");
+        assert_eq!(
+            layer.algo(),
             ConvAlgo::Im2row,
-            QuantConfig::FP32,
-            &mut rng,
+            "failed convert must not mutate"
         );
+        assert_eq!(layer.stride(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot convert layer")]
+    fn strided_conversion_panics_via_wrapper() {
+        let mut rng = SeededRng::new(4);
+        let mut layer = mk(1, 1, 2, ConvAlgo::Im2row, &mut rng);
         layer.convert(ConvAlgo::Winograd { m: 2 });
+    }
+
+    #[test]
+    fn unsupported_tile_conversion_errors() {
+        let mut rng = SeededRng::new(6);
+        let mut layer = mk(1, 1, 1, ConvAlgo::Im2row, &mut rng);
+        let err = layer.try_convert(ConvAlgo::Winograd { m: 3 }).unwrap_err();
+        assert!(matches!(err, WaError::UnsupportedAlgo { .. }), "{err}");
+    }
+
+    #[test]
+    fn spec_roundtrips_through_surgery() {
+        let mut rng = SeededRng::new(7);
+        let mut layer = mk(3, 5, 1, ConvAlgo::Im2row, &mut rng);
+        let s0 = layer.spec();
+        assert_eq!((s0.in_channels, s0.out_channels, s0.kernel), (3, 5, 3));
+        layer.try_convert(ConvAlgo::WinogradFlex { m: 4 }).unwrap();
+        let s1 = layer.spec();
+        assert_eq!(s1.algo, ConvAlgo::WinogradFlex { m: 4 });
+        assert_eq!(s1.name, s0.name);
+        // the read-back spec rebuilds an equivalent layer
+        let rebuilt = ConvLayer::from_spec(&s1, &mut rng).unwrap();
+        assert_eq!(rebuilt.algo(), layer.algo());
+        assert_eq!(rebuilt.in_channels(), layer.in_channels());
     }
 
     #[test]
     fn set_quant_applies() {
         let mut rng = SeededRng::new(5);
-        let mut layer = ConvLayer::new(
-            "c",
-            1,
-            1,
-            3,
-            1,
-            1,
-            ConvAlgo::Im2row,
-            QuantConfig::FP32,
-            &mut rng,
-        );
+        let mut layer = mk(1, 1, 1, ConvAlgo::Im2row, &mut rng);
         let q = QuantConfig::uniform(wa_quant::BitWidth::INT8);
         layer.set_quant(q);
         assert_eq!(layer.quant(), q);

@@ -1,6 +1,5 @@
 //! The training pipeline shared by every experiment.
 
-use serde::{Deserialize, Serialize};
 use wa_nn::{accuracy, Adam, CosineAnnealing, Layer, Optimizer, RunningMean, Sgd, Tape};
 use wa_tensor::Tensor;
 
@@ -8,7 +7,7 @@ use wa_tensor::Tensor;
 pub type LabeledBatch = (Tensor, Vec<usize>);
 
 /// Which optimizer drives the model weights.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub enum OptimKind {
     /// Adam — the paper's choice for Winograd-aware training (§5.1).
     Adam {
@@ -25,7 +24,7 @@ pub enum OptimKind {
 }
 
 /// Training hyper-parameters.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct TrainConfig {
     /// Number of epochs.
     pub epochs: usize,
@@ -49,7 +48,7 @@ impl Default for TrainConfig {
 }
 
 /// Loss/accuracy for one epoch.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct EpochStats {
     /// Epoch index (0-based).
     pub epoch: usize,
@@ -64,7 +63,7 @@ pub struct EpochStats {
 }
 
 /// Full training history.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct History {
     /// Per-epoch statistics.
     pub epochs: Vec<EpochStats>,
@@ -159,11 +158,12 @@ pub fn warm_up(model: &mut dyn Layer, batches: &[LabeledBatch]) {
 ///
 /// ```
 /// use wa_core::{fit, TrainConfig};
-/// use wa_nn::{Linear, QuantConfig};
+/// use wa_nn::{Linear, LinearSpec};
 /// use wa_tensor::{SeededRng, Tensor};
 ///
 /// let mut rng = SeededRng::new(0);
-/// let mut model = Linear::new("m", 4, 2, QuantConfig::FP32, &mut rng);
+/// let spec = LinearSpec::builder("m").in_features(4).out_features(2).build().unwrap();
+/// let mut model = Linear::from_spec(&spec, &mut rng).unwrap();
 /// // two separable batches
 /// let mk = |c: usize| {
 ///     let img = Tensor::from_fn(&[4, 4], |i| if i % 4 == c { 1.0 } else { 0.0 });
@@ -213,8 +213,17 @@ pub fn fit(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use wa_nn::QuantConfig;
+    use wa_nn::{Linear, LinearSpec};
     use wa_tensor::SeededRng;
+
+    fn linear(rng: &mut SeededRng) -> Linear {
+        let spec = LinearSpec::builder("m")
+            .in_features(8)
+            .out_features(2)
+            .build()
+            .unwrap();
+        Linear::from_spec(&spec, rng).unwrap()
+    }
 
     /// Tiny two-class problem: class = which half of the vector is hot.
     fn toy_batches(rng: &mut SeededRng, batches: usize, bs: usize) -> Vec<LabeledBatch> {
@@ -245,11 +254,19 @@ mod tests {
         let mut rng = SeededRng::new(1);
         let train = toy_batches(&mut rng, 8, 16);
         let val = toy_batches(&mut rng, 2, 16);
-        let mut model = wa_nn::Linear::new("m", 8, 2, QuantConfig::FP32, &mut rng);
-        let cfg = TrainConfig { epochs: 15, ..TrainConfig::default() };
+        let mut model = linear(&mut rng);
+        let cfg = TrainConfig {
+            epochs: 30,
+            optim: OptimKind::Adam { lr: 5e-3 },
+            ..TrainConfig::default()
+        };
         let hist = fit(&mut model, &train, &val, &cfg);
-        assert_eq!(hist.epochs.len(), 15);
-        assert!(hist.best_val_acc() > 0.95, "val acc {}", hist.best_val_acc());
+        assert_eq!(hist.epochs.len(), 30);
+        assert!(
+            hist.best_val_acc() > 0.95,
+            "val acc {}",
+            hist.best_val_acc()
+        );
         assert!(
             hist.epochs.last().unwrap().train_loss < hist.epochs[0].train_loss,
             "loss must decrease"
@@ -260,7 +277,7 @@ mod tests {
     fn evaluate_is_side_effect_free() {
         let mut rng = SeededRng::new(2);
         let data = toy_batches(&mut rng, 2, 8);
-        let mut model = wa_nn::Linear::new("m", 8, 2, QuantConfig::FP32, &mut rng);
+        let mut model = linear(&mut rng);
         let w0 = model.weight.value.clone();
         let _ = evaluate(&mut model, &data);
         assert_eq!(model.weight.value, w0);
@@ -270,10 +287,13 @@ mod tests {
     fn sgd_nesterov_config_trains() {
         let mut rng = SeededRng::new(3);
         let train = toy_batches(&mut rng, 8, 16);
-        let mut model = wa_nn::Linear::new("m", 8, 2, QuantConfig::FP32, &mut rng);
+        let mut model = linear(&mut rng);
         let cfg = TrainConfig {
             epochs: 20,
-            optim: OptimKind::SgdNesterov { lr: 0.1, momentum: 0.9 },
+            optim: OptimKind::SgdNesterov {
+                lr: 0.1,
+                momentum: 0.9,
+            },
             weight_decay: 0.0,
             cosine_to: Some(1e-4),
         };

@@ -1,22 +1,24 @@
 //! The Winograd-aware convolution layer (paper §3.2, Figure 2).
 
-use wa_nn::{observe_quant, Layer, Param, QuantConfig, Tape, Var};
+use wa_nn::{observe_quant, Layer, Param, QuantConfig, Tape, Var, WaError};
 use wa_quant::Observer;
 use wa_tensor::{SeededRng, Tensor};
 use wa_winograd::{TileGeometry, WinogradTransform};
+
+use crate::spec::ConvSpec;
 
 /// Range observers for every quantization point `Qx` of Figure 2.
 #[derive(Debug, Default)]
 struct WinogradObservers {
     input: Observer,
     weight: Observer,
-    gg: Observer,    // G·g
-    ggt: Observer,   // G·g·Gᵀ
-    bd: Observer,    // Bᵀ·d
-    bdb: Observer,   // Bᵀ·d·B
+    gg: Observer,  // G·g
+    ggt: Observer, // G·g·Gᵀ
+    bd: Observer,  // Bᵀ·d
+    bdb: Observer, // Bᵀ·d·B
     hadamard: Observer,
-    ay: Observer,    // Aᵀ·y
-    aya: Observer,   // Aᵀ·y·A (layer output)
+    ay: Observer,  // Aᵀ·y
+    aya: Observer, // Aᵀ·y·A (layer output)
 }
 
 /// A convolution layer evaluated *explicitly* as
@@ -37,19 +39,25 @@ struct WinogradObservers {
 /// # Example
 ///
 /// ```
-/// use wa_core::WinogradAwareConv2d;
+/// use wa_core::{ConvAlgo, ConvSpec, WinogradAwareConv2d};
 /// use wa_nn::{Layer, QuantConfig, Tape};
 /// use wa_quant::BitWidth;
 /// use wa_tensor::SeededRng;
 ///
 /// let mut rng = SeededRng::new(0);
-/// let mut layer = WinogradAwareConv2d::new(
-///     "wa", 3, 8, 4, 3, 1, true, QuantConfig::uniform(BitWidth::INT8), &mut rng,
-/// );
+/// let spec = ConvSpec::builder()
+///     .name("wa")
+///     .in_channels(3)
+///     .out_channels(8)
+///     .algo(ConvAlgo::WinogradFlex { m: 4 })
+///     .quant(QuantConfig::uniform(BitWidth::INT8))
+///     .build()?;
+/// let mut layer = WinogradAwareConv2d::from_spec(&spec, &mut rng)?;
 /// let mut tape = Tape::new();
 /// let x = tape.leaf(rng.uniform_tensor(&[1, 3, 8, 8], -1.0, 1.0));
-/// let y = layer.forward(&mut tape, x, true);
+/// let y = layer.try_forward(&mut tape, x, true)?;
 /// assert_eq!(tape.value(y).shape(), &[1, 8, 8, 8]);
+/// # Ok::<(), wa_nn::WaError>(())
 /// ```
 #[derive(Debug)]
 pub struct WinogradAwareConv2d {
@@ -73,54 +81,69 @@ pub struct WinogradAwareConv2d {
 }
 
 impl WinogradAwareConv2d {
-    /// Creates a Winograd-aware layer `F(m×m, r×r)` with Kaiming weights
-    /// and Cook-Toom-initialized transforms (canonical Lavin & Gray
-    /// matrices for F2/F4 with r = 3).
+    /// Creates a Winograd-aware layer `F(m×m, r×r)` from a validated
+    /// [`ConvSpec`], with Kaiming weights and Cook-Toom-initialized
+    /// transforms (canonical Lavin & Gray matrices for F2/F4 with r = 3).
     ///
-    /// `flex` controls whether the transforms are learnable.
+    /// The spec's [`crate::ConvAlgo`] selects the tile size `m` and
+    /// whether the transforms are learnable (`-flex`).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if any dimension is zero.
-    #[allow(clippy::too_many_arguments)]
-    pub fn new(
-        name: &str,
-        in_ch: usize,
-        out_ch: usize,
-        m: usize,
-        r: usize,
-        pad: usize,
-        flex: bool,
-        quant: QuantConfig,
-        rng: &mut SeededRng,
-    ) -> WinogradAwareConv2d {
-        assert!(in_ch > 0 && out_ch > 0 && m > 0 && r > 0, "layer dims must be positive");
-        let weight =
-            Param::new(format!("{name}.weight"), rng.kaiming_tensor(&[out_ch, in_ch, r, r]));
-        Self::with_weight(name, weight, None, m, r, pad, flex, quant)
+    /// [`WaError::UnsupportedAlgo`] if the spec's algorithm is im2row or
+    /// violates a Winograd constraint; [`WaError::InvalidSpec`] for bad
+    /// geometry.
+    pub fn from_spec(spec: &ConvSpec, rng: &mut SeededRng) -> Result<WinogradAwareConv2d, WaError> {
+        spec.validate()?;
+        let name = &spec.name;
+        let weight = Param::new(
+            format!("{name}.weight"),
+            rng.kaiming_tensor(&[
+                spec.out_channels,
+                spec.in_channels,
+                spec.kernel,
+                spec.kernel,
+            ]),
+        );
+        let bias = spec
+            .bias
+            .then(|| Param::new(format!("{name}.bias"), Tensor::zeros(&[spec.out_channels])));
+        Self::from_spec_with_weight(spec, weight, bias)
     }
 
     /// Builds the layer around existing weight/bias parameters — the
     /// surgery path used to convert a trained direct-convolution model
     /// into its Winograd-aware counterpart (paper Table 1 / Figure 6).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `weight` is not 4-D square-kernel `[K, C, r, r]`.
-    #[allow(clippy::too_many_arguments)]
-    pub fn with_weight(
-        name: &str,
+    /// [`WaError::ShapeMismatch`] if `weight` is not the 4-D
+    /// square-kernel `[K, C, r, r]` tensor the spec describes;
+    /// [`WaError::UnsupportedAlgo`] if the spec's algorithm is not a
+    /// Winograd variant.
+    pub fn from_spec_with_weight(
+        spec: &ConvSpec,
         weight: Param,
         bias: Option<Param>,
-        m: usize,
-        r: usize,
-        pad: usize,
-        flex: bool,
-        quant: QuantConfig,
-    ) -> WinogradAwareConv2d {
-        assert_eq!(weight.value.ndim(), 4, "weight must be [K, C, r, r]");
-        assert_eq!(weight.value.dim(2), r, "weight kernel {} != r {}", weight.value.dim(2), r);
-        assert_eq!(weight.value.dim(3), r, "weight kernel must be square");
+    ) -> Result<WinogradAwareConv2d, WaError> {
+        spec.validate()?;
+        let Some(m) = spec.algo.tile_m() else {
+            return Err(WaError::unsupported(
+                spec.algo,
+                "WinogradAwareConv2d requires a Winograd algorithm, not im2row",
+            ));
+        };
+        let flex = spec.algo.is_flex();
+        let r = spec.kernel;
+        let expected = [spec.out_channels, spec.in_channels, r, r];
+        if weight.value.shape() != expected {
+            return Err(WaError::shape(
+                format!("WinogradAwareConv2d `{}` weight", spec.name),
+                &expected,
+                weight.value.shape(),
+            ));
+        }
+        let name = &spec.name;
         let t = WinogradTransform::canonical(m, r);
         let mk = |suffix: &str, v: &Tensor| {
             if flex {
@@ -129,18 +152,18 @@ impl WinogradAwareConv2d {
                 Param::frozen(format!("{name}.{suffix}"), v.clone())
             }
         };
-        WinogradAwareConv2d {
+        Ok(WinogradAwareConv2d {
             at: mk("at", t.at()),
             g: mk("g", t.g()),
             bt: mk("bt", t.bt()),
             weight,
             bias,
-            quant,
+            quant: spec.quant,
             m,
             r,
-            pad,
+            pad: spec.pad,
             obs: WinogradObservers::default(),
-        }
+        })
     }
 
     /// Output tile size `m`.
@@ -199,10 +222,37 @@ impl WinogradAwareConv2d {
 }
 
 impl Layer for WinogradAwareConv2d {
+    fn try_forward(&mut self, tape: &mut Tape, x: Var, train: bool) -> Result<Var, WaError> {
+        let shape = tape.value(x).shape().to_vec();
+        if shape.len() != 4 || shape[1] != self.in_channels() {
+            return Err(WaError::shape(
+                format!("WinogradAwareConv2d `{}` input", self.weight.name),
+                &[0, self.in_channels(), 0, 0],
+                &shape,
+            ));
+        }
+        if shape[2] + 2 * self.pad < self.r || shape[3] + 2 * self.pad < self.r {
+            return Err(WaError::shape(
+                format!(
+                    "WinogradAwareConv2d `{}` spatial extent vs kernel",
+                    self.weight.name
+                ),
+                &[self.r, self.r],
+                &shape[2..],
+            ));
+        }
+        Ok(self.forward(tape, x, train))
+    }
+
     fn forward(&mut self, tape: &mut Tape, x: Var, train: bool) -> Var {
         let (batch, in_ch, h, w) = {
             let v = tape.value(x);
-            assert_eq!(v.ndim(), 4, "WinogradAwareConv2d expects NCHW, got {:?}", v.shape());
+            assert_eq!(
+                v.ndim(),
+                4,
+                "WinogradAwareConv2d expects NCHW, got {:?}",
+                v.shape()
+            );
             (v.dim(0), v.dim(1), v.dim(2), v.dim(3))
         };
         assert_eq!(in_ch, self.in_channels(), "input channels mismatch");
@@ -297,8 +347,34 @@ impl Layer for WinogradAwareConv2d {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::conv_layer::ConvAlgo;
     use wa_quant::BitWidth;
     use wa_tensor::conv2d_direct;
+
+    fn spec(
+        in_ch: usize,
+        out_ch: usize,
+        m: usize,
+        r: usize,
+        flex: bool,
+        quant: QuantConfig,
+    ) -> ConvSpec {
+        let algo = if flex {
+            ConvAlgo::WinogradFlex { m }
+        } else {
+            ConvAlgo::Winograd { m }
+        };
+        ConvSpec::builder()
+            .name("wa")
+            .in_channels(in_ch)
+            .out_channels(out_ch)
+            .kernel(r)
+            .pad(1)
+            .algo(algo)
+            .quant(quant)
+            .build()
+            .unwrap()
+    }
 
     fn fwd(layer: &mut WinogradAwareConv2d, x: &Tensor, train: bool) -> Tensor {
         let mut tape = Tape::new();
@@ -311,8 +387,11 @@ mod tests {
     fn fp32_matches_direct_convolution() {
         let mut rng = SeededRng::new(1);
         for m in [2usize, 4] {
-            let mut layer =
-                WinogradAwareConv2d::new("wa", 3, 4, m, 3, 1, false, QuantConfig::FP32, &mut rng);
+            let mut layer = WinogradAwareConv2d::from_spec(
+                &spec(3, 4, m, 3, false, QuantConfig::FP32),
+                &mut rng,
+            )
+            .unwrap();
             let x = rng.uniform_tensor(&[2, 3, 8, 8], -1.0, 1.0);
             let got = fwd(&mut layer, &x, false);
             let want = conv2d_direct(&x, &layer.weight.value, None, 1, 1);
@@ -327,7 +406,8 @@ mod tests {
     fn odd_spatial_sizes_with_tile_waste() {
         let mut rng = SeededRng::new(2);
         let mut layer =
-            WinogradAwareConv2d::new("wa", 2, 3, 4, 3, 1, false, QuantConfig::FP32, &mut rng);
+            WinogradAwareConv2d::from_spec(&spec(2, 3, 4, 3, false, QuantConfig::FP32), &mut rng)
+                .unwrap();
         let x = rng.uniform_tensor(&[1, 2, 7, 9], -1.0, 1.0);
         let got = fwd(&mut layer, &x, false);
         let want = conv2d_direct(&x, &layer.weight.value, None, 1, 1);
@@ -344,17 +424,11 @@ mod tests {
         let mut rng = SeededRng::new(3);
         let x = rng.uniform_tensor(&[1, 4, 8, 8], -1.0, 1.0);
         let mut rel_err = |m: usize| {
-            let mut layer = WinogradAwareConv2d::new(
-                "wa",
-                4,
-                4,
-                m,
-                3,
-                1,
-                false,
-                QuantConfig::uniform(BitWidth::INT8),
+            let mut layer = WinogradAwareConv2d::from_spec(
+                &spec(4, 4, m, 3, false, QuantConfig::uniform(BitWidth::INT8)),
                 &mut rng.fork(m as u64),
-            );
+            )
+            .unwrap();
             // warm up observers
             let _ = fwd(&mut layer, &x, true);
             let got = fwd(&mut layer, &x, false);
@@ -370,15 +444,23 @@ mod tests {
         };
         let e2 = rel_err(2);
         let e4 = rel_err(4);
-        assert!(e2 < e4, "INT8 error must grow with tile size: F2 {} vs F4 {}", e2, e4);
+        assert!(
+            e2 < e4,
+            "INT8 error must grow with tile size: F2 {} vs F4 {}",
+            e2,
+            e4
+        );
     }
 
     #[test]
     fn flex_transforms_receive_gradients_static_do_not() {
         let mut rng = SeededRng::new(4);
         for flex in [true, false] {
-            let mut layer =
-                WinogradAwareConv2d::new("wa", 2, 2, 2, 3, 1, flex, QuantConfig::FP32, &mut rng);
+            let mut layer = WinogradAwareConv2d::from_spec(
+                &spec(2, 2, 2, 3, flex, QuantConfig::FP32),
+                &mut rng,
+            )
+            .unwrap();
             let mut tape = Tape::new();
             let x = tape.leaf(rng.uniform_tensor(&[1, 2, 4, 4], -1.0, 1.0));
             let y = layer.forward(&mut tape, x, true);
@@ -400,16 +482,12 @@ mod tests {
         let mut rng = SeededRng::new(5);
         let w = Param::new("w", rng.kaiming_tensor(&[4, 3, 3, 3]));
         let wv = w.value.clone();
-        let layer = WinogradAwareConv2d::with_weight(
-            "wa",
+        let layer = WinogradAwareConv2d::from_spec_with_weight(
+            &spec(3, 4, 4, 3, true, QuantConfig::FP32),
             w,
             None,
-            4,
-            3,
-            1,
-            true,
-            QuantConfig::FP32,
-        );
+        )
+        .unwrap();
         assert_eq!(layer.weight.value, wv);
         assert!((layer.weight_memory_factor() - 4.0).abs() < 1e-12);
     }
@@ -419,16 +497,12 @@ mod tests {
         let mut rng = SeededRng::new(6);
         let w = Param::new("w", Tensor::zeros(&[2, 1, 3, 3]));
         let b = Param::new("b", Tensor::from_vec(vec![1.5, -0.5], &[2]));
-        let mut layer = WinogradAwareConv2d::with_weight(
-            "wa",
+        let mut layer = WinogradAwareConv2d::from_spec_with_weight(
+            &spec(1, 2, 2, 3, false, QuantConfig::FP32),
             w,
             Some(b),
-            2,
-            3,
-            1,
-            false,
-            QuantConfig::FP32,
-        );
+        )
+        .unwrap();
         let x = rng.uniform_tensor(&[1, 1, 4, 4], -1.0, 1.0);
         let y = fwd(&mut layer, &x, false);
         for i in 0..16 {
@@ -441,7 +515,8 @@ mod tests {
     fn transform_accessor_roundtrips() {
         let mut rng = SeededRng::new(7);
         let layer =
-            WinogradAwareConv2d::new("wa", 1, 1, 4, 3, 1, false, QuantConfig::FP32, &mut rng);
+            WinogradAwareConv2d::from_spec(&spec(1, 1, 4, 3, false, QuantConfig::FP32), &mut rng)
+                .unwrap();
         let t = layer.transform();
         assert_eq!(t.m(), 4);
         assert_eq!(t.bt(), WinogradTransform::canonical(4, 3).bt());

@@ -1,10 +1,9 @@
 //! Labeled image datasets and batching.
 
-use serde::{Deserialize, Serialize};
 use wa_tensor::{SeededRng, Tensor};
 
 /// A labeled image-classification dataset in NCHW layout.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Dataset {
     /// Images `[N, C, H, W]`, roughly normalized to `[−1, 1]`.
     pub images: Tensor,
@@ -22,12 +21,22 @@ impl Dataset {
     /// # Panics
     ///
     /// Panics if shapes/labels disagree or any label is out of range.
-    pub fn new(name: impl Into<String>, images: Tensor, labels: Vec<usize>, classes: usize) -> Dataset {
+    pub fn new(
+        name: impl Into<String>,
+        images: Tensor,
+        labels: Vec<usize>,
+        classes: usize,
+    ) -> Dataset {
         assert_eq!(images.ndim(), 4, "images must be NCHW");
         assert_eq!(images.dim(0), labels.len(), "image/label count mismatch");
         assert!(classes > 0, "need at least one class");
         assert!(labels.iter().all(|&l| l < classes), "label out of range");
-        Dataset { images, labels, classes, name: name.into() }
+        Dataset {
+            images,
+            labels,
+            classes,
+            name: name.into(),
+        }
     }
 
     /// Number of examples.
@@ -48,7 +57,11 @@ impl Dataset {
     ///
     /// Panics unless `0.0 < frac < 1.0`.
     pub fn split(&self, frac: f64) -> (Dataset, Dataset) {
-        assert!(frac > 0.0 && frac < 1.0, "frac must be in (0, 1), got {}", frac);
+        assert!(
+            frac > 0.0 && frac < 1.0,
+            "frac must be in (0, 1), got {}",
+            frac
+        );
         let cut = ((self.len() as f64) * frac).round() as usize;
         let cut = cut.clamp(1, self.len() - 1);
         let a = Dataset {
@@ -78,7 +91,10 @@ impl Dataset {
         let mut start = 0;
         while start < self.len() {
             let end = (start + batch_size).min(self.len());
-            out.push((self.images.slice_dim0(start, end), self.labels[start..end].to_vec()));
+            out.push((
+                self.images.slice_dim0(start, end),
+                self.labels[start..end].to_vec(),
+            ));
             start = end;
         }
         out
@@ -89,7 +105,11 @@ impl Dataset {
     /// # Panics
     ///
     /// Panics if `batch_size == 0`.
-    pub fn shuffled_batches(&self, batch_size: usize, rng: &mut SeededRng) -> Vec<(Tensor, Vec<usize>)> {
+    pub fn shuffled_batches(
+        &self,
+        batch_size: usize,
+        rng: &mut SeededRng,
+    ) -> Vec<(Tensor, Vec<usize>)> {
         assert!(batch_size > 0, "batch_size must be positive");
         let mut order: Vec<usize> = (0..self.len()).collect();
         rng.shuffle(&mut order);

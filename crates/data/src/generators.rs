@@ -81,7 +81,12 @@ fn recipe(class: usize, classes: usize, channels: usize) -> ClassRecipe {
             0.45 + 0.55 * (phase as f32 / classes as f32)
         })
         .collect();
-    ClassRecipe { angle, freq, shape: Shape::of(class), gains }
+    ClassRecipe {
+        angle,
+        freq,
+        shape: Shape::of(class),
+        gains,
+    }
 }
 
 fn render(
@@ -125,7 +130,10 @@ fn generate(
     seed: u64,
     noise: f32,
 ) -> Dataset {
-    assert!(per_class > 0 && classes > 0 && size >= 4, "degenerate dataset request");
+    assert!(
+        per_class > 0 && classes > 0 && size >= 4,
+        "degenerate dataset request"
+    );
     let mut rng = SeededRng::new(seed);
     let recipes: Vec<ClassRecipe> = (0..classes).map(|c| recipe(c, classes, channels)).collect();
     let n = classes * per_class;
@@ -139,7 +147,12 @@ fn generate(
             labels.push(c);
         }
     }
-    Dataset::new(name, Tensor::from_vec(data, &[n, channels, size, size]), labels, classes)
+    Dataset::new(
+        name,
+        Tensor::from_vec(data, &[n, channels, size, size]),
+        labels,
+        classes,
+    )
 }
 
 /// CIFAR-10-shaped synthetic dataset: `10 × per_class` RGB images of
@@ -253,6 +266,10 @@ mod tests {
             }
         }
         let acc = correct as f64 / test.labels.len() as f64;
-        assert!(acc > 0.3, "nearest-centroid accuracy {} should beat chance", acc);
+        assert!(
+            acc > 0.3,
+            "nearest-centroid accuracy {} should beat chance",
+            acc
+        );
     }
 }

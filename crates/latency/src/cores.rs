@@ -1,9 +1,7 @@
 //! Core descriptions and calibrated machine parameters.
 
-use serde::{Deserialize, Serialize};
-
 /// The two HiKey 960 big.LITTLE cores the paper benchmarks (Table 2).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Core {
     /// High-performance out-of-order core: 2.4 GHz, 64 KB L1, 2048 KB L2.
     CortexA73,
@@ -14,7 +12,7 @@ pub enum Core {
 /// Arithmetic precision of a deployed kernel. The paper measures FP32 and
 /// INT8 ("INT16 measurements are not currently supported in Arm Compute
 /// Library", §5.3).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum DType {
     /// 32-bit float.
     Fp32,
@@ -58,7 +56,7 @@ impl std::fmt::Display for DType {
 /// Machine parameters of one core, calibrated against the paper's
 /// published measurements (Figure 7/8, Table 3). See `DESIGN.md` for the
 /// substitution rationale: we model, rather than measure, the HiKey 960.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct CoreSpec {
     /// Core name.
     pub name: &'static str,
@@ -159,9 +157,16 @@ mod tests {
 
     #[test]
     fn int8_gain_larger_on_a73() {
-        let gain_a73 = Core::CortexA73.peak_macs(DType::Int8) / Core::CortexA73.peak_macs(DType::Fp32);
-        let gain_a53 = Core::CortexA53.peak_macs(DType::Int8) / Core::CortexA53.peak_macs(DType::Fp32);
+        let gain_a73 =
+            Core::CortexA73.peak_macs(DType::Int8) / Core::CortexA73.peak_macs(DType::Fp32);
+        let gain_a53 =
+            Core::CortexA53.peak_macs(DType::Int8) / Core::CortexA53.peak_macs(DType::Fp32);
         // calibrated to Table 3: im2row FP32→INT8 is 1.57× on A73, 1.01× on A53
-        assert!(gain_a73 > 1.4 && gain_a53 < 1.2, "{} vs {}", gain_a73, gain_a53);
+        assert!(
+            gain_a73 > 1.4 && gain_a53 < 1.2,
+            "{} vs {}",
+            gain_a73,
+            gain_a53
+        );
     }
 }

@@ -7,13 +7,11 @@
 //! term (bytes over sustained bandwidth) and per-GEMM-call overhead, and
 //! the slower of compute/memory dominates (roofline).
 
-use serde::{Deserialize, Serialize};
-
 use crate::cores::{Core, DType};
 
 /// One convolution layer's geometry (stride 1; the paper's Winograd
 /// networks replace strides with pooling).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct LayerShape {
     /// Input channels.
     pub in_ch: usize,
@@ -30,12 +28,18 @@ pub struct LayerShape {
 impl LayerShape {
     /// Square-output helper.
     pub fn square(in_ch: usize, out_ch: usize, out: usize, kernel: usize) -> LayerShape {
-        LayerShape { in_ch, out_ch, out_h: out, out_w: out, kernel }
+        LayerShape {
+            in_ch,
+            out_ch,
+            out_h: out,
+            out_w: out,
+            kernel,
+        }
     }
 }
 
 /// Convolution algorithm whose latency is being modeled.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum LatAlgo {
     /// Row-lowering + one large GEMM.
     Im2row,
@@ -78,7 +82,7 @@ impl std::fmt::Display for LatAlgo {
 
 /// Per-stage latency decomposition in milliseconds (Figure 8's stacked
 /// bars).
-#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct LatencyBreakdown {
     /// Lowering (im2row/im2col) or Winograd input transform `BᵀdB`.
     pub input_stage_ms: f64,
@@ -143,13 +147,23 @@ fn gemm_eff(m: f64, k: f64, n: f64) -> f64 {
 /// # Panics
 ///
 /// Panics for Winograd tiles with `m == 0`.
-pub fn conv_latency(core: Core, dtype: DType, algo: LatAlgo, shape: LayerShape) -> LatencyBreakdown {
+pub fn conv_latency(
+    core: Core,
+    dtype: DType,
+    algo: LatAlgo,
+    shape: LayerShape,
+) -> LatencyBreakdown {
     let spec = core.spec();
     let peak = core.peak_macs(dtype);
     let cycles_to_ms = 1.0 / (spec.clock_ghz * 1e6);
     let bytes = dtype.bytes();
-    let (c, k, oh, ow, r) =
-        (shape.in_ch as f64, shape.out_ch as f64, shape.out_h as f64, shape.out_w as f64, shape.kernel as f64);
+    let (c, k, oh, ow, r) = (
+        shape.in_ch as f64,
+        shape.out_ch as f64,
+        shape.out_h as f64,
+        shape.out_w as f64,
+        shape.kernel as f64,
+    );
 
     match algo {
         LatAlgo::Im2row | LatAlgo::Im2col => {
@@ -241,7 +255,13 @@ mod tests {
         let im2row = ms(A73, DType::Fp32, LatAlgo::Im2row, s);
         for m in [2usize, 4, 6] {
             let w = ms(A73, DType::Fp32, LatAlgo::Winograd { m }, s);
-            assert!(im2row < w, "im2row {} must beat F{} {} on the stem", im2row, m, w);
+            assert!(
+                im2row < w,
+                "im2row {} must beat F{} {} on the stem",
+                im2row,
+                m,
+                w
+            );
         }
     }
 
@@ -250,9 +270,17 @@ mod tests {
         // §6.2: transforms are up to 65% (A73) / 75% (A53) of the stem cost
         let s = LayerShape::square(3, 32, 32, 3);
         let b73 = conv_latency(A73, DType::Fp32, LatAlgo::Winograd { m: 4 }, s);
-        assert!(b73.transform_fraction() > 0.5, "A73 stem tf {}", b73.transform_fraction());
+        assert!(
+            b73.transform_fraction() > 0.5,
+            "A73 stem tf {}",
+            b73.transform_fraction()
+        );
         let b53 = conv_latency(A53, DType::Fp32, LatAlgo::Winograd { m: 4 }, s);
-        assert!(b53.transform_fraction() > 0.55, "A53 stem tf {}", b53.transform_fraction());
+        assert!(
+            b53.transform_fraction() > 0.55,
+            "A53 stem tf {}",
+            b53.transform_fraction()
+        );
     }
 
     #[test]
@@ -293,7 +321,13 @@ mod tests {
         // division. At outW=12 (divisible by 4 and 6) compare with
         // outW=14 (waste for both, worse for F6 which jumps to 18).
         let best = |ow: usize| -> usize {
-            let s = LayerShape { in_ch: 64, out_ch: 64, out_h: ow, out_w: ow, kernel: 3 };
+            let s = LayerShape {
+                in_ch: 64,
+                out_ch: 64,
+                out_h: ow,
+                out_w: ow,
+                kernel: 3,
+            };
             [2usize, 4, 6]
                 .into_iter()
                 .min_by(|&a, &b| {
@@ -318,10 +352,17 @@ mod tests {
         // Table 3: im2row FP32→INT8 is 85→54 on A73 (1.57×) but
         // 118→117 on A53 (1.01×).
         let s = LayerShape::square(128, 128, 16, 3);
-        let a73_gain = ms(A73, DType::Fp32, LatAlgo::Im2row, s) / ms(A73, DType::Int8, LatAlgo::Im2row, s);
-        let a53_gain = ms(A53, DType::Fp32, LatAlgo::Im2row, s) / ms(A53, DType::Int8, LatAlgo::Im2row, s);
+        let a73_gain =
+            ms(A73, DType::Fp32, LatAlgo::Im2row, s) / ms(A73, DType::Int8, LatAlgo::Im2row, s);
+        let a53_gain =
+            ms(A53, DType::Fp32, LatAlgo::Im2row, s) / ms(A53, DType::Int8, LatAlgo::Im2row, s);
         assert!(a73_gain > 1.3, "A73 INT8 gain {}", a73_gain);
-        assert!(a53_gain < a73_gain, "A53 gain {} must trail A73 {}", a53_gain, a73_gain);
+        assert!(
+            a53_gain < a73_gain,
+            "A53 gain {} must trail A73 {}",
+            a53_gain,
+            a73_gain
+        );
     }
 
     #[test]
@@ -331,8 +372,17 @@ mod tests {
         for dtype in [DType::Fp32, DType::Int8] {
             let sparse = ms(A73, dtype, LatAlgo::Winograd { m: 4 }, s);
             let dense = ms(A73, dtype, LatAlgo::WinogradDense { m: 4 }, s);
-            assert!(dense > sparse, "dense {} must exceed sparse {}", dense, sparse);
-            assert!(dense / sparse < 1.6, "dense overhead too large: {}", dense / sparse);
+            assert!(
+                dense > sparse,
+                "dense {} must exceed sparse {}",
+                dense,
+                sparse
+            );
+            assert!(
+                dense / sparse < 1.6,
+                "dense overhead too large: {}",
+                dense / sparse
+            );
         }
     }
 
@@ -345,7 +395,12 @@ mod tests {
             ms(core, DType::Fp32, LatAlgo::Im2row, s)
                 / ms(core, DType::Fp32, LatAlgo::Winograd { m: 4 }, s)
         };
-        assert!(gain(A73) > gain(A53), "A73 {} vs A53 {}", gain(A73), gain(A53));
+        assert!(
+            gain(A73) > gain(A53),
+            "A73 {} vs A53 {}",
+            gain(A73),
+            gain(A53)
+        );
     }
 
     #[test]
@@ -403,7 +458,11 @@ mod calibration {
         let stem = LayerShape::square(3, 32, 32, 3);
         for core in [Core::CortexA73, Core::CortexA53] {
             let b = conv_latency(core, DType::Fp32, LatAlgo::Winograd { m: 4 }, stem);
-            println!("{core} stem F4: tf_frac {:.2} total {:.3}ms", b.transform_fraction(), b.total_ms());
+            println!(
+                "{core} stem F4: tf_frac {:.2} total {:.3}ms",
+                b.transform_fraction(),
+                b.total_ms()
+            );
         }
     }
 }

@@ -2,13 +2,11 @@
 //! over a model's layer shapes (the quantity Table 3 reports and wiNAS
 //! optimizes).
 
-use serde::{Deserialize, Serialize};
-
 use crate::cores::{Core, DType};
 use crate::model::{conv_latency_ms, LatAlgo, LayerShape};
 
 /// One layer's deployment choice.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct LayerChoice {
     /// Geometry.
     pub shape: LayerShape,
@@ -20,7 +18,10 @@ pub struct LayerChoice {
 
 /// Sums per-layer latencies for a whole network configuration.
 pub fn network_latency_ms(core: Core, layers: &[LayerChoice]) -> f64 {
-    layers.iter().map(|l| conv_latency_ms(core, l.dtype, l.algo, l.shape)).sum()
+    layers
+        .iter()
+        .map(|l| conv_latency_ms(core, l.dtype, l.algo, l.shape))
+        .sum()
 }
 
 /// The 3×3-convolution layer shapes of the paper's ResNet-18 CIFAR
@@ -32,7 +33,12 @@ pub fn network_latency_ms(core: Core, layers: &[LayerChoice]) -> f64 {
 pub fn resnet18_shapes(width: f64, input: usize) -> Vec<LayerShape> {
     let w = |c: usize| ((c as f64 * width).round() as usize).max(1);
     let mut shapes = vec![LayerShape::square(3, w(32), input, 3)];
-    let stages = [(w(64), input), (w(128), input / 2), (w(256), input / 4), (w(512), input / 8)];
+    let stages = [
+        (w(64), input),
+        (w(128), input / 2),
+        (w(256), input / 4),
+        (w(512), input / 8),
+    ];
     let mut in_ch = w(32);
     for &(out_ch, size) in &stages {
         for _ in 0..2 {
@@ -69,7 +75,11 @@ pub fn uniform_config(
             } else {
                 algo
             };
-            LayerChoice { shape, algo: a, dtype }
+            LayerChoice {
+                shape,
+                algo: a,
+                dtype,
+            }
         })
         .collect()
 }
@@ -103,8 +113,16 @@ mod tests {
         assert!(im2row > wf2, "im2row {} vs WF2 {}", im2row, wf2);
         assert!(wf2 > wf4, "WF2 {} vs WF4 {}", wf2, wf4);
         // speedups in the right ballpark (paper: 1.52× and 1.85×)
-        assert!((1.2..2.2).contains(&(im2row / wf2)), "WF2 speedup {}", im2row / wf2);
-        assert!((1.4..2.6).contains(&(im2row / wf4)), "WF4 speedup {}", im2row / wf4);
+        assert!(
+            (1.2..2.2).contains(&(im2row / wf2)),
+            "WF2 speedup {}",
+            im2row / wf2
+        );
+        assert!(
+            (1.4..2.6).contains(&(im2row / wf4)),
+            "WF4 speedup {}",
+            im2row / wf4
+        );
     }
 
     #[test]
@@ -120,7 +138,11 @@ mod tests {
             &uniform_config(&shapes, LatAlgo::WinogradDense { m: 4 }, DType::Int8, 4),
         );
         let speedup = base / waf4;
-        assert!((1.8..3.2).contains(&speedup), "WAF4-INT8 speedup {}", speedup);
+        assert!(
+            (1.8..3.2).contains(&speedup),
+            "WAF4-INT8 speedup {}",
+            speedup
+        );
     }
 
     #[test]

@@ -1,7 +1,5 @@
 //! Benchmark sweep drivers that regenerate Figure 7 and Figure 8.
 
-use serde::{Deserialize, Serialize};
-
 use crate::cores::{Core, DType};
 use crate::model::{conv_latency, LatAlgo, LatencyBreakdown, LayerShape};
 
@@ -21,7 +19,7 @@ pub const FIGURE7_ALGOS: [LatAlgo; 4] = [
 ];
 
 /// One cell of the Figure 7 grid.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct SweepCell {
     /// Output width/height.
     pub out_w: usize,
@@ -57,14 +55,32 @@ pub fn figure7_sweep(core: Core, dtype: DType) -> Vec<SweepCell> {
 
 /// The three ResNet-18 layer shapes of Figure 8.
 pub const FIGURE8_SHAPES: [LayerShape; 3] = [
-    LayerShape { in_ch: 3, out_ch: 32, out_h: 32, out_w: 32, kernel: 3 },
-    LayerShape { in_ch: 128, out_ch: 128, out_h: 16, out_w: 16, kernel: 3 },
-    LayerShape { in_ch: 256, out_ch: 256, out_h: 8, out_w: 8, kernel: 3 },
+    LayerShape {
+        in_ch: 3,
+        out_ch: 32,
+        out_h: 32,
+        out_w: 32,
+        kernel: 3,
+    },
+    LayerShape {
+        in_ch: 128,
+        out_ch: 128,
+        out_h: 16,
+        out_w: 16,
+        kernel: 3,
+    },
+    LayerShape {
+        in_ch: 256,
+        out_ch: 256,
+        out_h: 8,
+        out_w: 8,
+        kernel: 3,
+    },
 ];
 
 /// One bar of Figure 8: an algorithm's stage breakdown normalized by the
 /// im2row latency of the same shape.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct NormalizedBar {
     /// Layer shape.
     pub shape: LayerShape,
@@ -124,13 +140,22 @@ mod tests {
                 .map(|&w| {
                     cells
                         .iter()
-                        .find(|c| c.in_ch == ic && c.out_ch == oc && c.out_w == w && c.algo == LatAlgo::Im2row)
+                        .find(|c| {
+                            c.in_ch == ic
+                                && c.out_ch == oc
+                                && c.out_w == w
+                                && c.algo == LatAlgo::Im2row
+                        })
                         .unwrap()
                         .latency_ms
                 })
                 .collect();
             for pair in series.windows(2) {
-                assert!(pair[1] >= pair[0] * 0.95, "im2row series must grow: {:?}", series);
+                assert!(
+                    pair[1] >= pair[0] * 0.95,
+                    "im2row series must grow: {:?}",
+                    series
+                );
             }
         }
     }

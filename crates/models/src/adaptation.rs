@@ -1,7 +1,7 @@
 //! Post-training workflows: Table 1 swaps and Figure 6 adaptation.
 
 use wa_core::{evaluate, fit, warm_up, ConvAlgo, History, LabeledBatch, TrainConfig};
-use wa_nn::QuantConfig;
+use wa_nn::{QuantConfig, WaError};
 
 use crate::common::{convert_convs, set_conv_quant, ConvNet};
 
@@ -10,6 +10,10 @@ use crate::common::{convert_convs, set_conv_quant, ConvNet};
 /// the training set *without touching the weights*, and evaluate.
 ///
 /// Returns `(val_loss, val_accuracy)` after the swap.
+///
+/// # Errors
+///
+/// [`WaError::UnsupportedAlgo`] if any layer cannot implement `algo`.
 pub fn swap_and_evaluate(
     net: &mut dyn ConvNet,
     algo: ConvAlgo,
@@ -17,14 +21,14 @@ pub fn swap_and_evaluate(
     warmup_batches: &[LabeledBatch],
     val_batches: &[LabeledBatch],
     pin_last_f2: usize,
-) -> (f64, f64) {
-    convert_convs(net, algo, pin_last_f2);
+) -> Result<(f64, f64), WaError> {
+    convert_convs(net, algo, pin_last_f2)?;
     set_conv_quant(net, quant);
     // re-estimate every moving average from scratch: batch-norm statistics
     // may carry values from a previous (possibly collapsed) configuration
     net.reset_statistics();
     warm_up(net, warmup_batches);
-    evaluate(net, val_batches)
+    Ok(evaluate(net, val_batches))
 }
 
 /// Figure 6 experiment: swap a pretrained model to a Winograd-aware
@@ -32,6 +36,10 @@ pub fn swap_and_evaluate(
 /// can be adapted from a model … trained end-to-end with standard
 /// convolutions in 20 epochs of retraining … only possible when allowing
 /// the transformation matrices to evolve" (§6.1).
+///
+/// # Errors
+///
+/// [`WaError::UnsupportedAlgo`] if any layer cannot implement `algo`.
 pub fn adapt(
     net: &mut dyn ConvNet,
     algo: ConvAlgo,
@@ -40,16 +48,17 @@ pub fn adapt(
     val_batches: &[LabeledBatch],
     config: &TrainConfig,
     pin_last_f2: usize,
-) -> History {
-    convert_convs(net, algo, pin_last_f2);
+) -> Result<History, WaError> {
+    convert_convs(net, algo, pin_last_f2)?;
     set_conv_quant(net, quant);
-    fit(net, train_batches, val_batches, config)
+    Ok(fit(net, train_batches, val_batches, config))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::lenet::LeNet;
+    use crate::spec::ModelSpec;
     use wa_core::OptimKind;
     use wa_data::mnist_like;
     use wa_tensor::SeededRng;
@@ -62,7 +71,12 @@ mod tests {
         let (train, val) = ds.split(0.8);
         let train_b = train.batches(24);
         let val_b = val.batches(24);
-        let mut net = LeNet::new(10, 12, QuantConfig::FP32, &mut rng);
+        let spec = ModelSpec::builder()
+            .classes(10)
+            .input_size(12)
+            .build()
+            .unwrap();
+        let mut net = LeNet::from_spec(&spec, &mut rng).unwrap();
         let cfg = TrainConfig {
             epochs: 6,
             optim: OptimKind::Adam { lr: 2e-3 },
@@ -81,8 +95,14 @@ mod tests {
             &train_b[..1],
             &val_b,
             0,
+        )
+        .unwrap();
+        assert!(
+            (acc_f2 - base).abs() < 0.12,
+            "FP32 F2 swap: {} vs {}",
+            acc_f2,
+            base
         );
-        assert!((acc_f2 - base).abs() < 0.12, "FP32 F2 swap: {} vs {}", acc_f2, base);
 
         // INT8 F6 swap (10×10 tiles on 5×5 filters): collapse
         let (_, acc_f6) = swap_and_evaluate(
@@ -92,7 +112,8 @@ mod tests {
             &train_b[..1],
             &val_b,
             0,
-        );
+        )
+        .unwrap();
         assert!(
             acc_f6 < base - 0.2,
             "INT8 F6 swap should collapse: {} vs baseline {}",

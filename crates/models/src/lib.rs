@@ -11,6 +11,11 @@
 //! * [`ResNeXt20`] — 6 grouped-3×3 bottleneck stages, cardinality 8
 //!   (Table 5).
 //!
+//! Every model is built from a [`ModelSpec`] (classes, width multiplier,
+//! quantization, uniform algorithm, per-layer overrides) through
+//! `ModelSpec::builder()`, which validates the configuration and returns
+//! `Result<_, WaError>` instead of panicking.
+//!
 //! The [`ConvNet`] trait plus [`convert_convs`]/[`apply_algos`] implement
 //! model-level surgery; [`swap_and_evaluate`] and [`adapt`] reproduce the
 //! Table 1 and Figure 6 workflows.
@@ -20,6 +25,7 @@ mod common;
 mod lenet;
 mod resnet;
 mod resnext;
+mod spec;
 mod squeezenet;
 
 pub use adaptation::{adapt, swap_and_evaluate};
@@ -29,4 +35,6 @@ pub use common::{
 pub use lenet::LeNet;
 pub use resnet::ResNet18;
 pub use resnext::ResNeXt20;
+pub use spec::{ModelSpec, ModelSpecBuilder};
 pub use squeezenet::SqueezeNet;
+pub use wa_nn::WaError;

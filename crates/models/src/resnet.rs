@@ -8,10 +8,13 @@
 //! * width multiplier 0.125–1.0 scales every channel count (Figure 4).
 
 use wa_core::{ConvAlgo, ConvLayer};
-use wa_nn::{BatchNorm2d, Conv2d, Layer, Param, QuantConfig, Tape, Var};
+use wa_nn::{BatchNorm2d, Conv2d, Layer, Linear, Param, QuantConfig, Tape, Var, WaError};
 use wa_tensor::SeededRng;
 
-use crate::common::{convert_convs, scale_width, ConvNet};
+use crate::common::{
+    bn, conv1x1, convert_convs, linear, scale_width, stem_conv3x3, swappable_conv, ConvNet,
+};
+use crate::spec::ModelSpec;
 
 /// Two 3×3 convolutions with identity (or 1×1-projected) shortcut; the
 /// downsampling variant max-pools its input first.
@@ -33,47 +36,33 @@ impl BasicBlock {
         downsample: bool,
         quant: QuantConfig,
         rng: &mut SeededRng,
-    ) -> BasicBlock {
-        let conv1 = ConvLayer::new(
-            &format!("{name}.conv1"),
-            in_ch,
-            out_ch,
-            3,
-            1,
-            1,
-            ConvAlgo::Im2row,
-            quant,
-            rng,
-        );
-        let conv2 = ConvLayer::new(
-            &format!("{name}.conv2"),
-            out_ch,
-            out_ch,
-            3,
-            1,
-            1,
-            ConvAlgo::Im2row,
-            quant,
-            rng,
-        );
-        let shortcut = (in_ch != out_ch).then(|| {
-            (
-                Conv2d::new(&format!("{name}.proj"), in_ch, out_ch, 1, 1, 0, false, quant, rng),
-                BatchNorm2d::new(&format!("{name}.proj_bn"), out_ch),
-            )
-        });
-        BasicBlock {
+    ) -> Result<BasicBlock, WaError> {
+        let conv1 = swappable_conv(&format!("{name}.conv1"), in_ch, out_ch, 3, 1, quant, rng)?;
+        let conv2 = swappable_conv(&format!("{name}.conv2"), out_ch, out_ch, 3, 1, quant, rng)?;
+        let shortcut = if in_ch != out_ch {
+            Some((
+                conv1x1(&format!("{name}.proj"), in_ch, out_ch, false, quant, rng)?,
+                bn(&format!("{name}.proj_bn"), out_ch)?,
+            ))
+        } else {
+            None
+        };
+        Ok(BasicBlock {
             conv1,
-            bn1: BatchNorm2d::new(&format!("{name}.bn1"), out_ch),
+            bn1: bn(&format!("{name}.bn1"), out_ch)?,
             conv2,
-            bn2: BatchNorm2d::new(&format!("{name}.bn2"), out_ch),
+            bn2: bn(&format!("{name}.bn2"), out_ch)?,
             shortcut,
             downsample,
-        }
+        })
     }
 
     fn forward(&mut self, tape: &mut Tape, x: Var, train: bool) -> Var {
-        let x = if self.downsample { tape.max_pool2d(x) } else { x };
+        let x = if self.downsample {
+            tape.max_pool2d(x)
+        } else {
+            x
+        };
         let mut h = self.conv1.forward(tape, x, train);
         h = self.bn1.forward(tape, h, train);
         h = tape.relu(h);
@@ -119,45 +108,53 @@ impl BasicBlock {
 ///
 /// ```
 /// use wa_core::ConvAlgo;
-/// use wa_models::{ConvNet, ResNet18};
-/// use wa_nn::{Layer, QuantConfig, Tape};
+/// use wa_models::{ConvNet, ModelSpec, ResNet18};
+/// use wa_nn::{Layer, Tape};
 /// use wa_tensor::SeededRng;
 ///
 /// let mut rng = SeededRng::new(0);
-/// let mut net = ResNet18::new(10, 0.125, QuantConfig::FP32, &mut rng);
+/// let spec = ModelSpec::builder()
+///     .classes(10)
+///     .width(0.125)
+///     .algo(ConvAlgo::Winograd { m: 4 }) // last two blocks pinned to F2
+///     .build()?;
+/// let mut net = ResNet18::from_spec(&spec, &mut rng)?;
 /// assert_eq!(net.conv_count(), 16); // the 16 swappable 3×3 convs
-/// net.set_algo(ConvAlgo::Winograd { m: 4 }); // last two blocks pinned to F2
 /// let mut tape = Tape::new();
 /// let x = tape.leaf(rng.uniform_tensor(&[1, 3, 16, 16], -1.0, 1.0));
 /// let y = net.forward(&mut tape, x, false);
 /// assert_eq!(tape.value(y).shape(), &[1, 10]);
+/// # Ok::<(), wa_nn::WaError>(())
 /// ```
 pub struct ResNet18 {
     stem: Conv2d,
     stem_bn: BatchNorm2d,
     blocks: Vec<BasicBlock>,
-    head: wa_nn::Linear,
+    head: Linear,
     width: f64,
 }
 
 impl ResNet18 {
-    /// Builds the network with the given class count and width multiplier.
+    /// Builds the network from a validated [`ModelSpec`]: construction,
+    /// the uniform algorithm (with the paper's F2 pinning policy), then
+    /// per-layer overrides.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `classes == 0` or `width <= 0.0`.
-    pub fn new(classes: usize, width: f64, quant: QuantConfig, rng: &mut SeededRng) -> ResNet18 {
-        assert!(classes > 0, "need at least one class");
-        assert!(width > 0.0, "width multiplier must be positive");
-        let stem_ch = scale_width(32, width);
+    /// [`WaError::InvalidSpec`] / [`WaError::UnsupportedAlgo`] if the
+    /// spec is invalid or an override index is out of range.
+    pub fn from_spec(spec: &ModelSpec, rng: &mut SeededRng) -> Result<ResNet18, WaError> {
+        spec.validate()?;
+        let quant = spec.quant;
+        let stem_ch = scale_width(32, spec.width);
         let chans = [
-            scale_width(64, width),
-            scale_width(128, width),
-            scale_width(256, width),
-            scale_width(512, width),
+            scale_width(64, spec.width),
+            scale_width(128, spec.width),
+            scale_width(256, spec.width),
+            scale_width(512, spec.width),
         ];
-        let stem = Conv2d::new("stem", 3, stem_ch, 3, 1, 1, false, quant, rng);
-        let stem_bn = BatchNorm2d::new("stem_bn", stem_ch);
+        let stem = stem_conv3x3("stem", 3, stem_ch, quant, rng)?;
+        let stem_bn = bn("stem_bn", stem_ch)?;
         let mut blocks = Vec::with_capacity(8);
         let mut in_ch = stem_ch;
         for (stage, &out_ch) in chans.iter().enumerate() {
@@ -170,19 +167,46 @@ impl ResNet18 {
                     downsample,
                     quant,
                     rng,
-                ));
+                )?);
                 in_ch = out_ch;
             }
         }
-        let head = wa_nn::Linear::new("fc", chans[3], classes, quant, rng);
-        ResNet18 { stem, stem_bn, blocks, head, width }
+        let head = linear("fc", chans[3], spec.classes, quant, rng)?;
+        let mut net = ResNet18 {
+            stem,
+            stem_bn,
+            blocks,
+            head,
+            width: spec.width,
+        };
+        net.try_set_algo(spec.algo)?;
+        spec.check_override_bounds(net.conv_count())?;
+        for &(idx, algo) in &spec.overrides {
+            net.conv_layers_mut()[idx].try_convert(algo)?;
+        }
+        Ok(net)
     }
 
     /// Applies a uniform algorithm with the paper's policy: the last two
     /// residual blocks (4 convs) are pinned to F2 whenever `algo` uses a
     /// tile larger than F2.
+    ///
+    /// # Errors
+    ///
+    /// [`WaError::UnsupportedAlgo`] if `algo` is unusable.
+    pub fn try_set_algo(&mut self, algo: ConvAlgo) -> Result<(), WaError> {
+        convert_convs(self, algo, 4)
+    }
+
+    /// Panicking wrapper around [`ResNet18::try_set_algo`] for
+    /// experiment code using known-good algorithms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `algo` is unusable.
     pub fn set_algo(&mut self, algo: ConvAlgo) {
-        convert_convs(self, algo, 4);
+        self.try_set_algo(algo)
+            .unwrap_or_else(|e| panic!("set_algo({algo}): {e}"));
     }
 
     /// Width multiplier used at construction.
@@ -192,6 +216,24 @@ impl ResNet18 {
 }
 
 impl Layer for ResNet18 {
+    fn try_forward(&mut self, tape: &mut Tape, x: Var, train: bool) -> Result<Var, WaError> {
+        let shape = tape.value(x).shape().to_vec();
+        if shape.len() != 4 || shape[1] != 3 {
+            return Err(WaError::shape("ResNet18 input", &[0, 3, 0, 0], &shape));
+        }
+        // the three downsampling stages each max-pool (even dims needed),
+        // so spatial dims must be divisible by 8
+        if shape[2] == 0 || !shape[2].is_multiple_of(8) || !shape[3].is_multiple_of(8) {
+            return Err(WaError::shape(
+                "ResNet18 input (spatial dims must be nonzero multiples of 8 \
+                 for the three max-pool stages)",
+                &[0, 3, 8, 8],
+                &shape,
+            ));
+        }
+        Ok(self.forward(tape, x, train))
+    }
+
     fn forward(&mut self, tape: &mut Tape, x: Var, train: bool) -> Var {
         let mut h = self.stem.forward(tape, x, train);
         h = self.stem_bn.forward(tape, h, train);
@@ -242,17 +284,25 @@ mod tests {
     use super::*;
     use crate::common::current_algos;
 
+    fn basic(classes: usize, width: f64) -> ModelSpec {
+        ModelSpec::builder()
+            .classes(classes)
+            .width(width)
+            .build()
+            .unwrap()
+    }
+
     #[test]
     fn sixteen_swappable_convs() {
         let mut rng = SeededRng::new(0);
-        let mut net = ResNet18::new(10, 0.125, QuantConfig::FP32, &mut rng);
+        let mut net = ResNet18::from_spec(&basic(10, 0.125), &mut rng).unwrap();
         assert_eq!(net.conv_count(), 16);
     }
 
     #[test]
     fn full_width_parameter_count_near_11m() {
         let mut rng = SeededRng::new(1);
-        let mut net = ResNet18::new(10, 1.0, QuantConfig::FP32, &mut rng);
+        let mut net = ResNet18::from_spec(&basic(10, 1.0), &mut rng).unwrap();
         let params = net.param_count();
         assert!(
             (10_000_000..13_000_000).contains(&params),
@@ -265,7 +315,7 @@ mod tests {
     fn eighth_width_parameter_count_near_215k() {
         // paper §5.1: models range between 215K and 11M parameters
         let mut rng = SeededRng::new(2);
-        let mut net = ResNet18::new(10, 0.125, QuantConfig::FP32, &mut rng);
+        let mut net = ResNet18::from_spec(&basic(10, 0.125), &mut rng).unwrap();
         let params = net.param_count();
         assert!(
             (120_000..320_000).contains(&params),
@@ -277,36 +327,101 @@ mod tests {
     #[test]
     fn forward_shape_and_downsampling() {
         let mut rng = SeededRng::new(3);
-        let mut net = ResNet18::new(7, 0.125, QuantConfig::FP32, &mut rng);
+        let mut net = ResNet18::from_spec(&basic(7, 0.125), &mut rng).unwrap();
         let mut tape = Tape::new();
         let x = tape.leaf(rng.uniform_tensor(&[2, 3, 16, 16], -1.0, 1.0));
-        let y = net.forward(&mut tape, x, true);
+        let y = net.try_forward(&mut tape, x, true).unwrap();
         assert_eq!(tape.value(y).shape(), &[2, 7]);
     }
 
     #[test]
-    fn set_algo_pins_last_two_blocks_to_f2() {
+    fn try_forward_rejects_wrong_input_channels() {
+        let mut rng = SeededRng::new(9);
+        let mut net = ResNet18::from_spec(&basic(10, 0.125), &mut rng).unwrap();
+        let mut tape = Tape::new();
+        let x = tape.leaf(rng.uniform_tensor(&[1, 4, 16, 16], -1.0, 1.0));
+        assert!(matches!(
+            net.try_forward(&mut tape, x, false),
+            Err(WaError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn spec_algo_pins_last_two_blocks_to_f2() {
         let mut rng = SeededRng::new(4);
-        let mut net = ResNet18::new(10, 0.125, QuantConfig::FP32, &mut rng);
-        net.set_algo(ConvAlgo::Winograd { m: 4 });
+        let spec = ModelSpec::builder()
+            .classes(10)
+            .width(0.125)
+            .algo(ConvAlgo::Winograd { m: 4 })
+            .build()
+            .unwrap();
+        let mut net = ResNet18::from_spec(&spec, &mut rng).unwrap();
         let algos = current_algos(&mut net);
         assert_eq!(algos.len(), 16);
         for a in &algos[..12] {
             assert_eq!(*a, ConvAlgo::Winograd { m: 4 });
         }
         for a in &algos[12..] {
-            assert_eq!(*a, ConvAlgo::Winograd { m: 2 }, "last two blocks must be F2");
+            assert_eq!(
+                *a,
+                ConvAlgo::Winograd { m: 2 },
+                "last two blocks must be F2"
+            );
         }
         // F2 itself is not pinned
-        net.set_algo(ConvAlgo::Winograd { m: 2 });
-        assert!(current_algos(&mut net).iter().all(|a| *a == ConvAlgo::Winograd { m: 2 }));
+        net.try_set_algo(ConvAlgo::Winograd { m: 2 }).unwrap();
+        assert!(current_algos(&mut net)
+            .iter()
+            .all(|a| *a == ConvAlgo::Winograd { m: 2 }));
+    }
+
+    #[test]
+    fn overrides_apply_after_uniform_algo() {
+        let mut rng = SeededRng::new(6);
+        let spec = ModelSpec::builder()
+            .classes(10)
+            .width(0.125)
+            .algo(ConvAlgo::Winograd { m: 2 })
+            .override_layer(0, ConvAlgo::Im2row)
+            .override_layer(3, ConvAlgo::WinogradFlex { m: 4 })
+            .build()
+            .unwrap();
+        let mut net = ResNet18::from_spec(&spec, &mut rng).unwrap();
+        let algos = current_algos(&mut net);
+        assert_eq!(algos[0], ConvAlgo::Im2row);
+        assert_eq!(algos[3], ConvAlgo::WinogradFlex { m: 4 });
+        assert_eq!(algos[1], ConvAlgo::Winograd { m: 2 });
+    }
+
+    #[test]
+    fn out_of_range_override_is_rejected() {
+        let mut rng = SeededRng::new(7);
+        let spec = ModelSpec::builder()
+            .classes(10)
+            .width(0.125)
+            .override_layer(16, ConvAlgo::Winograd { m: 2 })
+            .build()
+            .unwrap();
+        let Err(err) = ResNet18::from_spec(&spec, &mut rng) else {
+            panic!("out-of-range override must be rejected")
+        };
+        assert!(
+            matches!(
+                err,
+                WaError::InvalidSpec {
+                    field: "overrides",
+                    ..
+                }
+            ),
+            "{err}"
+        );
     }
 
     #[test]
     fn width_scales_channels() {
         let mut rng = SeededRng::new(5);
-        let mut half = ResNet18::new(10, 0.5, QuantConfig::FP32, &mut rng);
-        let mut full = ResNet18::new(10, 1.0, QuantConfig::FP32, &mut rng);
+        let mut half = ResNet18::from_spec(&basic(10, 0.5), &mut rng).unwrap();
+        let mut full = ResNet18::from_spec(&basic(10, 1.0), &mut rng).unwrap();
         assert!(half.param_count() < full.param_count() / 3);
     }
 }

@@ -3,10 +3,22 @@
 //! Six bottleneck blocks → six (grouped) swappable 3×3 stages.
 
 use wa_core::{ConvAlgo, ConvLayer};
-use wa_nn::{BatchNorm2d, Conv2d, Layer, Param, QuantConfig, Tape, Var};
+use wa_nn::{BatchNorm2d, Conv2d, Layer, Param, QuantConfig, Tape, Var, WaError};
 use wa_tensor::SeededRng;
 
-use crate::common::{scale_width, ConvNet};
+use crate::common::{
+    bn, conv1x1, convert_convs, linear, scale_width, stem_conv3x3, swappable_conv, ConvNet,
+};
+use crate::spec::ModelSpec;
+
+/// Channel geometry of one bottleneck block.
+#[derive(Clone, Copy, Debug)]
+struct BlockDims {
+    in_ch: usize,
+    inner: usize,
+    out_ch: usize,
+    groups: usize,
+}
 
 /// Bottleneck: 1×1 reduce → grouped 3×3 (cardinality `groups`) → 1×1
 /// expand, with projected shortcut. The grouped 3×3 is realized as
@@ -25,55 +37,57 @@ struct ResNeXtBlock {
 }
 
 impl ResNeXtBlock {
-    #[allow(clippy::too_many_arguments)]
     fn new(
         name: &str,
-        in_ch: usize,
-        inner: usize,
-        out_ch: usize,
-        groups: usize,
+        dims: BlockDims,
         downsample: bool,
         quant: QuantConfig,
         rng: &mut SeededRng,
-    ) -> ResNeXtBlock {
-        assert!(inner.is_multiple_of(groups), "inner width {} not divisible by {} groups", inner, groups);
+    ) -> Result<ResNeXtBlock, WaError> {
+        let BlockDims {
+            in_ch,
+            inner,
+            out_ch,
+            groups,
+        } = dims;
+        if !inner.is_multiple_of(groups) {
+            return Err(WaError::invalid(
+                "ModelSpec",
+                "width",
+                format!("inner width {inner} not divisible by {groups} groups"),
+            ));
+        }
         let gw = inner / groups;
         let group_convs = (0..groups)
-            .map(|g| {
-                ConvLayer::new(
-                    &format!("{name}.group{}", g),
-                    gw,
-                    gw,
-                    3,
-                    1,
-                    1,
-                    ConvAlgo::Im2row,
-                    quant,
-                    rng,
-                )
-            })
-            .collect();
-        let shortcut = (in_ch != out_ch).then(|| {
-            (
-                Conv2d::new(&format!("{name}.proj"), in_ch, out_ch, 1, 1, 0, false, quant, rng),
-                BatchNorm2d::new(&format!("{name}.proj_bn"), out_ch),
-            )
-        });
-        ResNeXtBlock {
-            reduce: Conv2d::new(&format!("{name}.reduce"), in_ch, inner, 1, 1, 0, false, quant, rng),
-            bn1: BatchNorm2d::new(&format!("{name}.bn1"), inner),
+            .map(|g| swappable_conv(&format!("{name}.group{}", g), gw, gw, 3, 1, quant, rng))
+            .collect::<Result<Vec<_>, WaError>>()?;
+        let shortcut = if in_ch != out_ch {
+            Some((
+                conv1x1(&format!("{name}.proj"), in_ch, out_ch, false, quant, rng)?,
+                bn(&format!("{name}.proj_bn"), out_ch)?,
+            ))
+        } else {
+            None
+        };
+        Ok(ResNeXtBlock {
+            reduce: conv1x1(&format!("{name}.reduce"), in_ch, inner, false, quant, rng)?,
+            bn1: bn(&format!("{name}.bn1"), inner)?,
             group_convs,
-            bn2: BatchNorm2d::new(&format!("{name}.bn2"), inner),
-            expand: Conv2d::new(&format!("{name}.expand"), inner, out_ch, 1, 1, 0, false, quant, rng),
-            bn3: BatchNorm2d::new(&format!("{name}.bn3"), out_ch),
+            bn2: bn(&format!("{name}.bn2"), inner)?,
+            expand: conv1x1(&format!("{name}.expand"), inner, out_ch, false, quant, rng)?,
+            bn3: bn(&format!("{name}.bn3"), out_ch)?,
             shortcut,
             downsample,
             group_width: gw,
-        }
+        })
     }
 
     fn forward(&mut self, tape: &mut Tape, x: Var, train: bool) -> Var {
-        let x = if self.downsample { tape.max_pool2d(x) } else { x };
+        let x = if self.downsample {
+            tape.max_pool2d(x)
+        } else {
+            x
+        };
         let mut h = self.reduce.forward(tape, x, train);
         h = self.bn1.forward(tape, h, train);
         h = tape.relu(h);
@@ -137,13 +151,14 @@ impl ResNeXtBlock {
 /// # Example
 ///
 /// ```
-/// use wa_models::{ConvNet, ResNeXt20};
-/// use wa_nn::{Layer, QuantConfig, Tape};
+/// use wa_models::{ConvNet, ModelSpec, ResNeXt20};
 /// use wa_tensor::SeededRng;
 ///
 /// let mut rng = SeededRng::new(0);
-/// let mut net = ResNeXt20::new(10, 0.25, QuantConfig::FP32, &mut rng);
+/// let spec = ModelSpec::builder().classes(10).width(0.25).build()?;
+/// let mut net = ResNeXt20::from_spec(&spec, &mut rng)?;
 /// assert_eq!(net.logical_conv_count(), 6); // 6 grouped 3×3 stages
+/// # Ok::<(), wa_nn::WaError>(())
 /// ```
 pub struct ResNeXt20 {
     stem: Conv2d,
@@ -154,14 +169,17 @@ pub struct ResNeXt20 {
 }
 
 impl ResNeXt20 {
-    /// Builds the network with a width multiplier (1.0 = paper scale).
+    /// Builds the network from a validated [`ModelSpec`] (width 1.0 =
+    /// paper scale).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `classes == 0` or `width <= 0.0`.
-    pub fn new(classes: usize, width: f64, quant: QuantConfig, rng: &mut SeededRng) -> ResNeXt20 {
-        assert!(classes > 0, "need at least one class");
-        assert!(width > 0.0, "width multiplier must be positive");
+    /// [`WaError::InvalidSpec`] / [`WaError::UnsupportedAlgo`] for an
+    /// invalid spec or out-of-range override.
+    pub fn from_spec(spec: &ModelSpec, rng: &mut SeededRng) -> Result<ResNeXt20, WaError> {
+        spec.validate()?;
+        let quant = spec.quant;
+        let width = spec.width;
         let groups = 8;
         // base width 16 per group → inner widths 128/256/512, outs 256/512/1024
         let inner = [
@@ -169,10 +187,14 @@ impl ResNeXt20 {
             scale_width(256, width).div_ceil(groups) * groups,
             scale_width(512, width).div_ceil(groups) * groups,
         ];
-        let outs = [scale_width(256, width), scale_width(512, width), scale_width(1024, width)];
+        let outs = [
+            scale_width(256, width),
+            scale_width(512, width),
+            scale_width(1024, width),
+        ];
         let stem_ch = scale_width(64, width);
-        let stem = Conv2d::new("stem", 3, stem_ch, 3, 1, 1, false, quant, rng);
-        let stem_bn = BatchNorm2d::new("stem_bn", stem_ch);
+        let stem = stem_conv3x3("stem", 3, stem_ch, quant, rng)?;
+        let stem_bn = bn("stem_bn", stem_ch)?;
         let mut blocks = Vec::with_capacity(6);
         let mut in_ch = stem_ch;
         for stage in 0..3 {
@@ -180,19 +202,33 @@ impl ResNeXt20 {
                 let downsample = stage > 0 && b == 0;
                 blocks.push(ResNeXtBlock::new(
                     &format!("stage{}.{}", stage + 1, b),
-                    in_ch,
-                    inner[stage],
-                    outs[stage],
-                    groups,
+                    BlockDims {
+                        in_ch,
+                        inner: inner[stage],
+                        out_ch: outs[stage],
+                        groups,
+                    },
                     downsample,
                     quant,
                     rng,
-                ));
+                )?);
                 in_ch = outs[stage];
             }
         }
-        let head = wa_nn::Linear::new("fc", outs[2], classes, quant, rng);
-        ResNeXt20 { stem, stem_bn, blocks, head, groups }
+        let head = linear("fc", outs[2], spec.classes, quant, rng)?;
+        let mut net = ResNeXt20 {
+            stem,
+            stem_bn,
+            blocks,
+            head,
+            groups,
+        };
+        net.try_set_algo(spec.algo)?;
+        spec.check_override_bounds(net.conv_count())?;
+        for &(idx, algo) in &spec.overrides {
+            net.conv_layers_mut()[idx].try_convert(algo)?;
+        }
+        Ok(net)
     }
 
     /// Number of *logical* grouped-3×3 stages (6), as the paper counts.
@@ -206,16 +242,43 @@ impl ResNeXt20 {
     }
 
     /// Converts every group conv in every block to the given algorithm.
+    ///
+    /// # Errors
+    ///
+    /// [`WaError::UnsupportedAlgo`] if `algo` is unusable.
+    pub fn try_set_algo(&mut self, algo: ConvAlgo) -> Result<(), WaError> {
+        convert_convs(self, algo, 0)
+    }
+
+    /// Panicking wrapper around [`ResNeXt20::try_set_algo`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `algo` is unusable.
     pub fn set_algo(&mut self, algo: ConvAlgo) {
-        for b in &mut self.blocks {
-            for c in &mut b.group_convs {
-                c.convert(algo);
-            }
-        }
+        self.try_set_algo(algo)
+            .unwrap_or_else(|e| panic!("set_algo({algo}): {e}"));
     }
 }
 
 impl Layer for ResNeXt20 {
+    fn try_forward(&mut self, tape: &mut Tape, x: Var, train: bool) -> Result<Var, WaError> {
+        let shape = tape.value(x).shape().to_vec();
+        if shape.len() != 4 || shape[1] != 3 {
+            return Err(WaError::shape("ResNeXt20 input", &[0, 3, 0, 0], &shape));
+        }
+        // stages 2 and 3 max-pool, so spatial dims must be divisible by 4
+        if shape[2] == 0 || !shape[2].is_multiple_of(4) || !shape[3].is_multiple_of(4) {
+            return Err(WaError::shape(
+                "ResNeXt20 input (spatial dims must be nonzero multiples of 4 \
+                 for the two max-pool stages)",
+                &[0, 3, 4, 4],
+                &shape,
+            ));
+        }
+        Ok(self.forward(tape, x, train))
+    }
+
     fn forward(&mut self, tape: &mut Tape, x: Var, train: bool) -> Var {
         let mut h = self.stem.forward(tape, x, train);
         h = self.stem_bn.forward(tape, h, train);
@@ -263,20 +326,28 @@ impl ConvNet for ResNeXt20 {
 mod tests {
     use super::*;
 
+    fn spec(classes: usize, width: f64) -> ModelSpec {
+        ModelSpec::builder()
+            .classes(classes)
+            .width(width)
+            .build()
+            .unwrap()
+    }
+
     #[test]
     fn forward_shape() {
         let mut rng = SeededRng::new(0);
-        let mut net = ResNeXt20::new(10, 0.25, QuantConfig::FP32, &mut rng);
+        let mut net = ResNeXt20::from_spec(&spec(10, 0.25), &mut rng).unwrap();
         let mut tape = Tape::new();
         let x = tape.leaf(rng.uniform_tensor(&[2, 3, 16, 16], -1.0, 1.0));
-        let y = net.forward(&mut tape, x, true);
+        let y = net.try_forward(&mut tape, x, true).unwrap();
         assert_eq!(tape.value(y).shape(), &[2, 10]);
     }
 
     #[test]
     fn six_logical_blocks_cardinality_eight() {
         let mut rng = SeededRng::new(1);
-        let mut net = ResNeXt20::new(10, 0.25, QuantConfig::FP32, &mut rng);
+        let mut net = ResNeXt20::from_spec(&spec(10, 0.25), &mut rng).unwrap();
         assert_eq!(net.logical_conv_count(), 6);
         assert_eq!(net.cardinality(), 8);
         assert_eq!(net.conv_count(), 48); // 6 blocks × 8 groups
@@ -285,7 +356,7 @@ mod tests {
     #[test]
     fn fp32_group_swap_preserves_output() {
         let mut rng = SeededRng::new(2);
-        let mut net = ResNeXt20::new(4, 0.25, QuantConfig::FP32, &mut rng);
+        let mut net = ResNeXt20::from_spec(&spec(4, 0.25), &mut rng).unwrap();
         let x = rng.uniform_tensor(&[1, 3, 8, 8], -1.0, 1.0);
         let before = {
             let mut tape = Tape::new();
@@ -293,7 +364,7 @@ mod tests {
             let y = net.forward(&mut tape, xv, false);
             tape.value(y).clone()
         };
-        net.set_algo(ConvAlgo::Winograd { m: 2 });
+        net.try_set_algo(ConvAlgo::Winograd { m: 2 }).unwrap();
         let after = {
             let mut tape = Tape::new();
             let xv = tape.leaf(x);

@@ -1,0 +1,233 @@
+//! Typed, validated whole-model specification.
+//!
+//! A [`ModelSpec`] describes everything the paper varies about a model:
+//! class count, width multiplier (Figure 4), quantization, the uniform
+//! convolution algorithm, and per-layer algorithm overrides (the shape
+//! of a wiNAS result). Every model in the zoo is constructed from one:
+//!
+//! ```
+//! use wa_core::ConvAlgo;
+//! use wa_models::{ConvNet, ModelSpec, ResNet18};
+//! use wa_nn::QuantConfig;
+//! use wa_quant::BitWidth;
+//! use wa_tensor::SeededRng;
+//!
+//! let spec = ModelSpec::builder()
+//!     .classes(10)
+//!     .width(0.125)
+//!     .quant(QuantConfig::uniform(BitWidth::INT8))
+//!     .algo(ConvAlgo::WinogradFlex { m: 4 })
+//!     .build()?;
+//! let mut net = ResNet18::from_spec(&spec, &mut SeededRng::new(0))?;
+//! assert_eq!(net.conv_count(), 16);
+//! # Ok::<(), wa_nn::WaError>(())
+//! ```
+
+use wa_core::{validate_algo_geometry, ConvAlgo};
+use wa_nn::{QuantConfig, WaError};
+
+/// Validated configuration of a model-zoo network.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ModelSpec {
+    /// Number of output classes.
+    pub classes: usize,
+    /// Width multiplier scaling every channel count (Figure 4).
+    pub width: f64,
+    /// Square input size (LeNet geometry and latency lookups).
+    pub input_size: usize,
+    /// Quantization applied to every layer.
+    pub quant: QuantConfig,
+    /// Uniform algorithm for the swappable convolutions (applied with
+    /// each model's policy, e.g. ResNet-18 pins its last two blocks to
+    /// F2 for tiles larger than 2).
+    pub algo: ConvAlgo,
+    /// Per-layer `(index, algo)` overrides applied after the uniform
+    /// algorithm — the shape of a wiNAS per-layer assignment.
+    pub overrides: Vec<(usize, ConvAlgo)>,
+}
+
+impl ModelSpec {
+    /// Starts a builder. Defaults: 10 classes, width 1.0, input 32,
+    /// FP32, [`ConvAlgo::Im2row`], no overrides.
+    pub fn builder() -> ModelSpecBuilder {
+        ModelSpecBuilder {
+            classes: 10,
+            width: 1.0,
+            input_size: 32,
+            quant: QuantConfig::FP32,
+            algo: ConvAlgo::Im2row,
+            overrides: Vec::new(),
+        }
+    }
+
+    /// Checks every constraint, as `build()` does.
+    pub fn validate(&self) -> Result<(), WaError> {
+        if self.classes == 0 {
+            return Err(WaError::invalid(
+                "ModelSpec",
+                "classes",
+                "need at least one class",
+            ));
+        }
+        if self.width <= 0.0 || !self.width.is_finite() {
+            return Err(WaError::invalid(
+                "ModelSpec",
+                "width",
+                format!(
+                    "width multiplier must be positive and finite, got {}",
+                    self.width
+                ),
+            ));
+        }
+        if self.input_size == 0 {
+            return Err(WaError::invalid(
+                "ModelSpec",
+                "input_size",
+                "must be nonzero",
+            ));
+        }
+        // the zoo's swappable convolutions are 3×3/5×5 stride-1, so only
+        // the tile size can disqualify an algorithm here
+        validate_algo_geometry(self.algo, 3, 1)?;
+        for &(_, algo) in &self.overrides {
+            validate_algo_geometry(algo, 3, 1)?;
+        }
+        Ok(())
+    }
+
+    /// Bounds-checks the override indices against a concrete model's
+    /// swappable-layer count (called by each `from_spec`).
+    pub(crate) fn check_override_bounds(&self, conv_count: usize) -> Result<(), WaError> {
+        for &(idx, _) in &self.overrides {
+            if idx >= conv_count {
+                return Err(WaError::invalid(
+                    "ModelSpec",
+                    "overrides",
+                    format!("layer index {idx} out of range (model has {conv_count} conv layers)"),
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for ModelSpec {
+    fn default() -> Self {
+        ModelSpec::builder()
+            .build()
+            .expect("default ModelSpec is statically valid")
+    }
+}
+
+/// Builder for [`ModelSpec`].
+#[derive(Clone, Debug)]
+pub struct ModelSpecBuilder {
+    classes: usize,
+    width: f64,
+    input_size: usize,
+    quant: QuantConfig,
+    algo: ConvAlgo,
+    overrides: Vec<(usize, ConvAlgo)>,
+}
+
+impl ModelSpecBuilder {
+    /// Sets the class count (default 10).
+    pub fn classes(mut self, c: usize) -> Self {
+        self.classes = c;
+        self
+    }
+
+    /// Sets the width multiplier (default 1.0).
+    pub fn width(mut self, w: f64) -> Self {
+        self.width = w;
+        self
+    }
+
+    /// Sets the square input size (default 32).
+    pub fn input_size(mut self, s: usize) -> Self {
+        self.input_size = s;
+        self
+    }
+
+    /// Sets the quantization config (default FP32).
+    pub fn quant(mut self, q: QuantConfig) -> Self {
+        self.quant = q;
+        self
+    }
+
+    /// Sets the uniform convolution algorithm (default im2row).
+    pub fn algo(mut self, a: ConvAlgo) -> Self {
+        self.algo = a;
+        self
+    }
+
+    /// Adds a per-layer algorithm override (applied after the uniform
+    /// algorithm, in insertion order).
+    pub fn override_layer(mut self, index: usize, algo: ConvAlgo) -> Self {
+        self.overrides.push((index, algo));
+        self
+    }
+
+    /// Validates and produces the spec.
+    ///
+    /// # Errors
+    ///
+    /// [`WaError::InvalidSpec`] for zero classes / non-positive width /
+    /// zero input size; [`WaError::UnsupportedAlgo`] for an unusable
+    /// algorithm in `algo` or any override.
+    pub fn build(self) -> Result<ModelSpec, WaError> {
+        let spec = ModelSpec {
+            classes: self.classes,
+            width: self.width,
+            input_size: self.input_size,
+            quant: self.quant,
+            algo: self.algo,
+            overrides: self.overrides,
+        };
+        spec.validate()?;
+        Ok(spec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_build() {
+        let spec = ModelSpec::default();
+        assert_eq!(spec.classes, 10);
+        assert_eq!(spec.algo, ConvAlgo::Im2row);
+    }
+
+    #[test]
+    fn invalid_fields_rejected() {
+        assert!(matches!(
+            ModelSpec::builder().classes(0).build(),
+            Err(WaError::InvalidSpec {
+                field: "classes",
+                ..
+            })
+        ));
+        assert!(matches!(
+            ModelSpec::builder().width(0.0).build(),
+            Err(WaError::InvalidSpec { field: "width", .. })
+        ));
+        assert!(matches!(
+            ModelSpec::builder().width(f64::NAN).build(),
+            Err(WaError::InvalidSpec { field: "width", .. })
+        ));
+        assert!(matches!(
+            ModelSpec::builder()
+                .algo(ConvAlgo::Winograd { m: 5 })
+                .build(),
+            Err(WaError::UnsupportedAlgo { .. })
+        ));
+        assert!(matches!(
+            ModelSpec::builder()
+                .override_layer(0, ConvAlgo::WinogradFlex { m: 7 })
+                .build(),
+            Err(WaError::UnsupportedAlgo { .. })
+        ));
+    }
+}

@@ -4,10 +4,13 @@
 //! milder INT8/F4 degradation versus ResNet-18's 16.
 
 use wa_core::{ConvAlgo, ConvLayer};
-use wa_nn::{BatchNorm2d, Conv2d, Layer, Param, QuantConfig, Tape, Var};
+use wa_nn::{BatchNorm2d, Conv2d, Layer, Param, QuantConfig, Tape, Var, WaError};
 use wa_tensor::SeededRng;
 
-use crate::common::{scale_width, ConvNet};
+use crate::common::{
+    bn, conv1x1, convert_convs, scale_width, stem_conv3x3, swappable_conv, ConvNet,
+};
+use crate::spec::ModelSpec;
 
 /// Fire module: 1×1 squeeze, then parallel 1×1 and 3×3 expands,
 /// channel-concatenated. Only the 3×3 expand is Winograd-swappable.
@@ -25,22 +28,34 @@ impl Fire {
         expand_ch: usize,
         quant: QuantConfig,
         rng: &mut SeededRng,
-    ) -> Fire {
-        Fire {
-            squeeze: Conv2d::new(&format!("{name}.squeeze"), in_ch, squeeze_ch, 1, 1, 0, true, quant, rng),
-            expand1: Conv2d::new(&format!("{name}.expand1"), squeeze_ch, expand_ch, 1, 1, 0, true, quant, rng),
-            expand3: ConvLayer::new(
+    ) -> Result<Fire, WaError> {
+        Ok(Fire {
+            squeeze: conv1x1(
+                &format!("{name}.squeeze"),
+                in_ch,
+                squeeze_ch,
+                true,
+                quant,
+                rng,
+            )?,
+            expand1: conv1x1(
+                &format!("{name}.expand1"),
+                squeeze_ch,
+                expand_ch,
+                true,
+                quant,
+                rng,
+            )?,
+            expand3: swappable_conv(
                 &format!("{name}.expand3"),
                 squeeze_ch,
                 expand_ch,
                 3,
                 1,
-                1,
-                ConvAlgo::Im2row,
                 quant,
                 rng,
-            ),
-        }
+            )?,
+        })
     }
 
     fn out_channels(&self) -> usize {
@@ -75,13 +90,14 @@ impl Fire {
 /// # Example
 ///
 /// ```
-/// use wa_models::{ConvNet, SqueezeNet};
-/// use wa_nn::{Layer, QuantConfig, Tape};
+/// use wa_models::{ConvNet, ModelSpec, SqueezeNet};
 /// use wa_tensor::SeededRng;
 ///
 /// let mut rng = SeededRng::new(0);
-/// let mut net = SqueezeNet::new(10, 0.25, QuantConfig::FP32, &mut rng);
+/// let spec = ModelSpec::builder().classes(10).width(0.25).build()?;
+/// let mut net = SqueezeNet::from_spec(&spec, &mut rng)?;
 /// assert_eq!(net.conv_count(), 8); // one expand-3×3 per fire module
+/// # Ok::<(), wa_nn::WaError>(())
 /// ```
 pub struct SqueezeNet {
     stem: Conv2d,
@@ -93,18 +109,20 @@ pub struct SqueezeNet {
 }
 
 impl SqueezeNet {
-    /// Builds the network with a width multiplier (1.0 = paper scale).
+    /// Builds the network from a validated [`ModelSpec`] (width 1.0 =
+    /// paper scale).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `classes == 0` or `width <= 0.0`.
-    pub fn new(classes: usize, width: f64, quant: QuantConfig, rng: &mut SeededRng) -> SqueezeNet {
-        assert!(classes > 0, "need at least one class");
-        assert!(width > 0.0, "width multiplier must be positive");
-        let w = |c: usize| scale_width(c, width);
+    /// [`WaError::InvalidSpec`] / [`WaError::UnsupportedAlgo`] for an
+    /// invalid spec or out-of-range override.
+    pub fn from_spec(spec: &ModelSpec, rng: &mut SeededRng) -> Result<SqueezeNet, WaError> {
+        spec.validate()?;
+        let quant = spec.quant;
+        let w = |c: usize| scale_width(c, spec.width);
         let stem_ch = w(64);
-        let stem = Conv2d::new("stem", 3, stem_ch, 3, 1, 1, false, quant, rng);
-        let stem_bn = BatchNorm2d::new("stem_bn", stem_ch);
+        let stem = stem_conv3x3("stem", 3, stem_ch, quant, rng)?;
+        let stem_bn = bn("stem_bn", stem_ch)?;
         // (squeeze, expand) per fire module, SqueezeNet v1.1 ratios
         let cfg = [
             (16, 64),
@@ -119,37 +137,85 @@ impl SqueezeNet {
         let mut fires = Vec::with_capacity(8);
         let mut in_ch = stem_ch;
         for (i, &(s, e)) in cfg.iter().enumerate() {
-            let fire = Fire::new(&format!("fire{}", i + 2), in_ch, w(s), w(e), quant, rng);
+            let fire = Fire::new(&format!("fire{}", i + 2), in_ch, w(s), w(e), quant, rng)?;
             in_ch = fire.out_channels();
             fires.push(fire);
         }
-        let classifier =
-            Conv2d::new("classifier", in_ch, classes, 1, 1, 0, true, quant, rng);
-        SqueezeNet { stem, stem_bn, fires, classifier, pools_after: vec![1, 3] }
+        let classifier = conv1x1("classifier", in_ch, spec.classes, true, quant, rng)?;
+        let mut net = SqueezeNet {
+            stem,
+            stem_bn,
+            fires,
+            classifier,
+            pools_after: vec![1, 3],
+        };
+        net.try_set_algo(spec.algo)?;
+        spec.check_override_bounds(net.conv_count())?;
+        for &(idx, algo) in &spec.overrides {
+            net.conv_layers_mut()[idx].try_convert(algo)?;
+        }
+        Ok(net)
     }
 
     /// Converts every expand-3×3 to the given algorithm.
+    ///
+    /// # Errors
+    ///
+    /// [`WaError::UnsupportedAlgo`] if `algo` is unusable.
+    pub fn try_set_algo(&mut self, algo: ConvAlgo) -> Result<(), WaError> {
+        convert_convs(self, algo, 0)
+    }
+
+    /// Panicking wrapper around [`SqueezeNet::try_set_algo`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `algo` is unusable.
     pub fn set_algo(&mut self, algo: ConvAlgo) {
-        for fire in &mut self.fires {
-            fire.expand3.convert(algo);
-        }
+        self.try_set_algo(algo)
+            .unwrap_or_else(|e| panic!("set_algo({algo}): {e}"));
     }
 }
 
 impl Layer for SqueezeNet {
-    fn forward(&mut self, tape: &mut Tape, x: Var, train: bool) -> Var {
-        let mut h = self.stem.forward(tape, x, train);
-        h = self.stem_bn.forward(tape, h, train);
-        h = tape.relu(h);
-        h = tape.max_pool2d(h);
-        for (i, fire) in self.fires.iter_mut().enumerate() {
-            h = fire.forward(tape, h, train);
-            if self.pools_after.contains(&i) && tape.value(h).dim(2) >= 4 {
-                h = tape.max_pool2d(h);
+    fn try_forward(&mut self, tape: &mut Tape, x: Var, train: bool) -> Result<Var, WaError> {
+        let shape = tape.value(x).shape().to_vec();
+        if shape.len() != 4 || shape[1] != 3 {
+            return Err(WaError::shape("SqueezeNet input", &[0, 3, 0, 0], &shape));
+        }
+        // replay the pooling plan of `forward`: the stem pool always
+        // applies, the fire-stage pools only while the height is >= 4 —
+        // every applied pool needs even dims
+        let (mut h, mut w) = (shape[2], shape[3]);
+        let mut pool_ok = h > 0 && h.is_multiple_of(2) && w.is_multiple_of(2);
+        if pool_ok {
+            h /= 2;
+            w /= 2;
+            for _ in 0..self.pools_after.len() {
+                if h >= 4 {
+                    if !h.is_multiple_of(2) || !w.is_multiple_of(2) {
+                        pool_ok = false;
+                        break;
+                    }
+                    h /= 2;
+                    w /= 2;
+                }
             }
         }
-        let logits_map = self.classifier.forward(tape, h, train);
-        tape.global_avg_pool(logits_map)
+        if !pool_ok {
+            return Err(WaError::shape(
+                "SqueezeNet input (spatial dims must stay even through every \
+                 applied max-pool stage)",
+                &[0, 3, 0, 0],
+                &shape,
+            ));
+        }
+        Ok(self.forward(tape, x, train))
+    }
+
+    fn forward(&mut self, tape: &mut Tape, x: Var, train: bool) -> Var {
+        let h = self.stem.forward(tape, x, train);
+        self.rest(tape, h, train)
     }
 
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
@@ -171,6 +237,23 @@ impl Layer for SqueezeNet {
     }
 }
 
+impl SqueezeNet {
+    /// Shared tail of `forward`/`try_forward` after the stem.
+    fn rest(&mut self, tape: &mut Tape, stem_out: Var, train: bool) -> Var {
+        let mut h = self.stem_bn.forward(tape, stem_out, train);
+        h = tape.relu(h);
+        h = tape.max_pool2d(h);
+        for (i, fire) in self.fires.iter_mut().enumerate() {
+            h = fire.forward(tape, h, train);
+            if self.pools_after.contains(&i) && tape.value(h).dim(2) >= 4 {
+                h = tape.max_pool2d(h);
+            }
+        }
+        let logits_map = self.classifier.forward(tape, h, train);
+        tape.global_avg_pool(logits_map)
+    }
+}
+
 impl ConvNet for SqueezeNet {
     fn conv_layers_mut(&mut self) -> Vec<&mut ConvLayer> {
         self.fires.iter_mut().map(|f| &mut f.expand3).collect()
@@ -186,22 +269,30 @@ mod tests {
     use super::*;
     use crate::common::current_algos;
 
+    fn spec(classes: usize, width: f64) -> ModelSpec {
+        ModelSpec::builder()
+            .classes(classes)
+            .width(width)
+            .build()
+            .unwrap()
+    }
+
     #[test]
     fn forward_shape() {
         let mut rng = SeededRng::new(0);
-        let mut net = SqueezeNet::new(10, 0.25, QuantConfig::FP32, &mut rng);
+        let mut net = SqueezeNet::from_spec(&spec(10, 0.25), &mut rng).unwrap();
         let mut tape = Tape::new();
         let x = tape.leaf(rng.uniform_tensor(&[2, 3, 16, 16], -1.0, 1.0));
-        let y = net.forward(&mut tape, x, true);
+        let y = net.try_forward(&mut tape, x, true).unwrap();
         assert_eq!(tape.value(y).shape(), &[2, 10]);
     }
 
     #[test]
     fn eight_swappable_convs_and_swap() {
         let mut rng = SeededRng::new(1);
-        let mut net = SqueezeNet::new(10, 0.25, QuantConfig::FP32, &mut rng);
+        let mut net = SqueezeNet::from_spec(&spec(10, 0.25), &mut rng).unwrap();
         assert_eq!(net.conv_count(), 8);
-        net.set_algo(ConvAlgo::WinogradFlex { m: 4 });
+        net.try_set_algo(ConvAlgo::WinogradFlex { m: 4 }).unwrap();
         assert!(current_algos(&mut net)
             .iter()
             .all(|a| *a == ConvAlgo::WinogradFlex { m: 4 }));
@@ -210,7 +301,7 @@ mod tests {
     #[test]
     fn fp32_swap_preserves_output() {
         let mut rng = SeededRng::new(2);
-        let mut net = SqueezeNet::new(5, 0.25, QuantConfig::FP32, &mut rng);
+        let mut net = SqueezeNet::from_spec(&spec(5, 0.25), &mut rng).unwrap();
         let x = rng.uniform_tensor(&[1, 3, 16, 16], -1.0, 1.0);
         let before = {
             let mut tape = Tape::new();
@@ -218,7 +309,7 @@ mod tests {
             let y = net.forward(&mut tape, xv, false);
             tape.value(y).clone()
         };
-        net.set_algo(ConvAlgo::Winograd { m: 2 });
+        net.try_set_algo(ConvAlgo::Winograd { m: 2 }).unwrap();
         let after = {
             let mut tape = Tape::new();
             let xv = tape.leaf(x);

@@ -22,8 +22,9 @@
 //! let mut rng = SeededRng::new(0);
 //! let arch = MacroArch::tiny(10, 8, 8);
 //! let space = SearchSpace::wa(BitWidth::INT8);
-//! let nas = WiNas::new(&arch, space, WiNasConfig::default(), &mut rng);
+//! let nas = WiNas::new(&arch, space, WiNasConfig::default(), &mut rng)?;
 //! assert!(nas.expected_latency_ms() > 0.0);
+//! # Ok::<(), wa_nn::WaError>(())
 //! ```
 
 mod search;

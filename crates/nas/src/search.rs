@@ -12,17 +12,16 @@
 //!    update: sampled-path reward `CE_val + λ₂·latency(path)` whose
 //!    expectation equals Eq. 3's objective, with an EMA baseline.
 
-use serde::{Deserialize, Serialize};
 use wa_core::train_step;
 use wa_latency::{conv_latency_ms, Core};
-use wa_nn::{accuracy, Layer, RunningMean, Sgd, Tape};
+use wa_nn::{accuracy, Layer, RunningMean, Sgd, Tape, WaError};
 use wa_tensor::{SeededRng, Tensor};
 
 use crate::space::{Candidate, SearchSpace};
 use crate::supernet::{MacroArch, SuperNet};
 
 /// wiNAS hyper-parameters.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct WiNasConfig {
     /// Search epochs (paper: 100).
     pub epochs: usize,
@@ -61,7 +60,7 @@ impl Default for WiNasConfig {
 }
 
 /// Per-epoch search telemetry.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct SearchEpoch {
     /// Epoch index.
     pub epoch: usize,
@@ -95,8 +94,18 @@ impl WiNas {
     /// Builds the searcher: instantiates the supernet and pre-computes the
     /// per-slot × per-candidate latency table from the analytical model
     /// (the paper's measured-lookup equivalent).
-    pub fn new(arch: &MacroArch, space: SearchSpace, cfg: WiNasConfig, rng: &mut SeededRng) -> WiNas {
-        let supernet = SuperNet::new(arch, &space, rng);
+    ///
+    /// # Errors
+    ///
+    /// [`WaError::InvalidSpec`] / [`WaError::UnsupportedAlgo`] if the
+    /// macro-architecture or search space is invalid.
+    pub fn new(
+        arch: &MacroArch,
+        space: SearchSpace,
+        cfg: WiNasConfig,
+        rng: &mut SeededRng,
+    ) -> Result<WiNas, WaError> {
+        let supernet = SuperNet::new(arch, &space, rng)?;
         let slots = arch.slot_count();
         let shapes = arch.slot_shapes();
         let lat_table = shapes
@@ -109,7 +118,7 @@ impl WiNas {
                     .collect()
             })
             .collect();
-        WiNas {
+        Ok(WiNas {
             supernet,
             logits: vec![vec![0.0; space.len()]; slots],
             adam_v: vec![vec![0.0; space.len()]; slots],
@@ -120,7 +129,7 @@ impl WiNas {
             baseline: 0.0,
             baseline_init: false,
             rng: rng.fork(0x77a5),
-        }
+        })
     }
 
     /// Softmax over a slot's logits.
@@ -163,7 +172,11 @@ impl WiNas {
 
     /// Latency of one concrete path.
     pub fn path_latency_ms(&self, selection: &[usize]) -> f64 {
-        selection.iter().enumerate().map(|(s, &c)| self.lat_table[s][c]).sum()
+        selection
+            .iter()
+            .enumerate()
+            .map(|(s, &c)| self.lat_table[s][c])
+            .sum()
     }
 
     /// Argmax architecture (the extracted result).
@@ -205,7 +218,12 @@ impl WiNas {
         train_batches: &[(Tensor, Vec<usize>)],
         val_batches: &[(Tensor, Vec<usize>)],
     ) -> Vec<SearchEpoch> {
-        let mut opt = Sgd::new(self.cfg.weight_lr, self.cfg.weight_momentum, true, self.cfg.lambda0);
+        let mut opt = Sgd::new(
+            self.cfg.weight_lr,
+            self.cfg.weight_momentum,
+            true,
+            self.cfg.lambda0,
+        );
         let mut log = Vec::with_capacity(self.cfg.epochs);
         for epoch in 0..self.cfg.epochs {
             // ---- weight stage: path-sampled supernet training
@@ -227,7 +245,10 @@ impl WiNas {
                     let x = tape.leaf(images.clone());
                     let logits = self.supernet.forward(&mut tape, x, false);
                     let loss = tape.cross_entropy(logits, labels);
-                    (tape.value(loss).data()[0] as f64, accuracy(tape.value(logits), labels))
+                    (
+                        tape.value(loss).data()[0] as f64,
+                        accuracy(tape.value(logits), labels),
+                    )
                 };
                 val_acc.add(acc, labels.len() as f64);
                 let reward = ce + self.cfg.lambda2 as f64 * self.path_latency_ms(&sel);
@@ -302,7 +323,12 @@ mod tests {
     use super::*;
     use wa_quant::BitWidth;
 
-    fn toy_batches(rng: &mut SeededRng, n: usize, bs: usize, size: usize) -> Vec<(Tensor, Vec<usize>)> {
+    fn toy_batches(
+        rng: &mut SeededRng,
+        n: usize,
+        bs: usize,
+        size: usize,
+    ) -> Vec<(Tensor, Vec<usize>)> {
         let ds = wa_data::cifar10_like(2.max(n * bs / 10), size, 3);
         ds.shuffled_batches(bs, rng).into_iter().take(n).collect()
     }
@@ -312,7 +338,7 @@ mod tests {
         let mut rng = SeededRng::new(0);
         let arch = MacroArch::tiny(4, 8, 8);
         let space = SearchSpace::small(BitWidth::FP32);
-        let nas = WiNas::new(&arch, space, WiNasConfig::default(), &mut rng);
+        let nas = WiNas::new(&arch, space, WiNasConfig::default(), &mut rng).unwrap();
         // expected latency with uniform logits = mean of candidate latencies
         let el = nas.expected_latency_ms();
         assert!(el > 0.0);
@@ -336,11 +362,15 @@ mod tests {
         let mut rng = SeededRng::new(1);
         let arch = MacroArch::tiny(4, 8, 8);
         let space = SearchSpace::small(BitWidth::FP32);
-        let mut nas = WiNas::new(&arch, space, WiNasConfig::default(), &mut rng);
+        let mut nas = WiNas::new(&arch, space, WiNasConfig::default(), &mut rng).unwrap();
         // bias slot 0 hard toward candidate 2
         nas.logits[0] = vec![-10.0, -10.0, 10.0];
         let counts = (0..50).map(|_| nas.sample()[0]).filter(|&c| c == 2).count();
-        assert!(counts >= 48, "sampling should respect logits, got {}/50", counts);
+        assert!(
+            counts >= 48,
+            "sampling should respect logits, got {}/50",
+            counts
+        );
     }
 
     #[test]
@@ -357,7 +387,7 @@ mod tests {
             lambda1: 0.0,
             ..WiNasConfig::default()
         };
-        let mut nas = WiNas::new(&arch, space, cfg, &mut rng);
+        let mut nas = WiNas::new(&arch, space, cfg, &mut rng).unwrap();
         let train = toy_batches(&mut rng, 2, 8, 16);
         let val = toy_batches(&mut rng, 4, 8, 16);
         let log = nas.search(&train, &val);
@@ -365,7 +395,9 @@ mod tests {
         assert!(
             log.last().unwrap().expected_latency_ms < log[0].expected_latency_ms,
             "latency should fall: {:?}",
-            log.iter().map(|e| e.expected_latency_ms).collect::<Vec<_>>()
+            log.iter()
+                .map(|e| e.expected_latency_ms)
+                .collect::<Vec<_>>()
         );
         // extraction matches the latency argmin in every slot
         let extracted = nas.extract();
@@ -377,7 +409,8 @@ mod tests {
                 .unwrap()
                 .0;
             assert_eq!(
-                *cand, nas.space().candidates[lat_best],
+                *cand,
+                nas.space().candidates[lat_best],
                 "slot {} should pick the fastest candidate",
                 s
             );
@@ -389,7 +422,7 @@ mod tests {
         let mut rng = SeededRng::new(3);
         let arch = MacroArch::tiny(4, 8, 8);
         let space = SearchSpace::small(BitWidth::FP32);
-        let mut nas = WiNas::new(&arch, space, WiNasConfig::default(), &mut rng);
+        let mut nas = WiNas::new(&arch, space, WiNasConfig::default(), &mut rng).unwrap();
         nas.logits[0] = vec![0.0, 5.0, 0.0];
         nas.logits[1] = vec![0.0, 0.0, 5.0];
         nas.finalize();
@@ -403,7 +436,7 @@ mod tests {
         let mut rng = SeededRng::new(4);
         let arch = MacroArch::tiny(4, 8, 8);
         let space = SearchSpace::small(BitWidth::FP32);
-        let mut nas = WiNas::new(&arch, space, WiNasConfig::default(), &mut rng);
+        let mut nas = WiNas::new(&arch, space, WiNasConfig::default(), &mut rng).unwrap();
         let e0 = nas.mean_entropy();
         nas.logits[0] = vec![0.0, 8.0, 0.0];
         assert!(nas.mean_entropy() < e0);

@@ -1,13 +1,12 @@
 //! wiNAS search spaces (paper §4/§5.2, Figure 3).
 
-use serde::{Deserialize, Serialize};
-use wa_core::ConvAlgo;
+use wa_core::{ConvAlgo, ConvSpec};
 use wa_latency::{DType, LatAlgo};
-use wa_nn::QuantConfig;
+use wa_nn::{QuantConfig, WaError};
 use wa_quant::BitWidth;
 
 /// One candidate operation for a conv slot: an algorithm at a precision.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct Candidate {
     /// Convolution algorithm (Winograd candidates are `-flex`, matching
     /// the paper's Winograd-aware layers with learned transforms).
@@ -17,6 +16,25 @@ pub struct Candidate {
 }
 
 impl Candidate {
+    /// Emits this candidate as a validated [`ConvSpec`] for a concrete
+    /// 3×3 stride-1 slot — the construction path the supernet uses, and
+    /// the mutation wiNAS applies when it re-implements a slot.
+    ///
+    /// # Errors
+    ///
+    /// [`WaError::UnsupportedAlgo`] / [`WaError::InvalidSpec`] if the
+    /// candidate cannot implement the slot.
+    pub fn conv_spec(&self, name: &str, in_ch: usize, out_ch: usize) -> Result<ConvSpec, WaError> {
+        ConvSpec::builder()
+            .name(name)
+            .in_channels(in_ch)
+            .out_channels(out_ch)
+            .kernel(3)
+            .algo(self.algo)
+            .quant(self.quant)
+            .build()
+    }
+
     /// The latency-model algorithm for this candidate. Learned (`-flex`)
     /// transforms are dense, so they map to the Appendix A.2 penalized
     /// variant.
@@ -45,7 +63,7 @@ impl std::fmt::Display for Candidate {
 }
 
 /// A wiNAS search space: which candidates each 3×3 conv may choose from.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct SearchSpace {
     /// Candidate set shared by every searchable layer.
     pub candidates: Vec<Candidate>,
@@ -59,10 +77,22 @@ impl SearchSpace {
         let quant = QuantConfig::uniform(bits);
         SearchSpace {
             candidates: vec![
-                Candidate { algo: ConvAlgo::Im2row, quant },
-                Candidate { algo: ConvAlgo::WinogradFlex { m: 2 }, quant },
-                Candidate { algo: ConvAlgo::WinogradFlex { m: 4 }, quant },
-                Candidate { algo: ConvAlgo::WinogradFlex { m: 6 }, quant },
+                Candidate {
+                    algo: ConvAlgo::Im2row,
+                    quant,
+                },
+                Candidate {
+                    algo: ConvAlgo::WinogradFlex { m: 2 },
+                    quant,
+                },
+                Candidate {
+                    algo: ConvAlgo::WinogradFlex { m: 4 },
+                    quant,
+                },
+                Candidate {
+                    algo: ConvAlgo::WinogradFlex { m: 6 },
+                    quant,
+                },
             ],
             name: format!("wiNAS-WA ({bits})"),
         }
@@ -82,10 +112,16 @@ impl SearchSpace {
         let mut candidates = Vec::with_capacity(algos.len() * precisions.len());
         for &algo in &algos {
             for &bits in &precisions {
-                candidates.push(Candidate { algo, quant: QuantConfig::uniform(bits) });
+                candidates.push(Candidate {
+                    algo,
+                    quant: QuantConfig::uniform(bits),
+                });
             }
         }
-        SearchSpace { candidates, name: "wiNAS-WA-Q".to_string() }
+        SearchSpace {
+            candidates,
+            name: "wiNAS-WA-Q".to_string(),
+        }
     }
 
     /// A reduced space for unit tests and small demos.
@@ -93,12 +129,42 @@ impl SearchSpace {
         let quant = QuantConfig::uniform(bits);
         SearchSpace {
             candidates: vec![
-                Candidate { algo: ConvAlgo::Im2row, quant },
-                Candidate { algo: ConvAlgo::WinogradFlex { m: 2 }, quant },
-                Candidate { algo: ConvAlgo::WinogradFlex { m: 4 }, quant },
+                Candidate {
+                    algo: ConvAlgo::Im2row,
+                    quant,
+                },
+                Candidate {
+                    algo: ConvAlgo::WinogradFlex { m: 2 },
+                    quant,
+                },
+                Candidate {
+                    algo: ConvAlgo::WinogradFlex { m: 4 },
+                    quant,
+                },
             ],
             name: format!("wiNAS-small ({bits})"),
         }
+    }
+
+    /// Validates the whole space: non-empty, every candidate algorithm
+    /// usable on a 3×3 stride-1 slot.
+    ///
+    /// # Errors
+    ///
+    /// [`WaError::InvalidSpec`] for an empty space,
+    /// [`WaError::UnsupportedAlgo`] for an unusable candidate.
+    pub fn validate(&self) -> Result<(), WaError> {
+        if self.candidates.is_empty() {
+            return Err(WaError::invalid(
+                "SearchSpace",
+                "candidates",
+                "search space must have at least one candidate",
+            ));
+        }
+        for c in &self.candidates {
+            wa_core::validate_algo_geometry(c.algo, 3, 1)?;
+        }
+        Ok(())
     }
 
     /// Number of candidates per layer.
@@ -120,14 +186,21 @@ mod tests {
     fn wa_space_has_four_algorithms() {
         let s = SearchSpace::wa(BitWidth::INT8);
         assert_eq!(s.len(), 4);
-        assert!(s.candidates.iter().all(|c| c.quant.activations == BitWidth::INT8));
+        assert!(s
+            .candidates
+            .iter()
+            .all(|c| c.quant.activations == BitWidth::INT8));
     }
 
     #[test]
     fn wa_q_space_is_cross_product() {
         let s = SearchSpace::wa_q();
         assert_eq!(s.len(), 12);
-        let fp32 = s.candidates.iter().filter(|c| c.quant.activations == BitWidth::FP32).count();
+        let fp32 = s
+            .candidates
+            .iter()
+            .filter(|c| c.quant.activations == BitWidth::FP32)
+            .count();
         assert_eq!(fp32, 4);
     }
 
@@ -144,6 +217,36 @@ mod tests {
             quant: QuantConfig::uniform(BitWidth::INT16),
         };
         assert_eq!(c16.lat_dtype(), DType::Int16);
+    }
+
+    #[test]
+    fn candidates_emit_valid_conv_specs() {
+        let s = SearchSpace::wa(BitWidth::INT8);
+        s.validate().unwrap();
+        for (i, c) in s.candidates.iter().enumerate() {
+            let spec = c.conv_spec(&format!("slot{i}"), 8, 16).unwrap();
+            assert_eq!(spec.algo, c.algo);
+            assert_eq!(spec.quant, c.quant);
+            assert_eq!(
+                (spec.in_channels, spec.out_channels, spec.kernel),
+                (8, 16, 3)
+            );
+        }
+    }
+
+    #[test]
+    fn invalid_candidate_fails_validation() {
+        let mut s = SearchSpace::wa(BitWidth::INT8);
+        s.candidates.push(Candidate {
+            algo: ConvAlgo::Winograd { m: 5 },
+            quant: QuantConfig::uniform(BitWidth::INT8),
+        });
+        assert!(matches!(s.validate(), Err(WaError::UnsupportedAlgo { .. })));
+        let empty = SearchSpace {
+            candidates: vec![],
+            name: "empty".into(),
+        };
+        assert!(matches!(empty.validate(), Err(WaError::InvalidSpec { .. })));
     }
 
     #[test]

@@ -6,10 +6,12 @@
 //! so only sampled paths are evaluated and updated — "enabling the
 //! allocation of the entire network on a single GPU" (paper §4.1).
 
-use serde::{Deserialize, Serialize};
 use wa_core::{ConvAlgo, ConvLayer};
 use wa_latency::LayerShape;
-use wa_nn::{BatchNorm2d, Conv2d, Layer, Linear, Param, QuantConfig, Tape, Var};
+use wa_nn::{
+    BatchNorm2d, BatchNormSpec, Conv2d, Conv2dSpec, Layer, Linear, LinearSpec, Param, QuantConfig,
+    Tape, Var, WaError,
+};
 use wa_tensor::SeededRng;
 
 use crate::space::SearchSpace;
@@ -17,7 +19,7 @@ use crate::space::SearchSpace;
 /// Macro-architecture description: wiNAS keeps this fixed and only picks
 /// per-layer convolution algorithms/precisions (paper §4: "without
 /// modifying the network's macro-architecture").
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct MacroArch {
     /// Output classes.
     pub classes: usize,
@@ -51,7 +53,46 @@ impl MacroArch {
 
     /// A miniature macro-architecture for tests and demos.
     pub fn tiny(classes: usize, channels: usize, input_size: usize) -> MacroArch {
-        MacroArch { classes, stem_ch: channels, stages: vec![(channels, 1, false)], input_size }
+        MacroArch {
+            classes,
+            stem_ch: channels,
+            stages: vec![(channels, 1, false)],
+            input_size,
+        }
+    }
+
+    /// Validates the macro-architecture.
+    ///
+    /// # Errors
+    ///
+    /// [`WaError::InvalidSpec`] for zero classes/channels/input size or
+    /// an empty stage list.
+    pub fn validate(&self) -> Result<(), WaError> {
+        if self.classes == 0 {
+            return Err(WaError::invalid(
+                "MacroArch",
+                "classes",
+                "need at least one class",
+            ));
+        }
+        if self.stem_ch == 0 {
+            return Err(WaError::invalid("MacroArch", "stem_ch", "must be nonzero"));
+        }
+        if self.input_size == 0 {
+            return Err(WaError::invalid(
+                "MacroArch",
+                "input_size",
+                "must be nonzero",
+            ));
+        }
+        if self.stages.is_empty() || self.stages.iter().any(|&(c, b, _)| c == 0 || b == 0) {
+            return Err(WaError::invalid(
+                "MacroArch",
+                "stages",
+                "stages must be non-empty with nonzero channels and block counts",
+            ));
+        }
+        Ok(())
     }
 
     /// Number of searchable conv slots (two per block).
@@ -91,26 +132,20 @@ impl Bank {
         out_ch: usize,
         space: &SearchSpace,
         rng: &mut SeededRng,
-    ) -> Bank {
+    ) -> Result<Bank, WaError> {
         let candidates = space
             .candidates
             .iter()
             .enumerate()
             .map(|(i, cand)| {
-                ConvLayer::new(
-                    &format!("{name}.cand{i}"),
-                    in_ch,
-                    out_ch,
-                    3,
-                    1,
-                    1,
-                    cand.algo,
-                    cand.quant,
-                    rng,
-                )
+                let spec = cand.conv_spec(&format!("{name}.cand{i}"), in_ch, out_ch)?;
+                ConvLayer::from_spec(&spec, rng)
             })
-            .collect();
-        Bank { candidates, active: 0 }
+            .collect::<Result<Vec<_>, WaError>>()?;
+        Ok(Bank {
+            candidates,
+            active: 0,
+        })
     }
 
     /// Currently active candidate index.
@@ -124,7 +159,12 @@ impl Bank {
     ///
     /// Panics if out of range.
     pub fn set_active(&mut self, i: usize) {
-        assert!(i < self.candidates.len(), "candidate {} out of {}", i, self.candidates.len());
+        assert!(
+            i < self.candidates.len(),
+            "candidate {} out of {}",
+            i,
+            self.candidates.len()
+        );
         self.active = i;
     }
 
@@ -166,36 +206,74 @@ pub struct SuperNet {
 impl SuperNet {
     /// Instantiates the supernet for a macro-architecture and search
     /// space. All candidates start with independent Kaiming weights.
-    pub fn new(arch: &MacroArch, space: &SearchSpace, rng: &mut SeededRng) -> SuperNet {
+    ///
+    /// # Errors
+    ///
+    /// [`WaError::InvalidSpec`] / [`WaError::UnsupportedAlgo`] if the
+    /// macro-architecture or any search-space candidate is invalid.
+    pub fn new(
+        arch: &MacroArch,
+        space: &SearchSpace,
+        rng: &mut SeededRng,
+    ) -> Result<SuperNet, WaError> {
+        arch.validate()?;
+        space.validate()?;
         // fixed parts use the first candidate's precision (paper keeps
         // non-searched layers at the network-wide precision)
         let fixed_quant: QuantConfig = space.candidates[0].quant;
-        let stem = Conv2d::new("stem", 3, arch.stem_ch, 3, 1, 1, false, fixed_quant, rng);
-        let stem_bn = BatchNorm2d::new("stem_bn", arch.stem_ch);
+        let conv = |name: &str, in_ch: usize, out_ch: usize, k: usize, rng: &mut SeededRng| {
+            let spec = Conv2dSpec::builder(name)
+                .in_channels(in_ch)
+                .out_channels(out_ch)
+                .kernel(k)
+                .quant(fixed_quant)
+                .build()?;
+            Conv2d::from_spec(&spec, rng)
+        };
+        let bn = |name: &str, ch: usize| {
+            BatchNorm2d::from_spec(&BatchNormSpec::builder(name).channels(ch).build()?)
+        };
+        let stem = conv("stem", 3, arch.stem_ch, 3, rng)?;
+        let stem_bn = bn("stem_bn", arch.stem_ch)?;
         let mut blocks = Vec::new();
         let mut in_ch = arch.stem_ch;
         for (si, &(out_ch, nblocks, downsample)) in arch.stages.iter().enumerate() {
             for b in 0..nblocks {
                 let name = format!("s{si}b{b}");
-                let shortcut = (in_ch != out_ch).then(|| {
-                    (
-                        Conv2d::new(&format!("{name}.proj"), in_ch, out_ch, 1, 1, 0, false, fixed_quant, rng),
-                        BatchNorm2d::new(&format!("{name}.proj_bn"), out_ch),
-                    )
-                });
+                let shortcut = if in_ch != out_ch {
+                    Some((
+                        conv(&format!("{name}.proj"), in_ch, out_ch, 1, rng)?,
+                        bn(&format!("{name}.proj_bn"), out_ch)?,
+                    ))
+                } else {
+                    None
+                };
                 blocks.push(SuperBlock {
-                    bank1: Bank::new(&format!("{name}.c1"), in_ch, out_ch, space, rng),
-                    bn1: BatchNorm2d::new(&format!("{name}.bn1"), out_ch),
-                    bank2: Bank::new(&format!("{name}.c2"), out_ch, out_ch, space, rng),
-                    bn2: BatchNorm2d::new(&format!("{name}.bn2"), out_ch),
+                    bank1: Bank::new(&format!("{name}.c1"), in_ch, out_ch, space, rng)?,
+                    bn1: bn(&format!("{name}.bn1"), out_ch)?,
+                    bank2: Bank::new(&format!("{name}.c2"), out_ch, out_ch, space, rng)?,
+                    bn2: bn(&format!("{name}.bn2"), out_ch)?,
                     shortcut,
                     downsample: downsample && b == 0,
                 });
                 in_ch = out_ch;
             }
         }
-        let head = Linear::new("fc", in_ch, arch.classes, fixed_quant, rng);
-        SuperNet { stem, stem_bn, blocks, head, arch: arch.clone() }
+        let head = Linear::from_spec(
+            &LinearSpec::builder("fc")
+                .in_features(in_ch)
+                .out_features(arch.classes)
+                .quant(fixed_quant)
+                .build()?,
+            rng,
+        )?;
+        Ok(SuperNet {
+            stem,
+            stem_bn,
+            blocks,
+            head,
+            arch: arch.clone(),
+        })
     }
 
     /// The macro-architecture this supernet was built for.
@@ -300,7 +378,7 @@ mod tests {
         let mut rng = SeededRng::new(0);
         let arch = MacroArch::tiny(4, 8, 8);
         let space = SearchSpace::small(BitWidth::FP32);
-        let mut net = SuperNet::new(&arch, &space, &mut rng);
+        let mut net = SuperNet::new(&arch, &space, &mut rng).unwrap();
         assert_eq!(net.banks_mut().len(), 2);
 
         net.set_selection(&[0, 2]);
@@ -317,7 +395,7 @@ mod tests {
         let mut rng = SeededRng::new(1);
         let arch = MacroArch::tiny(3, 8, 8);
         let space = SearchSpace::small(BitWidth::FP32);
-        let mut net = SuperNet::new(&arch, &space, &mut rng);
+        let mut net = SuperNet::new(&arch, &space, &mut rng).unwrap();
         let x = rng.uniform_tensor(&[1, 3, 8, 8], -1.0, 1.0);
         let run = |net: &mut SuperNet, sel: &[usize], x: &wa_tensor::Tensor| {
             net.set_selection(sel);
@@ -337,7 +415,7 @@ mod tests {
         let mut rng = SeededRng::new(2);
         let arch = MacroArch::tiny(2, 4, 8);
         let space = SearchSpace::small(BitWidth::FP32);
-        let mut net = SuperNet::new(&arch, &space, &mut rng);
+        let mut net = SuperNet::new(&arch, &space, &mut rng).unwrap();
         net.set_selection(&[0]);
     }
 }

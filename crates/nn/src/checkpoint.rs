@@ -7,16 +7,52 @@
 
 use std::collections::BTreeMap;
 
-use serde::{Deserialize, Serialize};
-use wa_tensor::Tensor;
+use wa_tensor::{Json, JsonError, Tensor};
 
 use crate::layers::Layer;
 
 /// A serialized set of parameters, keyed by parameter name.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct Checkpoint {
     /// Parameter values in model-visit order, keyed by name.
     pub params: BTreeMap<String, Tensor>,
+}
+
+impl Checkpoint {
+    /// Serializes as a JSON document (`{"params": {name: tensor, …}}`).
+    pub fn to_json(&self) -> Json {
+        Json::obj([(
+            "params",
+            Json::Obj(
+                self.params
+                    .iter()
+                    .map(|(k, v)| (k.clone(), v.to_json()))
+                    .collect(),
+            ),
+        )])
+    }
+
+    /// Reads a checkpoint back from its [`Checkpoint::to_json`] encoding.
+    ///
+    /// # Errors
+    ///
+    /// [`JsonError`] if the text is not valid JSON or lacks the expected
+    /// structure.
+    pub fn from_json_str(text: &str) -> Result<Checkpoint, JsonError> {
+        let doc = Json::parse(text)?;
+        let params = doc
+            .get("params")
+            .and_then(|p| p.as_obj())
+            .ok_or_else(|| JsonError {
+                offset: 0,
+                message: "checkpoint JSON needs a `params` object".to_string(),
+            })?;
+        let mut out = BTreeMap::new();
+        for (name, tensor) in params {
+            out.insert(name.clone(), Tensor::from_json(tensor)?);
+        }
+        Ok(Checkpoint { params: out })
+    }
 }
 
 /// Errors raised when applying a checkpoint.
@@ -42,7 +78,11 @@ impl std::fmt::Display for CheckpointError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             CheckpointError::Missing(n) => write!(f, "checkpoint is missing parameter `{}`", n),
-            CheckpointError::ShapeMismatch { name, expected, found } => write!(
+            CheckpointError::ShapeMismatch {
+                name,
+                expected,
+                found,
+            } => write!(
                 f,
                 "shape mismatch for `{}`: model {:?} vs checkpoint {:?}",
                 name, expected, found
@@ -120,15 +160,25 @@ pub fn import_params(model: &mut dyn Layer, ckpt: &Checkpoint) -> Result<usize, 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::layers::{Linear, QuantConfig};
+    use crate::layers::Linear;
+    use crate::spec::LinearSpec;
     use wa_tensor::SeededRng;
+
+    fn linear(name: &str, inf: usize, outf: usize, rng: &mut SeededRng) -> Linear {
+        let spec = LinearSpec::builder(name)
+            .in_features(inf)
+            .out_features(outf)
+            .build()
+            .unwrap();
+        Linear::from_spec(&spec, rng).unwrap()
+    }
 
     #[test]
     fn roundtrip_restores_values() {
         let mut rng = SeededRng::new(0);
-        let mut a = Linear::new("l", 4, 3, QuantConfig::FP32, &mut rng);
+        let mut a = linear("l", 4, 3, &mut rng);
         let ckpt = export_params(&mut a).unwrap();
-        let mut b = Linear::new("l", 4, 3, QuantConfig::FP32, &mut rng);
+        let mut b = linear("l", 4, 3, &mut rng);
         assert_ne!(a.weight.value, b.weight.value);
         let n = import_params(&mut b, &ckpt).unwrap();
         assert_eq!(n, 2);
@@ -139,17 +189,17 @@ mod tests {
     #[test]
     fn json_serialization_roundtrip() {
         let mut rng = SeededRng::new(1);
-        let mut a = Linear::new("l", 2, 2, QuantConfig::FP32, &mut rng);
+        let mut a = linear("l", 2, 2, &mut rng);
         let ckpt = export_params(&mut a).unwrap();
-        let json = serde_json::to_string(&ckpt).unwrap();
-        let back: Checkpoint = serde_json::from_str(&json).unwrap();
+        let json = ckpt.to_json().to_string_pretty();
+        let back = Checkpoint::from_json_str(&json).unwrap();
         assert_eq!(ckpt.params, back.params);
     }
 
     #[test]
     fn missing_param_fails_atomically() {
         let mut rng = SeededRng::new(2);
-        let mut model = Linear::new("l", 2, 2, QuantConfig::FP32, &mut rng);
+        let mut model = linear("l", 2, 2, &mut rng);
         let before = model.weight.value.clone();
         let empty = Checkpoint::default();
         let err = import_params(&mut model, &empty).unwrap_err();
@@ -160,11 +210,14 @@ mod tests {
     #[test]
     fn shape_mismatch_detected() {
         let mut rng = SeededRng::new(3);
-        let mut a = Linear::new("l", 2, 2, QuantConfig::FP32, &mut rng);
+        let mut a = linear("l", 2, 2, &mut rng);
         let ckpt = export_params(&mut a).unwrap();
-        let mut b = Linear::new("l", 3, 2, QuantConfig::FP32, &mut rng);
+        let mut b = linear("l", 3, 2, &mut rng);
         let err = import_params(&mut b, &ckpt).unwrap_err();
-        assert!(matches!(err, CheckpointError::ShapeMismatch { .. }), "{err}");
+        assert!(
+            matches!(err, CheckpointError::ShapeMismatch { .. }),
+            "{err}"
+        );
     }
 
     #[test]

@@ -1,15 +1,16 @@
 //! Parameterized layers built on the tape.
 
-use serde::{Deserialize, Serialize};
 use wa_quant::{BitWidth, Observer};
 use wa_tensor::{SeededRng, Tensor};
 
+use crate::error::WaError;
 use crate::param::Param;
+use crate::spec::{BatchNormSpec, Conv2dSpec, LinearSpec};
 use crate::tape::{Tape, Var};
 
 /// Per-layer quantization configuration (per-layer symmetric uniform, as
 /// in Krishnamoorthi 2018 / paper §5.1). `FP32` disables quantization.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct QuantConfig {
     /// Precision of activations (and, in Winograd-aware layers, of every
     /// intermediate — paper Figure 2 default).
@@ -20,13 +21,18 @@ pub struct QuantConfig {
 
 impl QuantConfig {
     /// Full precision (no quantization).
-    pub const FP32: QuantConfig =
-        QuantConfig { activations: BitWidth::Fp32, weights: BitWidth::Fp32 };
+    pub const FP32: QuantConfig = QuantConfig {
+        activations: BitWidth::Fp32,
+        weights: BitWidth::Fp32,
+    };
 
     /// Uniform precision for weights and activations, as the paper's
     /// INT8/INT10/INT16 experiments use.
     pub fn uniform(bits: BitWidth) -> QuantConfig {
-        QuantConfig { activations: bits, weights: bits }
+        QuantConfig {
+            activations: bits,
+            weights: bits,
+        }
     }
 
     /// Whether any quantization is active.
@@ -71,6 +77,22 @@ pub trait Layer {
     /// Runs the layer, appending ops to `tape`. `train` selects batch-stat
     /// behaviour (batch norm) and observer updates (quantizers).
     fn forward(&mut self, tape: &mut Tape, x: Var, train: bool) -> Var;
+
+    /// Shape-checked forward: validates the input against the layer's
+    /// expectations and returns [`WaError::ShapeMismatch`] instead of
+    /// panicking — the path a serving system uses on untrusted requests.
+    ///
+    /// The default implementation performs no checks; leaf layers with
+    /// shape requirements override it. Composite layers inherit the
+    /// default and rely on their first leaf to reject bad input.
+    ///
+    /// # Errors
+    ///
+    /// [`WaError::ShapeMismatch`] when the input cannot be consumed by
+    /// this layer.
+    fn try_forward(&mut self, tape: &mut Tape, x: Var, train: bool) -> Result<Var, WaError> {
+        Ok(self.forward(tape, x, train))
+    }
 
     /// Visits every parameter (for optimizers, serialization, counting).
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param));
@@ -119,39 +141,38 @@ pub struct Conv2d {
 }
 
 impl Conv2d {
-    /// Creates a conv layer with Kaiming-normal weights.
+    /// Creates a conv layer from a validated spec, with Kaiming-normal
+    /// weights.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if any dimension is zero.
-    #[allow(clippy::too_many_arguments)]
-    pub fn new(
-        name: &str,
-        in_ch: usize,
-        out_ch: usize,
-        kernel: usize,
-        stride: usize,
-        pad: usize,
-        bias: bool,
-        quant: QuantConfig,
-        rng: &mut SeededRng,
-    ) -> Conv2d {
-        assert!(in_ch > 0 && out_ch > 0 && kernel > 0 && stride > 0, "conv dims must be positive");
+    /// [`WaError::InvalidSpec`] if the spec was mutated into an invalid
+    /// state after building.
+    pub fn from_spec(spec: &Conv2dSpec, rng: &mut SeededRng) -> Result<Conv2d, WaError> {
+        spec.validate()?;
+        let name = &spec.name;
         let weight = Param::new(
             format!("{name}.weight"),
-            rng.kaiming_tensor(&[out_ch, in_ch, kernel, kernel]),
+            rng.kaiming_tensor(&[
+                spec.out_channels,
+                spec.in_channels,
+                spec.kernel,
+                spec.kernel,
+            ]),
         );
-        let bias = bias.then(|| Param::new(format!("{name}.bias"), Tensor::zeros(&[out_ch])));
-        Conv2d {
+        let bias = spec
+            .bias
+            .then(|| Param::new(format!("{name}.bias"), Tensor::zeros(&[spec.out_channels])));
+        Ok(Conv2d {
             weight,
             bias,
-            stride,
-            pad,
-            quant,
+            stride: spec.stride,
+            pad: spec.pad,
+            quant: spec.quant,
             obs_in: Observer::default(),
             obs_w: Observer::default(),
             obs_out: Observer::default(),
-        }
+        })
     }
 
     /// Output channel count.
@@ -182,10 +203,34 @@ impl Conv2d {
 }
 
 impl Layer for Conv2d {
+    fn try_forward(&mut self, tape: &mut Tape, x: Var, train: bool) -> Result<Var, WaError> {
+        let (shape, k) = (tape.value(x).shape().to_vec(), self.kernel());
+        if shape.len() != 4 || shape[1] != self.in_channels() {
+            return Err(WaError::shape(
+                format!("Conv2d `{}` input", self.weight.name),
+                &[0, self.in_channels(), 0, 0],
+                &shape,
+            ));
+        }
+        if shape[2] + 2 * self.pad < k || shape[3] + 2 * self.pad < k {
+            return Err(WaError::shape(
+                format!("Conv2d `{}` spatial extent vs kernel", self.weight.name),
+                &[k, k],
+                &shape[2..],
+            ));
+        }
+        Ok(self.forward(tape, x, train))
+    }
+
     fn forward(&mut self, tape: &mut Tape, x: Var, train: bool) -> Var {
         let (n, _c, h, w) = {
             let v = tape.value(x);
-            assert_eq!(v.ndim(), 4, "Conv2d expects NCHW input, got {:?}", v.shape());
+            assert_eq!(
+                v.ndim(),
+                4,
+                "Conv2d expects NCHW input, got {:?}",
+                v.shape()
+            );
             (v.dim(0), v.dim(1), v.dim(2), v.dim(3))
         };
         let k = self.out_channels();
@@ -239,19 +284,52 @@ pub struct Linear {
 }
 
 impl Linear {
-    /// Creates a linear layer with Kaiming-normal weights and zero bias.
-    pub fn new(name: &str, in_dim: usize, out_dim: usize, quant: QuantConfig, rng: &mut SeededRng) -> Linear {
-        Linear {
-            weight: Param::new(format!("{name}.weight"), rng.kaiming_tensor(&[out_dim, in_dim])),
-            bias: Param::new(format!("{name}.bias"), Tensor::zeros(&[out_dim])),
-            quant,
+    /// Creates a linear layer from a validated spec, with Kaiming-normal
+    /// weights and zero bias.
+    ///
+    /// # Errors
+    ///
+    /// [`WaError::InvalidSpec`] if the spec was mutated into an invalid
+    /// state after building.
+    pub fn from_spec(spec: &LinearSpec, rng: &mut SeededRng) -> Result<Linear, WaError> {
+        spec.validate()?;
+        let name = &spec.name;
+        Ok(Linear {
+            weight: Param::new(
+                format!("{name}.weight"),
+                rng.kaiming_tensor(&[spec.out_features, spec.in_features]),
+            ),
+            bias: Param::new(format!("{name}.bias"), Tensor::zeros(&[spec.out_features])),
+            quant: spec.quant,
             obs_in: Observer::default(),
             obs_w: Observer::default(),
-        }
+        })
+    }
+
+    /// Input feature count.
+    pub fn in_features(&self) -> usize {
+        self.weight.value.dim(1)
+    }
+
+    /// Output feature count.
+    pub fn out_features(&self) -> usize {
+        self.weight.value.dim(0)
     }
 }
 
 impl Layer for Linear {
+    fn try_forward(&mut self, tape: &mut Tape, x: Var, train: bool) -> Result<Var, WaError> {
+        let shape = tape.value(x).shape().to_vec();
+        if shape.len() != 2 || shape[1] != self.in_features() {
+            return Err(WaError::shape(
+                format!("Linear `{}` input", self.weight.name),
+                &[0, self.in_features()],
+                &shape,
+            ));
+        }
+        Ok(self.forward(tape, x, train))
+    }
+
     fn forward(&mut self, tape: &mut Tape, x: Var, train: bool) -> Var {
         let xq = observe_quant(tape, x, self.quant.activations, &mut self.obs_in, train);
         let wv = tape.param(&mut self.weight);
@@ -287,16 +365,28 @@ pub struct BatchNorm2d {
 }
 
 impl BatchNorm2d {
-    /// Creates a batch-norm layer for `channels` channels.
-    pub fn new(name: &str, channels: usize) -> BatchNorm2d {
-        BatchNorm2d {
-            gamma: Param::new(format!("{name}.gamma"), Tensor::ones(&[channels])),
-            beta: Param::new(format!("{name}.beta"), Tensor::zeros(&[channels])),
-            running_mean: vec![0.0; channels],
-            running_var: vec![1.0; channels],
-            momentum: 0.9,
-            eps: 1e-5,
-        }
+    /// Creates a batch-norm layer from a validated spec.
+    ///
+    /// # Errors
+    ///
+    /// [`WaError::InvalidSpec`] if the spec was mutated into an invalid
+    /// state after building.
+    pub fn from_spec(spec: &BatchNormSpec) -> Result<BatchNorm2d, WaError> {
+        spec.validate()?;
+        let name = &spec.name;
+        Ok(BatchNorm2d {
+            gamma: Param::new(format!("{name}.gamma"), Tensor::ones(&[spec.channels])),
+            beta: Param::new(format!("{name}.beta"), Tensor::zeros(&[spec.channels])),
+            running_mean: vec![0.0; spec.channels],
+            running_var: vec![1.0; spec.channels],
+            momentum: spec.momentum,
+            eps: spec.eps,
+        })
+    }
+
+    /// Channel count.
+    pub fn channels(&self) -> usize {
+        self.running_mean.len()
     }
 
     /// Current running mean (for tests/serialization).
@@ -311,6 +401,18 @@ impl BatchNorm2d {
 }
 
 impl Layer for BatchNorm2d {
+    fn try_forward(&mut self, tape: &mut Tape, x: Var, train: bool) -> Result<Var, WaError> {
+        let shape = tape.value(x).shape().to_vec();
+        if shape.len() != 4 || shape[1] != self.channels() {
+            return Err(WaError::shape(
+                format!("BatchNorm2d `{}` input", self.gamma.name),
+                &[0, self.channels(), 0, 0],
+                &shape,
+            ));
+        }
+        Ok(self.forward(tape, x, train))
+    }
+
     fn forward(&mut self, tape: &mut Tape, x: Var, train: bool) -> Var {
         let g = tape.param(&mut self.gamma);
         let b = tape.param(&mut self.beta);
@@ -318,9 +420,11 @@ impl Layer for BatchNorm2d {
             x,
             g,
             b,
-            &self.running_mean,
-            &self.running_var,
-            self.eps,
+            crate::BnRunning {
+                mean: &self.running_mean,
+                var: &self.running_var,
+                eps: self.eps,
+            },
             train,
         );
         if train {
@@ -349,21 +453,37 @@ impl Layer for BatchNorm2d {
 mod tests {
     use super::*;
 
+    fn conv(name: &str, in_ch: usize, out_ch: usize, bias: bool, q: QuantConfig) -> Conv2dSpec {
+        Conv2dSpec::builder(name)
+            .in_channels(in_ch)
+            .out_channels(out_ch)
+            .bias(bias)
+            .quant(q)
+            .build()
+            .unwrap()
+    }
+
     #[test]
     fn conv2d_shapes_and_param_count() {
         let mut rng = SeededRng::new(0);
-        let mut conv = Conv2d::new("c", 3, 8, 3, 1, 1, true, QuantConfig::FP32, &mut rng);
-        assert_eq!(conv.param_count(), 8 * 3 * 9 + 8);
+        let mut c = Conv2d::from_spec(&conv("c", 3, 8, true, QuantConfig::FP32), &mut rng).unwrap();
+        assert_eq!(c.param_count(), 8 * 3 * 9 + 8);
         let mut tape = Tape::new();
         let x = tape.leaf(rng.uniform_tensor(&[2, 3, 8, 8], -1.0, 1.0));
-        let y = conv.forward(&mut tape, x, true);
+        let y = c.try_forward(&mut tape, x, true).unwrap();
         assert_eq!(tape.value(y).shape(), &[2, 8, 8, 8]);
     }
 
     #[test]
     fn conv2d_stride_two_shape() {
         let mut rng = SeededRng::new(1);
-        let mut conv = Conv2d::new("c", 2, 4, 3, 2, 1, false, QuantConfig::FP32, &mut rng);
+        let spec = Conv2dSpec::builder("c")
+            .in_channels(2)
+            .out_channels(4)
+            .stride(2)
+            .build()
+            .unwrap();
+        let mut conv = Conv2d::from_spec(&spec, &mut rng).unwrap();
         let mut tape = Tape::new();
         let x = tape.leaf(rng.uniform_tensor(&[1, 2, 8, 8], -1.0, 1.0));
         let y = conv.forward(&mut tape, x, true);
@@ -371,9 +491,38 @@ mod tests {
     }
 
     #[test]
+    fn try_forward_rejects_wrong_channels_and_tiny_input() {
+        let mut rng = SeededRng::new(9);
+        let mut c =
+            Conv2d::from_spec(&conv("c", 3, 8, false, QuantConfig::FP32), &mut rng).unwrap();
+        let mut tape = Tape::new();
+        let x = tape.leaf(rng.uniform_tensor(&[1, 4, 8, 8], -1.0, 1.0));
+        assert!(matches!(
+            c.try_forward(&mut tape, x, false),
+            Err(WaError::ShapeMismatch { .. })
+        ));
+        // one-pixel input with pad 1 still fits a 3×3 kernel; zero-size
+        // spatial input cannot occur in a [N, C, H, W] tensor, so probe a
+        // pad-0 layer instead
+        let spec = Conv2dSpec::builder("p0")
+            .in_channels(1)
+            .out_channels(1)
+            .pad(0)
+            .build()
+            .unwrap();
+        let mut p0 = Conv2d::from_spec(&spec, &mut rng).unwrap();
+        let tiny = tape.leaf(rng.uniform_tensor(&[1, 1, 2, 2], -1.0, 1.0));
+        assert!(matches!(
+            p0.try_forward(&mut tape, tiny, false),
+            Err(WaError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
     fn conv2d_matches_direct_reference() {
         let mut rng = SeededRng::new(2);
-        let mut conv = Conv2d::new("c", 3, 5, 3, 1, 1, true, QuantConfig::FP32, &mut rng);
+        let mut conv =
+            Conv2d::from_spec(&conv("c", 3, 5, true, QuantConfig::FP32), &mut rng).unwrap();
         let x = rng.uniform_tensor(&[2, 3, 6, 7], -1.0, 1.0);
         let mut tape = Tape::new();
         let xv = tape.leaf(x.clone());
@@ -396,9 +545,12 @@ mod tests {
     fn quantized_conv_differs_but_is_close() {
         let mut rng = SeededRng::new(3);
         let mut conv_fp =
-            Conv2d::new("c", 2, 4, 3, 1, 1, false, QuantConfig::FP32, &mut rng);
-        let mut conv_q =
-            Conv2d::new("q", 2, 4, 3, 1, 1, false, QuantConfig::uniform(BitWidth::INT8), &mut rng);
+            Conv2d::from_spec(&conv("c", 2, 4, false, QuantConfig::FP32), &mut rng).unwrap();
+        let mut conv_q = Conv2d::from_spec(
+            &conv("q", 2, 4, false, QuantConfig::uniform(BitWidth::INT8)),
+            &mut rng,
+        )
+        .unwrap();
         conv_q.weight.value = conv_fp.weight.value.clone();
         let x = rng.uniform_tensor(&[1, 2, 6, 6], -1.0, 1.0);
         let mut t1 = Tape::new();
@@ -419,7 +571,12 @@ mod tests {
     #[test]
     fn linear_forward_values() {
         let mut rng = SeededRng::new(4);
-        let mut lin = Linear::new("l", 3, 2, QuantConfig::FP32, &mut rng);
+        let spec = LinearSpec::builder("l")
+            .in_features(3)
+            .out_features(2)
+            .build()
+            .unwrap();
+        let mut lin = Linear::from_spec(&spec, &mut rng).unwrap();
         lin.weight.value = Tensor::from_vec(vec![1.0, 0.0, 0.0, 0.0, 1.0, 0.0], &[2, 3]);
         lin.bias.value = Tensor::from_vec(vec![0.5, -0.5], &[2]);
         let mut tape = Tape::new();
@@ -430,7 +587,9 @@ mod tests {
 
     #[test]
     fn batchnorm_normalizes_in_train_mode() {
-        let mut bn = BatchNorm2d::new("bn", 2);
+        let mut bn =
+            BatchNorm2d::from_spec(&BatchNormSpec::builder("bn").channels(2).build().unwrap())
+                .unwrap();
         let mut rng = SeededRng::new(5);
         let mut tape = Tape::new();
         let x = tape.leaf(rng.uniform_tensor(&[4, 2, 5, 5], 3.0, 5.0));
@@ -457,7 +616,9 @@ mod tests {
 
     #[test]
     fn batchnorm_eval_uses_running_stats() {
-        let mut bn = BatchNorm2d::new("bn", 1);
+        let mut bn =
+            BatchNorm2d::from_spec(&BatchNormSpec::builder("bn").channels(1).build().unwrap())
+                .unwrap();
         let mut rng = SeededRng::new(6);
         // Train several batches to move running stats
         for _ in 0..20 {

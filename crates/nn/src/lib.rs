@@ -11,15 +11,21 @@
 //! flowing through **every** stage, including the transform matrices
 //! `Aᵀ`, `G`, `Bᵀ` when they are trainable (`-flex`).
 //!
+//! Layers are constructed from typed specs built through fallible
+//! builders ([`Conv2dSpec`], [`LinearSpec`], [`BatchNormSpec`]): invalid
+//! configurations surface as [`WaError`] values instead of panics, and
+//! [`Layer::try_forward`] gives a shape-checked forward path for serving.
+//!
 //! # Example
 //!
 //! ```
-//! use wa_nn::{accuracy, Layer, Linear, Optimizer, QuantConfig, Sgd, Tape};
+//! use wa_nn::{accuracy, Layer, Linear, LinearSpec, Optimizer, Sgd, Tape};
 //! use wa_tensor::{SeededRng, Tensor};
 //!
 //! // learn y = argmax over a linear map of 2-D points
 //! let mut rng = SeededRng::new(7);
-//! let mut model = Linear::new("clf", 2, 2, QuantConfig::FP32, &mut rng);
+//! let spec = LinearSpec::builder("clf").in_features(2).out_features(2).build().unwrap();
+//! let mut model = Linear::from_spec(&spec, &mut rng).unwrap();
 //! let mut opt = Sgd::new(0.5, 0.0, false, 0.0);
 //! for _ in 0..200 {
 //!     let xs = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], &[2, 2]);
@@ -40,15 +46,22 @@
 //! ```
 
 mod checkpoint;
+mod error;
 mod layers;
 mod metrics;
 mod optim;
 mod param;
+mod spec;
 mod tape;
 
 pub use checkpoint::{export_params, import_params, Checkpoint, CheckpointError};
+pub use error::WaError;
 pub use layers::{observe_quant, BatchNorm2d, Conv2d, Layer, Linear, QuantConfig};
 pub use metrics::{accuracy, RunningMean};
 pub use optim::{Adam, CosineAnnealing, Optimizer, Sgd};
 pub use param::Param;
-pub use tape::{Gradients, Tape, Var};
+pub use spec::{
+    BatchNormSpec, BatchNormSpecBuilder, Conv2dSpec, Conv2dSpecBuilder, LinearSpec,
+    LinearSpecBuilder,
+};
+pub use tape::{BnRunning, Gradients, Tape, Var};

@@ -44,7 +44,13 @@ pub struct Sgd {
 impl Sgd {
     /// Creates SGD with the given hyper-parameters.
     pub fn new(lr: f32, momentum: f32, nesterov: bool, weight_decay: f32) -> Sgd {
-        Sgd { lr, momentum, nesterov, weight_decay, velocity: HashMap::new() }
+        Sgd {
+            lr,
+            momentum,
+            nesterov,
+            weight_decay,
+            velocity: HashMap::new(),
+        }
     }
 }
 
@@ -115,12 +121,22 @@ struct AdamState {
 impl Adam {
     /// Creates Adam with standard defaults `β₁ = 0.9, β₂ = 0.999, ε = 1e-8`.
     pub fn new(lr: f32) -> Adam {
-        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, weight_decay: 0.0, state: HashMap::new() }
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.0,
+            state: HashMap::new(),
+        }
     }
 
     /// Adam with explicit β₁ (wiNAS architecture stage uses β₁ = 0).
     pub fn with_beta1(lr: f32, beta1: f32) -> Adam {
-        Adam { beta1, ..Adam::new(lr) }
+        Adam {
+            beta1,
+            ..Adam::new(lr)
+        }
     }
 }
 
@@ -189,7 +205,11 @@ impl CosineAnnealing {
     /// Panics if `total_epochs == 0`.
     pub fn new(lr_max: f32, lr_min: f32, total_epochs: usize) -> CosineAnnealing {
         assert!(total_epochs > 0, "schedule needs at least one epoch");
-        CosineAnnealing { lr_max, lr_min, total_epochs }
+        CosineAnnealing {
+            lr_max,
+            lr_min,
+            total_epochs,
+        }
     }
 
     /// Learning rate at the given epoch (clamped to the horizon).

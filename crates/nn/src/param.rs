@@ -2,7 +2,6 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use serde::{Deserialize, Serialize};
 use wa_tensor::Tensor;
 
 use crate::tape::Var;
@@ -20,7 +19,7 @@ static NEXT_ID: AtomicU64 = AtomicU64::new(1);
 /// The paper's `-flex` configurations simply mark the Winograd transform
 /// parameters `Aᵀ`, `G`, `Bᵀ` as `trainable`; static configurations keep
 /// the same parameters with `trainable = false`.
-#[derive(Debug, Serialize, Deserialize)]
+#[derive(Debug)]
 pub struct Param {
     /// Human-readable name (used in logs and serialization).
     pub name: String,
@@ -30,9 +29,7 @@ pub struct Param {
     pub grad: Option<Tensor>,
     /// Whether the optimizer may update this parameter.
     pub trainable: bool,
-    #[serde(skip, default = "fresh_id")]
     id: u64,
-    #[serde(skip)]
     last_var: Option<(u64, Var)>,
 }
 
@@ -83,7 +80,9 @@ impl Param {
     /// *older* tape is ignored rather than misread (stale `Var` indices
     /// would otherwise alias arbitrary nodes of the new tape).
     pub fn absorb(&mut self, grads: &crate::tape::Gradients) {
-        let Some((tape_id, v)) = self.last_var else { return };
+        let Some((tape_id, v)) = self.last_var else {
+            return;
+        };
         if tape_id != grads.tape_id() {
             return;
         }

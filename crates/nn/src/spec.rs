@@ -1,0 +1,434 @@
+//! Typed, validated layer specifications.
+//!
+//! Every layer in the workspace is constructed from a `*Spec` built
+//! through a builder that returns `Result<_, WaError>` instead of
+//! panicking — the construction idiom the serving layer depends on:
+//!
+//! ```
+//! use wa_nn::{Conv2d, Conv2dSpec, QuantConfig};
+//! use wa_quant::BitWidth;
+//! use wa_tensor::SeededRng;
+//!
+//! let spec = Conv2dSpec::builder("stem")
+//!     .in_channels(3)
+//!     .out_channels(32)
+//!     .kernel(3)
+//!     .quant(QuantConfig::uniform(BitWidth::INT8))
+//!     .build()?;
+//! let conv = Conv2d::from_spec(&spec, &mut SeededRng::new(0))?;
+//! assert_eq!(conv.out_channels(), 32);
+//! # Ok::<(), wa_nn::WaError>(())
+//! ```
+
+use crate::error::WaError;
+use crate::layers::QuantConfig;
+
+/// Validated configuration of a direct (im2row-lowered) convolution.
+///
+/// Build one with [`Conv2dSpec::builder`]; the `build()` step enforces
+/// nonzero dimensions so a [`crate::Conv2d`] can always be constructed
+/// from a `Conv2dSpec` without panicking.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Conv2dSpec {
+    /// Layer name (parameter-name prefix).
+    pub name: String,
+    /// Input channels.
+    pub in_channels: usize,
+    /// Output channels.
+    pub out_channels: usize,
+    /// Square kernel size.
+    pub kernel: usize,
+    /// Stride (both dims).
+    pub stride: usize,
+    /// Zero padding (all sides).
+    pub pad: usize,
+    /// Whether the layer has a bias.
+    pub bias: bool,
+    /// Quantization of activations/weights.
+    pub quant: QuantConfig,
+}
+
+impl Conv2dSpec {
+    /// Starts a builder. Defaults: `kernel` 3, `stride` 1, "same" padding
+    /// (`kernel / 2`), no bias, FP32.
+    pub fn builder(name: impl Into<String>) -> Conv2dSpecBuilder {
+        Conv2dSpecBuilder {
+            name: name.into(),
+            in_channels: 0,
+            out_channels: 0,
+            kernel: 3,
+            stride: 1,
+            pad: None,
+            bias: false,
+            quant: QuantConfig::FP32,
+        }
+    }
+
+    /// Checks every constraint, as `build()` does (useful after mutating
+    /// a spec in place).
+    pub fn validate(&self) -> Result<(), WaError> {
+        let nonzero = |field: &'static str, v: usize| {
+            if v == 0 {
+                Err(WaError::invalid("Conv2dSpec", field, "must be nonzero"))
+            } else {
+                Ok(())
+            }
+        };
+        nonzero("in_channels", self.in_channels)?;
+        nonzero("out_channels", self.out_channels)?;
+        nonzero("kernel", self.kernel)?;
+        nonzero("stride", self.stride)
+    }
+}
+
+/// Builder for [`Conv2dSpec`].
+#[derive(Clone, Debug)]
+pub struct Conv2dSpecBuilder {
+    name: String,
+    in_channels: usize,
+    out_channels: usize,
+    kernel: usize,
+    stride: usize,
+    pad: Option<usize>,
+    bias: bool,
+    quant: QuantConfig,
+}
+
+impl Conv2dSpecBuilder {
+    /// Sets the input channel count (required).
+    pub fn in_channels(mut self, c: usize) -> Self {
+        self.in_channels = c;
+        self
+    }
+
+    /// Sets the output channel count (required).
+    pub fn out_channels(mut self, c: usize) -> Self {
+        self.out_channels = c;
+        self
+    }
+
+    /// Sets the square kernel size (default 3).
+    pub fn kernel(mut self, k: usize) -> Self {
+        self.kernel = k;
+        self
+    }
+
+    /// Sets the stride (default 1).
+    pub fn stride(mut self, s: usize) -> Self {
+        self.stride = s;
+        self
+    }
+
+    /// Sets the zero padding (default `kernel / 2`, i.e. "same" for
+    /// odd kernels at stride 1).
+    pub fn pad(mut self, p: usize) -> Self {
+        self.pad = Some(p);
+        self
+    }
+
+    /// Enables/disables the bias (default off).
+    pub fn bias(mut self, b: bool) -> Self {
+        self.bias = b;
+        self
+    }
+
+    /// Sets the quantization config (default FP32).
+    pub fn quant(mut self, q: QuantConfig) -> Self {
+        self.quant = q;
+        self
+    }
+
+    /// Validates and produces the spec.
+    ///
+    /// # Errors
+    ///
+    /// [`WaError::InvalidSpec`] if any dimension is zero.
+    pub fn build(self) -> Result<Conv2dSpec, WaError> {
+        let spec = Conv2dSpec {
+            pad: self.pad.unwrap_or(self.kernel / 2),
+            name: self.name,
+            in_channels: self.in_channels,
+            out_channels: self.out_channels,
+            kernel: self.kernel,
+            stride: self.stride,
+            bias: self.bias,
+            quant: self.quant,
+        };
+        spec.validate()?;
+        Ok(spec)
+    }
+}
+
+/// Validated configuration of a fully connected layer.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LinearSpec {
+    /// Layer name (parameter-name prefix).
+    pub name: String,
+    /// Input features.
+    pub in_features: usize,
+    /// Output features.
+    pub out_features: usize,
+    /// Quantization of activations/weights.
+    pub quant: QuantConfig,
+}
+
+impl LinearSpec {
+    /// Starts a builder (default FP32).
+    pub fn builder(name: impl Into<String>) -> LinearSpecBuilder {
+        LinearSpecBuilder {
+            name: name.into(),
+            in_features: 0,
+            out_features: 0,
+            quant: QuantConfig::FP32,
+        }
+    }
+
+    /// Checks every constraint, as `build()` does.
+    pub fn validate(&self) -> Result<(), WaError> {
+        if self.in_features == 0 {
+            return Err(WaError::invalid(
+                "LinearSpec",
+                "in_features",
+                "must be nonzero",
+            ));
+        }
+        if self.out_features == 0 {
+            return Err(WaError::invalid(
+                "LinearSpec",
+                "out_features",
+                "must be nonzero",
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`LinearSpec`].
+#[derive(Clone, Debug)]
+pub struct LinearSpecBuilder {
+    name: String,
+    in_features: usize,
+    out_features: usize,
+    quant: QuantConfig,
+}
+
+impl LinearSpecBuilder {
+    /// Sets the input feature count (required).
+    pub fn in_features(mut self, n: usize) -> Self {
+        self.in_features = n;
+        self
+    }
+
+    /// Sets the output feature count (required).
+    pub fn out_features(mut self, n: usize) -> Self {
+        self.out_features = n;
+        self
+    }
+
+    /// Sets the quantization config (default FP32).
+    pub fn quant(mut self, q: QuantConfig) -> Self {
+        self.quant = q;
+        self
+    }
+
+    /// Validates and produces the spec.
+    ///
+    /// # Errors
+    ///
+    /// [`WaError::InvalidSpec`] if either feature count is zero.
+    pub fn build(self) -> Result<LinearSpec, WaError> {
+        let spec = LinearSpec {
+            name: self.name,
+            in_features: self.in_features,
+            out_features: self.out_features,
+            quant: self.quant,
+        };
+        spec.validate()?;
+        Ok(spec)
+    }
+}
+
+/// Validated configuration of a batch-normalization layer.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BatchNormSpec {
+    /// Layer name (parameter-name prefix).
+    pub name: String,
+    /// Channel count.
+    pub channels: usize,
+    /// Running-statistics momentum in `(0, 1)`.
+    pub momentum: f32,
+    /// Variance epsilon.
+    pub eps: f32,
+}
+
+impl BatchNormSpec {
+    /// Starts a builder. Defaults: momentum 0.9, eps 1e-5.
+    pub fn builder(name: impl Into<String>) -> BatchNormSpecBuilder {
+        BatchNormSpecBuilder {
+            name: name.into(),
+            channels: 0,
+            momentum: 0.9,
+            eps: 1e-5,
+        }
+    }
+
+    /// Checks every constraint, as `build()` does.
+    pub fn validate(&self) -> Result<(), WaError> {
+        if self.channels == 0 {
+            return Err(WaError::invalid(
+                "BatchNormSpec",
+                "channels",
+                "must be nonzero",
+            ));
+        }
+        if !(0.0..1.0).contains(&self.momentum) {
+            return Err(WaError::invalid(
+                "BatchNormSpec",
+                "momentum",
+                format!("must be in [0, 1), got {}", self.momentum),
+            ));
+        }
+        if self.eps <= 0.0 || !self.eps.is_finite() {
+            return Err(WaError::invalid(
+                "BatchNormSpec",
+                "eps",
+                format!("must be positive and finite, got {}", self.eps),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`BatchNormSpec`].
+#[derive(Clone, Debug)]
+pub struct BatchNormSpecBuilder {
+    name: String,
+    channels: usize,
+    momentum: f32,
+    eps: f32,
+}
+
+impl BatchNormSpecBuilder {
+    /// Sets the channel count (required).
+    pub fn channels(mut self, c: usize) -> Self {
+        self.channels = c;
+        self
+    }
+
+    /// Sets the running-statistics momentum (default 0.9).
+    pub fn momentum(mut self, m: f32) -> Self {
+        self.momentum = m;
+        self
+    }
+
+    /// Sets the variance epsilon (default 1e-5).
+    pub fn eps(mut self, e: f32) -> Self {
+        self.eps = e;
+        self
+    }
+
+    /// Validates and produces the spec.
+    ///
+    /// # Errors
+    ///
+    /// [`WaError::InvalidSpec`] on zero channels, momentum outside
+    /// `[0, 1)`, or a non-positive epsilon.
+    pub fn build(self) -> Result<BatchNormSpec, WaError> {
+        let spec = BatchNormSpec {
+            name: self.name,
+            channels: self.channels,
+            momentum: self.momentum,
+            eps: self.eps,
+        };
+        spec.validate()?;
+        Ok(spec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_defaults_are_same_padding() {
+        let s = Conv2dSpec::builder("c")
+            .in_channels(3)
+            .out_channels(8)
+            .build()
+            .unwrap();
+        assert_eq!((s.kernel, s.stride, s.pad, s.bias), (3, 1, 1, false));
+        let s5 = Conv2dSpec::builder("c")
+            .in_channels(1)
+            .out_channels(1)
+            .kernel(5)
+            .build()
+            .unwrap();
+        assert_eq!(s5.pad, 2);
+    }
+
+    #[test]
+    fn conv_zero_dims_are_rejected() {
+        for (field, spec) in [
+            (
+                "in_channels",
+                Conv2dSpec::builder("c").out_channels(8).build(),
+            ),
+            (
+                "out_channels",
+                Conv2dSpec::builder("c").in_channels(8).build(),
+            ),
+            (
+                "kernel",
+                Conv2dSpec::builder("c")
+                    .in_channels(8)
+                    .out_channels(8)
+                    .kernel(0)
+                    .build(),
+            ),
+            (
+                "stride",
+                Conv2dSpec::builder("c")
+                    .in_channels(8)
+                    .out_channels(8)
+                    .stride(0)
+                    .build(),
+            ),
+        ] {
+            match spec {
+                Err(WaError::InvalidSpec { field: f, .. }) => assert_eq!(f, field),
+                other => panic!("{field}: expected InvalidSpec, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn linear_and_batchnorm_validate() {
+        assert!(LinearSpec::builder("l")
+            .in_features(4)
+            .out_features(2)
+            .build()
+            .is_ok());
+        assert!(matches!(
+            LinearSpec::builder("l").out_features(2).build(),
+            Err(WaError::InvalidSpec {
+                field: "in_features",
+                ..
+            })
+        ));
+        assert!(BatchNormSpec::builder("bn").channels(4).build().is_ok());
+        assert!(matches!(
+            BatchNormSpec::builder("bn")
+                .channels(4)
+                .momentum(1.5)
+                .build(),
+            Err(WaError::InvalidSpec {
+                field: "momentum",
+                ..
+            })
+        ));
+        assert!(matches!(
+            BatchNormSpec::builder("bn").channels(4).eps(0.0).build(),
+            Err(WaError::InvalidSpec { field: "eps", .. })
+        ));
+    }
+}

@@ -50,24 +50,78 @@ enum Op {
     AddBiasChan(Var, Var),
     Matmul(Var, Var),
     MatmulNT(Var, Var),
-    Bmm { a: Var, b: Var, batch: usize, m: usize, k: usize, n: usize },
+    Bmm {
+        a: Var,
+        b: Var,
+        batch: usize,
+        m: usize,
+        k: usize,
+        n: usize,
+    },
     Reshape(Var),
-    TileTranspose { x: Var, rows: usize, cols: usize },
-    Permute3 { x: Var, dims: [usize; 3], perm: [usize; 3] },
+    TileTranspose {
+        x: Var,
+        rows: usize,
+        cols: usize,
+    },
+    Permute3 {
+        x: Var,
+        dims: [usize; 3],
+        perm: [usize; 3],
+    },
     Relu(Var),
-    MaxPool2d { x: Var, indices: Vec<u32> },
+    MaxPool2d {
+        x: Var,
+        indices: Vec<u32>,
+    },
     Gap(Var),
     SqSum(Var),
     AddN(Vec<Var>),
-    CrossEntropy { logits: Var, probs: Tensor, targets: Vec<usize> },
-    FakeQuant { x: Var, bits: BitWidth, scale: f32 },
-    Pad { x: Var, pad: usize },
-    PadTiles { x: Var, geom: TileGeometry },
-    GatherTiles { x: Var, geom: TileGeometry, batch: usize, ch: usize },
-    AssembleOut { x: Var, geom: TileGeometry },
-    Im2Row { x: Var, kh: usize, kw: usize, stride: usize },
-    BatchNorm { x: Var, gamma: Var, beta: Var, saved: BnSaved },
-    SliceChan { x: Var, from: usize, to: usize },
+    CrossEntropy {
+        logits: Var,
+        probs: Tensor,
+        targets: Vec<usize>,
+    },
+    FakeQuant {
+        x: Var,
+        bits: BitWidth,
+        scale: f32,
+    },
+    Pad {
+        x: Var,
+        pad: usize,
+    },
+    PadTiles {
+        x: Var,
+        geom: TileGeometry,
+    },
+    GatherTiles {
+        x: Var,
+        geom: TileGeometry,
+        batch: usize,
+        ch: usize,
+    },
+    AssembleOut {
+        x: Var,
+        geom: TileGeometry,
+    },
+    Im2Row {
+        x: Var,
+        kh: usize,
+        kw: usize,
+        stride: usize,
+    },
+    BatchNorm {
+        x: Var,
+        gamma: Var,
+        beta: Var,
+        saved: BnSaved,
+    },
+    SliceChan {
+        x: Var,
+        from: usize,
+        to: usize,
+    },
     ConcatChan(Vec<Var>),
 }
 
@@ -96,6 +150,17 @@ impl Gradients {
     pub fn tape_id(&self) -> u64 {
         self.tape_id
     }
+}
+
+/// Running statistics handed to [`Tape::batch_norm`]: the per-channel
+/// running mean/variance used in eval mode, plus the variance epsilon.
+pub struct BnRunning<'a> {
+    /// Per-channel running mean.
+    pub mean: &'a [f32],
+    /// Per-channel running variance.
+    pub var: &'a [f32],
+    /// Variance epsilon.
+    pub eps: f32,
 }
 
 /// A define-by-run computation tape.
@@ -153,7 +218,11 @@ impl Tape {
     }
 
     fn push(&mut self, value: Tensor, op: Op, needs_grad: bool) -> Var {
-        self.nodes.push(Node { value, op, needs_grad });
+        self.nodes.push(Node {
+            value,
+            op,
+            needs_grad,
+        });
         Var(self.nodes.len() - 1)
     }
 
@@ -217,7 +286,13 @@ impl Tape {
         let bv = self.value(b);
         assert_eq!(xv.ndim(), 2, "add_bias_rows expects a matrix");
         let (r, c) = (xv.dim(0), xv.dim(1));
-        assert_eq!(bv.shape(), &[c], "bias must be [{}], got {:?}", c, bv.shape());
+        assert_eq!(
+            bv.shape(),
+            &[c],
+            "bias must be [{}], got {:?}",
+            c,
+            bv.shape()
+        );
         let mut out = xv.clone();
         {
             let bd = bv.data().to_vec();
@@ -242,7 +317,13 @@ impl Tape {
         let bv = self.value(b);
         assert_eq!(xv.ndim(), 4, "add_bias_chan expects NCHW");
         let (n, c, h, w) = (xv.dim(0), xv.dim(1), xv.dim(2), xv.dim(3));
-        assert_eq!(bv.shape(), &[c], "bias must be [{}], got {:?}", c, bv.shape());
+        assert_eq!(
+            bv.shape(),
+            &[c],
+            "bias must be [{}], got {:?}",
+            c,
+            bv.shape()
+        );
         let mut out = xv.clone();
         {
             let bd = bv.data().to_vec();
@@ -313,7 +394,18 @@ impl Tape {
             }
         }
         let g = self.ng(a) || self.ng(b);
-        self.push(out, Op::Bmm { a, b, batch, m, k, n }, g)
+        self.push(
+            out,
+            Op::Bmm {
+                a,
+                b,
+                batch,
+                m,
+                k,
+                n,
+            },
+            g,
+        )
     }
 
     // ---- shape ------------------------------------------------------------
@@ -338,7 +430,14 @@ impl Tape {
     pub fn tile_transpose(&mut self, x: Var, rows: usize, cols: usize) -> Var {
         let xv = self.value(x);
         assert_eq!(xv.ndim(), 2, "tile_transpose expects a matrix");
-        assert_eq!(xv.dim(1), rows * cols, "row length {} != {}x{}", xv.dim(1), rows, cols);
+        assert_eq!(
+            xv.dim(1),
+            rows * cols,
+            "row length {} != {}x{}",
+            xv.dim(1),
+            rows,
+            cols
+        );
         let r = xv.dim(0);
         let mut out = Tensor::zeros(&[r, cols * rows]);
         {
@@ -367,7 +466,11 @@ impl Tape {
     /// is not a permutation of `{0,1,2}`.
     pub fn permute3(&mut self, x: Var, dims: [usize; 3], perm: [usize; 3]) -> Var {
         let xv = self.value(x);
-        assert_eq!(xv.len(), dims[0] * dims[1] * dims[2], "permute3 length mismatch");
+        assert_eq!(
+            xv.len(),
+            dims[0] * dims[1] * dims[2],
+            "permute3 length mismatch"
+        );
         {
             let mut sorted = perm;
             sorted.sort_unstable();
@@ -397,7 +500,12 @@ impl Tape {
         let xv = self.value(x);
         assert_eq!(xv.ndim(), 4, "max_pool2d expects NCHW");
         let (n, c, h, w) = (xv.dim(0), xv.dim(1), xv.dim(2), xv.dim(3));
-        assert!(h % 2 == 0 && w % 2 == 0, "max_pool2d needs even dims, got {}x{}", h, w);
+        assert!(
+            h % 2 == 0 && w % 2 == 0,
+            "max_pool2d needs even dims, got {}x{}",
+            h,
+            w
+        );
         let (oh, ow) = (h / 2, w / 2);
         let mut out = Tensor::zeros(&[n, c, oh, ow]);
         let mut indices = vec![0u32; n * c * oh * ow];
@@ -471,7 +579,11 @@ impl Tape {
         assert!(!xs.is_empty(), "add_n needs at least one operand");
         let mut acc = 0.0f32;
         for &v in xs {
-            assert_eq!(self.value(v).shape(), &[1], "add_n operands must be scalars");
+            assert_eq!(
+                self.value(v).shape(),
+                &[1],
+                "add_n operands must be scalars"
+            );
             acc += self.value(v).data()[0];
         }
         let g = xs.iter().any(|&v| self.ng(v));
@@ -489,7 +601,13 @@ impl Tape {
         let lv = self.value(logits);
         assert_eq!(lv.ndim(), 2, "cross_entropy expects [N, K] logits");
         let (n, k) = (lv.dim(0), lv.dim(1));
-        assert_eq!(targets.len(), n, "targets length {} != batch {}", targets.len(), n);
+        assert_eq!(
+            targets.len(),
+            n,
+            "targets length {} != batch {}",
+            targets.len(),
+            n
+        );
         let mut probs = Tensor::zeros(&[n, k]);
         let mut loss = 0.0f64;
         {
@@ -513,7 +631,15 @@ impl Tape {
         }
         let v = Tensor::from_vec(vec![(loss / n as f64) as f32], &[1]);
         let g = self.ng(logits);
-        self.push(v, Op::CrossEntropy { logits, probs, targets: targets.to_vec() }, g)
+        self.push(
+            v,
+            Op::CrossEntropy {
+                logits,
+                probs,
+                targets: targets.to_vec(),
+            },
+            g,
+        )
     }
 
     // ---- quantization --------------------------------------------------------
@@ -580,7 +706,13 @@ impl Tape {
         let xv = self.value(x);
         assert_eq!(xv.ndim(), 4, "slice_chan expects NCHW");
         let (n, c, h, w) = (xv.dim(0), xv.dim(1), xv.dim(2), xv.dim(3));
-        assert!(from < to && to <= c, "invalid channel range {}..{} of {}", from, to, c);
+        assert!(
+            from < to && to <= c,
+            "invalid channel range {}..{} of {}",
+            from,
+            to,
+            c
+        );
         let cs = to - from;
         let mut out = Tensor::zeros(&[n, cs, h, w]);
         {
@@ -613,7 +745,11 @@ impl Tape {
         let mut total_c = 0;
         for &x in xs {
             let v = self.value(x);
-            assert_eq!((v.dim(0), v.dim(2), v.dim(3)), (n, h, w), "concat_chan dims disagree");
+            assert_eq!(
+                (v.dim(0), v.dim(2), v.dim(3)),
+                (n, h, w),
+                "concat_chan dims disagree"
+            );
             total_c += v.dim(1);
         }
         let mut out = Tensor::zeros(&[n, total_c, h, w]);
@@ -647,17 +783,19 @@ impl Tape {
     /// # Panics
     ///
     /// Panics on shape mismatches.
-    #[allow(clippy::too_many_arguments)]
     pub fn batch_norm(
         &mut self,
         x: Var,
         gamma: Var,
         beta: Var,
-        running_mean: &[f32],
-        running_var: &[f32],
-        eps: f32,
+        running: BnRunning<'_>,
         training: bool,
     ) -> (Var, Vec<f32>, Vec<f32>) {
+        let BnRunning {
+            mean: running_mean,
+            var: running_var,
+            eps,
+        } = running;
         let xv = self.value(x).clone();
         assert_eq!(xv.ndim(), 4, "batch_norm expects NCHW");
         let (n, c, h, w) = (xv.dim(0), xv.dim(1), xv.dim(2), xv.dim(3));
@@ -721,8 +859,21 @@ impl Tape {
             }
         }
         let g = self.ng(x) || self.ng(gamma) || self.ng(beta);
-        let saved = BnSaved { invstd, xhat, batch_stats: training };
-        let v = self.push(out, Op::BatchNorm { x, gamma, beta, saved }, g);
+        let saved = BnSaved {
+            invstd,
+            xhat,
+            batch_stats: training,
+        };
+        let v = self.push(
+            out,
+            Op::BatchNorm {
+                x,
+                gamma,
+                beta,
+                saved,
+            },
+            g,
+        );
         (v, mean, var)
     }
 
@@ -734,7 +885,11 @@ impl Tape {
     ///
     /// Panics if `loss` is not shape `[1]`.
     pub fn backward(&mut self, loss: Var) -> Gradients {
-        assert_eq!(self.value(loss).shape(), &[1], "backward requires a scalar loss");
+        assert_eq!(
+            self.value(loss).shape(),
+            &[1],
+            "backward requires a scalar loss"
+        );
         let mut grads: Vec<Option<Tensor>> = (0..self.nodes.len()).map(|_| None).collect();
         grads[loss.0] = Some(Tensor::ones(&[1]));
 
@@ -748,7 +903,10 @@ impl Tape {
             // keep the gradient available for callers (params, inputs)
             grads[idx] = Some(g);
         }
-        Gradients { grads, tape_id: self.id }
+        Gradients {
+            grads,
+            tape_id: self.id,
+        }
     }
 
     fn accumulate(grads: &mut [Option<Tensor>], v: Var, g: Tensor) {
@@ -821,22 +979,45 @@ impl Tape {
             Op::Matmul(a, b) => {
                 // c = a·b : da = g·bᵀ, db = aᵀ·g
                 if self.ng(*a) {
-                    Self::accumulate(grads, *a, gemm(g, Transpose::No, self.value(*b), Transpose::Yes));
+                    Self::accumulate(
+                        grads,
+                        *a,
+                        gemm(g, Transpose::No, self.value(*b), Transpose::Yes),
+                    );
                 }
                 if self.ng(*b) {
-                    Self::accumulate(grads, *b, gemm(self.value(*a), Transpose::Yes, g, Transpose::No));
+                    Self::accumulate(
+                        grads,
+                        *b,
+                        gemm(self.value(*a), Transpose::Yes, g, Transpose::No),
+                    );
                 }
             }
             Op::MatmulNT(a, b) => {
                 // c = a·bᵀ : da = g·b, db = gᵀ·a
                 if self.ng(*a) {
-                    Self::accumulate(grads, *a, gemm(g, Transpose::No, self.value(*b), Transpose::No));
+                    Self::accumulate(
+                        grads,
+                        *a,
+                        gemm(g, Transpose::No, self.value(*b), Transpose::No),
+                    );
                 }
                 if self.ng(*b) {
-                    Self::accumulate(grads, *b, gemm(g, Transpose::Yes, self.value(*a), Transpose::No));
+                    Self::accumulate(
+                        grads,
+                        *b,
+                        gemm(g, Transpose::Yes, self.value(*a), Transpose::No),
+                    );
                 }
             }
-            Op::Bmm { a, b, batch, m, k, n } => {
+            Op::Bmm {
+                a,
+                b,
+                batch,
+                m,
+                k,
+                n,
+            } => {
                 let (batch, m, k, n) = (*batch, *m, *k, *n);
                 let gd = g.data();
                 if self.ng(*a) {
@@ -966,7 +1147,11 @@ impl Tape {
                     }
                 }
             }
-            Op::CrossEntropy { logits, probs, targets } => {
+            Op::CrossEntropy {
+                logits,
+                probs,
+                targets,
+            } => {
                 if self.ng(*logits) {
                     let (n, k) = (probs.dim(0), probs.dim(1));
                     let mut dl = probs.clone();
@@ -1015,7 +1200,7 @@ impl Tape {
                     Self::accumulate(
                         grads,
                         *x,
-                        col2im(g, xs[0], xs[1], xs[2], xs[3], *kh, *kw, *stride),
+                        col2im(g, [xs[0], xs[1], xs[2], xs[3]], (*kh, *kw), *stride),
                     );
                 }
             }
@@ -1057,7 +1242,12 @@ impl Tape {
                     c0 += c;
                 }
             }
-            Op::BatchNorm { x, gamma, beta, saved } => {
+            Op::BatchNorm {
+                x,
+                gamma,
+                beta,
+                saved,
+            } => {
                 let gs = g.shape();
                 let (n, c, h, w) = (gs[0], gs[1], gs[2], gs[3]);
                 let m = (n * h * w) as f32;

@@ -42,7 +42,12 @@ fn grad_check(inputs: &[Tensor], f: impl Fn(&mut Tape, &[Var]) -> Var, tol: f64)
         let g = grads
             .get(vars[i])
             .unwrap_or_else(|| panic!("missing gradient for input {}", i));
-        assert_eq!(g.shape(), t.shape(), "gradient shape mismatch for input {}", i);
+        assert_eq!(
+            g.shape(),
+            t.shape(),
+            "gradient shape mismatch for input {}",
+            i
+        );
         for e in 0..t.len() {
             let fd = (eval(i, e, eps) - eval(i, e, -eps)) / (2.0 * eps as f64);
             let an = g.data()[e] as f64;
@@ -70,12 +75,16 @@ fn add_mul_scale() {
     let mut r = rng();
     let a = r.uniform_tensor(&[3, 2], -1.0, 1.0);
     let b = r.uniform_tensor(&[3, 2], -1.0, 1.0);
-    grad_check(&[a, b], |t, v| {
-        let s = t.add(v[0], v[1]);
-        let m = t.mul(s, v[1]);
-        let sc = t.scale(m, 0.7);
-        t.sq_sum(sc)
-    }, 2e-2);
+    grad_check(
+        &[a, b],
+        |t, v| {
+            let s = t.add(v[0], v[1]);
+            let m = t.mul(s, v[1]);
+            let sc = t.scale(m, 0.7);
+            t.sq_sum(sc)
+        },
+        2e-2,
+    );
 }
 
 #[test]
@@ -83,10 +92,14 @@ fn matmul_both_sides() {
     let mut r = rng();
     let a = r.uniform_tensor(&[3, 4], -1.0, 1.0);
     let b = r.uniform_tensor(&[4, 2], -1.0, 1.0);
-    grad_check(&[a, b], |t, v| {
-        let c = t.matmul(v[0], v[1]);
-        t.sq_sum(c)
-    }, 2e-2);
+    grad_check(
+        &[a, b],
+        |t, v| {
+            let c = t.matmul(v[0], v[1]);
+            t.sq_sum(c)
+        },
+        2e-2,
+    );
 }
 
 #[test]
@@ -94,10 +107,14 @@ fn matmul_nt_both_sides() {
     let mut r = rng();
     let a = r.uniform_tensor(&[3, 4], -1.0, 1.0);
     let b = r.uniform_tensor(&[2, 4], -1.0, 1.0);
-    grad_check(&[a, b], |t, v| {
-        let c = t.matmul_nt(v[0], v[1]);
-        t.sq_sum(c)
-    }, 2e-2);
+    grad_check(
+        &[a, b],
+        |t, v| {
+            let c = t.matmul_nt(v[0], v[1]);
+            t.sq_sum(c)
+        },
+        2e-2,
+    );
 }
 
 #[test]
@@ -105,10 +122,14 @@ fn bmm_both_sides() {
     let mut r = rng();
     let a = r.uniform_tensor(&[2, 3, 2], -1.0, 1.0); // batch 2, 3x2
     let b = r.uniform_tensor(&[2, 2, 4], -1.0, 1.0); // batch 2, 2x4
-    grad_check(&[a, b], |t, v| {
-        let c = t.bmm(v[0], v[1], 2, 3, 2, 4);
-        t.sq_sum(c)
-    }, 2e-2);
+    grad_check(
+        &[a, b],
+        |t, v| {
+            let c = t.bmm(v[0], v[1], 2, 3, 2, 4);
+            t.sq_sum(c)
+        },
+        2e-2,
+    );
 }
 
 #[test]
@@ -116,29 +137,41 @@ fn bias_rows_and_chan() {
     let mut r = rng();
     let x = r.uniform_tensor(&[4, 3], -1.0, 1.0);
     let b = r.uniform_tensor(&[3], -1.0, 1.0);
-    grad_check(&[x, b], |t, v| {
-        let y = t.add_bias_rows(v[0], v[1]);
-        t.sq_sum(y)
-    }, 2e-2);
+    grad_check(
+        &[x, b],
+        |t, v| {
+            let y = t.add_bias_rows(v[0], v[1]);
+            t.sq_sum(y)
+        },
+        2e-2,
+    );
 
     let x4 = r.uniform_tensor(&[2, 3, 2, 2], -1.0, 1.0);
     let b4 = r.uniform_tensor(&[3], -1.0, 1.0);
-    grad_check(&[x4, b4], |t, v| {
-        let y = t.add_bias_chan(v[0], v[1]);
-        t.sq_sum(y)
-    }, 2e-2);
+    grad_check(
+        &[x4, b4],
+        |t, v| {
+            let y = t.add_bias_chan(v[0], v[1]);
+            t.sq_sum(y)
+        },
+        2e-2,
+    );
 }
 
 #[test]
 fn shape_ops_composite() {
     let mut r = rng();
     let x = r.uniform_tensor(&[2, 12], -1.0, 1.0); // rows of 3x4 tiles
-    grad_check(&[x], |t, v| {
-        let tt = t.tile_transpose(v[0], 3, 4); // -> rows of 4x3
-        let rs = t.reshape(tt, &[24]);
-        let p = t.permute3(rs, [2, 3, 4], [2, 0, 1]);
-        t.sq_sum(p)
-    }, 2e-2);
+    grad_check(
+        &[x],
+        |t, v| {
+            let tt = t.tile_transpose(v[0], 3, 4); // -> rows of 4x3
+            let rs = t.reshape(tt, &[24]);
+            let p = t.permute3(rs, [2, 3, 4], [2, 0, 1]);
+            t.sq_sum(p)
+        },
+        2e-2,
+    );
 }
 
 #[test]
@@ -153,10 +186,14 @@ fn relu_away_from_kink() {
             -v
         }
     });
-    grad_check(&[x], |t, v| {
-        let y = t.relu(v[0]);
-        t.sq_sum(y)
-    }, 2e-2);
+    grad_check(
+        &[x],
+        |t, v| {
+            let y = t.relu(v[0]);
+            t.sq_sum(y)
+        },
+        2e-2,
+    );
 }
 
 #[test]
@@ -166,20 +203,28 @@ fn max_pool() {
     let mut vals: Vec<f32> = (0..16).map(|i| i as f32 * 0.13 - 1.0).collect();
     r.shuffle(&mut vals);
     let x = Tensor::from_vec(vals, &[1, 1, 4, 4]);
-    grad_check(&[x], |t, v| {
-        let y = t.max_pool2d(v[0]);
-        t.sq_sum(y)
-    }, 2e-2);
+    grad_check(
+        &[x],
+        |t, v| {
+            let y = t.max_pool2d(v[0]);
+            t.sq_sum(y)
+        },
+        2e-2,
+    );
 }
 
 #[test]
 fn global_avg_pool() {
     let mut r = rng();
     let x = r.uniform_tensor(&[2, 3, 2, 2], -1.0, 1.0);
-    grad_check(&[x], |t, v| {
-        let y = t.global_avg_pool(v[0]);
-        t.sq_sum(y)
-    }, 2e-2);
+    grad_check(
+        &[x],
+        |t, v| {
+            let y = t.global_avg_pool(v[0]);
+            t.sq_sum(y)
+        },
+        2e-2,
+    );
 }
 
 #[test]
@@ -194,12 +239,16 @@ fn add_n_scalars() {
     let mut r = rng();
     let a = r.uniform_tensor(&[4], -1.0, 1.0);
     let b = r.uniform_tensor(&[4], -1.0, 1.0);
-    grad_check(&[a, b], |t, v| {
-        let sa = t.sq_sum(v[0]);
-        let sb = t.sq_sum(v[1]);
-        let sb2 = t.scale(sb, 0.3);
-        t.add_n(&[sa, sb2])
-    }, 2e-2);
+    grad_check(
+        &[a, b],
+        |t, v| {
+            let sa = t.sq_sum(v[0]);
+            let sb = t.sq_sum(v[1]);
+            let sb2 = t.scale(sb, 0.3);
+            t.add_n(&[sa, sb2])
+        },
+        2e-2,
+    );
 }
 
 #[test]
@@ -207,12 +256,16 @@ fn pad_and_im2row() {
     let mut r = rng();
     let x = r.uniform_tensor(&[1, 2, 4, 4], -1.0, 1.0);
     let w = r.uniform_tensor(&[3, 2 * 9], -1.0, 1.0);
-    grad_check(&[x, w], |t, v| {
-        let xp = t.pad(v[0], 1);
-        let rows = t.im2row(xp, 3, 3, 1);
-        let y = t.matmul_nt(rows, v[1]);
-        t.sq_sum(y)
-    }, 2e-2);
+    grad_check(
+        &[x, w],
+        |t, v| {
+            let xp = t.pad(v[0], 1);
+            let rows = t.im2row(xp, 3, 3, 1);
+            let y = t.matmul_nt(rows, v[1]);
+            t.sq_sum(y)
+        },
+        2e-2,
+    );
 }
 
 #[test]
@@ -222,25 +275,33 @@ fn winograd_plumbing_composite() {
     let mut r = rng();
     let x = r.uniform_tensor(&[1, 2, 5, 5], -1.0, 1.0);
     let bt = r.uniform_tensor(&[4, 4], -0.5, 0.5);
-    grad_check(&[x, bt], move |t, v| {
-        let xp = t.pad_tiles(v[0], geom);
-        let tiles = t.gather_tiles(xp, geom); // [T*2, 16]
-        let rows = tiles;
-        let nrows = t.value(rows).dim(0);
-        let as_rows = t.reshape(rows, &[nrows * 4, 4]);
-        let z = t.matmul_nt(as_rows, v[1]); // x·Bᵀᵀ per tile row-block
-        let back = t.reshape(z, &[nrows, 16]);
-        // fold channels by just summing squares (plumbing check, not full conv)
-        t.sq_sum(back)
-    }, 2e-2);
+    grad_check(
+        &[x, bt],
+        move |t, v| {
+            let xp = t.pad_tiles(v[0], geom);
+            let tiles = t.gather_tiles(xp, geom); // [T*2, 16]
+            let rows = tiles;
+            let nrows = t.value(rows).dim(0);
+            let as_rows = t.reshape(rows, &[nrows * 4, 4]);
+            let z = t.matmul_nt(as_rows, v[1]); // x·Bᵀᵀ per tile row-block
+            let back = t.reshape(z, &[nrows, 16]);
+            // fold channels by just summing squares (plumbing check, not full conv)
+            t.sq_sum(back)
+        },
+        2e-2,
+    );
 
     // assemble/disassemble path with output-tile overrun
     let geom2 = TileGeometry::for_conv(3, 3, 2, 3, 1);
     let tiles = r.uniform_tensor(&[geom2.tiles() * 2, 4], -1.0, 1.0);
-    grad_check(&[tiles], move |t, v| {
-        let y = t.assemble_output(v[0], geom2, 1, 2);
-        t.sq_sum(y)
-    }, 2e-2);
+    grad_check(
+        &[tiles],
+        move |t, v| {
+            let y = t.assemble_output(v[0], geom2, 1, 2);
+            t.sq_sum(y)
+        },
+        2e-2,
+    );
 }
 
 #[test]
@@ -249,13 +310,22 @@ fn batch_norm_train_mode() {
     let x = r.uniform_tensor(&[3, 2, 2, 2], -1.0, 1.0);
     let gamma = r.uniform_tensor(&[2], 0.5, 1.5);
     let beta = r.uniform_tensor(&[2], -0.5, 0.5);
-    grad_check(&[x, gamma, beta], |t, v| {
-        let (y, _, _) = t.batch_norm(v[0], v[1], v[2], &[0.0, 0.0], &[1.0, 1.0], 1e-5, true);
-        // weight the squared output so per-element grads are asymmetric
-        let w = t.leaf(Tensor::from_fn(&[3, 2, 2, 2], |i| 0.1 + 0.07 * i as f32));
-        let yw = t.mul(y, w);
-        t.sq_sum(yw)
-    }, 3e-2);
+    grad_check(
+        &[x, gamma, beta],
+        |t, v| {
+            let bn = wa_nn::BnRunning {
+                mean: &[0.0, 0.0],
+                var: &[1.0, 1.0],
+                eps: 1e-5,
+            };
+            let (y, _, _) = t.batch_norm(v[0], v[1], v[2], bn, true);
+            // weight the squared output so per-element grads are asymmetric
+            let w = t.leaf(Tensor::from_fn(&[3, 2, 2, 2], |i| 0.1 + 0.07 * i as f32));
+            let yw = t.mul(y, w);
+            t.sq_sum(yw)
+        },
+        3e-2,
+    );
 }
 
 #[test]
@@ -264,11 +334,19 @@ fn batch_norm_eval_mode() {
     let x = r.uniform_tensor(&[2, 2, 2, 2], -1.0, 1.0);
     let gamma = r.uniform_tensor(&[2], 0.5, 1.5);
     let beta = r.uniform_tensor(&[2], -0.5, 0.5);
-    grad_check(&[x, gamma, beta], |t, v| {
-        let (y, _, _) =
-            t.batch_norm(v[0], v[1], v[2], &[0.1, -0.2], &[0.9, 1.1], 1e-5, false);
-        t.sq_sum(y)
-    }, 2e-2);
+    grad_check(
+        &[x, gamma, beta],
+        |t, v| {
+            let bn = wa_nn::BnRunning {
+                mean: &[0.1, -0.2],
+                var: &[0.9, 1.1],
+                eps: 1e-5,
+            };
+            let (y, _, _) = t.batch_norm(v[0], v[1], v[2], bn, false);
+            t.sq_sum(y)
+        },
+        2e-2,
+    );
 }
 
 /// End-to-end: a miniature Winograd-aware convolution (paper Fig. 2,
@@ -292,53 +370,57 @@ fn winograd_aware_conv_full_gradient() {
     let g = t0.g().clone();
     let bt = t0.bt().clone();
 
-    grad_check(&[x, w, at, g, bt], move |t, v| {
-        let (x, w, at, g, bt) = (v[0], v[1], v[2], v[3], v[4]);
-        // ---- input transform: BᵀdB per tile
-        let xp = t.pad_tiles(x, geom);
-        let tiles = t.gather_tiles(xp, geom); // [B·T·C, n²]
-        let rows = t.value(tiles).dim(0);
-        let t1 = t.reshape(tiles, &[rows * n, n]);
-        let t2 = t.matmul_nt(t1, bt); // X·B
-        let t3 = t.reshape(t2, &[rows, n * n]);
-        let t4 = t.tile_transpose(t3, n, n);
-        let t5 = t.reshape(t4, &[rows * n, n]);
-        let t6 = t.matmul_nt(t5, bt);
-        let t7 = t.reshape(t6, &[rows, n * n]);
-        let v_rows = t.tile_transpose(t7, n, n); // BᵀdB rows
+    grad_check(
+        &[x, w, at, g, bt],
+        move |t, v| {
+            let (x, w, at, g, bt) = (v[0], v[1], v[2], v[3], v[4]);
+            // ---- input transform: BᵀdB per tile
+            let xp = t.pad_tiles(x, geom);
+            let tiles = t.gather_tiles(xp, geom); // [B·T·C, n²]
+            let rows = t.value(tiles).dim(0);
+            let t1 = t.reshape(tiles, &[rows * n, n]);
+            let t2 = t.matmul_nt(t1, bt); // X·B
+            let t3 = t.reshape(t2, &[rows, n * n]);
+            let t4 = t.tile_transpose(t3, n, n);
+            let t5 = t.reshape(t4, &[rows * n, n]);
+            let t6 = t.matmul_nt(t5, bt);
+            let t7 = t.reshape(t6, &[rows, n * n]);
+            let v_rows = t.tile_transpose(t7, n, n); // BᵀdB rows
 
-        // ---- weight transform: GgGᵀ per filter
-        let wrows = out_ch * in_ch;
-        let w1 = t.reshape(w, &[wrows * rr, rr]);
-        let w2 = t.matmul_nt(w1, g); // g·Gᵀ
-        let w3 = t.reshape(w2, &[wrows, rr * n]);
-        let w4 = t.tile_transpose(w3, rr, n);
-        let w5 = t.reshape(w4, &[wrows * n, rr]);
-        let w6 = t.matmul_nt(w5, g);
-        let w7 = t.reshape(w6, &[wrows, n * n]);
-        let u_rows = t.tile_transpose(w7, n, n); // GgGᵀ rows
+            // ---- weight transform: GgGᵀ per filter
+            let wrows = out_ch * in_ch;
+            let w1 = t.reshape(w, &[wrows * rr, rr]);
+            let w2 = t.matmul_nt(w1, g); // g·Gᵀ
+            let w3 = t.reshape(w2, &[wrows, rr * n]);
+            let w4 = t.tile_transpose(w3, rr, n);
+            let w5 = t.reshape(w4, &[wrows * n, rr]);
+            let w6 = t.matmul_nt(w5, g);
+            let w7 = t.reshape(w6, &[wrows, n * n]);
+            let u_rows = t.tile_transpose(w7, n, n); // GgGᵀ rows
 
-        // ---- per-coordinate GEMM
-        let v_p = t.permute3(v_rows, [total_tiles, in_ch, n * n], [2, 1, 0]); // [n², C, T]
-        let u_p = t.permute3(u_rows, [out_ch, in_ch, n * n], [2, 0, 1]); // [n², K, C]
-        let mm = t.bmm(u_p, v_p, n * n, out_ch, in_ch, total_tiles); // [n², K, T]
+            // ---- per-coordinate GEMM
+            let v_p = t.permute3(v_rows, [total_tiles, in_ch, n * n], [2, 1, 0]); // [n², C, T]
+            let u_p = t.permute3(u_rows, [out_ch, in_ch, n * n], [2, 0, 1]); // [n², K, C]
+            let mm = t.bmm(u_p, v_p, n * n, out_ch, in_ch, total_tiles); // [n², K, T]
 
-        // ---- output transform: AᵀyA per (tile, k)
-        let m_rows3 = t.permute3(mm, [n * n, out_ch, total_tiles], [2, 1, 0]); // [T, K, n²]
-        let orows = total_tiles * out_ch;
-        let m_rows = t.reshape(m_rows3, &[orows, n * n]);
-        let o1 = t.reshape(m_rows, &[orows * n, n]);
-        let o2 = t.matmul_nt(o1, at); // Y·A
-        let o3 = t.reshape(o2, &[orows, n * m]);
-        let o4 = t.tile_transpose(o3, n, m);
-        let o5 = t.reshape(o4, &[orows * m, n]);
-        let o6 = t.matmul_nt(o5, at);
-        let o7 = t.reshape(o6, &[orows, m * m]);
-        let y_rows = t.tile_transpose(o7, m, m);
+            // ---- output transform: AᵀyA per (tile, k)
+            let m_rows3 = t.permute3(mm, [n * n, out_ch, total_tiles], [2, 1, 0]); // [T, K, n²]
+            let orows = total_tiles * out_ch;
+            let m_rows = t.reshape(m_rows3, &[orows, n * n]);
+            let o1 = t.reshape(m_rows, &[orows * n, n]);
+            let o2 = t.matmul_nt(o1, at); // Y·A
+            let o3 = t.reshape(o2, &[orows, n * m]);
+            let o4 = t.tile_transpose(o3, n, m);
+            let o5 = t.reshape(o4, &[orows * m, n]);
+            let o6 = t.matmul_nt(o5, at);
+            let o7 = t.reshape(o6, &[orows, m * m]);
+            let y_rows = t.tile_transpose(o7, m, m);
 
-        let y = t.assemble_output(y_rows, geom, batch, out_ch);
-        t.sq_sum(y)
-    }, 3e-2);
+            let y = t.assemble_output(y_rows, geom, batch, out_ch);
+            t.sq_sum(y)
+        },
+        3e-2,
+    );
 }
 
 #[test]
@@ -346,10 +428,14 @@ fn slice_and_concat_chan() {
     let mut r = rng();
     let a = r.uniform_tensor(&[2, 3, 2, 2], -1.0, 1.0);
     let b = r.uniform_tensor(&[2, 2, 2, 2], -1.0, 1.0);
-    grad_check(&[a, b], |t, v| {
-        let s = t.slice_chan(v[0], 1, 3); // 2 channels
-        let m = t.mul(s, v[1]);
-        let cat = t.concat_chan(&[m, v[1]]);
-        t.sq_sum(cat)
-    }, 2e-2);
+    grad_check(
+        &[a, b],
+        |t, v| {
+            let s = t.slice_chan(v[0], 1, 3); // 2 channels
+            let m = t.mul(s, v[1]);
+            let cat = t.concat_chan(&[m, v[1]]);
+            t.sq_sum(cat)
+        },
+        2e-2,
+    );
 }

@@ -1,6 +1,6 @@
-//! Property-based tests for the autograd engine.
+//! Property-style tests for the autograd engine, driven by deterministic
+//! seeded sweeps.
 
-use proptest::prelude::*;
 use wa_nn::Tape;
 use wa_tensor::{SeededRng, Tensor};
 
@@ -10,22 +10,23 @@ fn rand_tensor(shape: &[usize], seed: u64) -> Tensor {
 }
 
 fn dot(a: &Tensor, b: &Tensor) -> f64 {
-    a.data().iter().zip(b.data()).map(|(&x, &y)| (x as f64) * (y as f64)).sum()
+    a.data()
+        .iter()
+        .zip(b.data())
+        .map(|(&x, &y)| (x as f64) * (y as f64))
+        .sum()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Linearity of the gradient: ∇(αf) = α∇f for a matmul-chain loss.
-    #[test]
-    fn gradient_scales_linearly(
-        m in 1usize..5,
-        k in 1usize..5,
-        alpha in 0.1f32..3.0,
-        seed in 0u64..500,
-    ) {
-        let a = rand_tensor(&[m, k], seed);
-        let b = rand_tensor(&[k, m], seed + 1);
+/// Linearity of the gradient: ∇(αf) = α∇f for a matmul-chain loss.
+#[test]
+fn gradient_scales_linearly() {
+    let mut rng = SeededRng::new(0x3001);
+    for case in 0..32 {
+        let m = 1 + rng.below(4);
+        let k = 1 + rng.below(4);
+        let alpha = rng.uniform(0.1, 3.0);
+        let a = rand_tensor(&[m, k], 100 + case);
+        let b = rand_tensor(&[k, m], 101 + case);
         let grad_of = |scale: f32| {
             let mut tape = Tape::new();
             let av = tape.leaf_grad(a.clone());
@@ -39,47 +40,54 @@ proptest! {
         let g1 = grad_of(1.0);
         let ga = grad_of(alpha);
         for (x, y) in g1.data().iter().zip(ga.data()) {
-            prop_assert!((alpha * x - y).abs() < 1e-3 * (1.0 + y.abs()), "{} vs {}", alpha * x, y);
+            assert!(
+                (alpha * x - y).abs() < 1e-3 * (1.0 + y.abs()),
+                "{} vs {}",
+                alpha * x,
+                y
+            );
         }
     }
+}
 
-    /// The gradient of ⟨w, x⟩ w.r.t. w is x — for any shape, through a
-    /// reshape round-trip.
-    #[test]
-    fn inner_product_gradient_is_other_factor(
-        n in 1usize..30,
-        seed in 0u64..500,
-    ) {
-        let w = rand_tensor(&[n], seed);
-        let x = rand_tensor(&[n], seed + 7);
+/// The gradient of ⟨w, x⟩ w.r.t. w is x — for any shape, through a
+/// reshape round-trip.
+#[test]
+fn inner_product_gradient_is_other_factor() {
+    let mut rng = SeededRng::new(0x3002);
+    for case in 0..32 {
+        let n = 1 + rng.below(29);
+        let w = rand_tensor(&[n], 200 + case);
+        let x = rand_tensor(&[n], 207 + case);
         let mut tape = Tape::new();
         let wv = tape.leaf_grad(w.clone());
         let xv = tape.leaf(x.clone());
         let wr = tape.reshape(wv, &[1, n]);
         let xr = tape.reshape(xv, &[1, n]);
         let prod = tape.mul(wr, xr);
-        // sum via sq_sum of sqrt is awkward; use matmul with ones instead
+        // sum via matmul with a ones vector
         let ones = tape.leaf(Tensor::ones(&[n, 1]));
         let s = tape.matmul(prod, ones); // [1,1]
         let loss = tape.reshape(s, &[1]);
         let grads = tape.backward(loss);
         let g = grads.get(wv).unwrap();
         for (a, b) in g.data().iter().zip(x.data()) {
-            prop_assert!((a - b).abs() < 1e-5);
+            assert!((a - b).abs() < 1e-5);
         }
     }
+}
 
-    /// Backward of a linear op L is its adjoint: ⟨L(x), y⟩ = ⟨x, Lᵀ(y)⟩,
-    /// checked through the tape for the tile-transpose op.
-    #[test]
-    fn tape_linear_ops_are_adjoint(
-        rows in 1usize..4,
-        a in 2usize..5,
-        b in 2usize..5,
-        seed in 0u64..500,
-    ) {
-        let x = rand_tensor(&[rows, a * b], seed);
-        let y = rand_tensor(&[rows, b * a], seed + 3);
+/// Backward of a linear op L is its adjoint: ⟨L(x), y⟩ = ⟨x, Lᵀ(y)⟩,
+/// checked through the tape for the tile-transpose op.
+#[test]
+fn tape_linear_ops_are_adjoint() {
+    let mut rng = SeededRng::new(0x3003);
+    for case in 0..32 {
+        let rows = 1 + rng.below(3);
+        let a = 2 + rng.below(3);
+        let b = 2 + rng.below(3);
+        let x = rand_tensor(&[rows, a * b], 300 + case);
+        let y = rand_tensor(&[rows, b * a], 303 + case);
         // forward L(x)
         let mut tape = Tape::new();
         let xv = tape.leaf_grad(x.clone());
@@ -95,47 +103,52 @@ proptest! {
         let lx_val = tape.value(lx).clone();
         let grads = tape.backward(loss);
         let lt_y = grads.get(xv).unwrap();
-        prop_assert!((dot(&lx_val, &y) - dot(&x, lt_y)).abs() < 1e-3);
+        assert!((dot(&lx_val, &y) - dot(&x, lt_y)).abs() < 1e-3);
     }
+}
 
-    /// Cross-entropy loss is non-negative and its logit gradients sum to
-    /// zero per row (softmax shift invariance).
-    #[test]
-    fn cross_entropy_invariants(
-        n in 1usize..5,
-        k in 2usize..6,
-        seed in 0u64..500,
-    ) {
-        let logits = rand_tensor(&[n, k], seed);
-        let targets: Vec<usize> = (0..n).map(|i| (i * 31 + seed as usize) % k).collect();
+/// Cross-entropy loss is non-negative and its logit gradients sum to
+/// zero per row (softmax shift invariance).
+#[test]
+fn cross_entropy_invariants() {
+    let mut rng = SeededRng::new(0x3004);
+    for case in 0..32 {
+        let n = 1 + rng.below(4);
+        let k = 2 + rng.below(4);
+        let logits = rand_tensor(&[n, k], 400 + case);
+        let targets: Vec<usize> = (0..n).map(|i| (i * 31 + case as usize) % k).collect();
         let mut tape = Tape::new();
         let lv = tape.leaf_grad(logits);
         let loss = tape.cross_entropy(lv, &targets);
-        prop_assert!(tape.value(loss).data()[0] >= 0.0);
+        assert!(tape.value(loss).data()[0] >= 0.0);
         let grads = tape.backward(loss);
         let g = grads.get(lv).unwrap();
         for i in 0..n {
             let row_sum: f64 = g.data()[i * k..(i + 1) * k].iter().map(|&v| v as f64).sum();
-            prop_assert!(row_sum.abs() < 1e-5, "row {} grad sum {}", i, row_sum);
+            assert!(row_sum.abs() < 1e-5, "row {i} grad sum {row_sum}");
         }
     }
+}
 
-    /// Fake-quant STE: the op's output is on the quantization grid and
-    /// the gradient mask is binary.
-    #[test]
-    fn fake_quant_grid_and_mask(
-        n in 1usize..20,
-        scale in 0.01f32..0.5,
-        seed in 0u64..500,
-    ) {
-        use wa_quant::BitWidth;
-        let x = rand_tensor(&[n], seed).scale(3.0);
+/// Fake-quant STE: the op's output is on the quantization grid and
+/// the gradient mask is binary.
+#[test]
+fn fake_quant_grid_and_mask() {
+    use wa_quant::BitWidth;
+    let mut rng = SeededRng::new(0x3005);
+    for case in 0..32 {
+        let n = 1 + rng.below(19);
+        let scale = rng.uniform(0.01, 0.5);
+        let x = rand_tensor(&[n], 500 + case).scale(3.0);
         let mut tape = Tape::new();
         let xv = tape.leaf_grad(x.clone());
         let q = tape.fake_quant(xv, BitWidth::INT8, scale);
         for &v in tape.value(q).data() {
             let steps = v / scale;
-            prop_assert!((steps - steps.round()).abs() < 1e-3, "{} not on grid {}", v, scale);
+            assert!(
+                (steps - steps.round()).abs() < 1e-3,
+                "{v} not on grid {scale}"
+            );
         }
         let loss = tape.sq_sum(q);
         let grads = tape.backward(loss);
@@ -144,10 +157,10 @@ proptest! {
         for (i, (&gi, &xi)) in g.data().iter().zip(x.data()).enumerate() {
             let saturated = xi.abs() > 127.0 * scale;
             if saturated {
-                prop_assert!(gi == 0.0, "elem {}: saturated but grad {}", i, gi);
+                assert!(gi == 0.0, "elem {i}: saturated but grad {gi}");
             } else {
                 // unsaturated STE passes 2·q through
-                prop_assert!((gi - 2.0 * qv.data()[i]).abs() < 1e-4);
+                assert!((gi - 2.0 * qv.data()[i]).abs() < 1e-4);
             }
         }
     }

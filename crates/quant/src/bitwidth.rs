@@ -1,7 +1,5 @@
 //! Numeric precision descriptors.
 
-use serde::{Deserialize, Serialize};
-
 /// The precision a tensor is (fake-)quantized to.
 ///
 /// `Fp32` is the identity (no quantization); `Int(b)` is signed symmetric
@@ -19,7 +17,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(BitWidth::INT16.qmax(), 32767);
 /// assert!(BitWidth::FP32.is_float());
 /// ```
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum BitWidth {
     /// 32-bit floating point — no quantization.
     Fp32,

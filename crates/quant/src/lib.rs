@@ -34,5 +34,5 @@ mod quantize;
 pub use bitwidth::BitWidth;
 pub use observer::{Observer, ObserverMode};
 pub use quantize::{
-    dequantize_i32, fake_quant, fake_quant_scale, quantize_i32, quantization_rmse, ste_mask,
+    dequantize_i32, fake_quant, fake_quant_scale, quantization_rmse, quantize_i32, ste_mask,
 };

@@ -1,12 +1,11 @@
 //! Dynamic-range observers.
 
-use serde::{Deserialize, Serialize};
 use wa_tensor::Tensor;
 
 use crate::bitwidth::BitWidth;
 
 /// How an [`Observer`] aggregates the ranges it sees.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub enum ObserverMode {
     /// Running maximum of |x| over all observations (never shrinks).
     RunningMax,
@@ -43,7 +42,7 @@ impl Default for ObserverMode {
 /// assert_eq!(obs.range(), 2.0);
 /// assert!((obs.scale(BitWidth::INT8) - 2.0 / 127.0).abs() < 1e-7);
 /// ```
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Observer {
     mode: ObserverMode,
     running: f32,
@@ -60,7 +59,12 @@ impl Default for Observer {
 impl Observer {
     /// Creates an observer with the given aggregation mode.
     pub fn new(mode: ObserverMode) -> Self {
-        Observer { mode, running: 0.0, seen: 0, frozen: false }
+        Observer {
+            mode,
+            running: 0.0,
+            seen: 0,
+            frozen: false,
+        }
     }
 
     /// Updates the range estimate with a new tensor and returns the current

@@ -69,7 +69,11 @@ pub fn ste_mask(x: &Tensor, bits: BitWidth, scale: f32) -> Tensor {
 /// Panics if `bits` is FP32 or `scale <= 0`.
 pub fn quantize_i32(x: &Tensor, bits: BitWidth, scale: f32) -> Vec<i32> {
     assert!(!bits.is_float(), "cannot integer-quantize at FP32");
-    assert!(scale > 0.0, "quantization scale must be positive, got {}", scale);
+    assert!(
+        scale > 0.0,
+        "quantization scale must be positive, got {}",
+        scale
+    );
     let qmax = bits.qmax();
     x.data()
         .iter()

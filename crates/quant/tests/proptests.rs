@@ -1,90 +1,106 @@
-//! Property-based tests for the quantization primitives.
+//! Property-style tests for the quantization primitives, driven by
+//! deterministic seeded sweeps.
 
-use proptest::prelude::*;
 use wa_quant::{
     dequantize_i32, fake_quant_scale, quantization_rmse, quantize_i32, ste_mask, BitWidth,
     Observer, ObserverMode,
 };
 use wa_tensor::SeededRng;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Fake-quant is idempotent at fixed scale for every width.
-    #[test]
-    fn idempotence(bits in 2u8..=16, scale in 0.001f32..1.0, seed in 0u64..1000) {
-        let mut rng = SeededRng::new(seed);
-        let x = rng.uniform_tensor(&[32], -2.0, 2.0);
-        let b = BitWidth::Int(bits);
-        let q1 = fake_quant_scale(&x, b, scale);
-        let q2 = fake_quant_scale(&q1, b, scale);
-        prop_assert_eq!(q1, q2);
-    }
-
-    /// |x − q(x)| ≤ scale/2 inside the representable range.
-    #[test]
-    fn half_step_error_bound(bits in 3u8..=12, seed in 0u64..1000) {
-        let mut rng = SeededRng::new(seed);
-        let x = rng.uniform_tensor(&[64], -1.0, 1.0);
-        let b = BitWidth::Int(bits);
-        let scale = 1.0 / b.qmax() as f32;
-        let q = fake_quant_scale(&x, b, scale);
-        for (a, v) in x.data().iter().zip(q.data()) {
-            prop_assert!((a - v).abs() <= scale / 2.0 + 1e-6);
+/// Fake-quant is idempotent at fixed scale for every width.
+#[test]
+fn idempotence() {
+    let mut rng = SeededRng::new(0x2001);
+    for bits in 2u8..=16 {
+        for _ in 0..4 {
+            let scale = rng.uniform(0.001, 1.0);
+            let x = rng.uniform_tensor(&[32], -2.0, 2.0);
+            let b = BitWidth::Int(bits);
+            let q1 = fake_quant_scale(&x, b, scale);
+            let q2 = fake_quant_scale(&q1, b, scale);
+            assert_eq!(q1, q2, "bits {bits} scale {scale}");
         }
     }
+}
 
-    /// Integer quantize/dequantize agrees with fake-quant exactly.
-    #[test]
-    fn integer_path_matches_fake_quant(bits in 2u8..=16, seed in 0u64..1000) {
-        let mut rng = SeededRng::new(seed);
-        let x = rng.uniform_tensor(&[16], -3.0, 3.0);
-        let b = BitWidth::Int(bits);
-        let scale = 0.05f32;
-        let ints = quantize_i32(&x, b, scale);
-        let deq = dequantize_i32(&ints, scale, &[16]);
-        let fq = fake_quant_scale(&x, b, scale);
-        for (a, v) in deq.data().iter().zip(fq.data()) {
-            prop_assert!((a - v).abs() < 1e-6);
-        }
-        let qmax = b.qmax();
-        for &i in &ints {
-            prop_assert!(-qmax <= i && i <= qmax);
+/// |x − q(x)| ≤ scale/2 inside the representable range.
+#[test]
+fn half_step_error_bound() {
+    let mut rng = SeededRng::new(0x2002);
+    for bits in 3u8..=12 {
+        for _ in 0..6 {
+            let x = rng.uniform_tensor(&[64], -1.0, 1.0);
+            let b = BitWidth::Int(bits);
+            let scale = 1.0 / b.qmax() as f32;
+            let q = fake_quant_scale(&x, b, scale);
+            for (a, v) in x.data().iter().zip(q.data()) {
+                assert!((a - v).abs() <= scale / 2.0 + 1e-6);
+            }
         }
     }
+}
 
-    /// RMSE decreases (weakly) with precision.
-    #[test]
-    fn rmse_monotone_in_bits(seed in 0u64..1000) {
-        let mut rng = SeededRng::new(seed);
+/// Integer quantize/dequantize agrees with fake-quant exactly.
+#[test]
+fn integer_path_matches_fake_quant() {
+    let mut rng = SeededRng::new(0x2003);
+    for bits in 2u8..=16 {
+        for _ in 0..4 {
+            let x = rng.uniform_tensor(&[16], -3.0, 3.0);
+            let b = BitWidth::Int(bits);
+            let scale = 0.05f32;
+            let ints = quantize_i32(&x, b, scale);
+            let deq = dequantize_i32(&ints, scale, &[16]);
+            let fq = fake_quant_scale(&x, b, scale);
+            for (a, v) in deq.data().iter().zip(fq.data()) {
+                assert!((a - v).abs() < 1e-6);
+            }
+            let qmax = b.qmax();
+            for &i in &ints {
+                assert!(-qmax <= i && i <= qmax);
+            }
+        }
+    }
+}
+
+/// RMSE decreases (weakly) with precision.
+#[test]
+fn rmse_monotone_in_bits() {
+    let mut rng = SeededRng::new(0x2004);
+    for _ in 0..16 {
         let x = rng.uniform_tensor(&[128], -1.0, 1.0);
         let mut last = f64::INFINITY;
         for bits in [4u8, 6, 8, 10, 12] {
             let b = BitWidth::Int(bits);
             let e = quantization_rmse(&x, b, 1.0 / b.qmax() as f32);
-            prop_assert!(e <= last + 1e-12, "bits {} rmse {} > previous {}", bits, e, last);
+            assert!(e <= last + 1e-12, "bits {bits} rmse {e} > previous {last}");
             last = e;
         }
     }
+}
 
-    /// The STE mask is exactly the indicator of the representable range.
-    #[test]
-    fn ste_mask_is_range_indicator(scale in 0.01f32..0.2, seed in 0u64..1000) {
-        let mut rng = SeededRng::new(seed);
+/// The STE mask is exactly the indicator of the representable range.
+#[test]
+fn ste_mask_is_range_indicator() {
+    let mut rng = SeededRng::new(0x2005);
+    for _ in 0..16 {
+        let scale = rng.uniform(0.01, 0.2);
         let x = rng.uniform_tensor(&[64], -30.0, 30.0);
         let b = BitWidth::INT8;
         let mask = ste_mask(&x, b, scale);
         let lim = 127.0 * scale;
         for (v, m) in x.data().iter().zip(mask.data()) {
-            prop_assert_eq!(*m, if v.abs() <= lim { 1.0 } else { 0.0 });
+            assert_eq!(*m, if v.abs() <= lim { 1.0 } else { 0.0 });
         }
     }
+}
 
-    /// Observer scale always covers what it has seen in RunningMax mode:
-    /// no observed value can saturate by more than rounding.
-    #[test]
-    fn running_max_scale_covers_history(seed in 0u64..1000) {
-        let mut rng = SeededRng::new(seed);
+/// Observer scale always covers what it has seen in RunningMax mode:
+/// no observed value can saturate by more than rounding.
+#[test]
+fn running_max_scale_covers_history() {
+    let mut rng = SeededRng::new(0x2006);
+    for _ in 0..16 {
         let mut obs = Observer::new(ObserverMode::RunningMax);
         let mut all = Vec::new();
         for _ in 0..5 {
@@ -95,7 +111,7 @@ proptest! {
         let scale = obs.scale(BitWidth::INT8);
         let lim = 127.0 * scale;
         for v in all {
-            prop_assert!(v.abs() <= lim + 1e-5, "{} exceeds {}", v, lim);
+            assert!(v.abs() <= lim + 1e-5, "{v} exceeds {lim}");
         }
     }
 }

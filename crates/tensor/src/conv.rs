@@ -6,8 +6,6 @@
 //! becomes one GEMM — the baseline algorithm the paper compares Winograd
 //! against (its `im2row`/`im2col` rows of Table 3 and Figure 7).
 
-use serde::{Deserialize, Serialize};
-
 use crate::tensor::Tensor;
 
 /// Geometry of a 2-D convolution layer.
@@ -20,7 +18,7 @@ use crate::tensor::Tensor;
 /// let s = ConvShape { batch: 1, in_ch: 3, in_h: 32, in_w: 32, out_ch: 32, kh: 3, kw: 3, stride: 1, pad: 1 };
 /// assert_eq!((s.out_h(), s.out_w()), (32, 32));
 /// ```
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct ConvShape {
     /// Batch size N.
     pub batch: usize,
@@ -51,7 +49,12 @@ impl ConvShape {
     pub fn out_h(&self) -> usize {
         assert!(self.stride > 0, "stride must be positive");
         let padded = self.in_h + 2 * self.pad;
-        assert!(padded >= self.kh, "kernel height {} exceeds padded input {}", self.kh, padded);
+        assert!(
+            padded >= self.kh,
+            "kernel height {} exceeds padded input {}",
+            self.kh,
+            padded
+        );
         (padded - self.kh) / self.stride + 1
     }
 
@@ -63,7 +66,12 @@ impl ConvShape {
     pub fn out_w(&self) -> usize {
         assert!(self.stride > 0, "stride must be positive");
         let padded = self.in_w + 2 * self.pad;
-        assert!(padded >= self.kw, "kernel width {} exceeds padded input {}", self.kw, padded);
+        assert!(
+            padded >= self.kw,
+            "kernel width {} exceeds padded input {}",
+            self.kw,
+            padded
+        );
         (padded - self.kw) / self.stride + 1
     }
 
@@ -113,7 +121,12 @@ pub fn unpad_nchw(x: &Tensor, pad: usize) -> Tensor {
         return x.clone();
     }
     let (n, c, ph, pw) = (x.dim(0), x.dim(1), x.dim(2), x.dim(3));
-    assert!(ph > 2 * pad && pw > 2 * pad, "cannot crop {} from {:?}", pad, x.shape());
+    assert!(
+        ph > 2 * pad && pw > 2 * pad,
+        "cannot crop {} from {:?}",
+        pad,
+        x.shape()
+    );
     let (h, w) = (ph - 2 * pad, pw - 2 * pad);
     let mut out = Tensor::zeros(&[n, c, h, w]);
     let src = x.data();
@@ -144,7 +157,14 @@ pub fn im2row(x: &Tensor, kh: usize, kw: usize, stride: usize) -> Tensor {
     assert_eq!(x.ndim(), 4, "im2row expects NCHW, got {:?}", x.shape());
     assert!(stride > 0, "stride must be positive");
     let (n, c, h, w) = (x.dim(0), x.dim(1), x.dim(2), x.dim(3));
-    assert!(h >= kh && w >= kw, "kernel {}x{} does not fit input {}x{}", kh, kw, h, w);
+    assert!(
+        h >= kh && w >= kw,
+        "kernel {}x{} does not fit input {}x{}",
+        kh,
+        kw,
+        h,
+        w
+    );
     let oh = (h - kh) / stride + 1;
     let ow = (w - kw) / stride + 1;
     let patch = c * kh * kw;
@@ -177,22 +197,16 @@ pub fn im2row(x: &Tensor, kh: usize, kw: usize, stride: usize) -> Tensor {
 /// `rows` must be `[N·outH·outW, C·kh·kw]` for an input of padded size
 /// `[n, c, h, w]`; returns that `[n, c, h, w]` gradient.
 ///
-/// The geometry arguments mirror [`im2row`]'s implicit ones.
+/// The geometry arguments mirror [`im2row`]'s implicit ones: `padded` is
+/// the `[n, c, h, w]` shape of the padded input and `kernel` is
+/// `(kh, kw)`.
 ///
 /// # Panics
 ///
 /// Panics if the row count or patch size disagrees with the geometry.
-#[allow(clippy::too_many_arguments)]
-pub fn col2im(
-    rows: &Tensor,
-    n: usize,
-    c: usize,
-    h: usize,
-    w: usize,
-    kh: usize,
-    kw: usize,
-    stride: usize,
-) -> Tensor {
+pub fn col2im(rows: &Tensor, padded: [usize; 4], kernel: (usize, usize), stride: usize) -> Tensor {
+    let [n, c, h, w] = padded;
+    let (kh, kw) = kernel;
     assert!(stride > 0, "stride must be positive");
     let oh = (h - kh) / stride + 1;
     let ow = (w - kw) / stride + 1;
@@ -246,8 +260,18 @@ pub fn conv2d_direct(
     stride: usize,
     pad: usize,
 ) -> Tensor {
-    assert_eq!(x.ndim(), 4, "conv2d_direct input must be NCHW, got {:?}", x.shape());
-    assert_eq!(weight.ndim(), 4, "conv2d_direct weight must be KCkhkw, got {:?}", weight.shape());
+    assert_eq!(
+        x.ndim(),
+        4,
+        "conv2d_direct input must be NCHW, got {:?}",
+        x.shape()
+    );
+    assert_eq!(
+        weight.ndim(),
+        4,
+        "conv2d_direct weight must be KCkhkw, got {:?}",
+        weight.shape()
+    );
     assert_eq!(
         x.dim(1),
         weight.dim(1),
@@ -267,7 +291,13 @@ pub fn conv2d_direct(
         pad,
     };
     if let Some(b) = bias {
-        assert_eq!(b.shape(), &[shape.out_ch], "bias must be [{}], got {:?}", shape.out_ch, b.shape());
+        assert_eq!(
+            b.shape(),
+            &[shape.out_ch],
+            "bias must be [{}], got {:?}",
+            shape.out_ch,
+            b.shape()
+        );
     }
     let xp = pad_nchw(x, pad);
     let (n, c) = (shape.batch, shape.in_ch);
@@ -290,7 +320,8 @@ pub fn conv2d_direct(
                         let w0 = ((f * c + ch) * kh) * kw;
                         for ky in 0..kh {
                             for kx in 0..kw {
-                                acc += (src[s0 + ky * w + kx] as f64) * (wts[w0 + ky * kw + kx] as f64);
+                                acc += (src[s0 + ky * w + kx] as f64)
+                                    * (wts[w0 + ky * kw + kx] as f64);
                             }
                         }
                     }
@@ -320,9 +351,30 @@ pub fn conv2d_direct_f64(
     kh: usize,
     kw: usize,
 ) -> Vec<f64> {
-    assert_eq!(input.len(), ih * iw, "input length {} != {}x{}", input.len(), ih, iw);
-    assert_eq!(kernel.len(), kh * kw, "kernel length {} != {}x{}", kernel.len(), kh, kw);
-    assert!(ih >= kh && iw >= kw, "kernel {}x{} does not fit {}x{}", kh, kw, ih, iw);
+    assert_eq!(
+        input.len(),
+        ih * iw,
+        "input length {} != {}x{}",
+        input.len(),
+        ih,
+        iw
+    );
+    assert_eq!(
+        kernel.len(),
+        kh * kw,
+        "kernel length {} != {}x{}",
+        kernel.len(),
+        kh,
+        kw
+    );
+    assert!(
+        ih >= kh && iw >= kw,
+        "kernel {}x{} does not fit {}x{}",
+        kh,
+        kw,
+        ih,
+        iw
+    );
     let (oh, ow) = (ih - kh + 1, iw - kw + 1);
     let mut out = vec![0.0; oh * ow];
     for oy in 0..oh {
@@ -399,8 +451,7 @@ mod tests {
             for oy in 0..oh {
                 for ox in 0..ow {
                     for f in 0..k {
-                        *got.at_mut(&[img, f, oy, ox]) =
-                            out.at(&[(img * oh + oy) * ow + ox, f]);
+                        *got.at_mut(&[img, f, oy, ox]) = out.at(&[(img * oh + oy) * ow + ox, f]);
                     }
                 }
             }
@@ -424,9 +475,19 @@ mod tests {
         let x = rng.uniform_tensor(&[1, 2, 6, 5], -1.0, 1.0);
         let rows = im2row(&x, 3, 3, 1);
         let y = rng.uniform_tensor(rows.shape(), -1.0, 1.0);
-        let back = col2im(&y, 1, 2, 6, 5, 3, 3, 1);
-        let lhs: f64 = rows.data().iter().zip(y.data()).map(|(&a, &b)| (a as f64) * (b as f64)).sum();
-        let rhs: f64 = x.data().iter().zip(back.data()).map(|(&a, &b)| (a as f64) * (b as f64)).sum();
+        let back = col2im(&y, [1, 2, 6, 5], (3, 3), 1);
+        let lhs: f64 = rows
+            .data()
+            .iter()
+            .zip(y.data())
+            .map(|(&a, &b)| (a as f64) * (b as f64))
+            .sum();
+        let rhs: f64 = x
+            .data()
+            .iter()
+            .zip(back.data())
+            .map(|(&a, &b)| (a as f64) * (b as f64))
+            .sum();
         assert!((lhs - rhs).abs() < 1e-3, "{} vs {}", lhs, rhs);
     }
 

@@ -3,8 +3,7 @@
 //! A dependency-free GEMM tuned for the modest matrix sizes that appear in
 //! CNN inference/training on small images: panels are blocked to stay in L1
 //! and the inner micro-kernel accumulates a 4×4 register tile. Large
-//! products are optionally split across threads with `crossbeam` scoped
-//! threads.
+//! products are optionally split across threads with `std::thread::scope`.
 
 use crate::tensor::Tensor;
 
@@ -49,7 +48,12 @@ pub fn gemm(a: &Tensor, ta: Transpose, b: &Tensor, tb: Transpose) -> Tensor {
 }
 
 fn op_dims(t: &Tensor, tr: Transpose) -> (usize, usize) {
-    assert_eq!(t.ndim(), 2, "gemm operands must be 2-D, got {:?}", t.shape());
+    assert_eq!(
+        t.ndim(),
+        2,
+        "gemm operands must be 2-D, got {:?}",
+        t.shape()
+    );
     match tr {
         Transpose::No => (t.dim(0), t.dim(1)),
         Transpose::Yes => (t.dim(1), t.dim(0)),
@@ -67,7 +71,14 @@ pub fn gemm_into(a: &Tensor, ta: Transpose, b: &Tensor, tb: Transpose, out: &mut
     let (m, k) = op_dims(a, ta);
     let (kb, n) = op_dims(b, tb);
     assert_eq!(k, kb, "gemm inner dimension mismatch: {} vs {}", k, kb);
-    assert_eq!(out.shape(), &[m, n], "gemm output must be [{}, {}], got {:?}", m, n, out.shape());
+    assert_eq!(
+        out.shape(),
+        &[m, n],
+        "gemm output must be [{}, {}], got {:?}",
+        m,
+        n,
+        out.shape()
+    );
 
     // Pack both operands into row-major [m,k] and column-friendly [k,n]
     // form once, so the inner kernel is branch-free.
@@ -76,21 +87,23 @@ pub fn gemm_into(a: &Tensor, ta: Transpose, b: &Tensor, tb: Transpose, out: &mut
     let out_data = out.data_mut();
 
     if m * n * k >= PARALLEL_THRESHOLD {
-        let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).min(8);
+        let threads = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+            .min(8);
         if threads > 1 {
             let rows_per = m.div_ceil(threads);
-            crossbeam::thread::scope(|s| {
+            std::thread::scope(|s| {
                 for (ti, chunk) in out_data.chunks_mut(rows_per * n).enumerate() {
                     let ap = &ap;
                     let bp = &bp;
-                    s.spawn(move |_| {
+                    s.spawn(move || {
                         let row0 = ti * rows_per;
                         let rows = chunk.len() / n;
                         kernel(&ap[row0 * k..(row0 + rows) * k], bp, chunk, rows, n, k);
                     });
                 }
-            })
-            .expect("gemm worker thread panicked");
+            });
             return;
         }
     }
@@ -207,7 +220,12 @@ mod tests {
     fn assert_close(a: &Tensor, b: &Tensor, tol: f32) {
         assert_eq!(a.shape(), b.shape());
         for (x, y) in a.data().iter().zip(b.data()) {
-            assert!((x - y).abs() <= tol * (1.0 + x.abs().max(y.abs())), "{} vs {}", x, y);
+            assert!(
+                (x - y).abs() <= tol * (1.0 + x.abs().max(y.abs())),
+                "{} vs {}",
+                x,
+                y
+            );
         }
     }
 
@@ -216,7 +234,11 @@ mod tests {
         for (m, k, n) in [(1, 1, 1), (2, 3, 4), (5, 7, 3), (8, 8, 8), (13, 1, 9)] {
             let a = rand_mat(m, k, 42 + m as u64);
             let b = rand_mat(k, n, 7 + n as u64);
-            assert_close(&gemm(&a, Transpose::No, &b, Transpose::No), &naive(&a, &b), 1e-5);
+            assert_close(
+                &gemm(&a, Transpose::No, &b, Transpose::No),
+                &naive(&a, &b),
+                1e-5,
+            );
         }
     }
 
@@ -238,7 +260,11 @@ mod tests {
         // Force the threshold by exceeding 64^3 elements of work.
         let a = rand_mat(80, 70, 11);
         let b = rand_mat(70, 90, 12);
-        assert_close(&gemm(&a, Transpose::No, &b, Transpose::No), &naive(&a, &b), 1e-4);
+        assert_close(
+            &gemm(&a, Transpose::No, &b, Transpose::No),
+            &naive(&a, &b),
+            1e-4,
+        );
     }
 
     #[test]

@@ -1,15 +1,13 @@
 //! Deterministic random number generation for reproducible experiments.
 
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
-
 use crate::tensor::Tensor;
 
 /// A seeded, portable pseudo-random number generator.
 ///
-/// Wraps `ChaCha8Rng` so every experiment in the workspace is bit-for-bit
-/// reproducible across platforms and `rand` upgrades (the stream of a
-/// ChaCha RNG is specified, unlike `StdRng`).
+/// Implements xoshiro256++ (Blackman & Vigna 2019) seeded through
+/// SplitMix64, entirely in-crate, so every experiment in the workspace is
+/// bit-for-bit reproducible across platforms with no external RNG
+/// dependency (the stream of xoshiro256++ is fully specified).
 ///
 /// # Example
 ///
@@ -22,19 +20,53 @@ use crate::tensor::Tensor;
 /// ```
 #[derive(Clone, Debug)]
 pub struct SeededRng {
-    inner: ChaCha8Rng,
+    state: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl SeededRng {
     /// Creates a generator from a 64-bit seed.
     pub fn new(seed: u64) -> Self {
-        SeededRng { inner: ChaCha8Rng::seed_from_u64(seed) }
+        let mut sm = seed;
+        SeededRng {
+            state: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.state;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform `f32` in `[0, 1)` with full 24-bit mantissa resolution.
+    fn unit_f32(&mut self) -> f32 {
+        (self.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
     }
 
     /// Derives an independent child generator; useful for giving each
     /// layer/worker its own stream while keeping global determinism.
     pub fn fork(&mut self, salt: u64) -> SeededRng {
-        let s = self.inner.gen::<u64>() ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let s = self.next_u64() ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
         SeededRng::new(s)
     }
 
@@ -45,14 +77,14 @@ impl SeededRng {
     /// Panics if `lo >= hi`.
     pub fn uniform(&mut self, lo: f32, hi: f32) -> f32 {
         assert!(lo < hi, "uniform requires lo < hi, got [{}, {})", lo, hi);
-        self.inner.gen::<f32>() * (hi - lo) + lo
+        self.unit_f32() * (hi - lo) + lo
     }
 
     /// Standard normal sample (Box–Muller).
     pub fn normal(&mut self) -> f32 {
         loop {
-            let u1: f32 = self.inner.gen();
-            let u2: f32 = self.inner.gen();
+            let u1: f32 = self.unit_f32();
+            let u2: f32 = self.unit_f32();
             if u1 > f32::MIN_POSITIVE {
                 let r = (-2.0 * u1.ln()).sqrt();
                 return r * (2.0 * std::f32::consts::PI * u2).cos();
@@ -67,18 +99,26 @@ impl SeededRng {
     /// Panics if `n == 0`.
     pub fn below(&mut self, n: usize) -> usize {
         assert!(n > 0, "below(0) is undefined");
-        self.inner.gen_range(0..n)
+        // Lemire-style rejection sampling keeps the draw unbiased.
+        let n = n as u64;
+        let zone = u64::MAX - u64::MAX % n;
+        loop {
+            let v = self.next_u64();
+            if v < zone {
+                return (v % n) as usize;
+            }
+        }
     }
 
     /// Bernoulli sample with probability `p` of `true`.
     pub fn chance(&mut self, p: f32) -> bool {
-        self.inner.gen::<f32>() < p
+        self.unit_f32() < p
     }
 
     /// Fisher–Yates shuffle of a slice.
     pub fn shuffle<T>(&mut self, xs: &mut [T]) {
         for i in (1..xs.len()).rev() {
-            let j = self.inner.gen_range(0..=i);
+            let j = self.below(i + 1);
             xs.swap(i, j);
         }
     }
@@ -101,7 +141,11 @@ impl SeededRng {
     ///
     /// Panics if `shape` has fewer than 2 dimensions.
     pub fn kaiming_tensor(&mut self, shape: &[usize]) -> Tensor {
-        assert!(shape.len() >= 2, "kaiming init needs >= 2 dims, got {:?}", shape);
+        assert!(
+            shape.len() >= 2,
+            "kaiming init needs >= 2 dims, got {:?}",
+            shape
+        );
         let fan_in: usize = shape[1..].iter().product();
         let std = (2.0 / fan_in as f32).sqrt();
         self.normal_tensor(shape, std)

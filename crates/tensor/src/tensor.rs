@@ -1,7 +1,5 @@
 //! The dense row-major `f32` [`Tensor`] type.
 
-use serde::{Deserialize, Serialize};
-
 use crate::gemm::{self, Transpose};
 
 /// A dense, contiguous, row-major tensor of `f32` values.
@@ -19,7 +17,7 @@ use crate::gemm::{self, Transpose};
 /// assert_eq!(t.shape(), &[2, 3]);
 /// assert_eq!(t.len(), 6);
 /// ```
-#[derive(Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, PartialEq)]
 pub struct Tensor {
     shape: Vec<usize>,
     data: Vec<f32>,
@@ -65,7 +63,10 @@ impl Tensor {
     /// Panics if `shape` is empty.
     pub fn zeros(shape: &[usize]) -> Self {
         assert!(!shape.is_empty(), "tensor shape must be non-empty");
-        Tensor { shape: shape.to_vec(), data: vec![0.0; numel(shape)] }
+        Tensor {
+            shape: shape.to_vec(),
+            data: vec![0.0; numel(shape)],
+        }
     }
 
     /// Creates a tensor of ones with the given shape.
@@ -76,7 +77,10 @@ impl Tensor {
     /// Creates a tensor filled with `value`.
     pub fn full(shape: &[usize], value: f32) -> Self {
         assert!(!shape.is_empty(), "tensor shape must be non-empty");
-        Tensor { shape: shape.to_vec(), data: vec![value; numel(shape)] }
+        Tensor {
+            shape: shape.to_vec(),
+            data: vec![value; numel(shape)],
+        }
     }
 
     /// Creates a tensor that takes ownership of `data`.
@@ -92,13 +96,55 @@ impl Tensor {
             data.len(),
             shape
         );
-        Tensor { shape: shape.to_vec(), data }
+        Tensor {
+            shape: shape.to_vec(),
+            data,
+        }
     }
 
     /// Creates a tensor by evaluating `f` at every flat index.
     pub fn from_fn(shape: &[usize], mut f: impl FnMut(usize) -> f32) -> Self {
         let n = numel(shape);
-        Tensor { shape: shape.to_vec(), data: (0..n).map(&mut f).collect() }
+        Tensor {
+            shape: shape.to_vec(),
+            data: (0..n).map(&mut f).collect(),
+        }
+    }
+
+    /// Serializes as a `{"shape": [...], "data": [...]}` JSON object.
+    pub fn to_json(&self) -> crate::Json {
+        crate::Json::obj([
+            ("shape", crate::Json::arr(self.shape.iter().copied())),
+            ("data", crate::Json::arr(self.data.iter().copied())),
+        ])
+    }
+
+    /// Reads a tensor back from the [`Tensor::to_json`] encoding.
+    pub fn from_json(json: &crate::Json) -> Result<Tensor, crate::JsonError> {
+        let bad = |message: &str| crate::JsonError {
+            offset: 0,
+            message: message.to_string(),
+        };
+        let shape: Vec<usize> = json
+            .get("shape")
+            .and_then(|s| s.as_arr())
+            .ok_or_else(|| bad("tensor JSON needs a `shape` array"))?
+            .iter()
+            .map(|v| v.as_f64().map(|f| f as usize))
+            .collect::<Option<_>>()
+            .ok_or_else(|| bad("tensor shape entries must be numbers"))?;
+        let data: Vec<f32> = json
+            .get("data")
+            .and_then(|d| d.as_arr())
+            .ok_or_else(|| bad("tensor JSON needs a `data` array"))?
+            .iter()
+            .map(|v| v.as_f64().map(|f| f as f32))
+            .collect::<Option<_>>()
+            .ok_or_else(|| bad("tensor data entries must be numbers"))?;
+        if shape.is_empty() || data.len() != numel(&shape) {
+            return Err(bad("tensor data length does not match shape"));
+        }
+        Ok(Tensor { shape, data })
     }
 
     /// The `n × n` identity matrix.
@@ -125,7 +171,10 @@ impl Tensor {
             assert_eq!(r.len(), cols, "ragged rows: {} vs {}", r.len(), cols);
             data.extend(r.iter().map(|&v| v as f32));
         }
-        Tensor { shape: vec![rows.len(), cols], data }
+        Tensor {
+            shape: vec![rows.len(), cols],
+            data,
+        }
     }
 
     // ----- shape accessors ---------------------------------------------
@@ -191,7 +240,10 @@ impl Tensor {
             shape,
             numel(shape)
         );
-        Tensor { shape: shape.to_vec(), data: self.data.clone() }
+        Tensor {
+            shape: shape.to_vec(),
+            data: self.data.clone(),
+        }
     }
 
     /// In-place reshape, avoiding the copy of [`Tensor::reshape`].
@@ -200,7 +252,13 @@ impl Tensor {
     ///
     /// Panics if the element counts differ.
     pub fn reshape_in_place(&mut self, shape: &[usize]) {
-        assert_eq!(self.len(), numel(shape), "cannot reshape {:?} to {:?}", self.shape, shape);
+        assert_eq!(
+            self.len(),
+            numel(shape),
+            "cannot reshape {:?} to {:?}",
+            self.shape,
+            shape
+        );
         self.shape = shape.to_vec();
     }
 
@@ -210,7 +268,12 @@ impl Tensor {
     ///
     /// Panics if the tensor is not 2-D.
     pub fn transpose(&self) -> Tensor {
-        assert_eq!(self.ndim(), 2, "transpose requires a 2-D tensor, got {:?}", self.shape);
+        assert_eq!(
+            self.ndim(),
+            2,
+            "transpose requires a 2-D tensor, got {:?}",
+            self.shape
+        );
         let (r, c) = (self.shape[0], self.shape[1]);
         let mut out = Tensor::zeros(&[c, r]);
         for i in 0..r {
@@ -229,10 +292,22 @@ impl Tensor {
     ///
     /// Panics if `idx` has the wrong rank or is out of bounds.
     pub fn offset(&self, idx: &[usize]) -> usize {
-        assert_eq!(idx.len(), self.ndim(), "index rank {} vs tensor rank {}", idx.len(), self.ndim());
+        assert_eq!(
+            idx.len(),
+            self.ndim(),
+            "index rank {} vs tensor rank {}",
+            idx.len(),
+            self.ndim()
+        );
         let mut off = 0;
         for (d, (&i, &s)) in idx.iter().zip(&self.shape).enumerate() {
-            assert!(i < s, "index {} out of bounds for dim {} of size {}", i, d, s);
+            assert!(
+                i < s,
+                "index {} out of bounds for dim {} of size {}",
+                i,
+                d,
+                s
+            );
             off = off * s + i;
         }
         off
@@ -285,7 +360,10 @@ impl Tensor {
 
     /// Apply `f` to every element, returning a new tensor.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
-        Tensor { shape: self.shape.clone(), data: self.data.iter().map(|&a| f(a)).collect() }
+        Tensor {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|&a| f(a)).collect(),
+        }
     }
 
     /// Apply `f` to every element in place.
@@ -308,7 +386,12 @@ impl Tensor {
         );
         Tensor {
             shape: self.shape.clone(),
-            data: self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect(),
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
         }
     }
 
@@ -318,7 +401,11 @@ impl Tensor {
     ///
     /// Panics on shape mismatch.
     pub fn add_assign(&mut self, other: &Tensor) {
-        assert_eq!(self.shape, other.shape, "shape mismatch: {:?} vs {:?}", self.shape, other.shape);
+        assert_eq!(
+            self.shape, other.shape,
+            "shape mismatch: {:?} vs {:?}",
+            self.shape, other.shape
+        );
         for (a, &b) in self.data.iter_mut().zip(&other.data) {
             *a += b;
         }
@@ -330,7 +417,11 @@ impl Tensor {
     ///
     /// Panics on shape mismatch.
     pub fn add_scaled_assign(&mut self, other: &Tensor, s: f32) {
-        assert_eq!(self.shape, other.shape, "shape mismatch: {:?} vs {:?}", self.shape, other.shape);
+        assert_eq!(
+            self.shape, other.shape,
+            "shape mismatch: {:?} vs {:?}",
+            self.shape, other.shape
+        );
         for (a, &b) in self.data.iter_mut().zip(&other.data) {
             *a += s * b;
         }
@@ -381,18 +472,26 @@ impl Tensor {
     ///
     /// Panics if the tensor is not 2-D.
     pub fn argmax_rows(&self) -> Vec<usize> {
-        assert_eq!(self.ndim(), 2, "argmax_rows requires a 2-D tensor, got {:?}", self.shape);
+        assert_eq!(
+            self.ndim(),
+            2,
+            "argmax_rows requires a 2-D tensor, got {:?}",
+            self.shape
+        );
         let (r, c) = (self.shape[0], self.shape[1]);
         (0..r)
             .map(|i| {
                 let row = &self.data[i * c..(i + 1) * c];
-                row.iter().enumerate().fold((0usize, f32::NEG_INFINITY), |(bi, bv), (j, &v)| {
-                    if v > bv {
-                        (j, v)
-                    } else {
-                        (bi, bv)
-                    }
-                }).0
+                row.iter()
+                    .enumerate()
+                    .fold((0usize, f32::NEG_INFINITY), |(bi, bv), (j, &v)| {
+                        if v > bv {
+                            (j, v)
+                        } else {
+                            (bi, bv)
+                        }
+                    })
+                    .0
             })
             .collect()
     }
@@ -431,11 +530,20 @@ impl Tensor {
     ///
     /// Panics if `start > end` or `end > self.dim(0)`.
     pub fn slice_dim0(&self, start: usize, end: usize) -> Tensor {
-        assert!(start <= end && end <= self.shape[0], "slice {}..{} out of bounds {}", start, end, self.shape[0]);
+        assert!(
+            start <= end && end <= self.shape[0],
+            "slice {}..{} out of bounds {}",
+            start,
+            end,
+            self.shape[0]
+        );
         let row = self.len() / self.shape[0];
         let mut shape = self.shape.clone();
         shape[0] = end - start;
-        Tensor { shape, data: self.data[start * row..end * row].to_vec() }
+        Tensor {
+            shape,
+            data: self.data[start * row..end * row].to_vec(),
+        }
     }
 
     /// Concatenates tensors along the leading dimension.

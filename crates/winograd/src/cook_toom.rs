@@ -17,8 +17,6 @@
 //! the paper identifies as the obstacle to quantized Winograd (its §3.1,
 //! citing Barabasz et al. 2018).
 
-use serde::{Deserialize, Serialize};
-
 use crate::rational::{Frac, FracMat};
 
 /// A Cook-Toom interpolation point: a finite rational or the point at
@@ -80,7 +78,10 @@ pub fn default_points(count: usize) -> Vec<PolyPoint> {
         SEQ.len(),
         count
     );
-    SEQ[..count].iter().map(|&(n, d)| PolyPoint::rational(n, d)).collect()
+    SEQ[..count]
+        .iter()
+        .map(|&(n, d)| PolyPoint::rational(n, d))
+        .collect()
 }
 
 /// The exact-rational transform triple produced by [`cook_toom`].
@@ -148,7 +149,12 @@ fn vandermonde(points: &[PolyPoint], cols: usize) -> FracMat {
 /// assert_eq!(ct.bt.rows(), 4);
 /// ```
 pub fn cook_toom(m: usize, r: usize) -> CookToom {
-    assert!(m >= 1 && r >= 1, "F(m, r) requires m, r >= 1, got F({}, {})", m, r);
+    assert!(
+        m >= 1 && r >= 1,
+        "F(m, r) requires m, r >= 1, got F({}, {})",
+        m,
+        r
+    );
     let n = m + r - 1;
     let mut points = default_points(n - 1);
     points.push(PolyPoint::Infinity);
@@ -165,9 +171,22 @@ pub fn cook_toom(m: usize, r: usize) -> CookToom {
 /// Panics on a wrong point count, duplicate points, or an infinity that is
 /// not in the final position.
 pub fn cook_toom_with_points(m: usize, r: usize, points: &[PolyPoint]) -> CookToom {
-    assert!(m >= 1 && r >= 1, "F(m, r) requires m, r >= 1, got F({}, {})", m, r);
+    assert!(
+        m >= 1 && r >= 1,
+        "F(m, r) requires m, r >= 1, got F({}, {})",
+        m,
+        r
+    );
     let n = m + r - 1;
-    assert_eq!(points.len(), n, "F({}, {}) needs {} points, got {}", m, r, n, points.len());
+    assert_eq!(
+        points.len(),
+        n,
+        "F({}, {}) needs {} points, got {}",
+        m,
+        r,
+        n,
+        points.len()
+    );
     for (i, a) in points.iter().enumerate() {
         for b in &points[..i] {
             assert_ne!(a, b, "duplicate Cook-Toom point {:?}", a);
@@ -249,27 +268,6 @@ pub fn winograd_1d_exact(ct: &CookToom, d: &[Frac], g: &[Frac]) -> Vec<Frac> {
         .collect()
 }
 
-// serde helpers so CookToom products can be persisted in experiment logs
-impl Serialize for PolyPoint {
-    fn serialize<S: serde::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
-        match self {
-            PolyPoint::Finite(f) => (f.numerator(), f.denominator()).serialize(s),
-            PolyPoint::Infinity => (0i128, 0i128).serialize(s),
-        }
-    }
-}
-
-impl<'de> Deserialize<'de> for PolyPoint {
-    fn deserialize<D: serde::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
-        let (n, den) = <(i128, i128)>::deserialize(d)?;
-        if den == 0 {
-            Ok(PolyPoint::Infinity)
-        } else {
-            Ok(PolyPoint::Finite(Frac::new(n, den)))
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -296,12 +294,30 @@ mod tests {
     #[test]
     fn many_sizes_match_fir_exactly() {
         // every (m, r) pair used anywhere in the paper
-        for (m, r) in [(2, 3), (4, 3), (6, 3), (2, 5), (4, 5), (6, 5), (8, 3), (3, 3), (5, 3)] {
+        for (m, r) in [
+            (2, 3),
+            (4, 3),
+            (6, 3),
+            (2, 5),
+            (4, 5),
+            (6, 5),
+            (8, 3),
+            (3, 3),
+            (5, 3),
+        ] {
             let ct = cook_toom(m, r);
             let n = ct.n();
-            let d: Vec<Frac> = (0..n).map(|i| Frac::new(2 * i as i128 - 3, 1 + (i as i128 % 3))).collect();
+            let d: Vec<Frac> = (0..n)
+                .map(|i| Frac::new(2 * i as i128 - 3, 1 + (i as i128 % 3)))
+                .collect();
             let g: Vec<Frac> = (0..r).map(|i| Frac::new(1 - i as i128, 2)).collect();
-            assert_eq!(winograd_1d_exact(&ct, &d, &g), fir_exact(&d, &g), "F({}, {})", m, r);
+            assert_eq!(
+                winograd_1d_exact(&ct, &d, &g),
+                fir_exact(&d, &g),
+                "F({}, {})",
+                m,
+                r
+            );
         }
     }
 
@@ -351,7 +367,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "duplicate Cook-Toom point")]
     fn duplicate_points_panic() {
-        let pts = vec![PolyPoint::int(0), PolyPoint::int(0), PolyPoint::int(1), PolyPoint::Infinity];
+        let pts = vec![
+            PolyPoint::int(0),
+            PolyPoint::int(0),
+            PolyPoint::int(1),
+            PolyPoint::Infinity,
+        ];
         let _ = cook_toom_with_points(2, 3, &pts);
     }
 
@@ -364,13 +385,23 @@ mod tests {
     #[test]
     #[should_panic(expected = "infinity point must be last")]
     fn infinity_must_be_last() {
-        let pts = vec![PolyPoint::Infinity, PolyPoint::int(0), PolyPoint::int(1), PolyPoint::int(2)];
+        let pts = vec![
+            PolyPoint::Infinity,
+            PolyPoint::int(0),
+            PolyPoint::int(1),
+            PolyPoint::int(2),
+        ];
         let _ = cook_toom_with_points(2, 3, &pts);
     }
 
     #[test]
     fn all_finite_points_also_work() {
-        let pts = vec![PolyPoint::int(0), PolyPoint::int(1), PolyPoint::int(-1), PolyPoint::int(2)];
+        let pts = vec![
+            PolyPoint::int(0),
+            PolyPoint::int(1),
+            PolyPoint::int(-1),
+            PolyPoint::int(2),
+        ];
         let ct = cook_toom_with_points(2, 3, &pts);
         let d: Vec<Frac> = [1, 2, 3, 4].iter().map(|&x| Frac::int(x)).collect();
         let g: Vec<Frac> = [1, 1, 1].iter().map(|&x| Frac::int(x)).collect();
@@ -382,8 +413,14 @@ mod tests {
         // Large points → large matrix entries → numerical error (the root
         // cause discussed in paper §3.1).
         let good = cook_toom(4, 3);
-        let bad_pts: Vec<PolyPoint> =
-            vec![PolyPoint::int(0), PolyPoint::int(1), PolyPoint::int(2), PolyPoint::int(3), PolyPoint::int(4), PolyPoint::Infinity];
+        let bad_pts: Vec<PolyPoint> = vec![
+            PolyPoint::int(0),
+            PolyPoint::int(1),
+            PolyPoint::int(2),
+            PolyPoint::int(3),
+            PolyPoint::int(4),
+            PolyPoint::Infinity,
+        ];
         let bad = cook_toom_with_points(4, 3, &bad_pts);
         let max_abs = |m: &FracMat| {
             let mut best = 0.0f64;
@@ -394,7 +431,9 @@ mod tests {
             }
             best
         };
-        assert!(max_abs(&bad.bt) > max_abs(&good.bt), "bad points should inflate Bᵀ");
+        assert!(
+            max_abs(&bad.bt) > max_abs(&good.bt),
+            "bad points should inflate Bᵀ"
+        );
     }
 }
-

@@ -4,14 +4,13 @@
 //! `G`, `Bᵀ`, `Aᵀ` grow with tile size, so the transforms amplify
 //! rounding error — catastrophically once intermediates are quantized.
 
-use serde::{Deserialize, Serialize};
 use wa_quant::{fake_quant_scale, BitWidth};
 use wa_tensor::{conv2d_direct_f64, SeededRng, Tensor};
 
 use crate::transform::WinogradTransform;
 
 /// Error statistics of Winograd vs direct convolution over random tiles.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct ErrorStats {
     /// Mean absolute elementwise error.
     pub mean_abs: f64,
@@ -47,7 +46,11 @@ fn stats_from(trials: &[(Vec<f64>, Vec<f64>)]) -> ErrorStats {
     ErrorStats {
         mean_abs: sum_abs / count.max(1) as f64,
         max_abs,
-        rel_fro: if ref_sq > 0.0 { (err_sq / ref_sq).sqrt() } else { 0.0 },
+        rel_fro: if ref_sq > 0.0 {
+            (err_sq / ref_sq).sqrt()
+        } else {
+            0.0
+        },
     }
 }
 
@@ -65,7 +68,12 @@ pub fn tile_error_fp32(t: &WinogradTransform, trials: usize, seed: u64) -> Error
     for _ in 0..trials {
         let d = rng.uniform_tensor(&[n, n], -1.0, 1.0);
         let g = rng.uniform_tensor(&[r, r], -1.0, 1.0);
-        let got: Vec<f64> = t.convolve_tile(&d, &g).data().iter().map(|&v| v as f64).collect();
+        let got: Vec<f64> = t
+            .convolve_tile(&d, &g)
+            .data()
+            .iter()
+            .map(|&v| v as f64)
+            .collect();
         results.push((direct_tile_f64(&d, &g, t.m(), t.r()), got));
     }
     stats_from(&results)
@@ -129,7 +137,12 @@ mod tests {
     fn fp32_error_grows_with_tile_size_but_stays_benign() {
         let e2 = tile_error_fp32(&WinogradTransform::canonical(2, 3), 100, 2).rel_fro;
         let e6 = tile_error_fp32(&WinogradTransform::cook_toom(6, 3), 100, 2).rel_fro;
-        assert!(e6 > e2, "error should grow with tile size: {} vs {}", e2, e6);
+        assert!(
+            e6 > e2,
+            "error should grow with tile size: {} vs {}",
+            e2,
+            e6
+        );
         assert!(e6 < 1e-4, "but remain benign at FP32: {}", e6);
     }
 
@@ -139,10 +152,19 @@ mod tests {
         let e2 = tile_error_quantized(&WinogradTransform::canonical(2, 3), BitWidth::INT8, 100, 3);
         let e4 = tile_error_quantized(&WinogradTransform::canonical(4, 3), BitWidth::INT8, 100, 3);
         let e6 = tile_error_quantized(&WinogradTransform::cook_toom(6, 3), BitWidth::INT8, 100, 3);
-        assert!(e2.rel_fro < e4.rel_fro && e4.rel_fro < e6.rel_fro,
-            "INT8 error must grow with tile size: {} {} {}", e2.rel_fro, e4.rel_fro, e6.rel_fro);
+        assert!(
+            e2.rel_fro < e4.rel_fro && e4.rel_fro < e6.rel_fro,
+            "INT8 error must grow with tile size: {} {} {}",
+            e2.rel_fro,
+            e4.rel_fro,
+            e6.rel_fro
+        );
         assert!(e2.rel_fro < 0.05, "F2 INT8 should be mild: {}", e2.rel_fro);
-        assert!(e6.rel_fro > 0.05, "F6 INT8 should be severe: {}", e6.rel_fro);
+        assert!(
+            e6.rel_fro > 0.05,
+            "F6 INT8 should be severe: {}",
+            e6.rel_fro
+        );
     }
 
     #[test]
@@ -150,7 +172,12 @@ mod tests {
         let t = WinogradTransform::canonical(4, 3);
         let e8 = tile_error_quantized(&t, BitWidth::INT8, 100, 4).rel_fro;
         let e16 = tile_error_quantized(&t, BitWidth::INT16, 100, 4).rel_fro;
-        assert!(e16 < e8 / 10.0, "INT16 {} should be far below INT8 {}", e16, e8);
+        assert!(
+            e16 < e8 / 10.0,
+            "INT16 {} should be far below INT8 {}",
+            e16,
+            e8
+        );
     }
 
     #[test]

@@ -19,7 +19,13 @@ fn two_sided(tiles: &Tensor, l: &Tensor) -> Tensor {
     let rows = tiles.dim(0);
     let s = l.dim(1);
     let o = l.dim(0);
-    assert_eq!(tiles.dim(1), s * s, "tile rows must be {}², got {}", s, tiles.dim(1));
+    assert_eq!(
+        tiles.dim(1),
+        s * s,
+        "tile rows must be {}², got {}",
+        s,
+        tiles.dim(1)
+    );
     let lt = l.data();
     let src = tiles.data();
     let mut out = Tensor::zeros(&[rows, o * o]);
@@ -66,11 +72,15 @@ fn two_sided(tiles: &Tensor, l: &Tensor) -> Tensor {
 pub fn transform_weights(weight: &Tensor, t: &WinogradTransform) -> Tensor {
     assert_eq!(weight.ndim(), 4, "weight must be [K, C, r, r]");
     let (k, c, r) = (weight.dim(0), weight.dim(1), weight.dim(2));
-    assert_eq!((r, weight.dim(3)), (t.r(), t.r()), "filter size mismatch with transform");
+    assert_eq!(
+        (r, weight.dim(3)),
+        (t.r(), t.r()),
+        "filter size mismatch with transform"
+    );
     let n = t.input_tile();
     let flat = weight.reshape(&[k * c, r * r]);
     let u_rows = two_sided(&flat, t.g()); // [K·C, n²]
-    // permute to [n², K·C]
+                                          // permute to [n², K·C]
     let mut out = Tensor::zeros(&[n * n, k * c]);
     let src = u_rows.data();
     let dst = out.data_mut();
@@ -140,9 +150,17 @@ pub fn winograd_conv2d_pretransformed(
 ) -> Tensor {
     assert_eq!(x.ndim(), 4, "input must be NCHW");
     let (nb, c, h, w) = (x.dim(0), x.dim(1), x.dim(2), x.dim(3));
-    assert_eq!(c, in_ch, "input channels {} vs weight channels {}", c, in_ch);
+    assert_eq!(
+        c, in_ch,
+        "input channels {} vs weight channels {}",
+        c, in_ch
+    );
     let n = t.input_tile();
-    assert_eq!(u.shape(), &[n * n, out_ch * in_ch], "pretransformed weight layout mismatch");
+    assert_eq!(
+        u.shape(),
+        &[n * n, out_ch * in_ch],
+        "pretransformed weight layout mismatch"
+    );
     if let Some(b) = bias {
         assert_eq!(b.shape(), &[out_ch], "bias must be [{}]", out_ch);
     }
@@ -233,7 +251,12 @@ mod tests {
     fn assert_close(a: &Tensor, b: &Tensor, tol: f32) {
         assert_eq!(a.shape(), b.shape());
         for (x, y) in a.data().iter().zip(b.data()) {
-            assert!((x - y).abs() <= tol * (1.0 + x.abs().max(y.abs())), "{} vs {}", x, y);
+            assert!(
+                (x - y).abs() <= tol * (1.0 + x.abs().max(y.abs())),
+                "{} vs {}",
+                x,
+                y
+            );
         }
     }
 

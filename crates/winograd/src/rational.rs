@@ -50,7 +50,10 @@ impl Frac {
         assert!(den != 0, "fraction denominator must be non-zero");
         let sign = if den < 0 { -1 } else { 1 };
         let g = gcd(num, den).max(1);
-        Frac { num: sign * num / g, den: sign * den / g }
+        Frac {
+            num: sign * num / g,
+            den: sign * den / g,
+        }
     }
 
     /// The integer `n` as a fraction.
@@ -94,7 +97,8 @@ impl Frac {
     }
 
     fn checked_mul_i128(a: i128, b: i128) -> i128 {
-        a.checked_mul(b).expect("rational arithmetic overflow (i128)")
+        a.checked_mul(b)
+            .expect("rational arithmetic overflow (i128)")
     }
 }
 
@@ -122,7 +126,10 @@ impl Sub for Frac {
 impl Neg for Frac {
     type Output = Frac;
     fn neg(self) -> Frac {
-        Frac { num: -self.num, den: self.den }
+        Frac {
+            num: -self.num,
+            den: self.den,
+        }
     }
 }
 
@@ -181,7 +188,11 @@ impl FracMat {
     /// Panics if either dimension is zero.
     pub fn zeros(rows: usize, cols: usize) -> FracMat {
         assert!(rows > 0 && cols > 0, "FracMat dimensions must be positive");
-        FracMat { rows, cols, data: vec![Frac::ZERO; rows * cols] }
+        FracMat {
+            rows,
+            cols,
+            data: vec![Frac::ZERO; rows * cols],
+        }
     }
 
     /// Identity matrix.
@@ -220,7 +231,11 @@ impl FracMat {
     ///
     /// Panics on inner-dimension mismatch.
     pub fn matmul(&self, rhs: &FracMat) -> FracMat {
-        assert_eq!(self.cols, rhs.rows, "FracMat inner dims: {} vs {}", self.cols, rhs.rows);
+        assert_eq!(
+            self.cols, rhs.rows,
+            "FracMat inner dims: {} vs {}",
+            self.cols, rhs.rows
+        );
         let mut out = FracMat::zeros(self.rows, rhs.cols);
         for i in 0..self.rows {
             for k in 0..self.cols {
@@ -294,14 +309,24 @@ impl FracMat {
 impl std::ops::Index<(usize, usize)> for FracMat {
     type Output = Frac;
     fn index(&self, (i, j): (usize, usize)) -> &Frac {
-        assert!(i < self.rows && j < self.cols, "index ({}, {}) out of bounds", i, j);
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({}, {}) out of bounds",
+            i,
+            j
+        );
         &self.data[i * self.cols + j]
     }
 }
 
 impl std::ops::IndexMut<(usize, usize)> for FracMat {
     fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut Frac {
-        assert!(i < self.rows && j < self.cols, "index ({}, {}) out of bounds", i, j);
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({}, {}) out of bounds",
+            i,
+            j
+        );
         &mut self.data[i * self.cols + j]
     }
 }

@@ -9,7 +9,6 @@
 //! edges" that make the optimal tile size alternate with output width
 //! (paper §6.2, Figure 7).
 
-use serde::{Deserialize, Serialize};
 use wa_tensor::Tensor;
 
 /// Tile decomposition of one convolution layer.
@@ -28,7 +27,7 @@ use wa_tensor::Tensor;
 /// let g = TileGeometry::for_conv(30, 30, 4, 3, 1);
 /// assert_eq!(g.wasted_outputs(), 32 * 32 - 30 * 30);
 /// ```
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct TileGeometry {
     /// Output tile size `m`.
     pub m: usize,
@@ -62,7 +61,13 @@ impl TileGeometry {
     pub fn for_conv(in_h: usize, in_w: usize, m: usize, r: usize, pad: usize) -> TileGeometry {
         assert!(m >= 1 && r >= 1, "F(m, r) requires m, r >= 1");
         let (ph, pw) = (in_h + 2 * pad, in_w + 2 * pad);
-        assert!(ph >= r && pw >= r, "padded input {}x{} smaller than filter {}", ph, pw, r);
+        assert!(
+            ph >= r && pw >= r,
+            "padded input {}x{} smaller than filter {}",
+            ph,
+            pw,
+            r
+        );
         let out_h = ph - r + 1;
         let out_w = pw - r + 1;
         TileGeometry {
@@ -399,8 +404,18 @@ mod tests {
         let tiles = g.gather_tiles(&xp);
         let y = rng.uniform_tensor(tiles.shape(), -1.0, 1.0);
         let back = g.scatter_tiles(&y, 1, 2);
-        let lhs: f64 = tiles.data().iter().zip(y.data()).map(|(&a, &b)| (a * b) as f64).sum();
-        let rhs: f64 = xp.data().iter().zip(back.data()).map(|(&a, &b)| (a * b) as f64).sum();
+        let lhs: f64 = tiles
+            .data()
+            .iter()
+            .zip(y.data())
+            .map(|(&a, &b)| (a * b) as f64)
+            .sum();
+        let rhs: f64 = xp
+            .data()
+            .iter()
+            .zip(back.data())
+            .map(|(&a, &b)| (a * b) as f64)
+            .sum();
         assert!((lhs - rhs).abs() < 1e-3, "{} vs {}", lhs, rhs);
     }
 
@@ -412,8 +427,18 @@ mod tests {
         let out = g.assemble_output(&tiles, 1, 3);
         let grad = rng.uniform_tensor(out.shape(), -1.0, 1.0);
         let back = g.disassemble_output(&grad);
-        let lhs: f64 = out.data().iter().zip(grad.data()).map(|(&a, &b)| (a * b) as f64).sum();
-        let rhs: f64 = tiles.data().iter().zip(back.data()).map(|(&a, &b)| (a * b) as f64).sum();
+        let lhs: f64 = out
+            .data()
+            .iter()
+            .zip(grad.data())
+            .map(|(&a, &b)| (a * b) as f64)
+            .sum();
+        let rhs: f64 = tiles
+            .data()
+            .iter()
+            .zip(back.data())
+            .map(|(&a, &b)| (a * b) as f64)
+            .sum();
         assert!((lhs - rhs).abs() < 1e-3, "{} vs {}", lhs, rhs);
     }
 

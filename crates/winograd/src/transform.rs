@@ -1,7 +1,6 @@
 //! The [`WinogradTransform`] triple in `f32`/`f64` form, canonical
 //! published matrices, and sparsity statistics.
 
-use serde::{Deserialize, Serialize};
 use wa_tensor::Tensor;
 
 use crate::cook_toom::{cook_toom, CookToom};
@@ -25,7 +24,7 @@ use crate::cook_toom::{cook_toom, CookToom};
 /// // 36 Hadamard multiplies produce 16 outputs -> 2.25 mults/output
 /// assert!((t.mults_per_output() - 2.25).abs() < 1e-9);
 /// ```
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct WinogradTransform {
     m: usize,
     r: usize,
@@ -108,12 +107,24 @@ impl WinogradTransform {
                 ),
                 g: Tensor::from_vec(
                     vec![
-                        0.25, 0.0, 0.0, //
-                        -1.0 / 6.0, -1.0 / 6.0, -1.0 / 6.0, //
-                        -1.0 / 6.0, 1.0 / 6.0, -1.0 / 6.0, //
-                        1.0 / 24.0, 1.0 / 12.0, 1.0 / 6.0, //
-                        1.0 / 24.0, -1.0 / 12.0, 1.0 / 6.0, //
-                        0.0, 0.0, 1.0,
+                        0.25,
+                        0.0,
+                        0.0, //
+                        -1.0 / 6.0,
+                        -1.0 / 6.0,
+                        -1.0 / 6.0, //
+                        -1.0 / 6.0,
+                        1.0 / 6.0,
+                        -1.0 / 6.0, //
+                        1.0 / 24.0,
+                        1.0 / 12.0,
+                        1.0 / 6.0, //
+                        1.0 / 24.0,
+                        -1.0 / 12.0,
+                        1.0 / 6.0, //
+                        0.0,
+                        0.0,
+                        1.0,
                     ],
                     &[6, 3],
                 ),
@@ -142,9 +153,30 @@ impl WinogradTransform {
     /// with consistent `n = m + r − 1`.
     pub fn from_matrices(m: usize, r: usize, at: Tensor, g: Tensor, bt: Tensor) -> Self {
         let n = m + r - 1;
-        assert_eq!(at.shape(), &[m, n], "Aᵀ must be [{}, {}], got {:?}", m, n, at.shape());
-        assert_eq!(g.shape(), &[n, r], "G must be [{}, {}], got {:?}", n, r, g.shape());
-        assert_eq!(bt.shape(), &[n, n], "Bᵀ must be [{}, {}], got {:?}", n, n, bt.shape());
+        assert_eq!(
+            at.shape(),
+            &[m, n],
+            "Aᵀ must be [{}, {}], got {:?}",
+            m,
+            n,
+            at.shape()
+        );
+        assert_eq!(
+            g.shape(),
+            &[n, r],
+            "G must be [{}, {}], got {:?}",
+            n,
+            r,
+            g.shape()
+        );
+        assert_eq!(
+            bt.shape(),
+            &[n, n],
+            "Bᵀ must be [{}, {}], got {:?}",
+            n,
+            n,
+            bt.shape()
+        );
         WinogradTransform { m, r, at, g, bt }
     }
 
@@ -192,7 +224,12 @@ impl WinogradTransform {
     ///
     /// Panics if `g` is not `[r, r]`.
     pub fn transform_filter(&self, g: &Tensor) -> Tensor {
-        assert_eq!(g.shape(), &[self.r, self.r], "filter tile must be [{0}, {0}]", self.r);
+        assert_eq!(
+            g.shape(),
+            &[self.r, self.r],
+            "filter tile must be [{0}, {0}]",
+            self.r
+        );
         self.g.matmul(g).matmul_nt(&self.g)
     }
 
@@ -215,7 +252,12 @@ impl WinogradTransform {
     /// Panics if `y` is not `[n, n]`.
     pub fn transform_output(&self, y: &Tensor) -> Tensor {
         let n = self.input_tile();
-        assert_eq!(y.shape(), &[n, n], "Winograd-domain tile must be [{0}, {0}]", n);
+        assert_eq!(
+            y.shape(),
+            &[n, n],
+            "Winograd-domain tile must be [{0}, {0}]",
+            n
+        );
         self.at.matmul(y).matmul_nt(&self.at)
     }
 
@@ -235,16 +277,18 @@ impl WinogradTransform {
     /// sparsity the paper's Appendix A.2 reports (50%/33%/25% for
     /// canonical F2), which learned dense transforms forfeit.
     pub fn sparsity(&self) -> (f64, f64, f64) {
-        let frac0 = |t: &Tensor| {
-            t.data().iter().filter(|&&v| v == 0.0).count() as f64 / t.len() as f64
-        };
+        let frac0 =
+            |t: &Tensor| t.data().iter().filter(|&&v| v == 0.0).count() as f64 / t.len() as f64;
         (frac0(&self.bt), frac0(&self.g), frac0(&self.at))
     }
 
     /// Largest absolute entry across the triple — grows with tile size and
     /// drives the numerical error (paper §3.1).
     pub fn max_entry(&self) -> f32 {
-        self.bt.max_abs().max(self.g.max_abs()).max(self.at.max_abs())
+        self.bt
+            .max_abs()
+            .max(self.g.max_abs())
+            .max(self.at.max_abs())
     }
 }
 
@@ -256,7 +300,12 @@ mod tests {
     fn assert_close(a: &Tensor, b: &Tensor, tol: f32) {
         assert_eq!(a.shape(), b.shape());
         for (x, y) in a.data().iter().zip(b.data()) {
-            assert!((x - y).abs() <= tol * (1.0 + x.abs().max(y.abs())), "{} vs {}", x, y);
+            assert!(
+                (x - y).abs() <= tol * (1.0 + x.abs().max(y.abs())),
+                "{} vs {}",
+                x,
+                y
+            );
         }
     }
 
@@ -341,13 +390,8 @@ mod tests {
     #[test]
     fn from_matrices_roundtrip() {
         let t = WinogradTransform::canonical(2, 3);
-        let t2 = WinogradTransform::from_matrices(
-            2,
-            3,
-            t.at().clone(),
-            t.g().clone(),
-            t.bt().clone(),
-        );
+        let t2 =
+            WinogradTransform::from_matrices(2, 3, t.at().clone(), t.g().clone(), t.bt().clone());
         assert_eq!(t, t2);
     }
 
@@ -355,12 +399,7 @@ mod tests {
     #[should_panic(expected = "Aᵀ must be")]
     fn from_matrices_rejects_bad_shapes() {
         let t = WinogradTransform::canonical(2, 3);
-        let _ = WinogradTransform::from_matrices(
-            4,
-            3,
-            t.at().clone(),
-            t.g().clone(),
-            t.bt().clone(),
-        );
+        let _ =
+            WinogradTransform::from_matrices(4, 3, t.at().clone(), t.g().clone(), t.bt().clone());
     }
 }

@@ -1,6 +1,7 @@
-//! Property-based tests for the Winograd algebra.
+//! Property-style tests for the Winograd algebra, driven by deterministic
+//! seeded sweeps (the container has no property-testing framework, so the
+//! random-case generation uses the workspace's own `SeededRng`).
 
-use proptest::prelude::*;
 use wa_tensor::{conv2d_direct, SeededRng, Tensor};
 use wa_winograd::{winograd_1d_exact, winograd_conv2d, Frac, TileGeometry, WinogradTransform};
 
@@ -15,109 +16,133 @@ fn fir_exact(d: &[Frac], g: &[Frac]) -> Vec<Frac> {
         .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// The synthesized F(m, r) triple computes FIR filtering exactly over
-    /// the rationals for every supported size and random integer data.
-    #[test]
-    fn cook_toom_is_exact(
-        m in 2usize..=6,
-        r in prop::sample::select(vec![3usize, 5]),
-        seed in 0u64..1000,
-    ) {
-        let ct = wa_winograd::cook_toom(m, r);
-        let n = m + r - 1;
-        let mut rng = SeededRng::new(seed);
-        let d: Vec<Frac> = (0..n).map(|_| Frac::int(rng.below(41) as i128 - 20)).collect();
-        let g: Vec<Frac> = (0..r).map(|_| Frac::int(rng.below(21) as i128 - 10)).collect();
-        prop_assert_eq!(winograd_1d_exact(&ct, &d, &g), fir_exact(&d, &g));
+/// The synthesized F(m, r) triple computes FIR filtering exactly over
+/// the rationals for every supported size and random integer data.
+#[test]
+fn cook_toom_is_exact() {
+    let mut rng = SeededRng::new(0x1001);
+    for m in 2usize..=6 {
+        for r in [3usize, 5] {
+            for _ in 0..8 {
+                let ct = wa_winograd::cook_toom(m, r);
+                let n = m + r - 1;
+                let d: Vec<Frac> = (0..n)
+                    .map(|_| Frac::int(rng.below(41) as i128 - 20))
+                    .collect();
+                let g: Vec<Frac> = (0..r)
+                    .map(|_| Frac::int(rng.below(21) as i128 - 10))
+                    .collect();
+                assert_eq!(
+                    winograd_1d_exact(&ct, &d, &g),
+                    fir_exact(&d, &g),
+                    "F({m},{r})"
+                );
+            }
+        }
     }
+}
 
-    /// The batched f32 kernel agrees with direct convolution on random
-    /// shapes (the full NCHW path: padding, tiling, GEMM, assembly).
-    #[test]
-    fn kernel_matches_direct(
-        m in prop::sample::select(vec![2usize, 4]),
-        h in 4usize..14,
-        w in 4usize..14,
-        c in 1usize..4,
-        k in 1usize..4,
-        batch in 1usize..3,
-        pad in 0usize..2,
-        seed in 0u64..1000,
-    ) {
-        prop_assume!(h + 2 * pad >= 3 && w + 2 * pad >= 3);
+/// The batched f32 kernel agrees with direct convolution on random
+/// shapes (the full NCHW path: padding, tiling, GEMM, assembly).
+#[test]
+fn kernel_matches_direct() {
+    let mut rng = SeededRng::new(0x1002);
+    for case in 0..48 {
+        let m = if case % 2 == 0 { 2 } else { 4 };
+        let h = 4 + rng.below(10);
+        let w = 4 + rng.below(10);
+        let c = 1 + rng.below(3);
+        let k = 1 + rng.below(3);
+        let batch = 1 + rng.below(2);
+        let pad = rng.below(2);
+        if h + 2 * pad < 3 || w + 2 * pad < 3 {
+            continue;
+        }
         let t = WinogradTransform::canonical(m, 3);
-        let mut rng = SeededRng::new(seed);
         let x = rng.uniform_tensor(&[batch, c, h, w], -1.0, 1.0);
         let wt = rng.uniform_tensor(&[k, c, 3, 3], -1.0, 1.0);
         let got = winograd_conv2d(&x, &wt, None, &t, pad);
         let want = conv2d_direct(&x, &wt, None, 1, pad);
-        prop_assert_eq!(got.shape(), want.shape());
+        assert_eq!(got.shape(), want.shape());
         for (a, b) in got.data().iter().zip(want.data()) {
-            prop_assert!((a - b).abs() < 1e-3 * (1.0 + b.abs()), "{} vs {}", a, b);
+            assert!(
+                (a - b).abs() < 1e-3 * (1.0 + b.abs()),
+                "case {case}: {a} vs {b}"
+            );
         }
     }
+}
 
-    /// gather/scatter and assemble/disassemble are adjoint linear maps for
-    /// arbitrary geometry: ⟨Ax, y⟩ = ⟨x, Aᵀy⟩.
-    #[test]
-    fn tiling_adjointness(
-        m in prop::sample::select(vec![2usize, 4, 6]),
-        h in 3usize..12,
-        w in 3usize..12,
-        c in 1usize..3,
-        seed in 0u64..1000,
-    ) {
+/// gather/scatter and assemble/disassemble are adjoint linear maps for
+/// arbitrary geometry: ⟨Ax, y⟩ = ⟨x, Aᵀy⟩.
+#[test]
+fn tiling_adjointness() {
+    let mut rng = SeededRng::new(0x1003);
+    for case in 0..48 {
+        let m = [2usize, 4, 6][case % 3];
+        let h = 3 + rng.below(9);
+        let w = 3 + rng.below(9);
+        let c = 1 + rng.below(2);
         let geom = TileGeometry::for_conv(h, w, m, 3, 1);
-        let mut rng = SeededRng::new(seed);
         let xp = rng.uniform_tensor(&[1, c, geom.padded_h(), geom.padded_w()], -1.0, 1.0);
         let tiles = geom.gather_tiles(&xp);
         let y = rng.uniform_tensor(tiles.shape(), -1.0, 1.0);
         let back = geom.scatter_tiles(&y, 1, c);
         let dot = |a: &Tensor, b: &Tensor| -> f64 {
-            a.data().iter().zip(b.data()).map(|(&p, &q)| (p * q) as f64).sum()
+            a.data()
+                .iter()
+                .zip(b.data())
+                .map(|(&p, &q)| (p * q) as f64)
+                .sum()
         };
-        prop_assert!((dot(&tiles, &y) - dot(&xp, &back)).abs() < 1e-2);
+        assert!((dot(&tiles, &y) - dot(&xp, &back)).abs() < 1e-2);
 
         let otiles = rng.uniform_tensor(&[geom.tiles() * c, m * m], -1.0, 1.0);
         let out = geom.assemble_output(&otiles, 1, c);
         let og = rng.uniform_tensor(out.shape(), -1.0, 1.0);
         let oback = geom.disassemble_output(&og);
-        prop_assert!((dot(&out, &og) - dot(&otiles, &oback)).abs() < 1e-2);
+        assert!((dot(&out, &og) - dot(&otiles, &oback)).abs() < 1e-2);
     }
+}
 
-    /// Tile counts always cover the output and the waste is less than one
-    /// tile ring.
-    #[test]
-    fn tile_waste_bounds(
-        m in prop::sample::select(vec![2usize, 4, 6]),
-        h in 3usize..40,
-        w in 3usize..40,
-        pad in 0usize..2,
-    ) {
-        prop_assume!(h + 2 * pad >= 3 && w + 2 * pad >= 3);
-        let geom = TileGeometry::for_conv(h, w, m, 3, pad);
-        prop_assert!(geom.tiles_y * m >= geom.out_h);
-        prop_assert!(geom.tiles_x * m >= geom.out_w);
-        prop_assert!(geom.tiles_y * m < geom.out_h + m);
-        prop_assert!(geom.tiles_x * m < geom.out_w + m);
-        let covered = (geom.tiles_y * m) * (geom.tiles_x * m);
-        prop_assert_eq!(geom.wasted_outputs(), covered - geom.out_h * geom.out_w);
+/// Tile counts always cover the output and the waste is less than one
+/// tile ring.
+#[test]
+fn tile_waste_bounds() {
+    for m in [2usize, 4, 6] {
+        for h in 3usize..40 {
+            for w in [3usize, 7, 16, 25, 39] {
+                for pad in 0usize..2 {
+                    if h + 2 * pad < 3 || w + 2 * pad < 3 {
+                        continue;
+                    }
+                    let geom = TileGeometry::for_conv(h, w, m, 3, pad);
+                    assert!(geom.tiles_y * m >= geom.out_h);
+                    assert!(geom.tiles_x * m >= geom.out_w);
+                    assert!(geom.tiles_y * m < geom.out_h + m);
+                    assert!(geom.tiles_x * m < geom.out_w + m);
+                    let covered = (geom.tiles_y * m) * (geom.tiles_x * m);
+                    assert_eq!(geom.wasted_outputs(), covered - geom.out_h * geom.out_w);
+                }
+            }
+        }
     }
+}
 
-    /// Fake-quantized Winograd error is monotone non-increasing in
-    /// precision for every tile size.
-    #[test]
-    fn error_monotone_in_precision(
-        m in prop::sample::select(vec![2usize, 4, 6]),
-        seed in 0u64..100,
-    ) {
-        use wa_quant::BitWidth;
-        let t = WinogradTransform::canonical(m, 3);
-        let e8 = wa_winograd::tile_error_quantized(&t, BitWidth::INT8, 30, seed).rel_fro;
-        let e16 = wa_winograd::tile_error_quantized(&t, BitWidth::INT16, 30, seed).rel_fro;
-        prop_assert!(e16 <= e8 + 1e-12, "INT16 {} must not exceed INT8 {}", e16, e8);
+/// Fake-quantized Winograd error is monotone non-increasing in
+/// precision for every tile size.
+#[test]
+fn error_monotone_in_precision() {
+    use wa_quant::BitWidth;
+    for m in [2usize, 4, 6] {
+        for seed in [0u64, 17, 42, 99] {
+            let t = WinogradTransform::canonical(m, 3);
+            let e8 = wa_winograd::tile_error_quantized(&t, BitWidth::INT8, 30, seed).rel_fro;
+            let e16 = wa_winograd::tile_error_quantized(&t, BitWidth::INT16, 30, seed).rel_fro;
+            assert!(
+                e16 <= e8 + 1e-12,
+                "F{m}: INT16 {e16} must not exceed INT8 {e8}"
+            );
+        }
     }
 }

@@ -13,16 +13,14 @@
 //!
 //! Run with: `cargo run --release --example adaptation`
 
-use winograd_aware::core::{
-    evaluate, fit, warm_up, ConvAlgo, OptimKind, TrainConfig,
-};
+use winograd_aware::core::{evaluate, fit, warm_up, ConvAlgo, OptimKind, TrainConfig, WaError};
 use winograd_aware::data::cifar10_like;
-use winograd_aware::models::{adapt, convert_convs, set_conv_quant, ResNet18};
+use winograd_aware::models::{adapt, convert_convs, set_conv_quant, ModelSpec, ResNet18};
 use winograd_aware::nn::QuantConfig;
 use winograd_aware::quant::BitWidth;
 use winograd_aware::tensor::SeededRng;
 
-fn main() {
+fn main() -> Result<(), WaError> {
     let mut rng = SeededRng::new(5);
     let ds = cifar10_like(60, 16, 7);
     let (train, val) = ds.split(0.8);
@@ -38,12 +36,18 @@ fn main() {
     let budget = 8; // the short budget (paper: 20 of 120 epochs)
 
     // ---- arm 2: from scratch at the short budget
-    let mut scratch = ResNet18::new(10, 0.125, int8, &mut rng.fork(1));
-    scratch.set_algo(ConvAlgo::WinogradFlex { m: 4 });
+    let scratch_spec = ModelSpec::builder()
+        .classes(10)
+        .width(0.125)
+        .quant(int8)
+        .algo(ConvAlgo::WinogradFlex { m: 4 })
+        .build()?;
+    let mut scratch = ResNet18::from_spec(&scratch_spec, &mut rng.fork(1))?;
     let h_scratch = fit(&mut scratch, &train_b, &val_b, &cfg(budget));
 
     // ---- pretrain an FP32 direct-convolution model
-    let mut net = ResNet18::new(10, 0.125, QuantConfig::FP32, &mut rng.fork(2));
+    let fp32_spec = ModelSpec::builder().classes(10).width(0.125).build()?;
+    let mut net = ResNet18::from_spec(&fp32_spec, &mut rng.fork(2))?;
     let h_pre = fit(&mut net, &train_b, &val_b, &cfg(10));
     println!(
         "FP32 direct-conv pretraining (10 epochs): {:.1}%",
@@ -51,19 +55,33 @@ fn main() {
     );
 
     // ---- arm 1: swap + warm-up only
-    let mut swapped = ResNet18::new(10, 0.125, QuantConfig::FP32, &mut rng.fork(2));
+    let mut swapped = ResNet18::from_spec(&fp32_spec, &mut rng.fork(2))?;
     let _ = fit(&mut swapped, &train_b, &val_b, &cfg(10));
-    convert_convs(&mut swapped, ConvAlgo::WinogradFlex { m: 4 }, 4);
+    convert_convs(&mut swapped, ConvAlgo::WinogradFlex { m: 4 }, 4)?;
     set_conv_quant(&mut swapped, int8);
     warm_up(&mut swapped, &train_b);
     let (_, acc_swap) = evaluate(&mut swapped, &val_b);
 
     // ---- arm 3: adaptation at the short budget (F2-pinned last blocks)
-    let h_adapt = adapt(&mut net, ConvAlgo::WinogradFlex { m: 4 }, int8, &train_b, &val_b, &cfg(budget), 4);
+    let h_adapt = adapt(
+        &mut net,
+        ConvAlgo::WinogradFlex { m: 4 },
+        int8,
+        &train_b,
+        &val_b,
+        &cfg(budget),
+        4,
+    )?;
 
     println!("\nINT8 F4-flex ResNet-18, equal {}-epoch budget:", budget);
-    println!("  swap + warm-up, no retraining : {:>5.1}%  (the Table 1 collapse)", 100.0 * acc_swap);
-    println!("  trained from scratch          : {:>5.1}%", 100.0 * h_scratch.best_val_acc());
+    println!(
+        "  swap + warm-up, no retraining : {:>5.1}%  (the Table 1 collapse)",
+        100.0 * acc_swap
+    );
+    println!(
+        "  trained from scratch          : {:>5.1}%",
+        100.0 * h_scratch.best_val_acc()
+    );
     println!(
         "  adapted from FP32 pretraining : {:>5.1}%   per-epoch {:?}",
         100.0 * h_adapt.best_val_acc(),
@@ -75,4 +93,5 @@ fn main() {
     );
     println!("\nAdaptation converges fastest (paper Fig. 6: full WA accuracy in 20");
     println!("epochs, a 2.8× training-time reduction).");
+    Ok(())
 }

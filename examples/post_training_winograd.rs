@@ -8,21 +8,22 @@
 //!
 //! Run with: `cargo run --release --example post_training_winograd`
 
-use winograd_aware::core::{fit, ConvAlgo, OptimKind, TrainConfig};
+use winograd_aware::core::{fit, ConvAlgo, OptimKind, TrainConfig, WaError};
 use winograd_aware::data::mnist_like;
-use winograd_aware::models::{swap_and_evaluate, LeNet};
+use winograd_aware::models::{swap_and_evaluate, LeNet, ModelSpec};
 use winograd_aware::nn::QuantConfig;
 use winograd_aware::quant::BitWidth;
 use winograd_aware::tensor::SeededRng;
 
-fn main() {
+fn main() -> Result<(), WaError> {
     let mut rng = SeededRng::new(1);
     let ds = mnist_like(30, 12, 3);
     let (train, val) = ds.split(0.8);
     let train_b = train.shuffled_batches(32, &mut rng);
     let val_b = val.batches(32);
 
-    let mut net = LeNet::new(10, 12, QuantConfig::FP32, &mut rng);
+    let spec = ModelSpec::builder().classes(10).input_size(12).build()?;
+    let mut net = LeNet::from_spec(&spec, &mut rng)?;
     let cfg = TrainConfig {
         epochs: 8,
         optim: OptimKind::Adam { lr: 2e-3 },
@@ -47,7 +48,7 @@ fn main() {
                 &train_b[..2],
                 &val_b,
                 0,
-            );
+            )?;
             row.push_str(&format!(" {:>7.1}%", 100.0 * acc));
         }
         println!("{row}");
@@ -64,7 +65,7 @@ fn main() {
                 &train_b[..2],
                 &val_b,
                 0,
-            );
+            )?;
             row.push_str(&format!(" {:>7.1}%", 100.0 * acc));
             // restore direct convolution for the next cell
             let (_, _) = swap_and_evaluate(
@@ -74,7 +75,7 @@ fn main() {
                 &train_b[..2],
                 &val_b,
                 0,
-            );
+            )?;
         }
         println!("{row}");
     }
@@ -82,4 +83,5 @@ fn main() {
     println!("FP32 columns stay near the baseline; INT8 degrades with tile size —");
     println!("note these are 5×5 filters (6×6 tiles already at F2), the paper's");
     println!("hardest case; the bench harness reproduces Table 1 on 3×3 ResNet-18.");
+    Ok(())
 }

@@ -8,14 +8,14 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use winograd_aware::core::{fit, ConvAlgo, OptimKind, TrainConfig};
+use winograd_aware::core::{fit, ConvAlgo, OptimKind, TrainConfig, WaError};
 use winograd_aware::data::cifar10_like;
-use winograd_aware::models::ResNet18;
+use winograd_aware::models::{ModelSpec, ResNet18};
 use winograd_aware::nn::QuantConfig;
 use winograd_aware::quant::BitWidth;
 use winograd_aware::tensor::SeededRng;
 
-fn main() {
+fn main() -> Result<(), WaError> {
     let mut rng = SeededRng::new(42);
 
     // Small-scale defaults so the example finishes in about a minute;
@@ -26,11 +26,20 @@ fn main() {
     let val_b = val.batches(24);
 
     println!("winograd-aware quickstart");
-    println!("  dataset : {} ({} train / {} val images)", ds.name, train.len(), val.len());
+    println!(
+        "  dataset : {} ({} train / {} val images)",
+        ds.name,
+        train.len(),
+        val.len()
+    );
 
-    let quant = QuantConfig::uniform(BitWidth::INT8);
-    let mut model = ResNet18::new(10, 0.125, quant, &mut rng);
-    model.set_algo(ConvAlgo::WinogradFlex { m: 4 });
+    let spec = ModelSpec::builder()
+        .classes(10)
+        .width(0.125)
+        .quant(QuantConfig::uniform(BitWidth::INT8))
+        .algo(ConvAlgo::WinogradFlex { m: 4 })
+        .build()?;
+    let mut model = ResNet18::from_spec(&spec, &mut rng)?;
     println!("  model   : ResNet-18 (width 0.125), F4-flex Winograd-aware, INT8");
 
     let cfg = TrainConfig {
@@ -54,4 +63,5 @@ fn main() {
         "final validation accuracy: {:.1}% (chance = 10%)",
         100.0 * history.final_val_acc()
     );
+    Ok(())
 }

@@ -8,13 +8,14 @@
 //!
 //! Run with: `cargo run --release --example winas_search`
 
+use winograd_aware::core::WaError;
 use winograd_aware::data::cifar10_like;
 use winograd_aware::latency::Core;
 use winograd_aware::nas::{MacroArch, SearchSpace, WiNas, WiNasConfig};
 use winograd_aware::quant::BitWidth;
 use winograd_aware::tensor::SeededRng;
 
-fn main() {
+fn main() -> Result<(), WaError> {
     let mut rng = SeededRng::new(3);
     let ds = cifar10_like(16, 16, 5);
     let (train, val) = ds.split(0.75);
@@ -29,7 +30,12 @@ fn main() {
         input_size: 16,
     };
     let space = SearchSpace::wa(BitWidth::INT8);
-    println!("search space: {} ({} candidates/layer, {} layers)\n", space.name, space.len(), arch.slot_count());
+    println!(
+        "search space: {} ({} candidates/layer, {} layers)\n",
+        space.name,
+        space.len(),
+        arch.slot_count()
+    );
 
     for lambda2 in [0.0f32, 5.0] {
         let cfg = WiNasConfig {
@@ -40,7 +46,7 @@ fn main() {
             seed: 7,
             ..WiNasConfig::default()
         };
-        let mut nas = WiNas::new(&arch, space.clone(), cfg, &mut rng.fork(lambda2 as u64));
+        let mut nas = WiNas::new(&arch, space.clone(), cfg, &mut rng.fork(lambda2 as u64))?;
         let log = nas.search(&train_b, &val_b);
         let last = log.last().unwrap();
         println!(
@@ -57,4 +63,5 @@ fn main() {
         println!(" -> FC\n");
     }
     println!("Higher λ₂ trades numerical headroom for speed (paper Fig. 9 / Table 3).");
+    Ok(())
 }

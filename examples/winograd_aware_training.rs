@@ -9,7 +9,7 @@
 
 use winograd_aware::core::{fit, ConvAlgo, OptimKind, TrainConfig};
 use winograd_aware::data::mnist_like;
-use winograd_aware::models::{ConvNet, LeNet};
+use winograd_aware::models::{ConvNet, LeNet, ModelSpec};
 use winograd_aware::nn::QuantConfig;
 use winograd_aware::quant::BitWidth;
 use winograd_aware::tensor::SeededRng;
@@ -21,8 +21,14 @@ fn train_one(algo: ConvAlgo, seed: u64) -> f64 {
     let train_b = train.shuffled_batches(32, &mut rng);
     let val_b = val.batches(32);
 
-    let mut net = LeNet::new(10, 12, QuantConfig::uniform(BitWidth::INT8), &mut rng);
-    net.set_algo(algo);
+    let spec = ModelSpec::builder()
+        .classes(10)
+        .input_size(12)
+        .quant(QuantConfig::uniform(BitWidth::INT8))
+        .algo(algo)
+        .build()
+        .expect("valid LeNet spec");
+    let mut net = LeNet::from_spec(&spec, &mut rng).expect("valid LeNet spec");
     let _ = net.conv_count();
     let cfg = TrainConfig {
         epochs: 20,
@@ -35,7 +41,10 @@ fn train_one(algo: ConvAlgo, seed: u64) -> f64 {
 
 fn main() {
     println!("INT8 LeNet (5×5 filters) on mnist-like — Winograd-aware training");
-    println!("{:<10} {:>10} {:>10} {:>8}", "config", "static", "flex", "gap");
+    println!(
+        "{:<10} {:>10} {:>10} {:>8}",
+        "config", "static", "flex", "gap"
+    );
     for m in [2usize, 4] {
         let stat = train_one(ConvAlgo::Winograd { m }, 11 + m as u64);
         let flex = train_one(ConvAlgo::WinogradFlex { m }, 11 + m as u64);
@@ -48,6 +57,10 @@ fn main() {
         );
     }
     let baseline = train_one(ConvAlgo::Im2row, 11);
-    println!("{:<10} {:>10.1}% (im2row reference)", "direct", 100.0 * baseline);
+    println!(
+        "{:<10} {:>10.1}% (im2row reference)",
+        "direct",
+        100.0 * baseline
+    );
     println!("\nLearning the transforms absorbs quantization error (paper Fig. 5).");
 }

@@ -27,26 +27,48 @@
 //! | [`latency`] | analytical Cortex-A73/A53 latency model (Figure 7/8, Table 3) |
 //! | [`nas`] | wiNAS search (Figure 9) |
 //!
+//! # Construction API
+//!
+//! Everything is built from **typed specs** with fallible builders:
+//! `ConvSpec`, `LinearSpec`, `BatchNormSpec` and `ModelSpec` validate
+//! every paper constraint (nonzero dims; Winograd ⇒ stride 1, odd
+//! kernel, tile size `m ∈ {2, 4, 6}`) and return
+//! `Result<_, WaError>` instead of panicking, so a serving system can
+//! reject a bad layer config with an error.
+//!
 //! # Quickstart
 //!
 //! ```
-//! use winograd_aware::core::{ConvAlgo, ConvLayer};
+//! use winograd_aware::core::{ConvAlgo, ConvLayer, ConvSpec, WaError};
 //! use winograd_aware::nn::{Layer, QuantConfig, Tape};
 //! use winograd_aware::quant::BitWidth;
 //! use winograd_aware::tensor::SeededRng;
 //!
 //! // An INT8 Winograd-aware F4 layer with learnable transforms:
 //! let mut rng = SeededRng::new(0);
-//! let mut layer = ConvLayer::new(
-//!     "conv", 8, 8, 3, 1, 1,
-//!     ConvAlgo::WinogradFlex { m: 4 },
-//!     QuantConfig::uniform(BitWidth::INT8),
-//!     &mut rng,
-//! );
+//! let spec = ConvSpec::builder()
+//!     .name("conv")
+//!     .in_channels(8)
+//!     .out_channels(8)
+//!     .kernel(3)
+//!     .algo(ConvAlgo::WinogradFlex { m: 4 })
+//!     .quant(QuantConfig::uniform(BitWidth::INT8))
+//!     .build()?;
+//! let mut layer = ConvLayer::from_spec(&spec, &mut rng)?;
 //! let mut tape = Tape::new();
 //! let x = tape.leaf(rng.uniform_tensor(&[1, 8, 16, 16], -1.0, 1.0));
-//! let y = layer.forward(&mut tape, x, true);
+//! let y = layer.try_forward(&mut tape, x, true)?;
 //! assert_eq!(tape.value(y).shape(), &[1, 8, 16, 16]);
+//!
+//! // Invalid configurations are rejected as values, not process aborts:
+//! assert!(ConvSpec::builder()
+//!     .in_channels(8)
+//!     .out_channels(8)
+//!     .stride(2)
+//!     .algo(ConvAlgo::Winograd { m: 4 })
+//!     .build()
+//!     .is_err());
+//! # Ok::<(), WaError>(())
 //! ```
 //!
 //! See `examples/` for runnable end-to-end scenarios and `crates/bench`

@@ -1,12 +1,10 @@
 //! Cross-crate integration tests: the full pipelines each experiment
 //! relies on, at miniature scale.
 
-use winograd_aware::core::{
-    evaluate, fit, ConvAlgo, ConvLayer, OptimKind, TrainConfig,
-};
+use winograd_aware::core::{evaluate, fit, ConvAlgo, ConvLayer, ConvSpec, OptimKind, TrainConfig};
 use winograd_aware::data::{cifar10_like, mnist_like};
 use winograd_aware::latency::{conv_latency_ms, Core, DType, LatAlgo, LayerShape};
-use winograd_aware::models::{swap_and_evaluate, ConvNet, LeNet, ResNet18};
+use winograd_aware::models::{swap_and_evaluate, ConvNet, LeNet, ModelSpec, ResNet18};
 use winograd_aware::nas::{MacroArch, SearchSpace, WiNas, WiNasConfig};
 use winograd_aware::nn::{Layer, QuantConfig, Tape};
 use winograd_aware::quant::BitWidth;
@@ -27,14 +25,24 @@ fn quick_cfg(epochs: usize) -> TrainConfig {
 #[test]
 fn winograd_aware_int8_resnet_learns() {
     // full scale in release; a light smoke profile under debug builds
-    let (per_class, epochs, bar) = if cfg!(debug_assertions) { (16, 3, 0.11) } else { (80, 10, 0.3) };
+    let (per_class, epochs, bar) = if cfg!(debug_assertions) {
+        (16, 3, 0.11)
+    } else {
+        (80, 10, 0.3)
+    };
     let mut rng = SeededRng::new(42);
     let ds = cifar10_like(per_class, 16, 7);
     let (train, val) = ds.split(0.8);
     let train_b = train.shuffled_batches(24, &mut rng);
     let val_b = val.batches(24);
-    let mut model = ResNet18::new(10, 0.125, QuantConfig::uniform(BitWidth::INT8), &mut rng);
-    model.set_algo(ConvAlgo::WinogradFlex { m: 4 });
+    let spec = ModelSpec::builder()
+        .classes(10)
+        .width(0.125)
+        .quant(QuantConfig::uniform(BitWidth::INT8))
+        .algo(ConvAlgo::WinogradFlex { m: 4 })
+        .build()
+        .unwrap();
+    let mut model = ResNet18::from_spec(&spec, &mut rng).unwrap();
     let hist = fit(&mut model, &train_b, &val_b, &quick_cfg(epochs));
     assert!(
         hist.best_val_acc() > bar,
@@ -54,7 +62,12 @@ fn table1_pipeline_shape() {
     let (train, val) = ds.split(0.8);
     let train_b = train.shuffled_batches(32, &mut rng);
     let val_b = val.batches(32);
-    let mut net = LeNet::new(10, 12, QuantConfig::FP32, &mut rng);
+    let spec = ModelSpec::builder()
+        .classes(10)
+        .input_size(12)
+        .build()
+        .unwrap();
+    let mut net = LeNet::from_spec(&spec, &mut rng).unwrap();
     let hist = fit(&mut net, &train_b, &val_b, &quick_cfg(8));
     let base = hist.final_val_acc();
     assert!(base > 0.4, "baseline too weak: {}", base);
@@ -66,8 +79,12 @@ fn table1_pipeline_shape() {
         &train_b,
         &val_b,
         0,
+    )
+    .unwrap();
+    assert!(
+        (fp32_f2 - base).abs() < 0.15,
+        "FP32 F2 swap must track baseline"
     );
-    assert!((fp32_f2 - base).abs() < 0.15, "FP32 F2 swap must track baseline");
 
     let (_, int8_f6) = swap_and_evaluate(
         &mut net,
@@ -76,8 +93,14 @@ fn table1_pipeline_shape() {
         &train_b,
         &val_b,
         0,
+    )
+    .unwrap();
+    assert!(
+        int8_f6 < base - 0.2,
+        "INT8 F6 must collapse: {} vs {}",
+        int8_f6,
+        base
     );
-    assert!(int8_f6 < base - 0.2, "INT8 F6 must collapse: {} vs {}", int8_f6, base);
 
     // restore: back to direct FP32, accuracy returns
     let (_, restored) = swap_and_evaluate(
@@ -87,8 +110,14 @@ fn table1_pipeline_shape() {
         &train_b,
         &val_b,
         0,
+    )
+    .unwrap();
+    assert!(
+        (restored - base).abs() < 0.1,
+        "surgery must be reversible: {} vs {}",
+        restored,
+        base
     );
-    assert!((restored - base).abs() < 0.1, "surgery must be reversible: {} vs {}", restored, base);
 }
 
 /// The Winograd kernels, the autograd layer and the direct reference all
@@ -103,17 +132,14 @@ fn three_implementations_agree() {
     let t = WinogradTransform::canonical(4, 3);
     let kernel = winograd_conv2d(&x, &w, None, &t, 1);
 
-    let mut layer = ConvLayer::new(
-        "c",
-        3,
-        4,
-        3,
-        1,
-        1,
-        ConvAlgo::Winograd { m: 4 },
-        QuantConfig::FP32,
-        &mut rng,
-    );
+    let spec = ConvSpec::builder()
+        .name("c")
+        .in_channels(3)
+        .out_channels(4)
+        .algo(ConvAlgo::Winograd { m: 4 })
+        .build()
+        .unwrap();
+    let mut layer = ConvLayer::from_spec(&spec, &mut rng).unwrap();
     if let ConvLayer::Winograd(wl) = &mut layer {
         wl.weight.value = w.clone();
     }
@@ -151,7 +177,7 @@ fn winas_latency_pressure() {
             seed: 9,
             ..WiNasConfig::default()
         };
-        let mut nas = WiNas::new(&arch, space.clone(), cfg, rng);
+        let mut nas = WiNas::new(&arch, space.clone(), cfg, rng).unwrap();
         let _ = nas.search(&train_b, &val_b);
         nas.finalize();
         let cands = nas.extract();
@@ -174,7 +200,8 @@ fn winas_latency_pressure() {
 #[test]
 fn latency_shapes_match_model_zoo() {
     let mut rng = SeededRng::new(5);
-    let mut net = ResNet18::new(10, 1.0, QuantConfig::FP32, &mut rng);
+    let spec = ModelSpec::builder().classes(10).width(1.0).build().unwrap();
+    let mut net = ResNet18::from_spec(&spec, &mut rng).unwrap();
     let shapes = winograd_aware::latency::resnet18_shapes(1.0, 32);
     // 1 stem + 16 block convs
     assert_eq!(shapes.len(), 1 + net.conv_count());
@@ -192,13 +219,22 @@ fn evaluation_is_pure() {
     let mut rng = SeededRng::new(6);
     let ds = cifar10_like(6, 8, 9);
     let batches = ds.batches(12);
-    let mut net = ResNet18::new(10, 0.125, QuantConfig::uniform(BitWidth::INT8), &mut rng);
-    net.set_algo(ConvAlgo::WinogradFlex { m: 2 });
+    let spec = ModelSpec::builder()
+        .classes(10)
+        .width(0.125)
+        .quant(QuantConfig::uniform(BitWidth::INT8))
+        .algo(ConvAlgo::WinogradFlex { m: 2 })
+        .build()
+        .unwrap();
+    let mut net = ResNet18::from_spec(&spec, &mut rng).unwrap();
     // warm the observers once so eval has sane scales
     winograd_aware::core::warm_up(&mut net, &batches);
     let (l1, a1) = evaluate(&mut net, &batches);
     let (l2, a2) = evaluate(&mut net, &batches);
-    assert_eq!(l1, l2, "evaluate must be deterministic and side-effect free");
+    assert_eq!(
+        l1, l2,
+        "evaluate must be deterministic and side-effect free"
+    );
     assert_eq!(a1, a2);
 }
 
@@ -242,6 +278,13 @@ fn latency_precisions_ordered() {
         let fp32 = conv_latency_ms(Core::CortexA73, DType::Fp32, algo, s);
         let int16 = conv_latency_ms(Core::CortexA73, DType::Int16, algo, s);
         let int8 = conv_latency_ms(Core::CortexA73, DType::Int8, algo, s);
-        assert!(fp32 >= int16 && int16 >= int8, "{:?}: {} {} {}", algo, fp32, int16, int8);
+        assert!(
+            fp32 >= int16 && int16 >= int8,
+            "{:?}: {} {} {}",
+            algo,
+            fp32,
+            int16,
+            int8
+        );
     }
 }
