@@ -1,0 +1,140 @@
+//! **Throughput**: batched-inference samples/sec vs worker thread count
+//! for every model of the zoo, under both direct (im2row) and
+//! Winograd F2 convolutions.
+//!
+//! This is the serving-side companion of the latency tables: instead of
+//! modeling one core's single-image latency, it measures what the
+//! [`wa_models::BatchExecutor`] actually sustains on this machine when a
+//! batch is sharded across `std::thread::scope` workers. Results are
+//! appended to `results/throughput.json` as a [`wa_bench::BenchRecord`].
+//!
+//! The run doubles as a smoke test: every configuration must clear
+//! 1 sample/sec, and the batched output must match the sequential
+//! per-sample loop exactly.
+
+use std::time::Instant;
+
+use wa_bench::{BenchRecord, Scale};
+use wa_core::ConvAlgo;
+use wa_models::{ExecutorConfig, Infer, LeNet, ModelSpec, ResNeXt20, ResNet18, SqueezeNet};
+use wa_tensor::{SeededRng, Tensor};
+
+/// Times one executor run and returns samples/sec.
+fn throughput(run: impl Fn() -> Tensor, samples: usize) -> f64 {
+    // one warm-up, then the timed run
+    let _ = run();
+    let t0 = Instant::now();
+    let out = run();
+    let dt = t0.elapsed().as_secs_f64().max(1e-9);
+    assert!(!out.is_empty(), "executor produced an empty output");
+    samples as f64 / dt
+}
+
+fn bench_model<M: Infer + Sync>(
+    record: &mut BenchRecord,
+    name: &str,
+    model: &M,
+    batch: &Tensor,
+    threads: &[usize],
+) {
+    let n = batch.dim(0);
+    // sequential per-sample reference: the executor must reproduce it
+    let seq: Vec<Tensor> = (0..n)
+        .map(|i| {
+            model
+                .infer_tensor(&batch.slice_dim0(i, i + 1))
+                .expect("sequential inference failed")
+        })
+        .collect();
+    let seq_refs: Vec<&Tensor> = seq.iter().collect();
+    let want = Tensor::concat_dim0(&seq_refs);
+
+    let mut base = 0.0;
+    for &t in threads {
+        let cfg = ExecutorConfig {
+            threads: t,
+            chunk: 2,
+        };
+        let exec = wa_models::BatchExecutor::new(cfg).expect("static config is valid");
+        let got = exec.run(model, batch).expect("batched inference failed");
+        assert_eq!(
+            got.data(),
+            want.data(),
+            "{name}: batched output diverged from the sequential loop"
+        );
+        let sps = throughput(
+            || exec.run(model, batch).expect("batched inference failed"),
+            n,
+        );
+        assert!(
+            sps > 1.0,
+            "{name} with {t} threads must clear 1 sample/sec, got {sps:.3}"
+        );
+        if t == threads[0] {
+            base = sps;
+        }
+        println!(
+            "{name:<22} threads {t}  {sps:>10.1} samples/sec  (x{:.2} vs {} thread)",
+            sps / base,
+            threads[0]
+        );
+        record.push(name, sps, &[("threads", t as f64), ("batch", n as f64)]);
+    }
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let mut rng = SeededRng::new(11);
+    let threads = [1usize, 2, 4];
+    let batch_n = if scale.per_class > 100 { 64 } else { 24 };
+    let mut record = BenchRecord::new("throughput", "samples/sec");
+
+    for algo in [ConvAlgo::Im2row, ConvAlgo::Winograd { m: 2 }] {
+        let lenet_spec = ModelSpec::builder()
+            .classes(10)
+            .input_size(28)
+            .algo(algo)
+            .build()
+            .expect("static spec");
+        let lenet = LeNet::from_spec(&lenet_spec, &mut rng).expect("static spec");
+        let lx = rng.uniform_tensor(&[batch_n, 1, 28, 28], -1.0, 1.0);
+        bench_model(&mut record, &format!("LeNet {algo}"), &lenet, &lx, &threads);
+
+        let cifar_spec = ModelSpec::builder()
+            .classes(10)
+            .width(0.125)
+            .algo(algo)
+            .build()
+            .expect("static spec");
+        let cx = rng.uniform_tensor(&[batch_n, 3, 16, 16], -1.0, 1.0);
+
+        let resnet = ResNet18::from_spec(&cifar_spec, &mut rng).expect("static spec");
+        bench_model(
+            &mut record,
+            &format!("ResNet-18 {algo}"),
+            &resnet,
+            &cx,
+            &threads,
+        );
+
+        let squeeze = SqueezeNet::from_spec(&cifar_spec, &mut rng).expect("static spec");
+        bench_model(
+            &mut record,
+            &format!("SqueezeNet {algo}"),
+            &squeeze,
+            &cx,
+            &threads,
+        );
+
+        let resnext = ResNeXt20::from_spec(&cifar_spec, &mut rng).expect("static spec");
+        bench_model(
+            &mut record,
+            &format!("ResNeXt-20 {algo}"),
+            &resnext,
+            &cx,
+            &threads,
+        );
+    }
+
+    record.save();
+}

@@ -104,6 +104,77 @@ pub fn train_resnet(
     fit(&mut net, train_b, val_b, &recipe(scale.epochs))
 }
 
+/// A typed benchmark record: one named measurement series, serialized to
+/// `results/<name>.json` via [`BenchRecord::save`]. Used by the
+/// `throughput` bin (samples/sec vs thread count) and available to any
+/// future bench that reports label → value series.
+#[derive(Clone, Debug, Default)]
+pub struct BenchRecord {
+    /// Record name (also the `results/<name>.json` stem).
+    pub name: String,
+    /// Unit of the values (e.g. `"samples/sec"`).
+    pub unit: String,
+    /// Measurement rows in insertion order.
+    pub rows: Vec<BenchRow>,
+}
+
+/// One measurement of a [`BenchRecord`].
+#[derive(Clone, Debug)]
+pub struct BenchRow {
+    /// What was measured (e.g. `"LeNet F2"`).
+    pub label: String,
+    /// The measured value in [`BenchRecord::unit`]s.
+    pub value: f64,
+    /// Free-form numeric context (e.g. `("threads", 4.0)`).
+    pub extra: Vec<(String, f64)>,
+}
+
+impl BenchRecord {
+    /// Creates an empty record.
+    pub fn new(name: impl Into<String>, unit: impl Into<String>) -> BenchRecord {
+        BenchRecord {
+            name: name.into(),
+            unit: unit.into(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one measurement row.
+    pub fn push(&mut self, label: impl Into<String>, value: f64, extra: &[(&str, f64)]) {
+        self.rows.push(BenchRow {
+            label: label.into(),
+            value,
+            extra: extra.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
+        });
+    }
+
+    /// The record as a JSON document.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("name", Json::from(self.name.as_str())),
+            ("unit", Json::from(self.unit.as_str())),
+            (
+                "rows",
+                Json::arr(self.rows.iter().map(|r| {
+                    let mut fields = vec![
+                        ("label".to_string(), Json::from(r.label.as_str())),
+                        ("value".to_string(), Json::from(r.value)),
+                    ];
+                    for (k, v) in &r.extra {
+                        fields.push((k.clone(), Json::from(*v)));
+                    }
+                    Json::Obj(fields.into_iter().collect())
+                })),
+            ),
+        ])
+    }
+
+    /// Writes the record to `results/<name>.json` (best effort).
+    pub fn save(&self) {
+        save_json(&self.name, &self.to_json());
+    }
+}
+
 /// Writes a JSON record to `results/<name>.json` (best effort; prints the
 /// path on success).
 pub fn save_json(name: &str, value: &Json) {

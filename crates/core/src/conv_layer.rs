@@ -1,6 +1,6 @@
 //! Algorithm-switchable convolution and post-training surgery.
 
-use wa_nn::{Conv2d, Layer, Param, QuantConfig, Tape, Var, WaError};
+use wa_nn::{Conv2d, Infer, Layer, Param, QuantConfig, Tape, Var, WaError};
 use wa_tensor::SeededRng;
 
 use crate::spec::{validate_algo_geometry, ConvSpec};
@@ -283,6 +283,15 @@ impl Layer for ConvLayer {
         match self {
             ConvLayer::Direct(c) => c.reset_statistics(),
             ConvLayer::Winograd(w) => w.reset_statistics(),
+        }
+    }
+}
+
+impl Infer for ConvLayer {
+    fn infer(&self, tape: &mut Tape, x: Var) -> Result<Var, WaError> {
+        match self {
+            ConvLayer::Direct(c) => c.infer(tape, x),
+            ConvLayer::Winograd(w) => w.infer(tape, x),
         }
     }
 }

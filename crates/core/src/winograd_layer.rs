@@ -1,11 +1,34 @@
 //! The Winograd-aware convolution layer (paper §3.2, Figure 2).
 
-use wa_nn::{observe_quant, Layer, Param, QuantConfig, Tape, Var, WaError};
-use wa_quant::Observer;
+use wa_nn::{infer_quant, observe_quant, Infer, Layer, Param, QuantConfig, Tape, Var, WaError};
+use wa_quant::{BitWidth, Observer};
 use wa_tensor::{SeededRng, Tensor};
 use wa_winograd::{TileGeometry, WinogradTransform};
 
 use crate::spec::ConvSpec;
+
+/// Identifies one quantization point `Qx` of Figure 2.
+#[derive(Clone, Copy)]
+enum QuantSite {
+    /// Input activations `d`.
+    Input,
+    /// Spatial weights `g`.
+    Weight,
+    /// One-sided filter transform `G·g`.
+    Gg,
+    /// Winograd-domain filter `G·g·Gᵀ`.
+    Ggt,
+    /// One-sided input transform `Bᵀ·d`.
+    Bd,
+    /// Winograd-domain input `Bᵀ·d·B`.
+    Bdb,
+    /// Elementwise product (per-coordinate GEMM output).
+    Hadamard,
+    /// One-sided output transform `Aᵀ·y`.
+    Ay,
+    /// Layer output `Aᵀ·y·A`.
+    Aya,
+}
 
 /// Range observers for every quantization point `Qx` of Figure 2.
 #[derive(Debug, Default)]
@@ -19,6 +42,151 @@ struct WinogradObservers {
     hadamard: Observer,
     ay: Observer,  // Aᵀ·y
     aya: Observer, // Aᵀ·y·A (layer output)
+}
+
+impl WinogradObservers {
+    fn site(&self, s: QuantSite) -> &Observer {
+        match s {
+            QuantSite::Input => &self.input,
+            QuantSite::Weight => &self.weight,
+            QuantSite::Gg => &self.gg,
+            QuantSite::Ggt => &self.ggt,
+            QuantSite::Bd => &self.bd,
+            QuantSite::Bdb => &self.bdb,
+            QuantSite::Hadamard => &self.hadamard,
+            QuantSite::Ay => &self.ay,
+            QuantSite::Aya => &self.aya,
+        }
+    }
+
+    fn site_mut(&mut self, s: QuantSite) -> &mut Observer {
+        match s {
+            QuantSite::Input => &mut self.input,
+            QuantSite::Weight => &mut self.weight,
+            QuantSite::Gg => &mut self.gg,
+            QuantSite::Ggt => &mut self.ggt,
+            QuantSite::Bd => &mut self.bd,
+            QuantSite::Bdb => &mut self.bdb,
+            QuantSite::Hadamard => &mut self.hadamard,
+            QuantSite::Ay => &mut self.ay,
+            QuantSite::Aya => &mut self.aya,
+        }
+    }
+}
+
+/// Tape variables for the layer's parameters, registered by the caller
+/// (mutably via [`Tape::param`] in training, read-only via
+/// [`Tape::param_ref`] in inference).
+struct PipelineVars {
+    w: Var,
+    at: Var,
+    g: Var,
+    bt: Var,
+    bias: Option<Var>,
+}
+
+/// Static layer configuration copied out of the struct so the pipeline
+/// borrows neither the layer nor its observers.
+#[derive(Clone, Copy)]
+struct PipelineCfg {
+    m: usize,
+    r: usize,
+    pad: usize,
+    in_ch: usize,
+    out_ch: usize,
+    abits: BitWidth,
+    wbits: BitWidth,
+}
+
+/// The Winograd-aware op pipeline `Y = Aᵀ[(G·g·Gᵀ) ⊙ (Bᵀ·d·B)]A`, shared
+/// by the training forward (mutable observers) and the [`Infer`] path
+/// (read-only observers): the `quant` callback realizes each `Qx` site
+/// for its caller. Site calls happen in the same order as the original
+/// single-path forward, so observer statistics evolve identically.
+fn winograd_pipeline(
+    tape: &mut Tape,
+    x: Var,
+    vars: PipelineVars,
+    cfg: PipelineCfg,
+    quant: &mut dyn FnMut(&mut Tape, Var, BitWidth, QuantSite) -> Var,
+) -> Var {
+    let (batch, in_ch, h, w) = {
+        let v = tape.value(x);
+        assert_eq!(
+            v.ndim(),
+            4,
+            "WinogradAwareConv2d expects NCHW, got {:?}",
+            v.shape()
+        );
+        (v.dim(0), v.dim(1), v.dim(2), v.dim(3))
+    };
+    assert_eq!(in_ch, cfg.in_ch, "input channels mismatch");
+    let (m, r) = (cfg.m, cfg.r);
+    let n = m + r - 1;
+    let out_ch = cfg.out_ch;
+    let geom = TileGeometry::for_conv(h, w, m, r, cfg.pad);
+    let total_tiles = batch * geom.tiles();
+    let (abits, wbits) = (cfg.abits, cfg.wbits);
+
+    // -- inputs & parameters, quantized
+    let xq = quant(tape, x, abits, QuantSite::Input);
+    let wq = quant(tape, vars.w, wbits, QuantSite::Weight);
+    let (at, g, bt) = (vars.at, vars.g, vars.bt);
+
+    // -- input transform BᵀdB (two one-sided products, Qx after each)
+    let xp = tape.pad_tiles(xq, geom);
+    let tiles = tape.gather_tiles(xp, geom); // [B·T·C, n²]
+    let rows = total_tiles * in_ch;
+    let t1 = tape.reshape(tiles, &[rows * n, n]);
+    let t2 = tape.matmul_nt(t1, bt); // X·B  ≡ (Bᵀ·Xᵀ)ᵀ
+    let t2q = quant(tape, t2, abits, QuantSite::Bd);
+    let t3 = tape.reshape(t2q, &[rows, n * n]);
+    let t4 = tape.tile_transpose(t3, n, n);
+    let t5 = tape.reshape(t4, &[rows * n, n]);
+    let t6 = tape.matmul_nt(t5, bt);
+    let t7 = tape.reshape(t6, &[rows, n * n]);
+    let v_rows = tape.tile_transpose(t7, n, n); // BᵀdB
+    let v_rows = quant(tape, v_rows, abits, QuantSite::Bdb);
+
+    // -- filter transform GgGᵀ
+    let wrows = out_ch * in_ch;
+    let w1 = tape.reshape(wq, &[wrows * r, r]);
+    let w2 = tape.matmul_nt(w1, g); // g·Gᵀ ≡ (G·gᵀ)ᵀ
+    let w2q = quant(tape, w2, wbits, QuantSite::Gg);
+    let w3 = tape.reshape(w2q, &[wrows, r * n]);
+    let w4 = tape.tile_transpose(w3, r, n);
+    let w5 = tape.reshape(w4, &[wrows * n, r]);
+    let w6 = tape.matmul_nt(w5, g);
+    let w7 = tape.reshape(w6, &[wrows, n * n]);
+    let u_rows = tape.tile_transpose(w7, n, n); // GgGᵀ
+    let u_rows = quant(tape, u_rows, wbits, QuantSite::Ggt);
+
+    // -- Hadamard product + summation across channels, as one GEMM per
+    //    Winograd-domain coordinate (Maji et al. 2019 formulation)
+    let v_p = tape.permute3(v_rows, [total_tiles, in_ch, n * n], [2, 1, 0]); // [n², C, T]
+    let u_p = tape.permute3(u_rows, [out_ch, in_ch, n * n], [2, 0, 1]); // [n², K, C]
+    let mm = tape.bmm(u_p, v_p, n * n, out_ch, in_ch, total_tiles); // [n², K, T]
+    let mm = quant(tape, mm, abits, QuantSite::Hadamard);
+
+    // -- output transform AᵀyA
+    let m3 = tape.permute3(mm, [n * n, out_ch, total_tiles], [2, 1, 0]); // [T, K, n²]
+    let orows = total_tiles * out_ch;
+    let m_rows = tape.reshape(m3, &[orows, n * n]);
+    let o1 = tape.reshape(m_rows, &[orows * n, n]);
+    let o2 = tape.matmul_nt(o1, at); // Y·A
+    let o2q = quant(tape, o2, abits, QuantSite::Ay);
+    let o3 = tape.reshape(o2q, &[orows, n * m]);
+    let o4 = tape.tile_transpose(o3, n, m);
+    let o5 = tape.reshape(o4, &[orows * m, n]);
+    let o6 = tape.matmul_nt(o5, at);
+    let o7 = tape.reshape(o6, &[orows, m * m]);
+    let y_rows = tape.tile_transpose(o7, m, m);
+
+    let mut y = tape.assemble_output(y_rows, geom, batch, out_ch);
+    if let Some(bv) = vars.bias {
+        y = tape.add_bias_chan(y, bv);
+    }
+    quant(tape, y, abits, QuantSite::Aya)
 }
 
 /// A convolution layer evaluated *explicitly* as
@@ -219,16 +387,25 @@ impl WinogradAwareConv2d {
     pub fn pad_size(&self) -> usize {
         self.pad
     }
-}
 
-impl Layer for WinogradAwareConv2d {
-    fn try_forward(&mut self, tape: &mut Tape, x: Var, train: bool) -> Result<Var, WaError> {
-        let shape = tape.value(x).shape().to_vec();
+    fn pipeline_cfg(&self) -> PipelineCfg {
+        PipelineCfg {
+            m: self.m,
+            r: self.r,
+            pad: self.pad,
+            in_ch: self.in_channels(),
+            out_ch: self.out_channels(),
+            abits: self.quant.activations,
+            wbits: self.quant.weights,
+        }
+    }
+
+    fn check_input(&self, shape: &[usize]) -> Result<(), WaError> {
         if shape.len() != 4 || shape[1] != self.in_channels() {
             return Err(WaError::shape(
                 format!("WinogradAwareConv2d `{}` input", self.weight.name),
                 &[0, self.in_channels(), 0, 0],
-                &shape,
+                shape,
             ));
         }
         if shape[2] + 2 * self.pad < self.r || shape[3] + 2 * self.pad < self.r {
@@ -241,92 +418,29 @@ impl Layer for WinogradAwareConv2d {
                 &shape[2..],
             ));
         }
+        Ok(())
+    }
+}
+
+impl Layer for WinogradAwareConv2d {
+    fn try_forward(&mut self, tape: &mut Tape, x: Var, train: bool) -> Result<Var, WaError> {
+        self.check_input(tape.value(x).shape())?;
         Ok(self.forward(tape, x, train))
     }
 
     fn forward(&mut self, tape: &mut Tape, x: Var, train: bool) -> Var {
-        let (batch, in_ch, h, w) = {
-            let v = tape.value(x);
-            assert_eq!(
-                v.ndim(),
-                4,
-                "WinogradAwareConv2d expects NCHW, got {:?}",
-                v.shape()
-            );
-            (v.dim(0), v.dim(1), v.dim(2), v.dim(3))
+        let cfg = self.pipeline_cfg();
+        let vars = PipelineVars {
+            w: tape.param(&mut self.weight),
+            at: tape.param(&mut self.at),
+            g: tape.param(&mut self.g),
+            bt: tape.param(&mut self.bt),
+            bias: self.bias.as_mut().map(|b| tape.param(b)),
         };
-        assert_eq!(in_ch, self.in_channels(), "input channels mismatch");
-        let (m, r) = (self.m, self.r);
-        let n = self.input_tile();
-        let out_ch = self.out_channels();
-        let geom = TileGeometry::for_conv(h, w, m, r, self.pad);
-        let total_tiles = batch * geom.tiles();
-        let abits = self.quant.activations;
-        let wbits = self.quant.weights;
-
-        // -- inputs & parameters, quantized
-        let xq = observe_quant(tape, x, abits, &mut self.obs.input, train);
-        let wv = tape.param(&mut self.weight);
-        let wq = observe_quant(tape, wv, wbits, &mut self.obs.weight, train);
-        let at = tape.param(&mut self.at);
-        let g = tape.param(&mut self.g);
-        let bt = tape.param(&mut self.bt);
-
-        // -- input transform BᵀdB (two one-sided products, Qx after each)
-        let xp = tape.pad_tiles(xq, geom);
-        let tiles = tape.gather_tiles(xp, geom); // [B·T·C, n²]
-        let rows = total_tiles * in_ch;
-        let t1 = tape.reshape(tiles, &[rows * n, n]);
-        let t2 = tape.matmul_nt(t1, bt); // X·B  ≡ (Bᵀ·Xᵀ)ᵀ
-        let t2q = observe_quant(tape, t2, abits, &mut self.obs.bd, train);
-        let t3 = tape.reshape(t2q, &[rows, n * n]);
-        let t4 = tape.tile_transpose(t3, n, n);
-        let t5 = tape.reshape(t4, &[rows * n, n]);
-        let t6 = tape.matmul_nt(t5, bt);
-        let t7 = tape.reshape(t6, &[rows, n * n]);
-        let v_rows = tape.tile_transpose(t7, n, n); // BᵀdB
-        let v_rows = observe_quant(tape, v_rows, abits, &mut self.obs.bdb, train);
-
-        // -- filter transform GgGᵀ
-        let wrows = out_ch * in_ch;
-        let w1 = tape.reshape(wq, &[wrows * r, r]);
-        let w2 = tape.matmul_nt(w1, g); // g·Gᵀ ≡ (G·gᵀ)ᵀ
-        let w2q = observe_quant(tape, w2, wbits, &mut self.obs.gg, train);
-        let w3 = tape.reshape(w2q, &[wrows, r * n]);
-        let w4 = tape.tile_transpose(w3, r, n);
-        let w5 = tape.reshape(w4, &[wrows * n, r]);
-        let w6 = tape.matmul_nt(w5, g);
-        let w7 = tape.reshape(w6, &[wrows, n * n]);
-        let u_rows = tape.tile_transpose(w7, n, n); // GgGᵀ
-        let u_rows = observe_quant(tape, u_rows, wbits, &mut self.obs.ggt, train);
-
-        // -- Hadamard product + summation across channels, as one GEMM per
-        //    Winograd-domain coordinate (Maji et al. 2019 formulation)
-        let v_p = tape.permute3(v_rows, [total_tiles, in_ch, n * n], [2, 1, 0]); // [n², C, T]
-        let u_p = tape.permute3(u_rows, [out_ch, in_ch, n * n], [2, 0, 1]); // [n², K, C]
-        let mm = tape.bmm(u_p, v_p, n * n, out_ch, in_ch, total_tiles); // [n², K, T]
-        let mm = observe_quant(tape, mm, abits, &mut self.obs.hadamard, train);
-
-        // -- output transform AᵀyA
-        let m3 = tape.permute3(mm, [n * n, out_ch, total_tiles], [2, 1, 0]); // [T, K, n²]
-        let orows = total_tiles * out_ch;
-        let m_rows = tape.reshape(m3, &[orows, n * n]);
-        let o1 = tape.reshape(m_rows, &[orows * n, n]);
-        let o2 = tape.matmul_nt(o1, at); // Y·A
-        let o2q = observe_quant(tape, o2, abits, &mut self.obs.ay, train);
-        let o3 = tape.reshape(o2q, &[orows, n * m]);
-        let o4 = tape.tile_transpose(o3, n, m);
-        let o5 = tape.reshape(o4, &[orows * m, n]);
-        let o6 = tape.matmul_nt(o5, at);
-        let o7 = tape.reshape(o6, &[orows, m * m]);
-        let y_rows = tape.tile_transpose(o7, m, m);
-
-        let mut y = tape.assemble_output(y_rows, geom, batch, out_ch);
-        if let Some(b) = &mut self.bias {
-            let bv = tape.param(b);
-            y = tape.add_bias_chan(y, bv);
-        }
-        observe_quant(tape, y, abits, &mut self.obs.aya, train)
+        let obs = &mut self.obs;
+        winograd_pipeline(tape, x, vars, cfg, &mut |t, v, bits, site| {
+            observe_quant(t, v, bits, obs.site_mut(site), train)
+        })
     }
 
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
@@ -341,6 +455,27 @@ impl Layer for WinogradAwareConv2d {
 
     fn reset_statistics(&mut self) {
         self.obs = WinogradObservers::default();
+    }
+}
+
+impl Infer for WinogradAwareConv2d {
+    fn infer(&self, tape: &mut Tape, x: Var) -> Result<Var, WaError> {
+        self.check_input(tape.value(x).shape())?;
+        let cfg = self.pipeline_cfg();
+        let vars = PipelineVars {
+            w: tape.param_ref(&self.weight),
+            at: tape.param_ref(&self.at),
+            g: tape.param_ref(&self.g),
+            bt: tape.param_ref(&self.bt),
+            bias: self.bias.as_ref().map(|b| tape.param_ref(b)),
+        };
+        Ok(winograd_pipeline(
+            tape,
+            x,
+            vars,
+            cfg,
+            &mut |t, v, bits, site| infer_quant(t, v, bits, self.obs.site(site)),
+        ))
     }
 }
 

@@ -3,7 +3,7 @@
 //! and static transforms fail hard (Figure 5).
 
 use wa_core::{ConvAlgo, ConvLayer};
-use wa_nn::{Layer, Linear, Param, Tape, Var, WaError};
+use wa_nn::{Infer, Layer, Linear, Param, Tape, Var, WaError};
 use wa_tensor::SeededRng;
 
 use crate::common::{convert_convs, linear, swappable_conv, ConvNet};
@@ -114,17 +114,21 @@ impl LeNet {
         self.try_set_algo(algo)
             .unwrap_or_else(|e| panic!("set_algo({algo}): {e}"));
     }
+
+    fn check_input(&self, shape: &[usize]) -> Result<(), WaError> {
+        // the conv/pool/flatten geometry is fixed at construction, so a
+        // serving request must match the built input size exactly
+        let s = self.input_size;
+        if shape.len() != 4 || shape[1] != 1 || shape[2] != s || shape[3] != s {
+            return Err(WaError::shape("LeNet input", &[0, 1, s, s], shape));
+        }
+        Ok(())
+    }
 }
 
 impl Layer for LeNet {
     fn try_forward(&mut self, tape: &mut Tape, x: Var, train: bool) -> Result<Var, WaError> {
-        // the conv/pool/flatten geometry is fixed at construction, so a
-        // serving request must match the built input size exactly
-        let s = self.input_size;
-        let shape = tape.value(x).shape().to_vec();
-        if shape.len() != 4 || shape[1] != 1 || shape[2] != s || shape[3] != s {
-            return Err(WaError::shape("LeNet input", &[0, 1, s, s], &shape));
-        }
+        self.check_input(tape.value(x).shape())?;
         Ok(self.forward(tape, x, train))
     }
 
@@ -158,6 +162,25 @@ impl Layer for LeNet {
         self.fc1.reset_statistics();
         self.fc2.reset_statistics();
         self.fc3.reset_statistics();
+    }
+}
+
+impl Infer for LeNet {
+    fn infer(&self, tape: &mut Tape, x: Var) -> Result<Var, WaError> {
+        self.check_input(tape.value(x).shape())?;
+        let mut h = self.conv1.infer(tape, x)?;
+        h = tape.relu(h);
+        h = tape.max_pool2d(h);
+        h = self.conv2.infer(tape, h)?;
+        h = tape.relu(h);
+        h = tape.max_pool2d(h);
+        let n = tape.value(h).dim(0);
+        let flat = tape.reshape(h, &[n, self.flat_dim]);
+        let mut f = self.fc1.infer(tape, flat)?;
+        f = tape.relu(f);
+        f = self.fc2.infer(tape, f)?;
+        f = tape.relu(f);
+        self.fc3.infer(tape, f)
     }
 }
 

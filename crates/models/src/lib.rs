@@ -19,6 +19,11 @@
 //! The [`ConvNet`] trait plus [`convert_convs`]/[`apply_algos`] implement
 //! model-level surgery; [`swap_and_evaluate`] and [`adapt`] reproduce the
 //! Table 1 and Figure 6 workflows.
+//!
+//! Every model also implements the read-only [`Infer`] trait and exposes
+//! `try_forward_batch`, which shards an `[N, C, H, W]` batch across
+//! worker threads through the [`BatchExecutor`] with outputs identical
+//! to the sequential per-sample loop.
 
 mod adaptation;
 mod common;
@@ -37,4 +42,4 @@ pub use resnet::ResNet18;
 pub use resnext::ResNeXt20;
 pub use spec::{ModelSpec, ModelSpecBuilder};
 pub use squeezenet::SqueezeNet;
-pub use wa_nn::WaError;
+pub use wa_nn::{BatchExecutor, ExecutorConfig, Infer, WaError};

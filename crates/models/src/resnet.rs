@@ -8,7 +8,7 @@
 //! * width multiplier 0.125–1.0 scales every channel count (Figure 4).
 
 use wa_core::{ConvAlgo, ConvLayer};
-use wa_nn::{BatchNorm2d, Conv2d, Layer, Linear, Param, QuantConfig, Tape, Var, WaError};
+use wa_nn::{BatchNorm2d, Conv2d, Infer, Layer, Linear, Param, QuantConfig, Tape, Var, WaError};
 use wa_tensor::SeededRng;
 
 use crate::common::{
@@ -77,6 +77,29 @@ impl BasicBlock {
         };
         let sum = tape.add(h, s);
         tape.relu(sum)
+    }
+
+    /// Read-only (eval-mode) forward for the batched-inference path.
+    fn infer(&self, tape: &mut Tape, x: Var) -> Result<Var, WaError> {
+        let x = if self.downsample {
+            tape.max_pool2d(x)
+        } else {
+            x
+        };
+        let mut h = self.conv1.infer(tape, x)?;
+        h = self.bn1.infer(tape, h)?;
+        h = tape.relu(h);
+        h = self.conv2.infer(tape, h)?;
+        h = self.bn2.infer(tape, h)?;
+        let s = match &self.shortcut {
+            Some((proj, bn)) => {
+                let p = proj.infer(tape, x)?;
+                bn.infer(tape, p)?
+            }
+            None => x,
+        };
+        let sum = tape.add(h, s);
+        Ok(tape.relu(sum))
     }
 
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
@@ -213,13 +236,10 @@ impl ResNet18 {
     pub fn width(&self) -> f64 {
         self.width
     }
-}
 
-impl Layer for ResNet18 {
-    fn try_forward(&mut self, tape: &mut Tape, x: Var, train: bool) -> Result<Var, WaError> {
-        let shape = tape.value(x).shape().to_vec();
+    fn check_input(&self, shape: &[usize]) -> Result<(), WaError> {
         if shape.len() != 4 || shape[1] != 3 {
-            return Err(WaError::shape("ResNet18 input", &[0, 3, 0, 0], &shape));
+            return Err(WaError::shape("ResNet18 input", &[0, 3, 0, 0], shape));
         }
         // the three downsampling stages each max-pool (even dims needed),
         // so spatial dims must be divisible by 8
@@ -228,9 +248,16 @@ impl Layer for ResNet18 {
                 "ResNet18 input (spatial dims must be nonzero multiples of 8 \
                  for the three max-pool stages)",
                 &[0, 3, 8, 8],
-                &shape,
+                shape,
             ));
         }
+        Ok(())
+    }
+}
+
+impl Layer for ResNet18 {
+    fn try_forward(&mut self, tape: &mut Tape, x: Var, train: bool) -> Result<Var, WaError> {
+        self.check_input(tape.value(x).shape())?;
         Ok(self.forward(tape, x, train))
     }
 
@@ -261,6 +288,20 @@ impl Layer for ResNet18 {
             b.reset_statistics();
         }
         self.head.reset_statistics();
+    }
+}
+
+impl Infer for ResNet18 {
+    fn infer(&self, tape: &mut Tape, x: Var) -> Result<Var, WaError> {
+        self.check_input(tape.value(x).shape())?;
+        let mut h = self.stem.infer(tape, x)?;
+        h = self.stem_bn.infer(tape, h)?;
+        h = tape.relu(h);
+        for b in &self.blocks {
+            h = b.infer(tape, h)?;
+        }
+        let pooled = tape.global_avg_pool(h);
+        self.head.infer(tape, pooled)
     }
 }
 

@@ -3,7 +3,7 @@
 //! Six bottleneck blocks → six (grouped) swappable 3×3 stages.
 
 use wa_core::{ConvAlgo, ConvLayer};
-use wa_nn::{BatchNorm2d, Conv2d, Layer, Param, QuantConfig, Tape, Var, WaError};
+use wa_nn::{BatchNorm2d, Conv2d, Infer, Layer, Param, QuantConfig, Tape, Var, WaError};
 use wa_tensor::SeededRng;
 
 use crate::common::{
@@ -112,6 +112,39 @@ impl ResNeXtBlock {
         };
         let sum = tape.add(e, s);
         tape.relu(sum)
+    }
+
+    /// Read-only (eval-mode) forward for the batched-inference path.
+    fn infer(&self, tape: &mut Tape, x: Var) -> Result<Var, WaError> {
+        let x = if self.downsample {
+            tape.max_pool2d(x)
+        } else {
+            x
+        };
+        let mut h = self.reduce.infer(tape, x)?;
+        h = self.bn1.infer(tape, h)?;
+        h = tape.relu(h);
+        // grouped 3×3: slice, convolve per group, concat
+        let gw = self.group_width;
+        let mut parts = Vec::with_capacity(self.group_convs.len());
+        for (g, conv) in self.group_convs.iter().enumerate() {
+            let slice = tape.slice_chan(h, g * gw, (g + 1) * gw);
+            parts.push(conv.infer(tape, slice)?);
+        }
+        let mut cat = tape.concat_chan(&parts);
+        cat = self.bn2.infer(tape, cat)?;
+        cat = tape.relu(cat);
+        let mut e = self.expand.infer(tape, cat)?;
+        e = self.bn3.infer(tape, e)?;
+        let s = match &self.shortcut {
+            Some((proj, bn)) => {
+                let p = proj.infer(tape, x)?;
+                bn.infer(tape, p)?
+            }
+            None => x,
+        };
+        let sum = tape.add(e, s);
+        Ok(tape.relu(sum))
     }
 
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
@@ -259,13 +292,10 @@ impl ResNeXt20 {
         self.try_set_algo(algo)
             .unwrap_or_else(|e| panic!("set_algo({algo}): {e}"));
     }
-}
 
-impl Layer for ResNeXt20 {
-    fn try_forward(&mut self, tape: &mut Tape, x: Var, train: bool) -> Result<Var, WaError> {
-        let shape = tape.value(x).shape().to_vec();
+    fn check_input(&self, shape: &[usize]) -> Result<(), WaError> {
         if shape.len() != 4 || shape[1] != 3 {
-            return Err(WaError::shape("ResNeXt20 input", &[0, 3, 0, 0], &shape));
+            return Err(WaError::shape("ResNeXt20 input", &[0, 3, 0, 0], shape));
         }
         // stages 2 and 3 max-pool, so spatial dims must be divisible by 4
         if shape[2] == 0 || !shape[2].is_multiple_of(4) || !shape[3].is_multiple_of(4) {
@@ -273,9 +303,16 @@ impl Layer for ResNeXt20 {
                 "ResNeXt20 input (spatial dims must be nonzero multiples of 4 \
                  for the two max-pool stages)",
                 &[0, 3, 4, 4],
-                &shape,
+                shape,
             ));
         }
+        Ok(())
+    }
+}
+
+impl Layer for ResNeXt20 {
+    fn try_forward(&mut self, tape: &mut Tape, x: Var, train: bool) -> Result<Var, WaError> {
+        self.check_input(tape.value(x).shape())?;
         Ok(self.forward(tape, x, train))
     }
 
@@ -306,6 +343,20 @@ impl Layer for ResNeXt20 {
             b.reset_statistics();
         }
         self.head.reset_statistics();
+    }
+}
+
+impl Infer for ResNeXt20 {
+    fn infer(&self, tape: &mut Tape, x: Var) -> Result<Var, WaError> {
+        self.check_input(tape.value(x).shape())?;
+        let mut h = self.stem.infer(tape, x)?;
+        h = self.stem_bn.infer(tape, h)?;
+        h = tape.relu(h);
+        for b in &self.blocks {
+            h = b.infer(tape, h)?;
+        }
+        let pooled = tape.global_avg_pool(h);
+        self.head.infer(tape, pooled)
     }
 }
 

@@ -4,7 +4,7 @@
 //! milder INT8/F4 degradation versus ResNet-18's 16.
 
 use wa_core::{ConvAlgo, ConvLayer};
-use wa_nn::{BatchNorm2d, Conv2d, Layer, Param, QuantConfig, Tape, Var, WaError};
+use wa_nn::{BatchNorm2d, Conv2d, Infer, Layer, Param, QuantConfig, Tape, Var, WaError};
 use wa_tensor::SeededRng;
 
 use crate::common::{
@@ -69,6 +69,16 @@ impl Fire {
         let e3 = self.expand3.forward(tape, s, train);
         let cat = tape.concat_chan(&[e1, e3]);
         tape.relu(cat)
+    }
+
+    /// Read-only (eval-mode) forward for the batched-inference path.
+    fn infer(&self, tape: &mut Tape, x: Var) -> Result<Var, WaError> {
+        let s = self.squeeze.infer(tape, x)?;
+        let s = tape.relu(s);
+        let e1 = self.expand1.infer(tape, s)?;
+        let e3 = self.expand3.infer(tape, s)?;
+        let cat = tape.concat_chan(&[e1, e3]);
+        Ok(tape.relu(cat))
     }
 
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
@@ -175,13 +185,10 @@ impl SqueezeNet {
         self.try_set_algo(algo)
             .unwrap_or_else(|e| panic!("set_algo({algo}): {e}"));
     }
-}
 
-impl Layer for SqueezeNet {
-    fn try_forward(&mut self, tape: &mut Tape, x: Var, train: bool) -> Result<Var, WaError> {
-        let shape = tape.value(x).shape().to_vec();
+    fn check_input(&self, shape: &[usize]) -> Result<(), WaError> {
         if shape.len() != 4 || shape[1] != 3 {
-            return Err(WaError::shape("SqueezeNet input", &[0, 3, 0, 0], &shape));
+            return Err(WaError::shape("SqueezeNet input", &[0, 3, 0, 0], shape));
         }
         // replay the pooling plan of `forward`: the stem pool always
         // applies, the fire-stage pools only while the height is >= 4 —
@@ -207,9 +214,16 @@ impl Layer for SqueezeNet {
                 "SqueezeNet input (spatial dims must stay even through every \
                  applied max-pool stage)",
                 &[0, 3, 0, 0],
-                &shape,
+                shape,
             ));
         }
+        Ok(())
+    }
+}
+
+impl Layer for SqueezeNet {
+    fn try_forward(&mut self, tape: &mut Tape, x: Var, train: bool) -> Result<Var, WaError> {
+        self.check_input(tape.value(x).shape())?;
         Ok(self.forward(tape, x, train))
     }
 
@@ -251,6 +265,24 @@ impl SqueezeNet {
         }
         let logits_map = self.classifier.forward(tape, h, train);
         tape.global_avg_pool(logits_map)
+    }
+}
+
+impl Infer for SqueezeNet {
+    fn infer(&self, tape: &mut Tape, x: Var) -> Result<Var, WaError> {
+        self.check_input(tape.value(x).shape())?;
+        let mut h = self.stem.infer(tape, x)?;
+        h = self.stem_bn.infer(tape, h)?;
+        h = tape.relu(h);
+        h = tape.max_pool2d(h);
+        for (i, fire) in self.fires.iter().enumerate() {
+            h = fire.infer(tape, h)?;
+            if self.pools_after.contains(&i) && tape.value(h).dim(2) >= 4 {
+                h = tape.max_pool2d(h);
+            }
+        }
+        let logits_map = self.classifier.infer(tape, h)?;
+        Ok(tape.global_avg_pool(logits_map))
     }
 }
 

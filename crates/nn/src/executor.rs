@@ -1,0 +1,443 @@
+//! Batched parallel inference: shard an `[N, C, H, W]` batch across
+//! worker threads, each replaying the model on its own [`Tape`].
+//!
+//! The tape is a single-threaded structure — every forward pass appends
+//! nodes to one `Vec` — so throughput-oriented serving cannot run a large
+//! batch as one tape without serializing everything behind it. The
+//! executor instead splits the batch into fixed-size chunks, gives every
+//! worker its own tape, and reads the model through the shared-reference
+//! [`Infer`] trait (parameters are only *read* during inference, so one
+//! model can serve any number of workers simultaneously).
+//!
+//! Determinism: the chunk partition depends only on
+//! [`ExecutorConfig::chunk`], never on thread scheduling, and every
+//! per-sample computation is independent, so — for FP32 models and for
+//! quantized models whose range observers are warm — the stitched output
+//! is identical for any `threads` or `chunk` value, and identical to
+//! running the samples one at a time through [`Infer::infer`]. The one
+//! carve-out is a quantized model that was never warmed: its cold
+//! observers derive scales from the tensor at hand (see
+//! [`crate::infer_quant`]), which in batched execution is the whole
+//! chunk, so outputs can vary with the batch partition until the model
+//! is warmed. The parity suite in `tests/executor_parity.rs` pins the
+//! contract.
+//!
+//! # Example
+//!
+//! ```
+//! use wa_nn::{BatchExecutor, ExecutorConfig, Infer, Linear, LinearSpec, Tape, Var, WaError};
+//! use wa_tensor::{SeededRng, Tensor};
+//!
+//! // A [N, F] model: Infer is the &self (read-only) forward.
+//! let mut rng = SeededRng::new(0);
+//! let spec = LinearSpec::builder("clf").in_features(4).out_features(3).build()?;
+//! let model = Linear::from_spec(&spec, &mut rng)?;
+//!
+//! let batch = rng.uniform_tensor(&[10, 4], -1.0, 1.0);
+//! let exec = BatchExecutor::new(ExecutorConfig { threads: 2, chunk: 3 })?;
+//! let logits = exec.run(&model, &batch)?;
+//! assert_eq!(logits.shape(), &[10, 3]);
+//!
+//! // Bit-identical to the sequential per-sample loop:
+//! for i in 0..10 {
+//!     let one = model.infer_tensor(&batch.slice_dim0(i, i + 1))?;
+//!     assert_eq!(one.data(), &logits.data()[i * 3..(i + 1) * 3]);
+//! }
+//! # Ok::<(), WaError>(())
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use wa_tensor::Tensor;
+
+use crate::error::WaError;
+use crate::tape::{Tape, Var};
+
+/// Inference-only forward over a shared reference.
+///
+/// [`crate::Layer::forward`] takes `&mut self` because training mutates
+/// layer state (range observers, batch-norm running statistics, parameter
+/// registration for the backward pass). Serving needs none of that: this
+/// trait is the *read-only* half — it must not mutate the model, which is
+/// what lets [`BatchExecutor`] share one model across worker threads.
+///
+/// Implementations mirror their layer's eval-mode (`train = false`)
+/// forward. The one divergence: a *cold* quantization observer (zero
+/// observations) derives a one-off scale from the tensor at hand instead
+/// of memorizing it, so repeated inference never drifts; warm the model
+/// with one training forward for serving scales that are stable and
+/// independent of how a batch is partitioned.
+pub trait Infer {
+    /// Runs the model on `x`, appending ops to `tape`, without mutating
+    /// `self`.
+    ///
+    /// # Errors
+    ///
+    /// [`WaError::ShapeMismatch`] when the input cannot be consumed.
+    fn infer(&self, tape: &mut Tape, x: Var) -> Result<Var, WaError>;
+
+    /// Convenience wrapper: runs [`Infer::infer`] on a fresh tape and
+    /// returns the output tensor.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Infer::infer`] errors.
+    fn infer_tensor(&self, x: &Tensor) -> Result<Tensor, WaError> {
+        let mut tape = Tape::new();
+        let v = tape.leaf(x.clone());
+        let y = self.infer(&mut tape, v)?;
+        Ok(tape.value(y).clone())
+    }
+
+    /// Runs a batch (leading dimension = samples) through a
+    /// [`BatchExecutor`], sharding the samples across `cfg.threads`
+    /// workers and returning the outputs in input order.
+    ///
+    /// # Errors
+    ///
+    /// [`WaError::InvalidSpec`] for an invalid `cfg`,
+    /// [`WaError::ShapeMismatch`] for an unusable batch.
+    fn try_forward_batch(&self, batch: &Tensor, cfg: ExecutorConfig) -> Result<Tensor, WaError>
+    where
+        Self: Sized + Sync,
+    {
+        BatchExecutor::new(cfg)?.run(self, batch)
+    }
+}
+
+/// Hard cap on worker threads (beyond this a config is a typo, not a
+/// deployment).
+const MAX_THREADS: usize = 1024;
+
+/// Hard cap on samples per chunk.
+const MAX_CHUNK: usize = 65_536;
+
+/// How a [`BatchExecutor`] shards work.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ExecutorConfig {
+    /// Worker thread count (each worker owns one [`Tape`] at a time).
+    pub threads: usize,
+    /// Samples per shard. Smaller chunks balance load better; larger
+    /// chunks amortize per-tape overhead and feed the GEMM larger
+    /// matrices. The output never depends on this value for FP32 models
+    /// or warmed quantized models (cold observers derive scales from the
+    /// chunk at hand — see [`crate::infer_quant`]).
+    pub chunk: usize,
+}
+
+impl ExecutorConfig {
+    /// Creates a validated config.
+    ///
+    /// # Errors
+    ///
+    /// [`WaError::InvalidSpec`] for zero or absurd values.
+    pub fn new(threads: usize, chunk: usize) -> Result<ExecutorConfig, WaError> {
+        let cfg = ExecutorConfig { threads, chunk };
+        cfg.validate()?;
+        Ok(cfg)
+    }
+
+    /// Re-checks the invariants (the fields are public and may have been
+    /// mutated after construction).
+    ///
+    /// # Errors
+    ///
+    /// [`WaError::InvalidSpec`] naming the offending field.
+    pub fn validate(&self) -> Result<(), WaError> {
+        if self.threads == 0 || self.threads > MAX_THREADS {
+            return Err(WaError::invalid(
+                "ExecutorConfig",
+                "threads",
+                format!("threads must be in 1..={MAX_THREADS}, got {}", self.threads),
+            ));
+        }
+        if self.chunk == 0 || self.chunk > MAX_CHUNK {
+            return Err(WaError::invalid(
+                "ExecutorConfig",
+                "chunk",
+                format!("chunk must be in 1..={MAX_CHUNK}, got {}", self.chunk),
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Default for ExecutorConfig {
+    /// One thread per available core (capped at 8), 8 samples per chunk.
+    /// When more than one worker runs, each worker disables the GEMM's
+    /// *inner* threading for its chunks, so the two parallel layers never
+    /// multiply into oversubscription.
+    fn default() -> Self {
+        ExecutorConfig {
+            threads: std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+                .min(8),
+            chunk: 8,
+        }
+    }
+}
+
+/// Shards an input batch across `std::thread::scope` workers and stitches
+/// the outputs back in input order. See the [module docs](self) for the
+/// determinism contract and an example.
+#[derive(Clone, Debug)]
+pub struct BatchExecutor {
+    cfg: ExecutorConfig,
+}
+
+impl BatchExecutor {
+    /// Creates an executor from a validated config.
+    ///
+    /// # Errors
+    ///
+    /// [`WaError::InvalidSpec`] if the config is invalid.
+    pub fn new(cfg: ExecutorConfig) -> Result<BatchExecutor, WaError> {
+        cfg.validate()?;
+        Ok(BatchExecutor { cfg })
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> ExecutorConfig {
+        self.cfg
+    }
+
+    /// Runs `model` over `batch` (any tensor whose first dimension is the
+    /// sample dimension; CNNs take `[N, C, H, W]`) and returns the outputs
+    /// concatenated along dimension 0 in input order.
+    ///
+    /// # Errors
+    ///
+    /// [`WaError::ShapeMismatch`] for an empty batch, a model error on any
+    /// chunk (the first failing chunk's error, in chunk order), or a model
+    /// that returns outputs whose leading dimension is not the chunk's
+    /// sample count.
+    pub fn run<M: Infer + Sync + ?Sized>(
+        &self,
+        model: &M,
+        batch: &Tensor,
+    ) -> Result<Tensor, WaError> {
+        let shape = batch.shape();
+        if shape.is_empty() || shape[0] == 0 {
+            return Err(WaError::shape(
+                "BatchExecutor input (needs a nonempty sample dimension)",
+                &[1],
+                shape,
+            ));
+        }
+        let n = shape[0];
+        let chunk = self.cfg.chunk.min(n);
+        let n_chunks = n.div_ceil(chunk);
+        let threads = self.cfg.threads.min(n_chunks);
+
+        let mut slots: Vec<Option<Result<Tensor, WaError>>> = (0..n_chunks).map(|_| None).collect();
+        if threads <= 1 {
+            // a single worker keeps the GEMM's own inner threading: large
+            // chunks still use every core
+            for (ci, slot) in slots.iter_mut().enumerate() {
+                *slot = Some(run_chunk(
+                    model,
+                    batch,
+                    ci * chunk,
+                    ((ci + 1) * chunk).min(n),
+                ));
+            }
+        } else {
+            let next = AtomicUsize::new(0);
+            let shared = Mutex::new(&mut slots);
+            std::thread::scope(|s| {
+                for _ in 0..threads {
+                    // the executor owns the parallelism here, so each
+                    // worker pins its GEMMs to one thread — otherwise
+                    // `threads` workers × the GEMM's own pool would
+                    // oversubscribe the machine multiplicatively
+                    s.spawn(|| {
+                        wa_tensor::with_gemm_thread_cap(1, || loop {
+                            let ci = next.fetch_add(1, Ordering::Relaxed);
+                            if ci >= n_chunks {
+                                return;
+                            }
+                            let out =
+                                run_chunk(model, batch, ci * chunk, ((ci + 1) * chunk).min(n));
+                            shared.lock().expect("executor worker panicked")[ci] = Some(out);
+                        })
+                    });
+                }
+            });
+        }
+
+        let mut parts = Vec::with_capacity(n_chunks);
+        for (ci, slot) in slots.into_iter().enumerate() {
+            let part = slot.expect("every chunk index was dispatched")?;
+            let rows = ((ci + 1) * chunk).min(n) - ci * chunk;
+            if part.ndim() == 0 || part.dim(0) != rows {
+                return Err(WaError::shape(
+                    "BatchExecutor model output (leading dim must be the \
+                     chunk's sample count)",
+                    &[rows],
+                    part.shape(),
+                ));
+            }
+            if ci > 0 {
+                let first: &Tensor = &parts[0];
+                if part.shape()[1..] != first.shape()[1..] {
+                    return Err(WaError::shape(
+                        "BatchExecutor model output (per-sample shape must \
+                         be identical across chunks)",
+                        &first.shape()[1..],
+                        &part.shape()[1..],
+                    ));
+                }
+            }
+            parts.push(part);
+        }
+        let refs: Vec<&Tensor> = parts.iter().collect();
+        Ok(Tensor::concat_dim0(&refs))
+    }
+}
+
+/// One worker step: slice `[start, end)` samples, replay the model on a
+/// fresh tape, detach the output.
+fn run_chunk<M: Infer + ?Sized>(
+    model: &M,
+    batch: &Tensor,
+    start: usize,
+    end: usize,
+) -> Result<Tensor, WaError> {
+    let part = batch.slice_dim0(start, end);
+    let mut tape = Tape::new();
+    let x = tape.leaf(part);
+    let y = model.infer(&mut tape, x)?;
+    Ok(tape.value(y).clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Layer, Linear};
+    use crate::spec::LinearSpec;
+    use wa_tensor::SeededRng;
+
+    fn model(rng: &mut SeededRng) -> Linear {
+        let spec = LinearSpec::builder("l")
+            .in_features(3)
+            .out_features(2)
+            .build()
+            .unwrap();
+        Linear::from_spec(&spec, rng).unwrap()
+    }
+
+    #[test]
+    fn config_validation_rejects_zeroes() {
+        assert!(matches!(
+            ExecutorConfig::new(0, 4),
+            Err(WaError::InvalidSpec {
+                field: "threads",
+                ..
+            })
+        ));
+        assert!(matches!(
+            ExecutorConfig::new(2, 0),
+            Err(WaError::InvalidSpec { field: "chunk", .. })
+        ));
+        assert!(ExecutorConfig::new(2, 4).is_ok());
+        assert!(ExecutorConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn mutated_config_is_recaught_by_executor() {
+        let mut cfg = ExecutorConfig::new(2, 4).unwrap();
+        cfg.threads = 0;
+        assert!(BatchExecutor::new(cfg).is_err());
+    }
+
+    #[test]
+    fn run_matches_sequential_and_all_thread_counts_agree() {
+        let mut rng = SeededRng::new(1);
+        let m = model(&mut rng);
+        let batch = rng.uniform_tensor(&[7, 3], -1.0, 1.0);
+        let seq: Vec<Tensor> = (0..7)
+            .map(|i| m.infer_tensor(&batch.slice_dim0(i, i + 1)).unwrap())
+            .collect();
+        let seq_refs: Vec<&Tensor> = seq.iter().collect();
+        let want = Tensor::concat_dim0(&seq_refs);
+        for threads in [1, 2, 4] {
+            let exec = BatchExecutor::new(ExecutorConfig { threads, chunk: 2 }).unwrap();
+            let got = exec.run(&m, &batch).unwrap();
+            assert_eq!(got.shape(), want.shape());
+            assert_eq!(got.data(), want.data(), "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn chunk_size_does_not_change_output() {
+        let mut rng = SeededRng::new(2);
+        let m = model(&mut rng);
+        let batch = rng.uniform_tensor(&[9, 3], -1.0, 1.0);
+        let a = BatchExecutor::new(ExecutorConfig {
+            threads: 2,
+            chunk: 1,
+        })
+        .unwrap()
+        .run(&m, &batch)
+        .unwrap();
+        let b = BatchExecutor::new(ExecutorConfig {
+            threads: 3,
+            chunk: 4,
+        })
+        .unwrap()
+        .run(&m, &batch)
+        .unwrap();
+        assert_eq!(a.data(), b.data());
+    }
+
+    #[test]
+    fn empty_batch_is_rejected() {
+        let mut rng = SeededRng::new(3);
+        let m = model(&mut rng);
+        let exec = BatchExecutor::new(ExecutorConfig {
+            threads: 2,
+            chunk: 2,
+        })
+        .unwrap();
+        let empty = Tensor::zeros(&[0, 3]);
+        assert!(matches!(
+            exec.run(&m, &empty),
+            Err(WaError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn model_error_surfaces_from_worker_threads() {
+        let mut rng = SeededRng::new(4);
+        let m = model(&mut rng);
+        // wrong feature count: every chunk fails; the first chunk's error
+        // must come back intact through the thread boundary
+        let bad = rng.uniform_tensor(&[6, 5], -1.0, 1.0);
+        let exec = BatchExecutor::new(ExecutorConfig {
+            threads: 3,
+            chunk: 2,
+        })
+        .unwrap();
+        assert!(matches!(
+            exec.run(&m, &bad),
+            Err(WaError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn infer_matches_eval_forward() {
+        let mut rng = SeededRng::new(5);
+        let mut m = model(&mut rng);
+        let x = rng.uniform_tensor(&[4, 3], -1.0, 1.0);
+        let want = {
+            let mut tape = Tape::new();
+            let v = tape.leaf(x.clone());
+            let y = m.forward(&mut tape, v, false);
+            tape.value(y).clone()
+        };
+        let got = m.infer_tensor(&x).unwrap();
+        assert_eq!(got.data(), want.data());
+    }
+}

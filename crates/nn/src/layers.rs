@@ -4,6 +4,7 @@ use wa_quant::{BitWidth, Observer};
 use wa_tensor::{SeededRng, Tensor};
 
 use crate::error::WaError;
+use crate::executor::Infer;
 use crate::param::Param;
 use crate::spec::{BatchNormSpec, Conv2dSpec, LinearSpec};
 use crate::tape::{Tape, Var};
@@ -69,6 +70,33 @@ pub fn observe_quant(
         obs.observe(tape.value(x));
     }
     let scale = obs.scale(bits);
+    tape.fake_quant(x, bits, scale)
+}
+
+/// Read-only counterpart of [`observe_quant`] for the [`Infer`] path:
+/// fake-quantizes `x` at the scale a *warm* observer has settled on
+/// without ever mutating the observer.
+///
+/// A cold observer (zero observations) derives a one-off scale from the
+/// tensor at hand — the same value the mutable path's one-shot fallback
+/// would compute — so inference through an un-warmed model is still
+/// well-defined. Note that "the tensor at hand" is the whole chunk in
+/// batched execution, so a cold quantized model's outputs can vary with
+/// the batch partition; warm the model (one training forward) for scales
+/// that are stable and partition-independent.
+pub fn infer_quant(tape: &mut Tape, x: Var, bits: BitWidth, obs: &Observer) -> Var {
+    if bits.is_float() {
+        return x;
+    }
+    let scale = if obs.observations() > 0 {
+        obs.scale(bits)
+    } else {
+        // clone keeps the frozen flag, matching observe_quant's fallback
+        // (a frozen cold observer stays at the tiny safe scale)
+        let mut tmp = obs.clone();
+        tmp.observe(tape.value(x));
+        tmp.scale(bits)
+    };
     tape.fake_quant(x, bits, scale)
 }
 
@@ -202,14 +230,88 @@ impl Conv2d {
     }
 }
 
-impl Layer for Conv2d {
-    fn try_forward(&mut self, tape: &mut Tape, x: Var, train: bool) -> Result<Var, WaError> {
-        let (shape, k) = (tape.value(x).shape().to_vec(), self.kernel());
+/// The three quantization points of the direct (im2row) convolution.
+#[derive(Clone, Copy)]
+enum ConvSite {
+    /// Input activations.
+    In,
+    /// Weights.
+    Weight,
+    /// Output activations.
+    Out,
+}
+
+/// Static geometry of one direct convolution, copied out of the layer so
+/// the shared pipeline below borrows neither the layer nor its observers.
+#[derive(Clone, Copy)]
+struct ConvGeom {
+    out_ch: usize,
+    in_ch: usize,
+    kernel: usize,
+    stride: usize,
+    pad: usize,
+}
+
+/// The im2row + GEMM pipeline shared by [`Layer::forward`] (mutable
+/// observers, training) and [`Infer::infer`] (read-only observers): the
+/// `quant` callback realizes each `Qx` site for its caller.
+fn conv2d_pipeline(
+    tape: &mut Tape,
+    x: Var,
+    wv: Var,
+    bias: Option<Var>,
+    geom: ConvGeom,
+    quant: &mut dyn FnMut(&mut Tape, Var, ConvSite) -> Var,
+) -> Var {
+    let (n, h, w) = {
+        let v = tape.value(x);
+        assert_eq!(
+            v.ndim(),
+            4,
+            "Conv2d expects NCHW input, got {:?}",
+            v.shape()
+        );
+        (v.dim(0), v.dim(2), v.dim(3))
+    };
+    let k = geom.out_ch;
+    let (kh, kw) = (geom.kernel, geom.kernel);
+    let oh = (h + 2 * geom.pad - kh) / geom.stride + 1;
+    let ow = (w + 2 * geom.pad - kw) / geom.stride + 1;
+
+    let xq = quant(tape, x, ConvSite::In);
+    let wq = quant(tape, wv, ConvSite::Weight);
+
+    let xp = tape.pad(xq, geom.pad);
+    let rows = tape.im2row(xp, kh, kw, geom.stride);
+    let wmat = tape.reshape(wq, &[k, geom.in_ch * kh * kw]);
+    let mut out = tape.matmul_nt(rows, wmat); // [N·oh·ow, K]
+    if let Some(bv) = bias {
+        out = tape.add_bias_rows(out, bv);
+    }
+    // [N, oh·ow, K] -> [N, K, oh·ow] -> NCHW
+    let p = tape.permute3(out, [n, oh * ow, k], [0, 2, 1]);
+    let y = tape.reshape(p, &[n, k, oh, ow]);
+    quant(tape, y, ConvSite::Out)
+}
+
+impl Conv2d {
+    fn geom(&self) -> ConvGeom {
+        ConvGeom {
+            out_ch: self.out_channels(),
+            in_ch: self.in_channels(),
+            kernel: self.kernel(),
+            stride: self.stride,
+            pad: self.pad,
+        }
+    }
+
+    fn check_input(&self, shape: &[usize]) -> Result<(), WaError> {
+        let k = self.kernel();
         if shape.len() != 4 || shape[1] != self.in_channels() {
             return Err(WaError::shape(
                 format!("Conv2d `{}` input", self.weight.name),
                 &[0, self.in_channels(), 0, 0],
-                &shape,
+                shape,
             ));
         }
         if shape[2] + 2 * self.pad < k || shape[3] + 2 * self.pad < k {
@@ -219,41 +321,27 @@ impl Layer for Conv2d {
                 &shape[2..],
             ));
         }
+        Ok(())
+    }
+}
+
+impl Layer for Conv2d {
+    fn try_forward(&mut self, tape: &mut Tape, x: Var, train: bool) -> Result<Var, WaError> {
+        self.check_input(tape.value(x).shape())?;
         Ok(self.forward(tape, x, train))
     }
 
     fn forward(&mut self, tape: &mut Tape, x: Var, train: bool) -> Var {
-        let (n, _c, h, w) = {
-            let v = tape.value(x);
-            assert_eq!(
-                v.ndim(),
-                4,
-                "Conv2d expects NCHW input, got {:?}",
-                v.shape()
-            );
-            (v.dim(0), v.dim(1), v.dim(2), v.dim(3))
-        };
-        let k = self.out_channels();
-        let (kh, kw) = (self.kernel(), self.kernel());
-        let oh = (h + 2 * self.pad - kh) / self.stride + 1;
-        let ow = (w + 2 * self.pad - kw) / self.stride + 1;
-
-        let xq = observe_quant(tape, x, self.quant.activations, &mut self.obs_in, train);
+        let geom = self.geom();
         let wv = tape.param(&mut self.weight);
-        let wq = observe_quant(tape, wv, self.quant.weights, &mut self.obs_w, train);
-
-        let xp = tape.pad(xq, self.pad);
-        let rows = tape.im2row(xp, kh, kw, self.stride);
-        let wmat = tape.reshape(wq, &[k, self.in_channels() * kh * kw]);
-        let mut out = tape.matmul_nt(rows, wmat); // [N·oh·ow, K]
-        if let Some(b) = &mut self.bias {
-            let bv = tape.param(b);
-            out = tape.add_bias_rows(out, bv);
-        }
-        // [N, oh·ow, K] -> [N, K, oh·ow] -> NCHW
-        let p = tape.permute3(out, [n, oh * ow, k], [0, 2, 1]);
-        let y = tape.reshape(p, &[n, k, oh, ow]);
-        observe_quant(tape, y, self.quant.activations, &mut self.obs_out, train)
+        let bias = self.bias.as_mut().map(|b| tape.param(b));
+        let q = self.quant;
+        let (oi, ow, oo) = (&mut self.obs_in, &mut self.obs_w, &mut self.obs_out);
+        conv2d_pipeline(tape, x, wv, bias, geom, &mut |t, v, site| match site {
+            ConvSite::In => observe_quant(t, v, q.activations, oi, train),
+            ConvSite::Weight => observe_quant(t, v, q.weights, ow, train),
+            ConvSite::Out => observe_quant(t, v, q.activations, oo, train),
+        })
     }
 
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
@@ -267,6 +355,28 @@ impl Layer for Conv2d {
         self.obs_in.reset();
         self.obs_w.reset();
         self.obs_out.reset();
+    }
+}
+
+impl Infer for Conv2d {
+    fn infer(&self, tape: &mut Tape, x: Var) -> Result<Var, WaError> {
+        self.check_input(tape.value(x).shape())?;
+        let geom = self.geom();
+        let wv = tape.param_ref(&self.weight);
+        let bias = self.bias.as_ref().map(|b| tape.param_ref(b));
+        let q = self.quant;
+        Ok(conv2d_pipeline(
+            tape,
+            x,
+            wv,
+            bias,
+            geom,
+            &mut |t, v, site| match site {
+                ConvSite::In => infer_quant(t, v, q.activations, &self.obs_in),
+                ConvSite::Weight => infer_quant(t, v, q.weights, &self.obs_w),
+                ConvSite::Out => infer_quant(t, v, q.activations, &self.obs_out),
+            },
+        ))
     }
 }
 
@@ -347,6 +457,25 @@ impl Layer for Linear {
     fn reset_statistics(&mut self) {
         self.obs_in.reset();
         self.obs_w.reset();
+    }
+}
+
+impl Infer for Linear {
+    fn infer(&self, tape: &mut Tape, x: Var) -> Result<Var, WaError> {
+        let shape = tape.value(x).shape().to_vec();
+        if shape.len() != 2 || shape[1] != self.in_features() {
+            return Err(WaError::shape(
+                format!("Linear `{}` input", self.weight.name),
+                &[0, self.in_features()],
+                &shape,
+            ));
+        }
+        let xq = infer_quant(tape, x, self.quant.activations, &self.obs_in);
+        let wv = tape.param_ref(&self.weight);
+        let wq = infer_quant(tape, wv, self.quant.weights, &self.obs_w);
+        let bv = tape.param_ref(&self.bias);
+        let y = tape.matmul_nt(xq, wq);
+        Ok(tape.add_bias_rows(y, bv))
     }
 }
 
@@ -446,6 +575,33 @@ impl Layer for BatchNorm2d {
     fn reset_statistics(&mut self) {
         self.running_mean.fill(0.0);
         self.running_var.fill(1.0);
+    }
+}
+
+impl Infer for BatchNorm2d {
+    fn infer(&self, tape: &mut Tape, x: Var) -> Result<Var, WaError> {
+        let shape = tape.value(x).shape().to_vec();
+        if shape.len() != 4 || shape[1] != self.channels() {
+            return Err(WaError::shape(
+                format!("BatchNorm2d `{}` input", self.gamma.name),
+                &[0, self.channels(), 0, 0],
+                &shape,
+            ));
+        }
+        let g = tape.param_ref(&self.gamma);
+        let b = tape.param_ref(&self.beta);
+        let (y, _, _) = tape.batch_norm(
+            x,
+            g,
+            b,
+            crate::BnRunning {
+                mean: &self.running_mean,
+                var: &self.running_var,
+                eps: self.eps,
+            },
+            false,
+        );
+        Ok(y)
     }
 }
 

@@ -16,6 +16,13 @@
 //! configurations surface as [`WaError`] values instead of panics, and
 //! [`Layer::try_forward`] gives a shape-checked forward path for serving.
 //!
+//! Serving-side throughput comes from the [`executor`] module: the
+//! read-only [`Infer`] trait (the `&self` half of [`Layer::forward`])
+//! lets one model be shared across threads, and [`BatchExecutor`] shards
+//! an input batch across `std::thread::scope` workers — each with its
+//! own [`Tape`] — with outputs identical to the sequential per-sample
+//! loop.
+//!
 //! # Example
 //!
 //! ```
@@ -47,6 +54,7 @@
 
 mod checkpoint;
 mod error;
+pub mod executor;
 mod layers;
 mod metrics;
 mod optim;
@@ -56,7 +64,8 @@ mod tape;
 
 pub use checkpoint::{export_params, import_params, Checkpoint, CheckpointError};
 pub use error::WaError;
-pub use layers::{observe_quant, BatchNorm2d, Conv2d, Layer, Linear, QuantConfig};
+pub use executor::{BatchExecutor, ExecutorConfig, Infer};
+pub use layers::{infer_quant, observe_quant, BatchNorm2d, Conv2d, Layer, Linear, QuantConfig};
 pub use metrics::{accuracy, RunningMean};
 pub use optim::{Adam, CosineAnnealing, Optimizer, Sgd};
 pub use param::Param;

@@ -253,6 +253,15 @@ impl Tape {
         v
     }
 
+    /// Registers a [`Param`] as a constant leaf **without** recording the
+    /// variable on the parameter — the read-only registration used by the
+    /// shared-reference inference path ([`crate::Infer`]), where many
+    /// worker tapes read one set of parameters concurrently and nobody
+    /// will ever pull gradients.
+    pub fn param_ref(&mut self, p: &Param) -> Var {
+        self.leaf(p.value.clone())
+    }
+
     // ---- elementwise ----------------------------------------------------
 
     /// Elementwise sum.

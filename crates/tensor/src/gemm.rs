@@ -5,6 +5,8 @@
 //! and the inner micro-kernel accumulates a 4×4 register tile. Large
 //! products are optionally split across threads with `std::thread::scope`.
 
+use std::cell::Cell;
+
 use crate::tensor::Tensor;
 
 /// Whether an operand of [`gemm`] is logically transposed.
@@ -18,6 +20,33 @@ pub enum Transpose {
 
 /// Number of result elements above which the GEMM is split across threads.
 const PARALLEL_THRESHOLD: usize = 64 * 64 * 64;
+
+thread_local! {
+    /// Per-thread cap on the GEMM's internal worker count (see
+    /// [`with_gemm_thread_cap`]).
+    static GEMM_THREAD_CAP: Cell<usize> = const { Cell::new(usize::MAX) };
+}
+
+/// Runs `f` with this thread's GEMM parallelism capped at `cap` threads
+/// (a cap of 1 keeps every GEMM on the calling thread), restoring the
+/// previous cap afterwards — including on panic, so a caught unwind on a
+/// long-lived thread cannot leave its GEMMs silently serialized.
+///
+/// Outer parallel layers — e.g. a batch executor that already runs one
+/// worker per core — use this to stop large products from spawning a
+/// *second* level of threads and oversubscribing the machine. The cap
+/// never changes results: the threaded split assigns whole output rows,
+/// so every element is computed identically either way.
+pub fn with_gemm_thread_cap<R>(cap: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(usize);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            GEMM_THREAD_CAP.with(|c| c.set(self.0));
+        }
+    }
+    let _guard = Restore(GEMM_THREAD_CAP.with(|c| c.replace(cap.max(1))));
+    f()
+}
 
 /// Computes `op_a(a) · op_b(b)` for 2-D tensors.
 ///
@@ -90,7 +119,8 @@ pub fn gemm_into(a: &Tensor, ta: Transpose, b: &Tensor, tb: Transpose, out: &mut
         let threads = std::thread::available_parallelism()
             .map(|p| p.get())
             .unwrap_or(1)
-            .min(8);
+            .min(8)
+            .min(GEMM_THREAD_CAP.with(|c| c.get()));
         if threads > 1 {
             let rows_per = m.div_ceil(threads);
             std::thread::scope(|s| {

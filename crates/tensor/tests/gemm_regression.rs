@@ -1,0 +1,131 @@
+//! Regression suite for the blocked/threaded GEMM on shapes that do not
+//! divide evenly into its internal blocking:
+//!
+//! * odd `M` exercises the 4-row micro-panel remainder path,
+//! * odd `N`/`K` exercise the panel edges,
+//! * `M·N·K` above the parallel threshold exercises the
+//!   `std::thread::scope` row split with a ragged final chunk.
+//!
+//! The kernel accumulates each output element over `k` in the same order
+//! as a naive f32 triple loop whenever `k` fits one K-panel (256), so
+//! those comparisons demand *exact* equality; K-split cases compare
+//! against an f64 reference with a tight tolerance.
+
+use wa_tensor::{gemm, SeededRng, Tensor, Transpose};
+
+fn rand_mat(r: usize, c: usize, seed: u64) -> Tensor {
+    let mut rng = SeededRng::new(seed);
+    Tensor::from_fn(&[r, c], |_| rng.uniform(-1.0, 1.0))
+}
+
+/// Naive f32 triple loop — accumulation order identical to the blocked
+/// kernel for k <= 256.
+fn naive_f32(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = (a.dim(0), a.dim(1));
+    let n = b.dim(1);
+    let mut out = Tensor::zeros(&[m, n]);
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for p in 0..k {
+                acc += a.data()[i * k + p] * b.data()[p * n + j];
+            }
+            *out.at_mut(&[i, j]) = acc;
+        }
+    }
+    out
+}
+
+/// f64 reference for cases where the blocked kernel's K-panel split
+/// changes the f32 accumulation order.
+fn naive_f64(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = (a.dim(0), a.dim(1));
+    let n = b.dim(1);
+    let mut out = Tensor::zeros(&[m, n]);
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f64;
+            for p in 0..k {
+                acc += (a.data()[i * k + p] as f64) * (b.data()[p * n + j] as f64);
+            }
+            *out.at_mut(&[i, j]) = acc as f32;
+        }
+    }
+    out
+}
+
+#[test]
+fn odd_shapes_match_naive_exactly_below_parallel_threshold() {
+    // all-odd M/N/K around the 4-row panel boundary
+    for (m, k, n) in [(5, 9, 7), (7, 3, 5), (9, 11, 13), (3, 255, 3), (17, 31, 29)] {
+        let a = rand_mat(m, k, 1000 + (m * k) as u64);
+        let b = rand_mat(k, n, 2000 + (k * n) as u64);
+        let got = gemm(&a, Transpose::No, &b, Transpose::No);
+        let want = naive_f32(&a, &b);
+        assert_eq!(
+            got.data(),
+            want.data(),
+            "blocked GEMM must match the naive f32 loop exactly for \
+             {m}x{k}x{n} (k fits one K-panel)"
+        );
+    }
+}
+
+#[test]
+fn odd_shapes_match_naive_exactly_on_the_threaded_path() {
+    // 65*63*67 = 274,365 result-work units > 64^3: the threaded split
+    // engages, with a ragged final row chunk (65 rows over the workers).
+    let (m, k, n) = (65usize, 63, 67);
+    assert!(m * k * n >= 64 * 64 * 64, "shape must trigger threading");
+    let a = rand_mat(m, k, 3);
+    let b = rand_mat(k, n, 4);
+    let got = gemm(&a, Transpose::No, &b, Transpose::No);
+    let want = naive_f32(&a, &b);
+    assert_eq!(
+        got.data(),
+        want.data(),
+        "threaded row split must not change any output element"
+    );
+}
+
+#[test]
+fn odd_k_above_panel_size_matches_f64_reference() {
+    // k = 300 splits into K-panels 256 + 44; compare to f64 with a
+    // tolerance covering the reassociation.
+    let (m, k, n) = (7usize, 300, 5);
+    let a = rand_mat(m, k, 5);
+    let b = rand_mat(k, n, 6);
+    let got = gemm(&a, Transpose::No, &b, Transpose::No);
+    let want = naive_f64(&a, &b);
+    for (x, y) in got.data().iter().zip(want.data()) {
+        assert!(
+            (x - y).abs() <= 1e-4 * (1.0 + x.abs().max(y.abs())),
+            "{x} vs {y}"
+        );
+    }
+}
+
+#[test]
+fn transpose_flags_on_odd_shapes_match_explicit_transpose() {
+    let a = rand_mat(9, 5, 7); // aᵀ: [5, 9]
+    let b = rand_mat(9, 7, 8);
+    let got = gemm(&a, Transpose::Yes, &b, Transpose::No);
+    let want = naive_f32(&a.transpose(), &b);
+    assert_eq!(got.data(), want.data());
+
+    let c = rand_mat(11, 9, 9); // cᵀ: [9, 11]
+    let got2 = gemm(&b, Transpose::Yes, &c, Transpose::Yes); // [7,9]·[9,11]
+    let want2 = naive_f32(&b.transpose(), &c.transpose());
+    assert_eq!(got2.data(), want2.data());
+}
+
+#[test]
+fn degenerate_single_row_and_column_shapes() {
+    for (m, k, n) in [(1, 1, 1), (1, 7, 1), (3, 1, 5), (1, 5, 9)] {
+        let a = rand_mat(m, k, 60 + m as u64);
+        let b = rand_mat(k, n, 70 + n as u64);
+        let got = gemm(&a, Transpose::No, &b, Transpose::No);
+        let want = naive_f32(&a, &b);
+        assert_eq!(got.data(), want.data(), "{m}x{k}x{n}");
+    }
+}

@@ -1,0 +1,135 @@
+//! Checkpoint round-trip through the executor: `export_params` →
+//! `import_params` into a fresh `ModelSpec`-built model → batched forward
+//! produces identical logits.
+//!
+//! Parameters are the *entire* serialized state here: the models are
+//! used fresh (no training), so batch-norm running statistics and range
+//! observers are at their construction defaults on both sides — which is
+//! exactly the state a serving node reconstructs from a spec + params
+//! document.
+
+use winograd_aware::core::ConvAlgo;
+use winograd_aware::models::{ExecutorConfig, Infer, LeNet, ModelSpec, ResNet18};
+use winograd_aware::nn::{export_params, import_params, Checkpoint, QuantConfig};
+use winograd_aware::quant::BitWidth;
+use winograd_aware::tensor::{SeededRng, Tensor};
+
+const CFG: ExecutorConfig = ExecutorConfig {
+    threads: 2,
+    chunk: 2,
+};
+
+#[test]
+fn lenet_fp32_roundtrip_reproduces_batched_logits() {
+    let spec = ModelSpec::builder()
+        .classes(10)
+        .input_size(12)
+        .algo(ConvAlgo::Winograd { m: 2 })
+        .build()
+        .expect("static spec");
+    let mut rng_a = SeededRng::new(10);
+    let mut a = LeNet::from_spec(&spec, &mut rng_a).expect("static spec");
+    // fresh model with *different* weights, rebuilt from the same spec
+    let mut rng_b = SeededRng::new(99);
+    let mut b = LeNet::from_spec(&spec, &mut rng_b).expect("static spec");
+
+    let batch = rng_a.uniform_tensor(&[5, 1, 12, 12], -1.0, 1.0);
+    let logits_a = a.try_forward_batch(&batch, CFG).expect("batched forward");
+    let before = b.try_forward_batch(&batch, CFG).expect("batched forward");
+    assert_ne!(
+        logits_a.data(),
+        before.data(),
+        "differently-seeded models must disagree before the import"
+    );
+
+    // export → JSON text → parse → import (the full wire round-trip)
+    let ckpt = export_params(&mut a).expect("unique parameter names");
+    let json = ckpt.to_json().to_string_pretty();
+    let restored = Checkpoint::from_json_str(&json).expect("checkpoint JSON parses");
+    let n = import_params(&mut b, &restored).expect("import succeeds");
+    assert!(n > 0, "import must update parameters");
+
+    let logits_b = b.try_forward_batch(&batch, CFG).expect("batched forward");
+    assert_eq!(logits_a.shape(), logits_b.shape());
+    assert_eq!(
+        logits_a.data(),
+        logits_b.data(),
+        "imported model must produce identical batched logits"
+    );
+}
+
+#[test]
+fn lenet_int8_roundtrip_reproduces_batched_logits() {
+    // Quantized variant: both models are un-warmed, so every inference
+    // scale is derived deterministically from the (identical) weights
+    // and inputs — the round-trip must still be exact.
+    let spec = ModelSpec::builder()
+        .classes(10)
+        .input_size(12)
+        .quant(QuantConfig::uniform(BitWidth::INT8))
+        .build()
+        .expect("static spec");
+    let mut rng_a = SeededRng::new(11);
+    let mut a = LeNet::from_spec(&spec, &mut rng_a).expect("static spec");
+    let mut b = LeNet::from_spec(&spec, &mut SeededRng::new(12)).expect("static spec");
+
+    let ckpt = export_params(&mut a).expect("unique parameter names");
+    import_params(&mut b, &ckpt).expect("import succeeds");
+
+    let batch = rng_a.uniform_tensor(&[4, 1, 12, 12], -1.0, 1.0);
+    let logits_a = a.try_forward_batch(&batch, CFG).expect("batched forward");
+    let logits_b = b.try_forward_batch(&batch, CFG).expect("batched forward");
+    assert_eq!(logits_a.data(), logits_b.data());
+}
+
+#[test]
+fn resnet18_roundtrip_reproduces_batched_logits() {
+    let spec = ModelSpec::builder()
+        .classes(10)
+        .width(0.125)
+        .algo(ConvAlgo::Winograd { m: 2 })
+        .build()
+        .expect("static spec");
+    let mut rng_a = SeededRng::new(13);
+    let mut a = ResNet18::from_spec(&spec, &mut rng_a).expect("static spec");
+    let mut b = ResNet18::from_spec(&spec, &mut SeededRng::new(14)).expect("static spec");
+
+    let ckpt = export_params(&mut a).expect("unique parameter names");
+    import_params(&mut b, &ckpt).expect("import succeeds");
+
+    let batch = rng_a.uniform_tensor(&[3, 3, 8, 8], -1.0, 1.0);
+    let logits_a = a.try_forward_batch(&batch, CFG).expect("batched forward");
+    let logits_b = b.try_forward_batch(&batch, CFG).expect("batched forward");
+    assert_eq!(logits_a.data(), logits_b.data());
+}
+
+#[test]
+fn import_into_wrong_geometry_fails_before_any_batched_forward() {
+    let mut rng = SeededRng::new(15);
+    let spec_a = ModelSpec::builder()
+        .classes(10)
+        .input_size(12)
+        .build()
+        .expect("static spec");
+    let spec_b = ModelSpec::builder()
+        .classes(7) // different head width
+        .input_size(12)
+        .build()
+        .expect("static spec");
+    let mut a = LeNet::from_spec(&spec_a, &mut rng).expect("static spec");
+    let mut b = LeNet::from_spec(&spec_b, &mut rng).expect("static spec");
+    let ckpt = export_params(&mut a).expect("unique parameter names");
+    let before: Vec<Tensor> = {
+        let mut vals = Vec::new();
+        winograd_aware::nn::Layer::visit_params(&mut b, &mut |p| vals.push(p.value.clone()));
+        vals
+    };
+    assert!(import_params(&mut b, &ckpt).is_err(), "shape mismatch");
+    // failed import must not have mutated anything
+    let mut after = Vec::new();
+    winograd_aware::nn::Layer::visit_params(&mut b, &mut |p| after.push(p.value.clone()));
+    assert_eq!(before.len(), after.len());
+    for (x, y) in before.iter().zip(&after) {
+        assert_eq!(x, y);
+    }
+}

@@ -1,0 +1,182 @@
+//! Executor parity suite: the [`BatchExecutor`] must reproduce the
+//! sequential per-sample loop *exactly* — for every model of the zoo,
+//! under both direct and Winograd convolutions, for thread counts 1/2/4
+//! (determinism under sharding), and regardless of chunk size.
+
+use winograd_aware::core::ConvAlgo;
+use winograd_aware::models::{
+    BatchExecutor, ExecutorConfig, Infer, LeNet, ModelSpec, ResNeXt20, ResNet18, SqueezeNet,
+};
+use winograd_aware::nn::{Layer, QuantConfig, Tape};
+use winograd_aware::quant::BitWidth;
+use winograd_aware::tensor::{SeededRng, Tensor};
+
+const BATCH: usize = 5; // deliberately not a multiple of the chunk size
+
+/// Sequential reference: one sample at a time through the same read-only
+/// inference path, stitched in order.
+fn sequential<M: Infer>(model: &M, batch: &Tensor) -> Tensor {
+    let n = batch.dim(0);
+    let outs: Vec<Tensor> = (0..n)
+        .map(|i| {
+            model
+                .infer_tensor(&batch.slice_dim0(i, i + 1))
+                .expect("sequential inference failed")
+        })
+        .collect();
+    let refs: Vec<&Tensor> = outs.iter().collect();
+    Tensor::concat_dim0(&refs)
+}
+
+/// Asserts batched == sequential for threads 1, 2 and 4.
+fn assert_parity<M: Infer + Sync>(name: &str, model: &M, batch: &Tensor) {
+    let want = sequential(model, batch);
+    for threads in [1usize, 2, 4] {
+        let exec = BatchExecutor::new(ExecutorConfig { threads, chunk: 2 })
+            .expect("static config is valid");
+        let got = exec.run(model, batch).expect("batched inference failed");
+        assert_eq!(got.shape(), want.shape(), "{name}, threads {threads}");
+        assert_eq!(
+            got.data(),
+            want.data(),
+            "{name}: batched output must be identical to the sequential \
+             per-sample loop (threads {threads})"
+        );
+    }
+}
+
+fn cifar_spec(algo: ConvAlgo) -> ModelSpec {
+    ModelSpec::builder()
+        .classes(10)
+        .width(0.125)
+        .algo(algo)
+        .build()
+        .expect("static spec")
+}
+
+const ALGOS: [ConvAlgo; 2] = [ConvAlgo::Im2row, ConvAlgo::Winograd { m: 2 }];
+
+#[test]
+fn lenet_parity_direct_and_winograd() {
+    let mut rng = SeededRng::new(1);
+    let batch = rng.uniform_tensor(&[BATCH, 1, 12, 12], -1.0, 1.0);
+    for algo in ALGOS {
+        let spec = ModelSpec::builder()
+            .classes(10)
+            .input_size(12)
+            .algo(algo)
+            .build()
+            .expect("static spec");
+        let net = LeNet::from_spec(&spec, &mut rng).expect("static spec");
+        assert_parity(&format!("LeNet {algo}"), &net, &batch);
+    }
+}
+
+#[test]
+fn resnet18_parity_direct_and_winograd() {
+    let mut rng = SeededRng::new(2);
+    let batch = rng.uniform_tensor(&[BATCH, 3, 8, 8], -1.0, 1.0);
+    for algo in ALGOS {
+        let net = ResNet18::from_spec(&cifar_spec(algo), &mut rng).expect("static spec");
+        assert_parity(&format!("ResNet-18 {algo}"), &net, &batch);
+    }
+}
+
+#[test]
+fn squeezenet_parity_direct_and_winograd() {
+    let mut rng = SeededRng::new(3);
+    let batch = rng.uniform_tensor(&[BATCH, 3, 8, 8], -1.0, 1.0);
+    for algo in ALGOS {
+        let net = SqueezeNet::from_spec(&cifar_spec(algo), &mut rng).expect("static spec");
+        assert_parity(&format!("SqueezeNet {algo}"), &net, &batch);
+    }
+}
+
+#[test]
+fn resnext20_parity_direct_and_winograd() {
+    let mut rng = SeededRng::new(4);
+    let batch = rng.uniform_tensor(&[BATCH, 3, 8, 8], -1.0, 1.0);
+    for algo in ALGOS {
+        let net = ResNeXt20::from_spec(&cifar_spec(algo), &mut rng).expect("static spec");
+        assert_parity(&format!("ResNeXt-20 {algo}"), &net, &batch);
+    }
+}
+
+#[test]
+fn chunk_size_never_changes_the_output() {
+    let mut rng = SeededRng::new(5);
+    let spec = ModelSpec::builder()
+        .classes(10)
+        .input_size(12)
+        .algo(ConvAlgo::Winograd { m: 2 })
+        .build()
+        .expect("static spec");
+    let net = LeNet::from_spec(&spec, &mut rng).expect("static spec");
+    let batch = rng.uniform_tensor(&[7, 1, 12, 12], -1.0, 1.0);
+    let reference = net
+        .try_forward_batch(
+            &batch,
+            ExecutorConfig {
+                threads: 1,
+                chunk: 1,
+            },
+        )
+        .expect("batched inference failed");
+    for chunk in [2usize, 3, 7, 16] {
+        let got = net
+            .try_forward_batch(&batch, ExecutorConfig { threads: 4, chunk })
+            .expect("batched inference failed");
+        assert_eq!(got.data(), reference.data(), "chunk {chunk}");
+    }
+}
+
+#[test]
+fn batched_path_matches_the_legacy_eval_tape() {
+    // One whole-batch forward through the original &mut Layer path
+    // (train = false) must agree with the executor: the Infer split may
+    // not drift from the tape the rest of the workspace uses.
+    let mut rng = SeededRng::new(6);
+    let spec = cifar_spec(ConvAlgo::Winograd { m: 2 });
+    let mut net = ResNet18::from_spec(&spec, &mut rng).expect("static spec");
+    let batch = rng.uniform_tensor(&[3, 3, 8, 8], -1.0, 1.0);
+    let want = {
+        let mut tape = Tape::new();
+        let x = tape.leaf(batch.clone());
+        let y = net.forward(&mut tape, x, false);
+        tape.value(y).clone()
+    };
+    let got = net
+        .try_forward_batch(
+            &batch,
+            ExecutorConfig {
+                threads: 2,
+                chunk: 3,
+            },
+        )
+        .expect("batched inference failed");
+    assert_eq!(got.shape(), want.shape());
+    assert_eq!(got.data(), want.data());
+}
+
+#[test]
+fn quantized_model_parity_after_warmup() {
+    // INT8 path: warm the observers with one training batch, then the
+    // frozen scales must make batched and sequential outputs identical.
+    let mut rng = SeededRng::new(7);
+    let spec = ModelSpec::builder()
+        .classes(10)
+        .input_size(12)
+        .algo(ConvAlgo::Winograd { m: 2 })
+        .quant(QuantConfig::uniform(BitWidth::INT8))
+        .build()
+        .expect("static spec");
+    let mut net = LeNet::from_spec(&spec, &mut rng).expect("static spec");
+    let warm = rng.uniform_tensor(&[4, 1, 12, 12], -1.0, 1.0);
+    {
+        let mut tape = Tape::new();
+        let x = tape.leaf(warm);
+        let _ = net.forward(&mut tape, x, true);
+    }
+    let batch = rng.uniform_tensor(&[BATCH, 1, 12, 12], -1.0, 1.0);
+    assert_parity("LeNet INT8 F2", &net, &batch);
+}

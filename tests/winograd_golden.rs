@@ -1,0 +1,128 @@
+//! Golden-value tests for the Winograd transforms: fixed seeded inputs
+//! through F(2,3), F(4,3) and F(6,3), compared element-wise against
+//! direct convolution at FP32 and INT8, plus one fully hard-coded case.
+//!
+//! These pin the numerical contract the executor parity suite builds on:
+//! if the transforms drift, every batched result drifts with them.
+
+use winograd_aware::core::{ConvAlgo, ConvSpec, WinogradAwareConv2d};
+use winograd_aware::nn::{Layer, QuantConfig, Tape};
+use winograd_aware::quant::BitWidth;
+use winograd_aware::tensor::{conv2d_direct, SeededRng, Tensor};
+
+fn wa_spec(in_ch: usize, out_ch: usize, m: usize, pad: usize, quant: QuantConfig) -> ConvSpec {
+    ConvSpec::builder()
+        .name("golden")
+        .in_channels(in_ch)
+        .out_channels(out_ch)
+        .kernel(3)
+        .pad(pad)
+        .algo(ConvAlgo::Winograd { m })
+        .quant(quant)
+        .build()
+        .expect("golden spec is statically valid")
+}
+
+fn forward(layer: &mut WinogradAwareConv2d, x: &Tensor, train: bool) -> Tensor {
+    let mut tape = Tape::new();
+    let xv = tape.leaf(x.clone());
+    let y = layer.forward(&mut tape, xv, train);
+    tape.value(y).clone()
+}
+
+/// Relative RMS error of `got` against `want`.
+fn rel_rms(got: &Tensor, want: &Tensor) -> f64 {
+    assert_eq!(got.shape(), want.shape());
+    let num: f64 = got
+        .data()
+        .iter()
+        .zip(want.data())
+        .map(|(a, b)| ((a - b) as f64).powi(2))
+        .sum();
+    let den: f64 = want.data().iter().map(|v| (*v as f64).powi(2)).sum();
+    (num / den.max(1e-30)).sqrt()
+}
+
+#[test]
+fn f2_hardcoded_box_filter_case() {
+    // 4x4 ramp input, all-ones 3x3 filter, no padding: the F(2,3) tile
+    // covers the whole output, and every output value is an integer sum
+    // of 9 inputs — exactly representable, so the expected tensor can be
+    // written down by hand.
+    let x = Tensor::from_vec((0..16).map(|v| v as f32).collect(), &[1, 1, 4, 4]);
+    let w = Tensor::ones(&[1, 1, 3, 3]);
+    let mut layer = WinogradAwareConv2d::from_spec(
+        &wa_spec(1, 1, 2, 0, QuantConfig::FP32),
+        &mut SeededRng::new(0),
+    )
+    .expect("static spec");
+    layer.weight.value = w;
+    let got = forward(&mut layer, &x, false);
+    assert_eq!(got.shape(), &[1, 1, 2, 2]);
+    let expected = [45.0f32, 54.0, 81.0, 90.0];
+    for (i, (g, e)) in got.data().iter().zip(&expected).enumerate() {
+        assert!(
+            (g - e).abs() < 1e-4,
+            "output[{i}]: got {g}, expected {e} (hard-coded golden value)"
+        );
+    }
+}
+
+#[test]
+fn fp32_transforms_match_direct_convolution_for_all_tiles() {
+    let mut rng = SeededRng::new(42);
+    let x = rng.uniform_tensor(&[2, 3, 12, 12], -1.0, 1.0);
+    for m in [2usize, 4, 6] {
+        let mut layer = WinogradAwareConv2d::from_spec(
+            &wa_spec(3, 4, m, 1, QuantConfig::FP32),
+            &mut rng.fork(m as u64),
+        )
+        .expect("static spec");
+        let got = forward(&mut layer, &x, false);
+        let want = conv2d_direct(&x, &layer.weight.value, None, 1, 1);
+        assert_eq!(got.shape(), want.shape(), "F({m},3) output shape");
+        let mut max_err = 0.0f32;
+        for (a, b) in got.data().iter().zip(want.data()) {
+            max_err = max_err.max((a - b).abs());
+        }
+        // F6's larger transforms lose more bits but must stay tight at fp32
+        let tol = if m == 6 { 5e-3 } else { 1e-3 };
+        assert!(
+            max_err < tol,
+            "F({m},3) fp32 max element error {max_err} exceeds {tol}"
+        );
+    }
+}
+
+#[test]
+fn int8_error_is_bounded_and_grows_with_tile_size() {
+    let mut rng = SeededRng::new(7);
+    let x = rng.uniform_tensor(&[1, 4, 12, 12], -1.0, 1.0);
+    let mut errs = Vec::new();
+    for m in [2usize, 4, 6] {
+        let mut layer = WinogradAwareConv2d::from_spec(
+            &wa_spec(4, 4, m, 1, QuantConfig::uniform(BitWidth::INT8)),
+            &mut rng.fork(100 + m as u64),
+        )
+        .expect("static spec");
+        // warm the range observers, then evaluate
+        let _ = forward(&mut layer, &x, true);
+        let got = forward(&mut layer, &x, false);
+        let want = conv2d_direct(&x, &layer.weight.value, None, 1, 1);
+        for v in got.data() {
+            assert!(v.is_finite(), "F({m},3) int8 produced a non-finite value");
+        }
+        let e = rel_rms(&got, &want);
+        assert!(
+            e > 0.0,
+            "F({m},3) int8 must differ from the fp32 direct reference"
+        );
+        errs.push((m, e));
+    }
+    // paper Figure 3 ordering: quantization error grows with tile size
+    let e2 = errs[0].1;
+    let e6 = errs[2].1;
+    assert!(e2 < e6, "int8 error must grow from F2 ({e2}) to F6 ({e6})");
+    // F2 stays serviceable at int8 (the paper's deployable configuration)
+    assert!(e2 < 0.2, "F2 int8 relative RMS error too large: {e2}");
+}
