@@ -17,6 +17,7 @@ use std::time::Instant;
 use wa_bench::{BenchRecord, Scale};
 use wa_core::ConvAlgo;
 use wa_models::{ExecutorConfig, Infer, LeNet, ModelSpec, ResNeXt20, ResNet18, SqueezeNet};
+use wa_nn::Layer;
 use wa_tensor::{SeededRng, Tensor};
 
 /// Times one executor run and returns samples/sec.
@@ -82,6 +83,69 @@ fn bench_model<M: Infer + Sync>(
     }
 }
 
+/// Measures what the per-model `G·g·Gᵀ` filter-transform cache buys: the
+/// same batched run with the memoized transform reused across runs
+/// ("warm") vs invalidated through the `&mut Layer` API before every run
+/// ("cold", the pre-cache behaviour re-derived per run *and* per chunk).
+///
+/// The configuration is chosen to expose the constant per-chunk work the
+/// cache removes: a full-width ResNet-18 (16 Winograd convs with up to
+/// 256·256 filters each) on small 8×8 images, sharded one sample per
+/// chunk — per chunk, the filter transform rivals the input transform.
+fn bench_filter_cache(record: &mut BenchRecord, rng: &mut SeededRng) {
+    let batch_n = 8usize;
+    let spec = ModelSpec::builder()
+        .classes(10)
+        .width(1.0)
+        .algo(ConvAlgo::Winograd { m: 2 })
+        .build()
+        .expect("static spec");
+    let mut model = ResNet18::from_spec(&spec, rng).expect("static spec");
+    let x = rng.uniform_tensor(&[batch_n, 3, 8, 8], -1.0, 1.0);
+    let exec = wa_models::BatchExecutor::new(ExecutorConfig {
+        threads: 2,
+        chunk: 1,
+    })
+    .expect("static config is valid");
+
+    let reference = exec.run(&model, &x).expect("batched inference failed");
+    let runs = 3usize;
+    let mut timed = |invalidate: bool| -> f64 {
+        let _ = exec.run(&model, &x); // warm-up (and cache fill)
+        let t0 = Instant::now();
+        for _ in 0..runs {
+            if invalidate {
+                // a no-op visit drops the memoized filter transform
+                model.visit_params(&mut |_| {});
+            }
+            let out = exec.run(&model, &x).expect("batched inference failed");
+            assert_eq!(
+                out.data(),
+                reference.data(),
+                "filter cache changed the output"
+            );
+        }
+        (runs * batch_n) as f64 / t0.elapsed().as_secs_f64().max(1e-9)
+    };
+    let cold = timed(true);
+    let warm = timed(false);
+    println!(
+        "{:<22} warm {warm:>10.1} samples/sec  vs cold {cold:>10.1}  (x{:.2})",
+        "ResNet-18 F2 w1.0 cache",
+        warm / cold
+    );
+    record.push(
+        "ResNet-18 F2 filter-cache warm",
+        warm,
+        &[("batch", batch_n as f64)],
+    );
+    record.push(
+        "ResNet-18 F2 filter-cache cold",
+        cold,
+        &[("batch", batch_n as f64)],
+    );
+}
+
 fn main() {
     let scale = Scale::from_env();
     let mut rng = SeededRng::new(11);
@@ -135,6 +199,8 @@ fn main() {
             &threads,
         );
     }
+
+    bench_filter_cache(&mut record, &mut rng);
 
     record.save();
 }

@@ -49,6 +49,37 @@ impl std::fmt::Display for ConvAlgo {
     }
 }
 
+impl std::str::FromStr for ConvAlgo {
+    type Err = WaError;
+
+    /// Parses the [`Display`](std::fmt::Display) form back (`"im2row"`,
+    /// `"F2"`, `"F4-flex"`, …) — the encoding `ModelSpec` JSON documents
+    /// and serving requests use. Note this only decodes the algorithm
+    /// name; tile-size/geometry validity is checked where the algorithm
+    /// is applied (spec builders, `validate_algo_geometry`).
+    fn from_str(s: &str) -> Result<ConvAlgo, WaError> {
+        let t = s.trim();
+        if t == "im2row" {
+            return Ok(ConvAlgo::Im2row);
+        }
+        let (body, flex) = match t.strip_suffix("-flex") {
+            Some(body) => (body, true),
+            None => (t, false),
+        };
+        if let Some(m) = body.strip_prefix('F').and_then(|m| m.parse::<usize>().ok()) {
+            return Ok(if flex {
+                ConvAlgo::WinogradFlex { m }
+            } else {
+                ConvAlgo::Winograd { m }
+            });
+        }
+        Err(WaError::unsupported(
+            t,
+            "expected `im2row`, `F<m>` or `F<m>-flex`",
+        ))
+    }
+}
+
 /// A convolution layer that can be implemented by any [`ConvAlgo`] and
 /// re-implemented in place (surgery) without losing its trained weights.
 ///

@@ -1,5 +1,7 @@
 //! The Winograd-aware convolution layer (paper §3.2, Figure 2).
 
+use std::sync::Mutex;
+
 use wa_nn::{infer_quant, observe_quant, Infer, Layer, Param, QuantConfig, Tape, Var, WaError};
 use wa_quant::{BitWidth, Observer};
 use wa_tensor::{SeededRng, Tensor};
@@ -74,13 +76,30 @@ impl WinogradObservers {
     }
 }
 
+/// How the pipeline obtains the Winograd-domain filter `G·g·Gᵀ`.
+#[derive(Clone, Copy)]
+enum FilterVars {
+    /// Spatial weights + `G` registered on this tape: quantize and
+    /// transform inline (training, and any path that needs gradients or
+    /// observer updates for the weight-side sites).
+    Spatial {
+        /// Spatial filter `[K, C, r, r]`.
+        w: Var,
+        /// Filter transform `G` `[n, r]`.
+        g: Var,
+    },
+    /// The already-quantized transform rows `[K·C, n²]`, computed once
+    /// and injected as a leaf — the weights are constant across a batch,
+    /// so inference reuses one derivation for every chunk.
+    Transformed(Var),
+}
+
 /// Tape variables for the layer's parameters, registered by the caller
 /// (mutably via [`Tape::param`] in training, read-only via
 /// [`Tape::param_ref`] in inference).
 struct PipelineVars {
-    w: Var,
+    filter: FilterVars,
     at: Var,
-    g: Var,
     bt: Var,
     bias: Option<Var>,
 }
@@ -96,6 +115,31 @@ struct PipelineCfg {
     out_ch: usize,
     abits: BitWidth,
     wbits: BitWidth,
+}
+
+/// The filter half of the pipeline: quantized spatial weights `wq` →
+/// `G·g·Gᵀ` rows `[K·C, n²]`, with the `Q(G·g)` / `Q(G·g·Gᵀ)` sites
+/// realized through `quant`. Shared by the inline (training) path and the
+/// per-model filter cache, so both derive bit-identical values.
+fn filter_u_rows(
+    tape: &mut Tape,
+    wq: Var,
+    g: Var,
+    cfg: PipelineCfg,
+    quant: &mut dyn FnMut(&mut Tape, Var, BitWidth, QuantSite) -> Var,
+) -> Var {
+    let (r, n) = (cfg.r, cfg.m + cfg.r - 1);
+    let wrows = cfg.out_ch * cfg.in_ch;
+    let w1 = tape.reshape(wq, &[wrows * r, r]);
+    let w2 = tape.matmul_nt(w1, g); // g·Gᵀ ≡ (G·gᵀ)ᵀ
+    let w2q = quant(tape, w2, cfg.wbits, QuantSite::Gg);
+    let w3 = tape.reshape(w2q, &[wrows, r * n]);
+    let w4 = tape.tile_transpose(w3, r, n);
+    let w5 = tape.reshape(w4, &[wrows * n, r]);
+    let w6 = tape.matmul_nt(w5, g);
+    let w7 = tape.reshape(w6, &[wrows, n * n]);
+    let u_rows = tape.tile_transpose(w7, n, n); // GgGᵀ
+    quant(tape, u_rows, cfg.wbits, QuantSite::Ggt)
 }
 
 /// The Winograd-aware op pipeline `Y = Aᵀ[(G·g·Gᵀ) ⊙ (Bᵀ·d·B)]A`, shared
@@ -130,8 +174,11 @@ fn winograd_pipeline(
 
     // -- inputs & parameters, quantized
     let xq = quant(tape, x, abits, QuantSite::Input);
-    let wq = quant(tape, vars.w, wbits, QuantSite::Weight);
-    let (at, g, bt) = (vars.at, vars.g, vars.bt);
+    let wq = match vars.filter {
+        FilterVars::Spatial { w, .. } => Some(quant(tape, w, wbits, QuantSite::Weight)),
+        FilterVars::Transformed(_) => None,
+    };
+    let (at, bt) = (vars.at, vars.bt);
 
     // -- input transform BᵀdB (two one-sided products, Qx after each)
     let xp = tape.pad_tiles(xq, geom);
@@ -148,18 +195,12 @@ fn winograd_pipeline(
     let v_rows = tape.tile_transpose(t7, n, n); // BᵀdB
     let v_rows = quant(tape, v_rows, abits, QuantSite::Bdb);
 
-    // -- filter transform GgGᵀ
-    let wrows = out_ch * in_ch;
-    let w1 = tape.reshape(wq, &[wrows * r, r]);
-    let w2 = tape.matmul_nt(w1, g); // g·Gᵀ ≡ (G·gᵀ)ᵀ
-    let w2q = quant(tape, w2, wbits, QuantSite::Gg);
-    let w3 = tape.reshape(w2q, &[wrows, r * n]);
-    let w4 = tape.tile_transpose(w3, r, n);
-    let w5 = tape.reshape(w4, &[wrows * n, r]);
-    let w6 = tape.matmul_nt(w5, g);
-    let w7 = tape.reshape(w6, &[wrows, n * n]);
-    let u_rows = tape.tile_transpose(w7, n, n); // GgGᵀ
-    let u_rows = quant(tape, u_rows, wbits, QuantSite::Ggt);
+    // -- filter transform GgGᵀ (or the precomputed rows)
+    let u_rows = match (vars.filter, wq) {
+        (FilterVars::Spatial { g, .. }, Some(wq)) => filter_u_rows(tape, wq, g, cfg, quant),
+        (FilterVars::Transformed(u), _) => u,
+        (FilterVars::Spatial { .. }, None) => unreachable!("wq is Some iff filter is Spatial"),
+    };
 
     // -- Hadamard product + summation across channels, as one GEMM per
     //    Winograd-domain coordinate (Maji et al. 2019 formulation)
@@ -246,6 +287,17 @@ pub struct WinogradAwareConv2d {
     r: usize,
     pad: usize,
     obs: WinogradObservers,
+    /// Memoized quantized Winograd-domain filter `G·g·Gᵀ` rows
+    /// (`[K·C, n²]`), tagged with the [`QuantConfig`] it was derived
+    /// under. The weights are constant across a batch, so the [`Infer`]
+    /// path derives this once and reuses it for every chunk of every
+    /// [`wa_nn::BatchExecutor`] run instead of re-transforming per chunk.
+    /// Invalidated by every `&mut self` path that can change what the
+    /// derivation would produce (`forward`, `visit_params`,
+    /// `reset_statistics`) and by a `quant` change; code that mutates the
+    /// public parameter fields directly must call
+    /// [`WinogradAwareConv2d::invalidate_filter_cache`].
+    filter_cache: Mutex<Option<(QuantConfig, Tensor)>>,
 }
 
 impl WinogradAwareConv2d {
@@ -331,6 +383,7 @@ impl WinogradAwareConv2d {
             r,
             pad: spec.pad,
             obs: WinogradObservers::default(),
+            filter_cache: Mutex::new(None),
         })
     }
 
@@ -388,6 +441,45 @@ impl WinogradAwareConv2d {
         self.pad
     }
 
+    /// Drops the memoized quantized filter transform. Called internally
+    /// by every `&mut self` path of the [`Layer`] API; only needed
+    /// explicitly after mutating the public parameter fields (`weight`,
+    /// `g`, …) or observers outside that API.
+    pub fn invalidate_filter_cache(&mut self) {
+        *self
+            .filter_cache
+            .get_mut()
+            .expect("filter cache lock poisoned") = None;
+    }
+
+    /// The quantized `G·g·Gᵀ` rows for the current weights/quant config,
+    /// derived on a scratch tape the first time and memoized. Values are
+    /// bit-identical to the inline derivation: the same
+    /// [`filter_u_rows`] ops run on the same inputs through the same
+    /// read-only `Q` sites.
+    fn cached_filter(&self) -> Tensor {
+        let mut guard = self
+            .filter_cache
+            .lock()
+            .expect("filter cache lock poisoned");
+        if let Some((q, t)) = &*guard {
+            if *q == self.quant {
+                return t.clone();
+            }
+        }
+        let cfg = self.pipeline_cfg();
+        let mut tape = Tape::new();
+        let w = tape.param_ref(&self.weight);
+        let g = tape.param_ref(&self.g);
+        let wq = infer_quant(&mut tape, w, cfg.wbits, self.obs.site(QuantSite::Weight));
+        let u = filter_u_rows(&mut tape, wq, g, cfg, &mut |t, v, bits, site| {
+            infer_quant(t, v, bits, self.obs.site(site))
+        });
+        let value = tape.value(u).clone();
+        *guard = Some((self.quant, value.clone()));
+        value
+    }
+
     fn pipeline_cfg(&self) -> PipelineCfg {
         PipelineCfg {
             m: self.m,
@@ -429,11 +521,16 @@ impl Layer for WinogradAwareConv2d {
     }
 
     fn forward(&mut self, tape: &mut Tape, x: Var, train: bool) -> Var {
+        // the pass may update observers (and training will mutate the
+        // weights afterwards), so the memoized filter transform is stale
+        self.invalidate_filter_cache();
         let cfg = self.pipeline_cfg();
         let vars = PipelineVars {
-            w: tape.param(&mut self.weight),
+            filter: FilterVars::Spatial {
+                w: tape.param(&mut self.weight),
+                g: tape.param(&mut self.g),
+            },
             at: tape.param(&mut self.at),
-            g: tape.param(&mut self.g),
             bt: tape.param(&mut self.bt),
             bias: self.bias.as_mut().map(|b| tape.param(b)),
         };
@@ -451,10 +548,14 @@ impl Layer for WinogradAwareConv2d {
         f(&mut self.at);
         f(&mut self.g);
         f(&mut self.bt);
+        // visitors get `&mut Param` (optimizer steps, checkpoint
+        // imports), so the memoized filter transform may now be stale
+        self.invalidate_filter_cache();
     }
 
     fn reset_statistics(&mut self) {
         self.obs = WinogradObservers::default();
+        self.invalidate_filter_cache();
     }
 }
 
@@ -462,10 +563,10 @@ impl Infer for WinogradAwareConv2d {
     fn infer(&self, tape: &mut Tape, x: Var) -> Result<Var, WaError> {
         self.check_input(tape.value(x).shape())?;
         let cfg = self.pipeline_cfg();
+        let u_rows = tape.leaf(self.cached_filter());
         let vars = PipelineVars {
-            w: tape.param_ref(&self.weight),
+            filter: FilterVars::Transformed(u_rows),
             at: tape.param_ref(&self.at),
-            g: tape.param_ref(&self.g),
             bt: tape.param_ref(&self.bt),
             bias: self.bias.as_ref().map(|b| tape.param_ref(b)),
         };

@@ -32,6 +32,7 @@ mod resnet;
 mod resnext;
 mod spec;
 mod squeezenet;
+mod zoo;
 
 pub use adaptation::{adapt, swap_and_evaluate};
 pub use common::{
@@ -43,3 +44,4 @@ pub use resnext::ResNeXt20;
 pub use spec::{ModelSpec, ModelSpecBuilder};
 pub use squeezenet::SqueezeNet;
 pub use wa_nn::{BatchExecutor, ExecutorConfig, Infer, WaError};
+pub use zoo::{ModelKind, ZooModel};

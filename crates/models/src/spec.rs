@@ -25,6 +25,8 @@
 
 use wa_core::{validate_algo_geometry, ConvAlgo};
 use wa_nn::{QuantConfig, WaError};
+use wa_quant::BitWidth;
+use wa_tensor::Json;
 
 /// Validated configuration of a model-zoo network.
 #[derive(Clone, Debug, PartialEq)]
@@ -93,6 +95,168 @@ impl ModelSpec {
             validate_algo_geometry(algo, 3, 1)?;
         }
         Ok(())
+    }
+
+    /// Serializes the spec as a JSON document — the `spec` half of a
+    /// one-document serving checkpoint
+    /// ([`FullCheckpoint`](wa_nn::FullCheckpoint)):
+    ///
+    /// ```json
+    /// {
+    ///   "classes": 10, "width": 1.0, "input_size": 32,
+    ///   "quant": {"activations": "INT8", "weights": "INT8"},
+    ///   "algo": "F2",
+    ///   "overrides": [[3, "F4-flex"]]
+    /// }
+    /// ```
+    ///
+    /// Precisions use the [`BitWidth`] display form (`"FP32"`, `"INT8"`)
+    /// and algorithms the [`ConvAlgo`] display form (`"im2row"`, `"F2"`,
+    /// `"F4-flex"`).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("classes", Json::from(self.classes)),
+            ("width", Json::from(self.width)),
+            ("input_size", Json::from(self.input_size)),
+            (
+                "quant",
+                Json::obj([
+                    ("activations", self.quant.activations.to_string()),
+                    ("weights", self.quant.weights.to_string()),
+                ]),
+            ),
+            ("algo", Json::from(self.algo.to_string())),
+            (
+                "overrides",
+                Json::Arr(
+                    self.overrides
+                        .iter()
+                        .map(|(i, a)| Json::arr([Json::from(*i), Json::from(a.to_string())]))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Reads a spec back from its [`ModelSpec::to_json`] encoding,
+    /// re-running the full [`ModelSpec::validate`] pass — a document that
+    /// parses but violates a paper constraint is rejected the same way a
+    /// builder misuse would be.
+    ///
+    /// # Errors
+    ///
+    /// [`WaError::InvalidSpec`] naming the offending key for missing or
+    /// mistyped fields, plus every error `build()` can produce.
+    pub fn from_json(doc: &Json) -> Result<ModelSpec, WaError> {
+        let invalid = |field: &'static str, reason: String| WaError::InvalidSpec {
+            spec: "ModelSpec",
+            field,
+            reason,
+        };
+        if doc.as_obj().is_none() {
+            return Err(invalid(
+                "json",
+                format!("spec document must be a JSON object, got {doc}"),
+            ));
+        }
+        let usize_field = |field: &'static str, default: usize| -> Result<usize, WaError> {
+            match doc.get(field) {
+                None => Ok(default),
+                Some(v) => v
+                    .as_f64()
+                    .filter(|x| *x >= 0.0 && x.fract() == 0.0)
+                    .map(|x| x as usize)
+                    .ok_or_else(|| {
+                        invalid(field, format!("expected a non-negative integer, got {v}"))
+                    }),
+            }
+        };
+        let parse_algo = |field: &'static str, v: &Json| -> Result<ConvAlgo, WaError> {
+            v.as_str()
+                .ok_or_else(|| invalid(field, format!("expected an algorithm string, got {v}")))?
+                .parse()
+        };
+        let classes = usize_field("classes", 10)?;
+        let input_size = usize_field("input_size", 32)?;
+        let width = match doc.get("width") {
+            None => 1.0,
+            Some(v) => v
+                .as_f64()
+                .ok_or_else(|| invalid("width", format!("expected a number, got {v}")))?,
+        };
+        let quant = match doc.get("quant") {
+            None => QuantConfig::FP32,
+            Some(q) => {
+                let bits = |field: &'static str| -> Result<BitWidth, WaError> {
+                    let v = q
+                        .get(field)
+                        .ok_or_else(|| invalid(field, format!("missing under `quant`: {q}")))?;
+                    v.as_str()
+                        .ok_or_else(|| {
+                            invalid(field, format!("expected a precision string, got {v}"))
+                        })?
+                        .parse()
+                        .map_err(|e: wa_quant::ParseBitWidthError| invalid(field, e.to_string()))
+                };
+                QuantConfig {
+                    activations: bits("activations")?,
+                    weights: bits("weights")?,
+                }
+            }
+        };
+        let algo = match doc.get("algo") {
+            None => ConvAlgo::Im2row,
+            Some(v) => parse_algo("algo", v)?,
+        };
+        let mut overrides = Vec::new();
+        if let Some(list) = doc.get("overrides") {
+            let items = list
+                .as_arr()
+                .ok_or_else(|| invalid("overrides", format!("expected an array, got {list}")))?;
+            for item in items {
+                let pair = item.as_arr().filter(|p| p.len() == 2).ok_or_else(|| {
+                    invalid(
+                        "overrides",
+                        format!("expected [index, algo] pairs, got {item}"),
+                    )
+                })?;
+                let idx = pair[0]
+                    .as_f64()
+                    .filter(|x| *x >= 0.0 && x.fract() == 0.0)
+                    .ok_or_else(|| {
+                        invalid(
+                            "overrides",
+                            format!("expected an integer index, got {}", pair[0]),
+                        )
+                    })? as usize;
+                overrides.push((idx, parse_algo("overrides", &pair[1])?));
+            }
+        }
+        let spec = ModelSpec {
+            classes,
+            width,
+            input_size,
+            quant,
+            algo,
+            overrides,
+        };
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// Parses a JSON string and reads the spec out of it.
+    ///
+    /// # Errors
+    ///
+    /// [`WaError::InvalidSpec`] describing the parse failure or the
+    /// offending field.
+    pub fn from_json_str(text: &str) -> Result<ModelSpec, WaError> {
+        let doc = Json::parse(text).map_err(|e| WaError::InvalidSpec {
+            spec: "ModelSpec",
+            field: "json",
+            reason: e.to_string(),
+        })?;
+        ModelSpec::from_json(&doc)
     }
 
     /// Bounds-checks the override indices against a concrete model's
@@ -198,6 +362,61 @@ mod tests {
         let spec = ModelSpec::default();
         assert_eq!(spec.classes, 10);
         assert_eq!(spec.algo, ConvAlgo::Im2row);
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_every_field() {
+        use wa_quant::BitWidth;
+        let spec = ModelSpec::builder()
+            .classes(100)
+            .width(0.25)
+            .input_size(28)
+            .quant(wa_nn::QuantConfig {
+                activations: BitWidth::INT8,
+                weights: BitWidth::INT10,
+            })
+            .algo(ConvAlgo::WinogradFlex { m: 4 })
+            .override_layer(1, ConvAlgo::Im2row)
+            .override_layer(3, ConvAlgo::Winograd { m: 2 })
+            .build()
+            .unwrap();
+        let text = spec.to_json().to_string_pretty();
+        let back = ModelSpec::from_json_str(&text).unwrap();
+        assert_eq!(spec, back);
+    }
+
+    #[test]
+    fn json_defaults_match_builder_defaults() {
+        let back = ModelSpec::from_json_str("{}").unwrap();
+        assert_eq!(back, ModelSpec::default());
+    }
+
+    #[test]
+    fn json_errors_name_the_offending_field() {
+        let err = ModelSpec::from_json_str("{\"classes\": \"ten\"}").unwrap_err();
+        assert!(matches!(
+            err,
+            WaError::InvalidSpec {
+                field: "classes",
+                ..
+            }
+        ));
+        let err = ModelSpec::from_json_str("{\"quant\": {\"activations\": \"INT8\"}}").unwrap_err();
+        assert!(matches!(
+            err,
+            WaError::InvalidSpec {
+                field: "weights",
+                ..
+            }
+        ));
+        let err = ModelSpec::from_json_str("{\"algo\": \"F3\"}").unwrap_err();
+        assert!(matches!(err, WaError::UnsupportedAlgo { .. }), "{err}");
+        let err = ModelSpec::from_json_str("not json").unwrap_err();
+        assert!(matches!(err, WaError::InvalidSpec { field: "json", .. }));
+        // a parsable document that is not an object must not silently
+        // decode as an all-defaults spec
+        let err = ModelSpec::from_json_str("[1, 2]").unwrap_err();
+        assert!(matches!(err, WaError::InvalidSpec { field: "json", .. }));
     }
 
     #[test]

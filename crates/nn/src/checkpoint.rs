@@ -4,12 +4,41 @@
 //! This is how experiments persist trained models — including learned
 //! Winograd transforms, whose matrices ride along as ordinary parameters
 //! (`<layer>.at`, `<layer>.g`, `<layer>.bt`).
+//!
+//! Two document shapes exist:
+//!
+//! * [`Checkpoint`] — just the parameters (`{"params": {...}}`), enough
+//!   when the receiving side already has the model built.
+//! * [`FullCheckpoint`] — architecture name + model-spec document +
+//!   parameters in **one** JSON file, so a serving node can reconstruct
+//!   the model from nothing but the document. The spec half is kept as an
+//!   opaque [`Json`] here (wa-nn doesn't know about whole-model specs);
+//!   `wa_models::ZooModel` interprets it.
 
 use std::collections::BTreeMap;
 
 use wa_tensor::{Json, JsonError, Tensor};
 
 use crate::layers::Layer;
+
+/// Prefixes a [`JsonError`]'s message with the key path it was found
+/// under, so load failures reported over a wire are diagnosable
+/// ("`params.conv1.weight`: …" instead of a bare offset).
+fn at_path(path: &str, e: JsonError) -> JsonError {
+    JsonError {
+        offset: e.offset,
+        message: format!("`{path}`: {}", e.message),
+    }
+}
+
+/// A [`JsonError`] for a missing/mistyped key at `path` (offset 0: the
+/// problem is structural, not lexical).
+fn path_error(path: &str, message: impl Into<String>) -> JsonError {
+    JsonError {
+        offset: 0,
+        message: format!("`{path}`: {}", message.into()),
+    }
+}
 
 /// A serialized set of parameters, keyed by parameter name.
 #[derive(Clone, Debug, Default)]
@@ -37,21 +66,109 @@ impl Checkpoint {
     /// # Errors
     ///
     /// [`JsonError`] if the text is not valid JSON or lacks the expected
-    /// structure.
+    /// structure; structural errors carry the offending key path (e.g.
+    /// `` `params.conv1.weight` ``) in the message.
     pub fn from_json_str(text: &str) -> Result<Checkpoint, JsonError> {
         let doc = Json::parse(text)?;
+        Checkpoint::from_json(&doc)
+    }
+
+    /// Reads a checkpoint out of an already-parsed document (the
+    /// key-path-carrying core of [`Checkpoint::from_json_str`]).
+    ///
+    /// # Errors
+    ///
+    /// [`JsonError`] with the offending key path in the message.
+    pub fn from_json(doc: &Json) -> Result<Checkpoint, JsonError> {
         let params = doc
             .get("params")
-            .and_then(|p| p.as_obj())
-            .ok_or_else(|| JsonError {
-                offset: 0,
-                message: "checkpoint JSON needs a `params` object".to_string(),
-            })?;
+            .ok_or_else(|| path_error("params", "checkpoint JSON needs a `params` object"))?
+            .as_obj()
+            .ok_or_else(|| path_error("params", "must be an object of name → tensor"))?;
         let mut out = BTreeMap::new();
         for (name, tensor) in params {
-            out.insert(name.clone(), Tensor::from_json(tensor)?);
+            let t = Tensor::from_json(tensor).map_err(|e| at_path(&format!("params.{name}"), e))?;
+            out.insert(name.clone(), t);
         }
         Ok(Checkpoint { params: out })
+    }
+}
+
+/// A one-document serving checkpoint: everything needed to reconstruct a
+/// runnable model — the architecture name, the model-spec document, and
+/// every parameter value.
+///
+/// ```json
+/// {
+///   "arch": "lenet",
+///   "spec": { "classes": 10, "input_size": 28, "algo": "F2", ... },
+///   "params": { "conv1.weight": ..., ... }
+/// }
+/// ```
+///
+/// The `spec` document is opaque at this level; `wa_models::ZooModel`
+/// validates it (as a `ModelSpec`) and rebuilds the architecture `arch`
+/// names, then imports `params` atomically.
+#[derive(Clone, Debug)]
+pub struct FullCheckpoint {
+    /// Architecture identifier (e.g. `"lenet"`, `"resnet18"`).
+    pub arch: String,
+    /// The model-spec document (a `ModelSpec` in JSON form).
+    pub spec: Json,
+    /// The parameter values.
+    pub params: Checkpoint,
+}
+
+impl FullCheckpoint {
+    /// Serializes as one JSON document (`{"arch", "spec", "params"}`).
+    pub fn to_json(&self) -> Json {
+        let Json::Obj(param_fields) = self.params.to_json() else {
+            unreachable!("Checkpoint::to_json always returns an object")
+        };
+        let mut fields = vec![
+            ("arch".to_string(), Json::from(self.arch.as_str())),
+            ("spec".to_string(), self.spec.clone()),
+        ];
+        fields.extend(param_fields);
+        Json::Obj(fields)
+    }
+
+    /// Reads a full checkpoint back from its [`FullCheckpoint::to_json`]
+    /// encoding.
+    ///
+    /// # Errors
+    ///
+    /// [`JsonError`] if the text is not valid JSON or lacks the expected
+    /// structure; structural errors carry the offending key path.
+    pub fn from_json_str(text: &str) -> Result<FullCheckpoint, JsonError> {
+        let doc = Json::parse(text)?;
+        FullCheckpoint::from_json(&doc)
+    }
+
+    /// Reads a full checkpoint out of an already-parsed document.
+    ///
+    /// # Errors
+    ///
+    /// [`JsonError`] with the offending key path in the message.
+    pub fn from_json(doc: &Json) -> Result<FullCheckpoint, JsonError> {
+        let arch = doc
+            .get("arch")
+            .ok_or_else(|| path_error("arch", "full checkpoint needs an `arch` string"))?
+            .as_str()
+            .ok_or_else(|| path_error("arch", "must be a string"))?
+            .to_string();
+        let spec = doc
+            .get("spec")
+            .ok_or_else(|| path_error("spec", "full checkpoint needs a `spec` object"))?;
+        if spec.as_obj().is_none() {
+            return Err(path_error("spec", "must be an object"));
+        }
+        let params = Checkpoint::from_json(doc)?;
+        Ok(FullCheckpoint {
+            arch,
+            spec: spec.clone(),
+            params,
+        })
     }
 }
 
@@ -224,5 +341,42 @@ mod tests {
     fn error_display_is_meaningful() {
         let e = CheckpointError::Missing("fc.weight".into());
         assert!(e.to_string().contains("fc.weight"));
+    }
+
+    #[test]
+    fn parse_errors_carry_the_offending_key_path() {
+        // not an object under `params`
+        let e = Checkpoint::from_json_str("{\"params\": 3}").unwrap_err();
+        assert!(e.message.contains("`params`"), "{e}");
+        // a tensor that fails to decode names its parameter
+        let e = Checkpoint::from_json_str("{\"params\": {\"fc.weight\": {\"shape\": [2]}}}")
+            .unwrap_err();
+        assert!(e.message.contains("`params.fc.weight`"), "{e}");
+    }
+
+    #[test]
+    fn full_checkpoint_roundtrips_with_spec_and_arch() {
+        let mut rng = SeededRng::new(4);
+        let mut model = linear("l", 3, 2, &mut rng);
+        let full = FullCheckpoint {
+            arch: "lenet".to_string(),
+            spec: Json::obj([("classes", 10usize)]),
+            params: export_params(&mut model).unwrap(),
+        };
+        let text = full.to_json().to_string_pretty();
+        let back = FullCheckpoint::from_json_str(&text).unwrap();
+        assert_eq!(back.arch, "lenet");
+        assert_eq!(back.spec, full.spec);
+        assert_eq!(back.params.params, full.params.params);
+    }
+
+    #[test]
+    fn full_checkpoint_structural_errors_name_their_key() {
+        let e = FullCheckpoint::from_json_str("{\"spec\": {}, \"params\": {}}").unwrap_err();
+        assert!(e.message.contains("`arch`"), "{e}");
+        let e = FullCheckpoint::from_json_str("{\"arch\": \"lenet\", \"params\": {}}").unwrap_err();
+        assert!(e.message.contains("`spec`"), "{e}");
+        let e = FullCheckpoint::from_json_str("{\"arch\": \"lenet\", \"spec\": {}}").unwrap_err();
+        assert!(e.message.contains("`params`"), "{e}");
     }
 }

@@ -62,7 +62,7 @@ mod param;
 mod spec;
 mod tape;
 
-pub use checkpoint::{export_params, import_params, Checkpoint, CheckpointError};
+pub use checkpoint::{export_params, import_params, Checkpoint, CheckpointError, FullCheckpoint};
 pub use error::WaError;
 pub use executor::{BatchExecutor, ExecutorConfig, Infer};
 pub use layers::{infer_quant, observe_quant, BatchNorm2d, Conv2d, Layer, Linear, QuantConfig};

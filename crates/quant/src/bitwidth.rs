@@ -85,6 +85,44 @@ impl std::fmt::Display for BitWidth {
     }
 }
 
+/// Error returned when parsing a [`BitWidth`] from its display form.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseBitWidthError(pub String);
+
+impl std::fmt::Display for ParseBitWidthError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unrecognized bit width `{}` (expected `FP32` or `INT<2..=31>`)",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for ParseBitWidthError {}
+
+impl std::str::FromStr for BitWidth {
+    type Err = ParseBitWidthError;
+
+    /// Parses the [`Display`](std::fmt::Display) form back (`"FP32"`,
+    /// `"INT8"`, …) — the encoding persisted artifacts (checkpoints,
+    /// serving specs) use on the wire. Case-insensitive.
+    fn from_str(s: &str) -> Result<BitWidth, ParseBitWidthError> {
+        let up = s.trim().to_ascii_uppercase();
+        if up == "FP32" {
+            return Ok(BitWidth::Fp32);
+        }
+        if let Some(bits) = up.strip_prefix("INT") {
+            if let Ok(b) = bits.parse::<u8>() {
+                if (2..=31).contains(&b) {
+                    return Ok(BitWidth::Int(b));
+                }
+            }
+        }
+        Err(ParseBitWidthError(s.to_string()))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

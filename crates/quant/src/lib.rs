@@ -31,7 +31,7 @@ mod bitwidth;
 mod observer;
 mod quantize;
 
-pub use bitwidth::BitWidth;
+pub use bitwidth::{BitWidth, ParseBitWidthError};
 pub use observer::{Observer, ObserverMode};
 pub use quantize::{
     dequantize_i32, fake_quant, fake_quant_scale, quantization_rmse, quantize_i32, ste_mask,

@@ -1,0 +1,259 @@
+//! `wa-client` — exercise a running `wa-serve` end-to-end.
+//!
+//! ```text
+//! wa-client make-checkpoint <path> [--arch lenet] [--classes N]
+//!           [--input-size N] [--width W] [--algo F2] [--quant INT8] [--seed N]
+//! wa-client load <addr> <name> <path>
+//! wa-client list <addr>
+//! wa-client infer <addr> <name> [--batch N] [--requests K]
+//!           [--concurrency C] [--seed N] [--record]
+//! wa-client stats <addr>
+//! wa-client shutdown <addr>
+//! ```
+//!
+//! `infer` asks the server for the model's expected sample shape, fires
+//! `--requests` random batches of `--batch` samples across
+//! `--concurrency` connections (concurrent requests let the server's
+//! scheduler coalesce them), prints the first response's logits and the
+//! measured served samples/sec, and with `--record` appends the number
+//! to `results/serve_throughput.json`.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+use wa_bench::BenchRecord;
+use wa_core::ConvAlgo;
+use wa_models::{ModelKind, ModelSpec, ZooModel};
+use wa_nn::{FullCheckpoint, QuantConfig};
+use wa_quant::BitWidth;
+use wa_serve::Client;
+use wa_tensor::{SeededRng, Tensor};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  wa-client make-checkpoint <path> [--arch lenet] [--classes N] \
+         [--input-size N] [--width W] [--algo F2] [--quant INT8] [--seed N]\n  \
+         wa-client load <addr> <name> <path>\n  \
+         wa-client list <addr>\n  \
+         wa-client infer <addr> <name> [--batch N] [--requests K] [--concurrency C] \
+         [--seed N] [--record]\n  \
+         wa-client stats <addr>\n  \
+         wa-client shutdown <addr>"
+    );
+    std::process::exit(2);
+}
+
+fn fail(msg: impl std::fmt::Display) -> ! {
+    eprintln!("wa-client: {msg}");
+    std::process::exit(1);
+}
+
+/// Key-value flags after the positional arguments.
+struct Flags(Vec<(String, String)>);
+
+impl Flags {
+    fn parse(args: &[String], booleans: &[&str]) -> Flags {
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < args.len() {
+            let Some(key) = args[i].strip_prefix("--") else {
+                usage();
+            };
+            if booleans.contains(&key) {
+                out.push((key.to_string(), "true".to_string()));
+                i += 1;
+            } else {
+                if i + 1 >= args.len() {
+                    usage();
+                }
+                out.push((key.to_string(), args[i + 1].clone()));
+                i += 2;
+            }
+        }
+        Flags(out)
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.0
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn parsed<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
+        match self.get(key) {
+            None => default,
+            Some(v) => v
+                .parse()
+                .unwrap_or_else(|_| fail(format!("bad value for --{key}: `{v}`"))),
+        }
+    }
+}
+
+fn make_checkpoint(path: &str, flags: &Flags) {
+    let kind: ModelKind = flags
+        .get("arch")
+        .unwrap_or("lenet")
+        .parse()
+        .unwrap_or_else(|e| fail(e));
+    let algo: ConvAlgo = flags
+        .get("algo")
+        .unwrap_or("im2row")
+        .parse()
+        .unwrap_or_else(|e| fail(e));
+    let bits: BitWidth = flags
+        .get("quant")
+        .unwrap_or("FP32")
+        .parse()
+        .unwrap_or_else(|e| fail(e));
+    let default_size = if kind == ModelKind::LeNet { 28 } else { 32 };
+    let spec = ModelSpec::builder()
+        .classes(flags.parsed("classes", 10))
+        .input_size(flags.parsed("input-size", default_size))
+        .width(flags.parsed("width", 1.0))
+        .quant(QuantConfig::uniform(bits))
+        .algo(algo)
+        .build()
+        .unwrap_or_else(|e| fail(e));
+    let mut rng = SeededRng::new(flags.parsed("seed", 0u64));
+    let mut model = ZooModel::from_spec(kind, &spec, &mut rng).unwrap_or_else(|e| fail(e));
+    let doc = model
+        .to_full_checkpoint()
+        .unwrap_or_else(|e| fail(e))
+        .to_json()
+        .to_string_pretty();
+    std::fs::write(path, &doc).unwrap_or_else(|e| fail(format!("writing {path}: {e}")));
+    println!("wrote {kind} checkpoint ({} bytes) to {path}", doc.len());
+}
+
+fn load(addr: &str, name: &str, path: &str) {
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| fail(format!("reading {path}: {e}")));
+    let ckpt = FullCheckpoint::from_json_str(&text)
+        .unwrap_or_else(|e| fail(format!("parsing {path}: {e}")));
+    let mut client = Client::connect(addr).unwrap_or_else(|e| fail(e));
+    let resp = client.load_model(name, &ckpt).unwrap_or_else(|e| fail(e));
+    println!(
+        "loaded `{name}` (arch {}, {} params)",
+        resp.get("arch").and_then(|v| v.as_str()).unwrap_or("?"),
+        resp.get("params").and_then(|v| v.as_f64()).unwrap_or(0.0)
+    );
+}
+
+/// The model's `[C, H, W]` sample shape, from `list_models`.
+fn sample_shape(client: &mut Client, name: &str) -> Vec<usize> {
+    let models = client.list_models().unwrap_or_else(|e| fail(e));
+    let Some(row) = models
+        .as_arr()
+        .unwrap_or(&[])
+        .iter()
+        .find(|m| m.get("name").and_then(|v| v.as_str()) == Some(name))
+    else {
+        fail(format!("no model `{name}` on the server"));
+    };
+    row.get("sample_shape")
+        .and_then(|s| s.as_arr())
+        .map(|a| {
+            a.iter()
+                .filter_map(|v| v.as_f64())
+                .map(|f| f as usize)
+                .collect()
+        })
+        .unwrap_or_else(|| fail("list_models row lacks sample_shape"))
+}
+
+fn infer(addr: &str, name: &str, flags: &Flags) {
+    let batch: usize = flags.parsed("batch", 4);
+    let requests: usize = flags.parsed("requests", 8);
+    let concurrency: usize = flags.parsed("concurrency", 2).max(1);
+    let seed: u64 = flags.parsed("seed", 7);
+
+    let mut probe = Client::connect(addr).unwrap_or_else(|e| fail(e));
+    let shape = sample_shape(&mut probe, name);
+    let mut full = vec![batch];
+    full.extend(&shape);
+    let mut rng = SeededRng::new(seed);
+    let inputs: Vec<Tensor> = (0..requests)
+        .map(|_| rng.uniform_tensor(&full, -1.0, 1.0))
+        .collect();
+
+    // fire the requests across `concurrency` connections so the server's
+    // scheduler gets something to coalesce
+    let next = AtomicUsize::new(0);
+    let first_logits = std::sync::Mutex::new(None::<Tensor>);
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for _ in 0..concurrency.min(requests) {
+            s.spawn(|| {
+                let mut client = Client::connect(addr).unwrap_or_else(|e| fail(e));
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= requests {
+                        return;
+                    }
+                    let out = client.infer(name, &inputs[i]).unwrap_or_else(|e| fail(e));
+                    if i == 0 {
+                        *first_logits.lock().expect("logits lock") = Some(out);
+                    }
+                }
+            });
+        }
+    });
+    let elapsed = t0.elapsed().as_secs_f64().max(1e-9);
+    let samples = batch * requests;
+    let sps = samples as f64 / elapsed;
+
+    if let Some(logits) = first_logits.lock().expect("logits lock").as_ref() {
+        let row: Vec<String> = logits.data()[..logits.dim(1).min(10)]
+            .iter()
+            .map(|v| format!("{v:.4}"))
+            .collect();
+        println!("first logits: [{}]", row.join(", "));
+    }
+    println!(
+        "{samples} samples in {requests} requests over {concurrency} connections: \
+         {sps:.1} samples/sec"
+    );
+
+    if flags.get("record").is_some() {
+        let mut record = BenchRecord::new("serve_throughput", "samples/sec");
+        record.push(
+            format!("{name} served"),
+            sps,
+            &[
+                ("batch", batch as f64),
+                ("requests", requests as f64),
+                ("concurrency", concurrency as f64),
+            ],
+        );
+        record.save();
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else { usage() };
+    match (cmd.as_str(), &args[1..]) {
+        ("make-checkpoint", rest) if !rest.is_empty() => {
+            make_checkpoint(&rest[0], &Flags::parse(&rest[1..], &[]));
+        }
+        ("load", [addr, name, path]) => load(addr, name, path),
+        ("list", [addr]) => {
+            let mut client = Client::connect(addr).unwrap_or_else(|e| fail(e));
+            println!("{}", client.list_models().unwrap_or_else(|e| fail(e)));
+        }
+        ("infer", rest) if rest.len() >= 2 => {
+            infer(&rest[0], &rest[1], &Flags::parse(&rest[2..], &["record"]));
+        }
+        ("stats", [addr]) => {
+            let mut client = Client::connect(addr).unwrap_or_else(|e| fail(e));
+            println!("{}", client.stats().unwrap_or_else(|e| fail(e)));
+        }
+        ("shutdown", [addr]) => {
+            let mut client = Client::connect(addr).unwrap_or_else(|e| fail(e));
+            client.shutdown().unwrap_or_else(|e| fail(e));
+            println!("server stopping");
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,184 @@
+//! A blocking client for the wa-serve protocol — what the `wa-client`
+//! binary and the end-to-end tests drive, and a reference for writing
+//! clients in other languages (the protocol is just length-prefixed
+//! JSON, see [`crate::protocol`]).
+
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+
+use wa_nn::FullCheckpoint;
+use wa_tensor::{Json, Tensor};
+
+use crate::protocol::{read_frame, write_frame, FrameError, DEFAULT_MAX_FRAME};
+
+/// A client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure (connect, read, write, framing).
+    Transport(FrameError),
+    /// The server answered with `ok: false`; `kind`/`message` are the
+    /// structured error fields.
+    Server {
+        /// Machine-readable category (e.g. `"unknown_model"`).
+        kind: String,
+        /// Human-readable explanation.
+        message: String,
+    },
+    /// The server answered with something that is not a valid response.
+    BadResponse(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Transport(e) => write!(f, "transport error: {e}"),
+            ClientError::Server { kind, message } => write!(f, "server error [{kind}]: {message}"),
+            ClientError::BadResponse(m) => write!(f, "bad response: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> ClientError {
+        ClientError::Transport(FrameError::Io(e))
+    }
+}
+
+/// A blocking connection to a wa-serve server.
+pub struct Client {
+    stream: TcpStream,
+    max_frame: usize,
+}
+
+impl Client {
+    /// Connects with the default frame cap.
+    ///
+    /// # Errors
+    ///
+    /// Connection failures.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
+        Ok(Client {
+            stream: TcpStream::connect(addr)?,
+            max_frame: DEFAULT_MAX_FRAME,
+        })
+    }
+
+    /// Sends one raw request document and returns the raw response
+    /// document, whatever its `ok` value.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures only.
+    pub fn request_raw(&mut self, doc: &Json) -> Result<Json, ClientError> {
+        write_frame(&mut self.stream, doc)?;
+        read_frame(&mut self.stream, self.max_frame).map_err(ClientError::Transport)
+    }
+
+    /// Sends a request and enforces `ok: true`, returning the response
+    /// body.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Server`] for structured failures,
+    /// [`ClientError::BadResponse`] for responses missing `ok`.
+    pub fn request(&mut self, doc: &Json) -> Result<Json, ClientError> {
+        let resp = self.request_raw(doc)?;
+        match resp.get("ok") {
+            Some(Json::Bool(true)) => Ok(resp),
+            Some(Json::Bool(false)) => {
+                let err = resp.get("error");
+                let field = |k: &str| -> String {
+                    err.and_then(|e| e.get(k))
+                        .and_then(|v| v.as_str())
+                        .unwrap_or("<missing>")
+                        .to_string()
+                };
+                Err(ClientError::Server {
+                    kind: field("kind"),
+                    message: field("message"),
+                })
+            }
+            _ => Err(ClientError::BadResponse(format!(
+                "response lacks an `ok` bool: {resp}"
+            ))),
+        }
+    }
+
+    /// Installs a model from a one-document checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// Transport or server failures.
+    pub fn load_model(&mut self, name: &str, ckpt: &FullCheckpoint) -> Result<Json, ClientError> {
+        self.request(&Json::obj([
+            ("op", Json::from("load_model")),
+            ("name", Json::from(name)),
+            ("checkpoint", ckpt.to_json()),
+        ]))
+    }
+
+    /// Removes a model.
+    ///
+    /// # Errors
+    ///
+    /// Transport or server failures (`unknown_model` if absent).
+    pub fn unload(&mut self, name: &str) -> Result<(), ClientError> {
+        self.request(&Json::obj([
+            ("op", Json::from("unload")),
+            ("name", Json::from(name)),
+        ]))
+        .map(|_| ())
+    }
+
+    /// Lists loaded models (the raw `models` array).
+    ///
+    /// # Errors
+    ///
+    /// Transport or server failures.
+    pub fn list_models(&mut self) -> Result<Json, ClientError> {
+        let resp = self.request(&Json::obj([("op", Json::from("list_models"))]))?;
+        resp.get("models")
+            .cloned()
+            .ok_or_else(|| ClientError::BadResponse("list_models lacks `models`".to_string()))
+    }
+
+    /// Runs a `[N, C, H, W]` batch (or a single `[C, H, W]` sample)
+    /// through a loaded model and returns the output tensor.
+    ///
+    /// # Errors
+    ///
+    /// Transport or server failures (`shape_mismatch`, `unknown_model`).
+    pub fn infer(&mut self, model: &str, input: &Tensor) -> Result<Tensor, ClientError> {
+        let resp = self.request(&Json::obj([
+            ("op", Json::from("infer")),
+            ("model", Json::from(model)),
+            ("input", input.to_json()),
+        ]))?;
+        let out = resp
+            .get("output")
+            .ok_or_else(|| ClientError::BadResponse("infer response lacks `output`".to_string()))?;
+        Tensor::from_json(out)
+            .map_err(|e| ClientError::BadResponse(format!("bad output tensor: {e}")))
+    }
+
+    /// Fetches per-model serving counters.
+    ///
+    /// # Errors
+    ///
+    /// Transport or server failures.
+    pub fn stats(&mut self) -> Result<Json, ClientError> {
+        self.request(&Json::obj([("op", Json::from("stats"))]))
+    }
+
+    /// Asks the server to stop.
+    ///
+    /// # Errors
+    ///
+    /// Transport or server failures.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        self.request(&Json::obj([("op", Json::from("shutdown"))]))
+            .map(|_| ())
+    }
+}

@@ -1,0 +1,71 @@
+//! # wa-serve
+//!
+//! The socket serving front-end of the workspace: load Winograd-aware
+//! quantized models from one-document checkpoints, batch concurrent
+//! inference requests, and answer over a dependency-free TCP protocol —
+//! the deployment half the paper's efficiency story points at
+//! (Winograd-aware quantized CNNs exist to be *served* on commodity
+//! hardware).
+//!
+//! Three layers:
+//!
+//! * [`protocol`] — length-prefixed `wa_tensor::json` frames; typed
+//!   [`Request`]s (`load_model`, `unload`, `list_models`, `infer`,
+//!   `stats`, `shutdown`); every malformed input maps to a structured
+//!   error response instead of a dropped connection.
+//! * [`registry`] — named models reconstructed from
+//!   [`FullCheckpoint`](wa_nn::FullCheckpoint) documents
+//!   (`ModelSpec` → `from_spec` → `import_params`), shared behind
+//!   `Arc`s, with per-model request/latency counters.
+//! * [`scheduler`] — coalesces concurrent `infer` requests into
+//!   `[N, C, H, W]` batches (flush on max-batch or deadline) and drives
+//!   them through `wa_nn::BatchExecutor`, stitching per-request outputs
+//!   back to the right connections.
+//!
+//! The `wa-serve` binary serves; the `wa-client` binary exercises a
+//! server end-to-end (build a checkpoint, load it, fire batched
+//! requests, print logits and samples/sec).
+//!
+//! # In-process example
+//!
+//! ```
+//! use wa_models::{ModelKind, ModelSpec, ZooModel};
+//! use wa_serve::{Client, Server, ServerConfig};
+//! use wa_tensor::SeededRng;
+//!
+//! // boot a server on an ephemeral port
+//! let server = Server::bind("127.0.0.1:0", ServerConfig::default())?;
+//! let addr = server.local_addr();
+//! let thread = std::thread::spawn(move || server.run());
+//!
+//! // build a checkpoint, load it, infer against it
+//! let spec = ModelSpec::builder().classes(10).input_size(12).build().unwrap();
+//! let mut rng = SeededRng::new(0);
+//! let mut model = ZooModel::from_spec(ModelKind::LeNet, &spec, &mut rng).unwrap();
+//! let ckpt = model.to_full_checkpoint().unwrap();
+//!
+//! let mut client = Client::connect(addr).unwrap();
+//! client.load_model("mnist", &ckpt).unwrap();
+//! let x = rng.uniform_tensor(&[2, 1, 12, 12], -1.0, 1.0);
+//! let logits = client.infer("mnist", &x).unwrap();
+//! assert_eq!(logits.shape(), &[2, 10]);
+//!
+//! client.shutdown().unwrap();
+//! thread.join().unwrap()?;
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+pub mod client;
+pub mod protocol;
+pub mod registry;
+pub mod scheduler;
+pub mod server;
+
+pub use client::{Client, ClientError};
+pub use protocol::{
+    error_response, ok_response, read_frame, write_frame, ErrorBody, ErrorKind, FrameError,
+    Request, DEFAULT_MAX_FRAME,
+};
+pub use registry::{ModelStats, Registry, ServedModel};
+pub use scheduler::{Scheduler, SchedulerConfig};
+pub use server::{Server, ServerConfig, ServerHandle};

@@ -1,0 +1,50 @@
+//! `wa-serve` — the serving daemon.
+//!
+//! ```text
+//! wa-serve [--addr 127.0.0.1:7878] [--threads N] [--chunk N]
+//!          [--max-batch N] [--max-delay-ms N] [--max-frame-mb N]
+//! ```
+//!
+//! Binds, prints `wa-serve listening on <addr>` (scripts wait for that
+//! line), and serves until a `shutdown` request arrives. Models are
+//! loaded over the wire (`load_model` with a one-document checkpoint) —
+//! typically via `wa-client`.
+
+use std::time::Duration;
+
+use wa_serve::{Server, ServerConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: wa-serve [--addr HOST:PORT] [--threads N] [--chunk N] \
+         [--max-batch N] [--max-delay-ms N] [--max-frame-mb N]"
+    );
+    std::process::exit(2);
+}
+
+fn main() -> std::io::Result<()> {
+    let mut addr = "127.0.0.1:7878".to_string();
+    let mut cfg = ServerConfig::default();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = || args.next().unwrap_or_else(|| usage());
+        let parse = |v: String| v.parse::<usize>().unwrap_or_else(|_| usage());
+        match flag.as_str() {
+            "--addr" => addr = value(),
+            "--threads" => cfg.scheduler.exec.threads = parse(value()),
+            "--chunk" => cfg.scheduler.exec.chunk = parse(value()),
+            "--max-batch" => cfg.scheduler.max_batch = parse(value()),
+            "--max-delay-ms" => {
+                cfg.scheduler.max_delay = Duration::from_millis(parse(value()) as u64)
+            }
+            "--max-frame-mb" => cfg.max_frame = parse(value()) << 20,
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+
+    let server = Server::bind(addr.as_str(), cfg)?;
+    println!("wa-serve listening on {}", server.local_addr());
+    server.run()
+}

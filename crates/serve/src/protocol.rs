@@ -1,0 +1,430 @@
+//! The wire protocol: length-prefixed JSON frames, typed requests, and
+//! structured error responses.
+//!
+//! # Framing
+//!
+//! Every message — request or response — is one *frame*:
+//!
+//! ```text
+//! ┌──────────────┬──────────────────────────┐
+//! │ length: u32  │ body: `length` bytes of  │
+//! │ (big-endian) │ UTF-8 JSON               │
+//! └──────────────┴──────────────────────────┘
+//! ```
+//!
+//! A connection carries any number of frames in sequence. The body is a
+//! single [`Json`] document produced by `wa_tensor::json` (the same
+//! codec checkpoints use), so a request can embed tensors and full
+//! checkpoints verbatim.
+//!
+//! # Requests
+//!
+//! Every request is an object with an `"op"` string, an optional `"id"`
+//! (echoed verbatim in the response so clients can pipeline), and
+//! op-specific fields:
+//!
+//! | op            | fields                                   |
+//! |---------------|------------------------------------------|
+//! | `load_model`  | `name`, `checkpoint` (a [`FullCheckpoint`] document) |
+//! | `unload`      | `name`                                   |
+//! | `list_models` | —                                        |
+//! | `infer`       | `model`, `input` (tensor, `[N,C,H,W]` or one `[C,H,W]` sample) |
+//! | `stats`       | —                                        |
+//! | `shutdown`    | —                                        |
+//!
+//! # Responses
+//!
+//! `{"id": ..., "ok": true, ...}` on success, or
+//! `{"id": ..., "ok": false, "error": {"kind": "...", "message": "..."}}`
+//! — *every* malformed input maps to such a structured error (the server
+//! never just drops a connection over request content). The one
+//! exception is an oversized frame: the server answers with a
+//! `frame_too_large` error and then closes that connection, because the
+//! offending body was never read and the stream is no longer in sync.
+
+use std::io::{self, Read, Write};
+
+use wa_nn::{FullCheckpoint, WaError};
+use wa_tensor::{Json, JsonError, Tensor};
+
+/// Default cap on one frame's body size. 512 MiB: a full-width
+/// ResNet-18 checkpoint serializes to ~320 MiB of decimal JSON (11M
+/// fp32 parameters at ~30 bytes each), and the flagship model must be
+/// loadable with defaults. Deployments serving only small models should
+/// lower this (`wa-serve --max-frame-mb`).
+pub const DEFAULT_MAX_FRAME: usize = 512 << 20;
+
+/// Why a frame could not be read.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The peer closed the connection at a frame boundary (normal end).
+    Closed,
+    /// An I/O error, including mid-frame EOF.
+    Io(io::Error),
+    /// The declared body length exceeds the configured cap. The body was
+    /// not consumed, so the stream cannot be re-synchronized.
+    TooLarge {
+        /// Declared body length.
+        declared: usize,
+        /// Configured cap.
+        max: usize,
+    },
+    /// The body was not valid UTF-8 JSON.
+    BadJson(JsonError),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Closed => write!(f, "connection closed"),
+            FrameError::Io(e) => write!(f, "I/O error: {e}"),
+            FrameError::TooLarge { declared, max } => {
+                write!(f, "frame of {declared} bytes exceeds the {max}-byte cap")
+            }
+            FrameError::BadJson(e) => write!(f, "invalid JSON body: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Writes one frame (`u32` big-endian length + compact JSON body).
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn write_frame(w: &mut impl Write, doc: &Json) -> io::Result<()> {
+    let body = doc.to_string_compact();
+    w.write_all(&(body.len() as u32).to_be_bytes())?;
+    w.write_all(body.as_bytes())?;
+    w.flush()
+}
+
+/// Reads one frame, enforcing the `max` body-size cap.
+///
+/// # Errors
+///
+/// [`FrameError::Closed`] on EOF at a frame boundary, [`FrameError::Io`]
+/// on other I/O failures, [`FrameError::TooLarge`] when the declared
+/// length exceeds `max` (the body is left unread), and
+/// [`FrameError::BadJson`] when the body does not parse.
+pub fn read_frame(r: &mut impl Read, max: usize) -> Result<Json, FrameError> {
+    let mut header = [0u8; 4];
+    let mut got = 0;
+    while got < header.len() {
+        match r.read(&mut header[got..]) {
+            Ok(0) if got == 0 => return Err(FrameError::Closed),
+            Ok(0) => {
+                return Err(FrameError::Io(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "EOF inside a frame header",
+                )))
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    let declared = u32::from_be_bytes(header) as usize;
+    if declared > max {
+        return Err(FrameError::TooLarge { declared, max });
+    }
+    let mut body = vec![0u8; declared];
+    r.read_exact(&mut body).map_err(FrameError::Io)?;
+    let text = std::str::from_utf8(&body).map_err(|_| {
+        FrameError::BadJson(JsonError {
+            offset: 0,
+            message: "frame body is not UTF-8".to_string(),
+        })
+    })?;
+    Json::parse(text).map_err(FrameError::BadJson)
+}
+
+/// Machine-readable error category of a failed request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// The frame itself was unusable (oversized, unparsable JSON).
+    BadFrame,
+    /// The frame parsed but is not a well-formed request.
+    BadRequest,
+    /// `infer`/`unload` named a model the registry does not hold.
+    UnknownModel,
+    /// A spec/checkpoint field is invalid.
+    InvalidSpec,
+    /// Tensor shapes disagree (input vs model, checkpoint vs model).
+    ShapeMismatch,
+    /// The requested convolution algorithm is unsupported.
+    UnsupportedAlgo,
+    /// The server failed internally while handling a valid request.
+    Internal,
+}
+
+impl ErrorKind {
+    /// The wire form (`"bad_frame"`, `"unknown_model"`, …).
+    pub fn code(self) -> &'static str {
+        match self {
+            ErrorKind::BadFrame => "bad_frame",
+            ErrorKind::BadRequest => "bad_request",
+            ErrorKind::UnknownModel => "unknown_model",
+            ErrorKind::InvalidSpec => "invalid_spec",
+            ErrorKind::ShapeMismatch => "shape_mismatch",
+            ErrorKind::UnsupportedAlgo => "unsupported_algo",
+            ErrorKind::Internal => "internal",
+        }
+    }
+}
+
+/// A structured request failure: what went wrong, in a form a remote
+/// client can match on (`kind`) and a human can read (`message`).
+#[derive(Clone, Debug)]
+pub struct ErrorBody {
+    /// Machine-readable category.
+    pub kind: ErrorKind,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl ErrorBody {
+    /// Builds an error body.
+    pub fn new(kind: ErrorKind, message: impl Into<String>) -> ErrorBody {
+        ErrorBody {
+            kind,
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for ErrorBody {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.kind.code(), self.message)
+    }
+}
+
+impl From<WaError> for ErrorBody {
+    fn from(e: WaError) -> ErrorBody {
+        let kind = match &e {
+            WaError::InvalidSpec { .. } => ErrorKind::InvalidSpec,
+            WaError::ShapeMismatch { .. } => ErrorKind::ShapeMismatch,
+            WaError::UnsupportedAlgo { .. } => ErrorKind::UnsupportedAlgo,
+        };
+        ErrorBody::new(kind, e.to_string())
+    }
+}
+
+/// A parsed request (the `"op"` dispatch of the [module docs](self)).
+#[derive(Debug)]
+pub enum Request {
+    /// Install a model from a one-document checkpoint.
+    LoadModel {
+        /// Registry name to serve the model under.
+        name: String,
+        /// The checkpoint (arch + spec + params).
+        checkpoint: Box<FullCheckpoint>,
+    },
+    /// Remove a model from the registry.
+    Unload {
+        /// Registry name.
+        name: String,
+    },
+    /// Enumerate loaded models.
+    ListModels,
+    /// Run inference on a loaded model.
+    Infer {
+        /// Registry name.
+        model: String,
+        /// `[N, C, H, W]` batch (a `[C, H, W]` sample is promoted to
+        /// `N = 1`).
+        input: Tensor,
+    },
+    /// Per-model serving counters.
+    Stats,
+    /// Stop accepting connections and exit the serve loop.
+    Shutdown,
+}
+
+impl Request {
+    /// Parses a request document. The caller extracts `"id"` itself (it
+    /// must be echoed even when parsing fails).
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorBody`] with [`ErrorKind::BadRequest`] naming the missing or
+    /// mistyped field.
+    pub fn from_json(doc: &Json) -> Result<Request, ErrorBody> {
+        let bad = |msg: String| ErrorBody::new(ErrorKind::BadRequest, msg);
+        if doc.as_obj().is_none() {
+            return Err(bad("request must be a JSON object".to_string()));
+        }
+        let op = doc
+            .get("op")
+            .ok_or_else(|| bad("request needs an `op` string".to_string()))?
+            .as_str()
+            .ok_or_else(|| bad("`op` must be a string".to_string()))?;
+        let name_field = |field: &str| -> Result<String, ErrorBody> {
+            let v = doc
+                .get(field)
+                .ok_or_else(|| bad(format!("`{op}` needs a `{field}` string")))?;
+            let s = v
+                .as_str()
+                .ok_or_else(|| bad(format!("`{field}` must be a string")))?;
+            if s.is_empty() {
+                return Err(bad(format!("`{field}` must be nonempty")));
+            }
+            Ok(s.to_string())
+        };
+        match op {
+            "load_model" => {
+                let name = name_field("name")?;
+                let ckpt_doc = doc
+                    .get("checkpoint")
+                    .ok_or_else(|| bad("`load_model` needs a `checkpoint` object".to_string()))?;
+                let checkpoint = FullCheckpoint::from_json(ckpt_doc)
+                    .map_err(|e| bad(format!("bad checkpoint: {}", e.message)))?;
+                Ok(Request::LoadModel {
+                    name,
+                    checkpoint: Box::new(checkpoint),
+                })
+            }
+            "unload" => Ok(Request::Unload {
+                name: name_field("name")?,
+            }),
+            "list_models" => Ok(Request::ListModels),
+            "infer" => {
+                let model = name_field("model")?;
+                let input_doc = doc
+                    .get("input")
+                    .ok_or_else(|| bad("`infer` needs an `input` tensor".to_string()))?;
+                let mut input = Tensor::from_json(input_doc)
+                    .map_err(|e| bad(format!("bad input tensor: {}", e.message)))?;
+                if input.ndim() == 3 {
+                    let mut shape = vec![1];
+                    shape.extend_from_slice(input.shape());
+                    input = input.reshape(&shape);
+                }
+                Ok(Request::Infer { model, input })
+            }
+            "stats" => Ok(Request::Stats),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(bad(format!(
+                "unknown op `{other}` (expected load_model | unload | list_models | \
+                 infer | stats | shutdown)"
+            ))),
+        }
+    }
+}
+
+/// Builds a success response: `{"id"?, "ok": true, ...fields}`.
+pub fn ok_response(id: Option<&Json>, fields: Vec<(String, Json)>) -> Json {
+    let mut pairs = Vec::with_capacity(fields.len() + 2);
+    if let Some(id) = id {
+        pairs.push(("id".to_string(), id.clone()));
+    }
+    pairs.push(("ok".to_string(), Json::Bool(true)));
+    pairs.extend(fields);
+    Json::Obj(pairs)
+}
+
+/// Builds a failure response:
+/// `{"id"?, "ok": false, "error": {"kind", "message"}}`.
+pub fn error_response(id: Option<&Json>, err: &ErrorBody) -> Json {
+    let mut pairs = Vec::with_capacity(3);
+    if let Some(id) = id {
+        pairs.push(("id".to_string(), id.clone()));
+    }
+    pairs.push(("ok".to_string(), Json::Bool(false)));
+    pairs.push((
+        "error".to_string(),
+        Json::obj([
+            ("kind", Json::from(err.kind.code())),
+            ("message", Json::from(err.message.as_str())),
+        ]),
+    ));
+    Json::Obj(pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_roundtrip_over_a_buffer() {
+        let doc = Json::obj([("op", Json::from("stats")), ("id", Json::from(7usize))]);
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &doc).unwrap();
+        write_frame(&mut buf, &doc).unwrap();
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r, DEFAULT_MAX_FRAME).unwrap(), doc);
+        assert_eq!(read_frame(&mut r, DEFAULT_MAX_FRAME).unwrap(), doc);
+        assert!(matches!(
+            read_frame(&mut r, DEFAULT_MAX_FRAME),
+            Err(FrameError::Closed)
+        ));
+    }
+
+    #[test]
+    fn oversized_frames_are_rejected_without_reading_the_body() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &Json::from("x".repeat(100))).unwrap();
+        let mut r = &buf[..];
+        assert!(matches!(
+            read_frame(&mut r, 16),
+            Err(FrameError::TooLarge { max: 16, .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_frames_are_io_errors() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &Json::from(1.5f64)).unwrap();
+        let mut r = &buf[..buf.len() - 1];
+        assert!(matches!(
+            read_frame(&mut r, DEFAULT_MAX_FRAME),
+            Err(FrameError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn request_parse_errors_are_structured() {
+        for (doc, needle) in [
+            (Json::from(3usize), "object"),
+            (Json::obj([("noop", 1usize)]), "`op`"),
+            (Json::obj([("op", "fly")]), "unknown op"),
+            (Json::obj([("op", "unload")]), "`name`"),
+            (Json::obj([("op", "infer"), ("model", "m")]), "`input`"),
+        ] {
+            let err = Request::from_json(&doc).unwrap_err();
+            assert_eq!(err.kind, ErrorKind::BadRequest);
+            assert!(err.message.contains(needle), "{}: {}", doc, err.message);
+        }
+    }
+
+    #[test]
+    fn single_sample_infer_input_is_promoted_to_a_batch() {
+        let doc = Json::obj([
+            ("op", Json::from("infer")),
+            ("model", Json::from("m")),
+            ("input", Tensor::zeros(&[1, 4, 4]).to_json()),
+        ]);
+        let Request::Infer { input, .. } = Request::from_json(&doc).unwrap() else {
+            panic!("expected infer");
+        };
+        assert_eq!(input.shape(), &[1, 1, 4, 4]);
+    }
+
+    #[test]
+    fn responses_echo_the_id_and_carry_structured_errors() {
+        let id = Json::from("req-1");
+        let ok = ok_response(Some(&id), vec![("n".to_string(), Json::from(2usize))]);
+        assert_eq!(ok.get("id").unwrap().as_str(), Some("req-1"));
+        assert_eq!(ok.get("ok"), Some(&Json::Bool(true)));
+        let err = error_response(
+            Some(&id),
+            &ErrorBody::new(ErrorKind::UnknownModel, "no such model"),
+        );
+        assert_eq!(err.get("ok"), Some(&Json::Bool(false)));
+        assert_eq!(
+            err.get("error").unwrap().get("kind").unwrap().as_str(),
+            Some("unknown_model")
+        );
+    }
+}

@@ -1,0 +1,271 @@
+//! The model registry: named, concurrently-shared, instrumented models.
+//!
+//! Loading installs a [`ZooModel`] reconstructed from a one-document
+//! [`FullCheckpoint`] behind an [`Arc`], so any number of connection
+//! threads and the batching scheduler can read it simultaneously
+//! (inference goes through the read-only `Infer` trait). Each entry
+//! carries its own [`ModelStats`] counters, updated lock-free by the
+//! scheduler as batches complete.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+use wa_models::ZooModel;
+use wa_nn::FullCheckpoint;
+use wa_tensor::Json;
+
+use crate::protocol::{ErrorBody, ErrorKind};
+
+/// Per-model serving counters (relaxed atomics: the numbers are
+/// monotonic telemetry, not synchronization).
+#[derive(Debug, Default)]
+pub struct ModelStats {
+    /// `infer` requests answered.
+    pub requests: AtomicU64,
+    /// Samples pushed through the model.
+    pub samples: AtomicU64,
+    /// Executor batches formed (`< requests` means the scheduler
+    /// coalesced concurrent requests).
+    pub batches: AtomicU64,
+    /// Time spent inside the executor, in microseconds.
+    pub busy_micros: AtomicU64,
+}
+
+impl ModelStats {
+    /// Records one flushed batch.
+    pub fn record_batch(&self, requests: u64, samples: u64, micros: u64) {
+        self.requests.fetch_add(requests, Ordering::Relaxed);
+        self.samples.fetch_add(samples, Ordering::Relaxed);
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.busy_micros.fetch_add(micros, Ordering::Relaxed);
+    }
+
+    /// The counters as a JSON object.
+    pub fn to_json(&self) -> Json {
+        let req = self.requests.load(Ordering::Relaxed);
+        let samples = self.samples.load(Ordering::Relaxed);
+        let batches = self.batches.load(Ordering::Relaxed);
+        let micros = self.busy_micros.load(Ordering::Relaxed);
+        Json::obj([
+            ("requests", Json::from(req as f64)),
+            ("samples", Json::from(samples as f64)),
+            ("batches", Json::from(batches as f64)),
+            ("busy_micros", Json::from(micros as f64)),
+            (
+                "samples_per_second",
+                if micros > 0 {
+                    Json::from(samples as f64 / (micros as f64 / 1e6))
+                } else {
+                    Json::Null
+                },
+            ),
+        ])
+    }
+}
+
+/// One registry entry: the runnable model plus its counters.
+#[derive(Debug)]
+pub struct ServedModel {
+    /// Registry name the model is served under.
+    pub name: String,
+    /// The reconstructed model (read-only after load).
+    pub model: ZooModel,
+    /// Serving counters.
+    pub stats: ModelStats,
+}
+
+/// Name → model map shared by every connection thread.
+#[derive(Debug, Default)]
+pub struct Registry {
+    models: RwLock<BTreeMap<String, Arc<ServedModel>>>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Reconstructs a model from a one-document checkpoint and installs
+    /// it under `name`, replacing any previous model of that name (the
+    /// replaced model finishes its in-flight batches through its `Arc`).
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorBody`] describing the bad checkpoint (unknown arch, invalid
+    /// spec, shape-mismatched params).
+    pub fn load(&self, name: &str, doc: &FullCheckpoint) -> Result<Arc<ServedModel>, ErrorBody> {
+        let model = ZooModel::from_full_checkpoint(doc).map_err(ErrorBody::from)?;
+        let entry = Arc::new(ServedModel {
+            name: name.to_string(),
+            model,
+            stats: ModelStats::default(),
+        });
+        self.write().insert(name.to_string(), Arc::clone(&entry));
+        Ok(entry)
+    }
+
+    /// Looks a model up by name.
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorKind::UnknownModel`] listing what *is* loaded.
+    pub fn get(&self, name: &str) -> Result<Arc<ServedModel>, ErrorBody> {
+        let models = self.read();
+        models.get(name).cloned().ok_or_else(|| {
+            ErrorBody::new(
+                ErrorKind::UnknownModel,
+                format!(
+                    "no model `{name}` is loaded (loaded: [{}])",
+                    models.keys().cloned().collect::<Vec<_>>().join(", ")
+                ),
+            )
+        })
+    }
+
+    /// Removes a model.
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorKind::UnknownModel`] if nothing is loaded under `name`.
+    pub fn unload(&self, name: &str) -> Result<(), ErrorBody> {
+        if self.write().remove(name).is_some() {
+            Ok(())
+        } else {
+            Err(ErrorBody::new(
+                ErrorKind::UnknownModel,
+                format!("no model `{name}` is loaded"),
+            ))
+        }
+    }
+
+    /// Number of loaded models.
+    pub fn len(&self) -> usize {
+        self.read().len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.read().is_empty()
+    }
+
+    /// One JSON row per loaded model (name, arch, expected sample shape,
+    /// class count) — the `list_models` response body.
+    pub fn list_json(&self) -> Json {
+        Json::Arr(
+            self.read()
+                .values()
+                .map(|m| {
+                    Json::obj([
+                        ("name", Json::from(m.name.as_str())),
+                        ("arch", Json::from(m.model.kind().name())),
+                        (
+                            "sample_shape",
+                            Json::arr(m.model.sample_shape().iter().copied()),
+                        ),
+                        ("classes", Json::from(m.model.spec().classes)),
+                    ])
+                })
+                .collect(),
+        )
+    }
+
+    /// One JSON row per loaded model with its counters — the `stats`
+    /// response body.
+    pub fn stats_json(&self) -> Json {
+        Json::Arr(
+            self.read()
+                .values()
+                .map(|m| {
+                    Json::obj([
+                        ("name", Json::from(m.name.as_str())),
+                        ("stats", m.stats.to_json()),
+                    ])
+                })
+                .collect(),
+        )
+    }
+
+    fn read(&self) -> std::sync::RwLockReadGuard<'_, BTreeMap<String, Arc<ServedModel>>> {
+        self.models.read().expect("registry lock poisoned")
+    }
+
+    fn write(&self) -> std::sync::RwLockWriteGuard<'_, BTreeMap<String, Arc<ServedModel>>> {
+        self.models.write().expect("registry lock poisoned")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wa_models::{ModelKind, ModelSpec, ZooModel};
+    use wa_tensor::SeededRng;
+
+    fn lenet_doc() -> FullCheckpoint {
+        let spec = ModelSpec::builder()
+            .classes(10)
+            .input_size(12)
+            .build()
+            .unwrap();
+        let mut model =
+            ZooModel::from_spec(ModelKind::LeNet, &spec, &mut SeededRng::new(0)).unwrap();
+        model.to_full_checkpoint().unwrap()
+    }
+
+    #[test]
+    fn load_get_unload_cycle() {
+        let reg = Registry::new();
+        assert!(reg.is_empty());
+        reg.load("mnist", &lenet_doc()).unwrap();
+        assert_eq!(reg.len(), 1);
+        let entry = reg.get("mnist").unwrap();
+        assert_eq!(entry.model.kind(), ModelKind::LeNet);
+        reg.unload("mnist").unwrap();
+        assert!(matches!(
+            reg.get("mnist").unwrap_err().kind,
+            ErrorKind::UnknownModel
+        ));
+        assert!(matches!(
+            reg.unload("mnist").unwrap_err().kind,
+            ErrorKind::UnknownModel
+        ));
+    }
+
+    #[test]
+    fn unknown_model_error_names_what_is_loaded() {
+        let reg = Registry::new();
+        reg.load("a", &lenet_doc()).unwrap();
+        let err = reg.get("b").unwrap_err();
+        assert!(err.message.contains("`b`"));
+        assert!(err.message.contains('a'));
+    }
+
+    #[test]
+    fn bad_checkpoint_is_a_structured_error() {
+        let reg = Registry::new();
+        let mut doc = lenet_doc();
+        doc.arch = "mystery-net".to_string();
+        let err = reg.load("x", &doc).unwrap_err();
+        assert_eq!(err.kind, ErrorKind::InvalidSpec);
+        assert!(reg.is_empty());
+    }
+
+    #[test]
+    fn list_reports_shape_and_arch() {
+        let reg = Registry::new();
+        reg.load("mnist", &lenet_doc()).unwrap();
+        let rows = reg.list_json();
+        let row = &rows.as_arr().unwrap()[0];
+        assert_eq!(row.get("arch").unwrap().as_str(), Some("lenet"));
+        let shape: Vec<f64> = row
+            .get("sample_shape")
+            .unwrap()
+            .as_arr()
+            .unwrap()
+            .iter()
+            .map(|v| v.as_f64().unwrap())
+            .collect();
+        assert_eq!(shape, vec![1.0, 12.0, 12.0]);
+    }
+}

@@ -1,0 +1,500 @@
+//! The batching scheduler: coalesce concurrent `infer` requests into
+//! `[N, C, H, W]` batches and drive them through the [`BatchExecutor`].
+//!
+//! Connection threads [`submit`](Scheduler::submit) jobs (one tensor +
+//! one reply channel each) and block on their reply. A single scheduler
+//! thread accumulates jobs per model and flushes a model's queue when
+//! either
+//!
+//! * the accumulated sample count reaches
+//!   [`SchedulerConfig::max_batch`], or
+//! * the oldest queued job has waited [`SchedulerConfig::max_delay`]
+//!   (the batching deadline).
+//!
+//! A flush concatenates the queued inputs along dimension 0 in arrival
+//! order and hands the batch to a *flusher thread*, which runs one
+//! [`BatchExecutor`] pass, slices the output back into per-request
+//! pieces, and answers every reply channel — so a slow model's
+//! inference never stalls batch formation (or another model's flush):
+//! different models' batches execute concurrently while the scheduler
+//! thread keeps accumulating. Deadlines are swept on *every* wake-up of
+//! the scheduler loop, so a partial batch flushes on time even while
+//! other models keep the job channel busy. Because the executor's
+//! output is bit-identical for any batch partition (see
+//! `wa_nn::executor`), a request's logits do not depend on which other
+//! requests happened to share its batch — batching is invisible to
+//! clients except as throughput.
+//!
+//! Shape safety: jobs are validated against the model's expected
+//! per-sample shape *before* they are queued (see
+//! [`Scheduler::submit`]), so one malformed request cannot poison a
+//! whole batch.
+
+use std::collections::BTreeMap;
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use wa_nn::{BatchExecutor, ExecutorConfig, WaError};
+use wa_tensor::Tensor;
+
+use crate::protocol::{ErrorBody, ErrorKind};
+use crate::registry::ServedModel;
+
+/// Batching policy.
+#[derive(Clone, Copy, Debug)]
+pub struct SchedulerConfig {
+    /// Flush a model's queue once this many samples are waiting.
+    pub max_batch: usize,
+    /// Flush whatever is waiting once the oldest job is this old.
+    pub max_delay: Duration,
+    /// Executor sharding for each flushed batch.
+    pub exec: ExecutorConfig,
+}
+
+impl Default for SchedulerConfig {
+    /// 32-sample batches, a 2 ms batching window, default executor.
+    fn default() -> SchedulerConfig {
+        SchedulerConfig {
+            max_batch: 32,
+            max_delay: Duration::from_millis(2),
+            exec: ExecutorConfig::default(),
+        }
+    }
+}
+
+impl SchedulerConfig {
+    /// Validates the policy.
+    ///
+    /// # Errors
+    ///
+    /// [`WaError::InvalidSpec`] for a zero `max_batch` or an invalid
+    /// executor config.
+    pub fn validate(&self) -> Result<(), WaError> {
+        if self.max_batch == 0 {
+            return Err(WaError::invalid(
+                "SchedulerConfig",
+                "max_batch",
+                "must be nonzero",
+            ));
+        }
+        self.exec.validate()
+    }
+}
+
+/// One queued inference request.
+struct Job {
+    entry: Arc<ServedModel>,
+    input: Tensor,
+    reply: Sender<Result<Tensor, ErrorBody>>,
+}
+
+/// A model's accumulating batch.
+struct Pending {
+    jobs: Vec<Job>,
+    samples: usize,
+    oldest: Instant,
+}
+
+/// Handle to the scheduler thread. Dropping it flushes the queue and
+/// joins the thread.
+pub struct Scheduler {
+    tx: Mutex<Option<Sender<Job>>>,
+    worker: Mutex<Option<JoinHandle<()>>>,
+    cfg: SchedulerConfig,
+}
+
+impl std::fmt::Debug for Scheduler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scheduler").field("cfg", &self.cfg).finish()
+    }
+}
+
+impl Scheduler {
+    /// Starts the scheduler thread.
+    ///
+    /// # Errors
+    ///
+    /// [`WaError::InvalidSpec`] for an invalid config.
+    pub fn start(cfg: SchedulerConfig) -> Result<Scheduler, WaError> {
+        cfg.validate()?;
+        let exec = BatchExecutor::new(cfg.exec)?;
+        let (tx, rx) = channel::<Job>();
+        let worker = std::thread::Builder::new()
+            .name("wa-serve-scheduler".to_string())
+            .spawn(move || scheduler_loop(rx, cfg, exec))
+            .expect("spawning the scheduler thread failed");
+        Ok(Scheduler {
+            tx: Mutex::new(Some(tx)),
+            worker: Mutex::new(Some(worker)),
+            cfg,
+        })
+    }
+
+    /// The active policy.
+    pub fn config(&self) -> SchedulerConfig {
+        self.cfg
+    }
+
+    /// Validates `input` against `entry`'s expected per-sample shape and
+    /// queues it, returning the channel the result will arrive on.
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorKind::ShapeMismatch`] for an input the model could not
+    /// consume (rejected *before* batching, so other requests are
+    /// unaffected); [`ErrorKind::Internal`] if the scheduler is gone.
+    pub fn submit(
+        &self,
+        entry: Arc<ServedModel>,
+        input: Tensor,
+    ) -> Result<Receiver<Result<Tensor, ErrorBody>>, ErrorBody> {
+        let want = entry.model.sample_shape();
+        let shape = input.shape();
+        if shape.len() != 4 || shape[0] == 0 || shape[1..] != want {
+            return Err(ErrorBody::new(
+                ErrorKind::ShapeMismatch,
+                format!(
+                    "model `{}` expects [N, {}, {}, {}] input with N >= 1, got {:?}",
+                    entry.name, want[0], want[1], want[2], shape
+                ),
+            ));
+        }
+        let (reply, result) = channel();
+        let job = Job {
+            entry,
+            input,
+            reply,
+        };
+        let guard = self.tx.lock().expect("scheduler sender lock poisoned");
+        let tx = guard
+            .as_ref()
+            .ok_or_else(|| ErrorBody::new(ErrorKind::Internal, "the scheduler has shut down"))?;
+        tx.send(job)
+            .map_err(|_| ErrorBody::new(ErrorKind::Internal, "the scheduler thread exited"))?;
+        Ok(result)
+    }
+
+    /// Stops the scheduler: flushes everything queued and joins the
+    /// thread. Idempotent.
+    pub fn stop(&self) {
+        self.tx
+            .lock()
+            .expect("scheduler sender lock poisoned")
+            .take();
+        if let Some(worker) = self
+            .worker
+            .lock()
+            .expect("scheduler worker lock poisoned")
+            .take()
+        {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for Scheduler {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// The scheduler thread: accumulate → flush on size or deadline, with
+/// the actual inference handed to flusher threads.
+fn scheduler_loop(rx: Receiver<Job>, cfg: SchedulerConfig, exec: BatchExecutor) {
+    let mut pending: BTreeMap<String, Pending> = BTreeMap::new();
+    let mut flushers: Vec<JoinHandle<()>> = Vec::new();
+    loop {
+        // sleep until the nearest deadline (or indefinitely when idle)
+        let timeout = pending
+            .values()
+            .map(|p| cfg.max_delay.saturating_sub(p.oldest.elapsed()))
+            .min();
+        let msg = match timeout {
+            None => rx.recv().map_err(|_| RecvTimeoutError::Disconnected),
+            Some(t) => rx.recv_timeout(t),
+        };
+        match msg {
+            Ok(job) => {
+                let samples = job.input.dim(0);
+                // a hot reload can swap the model behind a name while
+                // jobs for the old instance are queued: flush those
+                // rather than run them on a model they weren't meant for
+                if let Some(p) = pending.get(&job.entry.name) {
+                    if !Arc::ptr_eq(&p.jobs[0].entry, &job.entry) {
+                        let p = pending.remove(&job.entry.name).expect("key exists");
+                        spawn_flush(&mut flushers, p, &exec);
+                    }
+                }
+                let p = pending
+                    .entry(job.entry.name.clone())
+                    .or_insert_with(|| Pending {
+                        jobs: Vec::new(),
+                        samples: 0,
+                        oldest: Instant::now(),
+                    });
+                p.jobs.push(job);
+                p.samples += samples;
+                if p.samples >= cfg.max_batch {
+                    let key = pending
+                        .iter()
+                        .find(|(_, p)| p.samples >= cfg.max_batch)
+                        .map(|(k, _)| k.clone())
+                        .expect("the batch just filled");
+                    let p = pending.remove(&key).expect("key exists");
+                    spawn_flush(&mut flushers, p, &exec);
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => {
+                // final drain: answer everything still queued, then wait
+                // for every in-flight flush before exiting (stop() joins
+                // this thread, so joining here makes stop() synchronous)
+                for (_, p) in std::mem::take(&mut pending) {
+                    spawn_flush(&mut flushers, p, &exec);
+                }
+                for h in flushers {
+                    let _ = h.join();
+                }
+                return;
+            }
+        }
+        // sweep due deadlines on *every* wake-up — under sustained
+        // traffic the channel never empties, so a Timeout-only sweep
+        // would starve partial batches far past max_delay
+        let due: Vec<String> = pending
+            .iter()
+            .filter(|(_, p)| p.oldest.elapsed() >= cfg.max_delay)
+            .map(|(k, _)| k.clone())
+            .collect();
+        for key in due {
+            let p = pending.remove(&key).expect("key exists");
+            spawn_flush(&mut flushers, p, &exec);
+        }
+        flushers.retain(|h| !h.is_finished());
+    }
+}
+
+/// Hands an accumulated batch to its own flusher thread so the
+/// scheduler loop can keep accumulating (and other models' batches can
+/// execute concurrently). Worker-thread fan-out stays bounded: each
+/// flush's executor is capped at `cfg.exec.threads`, and flusher threads
+/// are reaped every loop iteration.
+fn spawn_flush(flushers: &mut Vec<JoinHandle<()>>, p: Pending, exec: &BatchExecutor) {
+    let exec = exec.clone();
+    let handle = std::thread::Builder::new()
+        .name("wa-serve-flush".to_string())
+        .spawn(move || flush(p, &exec))
+        .expect("spawning a flusher thread failed");
+    flushers.push(handle);
+}
+
+/// Runs one accumulated batch and routes the per-request outputs back.
+fn flush(p: Pending, exec: &BatchExecutor) {
+    if p.jobs.is_empty() {
+        return;
+    }
+    let entry = Arc::clone(&p.jobs[0].entry);
+    let inputs: Vec<&Tensor> = p.jobs.iter().map(|j| &j.input).collect();
+    let batch = Tensor::concat_dim0(&inputs);
+    let t0 = Instant::now();
+    let result = exec.run(&entry.model, &batch);
+    let micros = t0.elapsed().as_micros() as u64;
+    entry
+        .stats
+        .record_batch(p.jobs.len() as u64, p.samples as u64, micros);
+    match result {
+        Ok(output) => {
+            // slice the stitched output back into per-request pieces, in
+            // the arrival order the batch was assembled in
+            let mut row = 0;
+            for job in p.jobs {
+                let n = job.input.dim(0);
+                let piece = output.slice_dim0(row, row + n);
+                row += n;
+                // a dropped receiver just means the client went away
+                let _ = job.reply.send(Ok(piece));
+            }
+        }
+        Err(e) => {
+            // per-job shape validation happened at submit, so a batch
+            // failure is a genuine server-side problem; every waiting
+            // request learns about it
+            let body = ErrorBody::new(
+                ErrorKind::Internal,
+                format!("batched inference failed: {e}"),
+            );
+            for job in p.jobs {
+                let _ = job.reply.send(Err(body.clone()));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+    use wa_models::{ModelKind, ModelSpec, ZooModel};
+    use wa_nn::Infer;
+    use wa_tensor::SeededRng;
+
+    fn loaded_lenet(reg: &Registry) -> Arc<ServedModel> {
+        let spec = ModelSpec::builder()
+            .classes(10)
+            .input_size(12)
+            .build()
+            .unwrap();
+        let mut model =
+            ZooModel::from_spec(ModelKind::LeNet, &spec, &mut SeededRng::new(3)).unwrap();
+        let doc = model.to_full_checkpoint().unwrap();
+        reg.load("mnist", &doc).unwrap()
+    }
+
+    fn test_cfg(max_batch: usize, max_delay: Duration) -> SchedulerConfig {
+        SchedulerConfig {
+            max_batch,
+            max_delay,
+            exec: ExecutorConfig {
+                threads: 2,
+                chunk: 2,
+            },
+        }
+    }
+
+    #[test]
+    fn config_rejects_zero_batch() {
+        let cfg = SchedulerConfig {
+            max_batch: 0,
+            ..SchedulerConfig::default()
+        };
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn single_request_is_answered_and_matches_in_process_inference() {
+        let reg = Registry::new();
+        let entry = loaded_lenet(&reg);
+        let sched = Scheduler::start(test_cfg(8, Duration::from_millis(1))).unwrap();
+        let mut rng = SeededRng::new(4);
+        let x = rng.uniform_tensor(&[2, 1, 12, 12], -1.0, 1.0);
+        let want = entry
+            .model
+            .try_forward_batch(&x, sched.config().exec)
+            .unwrap();
+        let rx = sched.submit(Arc::clone(&entry), x).unwrap();
+        let got = rx.recv().unwrap().unwrap();
+        assert_eq!(got.data(), want.data());
+        assert_eq!(
+            entry
+                .stats
+                .requests
+                .load(std::sync::atomic::Ordering::Relaxed),
+            1
+        );
+    }
+
+    #[test]
+    fn bad_shape_is_rejected_before_batching() {
+        let reg = Registry::new();
+        let entry = loaded_lenet(&reg);
+        let sched = Scheduler::start(test_cfg(8, Duration::from_millis(1))).unwrap();
+        let bad = Tensor::zeros(&[1, 3, 12, 12]);
+        let err = sched.submit(entry, bad).unwrap_err();
+        assert_eq!(err.kind, ErrorKind::ShapeMismatch);
+        assert!(err.message.contains("mnist"));
+    }
+
+    #[test]
+    fn concurrent_requests_coalesce_into_one_batch() {
+        let reg = Registry::new();
+        let entry = loaded_lenet(&reg);
+        // max_batch 4 = the total sample count, generous deadline: the
+        // flush must be triggered by the size threshold, as one batch
+        let sched = Arc::new(Scheduler::start(test_cfg(4, Duration::from_secs(5))).unwrap());
+        let mut rng = SeededRng::new(5);
+        let inputs: Vec<Tensor> = (0..4)
+            .map(|_| rng.uniform_tensor(&[1, 1, 12, 12], -1.0, 1.0))
+            .collect();
+        let wants: Vec<Tensor> = inputs
+            .iter()
+            .map(|x| {
+                entry
+                    .model
+                    .try_forward_batch(x, sched.config().exec)
+                    .unwrap()
+            })
+            .collect();
+        std::thread::scope(|s| {
+            let handles: Vec<_> = inputs
+                .iter()
+                .map(|x| {
+                    let entry = Arc::clone(&entry);
+                    let sched = Arc::clone(&sched);
+                    s.spawn(move || {
+                        sched
+                            .submit(entry, x.clone())
+                            .unwrap()
+                            .recv()
+                            .unwrap()
+                            .unwrap()
+                    })
+                })
+                .collect();
+            for (h, want) in handles.into_iter().zip(&wants) {
+                assert_eq!(h.join().unwrap().data(), want.data());
+            }
+        });
+        assert_eq!(
+            entry
+                .stats
+                .batches
+                .load(std::sync::atomic::Ordering::Relaxed),
+            1
+        );
+        assert_eq!(
+            entry
+                .stats
+                .requests
+                .load(std::sync::atomic::Ordering::Relaxed),
+            4
+        );
+        assert_eq!(
+            entry
+                .stats
+                .samples
+                .load(std::sync::atomic::Ordering::Relaxed),
+            4
+        );
+    }
+
+    #[test]
+    fn deadline_flushes_a_partial_batch() {
+        let reg = Registry::new();
+        let entry = loaded_lenet(&reg);
+        let sched = Scheduler::start(test_cfg(64, Duration::from_millis(5))).unwrap();
+        let x = Tensor::zeros(&[1, 1, 12, 12]);
+        let rx = sched.submit(entry, x).unwrap();
+        // well under max_batch: only the deadline can flush this
+        let got = rx.recv_timeout(Duration::from_secs(10)).unwrap();
+        assert!(got.is_ok());
+    }
+
+    #[test]
+    fn stop_drains_queued_work() {
+        let reg = Registry::new();
+        let entry = loaded_lenet(&reg);
+        let sched = Scheduler::start(test_cfg(64, Duration::from_secs(5))).unwrap();
+        let rx = sched.submit(entry, Tensor::zeros(&[1, 1, 12, 12])).unwrap();
+        sched.stop();
+        assert!(rx.recv().unwrap().is_ok(), "queued job must be answered");
+        // post-stop submissions fail cleanly
+        let reg2 = Registry::new();
+        let entry2 = loaded_lenet(&reg2);
+        let err = sched
+            .submit(entry2, Tensor::zeros(&[1, 1, 12, 12]))
+            .unwrap_err();
+        assert_eq!(err.kind, ErrorKind::Internal);
+    }
+}

@@ -1,0 +1,309 @@
+//! The TCP front-end: accept loop, per-connection request dispatch, and
+//! graceful shutdown.
+//!
+//! One thread per connection reads frames, parses them into
+//! [`Request`]s, and answers each with exactly one response frame.
+//! Request-content problems (malformed JSON, unknown ops/models, bad
+//! shapes) become structured error responses and the connection keeps
+//! serving; only transport-level problems (I/O errors, an oversized
+//! frame whose body was never read) end a connection — and never the
+//! server.
+
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use wa_tensor::Json;
+
+use crate::protocol::{
+    error_response, ok_response, read_frame, write_frame, ErrorBody, ErrorKind, FrameError,
+    Request, DEFAULT_MAX_FRAME,
+};
+use crate::registry::Registry;
+use crate::scheduler::{Scheduler, SchedulerConfig};
+
+/// Server-wide configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ServerConfig {
+    /// Per-frame body-size cap in bytes.
+    pub max_frame: usize,
+    /// Batching/executor policy.
+    pub scheduler: SchedulerConfig,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            max_frame: DEFAULT_MAX_FRAME,
+            scheduler: SchedulerConfig::default(),
+        }
+    }
+}
+
+/// Shared state every connection thread sees.
+struct Shared {
+    registry: Registry,
+    scheduler: Scheduler,
+    max_frame: usize,
+    stop: AtomicBool,
+    addr: SocketAddr,
+    started: Instant,
+    /// Requests that have been read off a socket but not yet answered —
+    /// shutdown waits (bounded) for this to drain so the process never
+    /// exits with a response half-written.
+    in_flight: AtomicUsize,
+}
+
+/// RAII count of one in-flight request.
+struct InFlight<'a>(&'a AtomicUsize);
+
+impl<'a> InFlight<'a> {
+    fn begin(counter: &'a AtomicUsize) -> InFlight<'a> {
+        counter.fetch_add(1, Ordering::SeqCst);
+        InFlight(counter)
+    }
+}
+
+impl Drop for InFlight<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// A handle for stopping a running server from another thread (the
+/// in-band `shutdown` op uses the same mechanism).
+#[derive(Clone)]
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+}
+
+impl ServerHandle {
+    /// Requests shutdown: the accept loop exits after at most one more
+    /// wake-up. Idempotent.
+    pub fn shutdown(&self) {
+        request_stop(&self.shared);
+    }
+}
+
+/// Flags the stop and pokes the (blocking) accept loop awake with a
+/// throwaway connection.
+fn request_stop(shared: &Shared) {
+    if !shared.stop.swap(true, Ordering::SeqCst) {
+        let _ = TcpStream::connect(shared.addr);
+    }
+}
+
+/// The serving front-end: a bound listener plus registry + scheduler.
+///
+/// ```no_run
+/// use wa_serve::{Server, ServerConfig};
+///
+/// let server = Server::bind("127.0.0.1:0", ServerConfig::default())?;
+/// println!("listening on {}", server.local_addr());
+/// server.run()?; // blocks until a `shutdown` request arrives
+/// # Ok::<(), std::io::Error>(())
+/// ```
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Binds the listener and starts the scheduler thread.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from binding; an invalid scheduler config surfaces as
+    /// [`std::io::ErrorKind::InvalidInput`].
+    pub fn bind(addr: impl ToSocketAddrs, cfg: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let scheduler = Scheduler::start(cfg.scheduler)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e.to_string()))?;
+        Ok(Server {
+            listener,
+            shared: Arc::new(Shared {
+                registry: Registry::new(),
+                scheduler,
+                max_frame: cfg.max_frame,
+                stop: AtomicBool::new(false),
+                addr: local,
+                started: Instant::now(),
+                in_flight: AtomicUsize::new(0),
+            }),
+        })
+    }
+
+    /// The bound address (useful after binding port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// A handle that can stop this server from another thread.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Serves until a `shutdown` request (or [`ServerHandle::shutdown`])
+    /// arrives, then stops accepting, waits (bounded) for every request
+    /// already read off a socket to finish writing its response, flushes
+    /// the scheduler, and returns.
+    ///
+    /// # Errors
+    ///
+    /// Fatal listener errors only (per-connection errors are contained).
+    pub fn run(self) -> std::io::Result<()> {
+        for conn in self.listener.incoming() {
+            if self.shared.stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = match conn {
+                Ok(s) => s,
+                Err(_) => continue, // transient accept failure
+            };
+            let shared = Arc::clone(&self.shared);
+            let _ = std::thread::Builder::new()
+                .name("wa-serve-conn".to_string())
+                .spawn(move || serve_connection(stream, &shared));
+        }
+        // drain in-flight requests before tearing anything down: when
+        // this function returns the daemon's main() exits, and a process
+        // exit must not truncate a response another thread is writing.
+        // The wait is bounded so a peer that keeps sending can't wedge
+        // shutdown forever.
+        let drain = |limit: Duration| {
+            let deadline = Instant::now() + limit;
+            while self.shared.in_flight.load(Ordering::SeqCst) > 0 && Instant::now() < deadline {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        };
+        drain(Duration::from_secs(10));
+        self.shared.scheduler.stop();
+        // a request that slipped in between the drain and the scheduler
+        // stop is answered with a structured error; give that write a
+        // moment too
+        drain(Duration::from_secs(2));
+        Ok(())
+    }
+}
+
+/// One connection's read → dispatch → respond loop.
+fn serve_connection(mut stream: TcpStream, shared: &Shared) {
+    loop {
+        let frame = read_frame(&mut stream, shared.max_frame);
+        // from here until the response is written this request counts as
+        // in-flight: shutdown waits for the counter to drain
+        let _guard = InFlight::begin(&shared.in_flight);
+        let doc = match frame {
+            Ok(doc) => doc,
+            Err(FrameError::Closed) | Err(FrameError::Io(_)) => return,
+            Err(e @ FrameError::TooLarge { .. }) => {
+                // the body was never read, so the stream is out of sync:
+                // answer, then close this connection (the server lives on)
+                let body = ErrorBody::new(ErrorKind::BadFrame, e.to_string());
+                let _ = write_frame(&mut stream, &error_response(None, &body));
+                let _ = stream.flush();
+                return;
+            }
+            Err(e @ FrameError::BadJson(_)) => {
+                // the body was fully consumed: report and keep serving
+                let body = ErrorBody::new(ErrorKind::BadFrame, e.to_string());
+                if write_frame(&mut stream, &error_response(None, &body)).is_err() {
+                    return;
+                }
+                continue;
+            }
+        };
+        let id = doc.get("id").cloned();
+        let response = match Request::from_json(&doc) {
+            Err(e) => error_response(id.as_ref(), &e),
+            Ok(Request::Shutdown) => {
+                // answer *before* stopping: once the accept loop exits
+                // the process may end, so the ack must already be on the
+                // wire
+                let resp = ok_response(
+                    id.as_ref(),
+                    vec![("stopping".to_string(), Json::Bool(true))],
+                );
+                let _ = write_frame(&mut stream, &resp);
+                let _ = stream.flush();
+                request_stop(shared);
+                return;
+            }
+            Ok(request) => dispatch(request, shared, id.as_ref()),
+        };
+        if write_frame(&mut stream, &response).is_err() {
+            return;
+        }
+    }
+}
+
+/// Executes one request against the shared state.
+fn dispatch(request: Request, shared: &Shared, id: Option<&Json>) -> Json {
+    match request {
+        Request::LoadModel { name, checkpoint } => match shared.registry.load(&name, &checkpoint) {
+            Ok(entry) => ok_response(
+                id,
+                vec![
+                    ("name".to_string(), Json::from(name)),
+                    ("arch".to_string(), Json::from(entry.model.kind().name())),
+                    (
+                        "params".to_string(),
+                        Json::from(checkpoint.params.params.len()),
+                    ),
+                ],
+            ),
+            Err(e) => error_response(id, &e),
+        },
+        Request::Unload { name } => match shared.registry.unload(&name) {
+            Ok(()) => ok_response(id, vec![("name".to_string(), Json::from(name))]),
+            Err(e) => error_response(id, &e),
+        },
+        Request::ListModels => ok_response(
+            id,
+            vec![("models".to_string(), shared.registry.list_json())],
+        ),
+        Request::Infer { model, input } => {
+            let entry = match shared.registry.get(&model) {
+                Ok(entry) => entry,
+                Err(e) => return error_response(id, &e),
+            };
+            let samples = input.dim(0);
+            let result = shared
+                .scheduler
+                .submit(entry, input)
+                .and_then(|rx| {
+                    rx.recv().map_err(|_| {
+                        ErrorBody::new(ErrorKind::Internal, "the scheduler dropped the request")
+                    })
+                })
+                .and_then(|r| r);
+            match result {
+                Ok(output) => ok_response(
+                    id,
+                    vec![
+                        ("model".to_string(), Json::from(model)),
+                        ("samples".to_string(), Json::from(samples)),
+                        ("output".to_string(), output.to_json()),
+                    ],
+                ),
+                Err(e) => error_response(id, &e),
+            }
+        }
+        Request::Stats => ok_response(
+            id,
+            vec![
+                (
+                    "uptime_seconds".to_string(),
+                    Json::from(shared.started.elapsed().as_secs_f64()),
+                ),
+                ("models".to_string(), shared.registry.stats_json()),
+            ],
+        ),
+        Request::Shutdown => unreachable!("handled in serve_connection"),
+    }
+}

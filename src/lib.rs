@@ -26,6 +26,7 @@
 //! | [`models`] | ResNet-18 (paper variant), LeNet, SqueezeNet, ResNeXt-20 |
 //! | [`latency`] | analytical Cortex-A73/A53 latency model (Figure 7/8, Table 3) |
 //! | [`nas`] | wiNAS search (Figure 9) |
+//! | [`serve`] | socket serving front-end: model registry, request batching, one-document checkpoints |
 //!
 //! # Construction API
 //!
@@ -100,3 +101,6 @@ pub use wa_latency as latency;
 
 /// Re-export of [`wa_nas`].
 pub use wa_nas as nas;
+
+/// Re-export of [`wa_serve`].
+pub use wa_serve as serve;

@@ -159,6 +159,48 @@ fn batched_path_matches_the_legacy_eval_tape() {
 }
 
 #[test]
+fn filter_cache_reuse_is_bit_identical_across_runs_and_invalidation() {
+    // The Winograd filter transform G·g·Gᵀ is derived once per model and
+    // reused for every chunk of every run. Repeated runs (warm cache),
+    // a fresh identical model (cold cache), and a model whose cache was
+    // invalidated through the &mut Layer API must all agree exactly.
+    let mut rng = SeededRng::new(8);
+    let spec = ModelSpec::builder()
+        .classes(10)
+        .input_size(12)
+        .algo(ConvAlgo::Winograd { m: 2 })
+        .quant(QuantConfig::uniform(BitWidth::INT8))
+        .build()
+        .expect("static spec");
+    let mut net = LeNet::from_spec(&spec, &mut rng).expect("static spec");
+    let batch = rng.uniform_tensor(&[BATCH, 1, 12, 12], -1.0, 1.0);
+    let cfg = ExecutorConfig {
+        threads: 2,
+        chunk: 2,
+    };
+    let first = net.try_forward_batch(&batch, cfg).expect("batched run");
+    let warm = net.try_forward_batch(&batch, cfg).expect("warm-cache run");
+    assert_eq!(first.data(), warm.data(), "cache reuse changed the output");
+
+    // a no-op visit_params invalidates the cache (visitors may mutate);
+    // the re-derived transform must reproduce the same logits
+    Layer::visit_params(&mut net, &mut |_| {});
+    let rederived = net
+        .try_forward_batch(&batch, cfg)
+        .expect("post-invalidation run");
+    assert_eq!(first.data(), rederived.data(), "re-derivation diverged");
+
+    // and a cold model restored from the same parameters agrees too
+    let ckpt = winograd_aware::nn::export_params(&mut net).expect("unique names");
+    let mut fresh = LeNet::from_spec(&spec, &mut SeededRng::new(77)).expect("static spec");
+    winograd_aware::nn::import_params(&mut fresh, &ckpt).expect("import");
+    let cold = fresh
+        .try_forward_batch(&batch, cfg)
+        .expect("cold-cache run");
+    assert_eq!(first.data(), cold.data(), "cold vs warm cache diverged");
+}
+
+#[test]
 fn quantized_model_parity_after_warmup() {
     // INT8 path: warm the observers with one training batch, then the
     // frozen scales must make batched and sequential outputs identical.

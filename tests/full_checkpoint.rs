@@ -1,0 +1,123 @@
+//! Spec-driven one-document checkpoints: `spec → build → export →
+//! import → identical logits`, across architectures and algorithms, plus
+//! the key-path diagnostics malformed documents must produce.
+
+use winograd_aware::core::ConvAlgo;
+use winograd_aware::models::{ExecutorConfig, Infer, ModelKind, ModelSpec, ZooModel};
+use winograd_aware::nn::{Checkpoint, FullCheckpoint, QuantConfig};
+use winograd_aware::quant::BitWidth;
+use winograd_aware::tensor::SeededRng;
+
+const CFG: ExecutorConfig = ExecutorConfig {
+    threads: 2,
+    chunk: 2,
+};
+
+fn spec_for(kind: ModelKind, algo: ConvAlgo, quant: QuantConfig) -> ModelSpec {
+    let builder = ModelSpec::builder().classes(10).algo(algo).quant(quant);
+    match kind {
+        ModelKind::LeNet => builder.input_size(12),
+        _ => builder.input_size(8).width(0.125),
+    }
+    .build()
+    .expect("static spec")
+}
+
+#[test]
+fn one_document_roundtrip_reproduces_logits_across_the_zoo() {
+    let mut rng = SeededRng::new(50);
+    for kind in [ModelKind::LeNet, ModelKind::SqueezeNet] {
+        for algo in [ConvAlgo::Im2row, ConvAlgo::Winograd { m: 2 }] {
+            let spec = spec_for(kind, algo, QuantConfig::FP32);
+            let mut original = ZooModel::from_spec(kind, &spec, &mut rng).expect("static spec");
+
+            // the full wire round trip: struct → JSON text → struct
+            let text = original
+                .to_full_checkpoint()
+                .expect("export")
+                .to_json()
+                .to_string_pretty();
+            let doc = FullCheckpoint::from_json_str(&text).expect("document parses");
+            let rebuilt = ZooModel::from_full_checkpoint(&doc).expect("rebuild");
+
+            assert_eq!(rebuilt.kind(), kind);
+            assert_eq!(rebuilt.spec(), &spec, "spec must survive the round trip");
+
+            let [c, h, w] = original.sample_shape();
+            let batch = rng.uniform_tensor(&[3, c, h, w], -1.0, 1.0);
+            let want = original.try_forward_batch(&batch, CFG).expect("original");
+            let got = rebuilt.try_forward_batch(&batch, CFG).expect("rebuilt");
+            assert_eq!(
+                want.data(),
+                got.data(),
+                "{kind}/{algo}: rebuilt model must produce identical logits"
+            );
+        }
+    }
+}
+
+#[test]
+fn quantized_flex_spec_survives_the_roundtrip() {
+    // -flex transforms are parameters, so a trained (here: freshly
+    // initialized) transform rides along in the document
+    let mut rng = SeededRng::new(51);
+    let spec = spec_for(
+        ModelKind::LeNet,
+        ConvAlgo::WinogradFlex { m: 2 },
+        QuantConfig::uniform(BitWidth::INT8),
+    );
+    let mut original = ZooModel::from_spec(ModelKind::LeNet, &spec, &mut rng).expect("static spec");
+    let text = original
+        .to_full_checkpoint()
+        .expect("export")
+        .to_json()
+        .to_string_compact();
+    let rebuilt =
+        ZooModel::from_full_checkpoint(&FullCheckpoint::from_json_str(&text).expect("parses"))
+            .expect("rebuild");
+    assert_eq!(rebuilt.spec().algo, ConvAlgo::WinogradFlex { m: 2 });
+    assert_eq!(rebuilt.spec().quant, QuantConfig::uniform(BitWidth::INT8));
+
+    let batch = rng.uniform_tensor(&[4, 1, 12, 12], -1.0, 1.0);
+    let want = original.try_forward_batch(&batch, CFG).expect("original");
+    let got = rebuilt.try_forward_batch(&batch, CFG).expect("rebuilt");
+    assert_eq!(want.data(), got.data());
+}
+
+#[test]
+fn checkpoint_parse_errors_carry_the_offending_key_path() {
+    // a tensor entry that cannot decode must name `params.<name>`
+    let err = Checkpoint::from_json_str(
+        "{\"params\": {\"conv1.weight\": {\"shape\": [2, 2], \"data\": [1]}}}",
+    )
+    .expect_err("length mismatch must fail");
+    assert!(
+        err.message.contains("`params.conv1.weight`"),
+        "message must carry the key path, got: {err}"
+    );
+
+    // a full checkpoint with a broken tensor reports the same path
+    let err = FullCheckpoint::from_json_str(
+        "{\"arch\": \"lenet\", \"spec\": {}, \
+         \"params\": {\"fc1.bias\": {\"data\": [1]}}}",
+    )
+    .expect_err("missing shape must fail");
+    assert!(err.message.contains("`params.fc1.bias`"), "{err}");
+}
+
+#[test]
+fn tampered_spec_documents_are_rejected_with_field_names() {
+    let mut rng = SeededRng::new(52);
+    let spec = spec_for(ModelKind::LeNet, ConvAlgo::Im2row, QuantConfig::FP32);
+    let mut model = ZooModel::from_spec(ModelKind::LeNet, &spec, &mut rng).expect("static spec");
+    let mut doc = model.to_full_checkpoint().expect("export");
+
+    // an unsupported tile size sneaks into the spec document
+    doc.spec = winograd_aware::tensor::Json::obj([
+        ("classes", winograd_aware::tensor::Json::from(10usize)),
+        ("input_size", winograd_aware::tensor::Json::from(12usize)),
+        ("algo", winograd_aware::tensor::Json::from("F3")),
+    ]);
+    let err = ZooModel::from_full_checkpoint(&doc).expect_err("F3 is unsupported");
+    assert!(err.to_string().contains("F3"), "{err}");
+}
