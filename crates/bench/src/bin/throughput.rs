@@ -146,6 +146,60 @@ fn bench_filter_cache(record: &mut BenchRecord, rng: &mut SeededRng) {
     );
 }
 
+/// The zero-copy parameter-sharing measurement: the chunk-1 full-width
+/// ResNet-18 config is the executor's worst case for per-chunk constant
+/// work — every sample gets its own tape, so before copy-on-write
+/// storage each of the 8 chunks deep-cloned all ~11M parameter floats.
+/// With COW `Tensor`s every worker tape *aliases* one set of parameter
+/// buffers; the run must therefore finish with **zero** COW-detach
+/// bytes, which [`wa_models::ExecutorStats::params_cloned_bytes`] pins
+/// and this record appends to `results/throughput.json`.
+fn bench_zero_copy(record: &mut BenchRecord, rng: &mut SeededRng) {
+    let batch_n = 8usize;
+    let spec = ModelSpec::builder()
+        .classes(10)
+        .width(1.0)
+        .algo(ConvAlgo::Winograd { m: 2 })
+        .build()
+        .expect("static spec");
+    let model = ResNet18::from_spec(&spec, rng).expect("static spec");
+    let x = rng.uniform_tensor(&[batch_n, 3, 8, 8], -1.0, 1.0);
+    let exec = wa_models::BatchExecutor::new(ExecutorConfig {
+        threads: 2,
+        chunk: 1,
+    })
+    .expect("static config is valid");
+
+    let _ = exec.run(&model, &x).expect("warm-up run failed"); // fills the filter cache
+    let runs = 3usize;
+    let mut cloned = 0u64;
+    let t0 = Instant::now();
+    for _ in 0..runs {
+        let (_, stats) = exec
+            .run_with_stats(&model, &x)
+            .expect("batched inference failed");
+        cloned += stats.params_cloned_bytes;
+    }
+    let sps = (runs * batch_n) as f64 / t0.elapsed().as_secs_f64().max(1e-9);
+    assert_eq!(
+        cloned, 0,
+        "the chunk-1 inference path must share parameter buffers, not clone them"
+    );
+    println!(
+        "{:<22} chunk 1  {sps:>10.1} samples/sec  params_cloned_bytes {cloned}",
+        "ResNet-18 F2 w1.0"
+    );
+    record.push(
+        "ResNet-18 F2 w1.0 chunk-1 zero-copy",
+        sps,
+        &[
+            ("batch", batch_n as f64),
+            ("chunk", 1.0),
+            ("params_cloned_bytes", cloned as f64),
+        ],
+    );
+}
+
 fn main() {
     let scale = Scale::from_env();
     let mut rng = SeededRng::new(11);
@@ -201,6 +255,7 @@ fn main() {
     }
 
     bench_filter_cache(&mut record, &mut rng);
+    bench_zero_copy(&mut record, &mut rng);
 
     record.save();
 }

@@ -292,6 +292,9 @@ pub struct WinogradAwareConv2d {
     /// under. The weights are constant across a batch, so the [`Infer`]
     /// path derives this once and reuses it for every chunk of every
     /// [`wa_nn::BatchExecutor`] run instead of re-transforming per chunk.
+    /// Tensor storage is copy-on-write, so handing the memoized value out
+    /// is a *shared handle* (an O(1) refcount bump): every worker tape
+    /// aliases one transform buffer rather than receiving a guarded copy.
     /// Invalidated by every `&mut self` path that can change what the
     /// derivation would produce (`forward`, `visit_params`,
     /// `reset_statistics`) and by a `quant` change; code that mutates the
@@ -456,7 +459,9 @@ impl WinogradAwareConv2d {
     /// derived on a scratch tape the first time and memoized. Values are
     /// bit-identical to the inline derivation: the same
     /// [`filter_u_rows`] ops run on the same inputs through the same
-    /// read-only `Q` sites.
+    /// read-only `Q` sites. The returned tensor is a shared handle onto
+    /// the cached buffer (copy-on-write storage), so concurrent callers
+    /// cost one refcount bump each, not a buffer copy.
     fn cached_filter(&self) -> Tensor {
         let mut guard = self
             .filter_cache

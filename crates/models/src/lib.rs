@@ -43,5 +43,5 @@ pub use resnet::ResNet18;
 pub use resnext::ResNeXt20;
 pub use spec::{ModelSpec, ModelSpecBuilder};
 pub use squeezenet::SqueezeNet;
-pub use wa_nn::{BatchExecutor, ExecutorConfig, Infer, WaError};
+pub use wa_nn::{BatchExecutor, ExecutorConfig, ExecutorStats, Infer, WaError};
 pub use zoo::{ModelKind, ZooModel};

@@ -266,6 +266,8 @@ pub fn import_params(model: &mut dyn Layer, ckpt: &Checkpoint) -> Result<usize, 
     let mut count = 0;
     model.visit_params(&mut |p| {
         if let Some(t) = ckpt.params.get(&p.name) {
+            // O(1): the param aliases the checkpoint's buffer until the
+            // first in-place update detaches it (COW storage)
             p.value = t.clone();
             p.grad = None;
             count += 1;

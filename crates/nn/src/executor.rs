@@ -179,6 +179,30 @@ impl Default for ExecutorConfig {
     }
 }
 
+/// Counters for one [`BatchExecutor::run_with_stats`] pass.
+///
+/// The headline number is [`ExecutorStats::params_cloned_bytes`]: tensor
+/// storage is copy-on-write (`wa_tensor`), so worker tapes registering
+/// model parameters via [`Tape::param_ref`] *alias* the model's buffers.
+/// On the read-only inference path nothing ever writes to a shared
+/// buffer, so the counter must stay **0** — each worker shares one set
+/// of parameter tensors instead of deep-copying ~every weight per chunk.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ExecutorStats {
+    /// Chunks the batch was partitioned into.
+    pub chunks: usize,
+    /// Samples in the batch.
+    pub samples: usize,
+    /// Bytes deep-copied by copy-on-write detaches during the run
+    /// (difference of [`wa_tensor::cow_detach_bytes`] snapshots). The
+    /// counter is process-wide, so concurrent tensor mutation elsewhere
+    /// (a training loop, another executor) is attributed to whichever
+    /// run observes it; on a quiesced inference server it is exactly the
+    /// parameter bytes the run cloned — which the zero-copy contract
+    /// pins at 0.
+    pub params_cloned_bytes: u64,
+}
+
 /// Shards an input batch across `std::thread::scope` workers and stitches
 /// the outputs back in input order. See the [module docs](self) for the
 /// determinism contract and an example.
@@ -218,6 +242,23 @@ impl BatchExecutor {
         model: &M,
         batch: &Tensor,
     ) -> Result<Tensor, WaError> {
+        self.run_with_stats(model, batch).map(|(out, _)| out)
+    }
+
+    /// Like [`BatchExecutor::run`], additionally returning the run's
+    /// [`ExecutorStats`] — chiefly the copy-on-write detach byte count,
+    /// which the zero-copy parameter-sharing contract pins at 0 for the
+    /// inference path.
+    ///
+    /// # Errors
+    ///
+    /// Identical to [`BatchExecutor::run`].
+    pub fn run_with_stats<M: Infer + Sync + ?Sized>(
+        &self,
+        model: &M,
+        batch: &Tensor,
+    ) -> Result<(Tensor, ExecutorStats), WaError> {
+        let detach_before = wa_tensor::cow_detach_bytes();
         let shape = batch.shape();
         if shape.is_empty() || shape[0] == 0 {
             return Err(WaError::shape(
@@ -293,7 +334,13 @@ impl BatchExecutor {
             parts.push(part);
         }
         let refs: Vec<&Tensor> = parts.iter().collect();
-        Ok(Tensor::concat_dim0(&refs))
+        let out = Tensor::concat_dim0(&refs);
+        let stats = ExecutorStats {
+            chunks: n_chunks,
+            samples: n,
+            params_cloned_bytes: wa_tensor::cow_detach_bytes() - detach_before,
+        };
+        Ok((out, stats))
     }
 }
 

@@ -64,7 +64,7 @@ mod tape;
 
 pub use checkpoint::{export_params, import_params, Checkpoint, CheckpointError, FullCheckpoint};
 pub use error::WaError;
-pub use executor::{BatchExecutor, ExecutorConfig, Infer};
+pub use executor::{BatchExecutor, ExecutorConfig, ExecutorStats, Infer};
 pub use layers::{infer_quant, observe_quant, BatchNorm2d, Conv2d, Layer, Linear, QuantConfig};
 pub use metrics::{accuracy, RunningMean};
 pub use optim::{Adam, CosineAnnealing, Optimizer, Sgd};

@@ -16,6 +16,11 @@ static NEXT_ID: AtomicU64 = AtomicU64::new(1);
 /// [`Param::grad`] with [`Param::absorb`]. Optimizers key their per-parameter
 /// state on [`Param::id`], which is unique for the process lifetime.
 ///
+/// Registration is zero-copy: tensor storage is copy-on-write, so the
+/// tape leaf aliases [`Param::value`]'s buffer. In-place optimizer steps
+/// go through `Tensor::data_mut`, which detaches from any still-live
+/// tape leaves instead of corrupting them.
+///
 /// The paper's `-flex` configurations simply mark the Winograd transform
 /// parameters `Aᵀ`, `G`, `Bᵀ` as `trainable`; static configurations keep
 /// the same parameters with `trainable = false`.

@@ -231,6 +231,10 @@ impl Tape {
     }
 
     /// Registers a constant input (no gradient).
+    ///
+    /// Zero-copy: `Tensor` storage is copy-on-write, so handing a clone
+    /// to this method shares the buffer with the caller rather than
+    /// duplicating it (tape values are never mutated after creation).
     pub fn leaf(&mut self, t: Tensor) -> Var {
         self.push(t, Op::Leaf, false)
     }
@@ -242,7 +246,10 @@ impl Tape {
 
     /// Registers a [`Param`], remembering the variable on the parameter so
     /// its gradient can be pulled after `backward`. Non-trainable params
-    /// become constant leaves.
+    /// become constant leaves. Like [`Tape::param_ref`], the registered
+    /// leaf shares the parameter's buffer (copy-on-write) — the
+    /// optimizer's later in-place step detaches rather than corrupting
+    /// the recorded forward value.
     pub fn param(&mut self, p: &mut Param) -> Var {
         let v = if p.trainable {
             self.leaf_grad(p.value.clone())
@@ -258,6 +265,14 @@ impl Tape {
     /// shared-reference inference path ([`crate::Infer`]), where many
     /// worker tapes read one set of parameters concurrently and nobody
     /// will ever pull gradients.
+    ///
+    /// Genuinely zero-copy: the leaf *aliases* the parameter's buffer
+    /// (an O(1) copy-on-write clone), so N worker tapes share one set of
+    /// parameter tensors instead of each deep-copying ~every weight per
+    /// chunk. The aliasing is safe because tape values are read-only and
+    /// any later in-place update of the parameter (optimizer step,
+    /// checkpoint import) detaches through `Tensor::data_mut` without
+    /// touching the registered leaf.
     pub fn param_ref(&mut self, p: &Param) -> Var {
         self.leaf(p.value.clone())
     }
@@ -302,7 +317,9 @@ impl Tape {
             c,
             bv.shape()
         );
-        let mut out = xv.clone();
+        // deliberate eager copy: the whole buffer is rewritten below, and
+        // tape values are shared (COW) — see Tensor::deep_clone
+        let mut out = xv.deep_clone();
         {
             let bd = bv.data().to_vec();
             let od = out.data_mut();
@@ -333,7 +350,7 @@ impl Tape {
             c,
             bv.shape()
         );
-        let mut out = xv.clone();
+        let mut out = xv.deep_clone();
         {
             let bd = bv.data().to_vec();
             let od = out.data_mut();
@@ -1163,7 +1180,7 @@ impl Tape {
             } => {
                 if self.ng(*logits) {
                     let (n, k) = (probs.dim(0), probs.dim(1));
-                    let mut dl = probs.clone();
+                    let mut dl = probs.deep_clone();
                     {
                         let dd = dl.data_mut();
                         for (i, &t) in targets.iter().enumerate() {

@@ -3,6 +3,7 @@
 //! ```text
 //! wa-serve [--addr 127.0.0.1:7878] [--threads N] [--chunk N]
 //!          [--max-batch N] [--max-delay-ms N] [--max-frame-mb N]
+//!          [--max-conns N] [--max-inflight-flushes N]
 //! ```
 //!
 //! Binds, prints `wa-serve listening on <addr>` (scripts wait for that
@@ -17,7 +18,8 @@ use wa_serve::{Server, ServerConfig};
 fn usage() -> ! {
     eprintln!(
         "usage: wa-serve [--addr HOST:PORT] [--threads N] [--chunk N] \
-         [--max-batch N] [--max-delay-ms N] [--max-frame-mb N]"
+         [--max-batch N] [--max-delay-ms N] [--max-frame-mb N] \
+         [--max-conns N] [--max-inflight-flushes N]"
     );
     std::process::exit(2);
 }
@@ -39,6 +41,8 @@ fn main() -> std::io::Result<()> {
                 cfg.scheduler.max_delay = Duration::from_millis(parse(value()) as u64)
             }
             "--max-frame-mb" => cfg.max_frame = parse(value()) << 20,
+            "--max-conns" => cfg.max_conns = parse(value()),
+            "--max-inflight-flushes" => cfg.scheduler.max_inflight_flushes = parse(value()),
             "--help" | "-h" => usage(),
             _ => usage(),
         }

@@ -155,6 +155,9 @@ pub enum ErrorKind {
     ShapeMismatch,
     /// The requested convolution algorithm is unsupported.
     UnsupportedAlgo,
+    /// The server is at its connection limit (`--max-conns`); retry
+    /// after backing off.
+    Busy,
     /// The server failed internally while handling a valid request.
     Internal,
 }
@@ -169,6 +172,7 @@ impl ErrorKind {
             ErrorKind::InvalidSpec => "invalid_spec",
             ErrorKind::ShapeMismatch => "shape_mismatch",
             ErrorKind::UnsupportedAlgo => "unsupported_algo",
+            ErrorKind::Busy => "busy",
             ErrorKind::Internal => "internal",
         }
     }

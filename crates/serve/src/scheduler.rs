@@ -32,7 +32,7 @@
 
 use std::collections::BTreeMap;
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -41,6 +41,10 @@ use wa_tensor::Tensor;
 
 use crate::protocol::{ErrorBody, ErrorKind};
 use crate::registry::ServedModel;
+
+/// Hard cap on `max_inflight_flushes` (beyond this a config is a typo,
+/// not a deployment).
+const MAX_INFLIGHT_FLUSHES: usize = 1024;
 
 /// Batching policy.
 #[derive(Clone, Copy, Debug)]
@@ -51,15 +55,26 @@ pub struct SchedulerConfig {
     pub max_delay: Duration,
     /// Executor sharding for each flushed batch.
     pub exec: ExecutorConfig,
+    /// Maximum number of flusher threads running at once. Each flush
+    /// gets its own thread (so different models' batches execute
+    /// concurrently), but without a cap a burst of batches could spawn
+    /// unboundedly many; at the cap the scheduler thread blocks until
+    /// *any* in-flight flush finishes before spawning the next —
+    /// backpressure instead of thread exhaustion.
+    pub max_inflight_flushes: usize,
 }
 
 impl Default for SchedulerConfig {
-    /// 32-sample batches, a 2 ms batching window, default executor.
+    /// 32-sample batches, a 2 ms batching window, default executor, and
+    /// at most one in-flight flush per available core.
     fn default() -> SchedulerConfig {
         SchedulerConfig {
             max_batch: 32,
             max_delay: Duration::from_millis(2),
             exec: ExecutorConfig::default(),
+            max_inflight_flushes: std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1),
         }
     }
 }
@@ -69,14 +84,24 @@ impl SchedulerConfig {
     ///
     /// # Errors
     ///
-    /// [`WaError::InvalidSpec`] for a zero `max_batch` or an invalid
-    /// executor config.
+    /// [`WaError::InvalidSpec`] for a zero `max_batch`, a zero or absurd
+    /// `max_inflight_flushes`, or an invalid executor config.
     pub fn validate(&self) -> Result<(), WaError> {
         if self.max_batch == 0 {
             return Err(WaError::invalid(
                 "SchedulerConfig",
                 "max_batch",
                 "must be nonzero",
+            ));
+        }
+        if self.max_inflight_flushes == 0 || self.max_inflight_flushes > MAX_INFLIGHT_FLUSHES {
+            return Err(WaError::invalid(
+                "SchedulerConfig",
+                "max_inflight_flushes",
+                format!(
+                    "max_inflight_flushes must be in 1..={MAX_INFLIGHT_FLUSHES}, got {}",
+                    self.max_inflight_flushes
+                ),
             ));
         }
         self.exec.validate()
@@ -103,6 +128,49 @@ pub struct Scheduler {
     tx: Mutex<Option<Sender<Job>>>,
     worker: Mutex<Option<JoinHandle<()>>>,
     cfg: SchedulerConfig,
+    /// Flusher threads currently executing a batch (shared with the
+    /// scheduler thread; exposed through [`Scheduler::inflight_flushes`]
+    /// and the server's `stats` op).
+    inflight: Arc<FlushGauge>,
+}
+
+/// The in-flight flush gauge: a counter whose decrement wakes the
+/// scheduler thread when it is waiting for a free flusher slot. A
+/// condvar (not an atomic) so the wait releases as soon as *any* flush
+/// finishes, rather than blocking on one specific thread.
+#[derive(Debug, Default)]
+struct FlushGauge {
+    count: Mutex<usize>,
+    freed: Condvar,
+}
+
+impl FlushGauge {
+    fn lock(&self) -> std::sync::MutexGuard<'_, usize> {
+        self.count.lock().expect("flush gauge poisoned")
+    }
+
+    fn inc(&self) {
+        *self.lock() += 1;
+    }
+
+    fn dec(&self) {
+        *self.lock() -= 1;
+        self.freed.notify_all();
+    }
+
+    fn get(&self) -> usize {
+        *self.lock()
+    }
+
+    /// Blocks until fewer than `cap` flushes are executing. No missed
+    /// wake-ups: the predicate is re-checked under the same lock
+    /// [`FlushGauge::dec`] notifies under.
+    fn wait_below(&self, cap: usize) {
+        let mut count = self.lock();
+        while *count >= cap {
+            count = self.freed.wait(count).expect("flush gauge poisoned");
+        }
+    }
 }
 
 impl std::fmt::Debug for Scheduler {
@@ -121,20 +189,29 @@ impl Scheduler {
         cfg.validate()?;
         let exec = BatchExecutor::new(cfg.exec)?;
         let (tx, rx) = channel::<Job>();
+        let inflight = Arc::new(FlushGauge::default());
+        let loop_inflight = Arc::clone(&inflight);
         let worker = std::thread::Builder::new()
             .name("wa-serve-scheduler".to_string())
-            .spawn(move || scheduler_loop(rx, cfg, exec))
+            .spawn(move || scheduler_loop(rx, cfg, exec, loop_inflight))
             .expect("spawning the scheduler thread failed");
         Ok(Scheduler {
             tx: Mutex::new(Some(tx)),
             worker: Mutex::new(Some(worker)),
             cfg,
+            inflight,
         })
     }
 
     /// The active policy.
     pub fn config(&self) -> SchedulerConfig {
         self.cfg
+    }
+
+    /// Flusher threads currently executing a batch — always `<=`
+    /// [`SchedulerConfig::max_inflight_flushes`].
+    pub fn inflight_flushes(&self) -> usize {
+        self.inflight.get()
     }
 
     /// Validates `input` against `entry`'s expected per-sample shape and
@@ -201,10 +278,20 @@ impl Drop for Scheduler {
 }
 
 /// The scheduler thread: accumulate → flush on size or deadline, with
-/// the actual inference handed to flusher threads.
-fn scheduler_loop(rx: Receiver<Job>, cfg: SchedulerConfig, exec: BatchExecutor) {
+/// the actual inference handed to flusher threads (at most
+/// `cfg.max_inflight_flushes` at once).
+fn scheduler_loop(
+    rx: Receiver<Job>,
+    cfg: SchedulerConfig,
+    exec: BatchExecutor,
+    inflight: Arc<FlushGauge>,
+) {
     let mut pending: BTreeMap<String, Pending> = BTreeMap::new();
-    let mut flushers: Vec<JoinHandle<()>> = Vec::new();
+    let mut flushers = Flushers {
+        handles: Vec::new(),
+        gauge: inflight,
+        cap: cfg.max_inflight_flushes,
+    };
     loop {
         // sleep until the nearest deadline (or indefinitely when idle)
         let timeout = pending
@@ -224,7 +311,7 @@ fn scheduler_loop(rx: Receiver<Job>, cfg: SchedulerConfig, exec: BatchExecutor) 
                 if let Some(p) = pending.get(&job.entry.name) {
                     if !Arc::ptr_eq(&p.jobs[0].entry, &job.entry) {
                         let p = pending.remove(&job.entry.name).expect("key exists");
-                        spawn_flush(&mut flushers, p, &exec);
+                        flushers.spawn(p, &exec);
                     }
                 }
                 let p = pending
@@ -243,7 +330,7 @@ fn scheduler_loop(rx: Receiver<Job>, cfg: SchedulerConfig, exec: BatchExecutor) 
                         .map(|(k, _)| k.clone())
                         .expect("the batch just filled");
                     let p = pending.remove(&key).expect("key exists");
-                    spawn_flush(&mut flushers, p, &exec);
+                    flushers.spawn(p, &exec);
                 }
             }
             Err(RecvTimeoutError::Timeout) => {}
@@ -252,9 +339,9 @@ fn scheduler_loop(rx: Receiver<Job>, cfg: SchedulerConfig, exec: BatchExecutor) 
                 // for every in-flight flush before exiting (stop() joins
                 // this thread, so joining here makes stop() synchronous)
                 for (_, p) in std::mem::take(&mut pending) {
-                    spawn_flush(&mut flushers, p, &exec);
+                    flushers.spawn(p, &exec);
                 }
-                for h in flushers {
+                for h in flushers.handles {
                     let _ = h.join();
                 }
                 return;
@@ -270,24 +357,59 @@ fn scheduler_loop(rx: Receiver<Job>, cfg: SchedulerConfig, exec: BatchExecutor) 
             .collect();
         for key in due {
             let p = pending.remove(&key).expect("key exists");
-            spawn_flush(&mut flushers, p, &exec);
+            flushers.spawn(p, &exec);
         }
-        flushers.retain(|h| !h.is_finished());
+        flushers.reap();
     }
 }
 
-/// Hands an accumulated batch to its own flusher thread so the
-/// scheduler loop can keep accumulating (and other models' batches can
-/// execute concurrently). Worker-thread fan-out stays bounded: each
-/// flush's executor is capped at `cfg.exec.threads`, and flusher threads
-/// are reaped every loop iteration.
-fn spawn_flush(flushers: &mut Vec<JoinHandle<()>>, p: Pending, exec: &BatchExecutor) {
-    let exec = exec.clone();
-    let handle = std::thread::Builder::new()
-        .name("wa-serve-flush".to_string())
-        .spawn(move || flush(p, &exec))
-        .expect("spawning a flusher thread failed");
-    flushers.push(handle);
+/// The scheduler thread's bounded pool of flusher threads.
+struct Flushers {
+    handles: Vec<JoinHandle<()>>,
+    gauge: Arc<FlushGauge>,
+    cap: usize,
+}
+
+impl Flushers {
+    /// Drops handles whose threads have finished.
+    fn reap(&mut self) {
+        self.handles.retain(|h| !h.is_finished());
+    }
+
+    /// Hands an accumulated batch to its own flusher thread so the
+    /// scheduler loop can keep accumulating (and other models' batches
+    /// can execute concurrently). Fan-out stays bounded twice over: each
+    /// flush's executor is capped at `cfg.exec.threads`, and at most
+    /// `cap` flusher threads run at once — at the cap this blocks until
+    /// *any* in-flight flush finishes (backpressure), so a burst of
+    /// batches can no longer spawn unbounded threads and one slow model
+    /// cannot stall the scheduler once another slot frees.
+    fn spawn(&mut self, p: Pending, exec: &BatchExecutor) {
+        self.gauge.wait_below(self.cap);
+        self.reap();
+        let exec = exec.clone();
+        let gauge = Arc::clone(&self.gauge);
+        // count the flush before its thread exists so the gauge can
+        // never exceed `cap` (only this thread spawns flushes)
+        gauge.inc();
+        let handle = std::thread::Builder::new()
+            .name("wa-serve-flush".to_string())
+            .spawn(move || {
+                // decrement (and wake the scheduler) even if the flush
+                // panics, so the gauge can never get stuck above the
+                // true in-flight count
+                struct Dec(Arc<FlushGauge>);
+                impl Drop for Dec {
+                    fn drop(&mut self) {
+                        self.0.dec();
+                    }
+                }
+                let _dec = Dec(gauge);
+                flush(p, &exec);
+            })
+            .expect("spawning a flusher thread failed");
+        self.handles.push(handle);
+    }
 }
 
 /// Runs one accumulated batch and routes the per-request outputs back.
@@ -360,6 +482,7 @@ mod tests {
                 threads: 2,
                 chunk: 2,
             },
+            ..SchedulerConfig::default()
         }
     }
 
@@ -370,6 +493,52 @@ mod tests {
             ..SchedulerConfig::default()
         };
         assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn config_rejects_zero_or_absurd_inflight_cap() {
+        for bad in [0usize, MAX_INFLIGHT_FLUSHES + 1] {
+            let cfg = SchedulerConfig {
+                max_inflight_flushes: bad,
+                ..SchedulerConfig::default()
+            };
+            assert!(cfg.validate().is_err(), "cap {bad} must be rejected");
+        }
+        assert!(SchedulerConfig::default().validate().is_ok());
+        assert!(SchedulerConfig::default().max_inflight_flushes >= 1);
+    }
+
+    #[test]
+    fn inflight_cap_one_still_answers_bursts_of_batches() {
+        // with the cap at 1, a burst of deadline-flushed batches is
+        // serialized through one flusher at a time (backpressure) —
+        // every request must still be answered, and the gauge may never
+        // exceed the cap
+        let reg = Registry::new();
+        let entry = loaded_lenet(&reg);
+        let cfg = SchedulerConfig {
+            max_inflight_flushes: 1,
+            ..test_cfg(2, Duration::from_millis(1))
+        };
+        let sched = Scheduler::start(cfg).unwrap();
+        let mut rng = SeededRng::new(9);
+        let rxs: Vec<_> = (0..6)
+            .map(|_| {
+                let x = rng.uniform_tensor(&[2, 1, 12, 12], -1.0, 1.0);
+                sched.submit(Arc::clone(&entry), x).unwrap()
+            })
+            .collect();
+        for rx in rxs {
+            assert!(sched.inflight_flushes() <= 1, "cap exceeded");
+            assert!(rx.recv_timeout(Duration::from_secs(30)).unwrap().is_ok());
+        }
+        assert_eq!(
+            entry
+                .stats
+                .requests
+                .load(std::sync::atomic::Ordering::Relaxed),
+            6
+        );
     }
 
     #[test]

@@ -24,11 +24,20 @@ use crate::protocol::{
 use crate::registry::Registry;
 use crate::scheduler::{Scheduler, SchedulerConfig};
 
+/// Default connection-thread cap (see [`ServerConfig::max_conns`]).
+pub const DEFAULT_MAX_CONNS: usize = 256;
+
 /// Server-wide configuration.
 #[derive(Clone, Copy, Debug)]
 pub struct ServerConfig {
     /// Per-frame body-size cap in bytes.
     pub max_frame: usize,
+    /// Maximum concurrently-open client connections (one thread each).
+    /// A connection accepted over the limit is answered with exactly one
+    /// structured `{ok: false, error: {kind: "busy"}}` frame for its
+    /// first request and then closed, so the thread count stays bounded
+    /// under connection floods.
+    pub max_conns: usize,
     /// Batching/executor policy.
     pub scheduler: SchedulerConfig,
 }
@@ -37,6 +46,7 @@ impl Default for ServerConfig {
     fn default() -> ServerConfig {
         ServerConfig {
             max_frame: DEFAULT_MAX_FRAME,
+            max_conns: DEFAULT_MAX_CONNS,
             scheduler: SchedulerConfig::default(),
         }
     }
@@ -47,26 +57,42 @@ struct Shared {
     registry: Registry,
     scheduler: Scheduler,
     max_frame: usize,
+    /// Connection-thread cap; see [`ServerConfig::max_conns`].
+    max_conns: usize,
+    /// Currently-open connection threads.
+    conns: AtomicUsize,
     stop: AtomicBool,
     addr: SocketAddr,
     started: Instant,
+    /// Busy-refusal threads currently answering over-limit connections
+    /// (bounded by `max_conns` too; beyond that, over-limit connections
+    /// are dropped without a response).
+    busy: AtomicUsize,
     /// Requests that have been read off a socket but not yet answered —
     /// shutdown waits (bounded) for this to drain so the process never
     /// exits with a response half-written.
     in_flight: AtomicUsize,
 }
 
-/// RAII count of one in-flight request.
-struct InFlight<'a>(&'a AtomicUsize);
+/// RAII decrement of a counter: the one drop-guard idiom used for
+/// in-flight requests, connection slots and busy-refusal slots.
+struct CountGuard<'a>(&'a AtomicUsize);
 
-impl<'a> InFlight<'a> {
-    fn begin(counter: &'a AtomicUsize) -> InFlight<'a> {
+impl<'a> CountGuard<'a> {
+    /// Increments now, decrements on drop.
+    fn begin(counter: &'a AtomicUsize) -> CountGuard<'a> {
         counter.fetch_add(1, Ordering::SeqCst);
-        InFlight(counter)
+        CountGuard(counter)
+    }
+
+    /// Takes over an increment the caller already performed (used when a
+    /// slot must be reserved *before* its thread is spawned).
+    fn adopt(counter: &'a AtomicUsize) -> CountGuard<'a> {
+        CountGuard(counter)
     }
 }
 
-impl Drop for InFlight<'_> {
+impl Drop for CountGuard<'_> {
     fn drop(&mut self) {
         self.0.fetch_sub(1, Ordering::SeqCst);
     }
@@ -118,6 +144,13 @@ impl Server {
     /// I/O errors from binding; an invalid scheduler config surfaces as
     /// [`std::io::ErrorKind::InvalidInput`].
     pub fn bind(addr: impl ToSocketAddrs, cfg: ServerConfig) -> std::io::Result<Server> {
+        // validate before any resource (port, scheduler thread) exists
+        if cfg.max_conns == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "max_conns must be nonzero",
+            ));
+        }
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let scheduler = Scheduler::start(cfg.scheduler)
@@ -128,6 +161,9 @@ impl Server {
                 registry: Registry::new(),
                 scheduler,
                 max_frame: cfg.max_frame,
+                max_conns: cfg.max_conns,
+                conns: AtomicUsize::new(0),
+                busy: AtomicUsize::new(0),
                 stop: AtomicBool::new(false),
                 addr: local,
                 started: Instant::now(),
@@ -166,9 +202,41 @@ impl Server {
                 Err(_) => continue, // transient accept failure
             };
             let shared = Arc::clone(&self.shared);
-            let _ = std::thread::Builder::new()
+            // reserve a connection slot before spawning; over the limit
+            // the peer gets one structured busy error instead of a thread
+            if shared.conns.fetch_add(1, Ordering::SeqCst) >= shared.max_conns {
+                shared.conns.fetch_sub(1, Ordering::SeqCst);
+                // refusal threads are themselves bounded (a trickling
+                // peer can pin one for a while): past the cap the
+                // connection is dropped without a response, so the total
+                // thread count can never exceed 2 × max_conns
+                if shared.busy.fetch_add(1, Ordering::SeqCst) >= shared.max_conns {
+                    shared.busy.fetch_sub(1, Ordering::SeqCst);
+                    continue;
+                }
+                let spawned = std::thread::Builder::new()
+                    .name("wa-serve-busy".to_string())
+                    .spawn(move || {
+                        let _slot = CountGuard::adopt(&shared.busy);
+                        refuse_connection(stream, &shared);
+                    });
+                if spawned.is_err() {
+                    // thread creation failed: the closure (and its
+                    // adopted guard) never ran
+                    self.shared.busy.fetch_sub(1, Ordering::SeqCst);
+                }
+                continue;
+            }
+            let spawned = std::thread::Builder::new()
                 .name("wa-serve-conn".to_string())
-                .spawn(move || serve_connection(stream, &shared));
+                .spawn(move || {
+                    // release the slot however the connection ends
+                    let _slot = CountGuard::adopt(&shared.conns);
+                    serve_connection(stream, &shared);
+                });
+            if spawned.is_err() {
+                self.shared.conns.fetch_sub(1, Ordering::SeqCst);
+            }
         }
         // drain in-flight requests before tearing anything down: when
         // this function returns the daemon's main() exits, and a process
@@ -191,13 +259,39 @@ impl Server {
     }
 }
 
+/// Answers an over-limit connection with exactly one structured busy
+/// error, then closes it.
+///
+/// The peer's first request frame is read (bounded wait) before
+/// responding: closing a socket with unread received data sends an RST
+/// that could discard the queued error frame, so draining the request
+/// first is what makes the refusal *observable* as `{ok: false}` rather
+/// than as a connection reset.
+fn refuse_connection(mut stream: TcpStream, shared: &Shared) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(500)));
+    let id = match read_frame(&mut stream, shared.max_frame) {
+        Ok(doc) => doc.get("id").cloned(),
+        Err(_) => None, // refuse anyway: the peer may never have sent
+    };
+    let body = ErrorBody::new(
+        ErrorKind::Busy,
+        format!(
+            "connection limit reached (max {} concurrent connections); retry later",
+            shared.max_conns
+        ),
+    );
+    let _ = write_frame(&mut stream, &error_response(id.as_ref(), &body));
+    let _ = stream.flush();
+}
+
 /// One connection's read → dispatch → respond loop.
 fn serve_connection(mut stream: TcpStream, shared: &Shared) {
     loop {
         let frame = read_frame(&mut stream, shared.max_frame);
         // from here until the response is written this request counts as
         // in-flight: shutdown waits for the counter to drain
-        let _guard = InFlight::begin(&shared.in_flight);
+        let _guard = CountGuard::begin(&shared.in_flight);
         let doc = match frame {
             Ok(doc) => doc,
             Err(FrameError::Closed) | Err(FrameError::Io(_)) => return,
@@ -300,6 +394,26 @@ fn dispatch(request: Request, shared: &Shared, id: Option<&Json>) -> Json {
                 (
                     "uptime_seconds".to_string(),
                     Json::from(shared.started.elapsed().as_secs_f64()),
+                ),
+                (
+                    "connections".to_string(),
+                    Json::obj([
+                        ("open", Json::from(shared.conns.load(Ordering::SeqCst))),
+                        ("max_conns", Json::from(shared.max_conns)),
+                    ]),
+                ),
+                (
+                    "scheduler".to_string(),
+                    Json::obj([
+                        (
+                            "max_inflight_flushes",
+                            Json::from(shared.scheduler.config().max_inflight_flushes),
+                        ),
+                        (
+                            "inflight_flushes",
+                            Json::from(shared.scheduler.inflight_flushes()),
+                        ),
+                    ]),
                 ),
                 ("models".to_string(), shared.registry.stats_json()),
             ],

@@ -32,4 +32,4 @@ pub use conv::{col2im, conv2d_direct, conv2d_direct_f64, im2row, pad_nchw, unpad
 pub use gemm::{gemm, gemm_into, with_gemm_thread_cap, Transpose};
 pub use json::{Json, JsonError};
 pub use rng::SeededRng;
-pub use tensor::Tensor;
+pub use tensor::{cow_detach_bytes, Tensor};

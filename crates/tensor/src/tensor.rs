@@ -1,12 +1,63 @@
-//! The dense row-major `f32` [`Tensor`] type.
+//! The dense row-major `f32` [`Tensor`] type with copy-on-write storage.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use crate::gemm::{self, Transpose};
+
+/// Process-wide tally of bytes deep-copied by copy-on-write detaches —
+/// see [`cow_detach_bytes`].
+static COW_DETACH_BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// Total bytes deep-copied so far (process-wide) because a *shared*
+/// tensor buffer was mutated through [`Tensor::data_mut`] (or consumed by
+/// [`Tensor::into_vec`]) and had to detach.
+///
+/// Tensor storage is copy-on-write: [`Tensor::clone`] and
+/// [`Tensor::reshape`] share one buffer, and the copy is deferred until
+/// somebody writes. This counter is the observability hook for that
+/// deferred copy — a read-only pipeline (e.g. the `wa-nn` batch
+/// executor's inference path, where worker tapes alias one set of
+/// parameter buffers) must not advance it at all. Deliberate eager
+/// copies ([`Tensor::deep_clone`], `to_vec` on a data slice) are *not*
+/// counted; only the lazy detach the COW machinery was forced into.
+///
+/// The counter is monotonic and aggregated across all threads; callers
+/// measure a region of interest by differencing two snapshots.
+pub fn cow_detach_bytes() -> u64 {
+    COW_DETACH_BYTES.load(Ordering::Relaxed)
+}
+
+fn record_detach(elems: usize) {
+    COW_DETACH_BYTES.fetch_add(
+        (elems * std::mem::size_of::<f32>()) as u64,
+        Ordering::Relaxed,
+    );
+}
 
 /// A dense, contiguous, row-major tensor of `f32` values.
 ///
 /// `Tensor` is the single numeric container used across the workspace.
 /// Convolution activations follow the NCHW layout `[batch, channel, height,
 /// width]`; matrices are `[rows, cols]`.
+///
+/// # Storage semantics
+///
+/// The element buffer is shared, copy-on-write (`Arc<Vec<f32>>`):
+///
+/// * [`Tensor::clone`] is **O(1)** — a refcount bump, no buffer copy.
+///   Clones alias the same storage (observable via [`Tensor::data_ptr`] /
+///   [`Tensor::ptr_eq`]).
+/// * [`Tensor::data_mut`] is the **single mutation door**: it detaches
+///   the tensor from any aliases first (copying the buffer if — and only
+///   if — it is shared, tallied by [`cow_detach_bytes`]), so mutating a
+///   clone can never perturb the original. Every in-place method
+///   (`map_in_place`, `add_assign`, `at_mut`, …) routes through it.
+/// * [`Tensor::reshape`] shares storage too: reshapes are free.
+///
+/// This is what makes read-only fan-out (many inference worker threads
+/// reading one set of model parameters) genuinely zero-copy while
+/// keeping value semantics for writers.
 ///
 /// # Example
 ///
@@ -16,11 +67,17 @@ use crate::gemm::{self, Transpose};
 /// let t = Tensor::zeros(&[2, 3]);
 /// assert_eq!(t.shape(), &[2, 3]);
 /// assert_eq!(t.len(), 6);
+///
+/// let mut c = t.clone();
+/// assert!(c.ptr_eq(&t));      // O(1) clone: same buffer
+/// c.data_mut()[0] = 1.0;      // copy-on-write detach
+/// assert!(!c.ptr_eq(&t));
+/// assert_eq!(t.data()[0], 0.0); // original untouched
 /// ```
 #[derive(Clone, PartialEq)]
 pub struct Tensor {
     shape: Vec<usize>,
-    data: Vec<f32>,
+    data: Arc<Vec<f32>>,
 }
 
 impl std::fmt::Debug for Tensor {
@@ -65,7 +122,7 @@ impl Tensor {
         assert!(!shape.is_empty(), "tensor shape must be non-empty");
         Tensor {
             shape: shape.to_vec(),
-            data: vec![0.0; numel(shape)],
+            data: Arc::new(vec![0.0; numel(shape)]),
         }
     }
 
@@ -79,7 +136,7 @@ impl Tensor {
         assert!(!shape.is_empty(), "tensor shape must be non-empty");
         Tensor {
             shape: shape.to_vec(),
-            data: vec![value; numel(shape)],
+            data: Arc::new(vec![value; numel(shape)]),
         }
     }
 
@@ -98,7 +155,7 @@ impl Tensor {
         );
         Tensor {
             shape: shape.to_vec(),
-            data,
+            data: Arc::new(data),
         }
     }
 
@@ -107,7 +164,7 @@ impl Tensor {
         let n = numel(shape);
         Tensor {
             shape: shape.to_vec(),
-            data: (0..n).map(&mut f).collect(),
+            data: Arc::new((0..n).map(&mut f).collect()),
         }
     }
 
@@ -144,16 +201,19 @@ impl Tensor {
         if shape.is_empty() || data.len() != numel(&shape) {
             return Err(bad("tensor data length does not match shape"));
         }
-        Ok(Tensor { shape, data })
+        Ok(Tensor {
+            shape,
+            data: Arc::new(data),
+        })
     }
 
     /// The `n × n` identity matrix.
     pub fn eye(n: usize) -> Self {
-        let mut t = Tensor::zeros(&[n, n]);
+        let mut data = vec![0.0f32; n * n];
         for i in 0..n {
-            t.data[i * n + i] = 1.0;
+            data[i * n + i] = 1.0;
         }
-        t
+        Tensor::from_vec(data, &[n, n])
     }
 
     /// Builds a matrix from rows of `f64` values (convenience for transform
@@ -173,7 +233,7 @@ impl Tensor {
         }
         Tensor {
             shape: vec![rows.len(), cols],
-            data,
+            data: Arc::new(data),
         }
     }
 
@@ -214,18 +274,65 @@ impl Tensor {
     }
 
     /// Mutably borrow the underlying data slice.
+    ///
+    /// This is the **only** way to mutate tensor storage — the
+    /// copy-on-write choke point. If the buffer is shared with any clone
+    /// or reshape, it is detached (deep-copied, tallied by
+    /// [`cow_detach_bytes`]) first, so the mutation can never be observed
+    /// through an alias. A uniquely-owned buffer is handed out directly
+    /// with no copy.
     pub fn data_mut(&mut self) -> &mut [f32] {
-        &mut self.data
+        if Arc::get_mut(&mut self.data).is_none() {
+            record_detach(self.data.len());
+        }
+        Arc::make_mut(&mut self.data).as_mut_slice()
     }
 
     /// Consume the tensor and return its data buffer.
+    ///
+    /// Free when this tensor is the buffer's sole owner; a shared buffer
+    /// is deep-copied (counted as a COW detach) so aliases stay intact.
     pub fn into_vec(self) -> Vec<f32> {
-        self.data
+        Arc::try_unwrap(self.data).unwrap_or_else(|shared| {
+            record_detach(shared.len());
+            (*shared).clone()
+        })
+    }
+
+    /// Address of the first element — the aliasing witness used by the
+    /// copy-on-write test suite and zero-copy assertions: two tensors
+    /// share storage iff their pointers are equal (see [`Tensor::ptr_eq`]).
+    /// The pointer must not be dereferenced beyond comparison; any
+    /// mutation through [`Tensor::data_mut`] may relocate the buffer.
+    pub fn data_ptr(&self) -> *const f32 {
+        self.data.as_ptr()
+    }
+
+    /// Whether `self` and `other` share one storage buffer (clone /
+    /// reshape aliases that have not been detached by a write).
+    pub fn ptr_eq(&self, other: &Tensor) -> bool {
+        Arc::ptr_eq(&self.data, &other.data)
+    }
+
+    /// An eagerly deep-copied tensor with uniquely-owned storage.
+    ///
+    /// Unlike writing through [`Tensor::data_mut`] after a [`Clone`],
+    /// this copy is deliberate and therefore *not* counted by
+    /// [`cow_detach_bytes`] — use it at clone-then-overwrite sites so
+    /// the detach counter keeps meaning "accidental copy".
+    pub fn deep_clone(&self) -> Tensor {
+        Tensor {
+            shape: self.shape.clone(),
+            data: Arc::new((*self.data).clone()),
+        }
     }
 
     // ----- reshaping ----------------------------------------------------
 
     /// Returns a tensor viewing the same data with a new shape.
+    ///
+    /// Zero-copy: the result *shares* this tensor's buffer (copy-on-write,
+    /// like [`Tensor::clone`]), so reshapes inside hot pipelines are free.
     ///
     /// # Panics
     ///
@@ -242,7 +349,7 @@ impl Tensor {
         );
         Tensor {
             shape: shape.to_vec(),
-            data: self.data.clone(),
+            data: Arc::clone(&self.data),
         }
     }
 
@@ -275,13 +382,13 @@ impl Tensor {
             self.shape
         );
         let (r, c) = (self.shape[0], self.shape[1]);
-        let mut out = Tensor::zeros(&[c, r]);
+        let mut data = vec![0.0f32; r * c];
         for i in 0..r {
             for j in 0..c {
-                out.data[j * r + i] = self.data[i * c + j];
+                data[j * r + i] = self.data[i * c + j];
             }
         }
-        out
+        Tensor::from_vec(data, &[c, r])
     }
 
     // ----- element access -----------------------------------------------
@@ -318,10 +425,11 @@ impl Tensor {
         self.data[self.offset(idx)]
     }
 
-    /// Mutable element at a multi-dimensional index.
+    /// Mutable element at a multi-dimensional index (detaches shared
+    /// storage first, like [`Tensor::data_mut`]).
     pub fn at_mut(&mut self, idx: &[usize]) -> &mut f32 {
         let off = self.offset(idx);
-        &mut self.data[off]
+        &mut self.data_mut()[off]
     }
 
     // ----- elementwise ops ----------------------------------------------
@@ -362,13 +470,14 @@ impl Tensor {
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
         Tensor {
             shape: self.shape.clone(),
-            data: self.data.iter().map(|&a| f(a)).collect(),
+            data: Arc::new(self.data.iter().map(|&a| f(a)).collect()),
         }
     }
 
-    /// Apply `f` to every element in place.
+    /// Apply `f` to every element in place (detaching shared storage
+    /// first).
     pub fn map_in_place(&mut self, f: impl Fn(f32) -> f32) {
-        for v in &mut self.data {
+        for v in self.data_mut() {
             *v = f(*v);
         }
     }
@@ -386,12 +495,13 @@ impl Tensor {
         );
         Tensor {
             shape: self.shape.clone(),
-            data: self
-                .data
-                .iter()
-                .zip(&other.data)
-                .map(|(&a, &b)| f(a, b))
-                .collect(),
+            data: Arc::new(
+                self.data
+                    .iter()
+                    .zip(other.data.iter())
+                    .map(|(&a, &b)| f(a, b))
+                    .collect(),
+            ),
         }
     }
 
@@ -406,7 +516,8 @@ impl Tensor {
             "shape mismatch: {:?} vs {:?}",
             self.shape, other.shape
         );
-        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+        let rhs = Arc::clone(&other.data);
+        for (a, &b) in self.data_mut().iter_mut().zip(rhs.iter()) {
             *a += b;
         }
     }
@@ -422,7 +533,8 @@ impl Tensor {
             "shape mismatch: {:?} vs {:?}",
             self.shape, other.shape
         );
-        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+        let rhs = Arc::clone(&other.data);
+        for (a, &b) in self.data_mut().iter_mut().zip(rhs.iter()) {
             *a += s * b;
         }
     }
@@ -459,7 +571,7 @@ impl Tensor {
         }
         let mut lo = f32::INFINITY;
         let mut hi = f32::NEG_INFINITY;
-        for &v in &self.data {
+        for &v in self.data.iter() {
             lo = lo.min(v);
             hi = hi.max(v);
         }
@@ -542,7 +654,7 @@ impl Tensor {
         shape[0] = end - start;
         Tensor {
             shape,
-            data: self.data[start * row..end * row].to_vec(),
+            data: Arc::new(self.data[start * row..end * row].to_vec()),
         }
     }
 
@@ -565,7 +677,10 @@ impl Tensor {
         for p in parts {
             data.extend_from_slice(&p.data);
         }
-        Tensor { shape, data }
+        Tensor {
+            shape,
+            data: Arc::new(data),
+        }
     }
 
     /// Checks every element is finite, returning the first bad index if not.
@@ -693,5 +808,50 @@ mod tests {
         assert_eq!(t.first_non_finite(), None);
         t.data_mut()[2] = f32::NAN;
         assert_eq!(t.first_non_finite(), Some(2));
+    }
+
+    #[test]
+    fn clone_aliases_and_write_detaches() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]);
+        let mut c = t.clone();
+        assert!(c.ptr_eq(&t), "clone must share storage");
+        assert_eq!(c.data_ptr(), t.data_ptr());
+        c.data_mut()[1] = 9.0;
+        assert!(!c.ptr_eq(&t), "write must detach the clone");
+        assert_eq!(t.data(), &[1.0, 2.0, 3.0], "original must be untouched");
+        assert_eq!(c.data(), &[1.0, 9.0, 3.0]);
+    }
+
+    #[test]
+    fn reshape_shares_storage() {
+        let t = Tensor::from_fn(&[2, 6], |i| i as f32);
+        let r = t.reshape(&[3, 4]);
+        assert!(r.ptr_eq(&t), "reshape must be zero-copy");
+        assert_eq!(r.shape(), &[3, 4]);
+    }
+
+    #[test]
+    fn deep_clone_is_detached_up_front() {
+        let t = Tensor::ones(&[4]);
+        let d = t.deep_clone();
+        assert!(!d.ptr_eq(&t));
+        assert_eq!(d, t);
+    }
+
+    #[test]
+    fn unique_data_mut_does_not_copy() {
+        let mut t = Tensor::ones(&[8]);
+        let before = t.data_ptr();
+        t.data_mut()[0] = 2.0;
+        assert_eq!(t.data_ptr(), before, "sole owner must mutate in place");
+    }
+
+    #[test]
+    fn into_vec_preserves_aliases() {
+        let t = Tensor::from_vec(vec![5.0, 6.0], &[2]);
+        let c = t.clone();
+        let v = c.into_vec();
+        assert_eq!(v, vec![5.0, 6.0]);
+        assert_eq!(t.data(), &[5.0, 6.0]);
     }
 }

@@ -1,0 +1,205 @@
+//! Copy-on-write aliasing contract of [`Tensor`] storage, pinned by a
+//! deterministic seeded sweep:
+//!
+//! * clones (and reshapes) alias one buffer — pointer equality via
+//!   [`Tensor::data_ptr`] / [`Tensor::ptr_eq`];
+//! * mutating a clone detaches it and never perturbs the original, for
+//!   every in-place entry point (`data_mut`, `map_in_place`, `at_mut`,
+//!   `add_assign`, `add_scaled_assign`);
+//! * the [`cow_detach_bytes`] counter advances by exactly the detached
+//!   buffer size on a shared write and not at all on a unique write or a
+//!   deliberate [`Tensor::deep_clone`].
+//!
+//! Counter-delta tests are serialized behind one mutex: the tally is
+//! process-global and the test harness runs tests on parallel threads.
+
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+use wa_tensor::{cow_detach_bytes, SeededRng, Tensor};
+
+/// Serializes tests that assert exact [`cow_detach_bytes`] deltas.
+fn counter_lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .expect("counter lock poisoned")
+}
+
+const SHAPES: [&[usize]; 5] = [&[1], &[7], &[3, 5], &[2, 3, 4], &[2, 4, 6, 6]];
+
+#[test]
+fn seeded_sweep_clones_alias_and_detach_on_write() {
+    let _guard = counter_lock(); // this test detaches; keep windows clean
+    let mut rng = SeededRng::new(0xC0);
+    for (i, shape) in SHAPES.iter().enumerate() {
+        let original = rng.uniform_tensor(shape, -2.0, 2.0);
+        let snapshot = original.deep_clone();
+
+        // (a) clones alias the same buffer
+        let mut clone = original.clone();
+        assert!(clone.ptr_eq(&original), "shape {shape:?}: clone must alias");
+        assert_eq!(clone.data_ptr(), original.data_ptr());
+        let reshaped = original.reshape(&[original.len()]);
+        assert!(
+            reshaped.ptr_eq(&original),
+            "shape {shape:?}: reshape must alias"
+        );
+
+        // (b) mutating the clone detaches it and never perturbs the
+        // original
+        let idx = i % original.len();
+        clone.data_mut()[idx] += 1.0;
+        assert!(
+            !clone.ptr_eq(&original),
+            "shape {shape:?}: write must detach"
+        );
+        assert_eq!(
+            original, snapshot,
+            "shape {shape:?}: original perturbed by a clone write"
+        );
+        assert_eq!(clone.data()[idx], snapshot.data()[idx] + 1.0);
+
+        // the detached clone and the original now evolve independently
+        clone.map_in_place(|v| v * 2.0);
+        assert_eq!(original, snapshot);
+    }
+}
+
+#[test]
+fn every_in_place_entry_point_detaches() {
+    let _guard = counter_lock(); // this test detaches; keep windows clean
+    let mut rng = SeededRng::new(0xC1);
+    let original = rng.uniform_tensor(&[4, 3], -1.0, 1.0);
+    let other = rng.uniform_tensor(&[4, 3], -1.0, 1.0);
+    let snapshot = original.deep_clone();
+
+    type Mutation = Box<dyn Fn(&mut Tensor)>;
+    let mutations: Vec<Mutation> = vec![
+        Box::new(|t: &mut Tensor| t.data_mut()[0] = 42.0),
+        Box::new(|t: &mut Tensor| t.map_in_place(|v| v + 1.0)),
+        Box::new(|t: &mut Tensor| *t.at_mut(&[1, 2]) = -3.0),
+        Box::new({
+            let other = other.clone();
+            move |t: &mut Tensor| t.add_assign(&other)
+        }),
+        Box::new({
+            let other = other.clone();
+            move |t: &mut Tensor| t.add_scaled_assign(&other, 0.5)
+        }),
+        Box::new(|t: &mut Tensor| t.reshape_in_place(&[3, 4])),
+    ];
+    for (i, mutate) in mutations.iter().enumerate() {
+        let mut clone = original.clone();
+        assert!(clone.ptr_eq(&original));
+        mutate(&mut clone);
+        assert_eq!(
+            original, snapshot,
+            "mutation #{i} leaked through to the original"
+        );
+    }
+    // reshape_in_place only rewrites the shape vector: the buffer may
+    // stay shared, but the original's shape must be untouched
+    assert_eq!(original.shape(), &[4, 3]);
+}
+
+#[test]
+fn detach_counter_advances_only_on_shared_writes() {
+    let _guard = counter_lock();
+    let mut rng = SeededRng::new(0xC2);
+
+    for shape in SHAPES {
+        let original = rng.uniform_tensor(shape, -1.0, 1.0);
+        let bytes = (original.len() * std::mem::size_of::<f32>()) as u64;
+
+        // unique writes are free
+        let mut unique = original.deep_clone();
+        let before = cow_detach_bytes();
+        unique.data_mut()[0] = 1.0;
+        assert_eq!(
+            cow_detach_bytes() - before,
+            0,
+            "shape {shape:?}: sole owner must not copy"
+        );
+
+        // a shared write pays exactly one buffer copy
+        let mut shared = original.clone();
+        let before = cow_detach_bytes();
+        shared.data_mut()[0] = 1.0;
+        assert_eq!(
+            cow_detach_bytes() - before,
+            bytes,
+            "shape {shape:?}: shared write must copy the buffer once"
+        );
+
+        // the now-detached tensor writes for free again
+        let before = cow_detach_bytes();
+        shared.map_in_place(|v| v + 1.0);
+        assert_eq!(cow_detach_bytes() - before, 0);
+    }
+}
+
+#[test]
+fn deliberate_copies_are_not_counted() {
+    let _guard = counter_lock();
+    let mut rng = SeededRng::new(0xC3);
+    let t = rng.uniform_tensor(&[16], -1.0, 1.0);
+    let alias = t.clone();
+
+    let before = cow_detach_bytes();
+    let d = t.deep_clone();
+    let v = t.data().to_vec();
+    assert_eq!(
+        cow_detach_bytes() - before,
+        0,
+        "eager copies must not count as COW detaches"
+    );
+    assert_eq!(d, t);
+    assert_eq!(v, t.data());
+    drop(alias);
+}
+
+#[test]
+fn into_vec_copies_only_when_shared() {
+    let _guard = counter_lock();
+    let t = Tensor::from_fn(&[32], |i| i as f32);
+
+    // sole owner: the buffer is moved out, no copy
+    let before = cow_detach_bytes();
+    let v = t.deep_clone().into_vec();
+    assert_eq!(cow_detach_bytes() - before, 0);
+    assert_eq!(v.len(), 32);
+
+    // shared: the alias keeps the buffer, into_vec pays one copy
+    let alias = t.clone();
+    let before = cow_detach_bytes();
+    let v = t.into_vec();
+    assert_eq!(cow_detach_bytes() - before, 32 * 4);
+    assert_eq!(v, alias.data());
+}
+
+#[test]
+fn read_only_pipeline_performs_zero_detaches() {
+    // reads, clones, reshapes, slices and fresh-allocation math over a
+    // shared tensor — the whole read-only repertoire the inference path
+    // uses — must never advance the detach counter
+    let _guard = counter_lock();
+    let mut rng = SeededRng::new(0xC4);
+    let t = rng.uniform_tensor(&[6, 8], -1.0, 1.0);
+    let aliases: Vec<Tensor> = (0..4).map(|_| t.clone()).collect();
+
+    let before = cow_detach_bytes();
+    let r = t.reshape(&[8, 6]);
+    let _ = r.transpose();
+    let _ = t.slice_dim0(1, 4);
+    let _ = t.add(&aliases[0]);
+    let _ = t.scale(2.0);
+    let _ = t.matmul(&t.reshape(&[8, 6]));
+    let _ = t.sum();
+    let _ = t.min_max();
+    assert_eq!(
+        cow_detach_bytes() - before,
+        0,
+        "read-only ops must not detach"
+    );
+    assert!(aliases.iter().all(|a| a.ptr_eq(&t)));
+}

@@ -222,3 +222,85 @@ fn quantized_model_parity_after_warmup() {
     let batch = rng.uniform_tensor(&[BATCH, 1, 12, 12], -1.0, 1.0);
     assert_parity("LeNet INT8 F2", &net, &batch);
 }
+
+#[test]
+fn worker_tapes_alias_parameter_buffers_without_copying() {
+    // Zero-copy contract: Tensor storage is copy-on-write, so
+    // `Tape::param_ref` registers a leaf that *aliases* the parameter's
+    // buffer. A probe model records the buffer address every worker tape
+    // actually saw — all of them must be pointer-identical to the
+    // parameter itself, and the executor's COW-detach stat must be 0.
+    use std::sync::Mutex;
+    use winograd_aware::nn::{Param, Tape, Var, WaError};
+
+    struct Probe {
+        w: Param,
+        seen: Mutex<Vec<usize>>,
+    }
+
+    impl Infer for Probe {
+        fn infer(&self, tape: &mut Tape, x: Var) -> Result<Var, WaError> {
+            let w = tape.param_ref(&self.w);
+            self.seen
+                .lock()
+                .expect("probe lock")
+                .push(tape.value(w).data_ptr() as usize);
+            Ok(tape.matmul(x, w))
+        }
+    }
+
+    let mut rng = SeededRng::new(9);
+    let probe = Probe {
+        w: Param::new("w", rng.uniform_tensor(&[3, 2], -1.0, 1.0)),
+        seen: Mutex::new(Vec::new()),
+    };
+    let batch = rng.uniform_tensor(&[8, 3], -1.0, 1.0);
+    let exec = BatchExecutor::new(ExecutorConfig {
+        threads: 4,
+        chunk: 1,
+    })
+    .expect("static config is valid");
+
+    let (out, stats) = exec
+        .run_with_stats(&probe, &batch)
+        .expect("batched inference failed");
+    assert_eq!(out.shape(), &[8, 2]);
+    assert_eq!(stats.chunks, 8);
+    assert_eq!(stats.samples, 8);
+    assert_eq!(
+        stats.params_cloned_bytes, 0,
+        "the read-only inference path must not trigger a single COW detach"
+    );
+
+    let want = probe.w.value.data_ptr() as usize;
+    let seen = probe.seen.into_inner().expect("probe lock");
+    assert_eq!(seen.len(), 8, "one registration per chunk");
+    assert!(
+        seen.iter().all(|&p| p == want),
+        "every worker tape must alias the parameter buffer (no copy): \
+         param at {want:#x}, tapes saw {seen:?}"
+    );
+}
+
+#[test]
+fn full_model_inference_is_cow_detach_free() {
+    // The whole zoo-model inference pipeline — Winograd transforms,
+    // quant sites, reshapes, GEMMs — over shared parameters must never
+    // write to a shared buffer: params_cloned_bytes stays 0 for any
+    // thread/chunk sharding.
+    let mut rng = SeededRng::new(10);
+    let net = ResNet18::from_spec(&cifar_spec(ConvAlgo::Winograd { m: 2 }), &mut rng)
+        .expect("static spec");
+    let batch = rng.uniform_tensor(&[4, 3, 8, 8], -1.0, 1.0);
+    for (threads, chunk) in [(1usize, 1usize), (2, 1), (4, 2)] {
+        let exec =
+            BatchExecutor::new(ExecutorConfig { threads, chunk }).expect("static config is valid");
+        let (_, stats) = exec
+            .run_with_stats(&net, &batch)
+            .expect("batched inference failed");
+        assert_eq!(
+            stats.params_cloned_bytes, 0,
+            "threads {threads} chunk {chunk}: inference must share, not copy"
+        );
+    }
+}

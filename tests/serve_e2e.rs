@@ -10,7 +10,9 @@ use std::time::Duration;
 
 use winograd_aware::core::ConvAlgo;
 use winograd_aware::models::{ExecutorConfig, Infer, ModelKind, ModelSpec, ZooModel};
-use winograd_aware::serve::{Client, SchedulerConfig, Server, ServerConfig, ServerHandle};
+use winograd_aware::serve::{
+    Client, ClientError, SchedulerConfig, Server, ServerConfig, ServerHandle,
+};
 use winograd_aware::tensor::{SeededRng, Tensor};
 
 /// The executor sharding used on both sides of every comparison.
@@ -21,14 +23,15 @@ const EXEC: ExecutorConfig = ExecutorConfig {
 
 /// Boots a server on an ephemeral port in a background thread.
 fn boot(scheduler: SchedulerConfig) -> (SocketAddr, ServerHandle, std::thread::JoinHandle<()>) {
-    let server = Server::bind(
-        "127.0.0.1:0",
-        ServerConfig {
-            scheduler,
-            ..ServerConfig::default()
-        },
-    )
-    .expect("binding an ephemeral port");
+    boot_with(ServerConfig {
+        scheduler,
+        ..ServerConfig::default()
+    })
+}
+
+/// Boots a server with a full [`ServerConfig`] on an ephemeral port.
+fn boot_with(cfg: ServerConfig) -> (SocketAddr, ServerHandle, std::thread::JoinHandle<()>) {
+    let server = Server::bind("127.0.0.1:0", cfg).expect("binding an ephemeral port");
     let addr = server.local_addr();
     let handle = server.handle();
     let join = std::thread::spawn(move || {
@@ -53,6 +56,7 @@ fn served_logits_bit_identical_to_in_process_for_two_models_two_algos() {
         max_batch: 16,
         max_delay: Duration::from_millis(1),
         exec: EXEC,
+        ..SchedulerConfig::default()
     });
     let mut rng = SeededRng::new(30);
     let mut client = Client::connect(addr).expect("connect");
@@ -99,6 +103,7 @@ fn concurrent_clients_are_coalesced_into_one_scheduler_batch() {
         max_batch: CLIENTS * PER_CLIENT,
         max_delay: Duration::from_secs(30),
         exec: EXEC,
+        ..SchedulerConfig::default()
     });
     let mut rng = SeededRng::new(31);
     let spec = spec_for(ModelKind::LeNet, ConvAlgo::Winograd { m: 2 });
@@ -169,6 +174,7 @@ fn hot_reload_swaps_the_served_model() {
         max_batch: 8,
         max_delay: Duration::from_millis(1),
         exec: EXEC,
+        ..SchedulerConfig::default()
     });
     let spec = spec_for(ModelKind::LeNet, ConvAlgo::Im2row);
     let mut rng = SeededRng::new(32);
@@ -205,5 +211,89 @@ fn hot_reload_swaps_the_served_model() {
     assert!(client.infer("m", &x).is_err(), "unloaded model must 404");
 
     client.shutdown().expect("shutdown");
+    join.join().expect("server thread");
+}
+
+#[test]
+fn over_limit_connections_get_a_structured_busy_error() {
+    // max_conns = 1: while one client connection is open, a second
+    // connection's first request must be answered with exactly one
+    // {ok: false, error: {kind: "busy"}} frame — not a reset, not a
+    // hang, and never an unbounded connection thread.
+    let (addr, handle, join) = boot_with(ServerConfig {
+        max_conns: 1,
+        scheduler: SchedulerConfig {
+            max_batch: 8,
+            max_delay: Duration::from_millis(1),
+            exec: EXEC,
+            ..SchedulerConfig::default()
+        },
+        ..ServerConfig::default()
+    });
+
+    // occupy the only slot with a live connection
+    let mut holder = Client::connect(addr).expect("connect");
+    let models = holder.list_models().expect("list over the held slot");
+    assert_eq!(models.as_arr().expect("array").len(), 0);
+
+    // the over-limit connection gets the busy refusal
+    let mut refused = Client::connect(addr).expect("tcp connect still accepted");
+    match refused.list_models() {
+        Err(ClientError::Server { kind, message }) => {
+            assert_eq!(kind, "busy", "unexpected error kind: {message}");
+            assert!(message.contains("connection limit"), "got: {message}");
+        }
+        other => panic!("expected a structured busy error, got {other:?}"),
+    }
+
+    // releasing the held slot lets new connections in again (the slot is
+    // freed asynchronously when the connection thread sees EOF, so poll)
+    drop(holder);
+    let mut ok = false;
+    for _ in 0..100 {
+        let mut retry = Client::connect(addr).expect("tcp connect");
+        if retry.list_models().is_ok() {
+            ok = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert!(ok, "a freed slot must become usable again");
+
+    handle.shutdown();
+    join.join().expect("server thread");
+}
+
+#[test]
+fn stats_reports_connection_and_flusher_limits() {
+    let (addr, handle, join) = boot_with(ServerConfig {
+        max_conns: 7,
+        scheduler: SchedulerConfig {
+            max_batch: 8,
+            max_delay: Duration::from_millis(1),
+            exec: EXEC,
+            max_inflight_flushes: 3,
+        },
+        ..ServerConfig::default()
+    });
+    let mut client = Client::connect(addr).expect("connect");
+    let stats = client.stats().expect("stats");
+
+    let conns = stats.get("connections").expect("connections object");
+    assert_eq!(conns.get("max_conns").and_then(|v| v.as_f64()), Some(7.0));
+    // this very client is the one open connection
+    assert_eq!(conns.get("open").and_then(|v| v.as_f64()), Some(1.0));
+
+    let sched = stats.get("scheduler").expect("scheduler object");
+    assert_eq!(
+        sched.get("max_inflight_flushes").and_then(|v| v.as_f64()),
+        Some(3.0)
+    );
+    assert_eq!(
+        sched.get("inflight_flushes").and_then(|v| v.as_f64()),
+        Some(0.0)
+    );
+
+    handle.shutdown();
     join.join().expect("server thread");
 }

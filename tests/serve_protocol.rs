@@ -23,6 +23,7 @@ fn boot(max_frame: usize) -> (SocketAddr, ServerHandle, std::thread::JoinHandle<
                 max_delay: Duration::from_millis(1),
                 ..SchedulerConfig::default()
             },
+            ..ServerConfig::default()
         },
     )
     .expect("binding an ephemeral port");
