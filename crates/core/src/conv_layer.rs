@@ -316,6 +316,13 @@ impl Layer for ConvLayer {
             ConvLayer::Winograd(w) => w.reset_statistics(),
         }
     }
+
+    fn visit_quant_state(&mut self, f: &mut dyn FnMut(&str, wa_nn::QuantStateMut<'_>)) {
+        match self {
+            ConvLayer::Direct(c) => c.visit_quant_state(f),
+            ConvLayer::Winograd(w) => w.visit_quant_state(f),
+        }
+    }
 }
 
 impl Infer for ConvLayer {

@@ -63,7 +63,12 @@ pub struct ConvSpec {
     /// The algorithm implementing the layer.
     pub algo: ConvAlgo,
     /// Quantization of weights, activations and (for Winograd-aware
-    /// layers) every intermediate.
+    /// layers) every intermediate — including the transform-domain
+    /// policy ([`QuantConfig::transform`]): under
+    /// [`wa_quant::TapPolicy::PerTap`], a Winograd layer built from
+    /// this spec calibrates one scale per tap position of the `BᵀdB` /
+    /// `G·g·Gᵀ` tiles. The policy is inert for im2row (no Winograd
+    /// domain to scale).
     pub quant: QuantConfig,
 }
 

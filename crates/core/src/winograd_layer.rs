@@ -2,8 +2,11 @@
 
 use std::sync::Mutex;
 
-use wa_nn::{infer_quant, observe_quant, Infer, Layer, Param, QuantConfig, Tape, Var, WaError};
-use wa_quant::{BitWidth, Observer};
+use wa_nn::{
+    infer_quant, infer_quant_taps, observe_quant, observe_quant_taps, Infer, Layer, Param,
+    QuantConfig, QuantStateMut, Tape, Var, WaError,
+};
+use wa_quant::{BitWidth, Observer, TapPolicy, TapQuant};
 use wa_tensor::{SeededRng, Tensor};
 use wa_winograd::{TileGeometry, WinogradTransform};
 
@@ -32,8 +35,13 @@ enum QuantSite {
     Aya,
 }
 
-/// Range observers for every quantization point `Qx` of Figure 2.
-#[derive(Debug, Default)]
+/// Range observers for every quantization point `Qx` of Figure 2, plus
+/// the tap-wise calibration of the two **Winograd-domain** sites. The
+/// tensors at `Q(Bᵀ·d·B)` and `Q(G·g·Gᵀ)` are rows of `n²` taps, so under
+/// [`TapPolicy::PerTap`] those two sites quantize through [`TapQuant`]
+/// (one scale per tap position) instead of their scalar observer; every
+/// other site is per-tensor under either policy.
+#[derive(Debug)]
 struct WinogradObservers {
     input: Observer,
     weight: Observer,
@@ -44,9 +52,30 @@ struct WinogradObservers {
     hadamard: Observer,
     ay: Observer,  // Aᵀ·y
     aya: Observer, // Aᵀ·y·A (layer output)
+    /// Tap-wise state for `Bᵀ·d·B` (used iff the policy is `PerTap`).
+    bdb_taps: TapQuant,
+    /// Tap-wise state for `G·g·Gᵀ` (used iff the policy is `PerTap`).
+    ggt_taps: TapQuant,
 }
 
 impl WinogradObservers {
+    /// Fresh observers for an `n×n` input tile.
+    fn new(n: usize) -> WinogradObservers {
+        WinogradObservers {
+            input: Observer::default(),
+            weight: Observer::default(),
+            gg: Observer::default(),
+            ggt: Observer::default(),
+            bd: Observer::default(),
+            bdb: Observer::default(),
+            hadamard: Observer::default(),
+            ay: Observer::default(),
+            aya: Observer::default(),
+            bdb_taps: TapQuant::new(n),
+            ggt_taps: TapQuant::new(n),
+        }
+    }
+
     fn site(&self, s: QuantSite) -> &Observer {
         match s {
             QuantSite::Input => &self.input,
@@ -385,7 +414,7 @@ impl WinogradAwareConv2d {
             m,
             r,
             pad: spec.pad,
-            obs: WinogradObservers::default(),
+            obs: WinogradObservers::new(m + r - 1),
             filter_cache: Mutex::new(None),
         })
     }
@@ -444,6 +473,30 @@ impl WinogradAwareConv2d {
         self.pad
     }
 
+    /// The transform-domain quantization policy in effect.
+    pub fn tap_policy(&self) -> TapPolicy {
+        self.quant.transform
+    }
+
+    /// Read-only view of the tap-wise calibration state of the two
+    /// Winograd-domain sites, as `(BᵀdB, G·g·Gᵀ)`. Meaningful when
+    /// [`WinogradAwareConv2d::tap_policy`] is [`TapPolicy::PerTap`]; the
+    /// state exists (cold) under `PerLayer` too so a policy switch keeps
+    /// prior calibration.
+    pub fn tap_calibration(&self) -> (&TapQuant, &TapQuant) {
+        (&self.obs.bdb_taps, &self.obs.ggt_taps)
+    }
+
+    /// Mutable view of the tap-wise calibration state (`(BᵀdB, G·g·Gᵀ)`)
+    /// — the hook for installing per-tap bit-width overrides
+    /// ([`TapQuant::set_bit_overrides`]) or hand-set ranges. Invalidates
+    /// the memoized filter transform, since `G·g·Gᵀ` is derived through
+    /// these scales.
+    pub fn tap_calibration_mut(&mut self) -> (&mut TapQuant, &mut TapQuant) {
+        self.invalidate_filter_cache();
+        (&mut self.obs.bdb_taps, &mut self.obs.ggt_taps)
+    }
+
     /// Drops the memoized quantized filter transform. Called internally
     /// by every `&mut self` path of the [`Layer`] API; only needed
     /// explicitly after mutating the public parameter fields (`weight`,
@@ -473,13 +526,23 @@ impl WinogradAwareConv2d {
             }
         }
         let cfg = self.pipeline_cfg();
+        let policy = self.quant.transform;
         let mut tape = Tape::new();
         let w = tape.param_ref(&self.weight);
         let g = tape.param_ref(&self.g);
         let wq = infer_quant(&mut tape, w, cfg.wbits, self.obs.site(QuantSite::Weight));
-        let u = filter_u_rows(&mut tape, wq, g, cfg, &mut |t, v, bits, site| {
-            infer_quant(t, v, bits, self.obs.site(site))
-        });
+        let u = filter_u_rows(
+            &mut tape,
+            wq,
+            g,
+            cfg,
+            &mut |t, v, bits, site| match (policy, site) {
+                (TapPolicy::PerTap, QuantSite::Ggt) => {
+                    infer_quant_taps(t, v, bits, &self.obs.ggt_taps)
+                }
+                _ => infer_quant(t, v, bits, self.obs.site(site)),
+            },
+        );
         let value = tape.value(u).clone();
         *guard = Some((self.quant, value.clone()));
         value
@@ -539,10 +602,23 @@ impl Layer for WinogradAwareConv2d {
             bt: tape.param(&mut self.bt),
             bias: self.bias.as_mut().map(|b| tape.param(b)),
         };
+        let policy = self.quant.transform;
         let obs = &mut self.obs;
-        winograd_pipeline(tape, x, vars, cfg, &mut |t, v, bits, site| {
-            observe_quant(t, v, bits, obs.site_mut(site), train)
-        })
+        winograd_pipeline(
+            tape,
+            x,
+            vars,
+            cfg,
+            &mut |t, v, bits, site| match (policy, site) {
+                (TapPolicy::PerTap, QuantSite::Bdb) => {
+                    observe_quant_taps(t, v, bits, &mut obs.bdb_taps, train)
+                }
+                (TapPolicy::PerTap, QuantSite::Ggt) => {
+                    observe_quant_taps(t, v, bits, &mut obs.ggt_taps, train)
+                }
+                _ => observe_quant(t, v, bits, obs.site_mut(site), train),
+            },
+        )
     }
 
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
@@ -559,7 +635,67 @@ impl Layer for WinogradAwareConv2d {
     }
 
     fn reset_statistics(&mut self) {
-        self.obs = WinogradObservers::default();
+        for site in [
+            QuantSite::Input,
+            QuantSite::Weight,
+            QuantSite::Gg,
+            QuantSite::Ggt,
+            QuantSite::Bd,
+            QuantSite::Bdb,
+            QuantSite::Hadamard,
+            QuantSite::Ay,
+            QuantSite::Aya,
+        ] {
+            self.obs.site_mut(site).reset();
+        }
+        // tap resets clear ranges but keep per-tap bit-width overrides
+        // (configuration, not statistics)
+        self.obs.bdb_taps.reset();
+        self.obs.ggt_taps.reset();
+        self.invalidate_filter_cache();
+    }
+
+    fn visit_quant_state(&mut self, f: &mut dyn FnMut(&str, QuantStateMut<'_>)) {
+        let prefix = self.weight.name.trim_end_matches(".weight").to_string();
+        let per_tap = self.quant.transform == TapPolicy::PerTap;
+        let obs = &mut self.obs;
+        let sites: [(&str, &mut Observer); 7] = [
+            ("input", &mut obs.input),
+            ("weight", &mut obs.weight),
+            ("gg", &mut obs.gg),
+            ("bd", &mut obs.bd),
+            ("hadamard", &mut obs.hadamard),
+            ("ay", &mut obs.ay),
+            ("aya", &mut obs.aya),
+        ];
+        for (suffix, o) in sites {
+            f(&format!("{prefix}.q.{suffix}"), QuantStateMut::Observer(o));
+        }
+        // the two Winograd-domain sites surface the state the active
+        // policy actually quantizes through
+        if per_tap {
+            f(
+                &format!("{prefix}.q.bdb"),
+                QuantStateMut::Taps(&mut obs.bdb_taps),
+            );
+            f(
+                &format!("{prefix}.q.ggt"),
+                QuantStateMut::Taps(&mut obs.ggt_taps),
+            );
+        } else {
+            f(
+                &format!("{prefix}.q.bdb"),
+                QuantStateMut::Observer(&mut obs.bdb),
+            );
+            f(
+                &format!("{prefix}.q.ggt"),
+                QuantStateMut::Observer(&mut obs.ggt),
+            );
+        }
+        // visitors get mutable calibration state (checkpoint imports),
+        // so the memoized filter transform may now be stale; read-only
+        // visitors (checkpoint export) pay one re-derivation on the next
+        // inference — exports happen at load/save time, not per request
         self.invalidate_filter_cache();
     }
 }
@@ -575,12 +711,21 @@ impl Infer for WinogradAwareConv2d {
             bt: tape.param_ref(&self.bt),
             bias: self.bias.as_ref().map(|b| tape.param_ref(b)),
         };
+        let policy = self.quant.transform;
         Ok(winograd_pipeline(
             tape,
             x,
             vars,
             cfg,
-            &mut |t, v, bits, site| infer_quant(t, v, bits, self.obs.site(site)),
+            &mut |t, v, bits, site| match (policy, site) {
+                (TapPolicy::PerTap, QuantSite::Bdb) => {
+                    infer_quant_taps(t, v, bits, &self.obs.bdb_taps)
+                }
+                (TapPolicy::PerTap, QuantSite::Ggt) => {
+                    infer_quant_taps(t, v, bits, &self.obs.ggt_taps)
+                }
+                _ => infer_quant(t, v, bits, self.obs.site(site)),
+            },
         ))
     }
 }

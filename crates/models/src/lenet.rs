@@ -3,7 +3,7 @@
 //! and static transforms fail hard (Figure 5).
 
 use wa_core::{ConvAlgo, ConvLayer};
-use wa_nn::{Infer, Layer, Linear, Param, Tape, Var, WaError};
+use wa_nn::{Infer, Layer, Linear, Param, QuantStateMut, Tape, Var, WaError};
 use wa_tensor::SeededRng;
 
 use crate::common::{convert_convs, linear, swappable_conv, ConvNet};
@@ -162,6 +162,14 @@ impl Layer for LeNet {
         self.fc1.reset_statistics();
         self.fc2.reset_statistics();
         self.fc3.reset_statistics();
+    }
+
+    fn visit_quant_state(&mut self, f: &mut dyn FnMut(&str, QuantStateMut<'_>)) {
+        self.conv1.visit_quant_state(f);
+        self.conv2.visit_quant_state(f);
+        self.fc1.visit_quant_state(f);
+        self.fc2.visit_quant_state(f);
+        self.fc3.visit_quant_state(f);
     }
 }
 

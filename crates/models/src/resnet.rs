@@ -8,7 +8,10 @@
 //! * width multiplier 0.125–1.0 scales every channel count (Figure 4).
 
 use wa_core::{ConvAlgo, ConvLayer};
-use wa_nn::{BatchNorm2d, Conv2d, Infer, Layer, Linear, Param, QuantConfig, Tape, Var, WaError};
+use wa_nn::{
+    BatchNorm2d, Conv2d, Infer, Layer, Linear, Param, QuantConfig, QuantStateMut, Tape, Var,
+    WaError,
+};
 use wa_tensor::SeededRng;
 
 use crate::common::{
@@ -121,6 +124,17 @@ impl BasicBlock {
         if let Some((proj, bn)) = &mut self.shortcut {
             proj.reset_statistics();
             bn.reset_statistics();
+        }
+    }
+
+    fn visit_quant_state(&mut self, f: &mut dyn FnMut(&str, QuantStateMut<'_>)) {
+        self.conv1.visit_quant_state(f);
+        self.bn1.visit_quant_state(f);
+        self.conv2.visit_quant_state(f);
+        self.bn2.visit_quant_state(f);
+        if let Some((proj, bn)) = &mut self.shortcut {
+            proj.visit_quant_state(f);
+            bn.visit_quant_state(f);
         }
     }
 }
@@ -288,6 +302,15 @@ impl Layer for ResNet18 {
             b.reset_statistics();
         }
         self.head.reset_statistics();
+    }
+
+    fn visit_quant_state(&mut self, f: &mut dyn FnMut(&str, QuantStateMut<'_>)) {
+        self.stem.visit_quant_state(f);
+        self.stem_bn.visit_quant_state(f);
+        for b in &mut self.blocks {
+            b.visit_quant_state(f);
+        }
+        self.head.visit_quant_state(f);
     }
 }
 

@@ -3,7 +3,9 @@
 //! Six bottleneck blocks → six (grouped) swappable 3×3 stages.
 
 use wa_core::{ConvAlgo, ConvLayer};
-use wa_nn::{BatchNorm2d, Conv2d, Infer, Layer, Param, QuantConfig, Tape, Var, WaError};
+use wa_nn::{
+    BatchNorm2d, Conv2d, Infer, Layer, Param, QuantConfig, QuantStateMut, Tape, Var, WaError,
+};
 use wa_tensor::SeededRng;
 
 use crate::common::{
@@ -176,6 +178,21 @@ impl ResNeXtBlock {
             bn.reset_statistics();
         }
     }
+
+    fn visit_quant_state(&mut self, f: &mut dyn FnMut(&str, QuantStateMut<'_>)) {
+        self.reduce.visit_quant_state(f);
+        self.bn1.visit_quant_state(f);
+        for c in &mut self.group_convs {
+            c.visit_quant_state(f);
+        }
+        self.bn2.visit_quant_state(f);
+        self.expand.visit_quant_state(f);
+        self.bn3.visit_quant_state(f);
+        if let Some((proj, bn)) = &mut self.shortcut {
+            proj.visit_quant_state(f);
+            bn.visit_quant_state(f);
+        }
+    }
 }
 
 /// ResNeXt-20 with cardinality 8 and base group width 16 ("8×16"),
@@ -343,6 +360,15 @@ impl Layer for ResNeXt20 {
             b.reset_statistics();
         }
         self.head.reset_statistics();
+    }
+
+    fn visit_quant_state(&mut self, f: &mut dyn FnMut(&str, QuantStateMut<'_>)) {
+        self.stem.visit_quant_state(f);
+        self.stem_bn.visit_quant_state(f);
+        for b in &mut self.blocks {
+            b.visit_quant_state(f);
+        }
+        self.head.visit_quant_state(f);
     }
 }
 

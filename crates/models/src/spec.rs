@@ -25,7 +25,7 @@
 
 use wa_core::{validate_algo_geometry, ConvAlgo};
 use wa_nn::{QuantConfig, WaError};
-use wa_quant::BitWidth;
+use wa_quant::{BitWidth, TapPolicy};
 use wa_tensor::Json;
 
 /// Validated configuration of a model-zoo network.
@@ -104,15 +104,17 @@ impl ModelSpec {
     /// ```json
     /// {
     ///   "classes": 10, "width": 1.0, "input_size": 32,
-    ///   "quant": {"activations": "INT8", "weights": "INT8"},
+    ///   "quant": {"activations": "INT8", "weights": "INT8", "transform": "per-tap"},
     ///   "algo": "F2",
     ///   "overrides": [[3, "F4-flex"]]
     /// }
     /// ```
     ///
-    /// Precisions use the [`BitWidth`] display form (`"FP32"`, `"INT8"`)
-    /// and algorithms the [`ConvAlgo`] display form (`"im2row"`, `"F2"`,
-    /// `"F4-flex"`).
+    /// Precisions use the [`BitWidth`] display form (`"FP32"`, `"INT8"`),
+    /// algorithms the [`ConvAlgo`] display form (`"im2row"`, `"F2"`,
+    /// `"F4-flex"`), and the transform-domain policy the
+    /// [`TapPolicy`](wa_quant::TapPolicy) display form (`"per-layer"`,
+    /// `"per-tap"`).
     pub fn to_json(&self) -> Json {
         Json::obj([
             ("classes", Json::from(self.classes)),
@@ -123,6 +125,7 @@ impl ModelSpec {
                 Json::obj([
                     ("activations", self.quant.activations.to_string()),
                     ("weights", self.quant.weights.to_string()),
+                    ("transform", self.quant.transform.to_string()),
                 ]),
             ),
             ("algo", Json::from(self.algo.to_string())),
@@ -187,20 +190,38 @@ impl ModelSpec {
         let quant = match doc.get("quant") {
             None => QuantConfig::FP32,
             Some(q) => {
-                let bits = |field: &'static str| -> Result<BitWidth, WaError> {
+                // error fields carry the `quant.<field>` key path, the
+                // spec-document arm of the checkpoint convention
+                let bits = |field: &'static str, path: &'static str| -> Result<BitWidth, WaError> {
                     let v = q
                         .get(field)
-                        .ok_or_else(|| invalid(field, format!("missing under `quant`: {q}")))?;
+                        .ok_or_else(|| invalid(path, format!("missing under `quant`: {q}")))?;
                     v.as_str()
                         .ok_or_else(|| {
-                            invalid(field, format!("expected a precision string, got {v}"))
+                            invalid(path, format!("expected a precision string, got {v}"))
                         })?
                         .parse()
-                        .map_err(|e: wa_quant::ParseBitWidthError| invalid(field, e.to_string()))
+                        .map_err(|e: wa_quant::ParseBitWidthError| invalid(path, e.to_string()))
+                };
+                let transform = match q.get("transform") {
+                    None => TapPolicy::PerLayer,
+                    Some(v) => v
+                        .as_str()
+                        .ok_or_else(|| {
+                            invalid(
+                                "quant.transform",
+                                format!("expected a policy string, got {v}"),
+                            )
+                        })?
+                        .parse()
+                        .map_err(|e: wa_quant::ParseTapPolicyError| {
+                            invalid("quant.transform", e.to_string())
+                        })?,
                 };
                 QuantConfig {
-                    activations: bits("activations")?,
-                    weights: bits("weights")?,
+                    activations: bits("activations", "quant.activations")?,
+                    weights: bits("weights", "quant.weights")?,
+                    transform,
                 }
             }
         };
@@ -374,6 +395,7 @@ mod tests {
             .quant(wa_nn::QuantConfig {
                 activations: BitWidth::INT8,
                 weights: BitWidth::INT10,
+                transform: TapPolicy::PerTap,
             })
             .algo(ConvAlgo::WinogradFlex { m: 4 })
             .override_layer(1, ConvAlgo::Im2row)
@@ -405,10 +427,25 @@ mod tests {
         assert!(matches!(
             err,
             WaError::InvalidSpec {
-                field: "weights",
+                field: "quant.weights",
                 ..
             }
         ));
+        let err = ModelSpec::from_json_str(
+            "{\"quant\": {\"activations\": \"INT8\", \"weights\": \"INT8\", \
+             \"transform\": \"per-channel\"}}",
+        )
+        .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                WaError::InvalidSpec {
+                    field: "quant.transform",
+                    ..
+                }
+            ),
+            "{err}"
+        );
         let err = ModelSpec::from_json_str("{\"algo\": \"F3\"}").unwrap_err();
         assert!(matches!(err, WaError::UnsupportedAlgo { .. }), "{err}");
         let err = ModelSpec::from_json_str("not json").unwrap_err();

@@ -4,7 +4,9 @@
 //! milder INT8/F4 degradation versus ResNet-18's 16.
 
 use wa_core::{ConvAlgo, ConvLayer};
-use wa_nn::{BatchNorm2d, Conv2d, Infer, Layer, Param, QuantConfig, Tape, Var, WaError};
+use wa_nn::{
+    BatchNorm2d, Conv2d, Infer, Layer, Param, QuantConfig, QuantStateMut, Tape, Var, WaError,
+};
 use wa_tensor::SeededRng;
 
 use crate::common::{
@@ -91,6 +93,12 @@ impl Fire {
         self.squeeze.reset_statistics();
         self.expand1.reset_statistics();
         self.expand3.reset_statistics();
+    }
+
+    fn visit_quant_state(&mut self, f: &mut dyn FnMut(&str, QuantStateMut<'_>)) {
+        self.squeeze.visit_quant_state(f);
+        self.expand1.visit_quant_state(f);
+        self.expand3.visit_quant_state(f);
     }
 }
 
@@ -248,6 +256,15 @@ impl Layer for SqueezeNet {
             fire.reset_statistics();
         }
         self.classifier.reset_statistics();
+    }
+
+    fn visit_quant_state(&mut self, f: &mut dyn FnMut(&str, QuantStateMut<'_>)) {
+        self.stem.visit_quant_state(f);
+        self.stem_bn.visit_quant_state(f);
+        for fire in &mut self.fires {
+            fire.visit_quant_state(f);
+        }
+        self.classifier.visit_quant_state(f);
     }
 }
 

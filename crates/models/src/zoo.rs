@@ -25,8 +25,8 @@
 //! ```
 
 use wa_nn::{
-    export_params, import_params, CheckpointError, FullCheckpoint, Infer, Layer, Param, Tape, Var,
-    WaError,
+    export_params, export_quant_state, import_params, import_quant_state, CheckpointError,
+    FullCheckpoint, Infer, Layer, Param, QuantStateMut, Tape, Var, WaError,
 };
 use wa_tensor::SeededRng;
 
@@ -113,7 +113,30 @@ fn import_error(e: CheckpointError) -> WaError {
             expected,
             found,
         } => WaError::shape(format!("checkpoint parameter `{name}`"), &expected, &found),
+        CheckpointError::QuantState { name, reason } => WaError::invalid(
+            "FullCheckpoint",
+            "quant",
+            format!("`quant.{name}`: {reason}"),
+        ),
         other => WaError::invalid("FullCheckpoint", "params", other.to_string()),
+    }
+}
+
+/// Prefixes a spec-document parse error's message with the checkpoint
+/// key path (`spec.<field>`), extending the `params.<name>` convention
+/// to the spec half of the document.
+fn spec_error(e: WaError) -> WaError {
+    match e {
+        WaError::InvalidSpec {
+            spec,
+            field,
+            reason,
+        } => WaError::InvalidSpec {
+            spec,
+            field,
+            reason: format!("at `spec.{field}`: {reason}"),
+        },
+        other => other,
     }
 }
 
@@ -129,7 +152,7 @@ enum Net {
 
 /// One model of the zoo behind a uniform [`Layer`] + [`Infer`] surface,
 /// tagged with the [`ModelSpec`] it was built from. See the
-/// [module docs](self) for the serving round trip.
+/// module-level docs above for the serving round trip.
 pub struct ZooModel {
     kind: ModelKind,
     spec: ModelSpec,
@@ -187,36 +210,53 @@ impl ZooModel {
         [self.kind.in_channels(), s, s]
     }
 
-    /// Exports architecture + spec + parameters as one document.
+    /// Exports architecture + spec + calibration state + parameters as
+    /// one document. The `quant` section carries every calibration site
+    /// ([`Layer::visit_quant_state`]): quantizer ranges — including the
+    /// per-tap scales of tap-wise Winograd layers — and batch-norm
+    /// running moments, so a serving node reproduces this process's
+    /// logits bit-for-bit.
     ///
     /// # Errors
     ///
-    /// [`WaError::InvalidSpec`] if parameter names collide (they never do
-    /// for zoo-built models).
+    /// [`WaError::InvalidSpec`] if parameter or site names collide (they
+    /// never do for zoo-built models).
     pub fn to_full_checkpoint(&mut self) -> Result<FullCheckpoint, WaError> {
         let arch = self.kind.name().to_string();
         let spec = self.spec.to_json();
+        let quant = export_quant_state(self.as_layer())
+            .map_err(|e| WaError::invalid("FullCheckpoint", "quant", e.to_string()))?;
         let params = export_params(self.as_layer())
             .map_err(|e| WaError::invalid("FullCheckpoint", "params", e.to_string()))?;
-        Ok(FullCheckpoint { arch, spec, params })
+        Ok(FullCheckpoint {
+            arch,
+            spec,
+            quant,
+            params,
+        })
     }
 
     /// Reconstructs a runnable model from a one-document checkpoint:
     /// parse `arch` → validate `spec` → build (deterministic placeholder
-    /// init) → import `params` atomically.
+    /// init) → import `params` atomically → restore the `quant`
+    /// calibration (when the document carries one).
     ///
     /// # Errors
     ///
-    /// [`WaError::InvalidSpec`] for an unknown architecture or a spec
-    /// violating a paper constraint; [`WaError::ShapeMismatch`] naming
-    /// the parameter when a stored tensor disagrees with the built model.
+    /// [`WaError::InvalidSpec`] for an unknown architecture, a spec
+    /// violating a paper constraint (the offending checkpoint path, e.g.
+    /// `` `spec.quant.transform` ``, rides in the message), or a `quant`
+    /// entry that does not fit the rebuilt model;
+    /// [`WaError::ShapeMismatch`] naming the parameter when a stored
+    /// tensor disagrees with the built model.
     pub fn from_full_checkpoint(doc: &FullCheckpoint) -> Result<ZooModel, WaError> {
         let kind: ModelKind = doc.arch.parse()?;
-        let spec = ModelSpec::from_json(&doc.spec)?;
+        let spec = ModelSpec::from_json(&doc.spec).map_err(spec_error)?;
         // the init is overwritten wholesale by the import, so any seed works
         let mut rng = SeededRng::new(0);
         let mut out = ZooModel::from_spec(kind, &spec, &mut rng)?;
         import_params(out.as_layer(), &doc.params).map_err(import_error)?;
+        import_quant_state(out.as_layer(), &doc.quant).map_err(import_error)?;
         Ok(out)
     }
 
@@ -254,6 +294,10 @@ impl Layer for ZooModel {
 
     fn reset_statistics(&mut self) {
         self.as_layer().reset_statistics()
+    }
+
+    fn visit_quant_state(&mut self, f: &mut dyn FnMut(&str, QuantStateMut<'_>)) {
+        self.as_layer().visit_quant_state(f)
     }
 }
 
@@ -328,6 +372,7 @@ mod tests {
         let doc = FullCheckpoint {
             arch: "vgg".to_string(),
             spec: lenet_spec().to_json(),
+            quant: Default::default(),
             params: Default::default(),
         };
         assert!(matches!(

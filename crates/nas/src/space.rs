@@ -3,7 +3,7 @@
 use wa_core::{ConvAlgo, ConvSpec};
 use wa_latency::{DType, LatAlgo};
 use wa_nn::{QuantConfig, WaError};
-use wa_quant::BitWidth;
+use wa_quant::{BitWidth, TapPolicy};
 
 /// One candidate operation for a conv slot: an algorithm at a precision.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -58,7 +58,11 @@ impl Candidate {
 
 impl std::fmt::Display for Candidate {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{} {}", self.algo, self.quant.activations)
+        write!(f, "{} {}", self.algo, self.quant.activations)?;
+        if self.quant.transform == TapPolicy::PerTap {
+            write!(f, " per-tap")?;
+        }
+        Ok(())
     }
 }
 
@@ -124,6 +128,37 @@ impl SearchSpace {
         }
     }
 
+    /// `wiNAS_WA-Tap`: the Winograd candidates of [`SearchSpace::wa`]
+    /// with **tap-wise** transform-domain quantization
+    /// ([`TapPolicy::PerTap`]) alongside their per-layer originals, plus
+    /// the im2row baseline — so the search can trade tap-level precision
+    /// against the per-layer scheme slot by slot. Per-tap scaling is what
+    /// keeps the large-tile candidates (F4, F6) accurate at low
+    /// precision, letting the latency-driven search actually pick them.
+    pub fn wa_tap(bits: BitWidth) -> SearchSpace {
+        let per_layer = QuantConfig::uniform(bits);
+        let per_tap = QuantConfig::per_tap(bits);
+        let mut candidates = vec![Candidate {
+            algo: ConvAlgo::Im2row,
+            quant: per_layer,
+        }];
+        for m in [2usize, 4, 6] {
+            let algo = ConvAlgo::WinogradFlex { m };
+            candidates.push(Candidate {
+                algo,
+                quant: per_layer,
+            });
+            candidates.push(Candidate {
+                algo,
+                quant: per_tap,
+            });
+        }
+        SearchSpace {
+            candidates,
+            name: format!("wiNAS-WA-Tap ({bits})"),
+        }
+    }
+
     /// A reduced space for unit tests and small demos.
     pub fn small(bits: BitWidth) -> SearchSpace {
         let quant = QuantConfig::uniform(bits);
@@ -147,12 +182,15 @@ impl SearchSpace {
     }
 
     /// Validates the whole space: non-empty, every candidate algorithm
-    /// usable on a 3×3 stride-1 slot.
+    /// usable on a 3×3 stride-1 slot, and every tap-wise candidate
+    /// actually Winograd (per-tap scales live on the transformed tile;
+    /// an im2row candidate has no taps to scale).
     ///
     /// # Errors
     ///
     /// [`WaError::InvalidSpec`] for an empty space,
-    /// [`WaError::UnsupportedAlgo`] for an unusable candidate.
+    /// [`WaError::UnsupportedAlgo`] for an unusable candidate or a
+    /// per-tap im2row candidate.
     pub fn validate(&self) -> Result<(), WaError> {
         if self.candidates.is_empty() {
             return Err(WaError::invalid(
@@ -163,6 +201,13 @@ impl SearchSpace {
         }
         for c in &self.candidates {
             wa_core::validate_algo_geometry(c.algo, 3, 1)?;
+            if c.quant.transform == TapPolicy::PerTap && c.algo == ConvAlgo::Im2row {
+                return Err(WaError::unsupported(
+                    c.algo,
+                    "per-tap quantization needs a Winograd domain; \
+                     im2row candidates must stay per-layer",
+                ));
+            }
         }
         Ok(())
     }
@@ -256,5 +301,37 @@ mod tests {
             quant: QuantConfig::uniform(BitWidth::INT8),
         };
         assert_eq!(c.to_string(), "F4-flex INT8");
+        let t = Candidate {
+            algo: ConvAlgo::WinogradFlex { m: 4 },
+            quant: QuantConfig::per_tap(BitWidth::INT8),
+        };
+        assert_eq!(t.to_string(), "F4-flex INT8 per-tap");
+    }
+
+    #[test]
+    fn tap_space_pairs_winograd_candidates_with_per_tap_variants() {
+        let s = SearchSpace::wa_tap(BitWidth::INT8);
+        s.validate().unwrap();
+        assert_eq!(s.len(), 7, "im2row + {{F2,F4,F6}} × {{per-layer,per-tap}}");
+        let per_tap: Vec<_> = s
+            .candidates
+            .iter()
+            .filter(|c| c.quant.transform == TapPolicy::PerTap)
+            .collect();
+        assert_eq!(per_tap.len(), 3);
+        assert!(per_tap.iter().all(|c| c.algo != ConvAlgo::Im2row));
+        // per-tap candidates emit specs carrying the policy
+        let spec = per_tap[0].conv_spec("slot0", 8, 8).unwrap();
+        assert_eq!(spec.quant.transform, TapPolicy::PerTap);
+    }
+
+    #[test]
+    fn per_tap_im2row_candidate_fails_validation() {
+        let mut s = SearchSpace::wa(BitWidth::INT8);
+        s.candidates.push(Candidate {
+            algo: ConvAlgo::Im2row,
+            quant: QuantConfig::per_tap(BitWidth::INT8),
+        });
+        assert!(matches!(s.validate(), Err(WaError::UnsupportedAlgo { .. })));
     }
 }

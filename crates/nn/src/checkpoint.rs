@@ -17,9 +17,10 @@
 
 use std::collections::BTreeMap;
 
+use wa_quant::BitWidth;
 use wa_tensor::{Json, JsonError, Tensor};
 
-use crate::layers::Layer;
+use crate::layers::{Layer, QuantStateMut};
 
 /// Prefixes a [`JsonError`]'s message with the key path it was found
 /// under, so load failures reported over a wire are diagnosable
@@ -94,33 +95,212 @@ impl Checkpoint {
     }
 }
 
+/// One calibration site's serialized state — an entry of the `quant`
+/// section of a [`FullCheckpoint`]. See [`Layer::visit_quant_state`] for
+/// what a site is; this is the state a served model needs beyond its
+/// parameters for its quantized inference path to be bit-identical to
+/// the exporting process.
+#[derive(Clone, Debug, PartialEq)]
+pub enum QuantSiteState {
+    /// A per-tensor range observer: `{"range", "seen", "frozen"}`.
+    Observer {
+        /// Calibrated dynamic range (max |x|).
+        range: f32,
+        /// Batches observed.
+        seen: u64,
+        /// Whether range updates were frozen.
+        frozen: bool,
+    },
+    /// A tap-wise site: `{"ranges", "seen", "frozen", "bits"?}`.
+    Taps {
+        /// Calibrated per-tap ranges (`n²` values over the tile grid).
+        ranges: Vec<f32>,
+        /// Per-tap bit-width overrides, if any were installed.
+        bits: Option<Vec<BitWidth>>,
+        /// Batches observed.
+        seen: u64,
+        /// Whether range updates were frozen.
+        frozen: bool,
+    },
+    /// Batch-norm running moments: `{"mean", "var"}`.
+    BatchNorm {
+        /// Per-channel running mean.
+        mean: Vec<f32>,
+        /// Per-channel running variance.
+        var: Vec<f32>,
+    },
+}
+
+impl QuantSiteState {
+    /// Serializes this site's state as a JSON object.
+    pub fn to_json(&self) -> Json {
+        let f32s = |xs: &[f32]| Json::Arr(xs.iter().map(|&v| Json::from(v as f64)).collect());
+        match self {
+            QuantSiteState::Observer {
+                range,
+                seen,
+                frozen,
+            } => Json::obj([
+                ("range", Json::from(*range as f64)),
+                ("seen", Json::from(*seen as f64)),
+                ("frozen", Json::from(*frozen)),
+            ]),
+            QuantSiteState::Taps {
+                ranges,
+                bits,
+                seen,
+                frozen,
+            } => {
+                let mut fields = vec![
+                    ("ranges".to_string(), f32s(ranges)),
+                    ("seen".to_string(), Json::from(*seen as f64)),
+                    ("frozen".to_string(), Json::from(*frozen)),
+                ];
+                if let Some(b) = bits {
+                    fields.push((
+                        "bits".to_string(),
+                        Json::Arr(b.iter().map(|w| Json::from(w.to_string())).collect()),
+                    ));
+                }
+                Json::Obj(fields)
+            }
+            QuantSiteState::BatchNorm { mean, var } => {
+                Json::obj([("mean", f32s(mean)), ("var", f32s(var))])
+            }
+        }
+    }
+
+    /// Reads a site state back from its [`QuantSiteState::to_json`]
+    /// encoding. `path` is the key path (`quant.<site>`) reported in
+    /// errors.
+    ///
+    /// # Errors
+    ///
+    /// [`JsonError`] carrying `path` for a missing/mistyped field.
+    pub fn from_json(path: &str, doc: &Json) -> Result<QuantSiteState, JsonError> {
+        if doc.as_obj().is_none() {
+            return Err(path_error(path, "quant-site state must be an object"));
+        }
+        let f32_list = |key: &str| -> Result<Vec<f32>, JsonError> {
+            let sub = format!("{path}.{key}");
+            doc.get(key)
+                .ok_or_else(|| path_error(&sub, "missing"))?
+                .as_arr()
+                .ok_or_else(|| path_error(&sub, "must be an array of numbers"))?
+                .iter()
+                .map(|v| {
+                    v.as_f64()
+                        .map(|x| x as f32)
+                        .ok_or_else(|| path_error(&sub, format!("expected a number, got {v}")))
+                })
+                .collect()
+        };
+        let seen = |()| -> Result<u64, JsonError> {
+            let sub = format!("{path}.seen");
+            doc.get("seen")
+                .ok_or_else(|| path_error(&sub, "missing"))?
+                .as_f64()
+                .filter(|x| *x >= 0.0 && x.fract() == 0.0)
+                .map(|x| x as u64)
+                .ok_or_else(|| path_error(&sub, "must be a non-negative integer"))
+        };
+        let frozen = |()| -> Result<bool, JsonError> {
+            let sub = format!("{path}.frozen");
+            doc.get("frozen")
+                .ok_or_else(|| path_error(&sub, "missing"))?
+                .as_bool()
+                .ok_or_else(|| path_error(&sub, "must be a boolean"))
+        };
+        if doc.get("ranges").is_some() {
+            let bits = match doc.get("bits") {
+                None => None,
+                Some(list) => {
+                    let sub = format!("{path}.bits");
+                    let items = list
+                        .as_arr()
+                        .ok_or_else(|| path_error(&sub, "must be an array of precisions"))?;
+                    let mut out = Vec::with_capacity(items.len());
+                    for item in items {
+                        let s = item.as_str().ok_or_else(|| {
+                            path_error(&sub, format!("expected a precision string, got {item}"))
+                        })?;
+                        out.push(
+                            s.parse::<BitWidth>()
+                                .map_err(|e| path_error(&sub, e.to_string()))?,
+                        );
+                    }
+                    Some(out)
+                }
+            };
+            return Ok(QuantSiteState::Taps {
+                ranges: f32_list("ranges")?,
+                bits,
+                seen: seen(())?,
+                frozen: frozen(())?,
+            });
+        }
+        if doc.get("mean").is_some() || doc.get("var").is_some() {
+            return Ok(QuantSiteState::BatchNorm {
+                mean: f32_list("mean")?,
+                var: f32_list("var")?,
+            });
+        }
+        if doc.get("range").is_some() {
+            let sub = format!("{path}.range");
+            let range = doc
+                .get("range")
+                .and_then(|v| v.as_f64())
+                .map(|x| x as f32)
+                .ok_or_else(|| path_error(&sub, "must be a number"))?;
+            return Ok(QuantSiteState::Observer {
+                range,
+                seen: seen(())?,
+                frozen: frozen(())?,
+            });
+        }
+        Err(path_error(
+            path,
+            "expected a `range` (observer), `ranges` (taps) or `mean`/`var` (batch-norm) state",
+        ))
+    }
+}
+
 /// A one-document serving checkpoint: everything needed to reconstruct a
-/// runnable model — the architecture name, the model-spec document, and
-/// every parameter value.
+/// runnable model — the architecture name, the model-spec document, the
+/// calibration state, and every parameter value.
 ///
 /// ```json
 /// {
 ///   "arch": "lenet",
 ///   "spec": { "classes": 10, "input_size": 28, "algo": "F2", ... },
+///   "quant": { "conv1.q.bdb": { "ranges": [...], ... }, ... },
 ///   "params": { "conv1.weight": ..., ... }
 /// }
 /// ```
 ///
 /// The `spec` document is opaque at this level; `wa_models::ZooModel`
 /// validates it (as a `ModelSpec`) and rebuilds the architecture `arch`
-/// names, then imports `params` atomically.
+/// names, then imports `params` atomically. The `quant` section is
+/// optional (older documents omit it): calibrated quantization ranges —
+/// including tap-wise per-tap scales — plus batch-norm running moments,
+/// keyed by site name ([`Layer::visit_quant_state`]).
 #[derive(Clone, Debug)]
 pub struct FullCheckpoint {
     /// Architecture identifier (e.g. `"lenet"`, `"resnet18"`).
     pub arch: String,
     /// The model-spec document (a `ModelSpec` in JSON form).
     pub spec: Json,
+    /// Calibration state by site name; empty when the document carries
+    /// none (a cold model re-derives one-off scales at inference).
+    pub quant: BTreeMap<String, QuantSiteState>,
     /// The parameter values.
     pub params: Checkpoint,
 }
 
 impl FullCheckpoint {
-    /// Serializes as one JSON document (`{"arch", "spec", "params"}`).
+    /// Serializes as one JSON document
+    /// (`{"arch", "spec", "quant"?, "params"}`); the `quant` key is
+    /// omitted when no calibration state is present.
     pub fn to_json(&self) -> Json {
         let Json::Obj(param_fields) = self.params.to_json() else {
             unreachable!("Checkpoint::to_json always returns an object")
@@ -129,6 +309,17 @@ impl FullCheckpoint {
             ("arch".to_string(), Json::from(self.arch.as_str())),
             ("spec".to_string(), self.spec.clone()),
         ];
+        if !self.quant.is_empty() {
+            fields.push((
+                "quant".to_string(),
+                Json::Obj(
+                    self.quant
+                        .iter()
+                        .map(|(k, v)| (k.clone(), v.to_json()))
+                        .collect(),
+                ),
+            ));
+        }
         fields.extend(param_fields);
         Json::Obj(fields)
     }
@@ -163,10 +354,21 @@ impl FullCheckpoint {
         if spec.as_obj().is_none() {
             return Err(path_error("spec", "must be an object"));
         }
+        let mut quant = BTreeMap::new();
+        if let Some(section) = doc.get("quant") {
+            let sites = section
+                .as_obj()
+                .ok_or_else(|| path_error("quant", "must be an object of site → state"))?;
+            for (name, state) in sites {
+                let path = format!("quant.{name}");
+                quant.insert(name.clone(), QuantSiteState::from_json(&path, state)?);
+            }
+        }
         let params = Checkpoint::from_json(doc)?;
         Ok(FullCheckpoint {
             arch,
             spec: spec.clone(),
+            quant,
             params,
         })
     }
@@ -189,6 +391,14 @@ pub enum CheckpointError {
     /// Two parameters in the model share one name (checkpoints require
     /// unique names).
     DuplicateName(String),
+    /// A calibration-state entry cannot be applied to the model's site
+    /// of that name (wrong kind, wrong tap/channel count, or missing).
+    QuantState {
+        /// Site name (`<layer>.q.<site>` / `<layer>.bn`).
+        name: String,
+        /// Why the entry does not fit.
+        reason: String,
+    },
 }
 
 impl std::fmt::Display for CheckpointError {
@@ -206,6 +416,9 @@ impl std::fmt::Display for CheckpointError {
             ),
             CheckpointError::DuplicateName(n) => {
                 write!(f, "model contains duplicate parameter name `{}`", n)
+            }
+            CheckpointError::QuantState { name, reason } => {
+                write!(f, "quant state `{}`: {}", name, reason)
             }
         }
     }
@@ -272,6 +485,192 @@ pub fn import_params(model: &mut dyn Layer, ckpt: &Checkpoint) -> Result<usize, 
             p.grad = None;
             count += 1;
         }
+    });
+    Ok(count)
+}
+
+/// Snapshots every calibration site of `model` ([`Layer::visit_quant_state`])
+/// — the `quant` section of a [`FullCheckpoint`]. Empty for models whose
+/// layers carry no calibration state.
+///
+/// # Errors
+///
+/// [`CheckpointError::DuplicateName`] if two sites share a name.
+pub fn export_quant_state(
+    model: &mut dyn Layer,
+) -> Result<BTreeMap<String, QuantSiteState>, CheckpointError> {
+    let mut out = BTreeMap::new();
+    let mut dup = None;
+    model.visit_quant_state(&mut |name, site| {
+        let state = match site {
+            QuantStateMut::Observer(obs) => QuantSiteState::Observer {
+                range: obs.range(),
+                seen: obs.observations(),
+                frozen: obs.is_frozen(),
+            },
+            QuantStateMut::Taps(taps) => QuantSiteState::Taps {
+                ranges: taps.ranges().to_vec(),
+                bits: taps.bit_overrides().map(|b| b.to_vec()),
+                seen: taps.observations(),
+                frozen: taps.is_frozen(),
+            },
+            QuantStateMut::BatchNorm { mean, var } => QuantSiteState::BatchNorm {
+                mean: mean.to_vec(),
+                var: var.to_vec(),
+            },
+        };
+        if out.insert(name.to_string(), state).is_some() && dup.is_none() {
+            dup = Some(name.to_string());
+        }
+    });
+    match dup {
+        Some(n) => Err(CheckpointError::DuplicateName(n)),
+        None => Ok(out),
+    }
+}
+
+/// Checks one checkpoint entry against a model site without mutating it;
+/// `Err` is the human-readable incompatibility.
+fn check_quant_entry(site: &QuantStateMut<'_>, state: &QuantSiteState) -> Result<(), String> {
+    match (site, state) {
+        (QuantStateMut::Observer(_), QuantSiteState::Observer { .. }) => Ok(()),
+        // a per-layer range broadcasts onto a tap grid (uniform taps)
+        (QuantStateMut::Taps(_), QuantSiteState::Observer { .. }) => Ok(()),
+        (QuantStateMut::Taps(taps), QuantSiteState::Taps { ranges, bits, .. }) => {
+            if ranges.len() != taps.taps() {
+                return Err(format!(
+                    "has {} tap ranges, model site has {} taps",
+                    ranges.len(),
+                    taps.taps()
+                ));
+            }
+            if let Some(b) = bits {
+                if b.len() != taps.taps() {
+                    return Err(format!(
+                        "has {} tap bit-widths, model site has {} taps",
+                        b.len(),
+                        taps.taps()
+                    ));
+                }
+            }
+            Ok(())
+        }
+        (QuantStateMut::Observer(_), QuantSiteState::Taps { .. }) => Err(
+            "holds per-tap calibration, but the model quantizes this site per-layer \
+             (a per-tap grid cannot be narrowed to one scale)"
+                .to_string(),
+        ),
+        (QuantStateMut::BatchNorm { mean, .. }, QuantSiteState::BatchNorm { mean: m, var: v }) => {
+            if m.len() != mean.len() || v.len() != mean.len() {
+                return Err(format!(
+                    "has {} channels, model site has {}",
+                    m.len(),
+                    mean.len()
+                ));
+            }
+            Ok(())
+        }
+        (QuantStateMut::BatchNorm { .. }, _) | (_, QuantSiteState::BatchNorm { .. }) => {
+            Err("batch-norm moments and quantizer state are not interchangeable".to_string())
+        }
+    }
+}
+
+/// Loads a [`FullCheckpoint`]'s `quant` section into `model`, returning
+/// how many sites were updated. An **empty** map is a no-op (older
+/// checkpoints carry no calibration; the model keeps cold observers).
+/// A non-empty map must cover every site the model exposes; extra
+/// entries are ignored. A per-layer [`QuantSiteState::Observer`] entry
+/// applied to a tap-wise site broadcasts its range to every tap — the
+/// uniform-tap state that reproduces the per-layer scales bit-for-bit.
+///
+/// # Errors
+///
+/// Fails without modifying *any* site if an entry is missing or cannot
+/// be applied ([`CheckpointError::QuantState`] naming the site).
+pub fn import_quant_state(
+    model: &mut dyn Layer,
+    state: &BTreeMap<String, QuantSiteState>,
+) -> Result<usize, CheckpointError> {
+    if state.is_empty() {
+        return Ok(0);
+    }
+    // validate first — import must be all-or-nothing
+    let mut problem = None;
+    model.visit_quant_state(&mut |name, site| {
+        if problem.is_some() {
+            return;
+        }
+        match state.get(name) {
+            None => {
+                problem = Some(CheckpointError::QuantState {
+                    name: name.to_string(),
+                    reason: "missing from the checkpoint's `quant` section".to_string(),
+                })
+            }
+            Some(entry) => {
+                if let Err(reason) = check_quant_entry(&site, entry) {
+                    problem = Some(CheckpointError::QuantState {
+                        name: name.to_string(),
+                        reason,
+                    });
+                }
+            }
+        }
+    });
+    if let Some(e) = problem {
+        return Err(e);
+    }
+    let mut count = 0;
+    model.visit_quant_state(&mut |name, site| {
+        let Some(entry) = state.get(name) else {
+            return;
+        };
+        match (site, entry) {
+            (
+                QuantStateMut::Observer(obs),
+                QuantSiteState::Observer {
+                    range,
+                    seen,
+                    frozen,
+                },
+            ) => obs.restore(*range, *seen, *frozen),
+            (
+                QuantStateMut::Taps(taps),
+                QuantSiteState::Observer {
+                    range,
+                    seen,
+                    frozen,
+                },
+            ) => {
+                taps.set_uniform_range(*range);
+                taps.set_bit_overrides(None).expect("clearing always fits");
+                taps.restore(*seen, *frozen);
+            }
+            (
+                QuantStateMut::Taps(taps),
+                QuantSiteState::Taps {
+                    ranges,
+                    bits,
+                    seen,
+                    frozen,
+                },
+            ) => {
+                taps.set_ranges(ranges).expect("validated above");
+                taps.set_bit_overrides(bits.clone())
+                    .expect("validated above");
+                taps.restore(*seen, *frozen);
+            }
+            (
+                QuantStateMut::BatchNorm { mean, var },
+                QuantSiteState::BatchNorm { mean: m, var: v },
+            ) => {
+                mean.copy_from_slice(m);
+                var.copy_from_slice(v);
+            }
+            _ => unreachable!("validated above"),
+        }
+        count += 1;
     });
     Ok(count)
 }
@@ -363,6 +762,7 @@ mod tests {
         let full = FullCheckpoint {
             arch: "lenet".to_string(),
             spec: Json::obj([("classes", 10usize)]),
+            quant: export_quant_state(&mut model).unwrap(),
             params: export_params(&mut model).unwrap(),
         };
         let text = full.to_json().to_string_pretty();

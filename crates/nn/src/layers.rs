@@ -1,6 +1,6 @@
 //! Parameterized layers built on the tape.
 
-use wa_quant::{BitWidth, Observer};
+use wa_quant::{BitWidth, Observer, TapPolicy, TapQuant};
 use wa_tensor::{SeededRng, Tensor};
 
 use crate::error::WaError;
@@ -9,8 +9,15 @@ use crate::param::Param;
 use crate::spec::{BatchNormSpec, Conv2dSpec, LinearSpec};
 use crate::tape::{Tape, Var};
 
-/// Per-layer quantization configuration (per-layer symmetric uniform, as
-/// in Krishnamoorthi 2018 / paper §5.1). `FP32` disables quantization.
+/// Per-layer quantization configuration (symmetric uniform, as in
+/// Krishnamoorthi 2018 / paper §5.1). `FP32` disables quantization.
+///
+/// Beyond the two bit-widths, [`QuantConfig::transform`] selects how the
+/// layer's *Winograd-domain* sites (`BᵀdB`, `G·g·Gᵀ`) are scaled:
+/// [`TapPolicy::PerLayer`] keeps one scale per site (the paper's scheme),
+/// [`TapPolicy::PerTap`] calibrates one scale per tap position of the
+/// transformed tile (Tap-Wise Quantization). Layers without a Winograd
+/// domain ignore the policy.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct QuantConfig {
     /// Precision of activations (and, in Winograd-aware layers, of every
@@ -18,6 +25,8 @@ pub struct QuantConfig {
     pub activations: BitWidth,
     /// Precision of weights.
     pub weights: BitWidth,
+    /// Transform-domain scaling policy for Winograd-aware layers.
+    pub transform: TapPolicy,
 }
 
 impl QuantConfig {
@@ -25,15 +34,29 @@ impl QuantConfig {
     pub const FP32: QuantConfig = QuantConfig {
         activations: BitWidth::Fp32,
         weights: BitWidth::Fp32,
+        transform: TapPolicy::PerLayer,
     };
 
     /// Uniform precision for weights and activations, as the paper's
-    /// INT8/INT10/INT16 experiments use.
+    /// INT8/INT10/INT16 experiments use (per-layer transform scales).
     pub fn uniform(bits: BitWidth) -> QuantConfig {
         QuantConfig {
             activations: bits,
             weights: bits,
+            transform: TapPolicy::PerLayer,
         }
+    }
+
+    /// Uniform precision with **tap-wise** transform-domain scales: every
+    /// Winograd-domain tap position gets its own calibrated scale.
+    pub fn per_tap(bits: BitWidth) -> QuantConfig {
+        QuantConfig::uniform(bits).with_transform(TapPolicy::PerTap)
+    }
+
+    /// Returns a copy with a different transform-domain policy.
+    pub fn with_transform(mut self, transform: TapPolicy) -> QuantConfig {
+        self.transform = transform;
+        self
     }
 
     /// Whether any quantization is active.
@@ -100,6 +123,76 @@ pub fn infer_quant(tape: &mut Tape, x: Var, bits: BitWidth, obs: &Observer) -> V
     tape.fake_quant(x, bits, scale)
 }
 
+/// Tap-wise counterpart of [`observe_quant`]: fake-quantizes a
+/// Winograd-domain tensor (taps along the last axis) through per-tap
+/// scales, updating the per-tap ranges only in training mode. A site
+/// whose effective bit-widths are all FP32 passes through untouched.
+pub fn observe_quant_taps(
+    tape: &mut Tape,
+    x: Var,
+    bits: BitWidth,
+    taps: &mut TapQuant,
+    train: bool,
+) -> Var {
+    if bits.is_float() && taps.bit_overrides().is_none() {
+        return x;
+    }
+    if train {
+        taps.observe(tape.value(x));
+    } else if taps.observations() == 0 {
+        // Never warmed: fall back to observing once so eval is sane.
+        taps.observe(tape.value(x));
+    }
+    let eff = taps.effective_bits(bits);
+    let scales = taps.scales_for(&eff);
+    tape.fake_quant_taps(x, &eff, &scales)
+}
+
+/// Read-only counterpart of [`observe_quant_taps`] for the [`Infer`]
+/// path, mirroring [`infer_quant`]: a warm site quantizes at its
+/// calibrated per-tap scales without mutating them; a cold site derives
+/// one-off per-tap scales from the tensor at hand (the same values the
+/// mutable path's one-shot fallback would compute).
+pub fn infer_quant_taps(tape: &mut Tape, x: Var, bits: BitWidth, taps: &TapQuant) -> Var {
+    if bits.is_float() && taps.bit_overrides().is_none() {
+        return x;
+    }
+    let eff = taps.effective_bits(bits);
+    let scales = if taps.observations() > 0 {
+        taps.scales_for(&eff)
+    } else {
+        // clone keeps the frozen flag, matching observe_quant_taps's
+        // fallback (a frozen cold site stays at the tiny safe scales)
+        let mut tmp = taps.clone();
+        tmp.observe(tape.value(x));
+        tmp.scales_for(&eff)
+    };
+    tape.fake_quant_taps(x, &eff, &scales)
+}
+
+/// Mutable view of one quantization-calibration site, yielded by
+/// [`Layer::visit_quant_state`].
+///
+/// This is the state [`Layer::reset_statistics`] clears and the `quant`
+/// section of a [`FullCheckpoint`](crate::FullCheckpoint) persists: the
+/// range observers behind every `Qx` point, the per-tap calibration of
+/// tap-wise sites, and batch-norm running moments (which are calibration
+/// statistics too — they must travel with a served model for its eval
+/// path to reproduce).
+pub enum QuantStateMut<'a> {
+    /// A per-tensor range observer (one scale per site).
+    Observer(&'a mut Observer),
+    /// A tap-wise site (one scale per Winograd-domain tap).
+    Taps(&'a mut TapQuant),
+    /// Batch-norm running statistics.
+    BatchNorm {
+        /// Per-channel running mean.
+        mean: &'a mut [f32],
+        /// Per-channel running variance.
+        var: &'a mut [f32],
+    },
+}
+
 /// Anything with trainable parameters and a tape-level forward.
 pub trait Layer {
     /// Runs the layer, appending ops to `tape`. `train` selects batch-stat
@@ -132,6 +225,17 @@ pub trait Layer {
     /// without statistics keep the default no-op; composite layers must
     /// forward the call to children.
     fn reset_statistics(&mut self) {}
+
+    /// Visits every named calibration site ([`QuantStateMut`]) of the
+    /// layer — the serializable counterpart of [`Layer::reset_statistics`],
+    /// used to persist calibrated quantization ranges (and batch-norm
+    /// running moments) in the `quant` section of a
+    /// [`FullCheckpoint`](crate::FullCheckpoint). Names follow the
+    /// parameter convention: `<layer>.q.<site>` for observers,
+    /// `<layer>.bn` for batch-norm moments. Layers without statistics
+    /// keep the default no-op; composite layers must forward the call to
+    /// children.
+    fn visit_quant_state(&mut self, _f: &mut dyn FnMut(&str, QuantStateMut<'_>)) {}
 
     /// Total trainable scalar count.
     fn param_count(&mut self) -> usize {
@@ -356,6 +460,22 @@ impl Layer for Conv2d {
         self.obs_w.reset();
         self.obs_out.reset();
     }
+
+    fn visit_quant_state(&mut self, f: &mut dyn FnMut(&str, QuantStateMut<'_>)) {
+        let prefix = self.weight.name.trim_end_matches(".weight").to_string();
+        f(
+            &format!("{prefix}.q.input"),
+            QuantStateMut::Observer(&mut self.obs_in),
+        );
+        f(
+            &format!("{prefix}.q.weight"),
+            QuantStateMut::Observer(&mut self.obs_w),
+        );
+        f(
+            &format!("{prefix}.q.output"),
+            QuantStateMut::Observer(&mut self.obs_out),
+        );
+    }
 }
 
 impl Infer for Conv2d {
@@ -457,6 +577,18 @@ impl Layer for Linear {
     fn reset_statistics(&mut self) {
         self.obs_in.reset();
         self.obs_w.reset();
+    }
+
+    fn visit_quant_state(&mut self, f: &mut dyn FnMut(&str, QuantStateMut<'_>)) {
+        let prefix = self.weight.name.trim_end_matches(".weight").to_string();
+        f(
+            &format!("{prefix}.q.input"),
+            QuantStateMut::Observer(&mut self.obs_in),
+        );
+        f(
+            &format!("{prefix}.q.weight"),
+            QuantStateMut::Observer(&mut self.obs_w),
+        );
     }
 }
 
@@ -575,6 +707,17 @@ impl Layer for BatchNorm2d {
     fn reset_statistics(&mut self) {
         self.running_mean.fill(0.0);
         self.running_var.fill(1.0);
+    }
+
+    fn visit_quant_state(&mut self, f: &mut dyn FnMut(&str, QuantStateMut<'_>)) {
+        let prefix = self.gamma.name.trim_end_matches(".gamma").to_string();
+        f(
+            &format!("{prefix}.bn"),
+            QuantStateMut::BatchNorm {
+                mean: &mut self.running_mean,
+                var: &mut self.running_var,
+            },
+        );
     }
 }
 

@@ -62,10 +62,16 @@ mod param;
 mod spec;
 mod tape;
 
-pub use checkpoint::{export_params, import_params, Checkpoint, CheckpointError, FullCheckpoint};
+pub use checkpoint::{
+    export_params, export_quant_state, import_params, import_quant_state, Checkpoint,
+    CheckpointError, FullCheckpoint, QuantSiteState,
+};
 pub use error::WaError;
 pub use executor::{BatchExecutor, ExecutorConfig, ExecutorStats, Infer};
-pub use layers::{infer_quant, observe_quant, BatchNorm2d, Conv2d, Layer, Linear, QuantConfig};
+pub use layers::{
+    infer_quant, infer_quant_taps, observe_quant, observe_quant_taps, BatchNorm2d, Conv2d, Layer,
+    Linear, QuantConfig, QuantStateMut,
+};
 pub use metrics::{accuracy, RunningMean};
 pub use optim::{Adam, CosineAnnealing, Optimizer, Sgd};
 pub use param::Param;

@@ -16,7 +16,7 @@
 // obscure the math.
 #![allow(clippy::needless_range_loop)]
 
-use wa_quant::{fake_quant_scale, ste_mask, BitWidth};
+use wa_quant::{fake_quant_scale, fake_quant_taps, ste_mask, ste_mask_taps, BitWidth};
 use wa_tensor::{col2im, gemm, im2row, pad_nchw, unpad_nchw, Tensor, Transpose};
 use wa_winograd::TileGeometry;
 
@@ -86,6 +86,11 @@ enum Op {
         x: Var,
         bits: BitWidth,
         scale: f32,
+    },
+    FakeQuantTaps {
+        x: Var,
+        bits: Vec<BitWidth>,
+        scales: Vec<f32>,
     },
     Pad {
         x: Var,
@@ -679,6 +684,30 @@ impl Tape {
         self.push(v, Op::FakeQuant { x, bits, scale }, g)
     }
 
+    /// Tap-wise fake-quantization with straight-through-estimator
+    /// gradients: the element at flat index `i` is snapped to the grid of
+    /// tap `i % bits.len()` (one `(bits, scale)` pair per tap position of
+    /// an `n×n` Winograd tile). With every tap at one shared pair this is
+    /// bit-for-bit [`Tape::fake_quant`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits`/`scales` disagree in length or do not divide the
+    /// tensor's length.
+    pub fn fake_quant_taps(&mut self, x: Var, bits: &[BitWidth], scales: &[f32]) -> Var {
+        let v = fake_quant_taps(self.value(x), bits, scales);
+        let g = self.ng(x);
+        self.push(
+            v,
+            Op::FakeQuantTaps {
+                x,
+                bits: bits.to_vec(),
+                scales: scales.to_vec(),
+            },
+            g,
+        )
+    }
+
     // ---- convolution plumbing -------------------------------------------------
 
     /// Symmetric zero-padding of an NCHW tensor.
@@ -1197,6 +1226,12 @@ impl Tape {
             Op::FakeQuant { x, bits, scale } => {
                 if self.ng(*x) {
                     let mask = ste_mask(self.value(*x), *bits, *scale);
+                    Self::accumulate(grads, *x, g.mul(&mask));
+                }
+            }
+            Op::FakeQuantTaps { x, bits, scales } => {
+                if self.ng(*x) {
+                    let mask = ste_mask_taps(self.value(*x), bits, scales);
                     Self::accumulate(grads, *x, g.mul(&mask));
                 }
             }

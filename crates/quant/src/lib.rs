@@ -14,6 +14,11 @@
 //! * [`fake_quant`] / [`fake_quant_scale`] — quantize-dequantize in f32,
 //!   exposing the rounding error to training.
 //! * [`ste_mask`] — the STE pass-through mask used by the autograd engine.
+//! * [`TapQuant`] / [`TapPolicy`] / [`fake_quant_taps`] — **tap-wise**
+//!   quantization of Winograd-domain tensors: one scale (and optionally
+//!   one bit-width) per tap position of the `n×n` transformed tile
+//!   (Tap-Wise Quantization, Andri et al. 2022), selected per layer by
+//!   the transform-domain policy.
 //!
 //! # Example
 //!
@@ -27,12 +32,17 @@
 //! assert!((q.data()[0] - 13.0 / 127.0).abs() < 1e-6);
 //! ```
 
+#![warn(missing_docs)]
+
 mod bitwidth;
 mod observer;
 mod quantize;
+mod tap;
 
 pub use bitwidth::{BitWidth, ParseBitWidthError};
 pub use observer::{Observer, ObserverMode};
 pub use quantize::{
-    dequantize_i32, fake_quant, fake_quant_scale, quantization_rmse, quantize_i32, ste_mask,
+    dequantize_i32, fake_quant, fake_quant_scale, fake_quant_taps, quantization_rmse, quantize_i32,
+    ste_mask, ste_mask_taps,
 };
+pub use tap::{ParseTapPolicyError, TapPolicy, TapQuant};

@@ -113,6 +113,14 @@ impl Observer {
         self.frozen
     }
 
+    /// Restores a calibrated state (checkpoint import): the stored range,
+    /// observation count and frozen flag, keeping the aggregation mode.
+    pub fn restore(&mut self, range: f32, seen: u64, frozen: bool) {
+        self.running = range;
+        self.seen = seen;
+        self.frozen = frozen;
+    }
+
     /// Resets the observer to its initial empty state.
     pub fn reset(&mut self) {
         self.running = 0.0;

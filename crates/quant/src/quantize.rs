@@ -48,6 +48,100 @@ pub fn fake_quant_scale(x: &Tensor, bits: BitWidth, scale: f32) -> Tensor {
     })
 }
 
+/// Fake-quantizes a Winograd-domain tensor tap-by-tap: the element at
+/// flat index `i` belongs to tap `i % bits.len()` and is snapped to that
+/// tap's grid (`bits[t]`, `scales[t]`). FP32 taps pass through untouched.
+///
+/// With every tap at one shared `(bits, scale)` this is **bit-for-bit**
+/// identical to [`fake_quant_scale`] — the per-element arithmetic is the
+/// same; only the scale lookup differs.
+///
+/// # Panics
+///
+/// Panics if `bits` and `scales` disagree in length, are empty, or the
+/// tensor's length is not a multiple of the tap count.
+///
+/// # Example
+///
+/// ```
+/// use wa_quant::{fake_quant_taps, BitWidth};
+/// use wa_tensor::Tensor;
+///
+/// let x = Tensor::from_vec(vec![0.26, 0.26], &[1, 2]);
+/// // tap 0 quantizes at step 0.1, tap 1 passes through
+/// let q = fake_quant_taps(&x, &[BitWidth::INT8, BitWidth::FP32], &[0.1, 1.0]);
+/// assert!((q.data()[0] - 0.3).abs() < 1e-6);
+/// assert_eq!(q.data()[1], 0.26);
+/// ```
+pub fn fake_quant_taps(x: &Tensor, bits: &[BitWidth], scales: &[f32]) -> Tensor {
+    let taps = check_taps(x, bits, scales);
+    let mut out = x.deep_clone();
+    for (i, v) in out.data_mut().iter_mut().enumerate() {
+        let t = i % taps;
+        if bits[t].is_float() {
+            continue;
+        }
+        let scale = scales[t];
+        if scale <= 0.0 {
+            *v = 0.0;
+            continue;
+        }
+        let qmax = bits[t].qmax() as f32;
+        *v = (*v / scale).round().clamp(-qmax, qmax) * scale;
+    }
+    out
+}
+
+/// Tap-wise counterpart of [`ste_mask`]: 1 where the element's tap passes
+/// gradients (FP32 tap, or |x| within that tap's representable range),
+/// 0 where that tap's quantizer saturates.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`fake_quant_taps`].
+pub fn ste_mask_taps(x: &Tensor, bits: &[BitWidth], scales: &[f32]) -> Tensor {
+    let taps = check_taps(x, bits, scales);
+    let mut out = Tensor::ones(x.shape());
+    {
+        let src = x.data();
+        let dst = out.data_mut();
+        for i in 0..src.len() {
+            let t = i % taps;
+            if bits[t].is_float() {
+                continue;
+            }
+            if scales[t] <= 0.0 {
+                continue;
+            }
+            let lim = bits[t].qmax() as f32 * scales[t];
+            if src[i].abs() > lim {
+                dst[i] = 0.0;
+            }
+        }
+    }
+    out
+}
+
+/// Shared validation for the tap-wise kernels; returns the tap count.
+fn check_taps(x: &Tensor, bits: &[BitWidth], scales: &[f32]) -> usize {
+    assert!(
+        !bits.is_empty(),
+        "tap-wise quantization needs at least one tap"
+    );
+    assert_eq!(
+        bits.len(),
+        scales.len(),
+        "per-tap bits and scales must pair up"
+    );
+    assert!(
+        x.len().is_multiple_of(bits.len()),
+        "tap-wise quantization needs a [.., {}] layout, got {} elements",
+        bits.len(),
+        x.len()
+    );
+    bits.len()
+}
+
 /// Straight-through-estimator mask: 1 where the quantizer passes gradients
 /// (|x| within the representable range), 0 where it saturates.
 ///

@@ -1,0 +1,410 @@
+//! Tap-wise quantization over the Winograd-domain tile grid.
+//!
+//! A Winograd-domain tensor (`BᵀdB`, `G·g·Gᵀ`) is laid out as rows of
+//! `n²` *taps* — one value per position of the `n×n` transformed tile.
+//! The taps have wildly different dynamic ranges (the corner taps of the
+//! Cook-Toom transforms amplify far more than the center ones), so one
+//! per-tensor scale wastes most of the integer grid on the quiet taps.
+//! Tap-Wise Quantization (Andri et al. 2022) assigns every tap position
+//! its own scale — and optionally its own bit-width — which is what makes
+//! 4×4-tile INT8 Winograd viable.
+//!
+//! [`TapQuant`] is the calibration state for one such quantization site:
+//! a per-tap range observer (the tap-wise analogue of [`Observer`]) plus
+//! optional per-tap bit-width overrides. [`TapPolicy`] selects between
+//! the classic per-tensor scheme and the tap-wise one.
+
+use wa_tensor::Tensor;
+
+use crate::bitwidth::BitWidth;
+use crate::observer::ObserverMode;
+
+/// How the Winograd-domain sites (`BᵀdB`, `G·g·Gᵀ`) of a layer are
+/// quantized.
+///
+/// `PerLayer` is the paper's original scheme: one scale per site, derived
+/// from the whole tensor's range. `PerTap` gives each of the `n²` tap
+/// positions of the transformed tile its own scale (and optionally its
+/// own bit-width) — see the module-level docs above.
+///
+/// A `PerTap` site whose taps all share one range is **bit-for-bit
+/// identical** to the `PerLayer` site at that range; the schemes only
+/// diverge once calibration observes different ranges per tap.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum TapPolicy {
+    /// One scale per quantization site (per-tensor symmetric uniform).
+    #[default]
+    PerLayer,
+    /// One scale (and optionally one bit-width) per tap position of the
+    /// `n×n` transformed tile. Ignored by layers with no Winograd domain
+    /// (im2row convolutions, linear layers).
+    PerTap,
+}
+
+impl std::fmt::Display for TapPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TapPolicy::PerLayer => write!(f, "per-layer"),
+            TapPolicy::PerTap => write!(f, "per-tap"),
+        }
+    }
+}
+
+/// Error returned when parsing a [`TapPolicy`] from its display form.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseTapPolicyError(pub String);
+
+impl std::fmt::Display for ParseTapPolicyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unrecognized transform-quantization policy `{}` (expected `per-layer` or `per-tap`)",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for ParseTapPolicyError {}
+
+impl std::str::FromStr for TapPolicy {
+    type Err = ParseTapPolicyError;
+
+    /// Parses the [`Display`](std::fmt::Display) form back (`"per-layer"`,
+    /// `"per-tap"`) — the encoding `ModelSpec` JSON documents use.
+    /// Case-insensitive.
+    fn from_str(s: &str) -> Result<TapPolicy, ParseTapPolicyError> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "per-layer" => Ok(TapPolicy::PerLayer),
+            "per-tap" => Ok(TapPolicy::PerTap),
+            _ => Err(ParseTapPolicyError(s.to_string())),
+        }
+    }
+}
+
+/// Per-tap calibration state for one Winograd-domain quantization site.
+///
+/// Tracks the symmetric dynamic range (max |x|) of every tap position of
+/// the `n×n` transformed tile — the vectorized analogue of [`Observer`](crate::Observer),
+/// with the same [`ObserverMode`] aggregation and freeze semantics — and
+/// optionally overrides the site's bit-width per tap.
+///
+/// # Example
+///
+/// ```
+/// use wa_quant::{BitWidth, TapQuant};
+/// use wa_tensor::Tensor;
+///
+/// let mut tq = TapQuant::new(2); // F(1, 2)-sized 2×2 tile: 4 taps
+/// // two tile rows, taps laid out along the last axis
+/// let rows = Tensor::from_vec(vec![1.0, -2.0, 0.5, 4.0, -0.5, 1.0, 0.25, -8.0], &[2, 4]);
+/// tq.observe(&rows);
+/// assert_eq!(tq.ranges(), &[1.0, 2.0, 0.5, 8.0]);
+/// let scales = tq.scales(BitWidth::INT8);
+/// assert!((scales[3] - 8.0 / 127.0).abs() < 1e-6);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct TapQuant {
+    /// Tile side `n`; the grid has `n²` taps.
+    n: usize,
+    mode: ObserverMode,
+    /// Per-tap range estimate (max |x| aggregated per `mode`).
+    ranges: Vec<f32>,
+    /// Per-tap bit-width overrides; `None` means every tap uses the
+    /// site's configured bit-width.
+    bits: Option<Vec<BitWidth>>,
+    seen: u64,
+    frozen: bool,
+}
+
+impl TapQuant {
+    /// Creates tap-wise calibration state for an `n×n` transformed tile
+    /// with the default [`ObserverMode`] and no bit-width overrides.
+    pub fn new(n: usize) -> TapQuant {
+        TapQuant::with_mode(n, ObserverMode::default())
+    }
+
+    /// Creates tap-wise calibration state with an explicit aggregation
+    /// mode.
+    pub fn with_mode(n: usize, mode: ObserverMode) -> TapQuant {
+        TapQuant {
+            n,
+            mode,
+            ranges: vec![0.0; n * n],
+            bits: None,
+            seen: 0,
+            frozen: false,
+        }
+    }
+
+    /// Tile side `n`.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of tap positions (`n²`).
+    pub fn taps(&self) -> usize {
+        self.n * self.n
+    }
+
+    /// Updates every tap's range estimate from a Winograd-domain tensor
+    /// whose taps are laid out along the last axis (any `[…, n²]` row
+    /// layout: the element at flat index `i` belongs to tap `i % n²`).
+    /// Frozen state is left unchanged, as for [`Observer`](crate::Observer).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor's length is not a multiple of `n²`.
+    pub fn observe(&mut self, x: &Tensor) {
+        if self.frozen {
+            return;
+        }
+        let taps = self.taps();
+        assert!(
+            x.len().is_multiple_of(taps),
+            "tap observation needs a [.., {}] layout, got {} elements",
+            taps,
+            x.len()
+        );
+        let mut batch_max = vec![0.0f32; taps];
+        for (i, &v) in x.data().iter().enumerate() {
+            let t = i % taps;
+            batch_max[t] = batch_max[t].max(v.abs());
+        }
+        for (r, m) in self.ranges.iter_mut().zip(&batch_max) {
+            *r = match self.mode {
+                ObserverMode::RunningMax => r.max(*m),
+                ObserverMode::Ema { momentum } => {
+                    if self.seen == 0 {
+                        *m
+                    } else {
+                        momentum * *r + (1.0 - momentum) * *m
+                    }
+                }
+            };
+        }
+        self.seen += 1;
+    }
+
+    /// The per-tap range estimates (max |x|). All zeros until the first
+    /// observation.
+    pub fn ranges(&self) -> &[f32] {
+        &self.ranges
+    }
+
+    /// Restores calibrated ranges (checkpoint import). Marks the state as
+    /// observed so subsequent quantization uses these ranges verbatim.
+    ///
+    /// # Errors
+    ///
+    /// Returns the expected tap count if `ranges.len() != n²`.
+    pub fn set_ranges(&mut self, ranges: &[f32]) -> Result<(), usize> {
+        if ranges.len() != self.taps() {
+            return Err(self.taps());
+        }
+        self.ranges.copy_from_slice(ranges);
+        self.seen = self.seen.max(1);
+        Ok(())
+    }
+
+    /// Sets every tap's range to one value — the uniform-tap state that
+    /// is bit-for-bit equivalent to a per-layer observer at `range`.
+    pub fn set_uniform_range(&mut self, range: f32) {
+        self.ranges.fill(range);
+        self.seen = self.seen.max(1);
+    }
+
+    /// Restores the full observation state (checkpoint import).
+    pub fn restore(&mut self, seen: u64, frozen: bool) {
+        self.seen = seen;
+        self.frozen = frozen;
+    }
+
+    /// The per-tap bit-width overrides, if any.
+    pub fn bit_overrides(&self) -> Option<&[BitWidth]> {
+        self.bits.as_deref()
+    }
+
+    /// Installs (or clears, with `None`) per-tap bit-width overrides —
+    /// the mixed-precision knob a wiNAS search can turn per tap.
+    ///
+    /// # Errors
+    ///
+    /// Returns the expected tap count if an override vector's length is
+    /// not `n²`.
+    pub fn set_bit_overrides(&mut self, bits: Option<Vec<BitWidth>>) -> Result<(), usize> {
+        if let Some(b) = &bits {
+            if b.len() != self.taps() {
+                return Err(self.taps());
+            }
+        }
+        self.bits = bits;
+        Ok(())
+    }
+
+    /// The effective per-tap bit-widths: the overrides if installed,
+    /// otherwise `default` for every tap.
+    pub fn effective_bits(&self, default: BitWidth) -> Vec<BitWidth> {
+        match &self.bits {
+            Some(b) => b.clone(),
+            None => vec![default; self.taps()],
+        }
+    }
+
+    /// Per-tap quantization scales at the effective bit-widths:
+    /// `range[t] / qmax(bits[t])`, with the same tiny-positive fallback
+    /// as [`Observer::scale`](crate::Observer::scale) for un-warmed taps. FP32 taps get scale
+    /// `1.0` (unused — the quantizer passes them through).
+    pub fn scales(&self, default: BitWidth) -> Vec<f32> {
+        self.scales_for(&self.effective_bits(default))
+    }
+
+    /// [`TapQuant::scales`] against an already-materialized per-tap
+    /// bit-width vector — callers that also need the bit-widths (the
+    /// quantizer takes both) compute [`TapQuant::effective_bits`] once
+    /// and reuse it here.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits.len() != n²`.
+    pub fn scales_for(&self, bits: &[BitWidth]) -> Vec<f32> {
+        assert_eq!(bits.len(), self.taps(), "one bit-width per tap");
+        self.ranges
+            .iter()
+            .zip(bits)
+            .map(|(&r, &b)| {
+                if b.is_float() {
+                    1.0
+                } else if r <= 0.0 {
+                    f32::MIN_POSITIVE
+                } else {
+                    r / b.qmax() as f32
+                }
+            })
+            .collect()
+    }
+
+    /// Number of batches observed so far.
+    pub fn observations(&self) -> u64 {
+        self.seen
+    }
+
+    /// Stops range updates (evaluation mode).
+    pub fn freeze(&mut self) {
+        self.frozen = true;
+    }
+
+    /// Resumes range updates (training mode).
+    pub fn unfreeze(&mut self) {
+        self.frozen = false;
+    }
+
+    /// Whether the state is frozen.
+    pub fn is_frozen(&self) -> bool {
+        self.frozen
+    }
+
+    /// Resets ranges and observation count, keeping bit-width overrides
+    /// (they are configuration, not statistics).
+    pub fn reset(&mut self) {
+        self.ranges.fill(0.0);
+        self.seen = 0;
+        self.frozen = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quantize::{fake_quant_scale, fake_quant_taps};
+
+    fn rows(data: Vec<f32>, taps: usize) -> Tensor {
+        let r = data.len() / taps;
+        Tensor::from_vec(data, &[r, taps])
+    }
+
+    #[test]
+    fn policy_display_roundtrips() {
+        for p in [TapPolicy::PerLayer, TapPolicy::PerTap] {
+            assert_eq!(p.to_string().parse::<TapPolicy>().unwrap(), p);
+        }
+        assert!("per-channel".parse::<TapPolicy>().is_err());
+        assert_eq!(TapPolicy::default(), TapPolicy::PerLayer);
+    }
+
+    #[test]
+    fn observe_tracks_per_tap_maxima() {
+        let mut tq = TapQuant::with_mode(2, ObserverMode::RunningMax);
+        tq.observe(&rows(vec![1.0, -2.0, 0.5, 4.0], 4));
+        tq.observe(&rows(vec![0.5, -3.0, 0.25, 1.0], 4));
+        assert_eq!(tq.ranges(), &[1.0, 3.0, 0.5, 4.0]);
+        assert_eq!(tq.observations(), 2);
+    }
+
+    #[test]
+    fn ema_matches_scalar_observer_semantics() {
+        let mut tq = TapQuant::with_mode(1, ObserverMode::Ema { momentum: 0.9 });
+        tq.observe(&rows(vec![2.0], 1));
+        tq.observe(&rows(vec![1.0], 1));
+        assert!((tq.ranges()[0] - (0.9 * 2.0 + 0.1 * 1.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn freeze_and_reset() {
+        let mut tq = TapQuant::new(2);
+        tq.observe(&rows(vec![1.0; 4], 4));
+        tq.freeze();
+        tq.observe(&rows(vec![10.0; 4], 4));
+        assert_eq!(tq.ranges(), &[1.0; 4]);
+        tq.reset();
+        assert_eq!(tq.ranges(), &[0.0; 4]);
+        assert_eq!(tq.observations(), 0);
+        assert!(!tq.is_frozen());
+    }
+
+    #[test]
+    fn bit_overrides_validate_length() {
+        let mut tq = TapQuant::new(2);
+        assert_eq!(tq.set_bit_overrides(Some(vec![BitWidth::INT8; 3])), Err(4));
+        tq.set_bit_overrides(Some(vec![
+            BitWidth::INT8,
+            BitWidth::INT16,
+            BitWidth::FP32,
+            BitWidth::INT8,
+        ]))
+        .unwrap();
+        let eff = tq.effective_bits(BitWidth::INT8);
+        assert_eq!(eff[1], BitWidth::INT16);
+        tq.set_bit_overrides(None).unwrap();
+        assert_eq!(tq.effective_bits(BitWidth::INT10), vec![BitWidth::INT10; 4]);
+    }
+
+    #[test]
+    fn uniform_taps_are_bit_identical_to_per_tensor() {
+        let mut tq = TapQuant::new(2);
+        tq.set_uniform_range(1.27);
+        let x = rows(vec![0.11, -0.52, 0.93, 1.5, -0.04, 0.66, -1.27, 0.3], 4);
+        let per_tap = fake_quant_taps(
+            &x,
+            &tq.effective_bits(BitWidth::INT8),
+            &tq.scales(BitWidth::INT8),
+        );
+        let per_tensor = fake_quant_scale(&x, BitWidth::INT8, 1.27 / 127.0);
+        assert_eq!(per_tap.data(), per_tensor.data());
+    }
+
+    #[test]
+    fn set_ranges_roundtrips() {
+        let mut tq = TapQuant::new(2);
+        assert_eq!(tq.set_ranges(&[1.0]), Err(4));
+        tq.set_ranges(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(tq.ranges(), &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(tq.observations(), 1, "restored state counts as observed");
+    }
+
+    #[test]
+    #[should_panic(expected = "tap observation")]
+    fn misaligned_observation_panics() {
+        let mut tq = TapQuant::new(2);
+        tq.observe(&Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]));
+    }
+}

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! wa-client make-checkpoint <path> [--arch lenet] [--classes N]
-//!           [--input-size N] [--width W] [--algo F2] [--quant INT8] [--seed N]
+//!           [--input-size N] [--width W] [--algo F2] [--quant INT8] [--transform per-tap] [--seed N]
 //! wa-client load <addr> <name> <path>
 //! wa-client list <addr>
 //! wa-client infer <addr> <name> [--batch N] [--requests K]
@@ -25,14 +25,14 @@ use wa_bench::BenchRecord;
 use wa_core::ConvAlgo;
 use wa_models::{ModelKind, ModelSpec, ZooModel};
 use wa_nn::{FullCheckpoint, QuantConfig};
-use wa_quant::BitWidth;
+use wa_quant::{BitWidth, TapPolicy};
 use wa_serve::Client;
 use wa_tensor::{SeededRng, Tensor};
 
 fn usage() -> ! {
     eprintln!(
         "usage:\n  wa-client make-checkpoint <path> [--arch lenet] [--classes N] \
-         [--input-size N] [--width W] [--algo F2] [--quant INT8] [--seed N]\n  \
+         [--input-size N] [--width W] [--algo F2] [--quant INT8] [--transform per-tap] [--seed N]\n  \
          wa-client load <addr> <name> <path>\n  \
          wa-client list <addr>\n  \
          wa-client infer <addr> <name> [--batch N] [--requests K] [--concurrency C] \
@@ -106,12 +106,17 @@ fn make_checkpoint(path: &str, flags: &Flags) {
         .unwrap_or("FP32")
         .parse()
         .unwrap_or_else(|e| fail(e));
+    let transform: TapPolicy = flags
+        .get("transform")
+        .unwrap_or("per-layer")
+        .parse()
+        .unwrap_or_else(|e| fail(e));
     let default_size = if kind == ModelKind::LeNet { 28 } else { 32 };
     let spec = ModelSpec::builder()
         .classes(flags.parsed("classes", 10))
         .input_size(flags.parsed("input-size", default_size))
         .width(flags.parsed("width", 1.0))
-        .quant(QuantConfig::uniform(bits))
+        .quant(QuantConfig::uniform(bits).with_transform(transform))
         .algo(algo)
         .build()
         .unwrap_or_else(|e| fail(e));

@@ -224,6 +224,78 @@ fn quantized_model_parity_after_warmup() {
 }
 
 #[test]
+fn per_tap_with_uniform_taps_matches_per_layer_across_the_zoo() {
+    // The tap-wise refactor is pinned by the parity matrix: for every
+    // architecture and algorithm, an INT8 `PerTap` model whose tap
+    // scales are uniform (broadcast from a warmed `PerLayer` model's
+    // calibration) must produce bit-identical logits — under every
+    // thread count. im2row layers have no Winograd domain, so there the
+    // policy must be perfectly inert.
+    use winograd_aware::models::{ModelKind, ZooModel};
+    use winograd_aware::nn::{
+        export_params, export_quant_state, import_params, import_quant_state,
+    };
+    use winograd_aware::quant::TapPolicy;
+
+    let mut rng = SeededRng::new(11);
+    for kind in ModelKind::ALL {
+        for algo in ALGOS {
+            let builder = ModelSpec::builder()
+                .classes(10)
+                .algo(algo)
+                .quant(QuantConfig::uniform(BitWidth::INT8));
+            let spec = match kind {
+                ModelKind::LeNet => builder.input_size(12),
+                _ => builder.input_size(8).width(0.125),
+            }
+            .build()
+            .expect("static spec");
+            let mut per_layer = ZooModel::from_spec(kind, &spec, &mut rng).expect("static spec");
+
+            let [c, h, w] = per_layer.sample_shape();
+            // warm the per-layer calibration (observers + BN moments)
+            {
+                let warm = rng.uniform_tensor(&[4, c, h, w], -1.0, 1.0);
+                let mut tape = Tape::new();
+                let x = tape.leaf(warm);
+                let _ = per_layer.forward(&mut tape, x, true);
+            }
+
+            let mut tap_spec = spec.clone();
+            tap_spec.quant.transform = TapPolicy::PerTap;
+            let mut per_tap =
+                ZooModel::from_spec(kind, &tap_spec, &mut SeededRng::new(77)).expect("static spec");
+            let params = export_params(&mut per_layer).expect("unique names");
+            import_params(&mut per_tap, &params).expect("same geometry");
+            let state = export_quant_state(&mut per_layer).expect("unique names");
+            import_quant_state(&mut per_tap, &state).expect("calibration broadcasts");
+
+            let batch = rng.uniform_tensor(&[BATCH, c, h, w], -1.0, 1.0);
+            let want = per_layer
+                .try_forward_batch(
+                    &batch,
+                    ExecutorConfig {
+                        threads: 1,
+                        chunk: 2,
+                    },
+                )
+                .expect("per-layer reference");
+            for threads in [1usize, 2, 4] {
+                let got = per_tap
+                    .try_forward_batch(&batch, ExecutorConfig { threads, chunk: 2 })
+                    .expect("per-tap batched inference");
+                assert_eq!(
+                    got.data(),
+                    want.data(),
+                    "{kind}/{algo} threads {threads}: uniform-tap PerTap must be \
+                     bit-identical to PerLayer"
+                );
+            }
+        }
+    }
+}
+
+#[test]
 fn worker_tapes_alias_parameter_buffers_without_copying() {
     // Zero-copy contract: Tensor storage is copy-on-write, so
     // `Tape::param_ref` registers a leaf that *aliases* the parameter's

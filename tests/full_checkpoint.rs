@@ -85,6 +85,141 @@ fn quantized_flex_spec_survives_the_roundtrip() {
 }
 
 #[test]
+fn calibrated_per_tap_scales_roundtrip_through_one_document() {
+    // A warmed tap-wise INT8 F4 LeNet — non-uniform tap ranges *and*
+    // non-uniform per-tap bit-widths — must serialize into the `quant`
+    // section and reproduce bit-identical logits after the full
+    // struct → JSON text → struct round trip.
+    use winograd_aware::nn::{Layer, QuantStateMut, Tape};
+    use winograd_aware::quant::BitWidth as B;
+
+    let mut rng = SeededRng::new(53);
+    let spec = spec_for(
+        ModelKind::LeNet,
+        ConvAlgo::Winograd { m: 4 },
+        QuantConfig::per_tap(BitWidth::INT8),
+    );
+    let mut original = ZooModel::from_spec(ModelKind::LeNet, &spec, &mut rng).expect("static spec");
+    // calibrate: one training batch gives every tap its own range
+    {
+        let warm = rng.uniform_tensor(&[4, 1, 12, 12], -1.0, 1.0);
+        let mut tape = Tape::new();
+        let x = tape.leaf(warm);
+        let _ = original.forward(&mut tape, x, true);
+    }
+    // and make the tap *bit-widths* non-uniform too (mixed precision)
+    original.visit_quant_state(&mut |name, site| {
+        if let QuantStateMut::Taps(taps) = site {
+            if name.ends_with(".q.bdb") {
+                let mut bits = vec![B::INT8; taps.taps()];
+                bits[0] = B::INT16;
+                bits[taps.taps() - 1] = B::Int(6);
+                taps.set_bit_overrides(Some(bits)).expect("right length");
+            }
+        }
+    });
+
+    let doc = original.to_full_checkpoint().expect("export");
+    assert!(
+        doc.quant.values().any(
+            |s| matches!(s, winograd_aware::nn::QuantSiteState::Taps { ranges, .. }
+                if ranges.iter().any(|r| (r - ranges[0]).abs() > 1e-9))
+        ),
+        "the exported quant section must contain non-uniform tap ranges"
+    );
+
+    let text = doc.to_json().to_string_pretty();
+    assert!(
+        text.contains("\"quant\""),
+        "document must carry the section"
+    );
+    let parsed = FullCheckpoint::from_json_str(&text).expect("parses");
+    let mut rebuilt = ZooModel::from_full_checkpoint(&parsed).expect("rebuild");
+
+    let batch = rng.uniform_tensor(&[5, 1, 12, 12], -1.0, 1.0);
+    let want = original.try_forward_batch(&batch, CFG).expect("original");
+    let got = rebuilt.try_forward_batch(&batch, CFG).expect("rebuilt");
+    assert_eq!(
+        want.data(),
+        got.data(),
+        "per-tap calibration must survive the round trip bit-for-bit"
+    );
+
+    // the calibration itself round-trips verbatim, overrides included
+    let re_exported = rebuilt.to_full_checkpoint().expect("re-export");
+    assert_eq!(re_exported.quant, doc.quant);
+}
+
+#[test]
+fn quant_section_errors_carry_the_offending_key_path() {
+    // a malformed site state names `quant.<site>.<field>`
+    let err = FullCheckpoint::from_json_str(
+        "{\"arch\": \"lenet\", \"spec\": {}, \
+         \"quant\": {\"conv1.q.bdb\": {\"ranges\": [0.5, \"x\"], \"seen\": 1, \"frozen\": false}}, \
+         \"params\": {}}",
+    )
+    .expect_err("non-numeric range must fail");
+    assert!(err.message.contains("`quant.conv1.q.bdb.ranges`"), "{err}");
+
+    // a bad per-tap bit-width names its path too
+    let err = FullCheckpoint::from_json_str(
+        "{\"arch\": \"lenet\", \"spec\": {}, \
+         \"quant\": {\"conv1.q.ggt\": {\"ranges\": [0.5], \"seen\": 1, \"frozen\": false, \
+         \"bits\": [\"INT99\"]}}, \"params\": {}}",
+    )
+    .expect_err("bad bit width must fail");
+    assert!(err.message.contains("`quant.conv1.q.ggt.bits`"), "{err}");
+
+    // a parseable entry that does not fit the rebuilt model names the
+    // site through the WaError surface
+    let mut rng = SeededRng::new(54);
+    let spec = spec_for(
+        ModelKind::LeNet,
+        ConvAlgo::Winograd { m: 2 },
+        QuantConfig::per_tap(BitWidth::INT8),
+    );
+    let mut model = ZooModel::from_spec(ModelKind::LeNet, &spec, &mut rng).expect("static spec");
+    let mut doc = model.to_full_checkpoint().expect("export");
+    let key = "conv1.q.bdb".to_string();
+    assert!(doc.quant.contains_key(&key), "fixture went stale");
+    doc.quant.insert(
+        key,
+        winograd_aware::nn::QuantSiteState::Taps {
+            ranges: vec![1.0; 3], // F2 with r=5 has 6×6 = 36 taps, not 3
+            bits: None,
+            seen: 1,
+            frozen: false,
+        },
+    );
+    let err = ZooModel::from_full_checkpoint(&doc).expect_err("tap count mismatch");
+    assert!(err.to_string().contains("`quant.conv1.q.bdb`"), "{err}");
+}
+
+#[test]
+fn spec_quant_errors_carry_the_spec_key_path() {
+    // the `params.<name>` convention extends to the spec document:
+    // a broken quant field surfaces as `spec.quant.<field>`
+    let mut rng = SeededRng::new(55);
+    let spec = spec_for(ModelKind::LeNet, ConvAlgo::Im2row, QuantConfig::FP32);
+    let mut model = ZooModel::from_spec(ModelKind::LeNet, &spec, &mut rng).expect("static spec");
+    let mut doc = model.to_full_checkpoint().expect("export");
+    doc.spec = winograd_aware::tensor::Json::obj([
+        ("classes", winograd_aware::tensor::Json::from(10usize)),
+        ("input_size", winograd_aware::tensor::Json::from(12usize)),
+        (
+            "quant",
+            winograd_aware::tensor::Json::obj([
+                ("activations", "INT8"),
+                ("weights", "INT8"),
+                ("transform", "per-channel"),
+            ]),
+        ),
+    ]);
+    let err = ZooModel::from_full_checkpoint(&doc).expect_err("bad policy");
+    assert!(err.to_string().contains("`spec.quant.transform`"), "{err}");
+}
+
+#[test]
 fn checkpoint_parse_errors_carry_the_offending_key_path() {
     // a tensor entry that cannot decode must name `params.<name>`
     let err = Checkpoint::from_json_str(

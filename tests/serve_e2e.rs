@@ -93,6 +93,64 @@ fn served_logits_bit_identical_to_in_process_for_two_models_two_algos() {
 }
 
 #[test]
+fn per_tap_int8_f4_model_round_trips_through_the_wire_unchanged() {
+    // A *calibrated* tap-wise INT8 F4 model: warmed so every
+    // Winograd-domain tap has its own (non-uniform) scale, exported as a
+    // one-document checkpoint, loaded over the wire, and served — the
+    // served logits must be bit-identical to the in-process
+    // `try_forward_batch` of the exporting model, which is only possible
+    // if the per-tap calibration survived FullCheckpoint → wa-serve.
+    use winograd_aware::nn::{Layer, QuantConfig, Tape};
+    use winograd_aware::quant::BitWidth;
+
+    let (addr, _handle, join) = boot(SchedulerConfig {
+        max_batch: 16,
+        max_delay: Duration::from_millis(1),
+        exec: EXEC,
+        ..SchedulerConfig::default()
+    });
+    let mut rng = SeededRng::new(33);
+    let spec = ModelSpec::builder()
+        .classes(10)
+        .input_size(12)
+        .algo(ConvAlgo::Winograd { m: 4 })
+        .quant(QuantConfig::per_tap(BitWidth::INT8))
+        .build()
+        .expect("static spec");
+    let mut model = ZooModel::from_spec(ModelKind::LeNet, &spec, &mut rng).expect("static spec");
+    {
+        let warm = rng.uniform_tensor(&[4, 1, 12, 12], -1.0, 1.0);
+        let mut tape = Tape::new();
+        let x = tape.leaf(warm);
+        let _ = model.forward(&mut tape, x, true);
+    }
+
+    let ckpt = model.to_full_checkpoint().expect("export");
+    assert!(
+        !ckpt.quant.is_empty(),
+        "the served document must carry the calibration section"
+    );
+    let mut client = Client::connect(addr).expect("connect");
+    client
+        .load_model("tapnet", &ckpt)
+        .expect("load over the wire");
+
+    let batch = rng.uniform_tensor(&[5, 1, 12, 12], -1.0, 1.0);
+    let want = model
+        .try_forward_batch(&batch, EXEC)
+        .expect("in-process batched forward");
+    let got = client.infer("tapnet", &batch).expect("served inference");
+    assert_eq!(
+        got.data(),
+        want.data(),
+        "served per-tap INT8 F4 logits must be bit-identical to in-process"
+    );
+
+    client.shutdown().expect("shutdown");
+    join.join().expect("server thread");
+}
+
+#[test]
 fn concurrent_clients_are_coalesced_into_one_scheduler_batch() {
     // max_batch equals the total concurrent sample count and the
     // deadline is far away: only the size threshold can flush, so all

@@ -1,0 +1,204 @@
+//! Tap-wise quantization golden suite: the `PerTap` transform-domain
+//! policy with **uniform** tap scales must be bit-for-bit equal to the
+//! `PerLayer` path — for every paper tile size (F2/F4/F6) at FP32 and
+//! INT8 — and genuinely *tap-wise* calibration must both diverge from
+//! per-layer scales and reduce the Winograd-domain quantization error
+//! that motivates it (Tap-Wise Quantization, Andri et al. 2022).
+
+use winograd_aware::core::{ConvAlgo, ConvSpec, WinogradAwareConv2d};
+use winograd_aware::nn::{
+    export_params, export_quant_state, import_params, import_quant_state, Layer, QuantConfig, Tape,
+};
+use winograd_aware::quant::{BitWidth, TapPolicy};
+use winograd_aware::tensor::{SeededRng, Tensor};
+
+fn spec(m: usize, quant: QuantConfig) -> ConvSpec {
+    ConvSpec::builder()
+        .name("wa")
+        .in_channels(4)
+        .out_channels(4)
+        .kernel(3)
+        .pad(1)
+        .algo(ConvAlgo::Winograd { m })
+        .quant(quant)
+        .build()
+        .expect("static spec")
+}
+
+fn train_fwd(layer: &mut WinogradAwareConv2d, x: &Tensor) {
+    let mut tape = Tape::new();
+    let xv = tape.leaf(x.clone());
+    let _ = layer.forward(&mut tape, xv, true);
+}
+
+fn infer_fwd(layer: &WinogradAwareConv2d, x: &Tensor) -> Tensor {
+    use winograd_aware::nn::Infer;
+    let mut tape = Tape::new();
+    let xv = tape.leaf(x.clone());
+    let y = layer.infer(&mut tape, xv).expect("infer");
+    tape.value(y).clone()
+}
+
+/// Builds a `PerTap` twin of a warmed `PerLayer` layer by transferring
+/// its parameters and calibration state; the per-layer ranges broadcast
+/// onto the tap grids, i.e. *uniform taps*.
+fn per_tap_twin(
+    per_layer: &mut WinogradAwareConv2d,
+    m: usize,
+    bits: BitWidth,
+) -> WinogradAwareConv2d {
+    let mut twin = WinogradAwareConv2d::from_spec(
+        &spec(
+            m,
+            QuantConfig::uniform(bits).with_transform(TapPolicy::PerTap),
+        ),
+        &mut SeededRng::new(999),
+    )
+    .expect("static spec");
+    let params = export_params(per_layer).expect("unique names");
+    import_params(&mut twin, &params).expect("same geometry");
+    let state = export_quant_state(per_layer).expect("unique names");
+    let applied = import_quant_state(&mut twin, &state).expect("observer state broadcasts");
+    assert_eq!(applied, 9, "all nine Figure-2 sites must transfer");
+    twin
+}
+
+#[test]
+fn per_tap_with_uniform_taps_is_bit_identical_to_per_layer() {
+    for m in [2usize, 4, 6] {
+        for bits in [BitWidth::FP32, BitWidth::INT8] {
+            let mut rng = SeededRng::new(40 + m as u64);
+            let mut a =
+                WinogradAwareConv2d::from_spec(&spec(m, QuantConfig::uniform(bits)), &mut rng)
+                    .expect("static spec");
+            // calibrate the per-layer observers on one batch
+            let warm = rng.uniform_tensor(&[2, 4, 12, 12], -1.0, 1.0);
+            train_fwd(&mut a, &warm);
+
+            let b = per_tap_twin(&mut a, m, bits);
+            let x = rng.uniform_tensor(&[3, 4, 12, 12], -1.0, 1.0);
+            let want = infer_fwd(&a, &x);
+            let got = infer_fwd(&b, &x);
+            assert_eq!(
+                want.data(),
+                got.data(),
+                "F{m} {bits}: PerTap with uniform taps must be bit-identical to PerLayer"
+            );
+        }
+    }
+}
+
+#[test]
+fn calibrated_tap_ranges_are_non_uniform_and_diverge_from_per_layer() {
+    // A layer that *calibrates* tap-wise (rather than inheriting a
+    // broadcast per-layer range) sees different ranges per tap position
+    // and therefore quantizes differently.
+    let mut rng = SeededRng::new(41);
+    let mut a =
+        WinogradAwareConv2d::from_spec(&spec(4, QuantConfig::uniform(BitWidth::INT8)), &mut rng)
+            .expect("static spec");
+    let mut b = WinogradAwareConv2d::from_spec(&spec(4, QuantConfig::per_tap(BitWidth::INT8)), {
+        &mut SeededRng::new(999)
+    })
+    .expect("static spec");
+    let params = export_params(&mut a).expect("unique names");
+    import_params(&mut b, &params).expect("same geometry");
+
+    let warm = rng.uniform_tensor(&[2, 4, 12, 12], -1.0, 1.0);
+    train_fwd(&mut a, &warm);
+    train_fwd(&mut b, &warm);
+
+    let (bdb, ggt) = b.tap_calibration();
+    for (name, taps) in [("BᵀdB", bdb), ("G·g·Gᵀ", ggt)] {
+        let r = taps.ranges();
+        assert!(taps.observations() > 0, "{name} taps must have calibrated");
+        assert!(
+            r.iter().any(|v| (v - r[0]).abs() > 1e-9),
+            "{name}: real Winograd-domain data must produce non-uniform tap ranges, got {r:?}"
+        );
+    }
+
+    let x = rng.uniform_tensor(&[3, 4, 12, 12], -1.0, 1.0);
+    assert_ne!(
+        infer_fwd(&a, &x).data(),
+        infer_fwd(&b, &x).data(),
+        "tap-wise calibration must change the INT8 output"
+    );
+}
+
+#[test]
+fn per_tap_scales_reduce_winograd_domain_quantization_error() {
+    // The point of the scheme: fitting each tap's scale to its own
+    // observed range wastes less of the integer grid on the quiet taps.
+    // Build F6-tile rows whose taps span wildly different amplitudes
+    // (the structure real `BᵀdB` tiles have — pinned non-uniform by the
+    // test above) and compare the INT8 rounding error of one shared
+    // scale against per-tap scales calibrated on the same data.
+    use winograd_aware::quant::{fake_quant_taps, quantization_rmse, ObserverMode, TapQuant};
+
+    let mut rng = SeededRng::new(42);
+    let (n, rows) = (6usize, 64usize);
+    let taps = n * n;
+    let mut x = rng.uniform_tensor(&[rows, taps], -1.0, 1.0);
+    for (i, v) in x.data_mut().iter_mut().enumerate() {
+        // corner taps amplified ~60× over the quiet center taps
+        *v *= 0.05 + 3.0 * (i % taps) as f32 / taps as f32;
+    }
+
+    // RunningMax calibration on the exact data: per-tap scales clip
+    // nothing and use a finer grid wherever a tap is quiet
+    let mut tq = TapQuant::with_mode(n, ObserverMode::RunningMax);
+    tq.observe(&x);
+    let q = fake_quant_taps(
+        &x,
+        &tq.effective_bits(BitWidth::INT8),
+        &tq.scales(BitWidth::INT8),
+    );
+    let per_tap: f64 = {
+        let acc: f64 = x
+            .data()
+            .iter()
+            .zip(q.data())
+            .map(|(a, b)| ((a - b) as f64).powi(2))
+            .sum();
+        (acc / x.len() as f64).sqrt()
+    };
+    let per_layer = quantization_rmse(&x, BitWidth::INT8, x.max_abs() / 127.0);
+    assert!(
+        per_tap < 0.75 * per_layer,
+        "per-tap scales must cut the Winograd-domain rounding error: \
+         per-tap {per_tap} vs per-layer {per_layer}"
+    );
+}
+
+#[test]
+fn per_tap_bit_overrides_flow_through_the_pipeline() {
+    // Mixed per-tap precision: dropping a few taps to INT4 must change
+    // the output (the overrides are live), while FP32 overrides on every
+    // tap make the two Winograd-domain sites lossless.
+    let mut rng = SeededRng::new(43);
+    let mut layer =
+        WinogradAwareConv2d::from_spec(&spec(2, QuantConfig::per_tap(BitWidth::INT8)), &mut rng)
+            .expect("static spec");
+    let warm = rng.uniform_tensor(&[2, 4, 8, 8], -1.0, 1.0);
+    train_fwd(&mut layer, &warm);
+    let x = rng.uniform_tensor(&[2, 4, 8, 8], -1.0, 1.0);
+    let base = infer_fwd(&layer, &x);
+
+    let taps = layer.tap_calibration().0.taps();
+    let mut coarse = vec![BitWidth::INT8; taps];
+    for b in coarse.iter_mut().take(taps / 2) {
+        *b = BitWidth::Int(4);
+    }
+    layer
+        .tap_calibration_mut()
+        .0
+        .set_bit_overrides(Some(coarse))
+        .expect("right length");
+    let mixed = infer_fwd(&layer, &x);
+    assert_ne!(
+        base.data(),
+        mixed.data(),
+        "INT4 tap overrides must change the quantized output"
+    );
+}
