@@ -1,0 +1,370 @@
+//! `wa-bench` — open-loop load generator for the wa-serve HTTP edge.
+//!
+//! ```text
+//! wa-bench <http-addr> --model NAME [--make-checkpoint | --checkpoint PATH]
+//!          [--clients N] [--rate RPS] [--duration-s S] [--batch N]
+//!          [--deadline-ms N] [--timeout-ms N] [--input-size N] [--seed N]
+//! ```
+//!
+//! Fires `rate × duration` `POST /v1/infer` requests at a running
+//! `wa-serve --http-port` on a fixed arrival schedule (*open loop*: the
+//! schedule does not slow down when the server does, so queueing delay
+//! shows up in the latencies instead of being hidden by back-pressure),
+//! spread round-robin over `--clients` keep-alive connections.
+//!
+//! Every response is classified (`ok`, `busy`, `deadline_exceeded`,
+//! `shutting_down`, other HTTP errors, protocol/transport errors) and
+//! every answered request's end-to-end latency lands in an HDR-style
+//! log-bucketed histogram. The run prints a summary and writes
+//! `results/serve_load.json` with p50/p90/p99/mean/max latency,
+//! achieved throughput, and the outcome counts.
+//!
+//! `--make-checkpoint` builds a small LeNet in-process and installs it
+//! via `POST /v1/models/load` first, so a smoke run needs nothing but a
+//! listening server; `--checkpoint PATH` installs an existing
+//! one-document checkpoint instead.
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use wa_bench::{save_json, HttpClient, LogHistogram};
+use wa_models::{ModelKind, ModelSpec, ZooModel};
+use wa_tensor::{Json, SeededRng};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: wa-bench <http-addr> --model NAME [--make-checkpoint | --checkpoint PATH] \
+         [--clients N] [--rate RPS] [--duration-s S] [--batch N] [--deadline-ms N] \
+         [--timeout-ms N] [--input-size N] [--seed N]"
+    );
+    std::process::exit(2);
+}
+
+fn fail(msg: impl std::fmt::Display) -> ! {
+    eprintln!("wa-bench: {msg}");
+    std::process::exit(1);
+}
+
+/// Per-thread outcome tally (merged after the run).
+#[derive(Default, Clone)]
+struct Counters {
+    ok: u64,
+    busy: u64,
+    deadline_exceeded: u64,
+    shutting_down: u64,
+    http_error: u64,
+    protocol_error: u64,
+}
+
+impl Counters {
+    fn answered(&self) -> u64 {
+        self.ok + self.busy + self.deadline_exceeded + self.shutting_down + self.http_error
+    }
+
+    fn merge(&mut self, other: &Counters) {
+        self.ok += other.ok;
+        self.busy += other.busy;
+        self.deadline_exceeded += other.deadline_exceeded;
+        self.shutting_down += other.shutting_down;
+        self.http_error += other.http_error;
+        self.protocol_error += other.protocol_error;
+    }
+}
+
+/// Classifies one reply body into the tally.
+fn classify(status: u16, body: &str, tally: &mut Counters) {
+    let Ok(doc) = Json::parse(body) else {
+        tally.protocol_error += 1;
+        return;
+    };
+    if status == 200 && doc.get("ok") == Some(&Json::Bool(true)) {
+        tally.ok += 1;
+        return;
+    }
+    match doc
+        .get("error")
+        .and_then(|e| e.get("kind"))
+        .and_then(|k| k.as_str())
+    {
+        Some("busy") => tally.busy += 1,
+        Some("deadline_exceeded") => tally.deadline_exceeded += 1,
+        Some("shutting_down") => tally.shutting_down += 1,
+        Some(_) => tally.http_error += 1,
+        None => tally.protocol_error += 1, // non-protocol body
+    }
+}
+
+/// Simple `--key value` flag map (every flag here takes a value except
+/// `--make-checkpoint`).
+struct Flags(Vec<(String, String)>);
+
+impl Flags {
+    fn parse(args: &[String]) -> Flags {
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < args.len() {
+            let Some(key) = args[i].strip_prefix("--") else {
+                usage();
+            };
+            if key == "make-checkpoint" {
+                out.push((key.to_string(), "true".to_string()));
+                i += 1;
+            } else {
+                if i + 1 >= args.len() {
+                    usage();
+                }
+                out.push((key.to_string(), args[i + 1].clone()));
+                i += 2;
+            }
+        }
+        Flags(out)
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.0
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn parsed<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
+        match self.get(key) {
+            None => default,
+            Some(v) => v
+                .parse()
+                .unwrap_or_else(|_| fail(format!("bad value for --{key}: `{v}`"))),
+        }
+    }
+}
+
+/// Installs a model over HTTP, from a checkpoint document.
+fn load_model(addr: &str, timeout: Duration, name: &str, ckpt: Json) {
+    let mut http = HttpClient::connect(addr, Some(timeout))
+        .unwrap_or_else(|e| fail(format!("connecting to {addr}: {e}")));
+    let body = Json::obj([("name", Json::from(name)), ("checkpoint", ckpt)]).to_string_compact();
+    let reply = http
+        .post("/v1/models/load", &body)
+        .unwrap_or_else(|e| fail(format!("POST /v1/models/load: {e}")));
+    if reply.status != 200 {
+        fail(format!(
+            "loading `{name}` failed ({}): {}",
+            reply.status, reply.body
+        ));
+    }
+    println!("loaded `{name}` over HTTP");
+}
+
+/// The model's `[C, H, W]` sample shape, from `GET /v1/models`.
+fn sample_shape(addr: &str, timeout: Duration, name: &str) -> Vec<usize> {
+    let mut http = HttpClient::connect(addr, Some(timeout))
+        .unwrap_or_else(|e| fail(format!("connecting to {addr}: {e}")));
+    let reply = http
+        .get("/v1/models")
+        .unwrap_or_else(|e| fail(format!("GET /v1/models: {e}")));
+    let doc = Json::parse(&reply.body)
+        .unwrap_or_else(|e| fail(format!("unparsable /v1/models body: {e}")));
+    let models = doc.get("models").and_then(|m| m.as_arr()).unwrap_or(&[]);
+    let Some(row) = models
+        .iter()
+        .find(|m| m.get("name").and_then(|v| v.as_str()) == Some(name))
+    else {
+        fail(format!(
+            "no model `{name}` on the server (pass --make-checkpoint or --checkpoint PATH)"
+        ));
+    };
+    row.get("sample_shape")
+        .and_then(|s| s.as_arr())
+        .map(|a| {
+            a.iter()
+                .filter_map(|v| v.as_f64())
+                .map(|f| f as usize)
+                .collect()
+        })
+        .unwrap_or_else(|| fail("/v1/models row lacks sample_shape"))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(addr) = args.first().filter(|a| !a.starts_with("--")) else {
+        usage()
+    };
+    let flags = Flags::parse(&args[1..]);
+    let model = flags.get("model").unwrap_or_else(|| usage()).to_string();
+    let clients: usize = flags.parsed("clients", 4).max(1);
+    let rate: f64 = flags.parsed("rate", 50.0);
+    let duration_s: f64 = flags.parsed("duration-s", 5.0);
+    let batch: usize = flags.parsed("batch", 1).max(1);
+    let deadline_ms: u64 = flags.parsed("deadline-ms", 0);
+    let timeout = Duration::from_millis(flags.parsed("timeout-ms", 10_000u64).max(1));
+    let seed: u64 = flags.parsed("seed", 7);
+    if !rate.is_finite() || rate <= 0.0 || !duration_s.is_finite() || duration_s <= 0.0 {
+        fail("--rate and --duration-s must be positive");
+    }
+
+    // optional model installation, then shape discovery
+    if flags.get("make-checkpoint").is_some() {
+        let spec = ModelSpec::builder()
+            .classes(10)
+            .input_size(flags.parsed("input-size", 12))
+            .build()
+            .unwrap_or_else(|e| fail(e));
+        let mut rng = SeededRng::new(seed);
+        let mut lenet =
+            ZooModel::from_spec(ModelKind::LeNet, &spec, &mut rng).unwrap_or_else(|e| fail(e));
+        let ckpt = lenet.to_full_checkpoint().unwrap_or_else(|e| fail(e));
+        load_model(addr, timeout, &model, ckpt.to_json());
+    } else if let Some(path) = flags.get("checkpoint") {
+        let text =
+            std::fs::read_to_string(path).unwrap_or_else(|e| fail(format!("reading {path}: {e}")));
+        let ckpt = Json::parse(&text).unwrap_or_else(|e| fail(format!("parsing {path}: {e}")));
+        load_model(addr, timeout, &model, ckpt);
+    }
+    let shape = sample_shape(addr, timeout, &model);
+
+    // pre-serialized request bodies (a few variants so batches differ)
+    let mut rng = SeededRng::new(seed ^ 0x9e37_79b9);
+    let mut full = vec![batch];
+    full.extend(&shape);
+    let bodies: Vec<String> = (0..4)
+        .map(|_| {
+            let input = rng.uniform_tensor(&full, -1.0, 1.0);
+            let mut fields = vec![
+                ("model".to_string(), Json::from(model.as_str())),
+                ("input".to_string(), input.to_json()),
+            ];
+            if deadline_ms > 0 {
+                fields.push(("deadline_ms".to_string(), Json::from(deadline_ms as f64)));
+            }
+            Json::Obj(fields).to_string_compact()
+        })
+        .collect();
+
+    // open loop: request i is *due* at t0 + i/rate, regardless of how
+    // fast the server answers — thread t sends requests t, t+C, t+2C, …
+    let total = (rate * duration_s).ceil() as usize;
+    println!(
+        "firing {total} requests of {batch} sample(s) at {rate:.1} req/s \
+         over {clients} connection(s)…"
+    );
+    let merged: Mutex<(Counters, LogHistogram)> =
+        Mutex::new((Counters::default(), LogHistogram::new()));
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for thread in 0..clients {
+            let bodies = &bodies;
+            let merged = &merged;
+            s.spawn(move || {
+                let mut tally = Counters::default();
+                let mut hist = LogHistogram::new();
+                let mut http = HttpClient::connect(addr, Some(timeout)).ok();
+                let mut i = thread;
+                while i < total {
+                    let due = t0 + Duration::from_secs_f64(i as f64 / rate);
+                    if let Some(wait) = due.checked_duration_since(Instant::now()) {
+                        std::thread::sleep(wait);
+                    }
+                    if http.is_none() {
+                        http = HttpClient::connect(addr, Some(timeout)).ok();
+                    }
+                    let Some(conn) = http.as_mut() else {
+                        tally.protocol_error += 1;
+                        i += clients;
+                        continue;
+                    };
+                    let sent = Instant::now();
+                    match conn.post("/v1/infer", &bodies[i % bodies.len()]) {
+                        Ok(reply) => {
+                            hist.record(sent.elapsed().as_micros() as u64);
+                            classify(reply.status, &reply.body, &mut tally);
+                        }
+                        Err(_) => {
+                            // transport failure: drop the connection and
+                            // let the next request reconnect
+                            tally.protocol_error += 1;
+                            http = None;
+                        }
+                    }
+                    i += clients;
+                }
+                let mut merged = merged.lock().expect("merge lock");
+                merged.0.merge(&tally);
+                merged.1.merge(&hist);
+            });
+        }
+    });
+    let elapsed = t0.elapsed().as_secs_f64().max(1e-9);
+    let (tally, hist) = merged.into_inner().expect("merge lock");
+
+    let ms = |micros: u64| micros as f64 / 1e3;
+    let quantile_ms = |q: f64| hist.quantile(q).map(ms).unwrap_or(0.0);
+    let (p50, p90, p99) = (quantile_ms(0.5), quantile_ms(0.9), quantile_ms(0.99));
+    let rps = tally.ok as f64 / elapsed;
+    let sps = (tally.ok as usize * batch) as f64 / elapsed;
+    println!(
+        "{} answered of {total} sent in {elapsed:.2}s: {} ok ({rps:.1} req/s, {sps:.1} samples/s), \
+         {} busy, {} deadline_exceeded, {} shutting_down, {} http errors, {} protocol errors",
+        tally.answered(),
+        tally.ok,
+        tally.busy,
+        tally.deadline_exceeded,
+        tally.shutting_down,
+        tally.http_error,
+        tally.protocol_error,
+    );
+    println!(
+        "latency: p50 {p50:.2}ms, p90 {p90:.2}ms, p99 {p99:.2}ms, mean {:.2}ms, max {:.2}ms",
+        ms(hist.mean() as u64),
+        ms(hist.max()),
+    );
+
+    save_json(
+        "serve_load",
+        &Json::obj([
+            ("name", Json::from("serve_load")),
+            (
+                "config",
+                Json::obj([
+                    ("clients", Json::from(clients)),
+                    ("rate_rps", Json::from(rate)),
+                    ("duration_s", Json::from(duration_s)),
+                    ("batch", Json::from(batch)),
+                    ("deadline_ms", Json::from(deadline_ms as f64)),
+                    ("model", Json::from(model.as_str())),
+                ]),
+            ),
+            ("sent", Json::from(total)),
+            ("answered", Json::from(tally.answered() as f64)),
+            (
+                "outcomes",
+                Json::obj([
+                    ("ok", Json::from(tally.ok as f64)),
+                    ("busy", Json::from(tally.busy as f64)),
+                    (
+                        "deadline_exceeded",
+                        Json::from(tally.deadline_exceeded as f64),
+                    ),
+                    ("shutting_down", Json::from(tally.shutting_down as f64)),
+                    ("http_error", Json::from(tally.http_error as f64)),
+                    ("protocol_error", Json::from(tally.protocol_error as f64)),
+                ]),
+            ),
+            (
+                "throughput",
+                Json::obj([
+                    ("requests_per_sec", Json::from(rps)),
+                    ("samples_per_sec", Json::from(sps)),
+                ]),
+            ),
+            (
+                "latency_ms",
+                Json::obj([
+                    ("p50", Json::from(p50)),
+                    ("p90", Json::from(p90)),
+                    ("p99", Json::from(p99)),
+                    ("mean", Json::from(ms(hist.mean() as u64))),
+                    ("max", Json::from(ms(hist.max()))),
+                ]),
+            ),
+        ]),
+    );
+}

@@ -12,8 +12,11 @@
 //!
 //! Set `WA_FULL=1` for larger (slower) runs closer to the paper's scale.
 
+pub mod load;
+
 use std::path::PathBuf;
 
+pub use load::{HttpClient, HttpReply, LogHistogram};
 use wa_core::{fit, ConvAlgo, History, LabeledBatch, OptimKind, TrainConfig};
 use wa_data::Dataset;
 use wa_models::ModelSpec;

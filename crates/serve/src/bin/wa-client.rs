@@ -3,12 +3,13 @@
 //! ```text
 //! wa-client make-checkpoint <path> [--arch lenet] [--classes N]
 //!           [--input-size N] [--width W] [--algo F2] [--quant INT8] [--transform per-tap] [--seed N]
-//! wa-client load <addr> <name> <path>
-//! wa-client list <addr>
+//! wa-client load <addr> <name> <path> [--timeout MS]
+//! wa-client list <addr> [--timeout MS]
 //! wa-client infer <addr> <name> [--batch N] [--requests K]
-//!           [--concurrency C] [--seed N] [--record]
-//! wa-client stats <addr>
-//! wa-client shutdown <addr>
+//!           [--concurrency C] [--seed N] [--deadline-ms N]
+//!           [--timeout MS] [--record]
+//! wa-client stats <addr> [--timeout MS]
+//! wa-client shutdown <addr> [--timeout MS]
 //! ```
 //!
 //! `infer` asks the server for the model's expected sample shape, fires
@@ -17,9 +18,16 @@
 //! scheduler coalesce them), prints the first response's logits and the
 //! measured served samples/sec, and with `--record` appends the number
 //! to `results/serve_throughput.json`.
+//!
+//! `--timeout MS` bounds every network wait on the client side
+//! (connect, send, receive); an elapsed timeout exits with a structured
+//! `timed out after …` message instead of hanging. `--deadline-ms N`
+//! is the *server-side* budget: the scheduler drops the request
+//! unexecuted (answering `deadline_exceeded`) if it is still queued
+//! when the budget elapses.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use wa_bench::BenchRecord;
 use wa_core::ConvAlgo;
@@ -33,12 +41,12 @@ fn usage() -> ! {
     eprintln!(
         "usage:\n  wa-client make-checkpoint <path> [--arch lenet] [--classes N] \
          [--input-size N] [--width W] [--algo F2] [--quant INT8] [--transform per-tap] [--seed N]\n  \
-         wa-client load <addr> <name> <path>\n  \
-         wa-client list <addr>\n  \
+         wa-client load <addr> <name> <path> [--timeout MS]\n  \
+         wa-client list <addr> [--timeout MS]\n  \
          wa-client infer <addr> <name> [--batch N] [--requests K] [--concurrency C] \
-         [--seed N] [--record]\n  \
-         wa-client stats <addr>\n  \
-         wa-client shutdown <addr>"
+         [--seed N] [--deadline-ms N] [--timeout MS] [--record]\n  \
+         wa-client stats <addr> [--timeout MS]\n  \
+         wa-client shutdown <addr> [--timeout MS]"
     );
     std::process::exit(2);
 }
@@ -90,6 +98,16 @@ impl Flags {
     }
 }
 
+/// Connects, honouring `--timeout MS` when present (0 or absent = no
+/// client-side timeout).
+fn connect(addr: &str, flags: &Flags) -> Client {
+    match flags.parsed("timeout", 0u64) {
+        0 => Client::connect(addr).unwrap_or_else(|e| fail(e)),
+        ms => Client::connect_with_timeout(addr, Duration::from_millis(ms))
+            .unwrap_or_else(|e| fail(e)),
+    }
+}
+
 fn make_checkpoint(path: &str, flags: &Flags) {
     let kind: ModelKind = flags
         .get("arch")
@@ -131,12 +149,12 @@ fn make_checkpoint(path: &str, flags: &Flags) {
     println!("wrote {kind} checkpoint ({} bytes) to {path}", doc.len());
 }
 
-fn load(addr: &str, name: &str, path: &str) {
+fn load(addr: &str, name: &str, path: &str, flags: &Flags) {
     let text =
         std::fs::read_to_string(path).unwrap_or_else(|e| fail(format!("reading {path}: {e}")));
     let ckpt = FullCheckpoint::from_json_str(&text)
         .unwrap_or_else(|e| fail(format!("parsing {path}: {e}")));
-    let mut client = Client::connect(addr).unwrap_or_else(|e| fail(e));
+    let mut client = connect(addr, flags);
     let resp = client.load_model(name, &ckpt).unwrap_or_else(|e| fail(e));
     println!(
         "loaded `{name}` (arch {}, {} params)",
@@ -172,8 +190,9 @@ fn infer(addr: &str, name: &str, flags: &Flags) {
     let requests: usize = flags.parsed("requests", 8);
     let concurrency: usize = flags.parsed("concurrency", 2).max(1);
     let seed: u64 = flags.parsed("seed", 7);
+    let deadline_ms: u64 = flags.parsed("deadline-ms", 0);
 
-    let mut probe = Client::connect(addr).unwrap_or_else(|e| fail(e));
+    let mut probe = connect(addr, flags);
     let shape = sample_shape(&mut probe, name);
     let mut full = vec![batch];
     full.extend(&shape);
@@ -190,13 +209,19 @@ fn infer(addr: &str, name: &str, flags: &Flags) {
     std::thread::scope(|s| {
         for _ in 0..concurrency.min(requests) {
             s.spawn(|| {
-                let mut client = Client::connect(addr).unwrap_or_else(|e| fail(e));
+                let mut client = connect(addr, flags);
                 loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= requests {
                         return;
                     }
-                    let out = client.infer(name, &inputs[i]).unwrap_or_else(|e| fail(e));
+                    let out = if deadline_ms > 0 {
+                        client
+                            .infer_with_deadline(name, &inputs[i], deadline_ms)
+                            .unwrap_or_else(|e| fail(e))
+                    } else {
+                        client.infer(name, &inputs[i]).unwrap_or_else(|e| fail(e))
+                    };
                     if i == 0 {
                         *first_logits.lock().expect("logits lock") = Some(out);
                     }
@@ -242,20 +267,23 @@ fn main() {
         ("make-checkpoint", rest) if !rest.is_empty() => {
             make_checkpoint(&rest[0], &Flags::parse(&rest[1..], &[]));
         }
-        ("load", [addr, name, path]) => load(addr, name, path),
-        ("list", [addr]) => {
-            let mut client = Client::connect(addr).unwrap_or_else(|e| fail(e));
+        ("load", rest) if rest.len() >= 3 => {
+            let flags = Flags::parse(&rest[3..], &[]);
+            load(&rest[0], &rest[1], &rest[2], &flags);
+        }
+        ("list", rest) if !rest.is_empty() => {
+            let mut client = connect(&rest[0], &Flags::parse(&rest[1..], &[]));
             println!("{}", client.list_models().unwrap_or_else(|e| fail(e)));
         }
         ("infer", rest) if rest.len() >= 2 => {
             infer(&rest[0], &rest[1], &Flags::parse(&rest[2..], &["record"]));
         }
-        ("stats", [addr]) => {
-            let mut client = Client::connect(addr).unwrap_or_else(|e| fail(e));
+        ("stats", rest) if !rest.is_empty() => {
+            let mut client = connect(&rest[0], &Flags::parse(&rest[1..], &[]));
             println!("{}", client.stats().unwrap_or_else(|e| fail(e)));
         }
-        ("shutdown", [addr]) => {
-            let mut client = Client::connect(addr).unwrap_or_else(|e| fail(e));
+        ("shutdown", rest) if !rest.is_empty() => {
+            let mut client = connect(&rest[0], &Flags::parse(&rest[1..], &[]));
             client.shutdown().unwrap_or_else(|e| fail(e));
             println!("server stopping");
         }

@@ -5,6 +5,7 @@
 
 use std::io;
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 use wa_nn::FullCheckpoint;
 use wa_tensor::{Json, Tensor};
@@ -16,6 +17,14 @@ use crate::protocol::{read_frame, write_frame, FrameError, DEFAULT_MAX_FRAME};
 pub enum ClientError {
     /// Transport failure (connect, read, write, framing).
     Transport(FrameError),
+    /// A configured client-side timeout (see [`Client::set_timeout`] or
+    /// [`Client::connect_with_timeout`]) elapsed before the server
+    /// answered. Distinct from [`ClientError::Transport`] so callers can
+    /// retry timeouts without treating every I/O failure as retryable.
+    Timeout {
+        /// The configured limit that elapsed.
+        limit: Duration,
+    },
     /// The server answered with `ok: false`; `kind`/`message` are the
     /// structured error fields.
     Server {
@@ -32,6 +41,13 @@ impl std::fmt::Display for ClientError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ClientError::Transport(e) => write!(f, "transport error: {e}"),
+            ClientError::Timeout { limit } => {
+                write!(
+                    f,
+                    "timed out after {}ms waiting on the server",
+                    limit.as_millis()
+                )
+            }
             ClientError::Server { kind, message } => write!(f, "server error [{kind}]: {message}"),
             ClientError::BadResponse(m) => write!(f, "bad response: {m}"),
         }
@@ -46,10 +62,21 @@ impl From<io::Error> for ClientError {
     }
 }
 
+/// Whether an I/O error is how this platform reports an elapsed
+/// socket read/write timeout.
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
 /// A blocking connection to a wa-serve server.
 pub struct Client {
     stream: TcpStream,
     max_frame: usize,
+    /// Per-operation read/write timeout, when one is set.
+    timeout: Option<Duration>,
 }
 
 impl Client {
@@ -62,7 +89,70 @@ impl Client {
         Ok(Client {
             stream: TcpStream::connect(addr)?,
             max_frame: DEFAULT_MAX_FRAME,
+            timeout: None,
         })
+    }
+
+    /// Connects with a limit on the connect itself *and* installs the
+    /// same limit as the per-operation timeout (see
+    /// [`Client::set_timeout`]).
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Timeout`] when the limit elapses first; connection
+    /// failures otherwise.
+    pub fn connect_with_timeout(
+        addr: impl ToSocketAddrs,
+        limit: Duration,
+    ) -> Result<Client, ClientError> {
+        let mut last: Option<io::Error> = None;
+        for addr in addr.to_socket_addrs()? {
+            match TcpStream::connect_timeout(&addr, limit) {
+                Ok(stream) => {
+                    let mut client = Client {
+                        stream,
+                        max_frame: DEFAULT_MAX_FRAME,
+                        timeout: None,
+                    };
+                    client.set_timeout(Some(limit))?;
+                    return Ok(client);
+                }
+                Err(e) => last = Some(e),
+            }
+        }
+        match last {
+            Some(e) if is_timeout(&e) => Err(ClientError::Timeout { limit }),
+            Some(e) => Err(ClientError::from(e)),
+            None => Err(ClientError::from(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "address resolved to nothing",
+            ))),
+        }
+    }
+
+    /// Sets (or clears, with `None`) the read/write timeout applied to
+    /// every subsequent operation. An elapsed timeout surfaces as
+    /// [`ClientError::Timeout`]; the connection should be considered
+    /// out of sync afterwards (a late response may still arrive) and be
+    /// dropped.
+    ///
+    /// # Errors
+    ///
+    /// [`std::io::Error`] from the socket options (a zero duration).
+    pub fn set_timeout(&mut self, limit: Option<Duration>) -> Result<(), ClientError> {
+        self.stream.set_read_timeout(limit)?;
+        self.stream.set_write_timeout(limit)?;
+        self.timeout = limit;
+        Ok(())
+    }
+
+    /// Re-frames an elapsed-timeout transport error as
+    /// [`ClientError::Timeout`] when a timeout is configured.
+    fn transport(&self, e: FrameError) -> ClientError {
+        match (&e, self.timeout) {
+            (FrameError::Io(io), Some(limit)) if is_timeout(io) => ClientError::Timeout { limit },
+            _ => ClientError::Transport(e),
+        }
     }
 
     /// Sends one raw request document and returns the raw response
@@ -70,10 +160,11 @@ impl Client {
     ///
     /// # Errors
     ///
-    /// Transport failures only.
+    /// Transport failures only ([`ClientError::Timeout`] when a
+    /// configured timeout elapses first).
     pub fn request_raw(&mut self, doc: &Json) -> Result<Json, ClientError> {
-        write_frame(&mut self.stream, doc)?;
-        read_frame(&mut self.stream, self.max_frame).map_err(ClientError::Transport)
+        write_frame(&mut self.stream, doc).map_err(|e| self.transport(FrameError::Io(e)))?;
+        read_frame(&mut self.stream, self.max_frame).map_err(|e| self.transport(e))
     }
 
     /// Sends a request and enforces `ok: true`, returning the response
@@ -156,11 +247,31 @@ impl Client {
             ("model", Json::from(model)),
             ("input", input.to_json()),
         ]))?;
-        let out = resp
-            .get("output")
-            .ok_or_else(|| ClientError::BadResponse("infer response lacks `output`".to_string()))?;
-        Tensor::from_json(out)
-            .map_err(|e| ClientError::BadResponse(format!("bad output tensor: {e}")))
+        extract_output(&resp)
+    }
+
+    /// Like [`Client::infer`], but with a server-side latency budget:
+    /// the request is dropped unexecuted (and answered with a
+    /// `deadline_exceeded` error) if it is still queued when
+    /// `deadline_ms` elapses on the server.
+    ///
+    /// # Errors
+    ///
+    /// Transport or server failures (`deadline_exceeded` when the
+    /// budget expires first).
+    pub fn infer_with_deadline(
+        &mut self,
+        model: &str,
+        input: &Tensor,
+        deadline_ms: u64,
+    ) -> Result<Tensor, ClientError> {
+        let resp = self.request(&Json::obj([
+            ("op", Json::from("infer")),
+            ("model", Json::from(model)),
+            ("input", input.to_json()),
+            ("deadline_ms", Json::from(deadline_ms as f64)),
+        ]))?;
+        extract_output(&resp)
     }
 
     /// Fetches per-model serving counters.
@@ -181,4 +292,12 @@ impl Client {
         self.request(&Json::obj([("op", Json::from("shutdown"))]))
             .map(|_| ())
     }
+}
+
+/// Pulls the `output` tensor out of an `ok: true` infer response.
+fn extract_output(resp: &Json) -> Result<Tensor, ClientError> {
+    let out = resp
+        .get("output")
+        .ok_or_else(|| ClientError::BadResponse("infer response lacks `output`".to_string()))?;
+    Tensor::from_json(out).map_err(|e| ClientError::BadResponse(format!("bad output tensor: {e}")))
 }

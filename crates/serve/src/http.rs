@@ -1,0 +1,526 @@
+//! The HTTP/1.1 front-end: the same registry, scheduler and structured
+//! errors as the socket protocol, reachable with nothing but `curl`.
+//!
+//! Dependency-free like everything else in the workspace: a bounded
+//! HTTP/1.1 request parser (request line + headers + `Content-Length`
+//! body) over `std::net`, one thread per connection drawn from the same
+//! `--max-conns` pool as the socket listener, keep-alive by default.
+//!
+//! # Endpoints
+//!
+//! | method & path | body | semantics |
+//! |---|---|---|
+//! | `POST /v1/infer` | `{"model", "input", "deadline_ms"?}` | batched inference (socket `infer`) |
+//! | `GET /v1/models` | — | enumerate loaded models (socket `list_models`) |
+//! | `GET /v1/stats` | — | server + per-model counters (socket `stats`) |
+//! | `POST /v1/models/load` | `{"name", "checkpoint"}` | install a checkpoint (socket `load_model`) |
+//! | `POST /v1/models/unload` | `{"name"}` | remove a model (socket `unload`) |
+//! | `POST /v1/shutdown` | — | graceful drain + exit (socket `shutdown`) |
+//!
+//! Every response body is the same JSON document the socket protocol
+//! would produce (`{"ok": true, ...}` / `{"ok": false, "error":
+//! {"kind", "message"}}`); the HTTP status code is derived from the
+//! error kind (see [`status_for_kind`]), so HTTP-native clients can
+//! dispatch on the status line and protocol-aware clients on `kind`.
+//!
+//! Transport errors mirror the socket rules: a malformed request head
+//! or an oversized body (over the `--max-frame-mb` cap) is answered
+//! with a structured error and then the connection closes, because the
+//! stream can no longer be trusted to be in sync; request-content
+//! problems keep the connection serving.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Duration;
+
+use wa_tensor::Json;
+
+use crate::protocol::{error_response, ok_response, ErrorBody, ErrorKind, Request};
+use crate::server::{dispatch, request_stop, CountGuard, Shared};
+
+/// Cap on one header line (request line included), in bytes.
+const MAX_HEADER_LINE: usize = 16 << 10;
+
+/// Cap on the number of header lines of one request.
+const MAX_HEADERS: usize = 128;
+
+/// The HTTP status code a failed request of this kind maps to.
+pub fn status_for_kind(kind: ErrorKind) -> u16 {
+    match kind {
+        ErrorKind::BadFrame => 400,
+        ErrorKind::BadRequest => 400,
+        ErrorKind::UnknownModel => 404,
+        ErrorKind::InvalidSpec => 400,
+        ErrorKind::ShapeMismatch => 400,
+        ErrorKind::UnsupportedAlgo => 400,
+        ErrorKind::Busy => 429,
+        ErrorKind::DeadlineExceeded => 504,
+        ErrorKind::ShuttingDown => 503,
+        ErrorKind::Internal => 500,
+    }
+}
+
+/// The standard reason phrase for the status codes this server emits.
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        501 => "Not Implemented",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Unknown",
+    }
+}
+
+/// One parsed request head + body.
+struct HttpRequest {
+    method: String,
+    path: String,
+    /// Lower-cased header names.
+    headers: Vec<(String, String)>,
+    body: Vec<u8>,
+    /// Whether the connection may carry another request after this one.
+    keep_alive: bool,
+}
+
+impl HttpRequest {
+    fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Why a request could not be read.
+enum HttpReadError {
+    /// Clean EOF before the first byte of a request (normal end).
+    Closed,
+    /// Transport failure, including mid-request EOF.
+    Io,
+    /// The request head is not parseable HTTP/1.1; the stream is out of
+    /// sync, so the connection must close after the error response.
+    Malformed(String),
+    /// The declared body length exceeds the configured cap; the body was
+    /// never read, so the connection must close after the response.
+    BodyTooLarge { declared: usize, max: usize },
+    /// A framing the parser does not implement (chunked bodies).
+    Unsupported(String),
+}
+
+/// Reads one `\r\n`-terminated line, capped, without consuming past it.
+fn read_line(r: &mut impl BufRead) -> Result<Option<String>, HttpReadError> {
+    let mut line = Vec::new();
+    loop {
+        let mut byte = [0u8; 1];
+        match r.read(&mut byte) {
+            Ok(0) => {
+                if line.is_empty() {
+                    return Ok(None);
+                }
+                return Err(HttpReadError::Io);
+            }
+            Ok(_) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => return Err(HttpReadError::Io),
+        }
+        if byte[0] == b'\n' {
+            if line.last() == Some(&b'\r') {
+                line.pop();
+            }
+            return String::from_utf8(line)
+                .map(Some)
+                .map_err(|_| HttpReadError::Malformed("header line is not UTF-8".to_string()));
+        }
+        line.push(byte[0]);
+        if line.len() > MAX_HEADER_LINE {
+            return Err(HttpReadError::Malformed(format!(
+                "header line exceeds {MAX_HEADER_LINE} bytes"
+            )));
+        }
+    }
+}
+
+/// Reads one full request (head + body) off the connection.
+fn read_request(
+    r: &mut BufReader<TcpStream>,
+    max_body: usize,
+) -> Result<HttpRequest, HttpReadError> {
+    let request_line = match read_line(r)? {
+        None => return Err(HttpReadError::Closed),
+        Some(line) => line,
+    };
+    let mut parts = request_line.split_whitespace();
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v), None) => (m.to_string(), p.to_string(), v.to_string()),
+        _ => {
+            return Err(HttpReadError::Malformed(format!(
+                "malformed request line `{request_line}`"
+            )))
+        }
+    };
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Err(HttpReadError::Malformed(format!(
+            "unsupported protocol version `{version}`"
+        )));
+    }
+    let mut headers = Vec::new();
+    loop {
+        let line = match read_line(r)? {
+            None => return Err(HttpReadError::Io),
+            Some(line) => line,
+        };
+        if line.is_empty() {
+            break;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(HttpReadError::Malformed(format!(
+                "malformed header line `{line}`"
+            )));
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+        if headers.len() > MAX_HEADERS {
+            return Err(HttpReadError::Malformed(format!(
+                "more than {MAX_HEADERS} headers"
+            )));
+        }
+    }
+    let mut request = HttpRequest {
+        method,
+        path,
+        headers,
+        body: Vec::new(),
+        keep_alive: version == "HTTP/1.1",
+    };
+    match request.header("connection").map(str::to_ascii_lowercase) {
+        Some(c) if c == "close" => request.keep_alive = false,
+        Some(c) if c == "keep-alive" => request.keep_alive = true,
+        _ => {}
+    }
+    if request
+        .header("transfer-encoding")
+        .is_some_and(|v| !v.eq_ignore_ascii_case("identity"))
+    {
+        return Err(HttpReadError::Unsupported(
+            "chunked request bodies are not supported; send Content-Length".to_string(),
+        ));
+    }
+    let declared = match request.header("content-length") {
+        None => 0,
+        Some(v) => v
+            .trim()
+            .parse::<usize>()
+            .map_err(|_| HttpReadError::Malformed(format!("unparsable Content-Length `{v}`")))?,
+    };
+    if declared > max_body {
+        return Err(HttpReadError::BodyTooLarge {
+            declared,
+            max: max_body,
+        });
+    }
+    let mut body = vec![0u8; declared];
+    r.read_exact(&mut body).map_err(|_| HttpReadError::Io)?;
+    request.body = body;
+    Ok(request)
+}
+
+/// Writes one JSON response with the framing headers HTTP/1.1 requires.
+fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    body: &Json,
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    let body = body.to_string_compact();
+    let head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        reason(status),
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// A routed outcome: status + body, plus connection directives.
+struct Routed {
+    status: u16,
+    body: Json,
+    /// Ask the server to begin its graceful drain after responding.
+    stop: bool,
+}
+
+impl Routed {
+    fn err(status: u16, kind: ErrorKind, message: impl Into<String>) -> Routed {
+        Routed {
+            status,
+            body: error_response(None, &ErrorBody::new(kind, message)),
+            stop: false,
+        }
+    }
+}
+
+/// The HTTP status of a dispatch response document (200 for `ok: true`,
+/// the error kind's mapping otherwise).
+fn status_of_response(doc: &Json) -> u16 {
+    if doc.get("ok") == Some(&Json::Bool(true)) {
+        return 200;
+    }
+    let code = doc
+        .get("error")
+        .and_then(|e| e.get("kind"))
+        .and_then(|k| k.as_str())
+        .unwrap_or("internal");
+    match code {
+        "bad_frame" | "bad_request" | "invalid_spec" | "shape_mismatch" | "unsupported_algo" => 400,
+        "unknown_model" => 404,
+        "busy" => 429,
+        "deadline_exceeded" => 504,
+        "shutting_down" => 503,
+        _ => 500,
+    }
+}
+
+/// Parses the body as a JSON object and re-frames it as a protocol
+/// request with the given `op`, reusing every socket-side validation.
+fn body_as_op(op: &str, body: &[u8]) -> Result<Request, ErrorBody> {
+    let text = std::str::from_utf8(body)
+        .map_err(|_| ErrorBody::new(ErrorKind::BadFrame, "request body is not UTF-8"))?;
+    let doc = if text.trim().is_empty() {
+        Json::Obj(Vec::new())
+    } else {
+        Json::parse(text)
+            .map_err(|e| ErrorBody::new(ErrorKind::BadFrame, format!("invalid JSON body: {e}")))?
+    };
+    let Some(fields) = doc.as_obj() else {
+        return Err(ErrorBody::new(
+            ErrorKind::BadRequest,
+            "request body must be a JSON object",
+        ));
+    };
+    let mut framed = vec![("op".to_string(), Json::from(op))];
+    framed.extend(fields.iter().cloned());
+    Request::from_json(&Json::Obj(framed))
+}
+
+/// Routes one parsed request to the shared dispatch.
+fn route(req: &HttpRequest, shared: &Shared) -> Routed {
+    // method → op table; a known path with the wrong method is 405, an
+    // unknown path 404 — both structured JSON like every other error
+    let no_body: &[u8] = &[];
+    let (want_method, op, body): (&str, &str, &[u8]) = match req.path.as_str() {
+        "/v1/infer" => ("POST", "infer", &req.body),
+        "/v1/models" => ("GET", "list_models", no_body),
+        "/v1/stats" => ("GET", "stats", no_body),
+        "/v1/models/load" => ("POST", "load_model", &req.body),
+        "/v1/models/unload" => ("POST", "unload", &req.body),
+        "/v1/shutdown" => ("POST", "shutdown", no_body),
+        other => {
+            return Routed::err(
+                404,
+                ErrorKind::BadRequest,
+                format!(
+                    "no endpoint `{other}` (have /v1/infer, /v1/models, /v1/stats, \
+                     /v1/models/load, /v1/models/unload, /v1/shutdown)"
+                ),
+            );
+        }
+    };
+    if req.method != want_method {
+        return Routed::err(
+            405,
+            ErrorKind::BadRequest,
+            format!("`{}` requires {want_method}, got {}", req.path, req.method),
+        );
+    }
+    let request = match body_as_op(op, body) {
+        Ok(request) => request,
+        Err(e) => {
+            return Routed {
+                status: status_for_kind(e.kind),
+                body: error_response(None, &e),
+                stop: false,
+            };
+        }
+    };
+    if matches!(request, Request::Shutdown) {
+        // answer first, stop after the response is on the wire (the
+        // caller handles the flag) — same ordering as the socket path
+        return Routed {
+            status: 200,
+            body: ok_response(None, vec![("stopping".to_string(), Json::Bool(true))]),
+            stop: true,
+        };
+    }
+    let response = dispatch(request, shared, None);
+    Routed {
+        status: status_of_response(&response),
+        body: response,
+        stop: false,
+    }
+}
+
+/// One HTTP connection's read → route → respond loop.
+fn serve_http_connection(stream: TcpStream, shared: &Shared) {
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    loop {
+        let request = read_request(&mut reader, shared.max_frame);
+        // from here until the response is written this request counts as
+        // in-flight: shutdown waits for the counter to drain
+        let _guard = CountGuard::begin(&shared.in_flight);
+        let request = match request {
+            Ok(request) => request,
+            Err(HttpReadError::Closed) | Err(HttpReadError::Io) => return,
+            Err(HttpReadError::Malformed(msg)) => {
+                let body = error_response(None, &ErrorBody::new(ErrorKind::BadFrame, msg));
+                let _ = write_response(&mut writer, 400, &body, false);
+                return;
+            }
+            Err(HttpReadError::BodyTooLarge { declared, max }) => {
+                let body = error_response(
+                    None,
+                    &ErrorBody::new(
+                        ErrorKind::BadFrame,
+                        format!("request body of {declared} bytes exceeds the {max}-byte cap"),
+                    ),
+                );
+                let _ = write_response(&mut writer, 413, &body, false);
+                return;
+            }
+            Err(HttpReadError::Unsupported(msg)) => {
+                let body = error_response(None, &ErrorBody::new(ErrorKind::BadRequest, msg));
+                let _ = write_response(&mut writer, 501, &body, false);
+                return;
+            }
+        };
+        let routed = route(&request, shared);
+        let keep_alive = request.keep_alive && !routed.stop;
+        let write = write_response(&mut writer, routed.status, &routed.body, keep_alive);
+        if routed.stop {
+            request_stop(shared);
+            return;
+        }
+        if write.is_err() || !keep_alive {
+            return;
+        }
+    }
+}
+
+/// Answers an over-limit HTTP connection with exactly one `429`, then
+/// closes it (the HTTP twin of the socket busy refusal).
+fn refuse_http_connection(stream: TcpStream, shared: &Shared) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(500)));
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    // drain the request head (bounded by the timeout) so the refusal is
+    // observable as a response rather than a connection reset
+    let mut reader = BufReader::new(stream);
+    let _ = read_request(&mut reader, shared.max_frame);
+    let body = error_response(
+        None,
+        &ErrorBody::new(
+            ErrorKind::Busy,
+            format!(
+                "connection limit reached (max {} concurrent connections); retry later",
+                shared.max_conns
+            ),
+        ),
+    );
+    let _ = write_response(&mut writer, 429, &body, false);
+}
+
+/// The HTTP accept loop: same stop flag, connection pool and busy
+/// policy as the socket accept loop in [`crate::server`].
+pub(crate) fn accept_loop(listener: TcpListener, shared: &Arc<Shared>) {
+    for conn in listener.incoming() {
+        if shared.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let stream = match conn {
+            Ok(s) => s,
+            Err(_) => continue, // transient accept failure
+        };
+        // request/response traffic: Nagle + delayed ACK would add ~40ms
+        // to every keep-alive round trip
+        let _ = stream.set_nodelay(true);
+        let conn_shared = Arc::clone(shared);
+        // reserve a connection slot before spawning; over the limit the
+        // peer gets one 429 instead of a thread (same policy and same
+        // pool as the socket accept loop)
+        if shared.conns.fetch_add(1, Ordering::SeqCst) >= shared.max_conns {
+            shared.conns.fetch_sub(1, Ordering::SeqCst);
+            if shared.busy.fetch_add(1, Ordering::SeqCst) >= shared.max_conns {
+                shared.busy.fetch_sub(1, Ordering::SeqCst);
+                continue;
+            }
+            let spawned = std::thread::Builder::new()
+                .name("wa-serve-http-busy".to_string())
+                .spawn(move || {
+                    let _slot = CountGuard::adopt(&conn_shared.busy);
+                    refuse_http_connection(stream, &conn_shared);
+                });
+            if spawned.is_err() {
+                // thread creation failed: the closure (and its adopted
+                // guard) never ran
+                shared.busy.fetch_sub(1, Ordering::SeqCst);
+            }
+            continue;
+        }
+        let spawned = std::thread::Builder::new()
+            .name("wa-serve-http-conn".to_string())
+            .spawn(move || {
+                // release the slot however the connection ends
+                let _slot = CountGuard::adopt(&conn_shared.conns);
+                serve_http_connection(stream, &conn_shared);
+            });
+        if spawned.is_err() {
+            shared.conns.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_error_kind_has_a_status() {
+        for (kind, want) in [
+            (ErrorKind::BadFrame, 400),
+            (ErrorKind::BadRequest, 400),
+            (ErrorKind::UnknownModel, 404),
+            (ErrorKind::InvalidSpec, 400),
+            (ErrorKind::ShapeMismatch, 400),
+            (ErrorKind::UnsupportedAlgo, 400),
+            (ErrorKind::Busy, 429),
+            (ErrorKind::DeadlineExceeded, 504),
+            (ErrorKind::ShuttingDown, 503),
+            (ErrorKind::Internal, 500),
+        ] {
+            assert_eq!(status_for_kind(kind), want, "{:?}", kind);
+            // the string-side mapping used on dispatch responses agrees
+            let doc = error_response(None, &ErrorBody::new(kind, "x"));
+            assert_eq!(status_of_response(&doc), want, "{:?}", kind);
+        }
+    }
+
+    #[test]
+    fn ok_responses_are_200() {
+        assert_eq!(status_of_response(&ok_response(None, vec![])), 200);
+    }
+}

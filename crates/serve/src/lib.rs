@@ -20,7 +20,13 @@
 //! * [`scheduler`] — coalesces concurrent `infer` requests into
 //!   `[N, C, H, W]` batches (flush on max-batch or deadline) and drives
 //!   them through `wa_nn::BatchExecutor`, stitching per-request outputs
-//!   back to the right connections.
+//!   back to the right connections; per-request deadlines drop expired
+//!   jobs before they burn executor time, and a per-model admission cap
+//!   refuses work with `busy` before the queue can grow without bound.
+//! * [`http`] — an optional HTTP/1.1 front-end (`--http-port`) exposing
+//!   the same registry + scheduler as `POST /v1/infer`, `GET
+//!   /v1/models`, `GET /v1/stats`, `POST /v1/models/{load,unload}` and
+//!   `POST /v1/shutdown`, with error kinds mapped onto HTTP statuses.
 //!
 //! The `wa-serve` binary serves; the `wa-client` binary exercises a
 //! server end-to-end (build a checkpoint, load it, fire batched
@@ -56,12 +62,14 @@
 //! ```
 
 pub mod client;
+pub mod http;
 pub mod protocol;
 pub mod registry;
 pub mod scheduler;
 pub mod server;
 
 pub use client::{Client, ClientError};
+pub use http::status_for_kind;
 pub use protocol::{
     error_response, ok_response, read_frame, write_frame, ErrorBody, ErrorKind, FrameError,
     Request, DEFAULT_MAX_FRAME,

@@ -1,15 +1,18 @@
 //! `wa-serve` — the serving daemon.
 //!
 //! ```text
-//! wa-serve [--addr 127.0.0.1:7878] [--threads N] [--chunk N]
-//!          [--max-batch N] [--max-delay-ms N] [--max-frame-mb N]
-//!          [--max-conns N] [--max-inflight-flushes N]
+//! wa-serve [--addr 127.0.0.1:7878] [--http-port PORT] [--threads N]
+//!          [--chunk N] [--max-batch N] [--max-delay-ms N]
+//!          [--max-frame-mb N] [--max-conns N] [--max-queue N]
+//!          [--max-inflight-flushes N]
 //! ```
 //!
 //! Binds, prints `wa-serve listening on <addr>` (scripts wait for that
-//! line), and serves until a `shutdown` request arrives. Models are
-//! loaded over the wire (`load_model` with a one-document checkpoint) —
-//! typically via `wa-client`.
+//! line; with `--http-port` a second `wa-serve http listening on
+//! <addr>` line follows), and serves until a `shutdown` request
+//! arrives. Models are loaded over the wire (`load_model` with a
+//! one-document checkpoint) — typically via `wa-client` or `POST
+//! /v1/models/load`.
 
 use std::time::Duration;
 
@@ -17,15 +20,16 @@ use wa_serve::{Server, ServerConfig};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: wa-serve [--addr HOST:PORT] [--threads N] [--chunk N] \
-         [--max-batch N] [--max-delay-ms N] [--max-frame-mb N] \
-         [--max-conns N] [--max-inflight-flushes N]"
+        "usage: wa-serve [--addr HOST:PORT] [--http-port PORT] [--threads N] \
+         [--chunk N] [--max-batch N] [--max-delay-ms N] [--max-frame-mb N] \
+         [--max-conns N] [--max-queue N] [--max-inflight-flushes N]"
     );
     std::process::exit(2);
 }
 
 fn main() -> std::io::Result<()> {
     let mut addr = "127.0.0.1:7878".to_string();
+    let mut http_port: Option<u16> = None;
     let mut cfg = ServerConfig::default();
 
     let mut args = std::env::args().skip(1);
@@ -34,6 +38,7 @@ fn main() -> std::io::Result<()> {
         let parse = |v: String| v.parse::<usize>().unwrap_or_else(|_| usage());
         match flag.as_str() {
             "--addr" => addr = value(),
+            "--http-port" => http_port = Some(value().parse::<u16>().unwrap_or_else(|_| usage())),
             "--threads" => cfg.scheduler.exec.threads = parse(value()),
             "--chunk" => cfg.scheduler.exec.chunk = parse(value()),
             "--max-batch" => cfg.scheduler.max_batch = parse(value()),
@@ -42,13 +47,24 @@ fn main() -> std::io::Result<()> {
             }
             "--max-frame-mb" => cfg.max_frame = parse(value()) << 20,
             "--max-conns" => cfg.max_conns = parse(value()),
+            "--max-queue" => cfg.scheduler.max_queue = parse(value()),
             "--max-inflight-flushes" => cfg.scheduler.max_inflight_flushes = parse(value()),
             "--help" | "-h" => usage(),
             _ => usage(),
         }
     }
 
-    let server = Server::bind(addr.as_str(), cfg)?;
+    let server = match http_port {
+        // the HTTP listener binds the same host as the socket listener
+        Some(port) => {
+            let host = addr.rsplit_once(':').map(|(h, _)| h).unwrap_or("127.0.0.1");
+            Server::bind_with_http(addr.as_str(), format!("{host}:{port}").as_str(), cfg)?
+        }
+        None => Server::bind(addr.as_str(), cfg)?,
+    };
     println!("wa-serve listening on {}", server.local_addr());
+    if let Some(http) = server.http_addr() {
+        println!("wa-serve http listening on {http}");
+    }
     server.run()
 }

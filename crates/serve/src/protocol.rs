@@ -28,7 +28,7 @@
 //! | `load_model`  | `name`, `checkpoint` (a [`FullCheckpoint`] document) |
 //! | `unload`      | `name`                                   |
 //! | `list_models` | —                                        |
-//! | `infer`       | `model`, `input` (tensor, `[N,C,H,W]` or one `[C,H,W]` sample) |
+//! | `infer`       | `model`, `input` (tensor, `[N,C,H,W]` or one `[C,H,W]` sample), optional `deadline_ms` |
 //! | `stats`       | —                                        |
 //! | `shutdown`    | —                                        |
 //!
@@ -155,9 +155,15 @@ pub enum ErrorKind {
     ShapeMismatch,
     /// The requested convolution algorithm is unsupported.
     UnsupportedAlgo,
-    /// The server is at its connection limit (`--max-conns`); retry
-    /// after backing off.
+    /// The server is at its connection limit (`--max-conns`) or the
+    /// model's admission-control queue cap (`--max-queue`); retry after
+    /// backing off.
     Busy,
+    /// The request's `deadline_ms` budget expired before inference ran;
+    /// the input was dropped unexecuted.
+    DeadlineExceeded,
+    /// The server is draining for shutdown and no longer accepts work.
+    ShuttingDown,
     /// The server failed internally while handling a valid request.
     Internal,
 }
@@ -173,6 +179,8 @@ impl ErrorKind {
             ErrorKind::ShapeMismatch => "shape_mismatch",
             ErrorKind::UnsupportedAlgo => "unsupported_algo",
             ErrorKind::Busy => "busy",
+            ErrorKind::DeadlineExceeded => "deadline_exceeded",
+            ErrorKind::ShuttingDown => "shutting_down",
             ErrorKind::Internal => "internal",
         }
     }
@@ -239,6 +247,11 @@ pub enum Request {
         /// `[N, C, H, W]` batch (a `[C, H, W]` sample is promoted to
         /// `N = 1`).
         input: Tensor,
+        /// Optional latency budget in milliseconds, counted from request
+        /// arrival. When it expires before the batch runs, the request
+        /// is answered with a `deadline_exceeded` error instead of
+        /// riding a late flush.
+        deadline_ms: Option<u64>,
     },
     /// Per-model serving counters.
     Stats,
@@ -305,7 +318,23 @@ impl Request {
                     shape.extend_from_slice(input.shape());
                     input = input.reshape(&shape);
                 }
-                Ok(Request::Infer { model, input })
+                let deadline_ms = match doc.get("deadline_ms") {
+                    None | Some(Json::Null) => None,
+                    Some(v) => {
+                        let ms = v
+                            .as_f64()
+                            .filter(|ms| ms.is_finite() && *ms >= 0.0)
+                            .ok_or_else(|| {
+                                bad("`deadline_ms` must be a non-negative number".to_string())
+                            })?;
+                        Some(ms as u64)
+                    }
+                };
+                Ok(Request::Infer {
+                    model,
+                    input,
+                    deadline_ms,
+                })
             }
             "stats" => Ok(Request::Stats),
             "shutdown" => Ok(Request::Shutdown),

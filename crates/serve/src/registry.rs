@@ -9,7 +9,7 @@
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Mutex, RwLock};
 
 use wa_models::ZooModel;
 use wa_nn::FullCheckpoint;
@@ -17,8 +17,51 @@ use wa_tensor::Json;
 
 use crate::protocol::{ErrorBody, ErrorKind};
 
+/// Batch latencies kept per model for quantile estimation.
+pub const LATENCY_WINDOW: usize = 256;
+
+/// A fixed-size ring of the most recent batch latencies (microseconds).
+/// Bounded memory per model, O(window log window) quantile reads — the
+/// `stats` op is rare next to `record` (once per flushed batch).
+#[derive(Debug)]
+struct LatencyRing {
+    micros: [u64; LATENCY_WINDOW],
+    /// Total records ever; `min(len, LATENCY_WINDOW)` entries are live.
+    len: u64,
+}
+
+impl Default for LatencyRing {
+    fn default() -> LatencyRing {
+        LatencyRing {
+            micros: [0; LATENCY_WINDOW],
+            len: 0,
+        }
+    }
+}
+
+impl LatencyRing {
+    fn record(&mut self, micros: u64) {
+        self.micros[(self.len % LATENCY_WINDOW as u64) as usize] = micros;
+        self.len += 1;
+    }
+
+    /// The `q`-quantile (0.0..=1.0) of the live window, or `None` when
+    /// nothing has been recorded yet.
+    fn quantile(&self, q: f64) -> Option<u64> {
+        let live = (self.len.min(LATENCY_WINDOW as u64)) as usize;
+        if live == 0 {
+            return None;
+        }
+        let mut sorted = self.micros[..live].to_vec();
+        sorted.sort_unstable();
+        let rank = ((q * (live - 1) as f64).round() as usize).min(live - 1);
+        Some(sorted[rank])
+    }
+}
+
 /// Per-model serving counters (relaxed atomics: the numbers are
-/// monotonic telemetry, not synchronization).
+/// monotonic telemetry, not synchronization) plus a bounded ring of
+/// recent batch latencies for p50/p99 estimates.
 #[derive(Debug, Default)]
 pub struct ModelStats {
     /// `infer` requests answered.
@@ -30,6 +73,14 @@ pub struct ModelStats {
     pub batches: AtomicU64,
     /// Time spent inside the executor, in microseconds.
     pub busy_micros: AtomicU64,
+    /// Samples submitted to the scheduler but not yet answered (queued
+    /// or inside a flush) — the gauge admission control caps.
+    pub queued_samples: AtomicU64,
+    /// Requests answered with `deadline_exceeded` instead of running.
+    pub deadline_expired: AtomicU64,
+    /// Requests refused with `busy` by the admission-control queue cap.
+    pub rejected_busy: AtomicU64,
+    latency: Mutex<LatencyRing>,
 }
 
 impl ModelStats {
@@ -39,6 +90,19 @@ impl ModelStats {
         self.samples.fetch_add(samples, Ordering::Relaxed);
         self.batches.fetch_add(1, Ordering::Relaxed);
         self.busy_micros.fetch_add(micros, Ordering::Relaxed);
+        self.latency
+            .lock()
+            .expect("latency ring poisoned")
+            .record(micros);
+    }
+
+    /// The `q`-quantile (0.0..=1.0) of the recent batch latencies in
+    /// microseconds, or `None` before the first flushed batch.
+    pub fn latency_quantile_micros(&self, q: f64) -> Option<u64> {
+        self.latency
+            .lock()
+            .expect("latency ring poisoned")
+            .quantile(q)
     }
 
     /// The counters as a JSON object.
@@ -47,11 +111,35 @@ impl ModelStats {
         let samples = self.samples.load(Ordering::Relaxed);
         let batches = self.batches.load(Ordering::Relaxed);
         let micros = self.busy_micros.load(Ordering::Relaxed);
+        let quantile_ms = |q: f64| match self.latency_quantile_micros(q) {
+            Some(us) => Json::from(us as f64 / 1e3),
+            None => Json::Null,
+        };
         Json::obj([
             ("requests", Json::from(req as f64)),
             ("samples", Json::from(samples as f64)),
             ("batches", Json::from(batches as f64)),
             ("busy_micros", Json::from(micros as f64)),
+            (
+                "queued_samples",
+                Json::from(self.queued_samples.load(Ordering::Relaxed) as f64),
+            ),
+            (
+                "deadline_expired",
+                Json::from(self.deadline_expired.load(Ordering::Relaxed) as f64),
+            ),
+            (
+                "rejected_busy",
+                Json::from(self.rejected_busy.load(Ordering::Relaxed) as f64),
+            ),
+            (
+                "latency",
+                Json::obj([
+                    ("p50_ms", quantile_ms(0.50)),
+                    ("p99_ms", quantile_ms(0.99)),
+                    ("window", Json::from(LATENCY_WINDOW)),
+                ]),
+            ),
             (
                 "samples_per_second",
                 if micros > 0 {
@@ -249,6 +337,29 @@ mod tests {
         let err = reg.load("x", &doc).unwrap_err();
         assert_eq!(err.kind, ErrorKind::InvalidSpec);
         assert!(reg.is_empty());
+    }
+
+    #[test]
+    fn latency_quantiles_track_the_recent_window() {
+        let stats = ModelStats::default();
+        assert_eq!(stats.latency_quantile_micros(0.5), None);
+        for us in 1..=100u64 {
+            stats.record_batch(1, 1, us);
+        }
+        // 100 records, window 256: all live
+        assert_eq!(stats.latency_quantile_micros(0.0), Some(1));
+        assert_eq!(stats.latency_quantile_micros(1.0), Some(100));
+        let p50 = stats.latency_quantile_micros(0.5).unwrap();
+        assert!((49..=52).contains(&p50), "p50 was {p50}");
+        // overflow the window with a uniform value: old samples age out
+        for _ in 0..LATENCY_WINDOW {
+            stats.record_batch(1, 1, 7);
+        }
+        assert_eq!(stats.latency_quantile_micros(0.5), Some(7));
+        assert_eq!(stats.latency_quantile_micros(0.99), Some(7));
+        let row = stats.to_json();
+        let lat = row.get("latency").expect("latency object");
+        assert_eq!(lat.get("p50_ms").and_then(|v| v.as_f64()), Some(0.007));
     }
 
     #[test]

@@ -31,6 +31,7 @@
 //! whole batch.
 
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -45,6 +46,9 @@ use crate::registry::ServedModel;
 /// Hard cap on `max_inflight_flushes` (beyond this a config is a typo,
 /// not a deployment).
 const MAX_INFLIGHT_FLUSHES: usize = 1024;
+
+/// Hard cap on `max_queue` (samples per model awaiting an answer).
+const MAX_QUEUE: usize = 1 << 20;
 
 /// Batching policy.
 #[derive(Clone, Copy, Debug)]
@@ -62,11 +66,18 @@ pub struct SchedulerConfig {
     /// *any* in-flight flush finishes before spawning the next —
     /// backpressure instead of thread exhaustion.
     pub max_inflight_flushes: usize,
+    /// Admission control: the most samples one model may have submitted
+    /// but not yet answered (queued or mid-flush). A submit that would
+    /// exceed the cap is refused with a structured `busy` error *before*
+    /// batching, so an overloaded model degrades into prompt refusals
+    /// instead of an unbounded queue whose tail latency grows forever.
+    pub max_queue: usize,
 }
 
 impl Default for SchedulerConfig {
-    /// 32-sample batches, a 2 ms batching window, default executor, and
-    /// at most one in-flight flush per available core.
+    /// 32-sample batches, a 2 ms batching window, default executor, at
+    /// most one in-flight flush per available core, and a 1024-sample
+    /// per-model admission cap.
     fn default() -> SchedulerConfig {
         SchedulerConfig {
             max_batch: 32,
@@ -75,6 +86,7 @@ impl Default for SchedulerConfig {
             max_inflight_flushes: std::thread::available_parallelism()
                 .map(|p| p.get())
                 .unwrap_or(1),
+            max_queue: 1024,
         }
     }
 }
@@ -104,6 +116,16 @@ impl SchedulerConfig {
                 ),
             ));
         }
+        if self.max_queue == 0 || self.max_queue > MAX_QUEUE {
+            return Err(WaError::invalid(
+                "SchedulerConfig",
+                "max_queue",
+                format!(
+                    "max_queue must be in 1..={MAX_QUEUE}, got {}",
+                    self.max_queue
+                ),
+            ));
+        }
         self.exec.validate()
     }
 }
@@ -113,6 +135,58 @@ struct Job {
     entry: Arc<ServedModel>,
     input: Tensor,
     reply: Sender<Result<Tensor, ErrorBody>>,
+    /// Absolute expiry instant (from the request's `deadline_ms`); a job
+    /// past it is answered with `deadline_exceeded` instead of running.
+    deadline: Option<Instant>,
+}
+
+impl Job {
+    /// Whether the job's deadline has passed at `now`.
+    fn expired(&self, now: Instant) -> bool {
+        self.deadline.is_some_and(|d| d <= now)
+    }
+}
+
+/// Answers a job and releases its admission-control samples. Every job
+/// is answered through here exactly once, so the `queued_samples` gauge
+/// can never leak. A dropped receiver just means the client went away.
+fn answer(job: Job, result: Result<Tensor, ErrorBody>) {
+    job.entry
+        .stats
+        .queued_samples
+        .fetch_sub(job.input.dim(0) as u64, Ordering::Relaxed);
+    let _ = job.reply.send(result);
+}
+
+/// Releases a job's admission-control reservation without answering it
+/// (the caller reports the failure through its own return value).
+fn answer_unsent(job: Job) {
+    job.entry
+        .stats
+        .queued_samples
+        .fetch_sub(job.input.dim(0) as u64, Ordering::Relaxed);
+}
+
+/// The structured refusal for submissions racing a shutdown.
+fn shutting_down_error() -> ErrorBody {
+    ErrorBody::new(
+        ErrorKind::ShuttingDown,
+        "the scheduler is draining for shutdown and no longer accepts work",
+    )
+}
+
+/// Answers an expired job with `deadline_exceeded` (drop-on-expiry: the
+/// input is never executed).
+fn expire(job: Job) {
+    job.entry
+        .stats
+        .deadline_expired
+        .fetch_add(1, Ordering::Relaxed);
+    let body = ErrorBody::new(
+        ErrorKind::DeadlineExceeded,
+        "the request's deadline_ms expired before inference ran; it was dropped unexecuted",
+    );
+    answer(job, Err(body));
 }
 
 /// A model's accumulating batch.
@@ -128,6 +202,10 @@ pub struct Scheduler {
     tx: Mutex<Option<Sender<Job>>>,
     worker: Mutex<Option<JoinHandle<()>>>,
     cfg: SchedulerConfig,
+    /// Set by [`Scheduler::stop`] *before* the queue is closed, so
+    /// submissions racing a shutdown get a structured `shutting_down`
+    /// refusal instead of an opaque internal error.
+    shutting: AtomicBool,
     /// Flusher threads currently executing a batch (shared with the
     /// scheduler thread; exposed through [`Scheduler::inflight_flushes`]
     /// and the server's `stats` op).
@@ -199,6 +277,7 @@ impl Scheduler {
             tx: Mutex::new(Some(tx)),
             worker: Mutex::new(Some(worker)),
             cfg,
+            shutting: AtomicBool::new(false),
             inflight,
         })
     }
@@ -216,16 +295,38 @@ impl Scheduler {
 
     /// Validates `input` against `entry`'s expected per-sample shape and
     /// queues it, returning the channel the result will arrive on.
+    /// Equivalent to [`Scheduler::submit_with_deadline`] with no
+    /// deadline.
+    ///
+    /// # Errors
+    ///
+    /// See [`Scheduler::submit_with_deadline`].
+    pub fn submit(
+        &self,
+        entry: Arc<ServedModel>,
+        input: Tensor,
+    ) -> Result<Receiver<Result<Tensor, ErrorBody>>, ErrorBody> {
+        self.submit_with_deadline(entry, input, None)
+    }
+
+    /// Validates `input` against `entry`'s expected per-sample shape,
+    /// applies admission control, and queues it, returning the channel
+    /// the result will arrive on. A job whose `deadline` passes before
+    /// its batch runs is answered with a `deadline_exceeded` error
+    /// instead of riding a late flush.
     ///
     /// # Errors
     ///
     /// [`ErrorKind::ShapeMismatch`] for an input the model could not
     /// consume (rejected *before* batching, so other requests are
-    /// unaffected); [`ErrorKind::Internal`] if the scheduler is gone.
-    pub fn submit(
+    /// unaffected); [`ErrorKind::Busy`] when the model already has
+    /// [`SchedulerConfig::max_queue`] unanswered samples;
+    /// [`ErrorKind::ShuttingDown`] once [`Scheduler::stop`] has begun.
+    pub fn submit_with_deadline(
         &self,
         entry: Arc<ServedModel>,
         input: Tensor,
+        deadline: Option<Instant>,
     ) -> Result<Receiver<Result<Tensor, ErrorBody>>, ErrorBody> {
         let want = entry.model.sample_shape();
         let shape = input.shape();
@@ -238,24 +339,61 @@ impl Scheduler {
                 ),
             ));
         }
+        if self.shutting.load(Ordering::SeqCst) {
+            return Err(shutting_down_error());
+        }
+        // admission control: reserve the samples, then undo the
+        // reservation if it overshot the cap (the transient overshoot is
+        // only ever visible to other submitters as an early refusal)
+        let samples = input.dim(0) as u64;
+        let cap = self.cfg.max_queue as u64;
+        let queued = &entry.stats.queued_samples;
+        if queued.fetch_add(samples, Ordering::Relaxed) + samples > cap {
+            queued.fetch_sub(samples, Ordering::Relaxed);
+            entry.stats.rejected_busy.fetch_add(1, Ordering::Relaxed);
+            return Err(ErrorBody::new(
+                ErrorKind::Busy,
+                format!(
+                    "model `{}` has {cap} samples awaiting inference (max_queue); retry later",
+                    entry.name
+                ),
+            ));
+        }
         let (reply, result) = channel();
         let job = Job {
             entry,
             input,
             reply,
+            deadline,
         };
         let guard = self.tx.lock().expect("scheduler sender lock poisoned");
-        let tx = guard
-            .as_ref()
-            .ok_or_else(|| ErrorBody::new(ErrorKind::Internal, "the scheduler has shut down"))?;
-        tx.send(job)
-            .map_err(|_| ErrorBody::new(ErrorKind::Internal, "the scheduler thread exited"))?;
+        let tx = match guard.as_ref() {
+            Some(tx) => tx,
+            None => {
+                answer_unsent(job);
+                return Err(shutting_down_error());
+            }
+        };
+        if let Err(send) = tx.send(job) {
+            // the scheduler thread is gone: nothing will ever drain the
+            // reservation, so release it here (answer_unsent returns the
+            // gauge without replying — the error below is the reply)
+            answer_unsent(send.0);
+            return Err(ErrorBody::new(
+                ErrorKind::Internal,
+                "the scheduler thread exited",
+            ));
+        }
+        drop(guard);
         Ok(result)
     }
 
-    /// Stops the scheduler: flushes everything queued and joins the
-    /// thread. Idempotent.
+    /// Stops the scheduler deterministically: new submissions are
+    /// refused with `shutting_down`, everything already queued is
+    /// flushed and answered, and every flusher thread is joined before
+    /// this returns. Idempotent.
     pub fn stop(&self) {
+        self.shutting.store(true, Ordering::SeqCst);
         self.tx
             .lock()
             .expect("scheduler sender lock poisoned")
@@ -293,11 +431,22 @@ fn scheduler_loop(
         cap: cfg.max_inflight_flushes,
     };
     loop {
-        // sleep until the nearest deadline (or indefinitely when idle)
-        let timeout = pending
+        // sleep until the nearest batching deadline or per-request
+        // expiry (or indefinitely when idle)
+        let now = Instant::now();
+        let batch_due = pending
             .values()
             .map(|p| cfg.max_delay.saturating_sub(p.oldest.elapsed()))
             .min();
+        let job_due = pending
+            .values()
+            .flat_map(|p| p.jobs.iter().filter_map(|j| j.deadline))
+            .map(|d| d.saturating_duration_since(now))
+            .min();
+        let timeout = match (batch_due, job_due) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
         let msg = match timeout {
             None => rx.recv().map_err(|_| RecvTimeoutError::Disconnected),
             Some(t) => rx.recv_timeout(t),
@@ -347,9 +496,27 @@ fn scheduler_loop(
                 return;
             }
         }
-        // sweep due deadlines on *every* wake-up — under sustained
-        // traffic the channel never empties, so a Timeout-only sweep
-        // would starve partial batches far past max_delay
+        // sweep expired requests on *every* wake-up (the wake timer
+        // includes the earliest job deadline, so expiry is answered
+        // promptly even while the queue idles): drop-on-expiry means an
+        // expired request is answered now, never executed late
+        let now = Instant::now();
+        pending.retain(|_, p| {
+            if p.jobs.iter().any(|j| j.expired(now)) {
+                let jobs = std::mem::take(&mut p.jobs);
+                let (expired, live): (Vec<Job>, Vec<Job>) =
+                    jobs.into_iter().partition(|j| j.expired(now));
+                for job in expired {
+                    p.samples -= job.input.dim(0);
+                    expire(job);
+                }
+                p.jobs = live;
+            }
+            !p.jobs.is_empty()
+        });
+        // sweep due batching deadlines on *every* wake-up — under
+        // sustained traffic the channel never empties, so a Timeout-only
+        // sweep would starve partial batches far past max_delay
         let due: Vec<String> = pending
             .iter()
             .filter(|(_, p)| p.oldest.elapsed() >= cfg.max_delay)
@@ -413,30 +580,40 @@ impl Flushers {
 }
 
 /// Runs one accumulated batch and routes the per-request outputs back.
+///
+/// Jobs whose deadline passed between the last sweep and this flush are
+/// filtered out *here* — answered `deadline_exceeded` — and the batch
+/// runs with the survivors only, so one expired request never delays or
+/// perturbs its batch-mates (executor output is partition-invariant).
 fn flush(p: Pending, exec: &BatchExecutor) {
-    if p.jobs.is_empty() {
+    let now = Instant::now();
+    let (expired, live): (Vec<Job>, Vec<Job>) = p.jobs.into_iter().partition(|j| j.expired(now));
+    for job in expired {
+        expire(job);
+    }
+    if live.is_empty() {
         return;
     }
-    let entry = Arc::clone(&p.jobs[0].entry);
-    let inputs: Vec<&Tensor> = p.jobs.iter().map(|j| &j.input).collect();
+    let entry = Arc::clone(&live[0].entry);
+    let inputs: Vec<&Tensor> = live.iter().map(|j| &j.input).collect();
     let batch = Tensor::concat_dim0(&inputs);
+    let samples = batch.dim(0);
     let t0 = Instant::now();
     let result = exec.run(&entry.model, &batch);
     let micros = t0.elapsed().as_micros() as u64;
     entry
         .stats
-        .record_batch(p.jobs.len() as u64, p.samples as u64, micros);
+        .record_batch(live.len() as u64, samples as u64, micros);
     match result {
         Ok(output) => {
             // slice the stitched output back into per-request pieces, in
             // the arrival order the batch was assembled in
             let mut row = 0;
-            for job in p.jobs {
+            for job in live {
                 let n = job.input.dim(0);
                 let piece = output.slice_dim0(row, row + n);
                 row += n;
-                // a dropped receiver just means the client went away
-                let _ = job.reply.send(Ok(piece));
+                answer(job, Ok(piece));
             }
         }
         Err(e) => {
@@ -447,8 +624,8 @@ fn flush(p: Pending, exec: &BatchExecutor) {
                 ErrorKind::Internal,
                 format!("batched inference failed: {e}"),
             );
-            for job in p.jobs {
-                let _ = job.reply.send(Err(body.clone()));
+            for job in live {
+                answer(job, Err(body.clone()));
             }
         }
     }
@@ -651,19 +828,179 @@ mod tests {
     }
 
     #[test]
-    fn stop_drains_queued_work() {
+    fn stop_drains_queued_work_and_rejects_stragglers_with_shutting_down() {
         let reg = Registry::new();
         let entry = loaded_lenet(&reg);
         let sched = Scheduler::start(test_cfg(64, Duration::from_secs(5))).unwrap();
-        let rx = sched.submit(entry, Tensor::zeros(&[1, 1, 12, 12])).unwrap();
+        let rx = sched
+            .submit(Arc::clone(&entry), Tensor::zeros(&[1, 1, 12, 12]))
+            .unwrap();
         sched.stop();
-        assert!(rx.recv().unwrap().is_ok(), "queued job must be answered");
-        // post-stop submissions fail cleanly
-        let reg2 = Registry::new();
-        let entry2 = loaded_lenet(&reg2);
+        // stop() is deterministic: by the time it returns every queued
+        // job has been flushed and answered and every flusher joined
+        assert!(
+            rx.try_recv().expect("already answered").is_ok(),
+            "queued job must be answered before stop() returns"
+        );
+        assert_eq!(sched.inflight_flushes(), 0, "all flushers joined");
+        assert_eq!(
+            entry.stats.queued_samples.load(Ordering::Relaxed),
+            0,
+            "admission gauge drained"
+        );
+        // post-stop submissions are structured shutting_down refusals
         let err = sched
-            .submit(entry2, Tensor::zeros(&[1, 1, 12, 12]))
+            .submit(entry, Tensor::zeros(&[1, 1, 12, 12]))
             .unwrap_err();
-        assert_eq!(err.kind, ErrorKind::Internal);
+        assert_eq!(err.kind, ErrorKind::ShuttingDown);
+    }
+
+    #[test]
+    fn deadline_zero_is_dropped_unexecuted() {
+        // a 0 ms budget can never be met: the request must come back as
+        // deadline_exceeded without the model ever running
+        let reg = Registry::new();
+        let entry = loaded_lenet(&reg);
+        // huge max_batch + long max_delay: only expiry can answer this
+        let sched = Scheduler::start(test_cfg(64, Duration::from_secs(30))).unwrap();
+        let rx = sched
+            .submit_with_deadline(
+                Arc::clone(&entry),
+                Tensor::zeros(&[2, 1, 12, 12]),
+                Some(Instant::now()),
+            )
+            .unwrap();
+        let got = rx.recv_timeout(Duration::from_secs(10)).unwrap();
+        assert_eq!(got.unwrap_err().kind, ErrorKind::DeadlineExceeded);
+        assert_eq!(entry.stats.batches.load(Ordering::Relaxed), 0);
+        assert_eq!(entry.stats.deadline_expired.load(Ordering::Relaxed), 1);
+        assert_eq!(entry.stats.queued_samples.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn expiry_while_queued_is_answered_promptly_not_at_the_batch_deadline() {
+        // the batching window is far away (30 s); the request deadline
+        // (20 ms) must wake the scheduler and answer long before it
+        let reg = Registry::new();
+        let entry = loaded_lenet(&reg);
+        let sched = Scheduler::start(test_cfg(64, Duration::from_secs(30))).unwrap();
+        let t0 = Instant::now();
+        let rx = sched
+            .submit_with_deadline(
+                Arc::clone(&entry),
+                Tensor::zeros(&[1, 1, 12, 12]),
+                Some(Instant::now() + Duration::from_millis(20)),
+            )
+            .unwrap();
+        let got = rx.recv_timeout(Duration::from_secs(10)).unwrap();
+        assert_eq!(got.unwrap_err().kind, ErrorKind::DeadlineExceeded);
+        assert!(
+            t0.elapsed() < Duration::from_secs(10),
+            "expiry must not wait for the batch deadline"
+        );
+        assert_eq!(entry.stats.deadline_expired.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn expiry_at_flush_time_leaves_batch_mates_unaffected() {
+        // Drive `flush` directly with a batch holding one already-expired
+        // job between two live ones — the narrow race the flush-time
+        // filter exists for (a deadline passing between the last sweep
+        // and batch assembly). The expired job must get
+        // deadline_exceeded; the live jobs' logits must be bit-identical
+        // to a batch that never contained the expired input.
+        let reg = Registry::new();
+        let entry = loaded_lenet(&reg);
+        let cfg = test_cfg(8, Duration::from_millis(1));
+        let exec = BatchExecutor::new(cfg.exec).unwrap();
+        let mut rng = SeededRng::new(11);
+        let a = rng.uniform_tensor(&[2, 1, 12, 12], -1.0, 1.0);
+        let doomed = rng.uniform_tensor(&[1, 1, 12, 12], -1.0, 1.0);
+        let b = rng.uniform_tensor(&[1, 1, 12, 12], -1.0, 1.0);
+        let want_a = entry.model.try_forward_batch(&a, cfg.exec).unwrap();
+        let want_b = entry.model.try_forward_batch(&b, cfg.exec).unwrap();
+
+        let mut jobs = Vec::new();
+        let mut rxs = Vec::new();
+        for (input, deadline) in [
+            (a, None),
+            (doomed, Some(Instant::now() - Duration::from_millis(1))),
+            (b, None),
+        ] {
+            // mirror submit's bookkeeping so answer()'s decrement balances
+            entry
+                .stats
+                .queued_samples
+                .fetch_add(input.dim(0) as u64, Ordering::Relaxed);
+            let (reply, rx) = std::sync::mpsc::channel();
+            jobs.push(Job {
+                entry: Arc::clone(&entry),
+                input,
+                reply,
+                deadline,
+            });
+            rxs.push(rx);
+        }
+        let samples = jobs.iter().map(|j| j.input.dim(0)).sum();
+        flush(
+            Pending {
+                jobs,
+                samples,
+                oldest: Instant::now(),
+            },
+            &exec,
+        );
+
+        let got_a = rxs[0].recv().unwrap().unwrap();
+        assert_eq!(got_a.data(), want_a.data(), "batch-mate before perturbed");
+        let err = rxs[1].recv().unwrap().unwrap_err();
+        assert_eq!(err.kind, ErrorKind::DeadlineExceeded);
+        let got_b = rxs[2].recv().unwrap().unwrap();
+        assert_eq!(got_b.data(), want_b.data(), "batch-mate after perturbed");
+        // the executor saw one 3-sample batch (2 + 1 live samples)
+        assert_eq!(entry.stats.batches.load(Ordering::Relaxed), 1);
+        assert_eq!(entry.stats.samples.load(Ordering::Relaxed), 3);
+        assert_eq!(entry.stats.queued_samples.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn admission_cap_refuses_with_busy_before_batching() {
+        let reg = Registry::new();
+        let entry = loaded_lenet(&reg);
+        let cfg = SchedulerConfig {
+            max_queue: 4,
+            ..test_cfg(64, Duration::from_secs(30))
+        };
+        let sched = Scheduler::start(cfg).unwrap();
+        // 4 samples fill the cap exactly
+        let rx1 = sched
+            .submit(Arc::clone(&entry), Tensor::zeros(&[2, 1, 12, 12]))
+            .unwrap();
+        let rx2 = sched
+            .submit(Arc::clone(&entry), Tensor::zeros(&[2, 1, 12, 12]))
+            .unwrap();
+        // the 5th sample is refused before batching
+        let err = sched
+            .submit(Arc::clone(&entry), Tensor::zeros(&[1, 1, 12, 12]))
+            .unwrap_err();
+        assert_eq!(err.kind, ErrorKind::Busy);
+        assert!(err.message.contains("max_queue"), "{}", err.message);
+        assert_eq!(entry.stats.rejected_busy.load(Ordering::Relaxed), 1);
+        // draining the queue frees the budget again
+        sched.stop();
+        assert!(rx1.recv().unwrap().is_ok());
+        assert!(rx2.recv().unwrap().is_ok());
+        assert_eq!(entry.stats.queued_samples.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn config_rejects_zero_or_absurd_max_queue() {
+        for bad in [0usize, MAX_QUEUE + 1] {
+            let cfg = SchedulerConfig {
+                max_queue: bad,
+                ..SchedulerConfig::default()
+            };
+            assert!(cfg.validate().is_err(), "max_queue {bad} must be rejected");
+        }
     }
 }

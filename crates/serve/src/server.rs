@@ -30,13 +30,14 @@ pub const DEFAULT_MAX_CONNS: usize = 256;
 /// Server-wide configuration.
 #[derive(Clone, Copy, Debug)]
 pub struct ServerConfig {
-    /// Per-frame body-size cap in bytes.
+    /// Per-frame body-size cap in bytes (also the HTTP body cap).
     pub max_frame: usize,
-    /// Maximum concurrently-open client connections (one thread each).
-    /// A connection accepted over the limit is answered with exactly one
-    /// structured `{ok: false, error: {kind: "busy"}}` frame for its
-    /// first request and then closed, so the thread count stays bounded
-    /// under connection floods.
+    /// Maximum concurrently-open client connections (one thread each,
+    /// socket and HTTP pooled together). A connection accepted over the
+    /// limit is answered with exactly one structured
+    /// `{ok: false, error: {kind: "busy"}}` frame (socket) or one
+    /// `429` response (HTTP) for its first request and then closed, so
+    /// the thread count stays bounded under connection floods.
     pub max_conns: usize,
     /// Batching/executor policy.
     pub scheduler: SchedulerConfig,
@@ -52,42 +53,44 @@ impl Default for ServerConfig {
     }
 }
 
-/// Shared state every connection thread sees.
-struct Shared {
-    registry: Registry,
-    scheduler: Scheduler,
-    max_frame: usize,
+/// Shared state every connection thread (socket *and* HTTP) sees.
+pub(crate) struct Shared {
+    pub(crate) registry: Registry,
+    pub(crate) scheduler: Scheduler,
+    pub(crate) max_frame: usize,
     /// Connection-thread cap; see [`ServerConfig::max_conns`].
-    max_conns: usize,
-    /// Currently-open connection threads.
-    conns: AtomicUsize,
-    stop: AtomicBool,
-    addr: SocketAddr,
-    started: Instant,
+    pub(crate) max_conns: usize,
+    /// Currently-open connection threads (socket + HTTP).
+    pub(crate) conns: AtomicUsize,
+    pub(crate) stop: AtomicBool,
+    pub(crate) addr: SocketAddr,
+    /// Bound address of the HTTP listener, when one was requested.
+    pub(crate) http_addr: Option<SocketAddr>,
+    pub(crate) started: Instant,
     /// Busy-refusal threads currently answering over-limit connections
     /// (bounded by `max_conns` too; beyond that, over-limit connections
     /// are dropped without a response).
-    busy: AtomicUsize,
+    pub(crate) busy: AtomicUsize,
     /// Requests that have been read off a socket but not yet answered —
     /// shutdown waits (bounded) for this to drain so the process never
     /// exits with a response half-written.
-    in_flight: AtomicUsize,
+    pub(crate) in_flight: AtomicUsize,
 }
 
 /// RAII decrement of a counter: the one drop-guard idiom used for
 /// in-flight requests, connection slots and busy-refusal slots.
-struct CountGuard<'a>(&'a AtomicUsize);
+pub(crate) struct CountGuard<'a>(&'a AtomicUsize);
 
 impl<'a> CountGuard<'a> {
     /// Increments now, decrements on drop.
-    fn begin(counter: &'a AtomicUsize) -> CountGuard<'a> {
+    pub(crate) fn begin(counter: &'a AtomicUsize) -> CountGuard<'a> {
         counter.fetch_add(1, Ordering::SeqCst);
         CountGuard(counter)
     }
 
     /// Takes over an increment the caller already performed (used when a
     /// slot must be reserved *before* its thread is spawned).
-    fn adopt(counter: &'a AtomicUsize) -> CountGuard<'a> {
+    pub(crate) fn adopt(counter: &'a AtomicUsize) -> CountGuard<'a> {
         CountGuard(counter)
     }
 }
@@ -113,11 +116,14 @@ impl ServerHandle {
     }
 }
 
-/// Flags the stop and pokes the (blocking) accept loop awake with a
-/// throwaway connection.
-fn request_stop(shared: &Shared) {
+/// Flags the stop and pokes the (blocking) accept loops awake with
+/// throwaway connections.
+pub(crate) fn request_stop(shared: &Shared) {
     if !shared.stop.swap(true, Ordering::SeqCst) {
         let _ = TcpStream::connect(shared.addr);
+        if let Some(http) = shared.http_addr {
+            let _ = TcpStream::connect(http);
+        }
     }
 }
 
@@ -133,17 +139,43 @@ fn request_stop(shared: &Shared) {
 /// ```
 pub struct Server {
     listener: TcpListener,
+    /// The optional HTTP/1.1 front-end listener (see [`crate::http`]).
+    http_listener: Option<TcpListener>,
     shared: Arc<Shared>,
 }
 
 impl Server {
-    /// Binds the listener and starts the scheduler thread.
+    /// Binds the socket listener and starts the scheduler thread.
     ///
     /// # Errors
     ///
     /// I/O errors from binding; an invalid scheduler config surfaces as
     /// [`std::io::ErrorKind::InvalidInput`].
     pub fn bind(addr: impl ToSocketAddrs, cfg: ServerConfig) -> std::io::Result<Server> {
+        Server::bind_inner(addr, None::<SocketAddr>, cfg)
+    }
+
+    /// Binds the socket listener *and* an HTTP/1.1 listener sharing the
+    /// same registry and scheduler (see [`crate::http`] for the
+    /// endpoints).
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from binding either listener; an invalid scheduler
+    /// config surfaces as [`std::io::ErrorKind::InvalidInput`].
+    pub fn bind_with_http(
+        addr: impl ToSocketAddrs,
+        http_addr: impl ToSocketAddrs,
+        cfg: ServerConfig,
+    ) -> std::io::Result<Server> {
+        Server::bind_inner(addr, Some(http_addr), cfg)
+    }
+
+    fn bind_inner(
+        addr: impl ToSocketAddrs,
+        http_addr: Option<impl ToSocketAddrs>,
+        cfg: ServerConfig,
+    ) -> std::io::Result<Server> {
         // validate before any resource (port, scheduler thread) exists
         if cfg.max_conns == 0 {
             return Err(std::io::Error::new(
@@ -153,10 +185,19 @@ impl Server {
         }
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
+        let http_listener = match http_addr {
+            Some(addr) => Some(TcpListener::bind(addr)?),
+            None => None,
+        };
+        let http_local = match &http_listener {
+            Some(l) => Some(l.local_addr()?),
+            None => None,
+        };
         let scheduler = Scheduler::start(cfg.scheduler)
             .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e.to_string()))?;
         Ok(Server {
             listener,
+            http_listener,
             shared: Arc::new(Shared {
                 registry: Registry::new(),
                 scheduler,
@@ -166,15 +207,21 @@ impl Server {
                 busy: AtomicUsize::new(0),
                 stop: AtomicBool::new(false),
                 addr: local,
+                http_addr: http_local,
                 started: Instant::now(),
                 in_flight: AtomicUsize::new(0),
             }),
         })
     }
 
-    /// The bound address (useful after binding port 0).
+    /// The bound socket address (useful after binding port 0).
     pub fn local_addr(&self) -> SocketAddr {
         self.shared.addr
+    }
+
+    /// The bound HTTP address, when [`Server::bind_with_http`] was used.
+    pub fn http_addr(&self) -> Option<SocketAddr> {
+        self.shared.http_addr
     }
 
     /// A handle that can stop this server from another thread.
@@ -185,14 +232,26 @@ impl Server {
     }
 
     /// Serves until a `shutdown` request (or [`ServerHandle::shutdown`])
-    /// arrives, then stops accepting, waits (bounded) for every request
-    /// already read off a socket to finish writing its response, flushes
-    /// the scheduler, and returns.
+    /// arrives, then drains gracefully: stops accepting on *both*
+    /// listeners, waits (bounded) for every request already read off a
+    /// connection to finish writing its response, stops the scheduler
+    /// (which flushes queued batches and joins every flusher thread),
+    /// answers stragglers with structured `shutting_down` errors, and
+    /// returns — an accepted request is never dropped mid-response.
     ///
     /// # Errors
     ///
     /// Fatal listener errors only (per-connection errors are contained).
     pub fn run(self) -> std::io::Result<()> {
+        // the HTTP front-end accepts on its own thread; both loops share
+        // one connection pool, scheduler and registry
+        let http_thread = self.http_listener.map(|listener| {
+            let shared = Arc::clone(&self.shared);
+            std::thread::Builder::new()
+                .name("wa-serve-http-accept".to_string())
+                .spawn(move || crate::http::accept_loop(listener, &shared))
+                .expect("spawning the HTTP accept thread failed")
+        });
         for conn in self.listener.incoming() {
             if self.shared.stop.load(Ordering::SeqCst) {
                 break;
@@ -201,6 +260,9 @@ impl Server {
                 Ok(s) => s,
                 Err(_) => continue, // transient accept failure
             };
+            // request/response traffic: Nagle + delayed ACK would add
+            // ~40ms to every framed round trip
+            let _ = stream.set_nodelay(true);
             let shared = Arc::clone(&self.shared);
             // reserve a connection slot before spawning; over the limit
             // the peer gets one structured busy error instead of a thread
@@ -238,6 +300,11 @@ impl Server {
                 self.shared.conns.fetch_sub(1, Ordering::SeqCst);
             }
         }
+        // the HTTP accept loop exits on the same stop flag
+        // (request_stop pokes both listeners awake)
+        if let Some(thread) = http_thread {
+            let _ = thread.join();
+        }
         // drain in-flight requests before tearing anything down: when
         // this function returns the daemon's main() exits, and a process
         // exit must not truncate a response another thread is writing.
@@ -250,10 +317,12 @@ impl Server {
             }
         };
         drain(Duration::from_secs(10));
+        // deterministic scheduler drain: flushes everything queued,
+        // answers every queued request, joins every flusher thread
         self.shared.scheduler.stop();
         // a request that slipped in between the drain and the scheduler
-        // stop is answered with a structured error; give that write a
-        // moment too
+        // stop is answered with a structured `shutting_down` error; give
+        // that write a moment too
         drain(Duration::from_secs(2));
         Ok(())
     }
@@ -336,8 +405,9 @@ fn serve_connection(mut stream: TcpStream, shared: &Shared) {
     }
 }
 
-/// Executes one request against the shared state.
-fn dispatch(request: Request, shared: &Shared, id: Option<&Json>) -> Json {
+/// Executes one request against the shared state (used by the socket
+/// connection loop and the HTTP front-end alike).
+pub(crate) fn dispatch(request: Request, shared: &Shared, id: Option<&Json>) -> Json {
     match request {
         Request::LoadModel { name, checkpoint } => match shared.registry.load(&name, &checkpoint) {
             Ok(entry) => ok_response(
@@ -361,15 +431,22 @@ fn dispatch(request: Request, shared: &Shared, id: Option<&Json>) -> Json {
             id,
             vec![("models".to_string(), shared.registry.list_json())],
         ),
-        Request::Infer { model, input } => {
+        Request::Infer {
+            model,
+            input,
+            deadline_ms,
+        } => {
             let entry = match shared.registry.get(&model) {
                 Ok(entry) => entry,
                 Err(e) => return error_response(id, &e),
             };
             let samples = input.dim(0);
+            // the budget is counted from dispatch (≈ request arrival);
+            // it rides into the scheduler so expiry drops the job there
+            let deadline = deadline_ms.map(|ms| Instant::now() + Duration::from_millis(ms));
             let result = shared
                 .scheduler
-                .submit(entry, input)
+                .submit_with_deadline(entry, input, deadline)
                 .and_then(|rx| {
                     rx.recv().map_err(|_| {
                         ErrorBody::new(ErrorKind::Internal, "the scheduler dropped the request")
@@ -388,36 +465,44 @@ fn dispatch(request: Request, shared: &Shared, id: Option<&Json>) -> Json {
                 Err(e) => error_response(id, &e),
             }
         }
-        Request::Stats => ok_response(
-            id,
-            vec![
-                (
-                    "uptime_seconds".to_string(),
-                    Json::from(shared.started.elapsed().as_secs_f64()),
-                ),
-                (
-                    "connections".to_string(),
-                    Json::obj([
-                        ("open", Json::from(shared.conns.load(Ordering::SeqCst))),
-                        ("max_conns", Json::from(shared.max_conns)),
-                    ]),
-                ),
-                (
-                    "scheduler".to_string(),
-                    Json::obj([
-                        (
-                            "max_inflight_flushes",
-                            Json::from(shared.scheduler.config().max_inflight_flushes),
-                        ),
-                        (
-                            "inflight_flushes",
-                            Json::from(shared.scheduler.inflight_flushes()),
-                        ),
-                    ]),
-                ),
-                ("models".to_string(), shared.registry.stats_json()),
-            ],
-        ),
+        Request::Stats => {
+            let uptime = shared.started.elapsed();
+            ok_response(
+                id,
+                vec![
+                    (
+                        "uptime_seconds".to_string(),
+                        Json::from(uptime.as_secs_f64()),
+                    ),
+                    (
+                        "uptime_ms".to_string(),
+                        Json::from(uptime.as_millis() as f64),
+                    ),
+                    (
+                        "connections".to_string(),
+                        Json::obj([
+                            ("open", Json::from(shared.conns.load(Ordering::SeqCst))),
+                            ("max_conns", Json::from(shared.max_conns)),
+                        ]),
+                    ),
+                    (
+                        "scheduler".to_string(),
+                        Json::obj([
+                            (
+                                "max_inflight_flushes",
+                                Json::from(shared.scheduler.config().max_inflight_flushes),
+                            ),
+                            (
+                                "inflight_flushes",
+                                Json::from(shared.scheduler.inflight_flushes()),
+                            ),
+                            ("max_queue", Json::from(shared.scheduler.config().max_queue)),
+                        ]),
+                    ),
+                    ("models".to_string(), shared.registry.stats_json()),
+                ],
+            )
+        }
         Request::Shutdown => unreachable!("handled in serve_connection"),
     }
 }

@@ -104,3 +104,6 @@ pub use wa_nas as nas;
 
 /// Re-export of [`wa_serve`].
 pub use wa_serve as serve;
+
+/// Re-export of [`wa_bench`].
+pub use wa_bench as bench;

@@ -331,6 +331,7 @@ fn stats_reports_connection_and_flusher_limits() {
             max_delay: Duration::from_millis(1),
             exec: EXEC,
             max_inflight_flushes: 3,
+            ..SchedulerConfig::default()
         },
         ..ServerConfig::default()
     });
