@@ -1,6 +1,6 @@
 //! **Throughput**: batched-inference samples/sec vs worker thread count
-//! for every model of the zoo, under both direct (im2row) and
-//! Winograd F2 convolutions.
+//! for every model of the zoo, under direct (im2row) and Winograd F2
+//! convolutions, plus a ResNet-18 F4 configuration.
 //!
 //! This is the serving-side companion of the latency tables: instead of
 //! modeling one core's single-image latency, it measures what the
@@ -10,7 +10,13 @@
 //!
 //! The run doubles as a smoke test: every configuration must clear
 //! 1 sample/sec, and the batched output must match the sequential
-//! per-sample loop exactly.
+//! per-sample loop exactly. With `WA_ASSERT_SCALING=1` (set by CI) the
+//! run additionally asserts that thread scaling is not *inverted* on the
+//! ResNet-18 im2row and F4 rows — 2 workers must sustain at least 95% of
+//! 1 worker — pinning the kernel-layer regression class where adding
+//! threads used to *lose* throughput. (The executor clamps its worker
+//! count to the machine's cores, so on a single-core host every thread
+//! row runs one worker and the samples/sec columns collapse to noise.)
 
 use std::time::Instant;
 
@@ -31,13 +37,15 @@ fn throughput(run: impl Fn() -> Tensor, samples: usize) -> f64 {
     samples as f64 / dt
 }
 
+/// Benches one model at each worker count, returning `(threads,
+/// samples/sec)` pairs for scaling assertions.
 fn bench_model<M: Infer + Sync>(
     record: &mut BenchRecord,
     name: &str,
     model: &M,
     batch: &Tensor,
     threads: &[usize],
-) {
+) -> Vec<(usize, f64)> {
     let n = batch.dim(0);
     // sequential per-sample reference: the executor must reproduce it
     let seq: Vec<Tensor> = (0..n)
@@ -50,6 +58,7 @@ fn bench_model<M: Infer + Sync>(
     let seq_refs: Vec<&Tensor> = seq.iter().collect();
     let want = Tensor::concat_dim0(&seq_refs);
 
+    let mut pairs = Vec::with_capacity(threads.len());
     let mut base = 0.0;
     for &t in threads {
         let cfg = ExecutorConfig {
@@ -80,7 +89,33 @@ fn bench_model<M: Infer + Sync>(
             threads[0]
         );
         record.push(name, sps, &[("threads", t as f64), ("batch", n as f64)]);
+        pairs.push((t, sps));
     }
+    pairs
+}
+
+/// With `WA_ASSERT_SCALING` set, fails the run if 2 workers sustain less
+/// than 95% of 1 worker's samples/sec — the inverted-scaling regression
+/// where thread churn in the kernel layer made extra workers a net loss.
+/// The 5% slack absorbs timer noise; genuine inversion was a 10%+ drop.
+fn assert_scaling(name: &str, pairs: &[(usize, f64)]) {
+    if std::env::var_os("WA_ASSERT_SCALING").is_none() {
+        return;
+    }
+    let sps_at = |t: usize| {
+        pairs
+            .iter()
+            .find(|&&(threads, _)| threads == t)
+            .map(|&(_, sps)| sps)
+            .unwrap_or_else(|| panic!("{name}: no {t}-thread sample"))
+    };
+    let (one, two) = (sps_at(1), sps_at(2));
+    assert!(
+        two >= 0.95 * one,
+        "{name}: thread scaling is inverted — 2 workers sustained \
+         {two:.1} samples/sec vs {one:.1} at 1 worker"
+    );
+    println!("{name:<22} scaling ok: 2 threads at x{:.2}", two / one);
 }
 
 /// Measures what the per-model `G·g·Gᵀ` filter-transform cache buys: the
@@ -227,13 +262,11 @@ fn main() {
         let cx = rng.uniform_tensor(&[batch_n, 3, 16, 16], -1.0, 1.0);
 
         let resnet = ResNet18::from_spec(&cifar_spec, &mut rng).expect("static spec");
-        bench_model(
-            &mut record,
-            &format!("ResNet-18 {algo}"),
-            &resnet,
-            &cx,
-            &threads,
-        );
+        let resnet_name = format!("ResNet-18 {algo}");
+        let pairs = bench_model(&mut record, &resnet_name, &resnet, &cx, &threads);
+        if matches!(algo, ConvAlgo::Im2row) {
+            assert_scaling(&resnet_name, &pairs);
+        }
 
         let squeeze = SqueezeNet::from_spec(&cifar_spec, &mut rng).expect("static spec");
         bench_model(
@@ -253,6 +286,19 @@ fn main() {
             &threads,
         );
     }
+
+    // F4 quadruples the run-time weight footprint, so only the ResNet-18
+    // configuration (the CI scaling sentinel) runs it.
+    let f4_spec = ModelSpec::builder()
+        .classes(10)
+        .width(0.125)
+        .algo(ConvAlgo::Winograd { m: 4 })
+        .build()
+        .expect("static spec");
+    let resnet_f4 = ResNet18::from_spec(&f4_spec, &mut rng).expect("static spec");
+    let fx = rng.uniform_tensor(&[batch_n, 3, 16, 16], -1.0, 1.0);
+    let pairs = bench_model(&mut record, "ResNet-18 F4", &resnet_f4, &fx, &threads);
+    assert_scaling("ResNet-18 F4", &pairs);
 
     bench_filter_cache(&mut record, &mut rng);
     bench_zero_copy(&mut record, &mut rng);

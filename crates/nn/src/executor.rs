@@ -164,19 +164,24 @@ impl ExecutorConfig {
 }
 
 impl Default for ExecutorConfig {
-    /// One thread per available core (capped at 8), 8 samples per chunk.
-    /// When more than one worker runs, each worker disables the GEMM's
-    /// *inner* threading for its chunks, so the two parallel layers never
-    /// multiply into oversubscription.
+    /// One thread per available core, 8 samples per chunk. The executor
+    /// divides the machine between the two parallel layers at run time:
+    /// with `w` workers each worker's *inner* GEMM threading is capped at
+    /// `⌊cores/w⌋`, so worker-level and GEMM-level parallelism never
+    /// multiply into oversubscription (see [`BatchExecutor::run`]).
     fn default() -> Self {
         ExecutorConfig {
-            threads: std::thread::available_parallelism()
-                .map(|p| p.get())
-                .unwrap_or(1)
-                .min(8),
+            threads: available_cores(),
             chunk: 8,
         }
     }
+}
+
+/// Cores the scheduler can actually run on (1 if unknown).
+fn available_cores() -> usize {
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
 }
 
 /// Counters for one [`BatchExecutor::run_with_stats`] pass.
@@ -270,7 +275,14 @@ impl BatchExecutor {
         let n = shape[0];
         let chunk = self.cfg.chunk.min(n);
         let n_chunks = n.div_ceil(chunk);
-        let threads = self.cfg.threads.min(n_chunks);
+        // `cfg.threads` is a ceiling, not a spawn count: workers beyond
+        // the chunk count would idle, and workers beyond the core count
+        // would time-slice one core for pure context-switch overhead
+        // (the old behaviour that made thread scaling *inverted* on small
+        // machines). The chunk partition — and therefore the output —
+        // never depends on the worker count.
+        let avail = available_cores();
+        let threads = self.cfg.threads.min(n_chunks).min(avail);
 
         let mut slots: Vec<Option<Result<Tensor, WaError>>> = (0..n_chunks).map(|_| None).collect();
         if threads <= 1 {
@@ -287,14 +299,17 @@ impl BatchExecutor {
         } else {
             let next = AtomicUsize::new(0);
             let shared = Mutex::new(&mut slots);
+            // Divide the cores between the two parallel layers: `threads`
+            // workers each cap their inner GEMM threading at
+            // `⌊cores/threads⌋`, so total parallelism stays ≈ the core
+            // count at every worker count instead of `threads` workers ×
+            // the GEMM's own pool oversubscribing multiplicatively. The
+            // cap never changes results (whole-row GEMM splits).
+            let inner_cap = (avail / threads).max(1);
             std::thread::scope(|s| {
                 for _ in 0..threads {
-                    // the executor owns the parallelism here, so each
-                    // worker pins its GEMMs to one thread — otherwise
-                    // `threads` workers × the GEMM's own pool would
-                    // oversubscribe the machine multiplicatively
                     s.spawn(|| {
-                        wa_tensor::with_gemm_thread_cap(1, || loop {
+                        wa_tensor::with_gemm_thread_cap(inner_cap, || loop {
                             let ci = next.fetch_add(1, Ordering::Relaxed);
                             if ci >= n_chunks {
                                 return;

@@ -17,7 +17,7 @@
 #![allow(clippy::needless_range_loop)]
 
 use wa_quant::{fake_quant_scale, fake_quant_taps, ste_mask, ste_mask_taps, BitWidth};
-use wa_tensor::{col2im, gemm, im2row, pad_nchw, unpad_nchw, Tensor, Transpose};
+use wa_tensor::{col2im, gemm, gemm_batched, im2row, pad_nchw, unpad_nchw, Tensor, Transpose};
 use wa_winograd::TileGeometry;
 
 use crate::param::Param;
@@ -402,28 +402,9 @@ impl Tape {
         assert_eq!(av.len(), batch * m * k, "bmm lhs length mismatch");
         assert_eq!(bv.len(), batch * k * n, "bmm rhs length mismatch");
         let mut out = Tensor::zeros(&[batch, m, n]);
-        {
-            let ad = av.data();
-            let bd = bv.data();
-            let od = out.data_mut();
-            for s in 0..batch {
-                let ab = &ad[s * m * k..(s + 1) * m * k];
-                let bb = &bd[s * k * n..(s + 1) * k * n];
-                let ob = &mut od[s * m * n..(s + 1) * m * n];
-                for i in 0..m {
-                    for p in 0..k {
-                        let aval = ab[i * k + p];
-                        if aval != 0.0 {
-                            let brow = &bb[p * n..(p + 1) * n];
-                            let orow = &mut ob[i * n..(i + 1) * n];
-                            for j in 0..n {
-                                orow[j] += aval * brow[j];
-                            }
-                        }
-                    }
-                }
-            }
-        }
+        // The n² per-coordinate products run as one packed batched GEMM,
+        // split across threads under the ambient gemm thread cap.
+        gemm_batched(av.data(), bv.data(), out.data_mut(), batch, m, k, n);
         let g = self.ng(a) || self.ng(b);
         self.push(
             out,

@@ -1,9 +1,31 @@
-//! Cache-blocked general matrix multiply.
+//! Packed, cache-blocked micro-kernel matrix multiply.
 //!
-//! A dependency-free GEMM tuned for the modest matrix sizes that appear in
-//! CNN inference/training on small images: panels are blocked to stay in L1
-//! and the inner micro-kernel accumulates a 4×4 register tile. Large
-//! products are optionally split across threads with `std::thread::scope`.
+//! A dependency-free GEMM in the GotoBLAS shape, tuned for the modest
+//! matrix sizes that appear in CNN inference/training on small images:
+//!
+//! * **Packing** — `B` is repacked once per call into `NR`-wide column
+//!   panels (zero-padded at the right edge) held in a reused thread-local
+//!   scratch buffer, so the inner kernel reads it as contiguous
+//!   `[kc × NR]` strips. `A` is *borrowed* in place when untransposed;
+//!   only `Transpose::Yes` operands are transpose-packed (also into
+//!   reused scratch). Neither operand is ever cloned wholesale.
+//! * **Blocking** — the `k` dimension is split into [`KC`]-deep panels
+//!   and rows into [`MC`]-tall blocks, so one `B` strip (`KC·NR` floats)
+//!   stays L1-resident while the `A` block streams from L2.
+//! * **Micro-kernel** — an `MR×NR` (4×8) register tile written as
+//!   fixed-bound loops that LLVM auto-vectorizes. Full panels and
+//!   remainder rows run the *same* const-generic kernel, so every output
+//!   element — tail or not — comes from the identical accumulation
+//!   pattern.
+//!
+//! Numerical contract: each output element is accumulated over `k` in
+//! strictly ascending order (the K-panel split reads the partial result
+//! back instead of reassociating), so the result is bit-identical to a
+//! naive f32 triple loop for **every** shape — the property the
+//! `gemm_regression` suite and the executor parity suites pin.
+//!
+//! Large products are split across threads by whole output rows with
+//! `std::thread::scope`; the split never changes results.
 
 use std::cell::Cell;
 
@@ -18,13 +40,36 @@ pub enum Transpose {
     Yes,
 }
 
-/// Number of result elements above which the GEMM is split across threads.
+/// Multiply-accumulate operations (`m·n·k`) above which the GEMM is split
+/// across threads.
 const PARALLEL_THRESHOLD: usize = 64 * 64 * 64;
+
+/// Rows per register tile.
+const MR: usize = 4;
+
+/// Columns per register tile (and per packed `B` panel). `MR·NR` f32
+/// accumulators fill 8 SSE registers, leaving room for the broadcast and
+/// the `B` strip on baseline x86-64.
+const NR: usize = 8;
+
+/// K-panel depth: one `B` strip is `KC·NR` floats = 8 KiB, comfortably
+/// L1-resident across a whole row block.
+const KC: usize = 256;
+
+/// Rows per A block: `MC·KC` floats = 64 KiB streams from L2 while the
+/// `B` strip stays in L1.
+const MC: usize = 64;
 
 thread_local! {
     /// Per-thread cap on the GEMM's internal worker count (see
     /// [`with_gemm_thread_cap`]).
     static GEMM_THREAD_CAP: Cell<usize> = const { Cell::new(usize::MAX) };
+
+    /// Reused scratch for transpose-packing `A` (`Transpose::Yes` only).
+    static PACK_A: Cell<Vec<f32>> = const { Cell::new(Vec::new()) };
+
+    /// Reused scratch for panel-packing `B`.
+    static PACK_B: Cell<Vec<f32>> = const { Cell::new(Vec::new()) };
 }
 
 /// Runs `f` with this thread's GEMM parallelism capped at `cap` threads
@@ -46,6 +91,15 @@ pub fn with_gemm_thread_cap<R>(cap: usize, f: impl FnOnce() -> R) -> R {
     }
     let _guard = Restore(GEMM_THREAD_CAP.with(|c| c.replace(cap.max(1))));
     f()
+}
+
+/// Worker threads a GEMM may use right now: every available core, bounded
+/// by the ambient [`with_gemm_thread_cap`].
+fn gemm_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(GEMM_THREAD_CAP.with(|c| c.get()))
 }
 
 /// Computes `op_a(a) · op_b(b)` for 2-D tensors.
@@ -108,117 +162,324 @@ pub fn gemm_into(a: &Tensor, ta: Transpose, b: &Tensor, tb: Transpose, out: &mut
         n,
         out.shape()
     );
-
-    // Pack both operands into row-major [m,k] and column-friendly [k,n]
-    // form once, so the inner kernel is branch-free.
-    let ap = pack_a(a, ta, m, k);
-    let bp = pack_b(b, tb, k, n);
     let out_data = out.data_mut();
-
-    if m * n * k >= PARALLEL_THRESHOLD {
-        let threads = std::thread::available_parallelism()
-            .map(|p| p.get())
-            .unwrap_or(1)
-            .min(8)
-            .min(GEMM_THREAD_CAP.with(|c| c.get()));
-        if threads > 1 {
-            let rows_per = m.div_ceil(threads);
-            std::thread::scope(|s| {
-                for (ti, chunk) in out_data.chunks_mut(rows_per * n).enumerate() {
-                    let ap = &ap;
-                    let bp = &bp;
-                    s.spawn(move || {
-                        let row0 = ti * rows_per;
-                        let rows = chunk.len() / n;
-                        kernel(&ap[row0 * k..(row0 + rows) * k], bp, chunk, rows, n, k);
-                    });
-                }
-            });
-            return;
-        }
+    if m == 0 || n == 0 {
+        return;
     }
-    kernel(&ap, &bp, out_data, m, n, k);
+    if k == 0 {
+        out_data.fill(0.0);
+        return;
+    }
+
+    // B is always repacked into NR-wide panels (the kernel's native
+    // layout); A is borrowed in place unless it needs transposing. Both
+    // scratch buffers are thread-local and reused across calls.
+    PACK_B.with(|bcell| {
+        let mut bbuf = bcell.take();
+        pack_b_panels(b.data(), tb, k, n, &mut bbuf);
+        match ta {
+            Transpose::No => compute(a.data(), &bbuf, out_data, m, n, k),
+            Transpose::Yes => PACK_A.with(|acell| {
+                let mut abuf = acell.take();
+                pack_a_transposed(a.data(), m, k, &mut abuf);
+                compute(&abuf, &bbuf, out_data, m, n, k);
+                acell.set(abuf);
+            }),
+        }
+        bcell.set(bbuf);
+    });
 }
 
-fn pack_a(a: &Tensor, ta: Transpose, m: usize, k: usize) -> Vec<f32> {
-    match ta {
-        Transpose::No => a.data().to_vec(),
-        Transpose::Yes => {
-            // stored as [k, m]; emit row-major [m, k]
-            let src = a.data();
-            let mut out = vec![0.0f32; m * k];
-            for i in 0..m {
+/// Batched matrix multiply over flat slices: for each `s` in `0..batch`,
+/// `out[s] = a[s] · b[s]` with `a[s]: [m, k]`, `b[s]: [k, n]`,
+/// `out[s]: [m, n]`, all stored contiguously.
+///
+/// This is the substrate for the Winograd per-coordinate GEMM stage
+/// `M_uv = U_uv · V_uv`: `n²` independent small products that would
+/// each sit below the threading threshold alone but together dominate a
+/// chunk's runtime. The batch is split across threads (respecting
+/// [`with_gemm_thread_cap`]); every item runs the same packed
+/// micro-kernel as [`gemm`], so each output element is accumulated over
+/// `k` in ascending order — bit-identical to a naive triple loop, and
+/// independent of the thread split.
+///
+/// # Panics
+///
+/// Panics if any slice length disagrees with the stated dimensions.
+pub fn gemm_batched(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    batch: usize,
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    assert_eq!(a.len(), batch * m * k, "gemm_batched lhs length mismatch");
+    assert_eq!(b.len(), batch * k * n, "gemm_batched rhs length mismatch");
+    assert_eq!(
+        out.len(),
+        batch * m * n,
+        "gemm_batched output length mismatch"
+    );
+    if batch == 0 || m == 0 || n == 0 {
+        return;
+    }
+    if k == 0 {
+        out.fill(0.0);
+        return;
+    }
+
+    let threads = if batch * m * n * k >= PARALLEL_THRESHOLD {
+        gemm_threads().min(batch)
+    } else {
+        1
+    };
+    if threads > 1 {
+        let per = batch.div_ceil(threads);
+        std::thread::scope(|s| {
+            for (ti, ochunk) in out.chunks_mut(per * m * n).enumerate() {
+                let s0 = ti * per;
+                s.spawn(move || batch_range(a, b, ochunk, s0, m, k, n));
+            }
+        });
+    } else {
+        batch_range(a, b, out, 0, m, k, n);
+    }
+}
+
+/// Computes `out` for batch items `s0..s0 + out.len()/(m·n)` on the
+/// calling thread, packing each `b[s]` into this thread's scratch.
+fn batch_range(a: &[f32], b: &[f32], out: &mut [f32], s0: usize, m: usize, k: usize, n: usize) {
+    PACK_B.with(|bcell| {
+        let mut bbuf = bcell.take();
+        for (i, oitem) in out.chunks_mut(m * n).enumerate() {
+            let s = s0 + i;
+            pack_b_panels(
+                &b[s * k * n..(s + 1) * k * n],
+                Transpose::No,
+                k,
+                n,
+                &mut bbuf,
+            );
+            kernel_rows(&a[s * m * k..(s + 1) * m * k], &bbuf, oitem, m, n, k);
+        }
+        bcell.set(bbuf);
+    });
+}
+
+/// Repacks `B` into `⌈n/NR⌉` column panels, each a contiguous
+/// `[k × NR]` strip (`panel[p·NR + jj] = B[p, j0 + jj]`), zero-padding
+/// the right edge so the micro-kernel always reads full `NR` lanes.
+fn pack_b_panels(src: &[f32], tb: Transpose, k: usize, n: usize, buf: &mut Vec<f32>) {
+    let npanels = n.div_ceil(NR);
+    let need = npanels * k * NR;
+    if buf.len() < need {
+        buf.resize(need, 0.0);
+    }
+    for jp in 0..npanels {
+        let j0 = jp * NR;
+        let nr = NR.min(n - j0);
+        let panel = &mut buf[jp * k * NR..(jp + 1) * k * NR];
+        match tb {
+            Transpose::No => {
+                // stored [k, n]
                 for p in 0..k {
-                    out[i * k + p] = src[p * m + i];
-                }
-            }
-            out
-        }
-    }
-}
-
-fn pack_b(b: &Tensor, tb: Transpose, k: usize, n: usize) -> Vec<f32> {
-    match tb {
-        Transpose::No => b.data().to_vec(),
-        Transpose::Yes => {
-            // stored as [n, k]; emit row-major [k, n]
-            let src = b.data();
-            let mut out = vec![0.0f32; k * n];
-            for p in 0..k {
-                for j in 0..n {
-                    out[p * n + j] = src[j * k + p];
-                }
-            }
-            out
-        }
-    }
-}
-
-/// Row-major kernel: `out[m,n] = a[m,k] · b[k,n]` with 4-row unrolling.
-fn kernel(a: &[f32], b: &[f32], out: &mut [f32], m: usize, n: usize, k: usize) {
-    out.fill(0.0);
-    const KC: usize = 256; // K-panel so a b-panel row stays hot in L1
-    let mut p0 = 0;
-    while p0 < k {
-        let pc = KC.min(k - p0);
-        let mut i = 0;
-        // 4-row micro panels
-        while i + 4 <= m {
-            for p in p0..p0 + pc {
-                let a0 = a[i * k + p];
-                let a1 = a[(i + 1) * k + p];
-                let a2 = a[(i + 2) * k + p];
-                let a3 = a[(i + 3) * k + p];
-                let brow = &b[p * n..p * n + n];
-                let (o0, rest) = out[i * n..].split_at_mut(n);
-                let (o1, rest) = rest.split_at_mut(n);
-                let (o2, rest) = rest.split_at_mut(n);
-                let o3 = &mut rest[..n];
-                for j in 0..n {
-                    let bv = brow[j];
-                    o0[j] += a0 * bv;
-                    o1[j] += a1 * bv;
-                    o2[j] += a2 * bv;
-                    o3[j] += a3 * bv;
-                }
-            }
-            i += 4;
-        }
-        // remainder rows
-        while i < m {
-            for p in p0..p0 + pc {
-                let av = a[i * k + p];
-                if av != 0.0 {
-                    let brow = &b[p * n..p * n + n];
-                    let orow = &mut out[i * n..i * n + n];
-                    for j in 0..n {
-                        orow[j] += av * brow[j];
+                    let srow = &src[p * n + j0..p * n + j0 + nr];
+                    let drow = &mut panel[p * NR..(p + 1) * NR];
+                    drow[..nr].copy_from_slice(srow);
+                    for v in &mut drow[nr..] {
+                        *v = 0.0;
                     }
                 }
             }
-            i += 1;
+            Transpose::Yes => {
+                // stored [n, k]: panel columns are source rows
+                for jj in 0..nr {
+                    let scol = &src[(j0 + jj) * k..(j0 + jj + 1) * k];
+                    for (p, &v) in scol.iter().enumerate() {
+                        panel[p * NR + jj] = v;
+                    }
+                }
+                for jj in nr..NR {
+                    for p in 0..k {
+                        panel[p * NR + jj] = 0.0;
+                    }
+                }
+            }
         }
-        p0 += pc;
+    }
+}
+
+/// Transpose-packs an `A` stored `[k, m]` into row-major `[m, k]`,
+/// blocked for cache-friendly strides on both sides.
+fn pack_a_transposed(src: &[f32], m: usize, k: usize, buf: &mut Vec<f32>) {
+    let need = m * k;
+    if buf.len() < need {
+        buf.resize(need, 0.0);
+    }
+    const TB: usize = 32;
+    let mut i0 = 0;
+    while i0 < m {
+        let im = (i0 + TB).min(m);
+        let mut p0 = 0;
+        while p0 < k {
+            let pm = (p0 + TB).min(k);
+            for i in i0..im {
+                for p in p0..pm {
+                    buf[i * k + p] = src[p * m + i];
+                }
+            }
+            p0 = pm;
+        }
+        i0 = im;
+    }
+}
+
+/// Multiplies row-major `a [m, k]` by panel-packed `bp` into `out [m, n]`,
+/// splitting rows across threads when the product is large enough.
+fn compute(a: &[f32], bp: &[f32], out: &mut [f32], m: usize, n: usize, k: usize) {
+    let threads = if m * n * k >= PARALLEL_THRESHOLD {
+        gemm_threads()
+    } else {
+        1
+    };
+    if threads > 1 {
+        // MR-aligned row chunks so no register tile spans two workers
+        let rows_per = m.div_ceil(threads).next_multiple_of(MR);
+        std::thread::scope(|s| {
+            for (ti, chunk) in out.chunks_mut(rows_per * n).enumerate() {
+                let row0 = ti * rows_per;
+                s.spawn(move || {
+                    let rows = chunk.len() / n;
+                    kernel_rows(&a[row0 * k..(row0 + rows) * k], bp, chunk, rows, n, k);
+                });
+            }
+        });
+    } else {
+        kernel_rows(a, bp, out, m, n, k);
+    }
+}
+
+/// The blocked kernel: `out[rows, n] = a[rows, k] · B` with `B` packed
+/// into `NR` panels by [`pack_b_panels`].
+///
+/// Loop nest (GotoBLAS order): K-panels of depth [`KC`] outermost — the
+/// partial result is read back from `out` on later panels, preserving the
+/// exact per-element `k` accumulation order — then [`MC`]-row blocks,
+/// then `B` panels (one `KC·NR` strip stays L1-hot across the whole row
+/// block), then `MR`-row register tiles with the remainder rows running
+/// the same const-generic micro-kernel.
+fn kernel_rows(a: &[f32], bp: &[f32], out: &mut [f32], rows: usize, n: usize, k: usize) {
+    let npanels = n.div_ceil(NR);
+    let mut pc = 0;
+    while pc < k {
+        let kc = KC.min(k - pc);
+        let accumulate = pc > 0;
+        let mut ic = 0;
+        while ic < rows {
+            let mc = MC.min(rows - ic);
+            for jp in 0..npanels {
+                let j0 = jp * NR;
+                let nr = NR.min(n - j0);
+                let strip = &bp[jp * k * NR + pc * NR..jp * k * NR + (pc + kc) * NR];
+                let mut ir = 0;
+                while ir + MR <= mc {
+                    let i = ic + ir;
+                    micro::<MR>(
+                        &a[i * k + pc..],
+                        k,
+                        strip,
+                        &mut out[i * n..],
+                        n,
+                        j0,
+                        nr,
+                        accumulate,
+                    );
+                    ir += MR;
+                }
+                let i = ic + ir;
+                match mc - ir {
+                    1 => micro::<1>(
+                        &a[i * k + pc..],
+                        k,
+                        strip,
+                        &mut out[i * n..],
+                        n,
+                        j0,
+                        nr,
+                        accumulate,
+                    ),
+                    2 => micro::<2>(
+                        &a[i * k + pc..],
+                        k,
+                        strip,
+                        &mut out[i * n..],
+                        n,
+                        j0,
+                        nr,
+                        accumulate,
+                    ),
+                    3 => micro::<3>(
+                        &a[i * k + pc..],
+                        k,
+                        strip,
+                        &mut out[i * n..],
+                        n,
+                        j0,
+                        nr,
+                        accumulate,
+                    ),
+                    _ => {}
+                }
+            }
+            ic += mc;
+        }
+        pc += kc;
+    }
+}
+
+/// The `R × NR` register-tile micro-kernel.
+///
+/// `a` starts at the tile's first row and current K-panel (row stride
+/// `k`); `strip` is the packed `kc × NR` B strip; `out` starts at the
+/// tile's first row (row stride `n`), with `nr ≤ NR` live columns at
+/// `j0`. Padded B lanes contribute only to accumulator lanes that are
+/// never stored.
+///
+/// Every tile — interior or edge — runs this same code: the accumulator
+/// starts at zero (or the previous K-panel's partial result) and adds
+/// `a·b` products in ascending `k` order, so each output element is
+/// bit-identical to a naive f32 triple loop regardless of `R` or the
+/// panel split.
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn micro<const R: usize>(
+    a: &[f32],
+    k: usize,
+    strip: &[f32],
+    out: &mut [f32],
+    n: usize,
+    j0: usize,
+    nr: usize,
+    accumulate: bool,
+) {
+    let mut acc = [[0.0f32; NR]; R];
+    if accumulate {
+        for (r, accr) in acc.iter_mut().enumerate() {
+            accr[..nr].copy_from_slice(&out[r * n + j0..r * n + j0 + nr]);
+        }
+    }
+    for (p, brow) in strip.chunks_exact(NR).enumerate() {
+        for (r, accr) in acc.iter_mut().enumerate() {
+            let av = a[r * k + p];
+            for (dst, &bv) in accr.iter_mut().zip(brow) {
+                *dst += av * bv;
+            }
+        }
+    }
+    for (r, accr) in acc.iter().enumerate() {
+        out[r * n + j0..r * n + j0 + nr].copy_from_slice(&accr[..nr]);
     }
 }
 
@@ -287,7 +548,7 @@ mod tests {
 
     #[test]
     fn parallel_path_matches_naive() {
-        // Force the threshold by exceeding 64^3 elements of work.
+        // Force the threshold by exceeding 64^3 multiply-accumulates.
         let a = rand_mat(80, 70, 11);
         let b = rand_mat(70, 90, 12);
         assert_close(
@@ -312,5 +573,49 @@ mod tests {
         let mut out = Tensor::ones(&[3, 3]);
         gemm_into(&a, Transpose::No, &b, Transpose::No, &mut out);
         assert_close(&out, &naive(&a, &b), 1e-5);
+    }
+
+    #[test]
+    fn zero_k_overwrites_output_with_zeros() {
+        let a = Tensor::zeros(&[3, 0]);
+        let b = Tensor::zeros(&[0, 4]);
+        let mut out = Tensor::ones(&[3, 4]);
+        gemm_into(&a, Transpose::No, &b, Transpose::No, &mut out);
+        assert!(out.data().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn batched_matches_per_item_gemm_exactly() {
+        let (batch, m, k, n) = (5usize, 6, 9, 7);
+        let mut rng = crate::rng::SeededRng::new(99);
+        let a: Vec<f32> = (0..batch * m * k).map(|_| rng.uniform(-1.0, 1.0)).collect();
+        let b: Vec<f32> = (0..batch * k * n).map(|_| rng.uniform(-1.0, 1.0)).collect();
+        let mut got = vec![0.0f32; batch * m * n];
+        gemm_batched(&a, &b, &mut got, batch, m, k, n);
+        for s in 0..batch {
+            let at = Tensor::from_vec(a[s * m * k..(s + 1) * m * k].to_vec(), &[m, k]);
+            let bt = Tensor::from_vec(b[s * k * n..(s + 1) * k * n].to_vec(), &[k, n]);
+            let want = gemm(&at, Transpose::No, &bt, Transpose::No);
+            assert_eq!(
+                &got[s * m * n..(s + 1) * m * n],
+                want.data(),
+                "batch item {s} must match a standalone gemm bit-for-bit"
+            );
+        }
+    }
+
+    #[test]
+    fn batched_threaded_split_matches_serial() {
+        // large enough that batch*m*n*k crosses the threshold
+        let (batch, m, k, n) = (16usize, 24, 24, 32);
+        assert!(batch * m * k * n >= PARALLEL_THRESHOLD);
+        let mut rng = crate::rng::SeededRng::new(123);
+        let a: Vec<f32> = (0..batch * m * k).map(|_| rng.uniform(-1.0, 1.0)).collect();
+        let b: Vec<f32> = (0..batch * k * n).map(|_| rng.uniform(-1.0, 1.0)).collect();
+        let mut par = vec![0.0f32; batch * m * n];
+        gemm_batched(&a, &b, &mut par, batch, m, k, n);
+        let mut ser = vec![0.0f32; batch * m * n];
+        with_gemm_thread_cap(1, || gemm_batched(&a, &b, &mut ser, batch, m, k, n));
+        assert_eq!(par, ser, "batch split must not change any element");
     }
 }

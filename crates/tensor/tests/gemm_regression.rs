@@ -1,15 +1,19 @@
-//! Regression suite for the blocked/threaded GEMM on shapes that do not
+//! Regression suite for the packed/threaded GEMM on shapes that do not
 //! divide evenly into its internal blocking:
 //!
-//! * odd `M` exercises the 4-row micro-panel remainder path,
-//! * odd `N`/`K` exercise the panel edges,
+//! * odd `M` exercises the register-tile remainder rows (which run the
+//!   same const-generic micro-kernel as full tiles),
+//! * odd `N`/`K` exercise the zero-padded B-panel edges and the K-panel
+//!   split,
 //! * `M·N·K` above the parallel threshold exercises the
-//!   `std::thread::scope` row split with a ragged final chunk.
+//!   `std::thread::scope` row split with a ragged final chunk,
+//! * thread caps around `M` exercise the split boundaries (`M` not a
+//!   multiple of the worker count, `M` smaller than the worker count).
 //!
-//! The kernel accumulates each output element over `k` in the same order
-//! as a naive f32 triple loop whenever `k` fits one K-panel (256), so
-//! those comparisons demand *exact* equality; K-split cases compare
-//! against an f64 reference with a tight tolerance.
+//! The kernel accumulates each output element over `k` in strictly
+//! ascending order for **every** shape — the K-panel loop reads the
+//! partial result back instead of reassociating — so every comparison
+//! against the naive f32 triple loop demands *exact* equality.
 
 use wa_tensor::{gemm, SeededRng, Tensor, Transpose};
 
@@ -18,8 +22,8 @@ fn rand_mat(r: usize, c: usize, seed: u64) -> Tensor {
     Tensor::from_fn(&[r, c], |_| rng.uniform(-1.0, 1.0))
 }
 
-/// Naive f32 triple loop — accumulation order identical to the blocked
-/// kernel for k <= 256.
+/// Naive f32 triple loop — accumulation order identical to the packed
+/// kernel for every shape.
 fn naive_f32(a: &Tensor, b: &Tensor) -> Tensor {
     let (m, k) = (a.dim(0), a.dim(1));
     let n = b.dim(1);
@@ -89,18 +93,69 @@ fn odd_shapes_match_naive_exactly_on_the_threaded_path() {
 }
 
 #[test]
-fn odd_k_above_panel_size_matches_f64_reference() {
-    // k = 300 splits into K-panels 256 + 44; compare to f64 with a
-    // tolerance covering the reassociation.
+fn odd_k_above_panel_size_is_still_exact_and_near_f64() {
+    // k = 300 splits into K-panels 256 + 44. The kernel reads its partial
+    // result back between panels instead of reassociating, so even the
+    // K-split path stays bit-identical to the naive f32 loop — and the
+    // f64 reference bounds the genuine rounding of that shared order.
     let (m, k, n) = (7usize, 300, 5);
     let a = rand_mat(m, k, 5);
     let b = rand_mat(k, n, 6);
     let got = gemm(&a, Transpose::No, &b, Transpose::No);
+    assert_eq!(
+        got.data(),
+        naive_f32(&a, &b).data(),
+        "the K-panel split must not reassociate the accumulation"
+    );
     let want = naive_f64(&a, &b);
     for (x, y) in got.data().iter().zip(want.data()) {
         assert!(
             (x - y).abs() <= 1e-4 * (1.0 + x.abs().max(y.abs())),
             "{x} vs {y}"
+        );
+    }
+}
+
+#[test]
+fn row_split_boundaries_are_exact_for_any_worker_count() {
+    // M chosen so that common worker counts leave a ragged final chunk
+    // (67 = 4·16 + 3 rows) and M·N·K crosses the parallel threshold. The
+    // cap bounds the split at w workers (the machine's core count may
+    // bound it lower still); every variant must agree with the naive
+    // loop exactly, because the split assigns whole output rows.
+    let (m, k, n) = (67usize, 64, 70);
+    assert!(m * k * n >= 64 * 64 * 64, "shape must trigger threading");
+    let a = rand_mat(m, k, 21);
+    let b = rand_mat(k, n, 22);
+    let want = naive_f32(&a, &b);
+    for workers in [1usize, 2, 3, 5, 8, 64] {
+        let got =
+            wa_tensor::with_gemm_thread_cap(workers, || gemm(&a, Transpose::No, &b, Transpose::No));
+        assert_eq!(
+            got.data(),
+            want.data(),
+            "row split with a cap of {workers} workers changed an element"
+        );
+    }
+}
+
+#[test]
+fn more_workers_than_rows_is_exact() {
+    // M < the permitted worker count: the split must simply spawn fewer
+    // workers (MR-aligned row chunks), never hand a worker zero rows or
+    // split a row. K is large so the per-row work crosses the threshold.
+    let (m, k, n) = (3usize, 512, 200);
+    assert!(m * k * n >= 64 * 64 * 64, "shape must trigger threading");
+    let a = rand_mat(m, k, 31);
+    let b = rand_mat(k, n, 32);
+    let want = naive_f32(&a, &b);
+    for workers in [2usize, 4, 16, 1024] {
+        let got =
+            wa_tensor::with_gemm_thread_cap(workers, || gemm(&a, Transpose::No, &b, Transpose::No));
+        assert_eq!(
+            got.data(),
+            want.data(),
+            "M={m} with a cap of {workers} workers changed an element"
         );
     }
 }

@@ -6,57 +6,10 @@
 //! independent GEMM per Winograd-domain coordinate `(u, v)`:
 //! `M_uv[K, T] = U_uv[K, C] · V_uv[C, T]`.
 
-use wa_tensor::Tensor;
+use wa_tensor::{gemm_batched, Tensor};
 
 use crate::tiling::TileGeometry;
 use crate::transform::WinogradTransform;
-
-/// Applies the two-sided transform `L · X · Lᵀ` to a stack of square
-/// tiles stored as rows.
-///
-/// `tiles` is `[rows, s·s]`, `l` is `[o, s]`; the result is `[rows, o·o]`.
-fn two_sided(tiles: &Tensor, l: &Tensor) -> Tensor {
-    let rows = tiles.dim(0);
-    let s = l.dim(1);
-    let o = l.dim(0);
-    assert_eq!(
-        tiles.dim(1),
-        s * s,
-        "tile rows must be {}², got {}",
-        s,
-        tiles.dim(1)
-    );
-    let lt = l.data();
-    let src = tiles.data();
-    let mut out = Tensor::zeros(&[rows, o * o]);
-    let dst = out.data_mut();
-    let mut tmp = vec![0.0f32; o * s];
-    for row in 0..rows {
-        let x = &src[row * s * s..(row + 1) * s * s];
-        // tmp = L · X  (o × s)
-        for i in 0..o {
-            for j in 0..s {
-                let mut acc = 0.0f32;
-                for k in 0..s {
-                    acc += lt[i * s + k] * x[k * s + j];
-                }
-                tmp[i * s + j] = acc;
-            }
-        }
-        // out = tmp · Lᵀ (o × o)
-        let orow = &mut dst[row * o * o..(row + 1) * o * o];
-        for i in 0..o {
-            for j in 0..o {
-                let mut acc = 0.0f32;
-                for k in 0..s {
-                    acc += tmp[i * s + k] * lt[j * s + k];
-                }
-                orow[i * o + j] = acc;
-            }
-        }
-    }
-    out
-}
 
 /// Transforms a weight tensor `[K, C, r, r]` to the Winograd domain,
 /// returning `U` laid out `[n², K·C]` (coordinate-major).
@@ -79,8 +32,8 @@ pub fn transform_weights(weight: &Tensor, t: &WinogradTransform) -> Tensor {
     );
     let n = t.input_tile();
     let flat = weight.reshape(&[k * c, r * r]);
-    let u_rows = two_sided(&flat, t.g()); // [K·C, n²]
-                                          // permute to [n², K·C]
+    let u_rows = t.transform_filter_tiles(&flat); // [K·C, n²]
+                                                  // permute to [n², K·C]
     let mut out = Tensor::zeros(&[n * n, k * c]);
     let src = u_rows.data();
     let dst = out.data_mut();
@@ -169,10 +122,10 @@ pub fn winograd_conv2d_pretransformed(
     let tiles_per_img = geom.tiles();
     let total_tiles = nb * tiles_per_img;
 
-    // 1. gather + input transform
+    // 1. gather + input transform (tile-batched: two GEMMs over all tiles)
     let xp = geom.pad_input(x);
     let tiles = geom.gather_tiles(&xp); // [N·T·C, n²]
-    let v_rows = two_sided(&tiles, t.bt()); // [N·T·C, n²]
+    let v_rows = t.transform_input_tiles(&tiles); // [N·T·C, n²]
 
     // 2. permute to V[uv][C, N·T]
     let nn = n * n;
@@ -189,26 +142,10 @@ pub fn winograd_conv2d_pretransformed(
         }
     }
 
-    // 3. per-coordinate GEMM: M_uv[K, T] = U_uv[K, C] · V_uv[C, T]
-    let udata = u.data();
+    // 3. per-coordinate GEMM: M_uv[K, T] = U_uv[K, C] · V_uv[C, T] —
+    //    one packed batched GEMM over all n² coordinates
     let mut m = vec![0.0f32; nn * out_ch * total_tiles];
-    for uv in 0..nn {
-        let u_uv = &udata[uv * out_ch * c..(uv + 1) * out_ch * c];
-        let v_uv = &v[uv * c * total_tiles..(uv + 1) * c * total_tiles];
-        let m_uv = &mut m[uv * out_ch * total_tiles..(uv + 1) * out_ch * total_tiles];
-        for k in 0..out_ch {
-            let urow = &u_uv[k * c..(k + 1) * c];
-            let mrow = &mut m_uv[k * total_tiles..(k + 1) * total_tiles];
-            for (ch, &uval) in urow.iter().enumerate() {
-                if uval != 0.0 {
-                    let vrow = &v_uv[ch * total_tiles..(ch + 1) * total_tiles];
-                    for ti in 0..total_tiles {
-                        mrow[ti] += uval * vrow[ti];
-                    }
-                }
-            }
-        }
-    }
+    gemm_batched(u.data(), &v, &mut m, nn, out_ch, c, total_tiles);
 
     // 4. inverse transform per (tile, k): rows [N·T·K, n²] -> [N·T·K, m²]
     let mut m_rows = Tensor::zeros(&[total_tiles * out_ch, nn]);
@@ -223,7 +160,7 @@ pub fn winograd_conv2d_pretransformed(
             }
         }
     }
-    let y_rows = two_sided(&m_rows, t.at()); // [N·T·K, m²]
+    let y_rows = t.transform_output_tiles(&m_rows); // [N·T·K, m²]
 
     // 5. assemble + bias
     let mut out = geom.assemble_output(&y_rows, nb, out_ch);

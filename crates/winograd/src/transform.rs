@@ -1,9 +1,71 @@
 //! The [`WinogradTransform`] triple in `f32`/`f64` form, canonical
 //! published matrices, and sparsity statistics.
 
-use wa_tensor::Tensor;
+use wa_tensor::{gemm, Tensor, Transpose};
 
 use crate::cook_toom::{cook_toom, CookToom};
+
+/// Transposes each `rows × cols` tile stored as a row of `[R, rows·cols]`,
+/// yielding `[R, cols·rows]`.
+fn tile_transpose_rows(x: &Tensor, rows: usize, cols: usize) -> Tensor {
+    let r = x.dim(0);
+    let mut out = Tensor::zeros(&[r, cols * rows]);
+    let src = x.data();
+    let dst = out.data_mut();
+    for t in 0..r {
+        let s0 = t * rows * cols;
+        for i in 0..rows {
+            for j in 0..cols {
+                dst[s0 + j * rows + i] = src[s0 + i * cols + j];
+            }
+        }
+    }
+    out
+}
+
+/// Applies the two-sided transform `L · X · Lᵀ` to a stack of square
+/// tiles stored as rows: `tiles` is `[rows, s·s]`, `l` is `[o, s]`, the
+/// result is `[rows, o·o]`.
+///
+/// Instead of `rows` tiny `o×s · s×s` matmuls, the whole stack runs as
+/// two GEMMs over `[rows·s, s]` / `[rows·o, s]` row matrices (with a
+/// cheap per-tile transpose between the one-sided products), so the
+/// packed micro-kernel — and its threading — sees one large product.
+///
+/// Bit-exactness: each GEMM accumulates over the shared `s` dimension in
+/// ascending order, exactly like the per-tile `l.matmul(x).matmul_nt(l)`
+/// chain, so the batched result is **bit-identical** to transforming each
+/// tile individually — the contract `batched_transform_parity.rs` pins.
+pub(crate) fn two_sided_tiles(tiles: &Tensor, l: &Tensor) -> Tensor {
+    let rows = tiles.dim(0);
+    let s = l.dim(1);
+    let o = l.dim(0);
+    assert_eq!(
+        tiles.dim(1),
+        s * s,
+        "tile rows must be {}², got {}",
+        s,
+        tiles.dim(1)
+    );
+    // Row r of tile X against Lᵀ gives (L·X)ᵀ rows, so transpose tiles in,
+    // multiply, transpose back, multiply again:
+    //   X → Xᵀ → Xᵀ·Lᵀ = (L·X)ᵀ → L·X → (L·X)·Lᵀ
+    let xt = tile_transpose_rows(tiles, s, s);
+    let z1 = gemm(
+        &xt.reshape(&[rows * s, s]),
+        Transpose::No,
+        l,
+        Transpose::Yes,
+    );
+    let z1t = tile_transpose_rows(&z1.reshape(&[rows, s * o]), s, o);
+    let z2 = gemm(
+        &z1t.reshape(&[rows * o, s]),
+        Transpose::No,
+        l,
+        Transpose::Yes,
+    );
+    z2.reshape(&[rows, o * o])
+}
 
 /// A ready-to-use Winograd transform triple for `F(m×m, r×r)`.
 ///
@@ -259,6 +321,68 @@ impl WinogradTransform {
             n
         );
         self.at.matmul(y).matmul_nt(&self.at)
+    }
+
+    /// Transforms a whole stack of input tiles at once: `Bᵀ·d·B` for
+    /// every `n×n` tile stored as a row of `tiles` `[rows, n²]`
+    /// (e.g. the `[tiles·batch·channels, n²]` matrix gathered from a
+    /// chunk), returning `[rows, n²]`.
+    ///
+    /// Runs as two batched GEMMs instead of `rows` tiny matmuls, and is
+    /// **bit-identical** to calling [`WinogradTransform::transform_input`]
+    /// on each tile (see `two_sided_tiles`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tiles` is not `[rows, n²]`.
+    pub fn transform_input_tiles(&self, tiles: &Tensor) -> Tensor {
+        let n = self.input_tile();
+        assert_eq!(
+            tiles.dim(1),
+            n * n,
+            "input tile rows must be {0}·{0} wide",
+            n
+        );
+        two_sided_tiles(tiles, &self.bt)
+    }
+
+    /// Transforms a stack of filter tiles at once: `G·g·Gᵀ` for every
+    /// `r×r` filter stored as a row of `filters` `[rows, r²]` (e.g. the
+    /// flattened `[K·C, r²]` weight tensor), returning `[rows, n²]`.
+    ///
+    /// Bit-identical to per-tile [`WinogradTransform::transform_filter`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `filters` is not `[rows, r²]`.
+    pub fn transform_filter_tiles(&self, filters: &Tensor) -> Tensor {
+        assert_eq!(
+            filters.dim(1),
+            self.r * self.r,
+            "filter tile rows must be {0}·{0} wide",
+            self.r
+        );
+        two_sided_tiles(filters, &self.g)
+    }
+
+    /// Inverse-transforms a stack of Winograd-domain tiles at once:
+    /// `Aᵀ·y·A` for every `n×n` tile stored as a row of `tiles`
+    /// `[rows, n²]`, returning `[rows, m²]`.
+    ///
+    /// Bit-identical to per-tile [`WinogradTransform::transform_output`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tiles` is not `[rows, n²]`.
+    pub fn transform_output_tiles(&self, tiles: &Tensor) -> Tensor {
+        let n = self.input_tile();
+        assert_eq!(
+            tiles.dim(1),
+            n * n,
+            "Winograd-domain tile rows must be {0}·{0} wide",
+            n
+        );
+        two_sided_tiles(tiles, &self.at)
     }
 
     /// Full single-tile Winograd convolution

@@ -1,0 +1,104 @@
+//! Parity between the tile-batched transforms and their per-tile
+//! counterparts: `transform_{input,filter,output}_tiles` must reproduce
+//! `transform_{input,filter,output}` **bit-for-bit** on every tile.
+//!
+//! The batched versions run as two GEMMs over the whole tile stack, but
+//! each output element is still accumulated over the shared dimension in
+//! the same ascending order as the per-tile matmul chain, so exact
+//! equality — not a tolerance — is the contract. The geometry is chosen
+//! with `wasted_outputs() > 0` (30×30 output at F4 covers 32×32), so the
+//! stack includes partially-wasted edge tiles.
+
+use wa_tensor::{SeededRng, Tensor};
+use wa_winograd::{TileGeometry, WinogradTransform};
+
+/// Extracts row `i` of a `[rows, s·s]` tile stack as an `[s, s]` tensor.
+fn tile_of(rows: &Tensor, i: usize, s: usize) -> Tensor {
+    let d = rows.data();
+    Tensor::from_vec(d[i * s * s..(i + 1) * s * s].to_vec(), &[s, s])
+}
+
+#[test]
+fn batched_input_transform_is_bit_identical_to_per_tile_at_f4() {
+    let t = WinogradTransform::canonical(4, 3);
+    let n = t.input_tile();
+    // 30×30 output at F4: 8×8 tiles cover 32×32, so edge tiles carry
+    // wasted area — the ragged case the batched gather must preserve.
+    let geom = TileGeometry::for_conv(30, 30, 4, 3, 1);
+    assert!(
+        geom.wasted_outputs() > 0,
+        "geometry must include wasted tile area"
+    );
+
+    let mut rng = SeededRng::new(42);
+    let x = rng.uniform_tensor(&[2, 3, 30, 30], -1.0, 1.0);
+    let tiles = geom.gather_tiles(&geom.pad_input(&x)); // [N·T·C, n²]
+    assert_eq!(tiles.dim(0), 2 * geom.tiles() * 3);
+
+    let batched = t.transform_input_tiles(&tiles);
+    assert_eq!(batched.shape(), &[tiles.dim(0), n * n]);
+    for i in 0..tiles.dim(0) {
+        let want = t.transform_input(&tile_of(&tiles, i, n));
+        assert_eq!(
+            &batched.data()[i * n * n..(i + 1) * n * n],
+            want.data(),
+            "input tile {i}: batched Bᵀ·d·B must equal per-tile bit-for-bit"
+        );
+    }
+}
+
+#[test]
+fn batched_output_transform_is_bit_identical_to_per_tile_at_f4() {
+    let t = WinogradTransform::canonical(4, 3);
+    let (m, n) = (t.m(), t.input_tile());
+    let geom = TileGeometry::for_conv(30, 30, 4, 3, 1);
+    let rows = 2 * geom.tiles() * 5; // N·T·K Winograd-domain tiles
+
+    let mut rng = SeededRng::new(7);
+    let y = rng.uniform_tensor(&[rows, n * n], -2.0, 2.0);
+    let batched = t.transform_output_tiles(&y);
+    assert_eq!(batched.shape(), &[rows, m * m]);
+    for i in 0..rows {
+        let want = t.transform_output(&tile_of(&y, i, n));
+        assert_eq!(
+            &batched.data()[i * m * m..(i + 1) * m * m],
+            want.data(),
+            "output tile {i}: batched Aᵀ·y·A must equal per-tile bit-for-bit"
+        );
+    }
+}
+
+#[test]
+fn batched_filter_transform_is_bit_identical_to_per_tile() {
+    for (m, r) in [(2usize, 3usize), (4, 3), (6, 3)] {
+        let t = WinogradTransform::canonical(m, r);
+        let n = t.input_tile();
+        let (k, c) = (5usize, 3usize);
+        let mut rng = SeededRng::new(100 + m as u64);
+        let w = rng.uniform_tensor(&[k * c, r * r], -1.0, 1.0);
+        let batched = t.transform_filter_tiles(&w);
+        assert_eq!(batched.shape(), &[k * c, n * n]);
+        for i in 0..k * c {
+            let want = t.transform_filter(&tile_of(&w, i, r));
+            assert_eq!(
+                &batched.data()[i * n * n..(i + 1) * n * n],
+                want.data(),
+                "F({m},{r}) filter tile {i}: batched G·g·Gᵀ must equal \
+                 per-tile bit-for-bit"
+            );
+        }
+    }
+}
+
+#[test]
+fn batched_transforms_are_invariant_to_the_gemm_thread_cap() {
+    // The batched formulation routes through the threaded GEMM; the row
+    // split must not change any bit. Large stack to cross the threshold.
+    let t = WinogradTransform::canonical(4, 3);
+    let n = t.input_tile();
+    let mut rng = SeededRng::new(9);
+    let tiles = rng.uniform_tensor(&[4096, n * n], -1.0, 1.0);
+    let capped = wa_tensor::with_gemm_thread_cap(1, || t.transform_input_tiles(&tiles));
+    let free = t.transform_input_tiles(&tiles);
+    assert_eq!(capped.data(), free.data());
+}
