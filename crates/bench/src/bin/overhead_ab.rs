@@ -1,0 +1,57 @@
+//! Paired A/B of stage-span instrumentation overhead: alternate
+//! spans-on and spans-off runs of the same executor on the same batch,
+//! then compare medians. Interleaving cancels machine drift that makes
+//! back-to-back full benchmark runs incomparable.
+
+use std::time::Instant;
+
+use wa_core::ConvAlgo;
+use wa_models::{BatchExecutor, ExecutorConfig, ModelSpec, ResNet18};
+use wa_tensor::SeededRng;
+
+fn median(mut v: Vec<f64>) -> f64 {
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    v[v.len() / 2]
+}
+
+fn main() {
+    let mut rng = SeededRng::new(11);
+    let spec = ModelSpec::builder()
+        .classes(10)
+        .width(0.125)
+        .algo(ConvAlgo::Winograd { m: 2 })
+        .build()
+        .expect("static spec");
+    let model = ResNet18::from_spec(&spec, &mut rng).expect("static spec");
+    let x = rng.uniform_tensor(&[24, 3, 16, 16], -1.0, 1.0);
+    let exec = BatchExecutor::new(ExecutorConfig {
+        threads: 1,
+        chunk: 2,
+    })
+    .expect("static config is valid");
+
+    // warm up caches and the metrics registry
+    for _ in 0..3 {
+        let _ = exec.run(&model, &x).expect("warm-up failed");
+    }
+
+    let reps = 15;
+    let (mut on, mut off) = (Vec::new(), Vec::new());
+    for _ in 0..reps {
+        for &spans in &[true, false] {
+            wa_obs::set_spans_enabled(spans);
+            let t0 = Instant::now();
+            let _ = exec.run(&model, &x).expect("run failed");
+            let dt = t0.elapsed().as_secs_f64();
+            if spans { &mut on } else { &mut off }.push(dt);
+        }
+    }
+    wa_obs::set_spans_enabled(true);
+    let (m_on, m_off) = (median(on), median(off));
+    println!(
+        "ResNet-18 F2 t1: median spans-on {:.3}ms, spans-off {:.3}ms, overhead {:+.2}%",
+        m_on * 1e3,
+        m_off * 1e3,
+        (m_on / m_off - 1.0) * 100.0
+    );
+}

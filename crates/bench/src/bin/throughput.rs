@@ -17,6 +17,9 @@
 //! threads used to *lose* throughput. (The executor clamps its worker
 //! count to the machine's cores, so on a single-core host every thread
 //! row runs one worker and the samples/sec columns collapse to noise.)
+//!
+//! `WA_SPANS=0` turns the `wa_obs` stage spans off for the run — compare
+//! against a default run to measure the instrumentation overhead itself.
 
 use std::time::Instant;
 
@@ -236,6 +239,10 @@ fn bench_zero_copy(record: &mut BenchRecord, rng: &mut SeededRng) {
 }
 
 fn main() {
+    if std::env::var_os("WA_SPANS").is_some_and(|v| v == "0") {
+        wa_obs::set_spans_enabled(false);
+        println!("stage spans disabled (WA_SPANS=0)");
+    }
     let scale = Scale::from_env();
     let mut rng = SeededRng::new(11);
     let threads = [1usize, 2, 4];

@@ -15,9 +15,15 @@
 //! Every response is classified (`ok`, `busy`, `deadline_exceeded`,
 //! `shutting_down`, other HTTP errors, protocol/transport errors) and
 //! every answered request's end-to-end latency lands in an HDR-style
-//! log-bucketed histogram. The run prints a summary and writes
-//! `results/serve_load.json` with p50/p90/p99/mean/max latency,
-//! achieved throughput, and the outcome counts.
+//! log-bucketed histogram. The run prints a summary (quantiles plus a
+//! bucket-level distribution) and writes `results/serve_load.json` with
+//! p50/p90/p99/mean/max latency, achieved throughput, the outcome
+//! counts, and the run's trace id.
+//!
+//! Before the load starts, a *trace probe* sends one `infer` carrying a
+//! freshly minted `trace_id` and asserts the server echoes it back —
+//! then every load request reuses that id, so one grep over the
+//! server's structured logs recovers the whole run.
 //!
 //! `--make-checkpoint` builds a small LeNet in-process and installs it
 //! via `POST /v1/models/load` first, so a smoke run needs nothing but a
@@ -29,6 +35,7 @@ use std::time::{Duration, Instant};
 
 use wa_bench::{save_json, HttpClient, LogHistogram};
 use wa_models::{ModelKind, ModelSpec, ZooModel};
+use wa_obs::TraceId;
 use wa_tensor::{Json, SeededRng};
 
 fn usage() -> ! {
@@ -154,6 +161,41 @@ fn load_model(addr: &str, timeout: Duration, name: &str, ckpt: Json) {
     println!("loaded `{name}` over HTTP");
 }
 
+/// One traced `POST /v1/infer` that must come back with the same
+/// `trace_id` it was sent with — proof the server threads the id from
+/// edge to response (and, with `WA_LOG=info`, through its flush logs).
+fn trace_probe(addr: &str, timeout: Duration, model: &str, shape: &[usize], trace: &str) {
+    let mut http = HttpClient::connect(addr, Some(timeout))
+        .unwrap_or_else(|e| fail(format!("connecting to {addr}: {e}")));
+    let mut full = vec![1];
+    full.extend(shape);
+    let input = SeededRng::new(1).uniform_tensor(&full, -1.0, 1.0);
+    let body = Json::obj([
+        ("model", Json::from(model)),
+        ("input", input.to_json()),
+        ("trace_id", Json::from(trace)),
+    ])
+    .to_string_compact();
+    let reply = http
+        .post("/v1/infer", &body)
+        .unwrap_or_else(|e| fail(format!("trace probe POST /v1/infer: {e}")));
+    let doc = Json::parse(&reply.body)
+        .unwrap_or_else(|e| fail(format!("unparsable trace-probe body: {e}")));
+    let echoed = doc.get("trace_id").and_then(|t| t.as_str());
+    if reply.status != 200 || doc.get("ok") != Some(&Json::Bool(true)) {
+        fail(format!(
+            "trace probe failed ({}): {}",
+            reply.status, reply.body
+        ));
+    }
+    if echoed != Some(trace) {
+        fail(format!(
+            "server did not echo the trace id: sent `{trace}`, got {echoed:?}"
+        ));
+    }
+    println!("trace probe ok: server echoed trace_id {trace}");
+}
+
 /// The model's `[C, H, W]` sample shape, from `GET /v1/models`.
 fn sample_shape(addr: &str, timeout: Duration, name: &str) -> Vec<usize> {
     let mut http = HttpClient::connect(addr, Some(timeout))
@@ -221,6 +263,12 @@ fn main() {
     }
     let shape = sample_shape(addr, timeout, &model);
 
+    // one trace id for the whole run: the probe proves the server echoes
+    // it end-to-end, then every load request carries it so server-side
+    // logs for this run are greppable by a single id
+    let run_trace = TraceId::mint().to_string();
+    trace_probe(addr, timeout, &model, &shape, &run_trace);
+
     // pre-serialized request bodies (a few variants so batches differ)
     let mut rng = SeededRng::new(seed ^ 0x9e37_79b9);
     let mut full = vec![batch];
@@ -231,6 +279,7 @@ fn main() {
             let mut fields = vec![
                 ("model".to_string(), Json::from(model.as_str())),
                 ("input".to_string(), input.to_json()),
+                ("trace_id".to_string(), Json::from(run_trace.as_str())),
             ];
             if deadline_ms > 0 {
                 fields.push(("deadline_ms".to_string(), Json::from(deadline_ms as f64)));
@@ -316,6 +365,24 @@ fn main() {
         ms(hist.mean() as u64),
         ms(hist.max()),
     );
+    // bucket-level distribution (buckets holding >=1% of samples, so the
+    // dump stays short while showing the latency shape)
+    if hist.count() > 0 {
+        println!("latency distribution ({} answered):", hist.count());
+        let total = hist.count();
+        let mut cum = 0u64;
+        for b in hist.buckets() {
+            cum += b.count;
+            if b.count * 100 >= total {
+                println!(
+                    "  <= {:>10.2}ms  {:>7}  ({:5.1}% cum)",
+                    ms(b.le),
+                    b.count,
+                    cum as f64 * 100.0 / total as f64,
+                );
+            }
+        }
+    }
 
     save_json(
         "serve_load",
@@ -333,6 +400,7 @@ fn main() {
                 ]),
             ),
             ("sent", Json::from(total)),
+            ("trace_id", Json::from(run_trace.as_str())),
             ("answered", Json::from(tally.answered() as f64)),
             (
                 "outcomes",

@@ -1,125 +1,23 @@
-//! Load-generation support for the `wa-bench` serving harness: an
-//! HDR-style log-bucketed latency histogram and a minimal HTTP/1.1
-//! client over `std::net`.
+//! Load-generation support for the `wa-bench` serving harness: the
+//! shared HDR-style latency histogram (re-exported from [`wa_obs`]) and
+//! a minimal HTTP/1.1 client over `std::net`.
 //!
 //! The HTTP client lives here (not in `wa-serve`) because the
 //! dependency arrow points the other way — `wa-serve`'s binaries use
 //! `wa-bench` for result records, so the load generator talks to the
 //! serving edge strictly over the wire, the way an external client
 //! would.
+//!
+//! The histogram used to be a private copy; it moved to `wa_obs` so the
+//! load generator and the server's live metrics bucket latencies
+//! identically (a quantile from `wa-bench` and one from `/v1/metrics`
+//! are directly comparable).
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
-/// Sub-buckets per power of two: ~3% relative error per recorded value.
-const SUBS: u64 = 32;
-
-/// Number of log-linear buckets (covers the full `u64` range).
-const BUCKETS: usize = (64 - 5) * SUBS as usize + SUBS as usize;
-
-/// An HDR-style latency histogram: fixed memory, log-linear buckets
-/// (32 per power of two, so every quantile is accurate to ~3%),
-/// mergeable across load-generator threads.
-#[derive(Clone)]
-pub struct LogHistogram {
-    counts: Vec<u64>,
-    total: u64,
-    sum: u64,
-    max: u64,
-}
-
-impl Default for LogHistogram {
-    fn default() -> LogHistogram {
-        LogHistogram::new()
-    }
-}
-
-impl LogHistogram {
-    /// An empty histogram.
-    pub fn new() -> LogHistogram {
-        LogHistogram {
-            counts: vec![0; BUCKETS],
-            total: 0,
-            sum: 0,
-            max: 0,
-        }
-    }
-
-    /// The bucket a value falls in: exact below [`SUBS`], log-linear
-    /// (top five significant bits) above.
-    fn index(value: u64) -> usize {
-        if value < SUBS {
-            return value as usize;
-        }
-        let octave = 63 - value.leading_zeros() as u64; // >= 5 here
-        ((octave - 4) * SUBS + ((value >> (octave - 5)) & (SUBS - 1))) as usize
-    }
-
-    /// The lower edge of a bucket (what quantiles report).
-    fn lower_edge(index: usize) -> u64 {
-        let index = index as u64;
-        if index < SUBS {
-            return index;
-        }
-        let octave = index / SUBS + 4;
-        let sub = index % SUBS;
-        (1u64 << octave) | (sub << (octave - 5))
-    }
-
-    /// Records one value (any unit; callers here use microseconds).
-    pub fn record(&mut self, value: u64) {
-        self.counts[Self::index(value)] += 1;
-        self.total += 1;
-        self.sum = self.sum.saturating_add(value);
-        self.max = self.max.max(value);
-    }
-
-    /// Folds another histogram into this one.
-    pub fn merge(&mut self, other: &LogHistogram) {
-        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
-            *mine += theirs;
-        }
-        self.total += other.total;
-        self.sum = self.sum.saturating_add(other.sum);
-        self.max = self.max.max(other.max);
-    }
-
-    /// Number of recorded values.
-    pub fn count(&self) -> u64 {
-        self.total
-    }
-
-    /// Mean of the recorded values (0 when empty).
-    pub fn mean(&self) -> f64 {
-        if self.total == 0 {
-            return 0.0;
-        }
-        self.sum as f64 / self.total as f64
-    }
-
-    /// The largest recorded value (exact, not bucketed).
-    pub fn max(&self) -> u64 {
-        self.max
-    }
-
-    /// The `q`-quantile (`0.0 ..= 1.0`) as a bucket lower edge, or
-    /// `None` when empty.
-    pub fn quantile(&self, q: f64) -> Option<u64> {
-        if self.total == 0 {
-            return None;
-        }
-        let rank = ((q.clamp(0.0, 1.0) * self.total as f64).ceil() as u64).max(1);
-        let mut seen = 0u64;
-        for (i, c) in self.counts.iter().enumerate() {
-            seen += c;
-            if seen >= rank {
-                return Some(Self::lower_edge(i));
-            }
-        }
-        Some(self.max)
-    }
-}
+pub use wa_obs::LogHistogram;
 
 /// One HTTP response: status code + body (headers are consumed).
 pub struct HttpReply {
@@ -246,66 +144,20 @@ impl HttpClient {
 mod tests {
     use super::*;
 
+    // the histogram's own unit tests live in `wa_obs::hist`; this checks
+    // the re-export keeps the API the load generator depends on
     #[test]
-    fn histogram_quantiles_are_close_over_a_wide_range() {
-        let mut h = LogHistogram::new();
-        for v in 1..=10_000u64 {
-            h.record(v);
-        }
-        assert_eq!(h.count(), 10_000);
-        let p50 = h.quantile(0.5).unwrap() as f64;
-        let p99 = h.quantile(0.99).unwrap() as f64;
-        // log-linear buckets: within ~4% of the exact rank values
-        assert!((p50 - 5000.0).abs() / 5000.0 < 0.04, "p50 = {p50}");
-        assert!((p99 - 9900.0).abs() / 9900.0 < 0.04, "p99 = {p99}");
-        assert_eq!(h.max(), 10_000);
-        assert!((h.mean() - 5000.5).abs() < 1.0);
-    }
-
-    #[test]
-    fn histogram_merge_matches_recording_everything_in_one() {
-        let (mut a, mut b, mut all) = (
-            LogHistogram::new(),
-            LogHistogram::new(),
-            LogHistogram::new(),
-        );
-        for v in [3u64, 17, 450, 12_345, 999_999] {
+    fn reexported_histogram_behaves() {
+        let (mut a, mut b) = (LogHistogram::new(), LogHistogram::new());
+        for v in 1..=1000u64 {
             a.record(v);
-            all.record(v);
         }
-        for v in [1u64, 80, 6_000] {
-            b.record(v);
-            all.record(v);
-        }
+        b.record(5_000);
         a.merge(&b);
-        assert_eq!(a.count(), all.count());
-        for q in [0.0, 0.25, 0.5, 0.9, 1.0] {
-            assert_eq!(a.quantile(q), all.quantile(q));
-        }
-    }
-
-    #[test]
-    fn small_values_are_exact() {
-        let mut h = LogHistogram::new();
-        for v in 0..SUBS {
-            h.record(v);
-        }
-        assert_eq!(h.quantile(0.0), Some(0));
-        assert_eq!(h.quantile(1.0), Some(SUBS - 1));
-    }
-
-    #[test]
-    fn bucket_edges_are_monotone() {
-        let mut last = 0;
-        for i in 1..BUCKETS {
-            let edge = LogHistogram::lower_edge(i);
-            assert!(edge > last, "bucket {i}: {edge} <= {last}");
-            last = edge;
-        }
-        // and indexing round-trips onto the right side of each edge
-        for v in [0u64, 1, 31, 32, 33, 1000, 65_537, u64::MAX / 2] {
-            let idx = LogHistogram::index(v);
-            assert!(LogHistogram::lower_edge(idx) <= v);
-        }
+        assert_eq!(a.count(), 1001);
+        assert_eq!(a.max(), 5_000);
+        let p50 = a.quantile(0.5).unwrap() as f64;
+        assert!((p50 - 500.0).abs() / 500.0 < 0.04, "p50 = {p50}");
+        assert!(a.mean() > 0.0);
     }
 }

@@ -157,6 +157,7 @@ fn filter_u_rows(
     cfg: PipelineCfg,
     quant: &mut dyn FnMut(&mut Tape, Var, BitWidth, QuantSite) -> Var,
 ) -> Var {
+    let _span = wa_obs::stage_span!("winograd.filter_transform");
     let (r, n) = (cfg.r, cfg.m + cfg.r - 1);
     let wrows = cfg.out_ch * cfg.in_ch;
     let w1 = tape.reshape(wq, &[wrows * r, r]);
@@ -210,19 +211,22 @@ fn winograd_pipeline(
     let (at, bt) = (vars.at, vars.bt);
 
     // -- input transform BᵀdB (two one-sided products, Qx after each)
-    let xp = tape.pad_tiles(xq, geom);
-    let tiles = tape.gather_tiles(xp, geom); // [B·T·C, n²]
-    let rows = total_tiles * in_ch;
-    let t1 = tape.reshape(tiles, &[rows * n, n]);
-    let t2 = tape.matmul_nt(t1, bt); // X·B  ≡ (Bᵀ·Xᵀ)ᵀ
-    let t2q = quant(tape, t2, abits, QuantSite::Bd);
-    let t3 = tape.reshape(t2q, &[rows, n * n]);
-    let t4 = tape.tile_transpose(t3, n, n);
-    let t5 = tape.reshape(t4, &[rows * n, n]);
-    let t6 = tape.matmul_nt(t5, bt);
-    let t7 = tape.reshape(t6, &[rows, n * n]);
-    let v_rows = tape.tile_transpose(t7, n, n); // BᵀdB
-    let v_rows = quant(tape, v_rows, abits, QuantSite::Bdb);
+    let v_rows = {
+        let _span = wa_obs::stage_span!("winograd.input_transform");
+        let xp = tape.pad_tiles(xq, geom);
+        let tiles = tape.gather_tiles(xp, geom); // [B·T·C, n²]
+        let rows = total_tiles * in_ch;
+        let t1 = tape.reshape(tiles, &[rows * n, n]);
+        let t2 = tape.matmul_nt(t1, bt); // X·B  ≡ (Bᵀ·Xᵀ)ᵀ
+        let t2q = quant(tape, t2, abits, QuantSite::Bd);
+        let t3 = tape.reshape(t2q, &[rows, n * n]);
+        let t4 = tape.tile_transpose(t3, n, n);
+        let t5 = tape.reshape(t4, &[rows * n, n]);
+        let t6 = tape.matmul_nt(t5, bt);
+        let t7 = tape.reshape(t6, &[rows, n * n]);
+        let v_rows = tape.tile_transpose(t7, n, n); // BᵀdB
+        quant(tape, v_rows, abits, QuantSite::Bdb)
+    };
 
     // -- filter transform GgGᵀ (or the precomputed rows)
     let u_rows = match (vars.filter, wq) {
@@ -233,12 +237,16 @@ fn winograd_pipeline(
 
     // -- Hadamard product + summation across channels, as one GEMM per
     //    Winograd-domain coordinate (Maji et al. 2019 formulation)
-    let v_p = tape.permute3(v_rows, [total_tiles, in_ch, n * n], [2, 1, 0]); // [n², C, T]
-    let u_p = tape.permute3(u_rows, [out_ch, in_ch, n * n], [2, 0, 1]); // [n², K, C]
-    let mm = tape.bmm(u_p, v_p, n * n, out_ch, in_ch, total_tiles); // [n², K, T]
-    let mm = quant(tape, mm, abits, QuantSite::Hadamard);
+    let mm = {
+        let _span = wa_obs::stage_span!("winograd.gemm");
+        let v_p = tape.permute3(v_rows, [total_tiles, in_ch, n * n], [2, 1, 0]); // [n², C, T]
+        let u_p = tape.permute3(u_rows, [out_ch, in_ch, n * n], [2, 0, 1]); // [n², K, C]
+        let mm = tape.bmm(u_p, v_p, n * n, out_ch, in_ch, total_tiles); // [n², K, T]
+        quant(tape, mm, abits, QuantSite::Hadamard)
+    };
 
     // -- output transform AᵀyA
+    let _span = wa_obs::stage_span!("winograd.output_transform");
     let m3 = tape.permute3(mm, [n * n, out_ch, total_tiles], [2, 1, 0]); // [T, K, n²]
     let orows = total_tiles * out_ch;
     let m_rows = tape.reshape(m3, &[orows, n * n]);

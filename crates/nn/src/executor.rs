@@ -47,12 +47,46 @@
 //! ```
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex, OnceLock};
 
 use wa_tensor::Tensor;
 
 use crate::error::WaError;
 use crate::tape::{Tape, Var};
+
+/// Cached handles into the global metrics registry (registration is the
+/// cold path; each run records through relaxed atomics only).
+struct ExecMetrics {
+    runs: Arc<wa_obs::Counter>,
+    chunks: Arc<wa_obs::Counter>,
+    samples: Arc<wa_obs::Counter>,
+    params_cloned: Arc<wa_obs::Counter>,
+    fanout: Arc<wa_obs::Histogram>,
+}
+
+fn exec_metrics() -> &'static ExecMetrics {
+    static M: OnceLock<ExecMetrics> = OnceLock::new();
+    M.get_or_init(|| ExecMetrics {
+        runs: wa_obs::counter("wa_executor_runs_total", "Batch executor runs."),
+        chunks: wa_obs::counter(
+            "wa_executor_chunks_total",
+            "Chunks dispatched to executor workers.",
+        ),
+        samples: wa_obs::counter(
+            "wa_executor_samples_total",
+            "Samples pushed through the batch executor.",
+        ),
+        params_cloned: wa_obs::counter(
+            "wa_executor_params_cloned_bytes_total",
+            "Bytes deep-copied by copy-on-write detaches during executor runs \
+             (the zero-copy parameter-sharing contract pins this at 0).",
+        ),
+        fanout: wa_obs::histogram(
+            "wa_executor_chunk_fanout",
+            "Chunks per executor run (the worker fan-out).",
+        ),
+    })
+}
 
 /// Inference-only forward over a shared reference.
 ///
@@ -263,6 +297,7 @@ impl BatchExecutor {
         model: &M,
         batch: &Tensor,
     ) -> Result<(Tensor, ExecutorStats), WaError> {
+        let _run_span = wa_obs::stage_span!("executor.run");
         let detach_before = wa_tensor::cow_detach_bytes();
         let shape = batch.shape();
         if shape.is_empty() || shape[0] == 0 {
@@ -355,6 +390,12 @@ impl BatchExecutor {
             samples: n,
             params_cloned_bytes: wa_tensor::cow_detach_bytes() - detach_before,
         };
+        let m = exec_metrics();
+        m.runs.inc();
+        m.chunks.add(stats.chunks as u64);
+        m.samples.add(stats.samples as u64);
+        m.params_cloned.add(stats.params_cloned_bytes);
+        m.fanout.record(stats.chunks as u64);
         Ok((out, stats))
     }
 }
@@ -367,6 +408,7 @@ fn run_chunk<M: Infer + ?Sized>(
     start: usize,
     end: usize,
 ) -> Result<Tensor, WaError> {
+    let _span = wa_obs::stage_span!("executor.chunk");
     let part = batch.slice_dim0(start, end);
     let mut tape = Tape::new();
     let x = tape.leaf(part);

@@ -382,19 +382,32 @@ fn conv2d_pipeline(
     let oh = (h + 2 * geom.pad - kh) / geom.stride + 1;
     let ow = (w + 2 * geom.pad - kw) / geom.stride + 1;
 
-    let xq = quant(tape, x, ConvSite::In);
-    let wq = quant(tape, wv, ConvSite::Weight);
+    let (xq, wq) = {
+        let _span = wa_obs::stage_span!("fake_quant");
+        (
+            quant(tape, x, ConvSite::In),
+            quant(tape, wv, ConvSite::Weight),
+        )
+    };
 
-    let xp = tape.pad(xq, geom.pad);
-    let rows = tape.im2row(xp, kh, kw, geom.stride);
-    let wmat = tape.reshape(wq, &[k, geom.in_ch * kh * kw]);
-    let mut out = tape.matmul_nt(rows, wmat); // [N·oh·ow, K]
-    if let Some(bv) = bias {
-        out = tape.add_bias_rows(out, bv);
-    }
+    let rows = {
+        let _span = wa_obs::stage_span!("im2row");
+        let xp = tape.pad(xq, geom.pad);
+        tape.im2row(xp, kh, kw, geom.stride)
+    };
+    let out = {
+        let _span = wa_obs::stage_span!("im2row.gemm");
+        let wmat = tape.reshape(wq, &[k, geom.in_ch * kh * kw]);
+        let mut out = tape.matmul_nt(rows, wmat); // [N·oh·ow, K]
+        if let Some(bv) = bias {
+            out = tape.add_bias_rows(out, bv);
+        }
+        out
+    };
     // [N, oh·ow, K] -> [N, K, oh·ow] -> NCHW
     let p = tape.permute3(out, [n, oh * ow, k], [0, 2, 1]);
     let y = tape.reshape(p, &[n, k, oh, ow]);
+    let _span = wa_obs::stage_span!("fake_quant");
     quant(tape, y, ConvSite::Out)
 }
 

@@ -1,0 +1,136 @@
+//! Prometheus text-exposition helpers.
+//!
+//! Both [`MetricsRegistry::render`](crate::MetricsRegistry::render) and
+//! `wa-serve`'s per-model collector (which keeps its histograms on the
+//! model entry rather than in the global registry) write through these,
+//! so there is exactly one implementation of the format.
+
+use std::fmt::Write;
+
+use crate::hist::LogHistogram;
+
+/// Escapes a label value per the exposition format (backslash, quote,
+/// newline).
+pub fn escape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for ch in value.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(ch),
+        }
+    }
+    out
+}
+
+fn write_label_set(out: &mut String, labels: &[(&str, &str)]) {
+    if labels.is_empty() {
+        return;
+    }
+    out.push('{');
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{k}=\"{}\"", escape_label_value(v));
+    }
+    out.push('}');
+}
+
+fn fmt_value(value: f64) -> String {
+    if value.fract() == 0.0 && value.abs() < 9.0e15 {
+        format!("{}", value as i64)
+    } else {
+        format!("{value}")
+    }
+}
+
+/// Writes the `# HELP` / `# TYPE` preamble for a metric family.
+pub fn write_help(out: &mut String, name: &str, help: &str, kind: &str) {
+    let help = help.replace('\\', "\\\\").replace('\n', "\\n");
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} {kind}");
+}
+
+/// Writes one `name{labels} value` sample line.
+pub fn write_sample(out: &mut String, name: &str, labels: &[(&str, &str)], value: f64) {
+    out.push_str(name);
+    write_label_set(out, labels);
+    out.push(' ');
+    out.push_str(&fmt_value(value));
+    out.push('\n');
+}
+
+/// Writes a histogram as cumulative `_bucket{le=...}` lines plus `_sum`
+/// and `_count`. Only non-empty buckets are emitted (the log-linear
+/// layout has 1920 of them), plus the mandatory `le="+Inf"` terminator;
+/// `_count` equals the `+Inf` bucket by construction.
+pub fn write_histogram(out: &mut String, name: &str, labels: &[(&str, &str)], h: &LogHistogram) {
+    let bucket_name = format!("{name}_bucket");
+    let mut cumulative = 0u64;
+    for b in h.buckets() {
+        cumulative += b.count;
+        if b.le == u64::MAX {
+            // folded into the mandatory +Inf terminator below (emitting
+            // it here too would duplicate the le="+Inf" series)
+            continue;
+        }
+        let le = b.le.to_string();
+        let mut with_le: Vec<(&str, &str)> = labels.to_vec();
+        with_le.push(("le", &le));
+        write_sample(out, &bucket_name, &with_le, cumulative as f64);
+    }
+    let mut inf: Vec<(&str, &str)> = labels.to_vec();
+    inf.push(("le", "+Inf"));
+    write_sample(out, &bucket_name, &inf, cumulative as f64);
+    write_sample(out, &format!("{name}_sum"), labels, h.sum() as f64);
+    write_sample(out, &format!("{name}_count"), labels, cumulative as f64);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn label_values_are_escaped() {
+        assert_eq!(escape_label_value("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn sample_lines_have_no_trailing_decimals_for_integers() {
+        let mut out = String::new();
+        write_sample(&mut out, "x_total", &[("k", "v")], 42.0);
+        write_sample(&mut out, "ratio", &[], 0.5);
+        assert_eq!(out, "x_total{k=\"v\"} 42\nratio 0.5\n");
+    }
+
+    #[test]
+    fn histogram_exposition_is_cumulative_and_terminated() {
+        let mut h = LogHistogram::new();
+        for v in [1u64, 1, 40, 5_000] {
+            h.record(v);
+        }
+        let mut out = String::new();
+        write_histogram(&mut out, "lat", &[("stage", "gemm")], &h);
+        let lines: Vec<&str> = out.lines().collect();
+        // last three lines: +Inf bucket, _sum, _count
+        let inf = lines[lines.len() - 3];
+        assert!(
+            inf.starts_with("lat_bucket{stage=\"gemm\",le=\"+Inf\"} 4"),
+            "{inf}"
+        );
+        assert_eq!(
+            lines[lines.len() - 2],
+            format!("lat_sum{{stage=\"gemm\"}} {}", h.sum())
+        );
+        assert_eq!(lines[lines.len() - 1], "lat_count{stage=\"gemm\"} 4");
+        // bucket counts strictly increase (cumulative)
+        let mut last = 0u64;
+        for line in lines.iter().filter(|l| l.starts_with("lat_bucket")) {
+            let v: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(v >= last);
+            last = v;
+        }
+    }
+}

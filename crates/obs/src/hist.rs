@@ -1,0 +1,263 @@
+//! Log-linear (HDR-style) histogram bucketing, shared by the
+//! single-threaded [`LogHistogram`] (load generators, snapshots) and the
+//! atomic [`Histogram`](crate::Histogram) (live metrics).
+
+/// Sub-buckets per power of two: ~3% relative error per recorded value.
+pub(crate) const SUBS: u64 = 32;
+
+/// Number of log-linear buckets (covers the full `u64` range).
+pub(crate) const BUCKETS: usize = (64 - 5) * SUBS as usize + SUBS as usize;
+
+/// The bucket a value falls in: exact below [`SUBS`], log-linear (top
+/// five significant bits) above.
+pub(crate) fn bucket_index(value: u64) -> usize {
+    if value < SUBS {
+        return value as usize;
+    }
+    let octave = 63 - value.leading_zeros() as u64; // >= 5 here
+    ((octave - 4) * SUBS + ((value >> (octave - 5)) & (SUBS - 1))) as usize
+}
+
+/// The lower edge of a bucket (what quantiles report).
+pub(crate) fn bucket_lower_edge(index: usize) -> u64 {
+    let index = index as u64;
+    if index < SUBS {
+        return index;
+    }
+    let octave = index / SUBS + 4;
+    let sub = index % SUBS;
+    (1u64 << octave) | (sub << (octave - 5))
+}
+
+/// The *inclusive* upper edge of a bucket: one below the next bucket's
+/// lower edge (values are integers), saturating at `u64::MAX` for the
+/// final bucket.
+pub(crate) fn bucket_upper_edge(index: usize) -> u64 {
+    if index + 1 >= BUCKETS {
+        return u64::MAX;
+    }
+    bucket_lower_edge(index + 1) - 1
+}
+
+/// One non-empty histogram bucket, as exposed to renderers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HistBucket {
+    /// Inclusive upper edge of the bucket (`le` in Prometheus terms).
+    pub le: u64,
+    /// Values recorded into this bucket (non-cumulative).
+    pub count: u64,
+}
+
+/// An HDR-style latency histogram: fixed memory, log-linear buckets
+/// (32 per power of two, so every quantile is accurate to ~3%),
+/// mergeable across load-generator threads.
+///
+/// This is the *single-threaded* flavor (`&mut self` to record), used by
+/// `wa-bench`'s load generator and as the snapshot type of the atomic
+/// [`Histogram`](crate::Histogram).
+#[derive(Clone)]
+pub struct LogHistogram {
+    counts: Vec<u64>,
+    total: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl std::fmt::Debug for LogHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LogHistogram")
+            .field("count", &self.total)
+            .field("sum", &self.sum)
+            .field("max", &self.max)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for LogHistogram {
+    fn default() -> LogHistogram {
+        LogHistogram::new()
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> LogHistogram {
+        LogHistogram {
+            counts: vec![0; BUCKETS],
+            total: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Rebuilds a histogram from raw bucket counts (the atomic
+    /// histogram's snapshot path). `counts` beyond [`BUCKETS`] are
+    /// ignored; the total is derived from the buckets so count and
+    /// bucket sums agree by construction.
+    pub(crate) fn from_parts(counts: Vec<u64>, sum: u64, max: u64) -> LogHistogram {
+        let mut h = LogHistogram::new();
+        let n = counts.len().min(BUCKETS);
+        h.counts[..n].copy_from_slice(&counts[..n]);
+        h.total = h.counts.iter().sum();
+        h.sum = sum;
+        h.max = max;
+        h
+    }
+
+    /// Records one value (any unit; callers here use microseconds).
+    pub fn record(&mut self, value: u64) {
+        self.counts[bucket_index(value)] += 1;
+        self.total += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Folds another histogram into this one.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+        self.total += other.total;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Sum of the recorded values (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Mean of the recorded values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        self.sum as f64 / self.total as f64
+    }
+
+    /// The largest recorded value (exact, not bucketed).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) as a bucket lower edge, or
+    /// `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.total == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(bucket_lower_edge(i));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// The non-empty buckets in increasing order, each with its
+    /// *inclusive* upper edge — what a Prometheus `_bucket` series (or a
+    /// textual distribution dump) needs.
+    pub fn buckets(&self) -> impl Iterator<Item = HistBucket> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| **c > 0)
+            .map(|(i, c)| HistBucket {
+                le: bucket_upper_edge(i),
+                count: *c,
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_are_close_over_a_wide_range() {
+        let mut h = LogHistogram::new();
+        for v in 1..=10_000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 10_000);
+        let p50 = h.quantile(0.5).unwrap() as f64;
+        let p99 = h.quantile(0.99).unwrap() as f64;
+        // log-linear buckets: within ~4% of the exact rank values
+        assert!((p50 - 5000.0).abs() / 5000.0 < 0.04, "p50 = {p50}");
+        assert!((p99 - 9900.0).abs() / 9900.0 < 0.04, "p99 = {p99}");
+        assert_eq!(h.max(), 10_000);
+        assert!((h.mean() - 5000.5).abs() < 1.0);
+    }
+
+    #[test]
+    fn histogram_merge_matches_recording_everything_in_one() {
+        let (mut a, mut b, mut all) = (
+            LogHistogram::new(),
+            LogHistogram::new(),
+            LogHistogram::new(),
+        );
+        for v in [3u64, 17, 450, 12_345, 999_999] {
+            a.record(v);
+            all.record(v);
+        }
+        for v in [1u64, 80, 6_000] {
+            b.record(v);
+            all.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        for q in [0.0, 0.25, 0.5, 0.9, 1.0] {
+            assert_eq!(a.quantile(q), all.quantile(q));
+        }
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = LogHistogram::new();
+        for v in 0..SUBS {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.0), Some(0));
+        assert_eq!(h.quantile(1.0), Some(SUBS - 1));
+    }
+
+    #[test]
+    fn bucket_edges_are_monotone_and_roundtrip() {
+        let mut last = 0;
+        for i in 1..BUCKETS {
+            let edge = bucket_lower_edge(i);
+            assert!(edge > last, "bucket {i}: {edge} <= {last}");
+            last = edge;
+        }
+        // indexing round-trips into [lower, upper] of its own bucket
+        for v in [0u64, 1, 31, 32, 33, 1000, 65_537, u64::MAX / 2, u64::MAX] {
+            let idx = bucket_index(v);
+            assert!(bucket_lower_edge(idx) <= v);
+            assert!(v <= bucket_upper_edge(idx));
+        }
+        assert_eq!(bucket_upper_edge(BUCKETS - 1), u64::MAX);
+    }
+
+    #[test]
+    fn buckets_iterator_is_cumulative_consistent() {
+        let mut h = LogHistogram::new();
+        for v in [1u64, 1, 5, 900, 900, 900, 1_000_000] {
+            h.record(v);
+        }
+        let total: u64 = h.buckets().map(|b| b.count).sum();
+        assert_eq!(total, h.count());
+        let mut last_le = None;
+        for b in h.buckets() {
+            assert!(last_le.is_none_or(|le| b.le > le), "le not increasing");
+            last_le = Some(b.le);
+        }
+    }
+}

@@ -1,0 +1,456 @@
+//! The process-wide metrics registry and its typed series handles.
+//!
+//! Registration (name + help + labels) happens under a mutex and is the
+//! cold path; the returned [`Counter`] / [`Gauge`] / [`Histogram`]
+//! handles record through relaxed atomics and never lock.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::expo;
+use crate::hist::{bucket_index, LogHistogram, BUCKETS};
+
+/// A monotonically increasing event count.
+#[derive(Debug)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    fn new() -> Counter {
+        Counter {
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current total.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A value that can go up and down (queue depth, loaded models, bytes).
+#[derive(Debug)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    fn new() -> Gauge {
+        Gauge {
+            value: AtomicI64::new(0),
+        }
+    }
+
+    /// Replaces the value.
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `n` (may be negative).
+    pub fn add(&self, n: i64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Subtracts one.
+    pub fn dec(&self) {
+        self.add(-1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// The concurrent flavor of [`LogHistogram`]: identical log-linear
+/// buckets, but `record` takes `&self` and is a pair of relaxed atomic
+/// adds, so many worker threads can feed one series.
+///
+/// A scrape racing a record may miss the very latest event, but can
+/// never observe torn state: the exposition derives `_count` from the
+/// bucket counts themselves.
+pub struct Histogram {
+    counts: Vec<AtomicU64>,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count())
+            .field("sum", &self.sum())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram. Standalone instances (not registered in any
+    /// registry) are valid — `wa-serve` keeps per-model histograms on
+    /// the model entry and renders them itself at scrape time.
+    pub fn new() -> Histogram {
+        Histogram {
+            counts: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one value (any unit; the stage spans use microseconds).
+    pub fn record(&self, value: u64) {
+        self.counts[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy as a single-threaded [`LogHistogram`]
+    /// (quantiles, mean, bucket iteration).
+    pub fn snapshot(&self) -> LogHistogram {
+        let counts: Vec<u64> = self
+            .counts
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect();
+        LogHistogram::from_parts(
+            counts,
+            self.sum.load(Ordering::Relaxed),
+            self.max.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Number of recorded values (derived from the buckets, so it always
+    /// agrees with a bucket-wise sum).
+    pub fn count(&self) -> u64 {
+        self.counts.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Sum of recorded values.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// The `q`-quantile of a snapshot, or `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        self.snapshot().quantile(q)
+    }
+}
+
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+struct Family {
+    name: String,
+    help: String,
+    kind: &'static str,
+}
+
+struct Series {
+    name: String,
+    labels: Vec<(String, String)>,
+    metric: Metric,
+}
+
+struct Inner {
+    families: Vec<Family>,
+    series: Vec<Series>,
+}
+
+/// A set of named metric series. One process-wide instance is reachable
+/// via [`global()`]; tests can build private ones to avoid cross-test
+/// interference.
+pub struct MetricsRegistry {
+    inner: Mutex<Inner>,
+}
+
+static GLOBAL: MetricsRegistry = MetricsRegistry::new();
+
+/// The process-wide registry every crate in the workspace reports into.
+pub fn global() -> &'static MetricsRegistry {
+    &GLOBAL
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> MetricsRegistry {
+        MetricsRegistry::new()
+    }
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub const fn new() -> MetricsRegistry {
+        MetricsRegistry {
+            inner: Mutex::new(Inner {
+                families: Vec::new(),
+                series: Vec::new(),
+            }),
+        }
+    }
+
+    fn get_or_register<F>(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        kind: &'static str,
+        make: F,
+    ) -> Metric
+    where
+        F: FnOnce() -> Metric,
+    {
+        let mut labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        labels.sort();
+        let mut inner = self.inner.lock().unwrap();
+        match inner.families.iter().find(|f| f.name == name) {
+            Some(f) => assert_eq!(
+                f.kind, kind,
+                "metric `{name}` registered as {} but requested as {kind}",
+                f.kind
+            ),
+            None => inner.families.push(Family {
+                name: name.to_string(),
+                help: help.to_string(),
+                kind,
+            }),
+        }
+        if let Some(s) = inner
+            .series
+            .iter()
+            .find(|s| s.name == name && s.labels == labels)
+        {
+            return match &s.metric {
+                Metric::Counter(c) => Metric::Counter(Arc::clone(c)),
+                Metric::Gauge(g) => Metric::Gauge(Arc::clone(g)),
+                Metric::Histogram(h) => Metric::Histogram(Arc::clone(h)),
+            };
+        }
+        let metric = make();
+        let clone = match &metric {
+            Metric::Counter(c) => Metric::Counter(Arc::clone(c)),
+            Metric::Gauge(g) => Metric::Gauge(Arc::clone(g)),
+            Metric::Histogram(h) => Metric::Histogram(Arc::clone(h)),
+        };
+        inner.series.push(Series {
+            name: name.to_string(),
+            labels,
+            metric,
+        });
+        clone
+    }
+
+    /// Gets or registers an unlabeled counter.
+    pub fn counter(&self, name: &str, help: &str) -> Arc<Counter> {
+        self.counter_with(name, help, &[])
+    }
+
+    /// Gets or registers a counter with labels. Same `(name, labels)`
+    /// always returns the same underlying series.
+    pub fn counter_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        match self.get_or_register(name, help, labels, "counter", || {
+            Metric::Counter(Arc::new(Counter::new()))
+        }) {
+            Metric::Counter(c) => c,
+            _ => unreachable!(),
+        }
+    }
+
+    /// Gets or registers an unlabeled gauge.
+    pub fn gauge(&self, name: &str, help: &str) -> Arc<Gauge> {
+        self.gauge_with(name, help, &[])
+    }
+
+    /// Gets or registers a gauge with labels.
+    pub fn gauge_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        match self.get_or_register(name, help, labels, "gauge", || {
+            Metric::Gauge(Arc::new(Gauge::new()))
+        }) {
+            Metric::Gauge(g) => g,
+            _ => unreachable!(),
+        }
+    }
+
+    /// Gets or registers an unlabeled histogram.
+    pub fn histogram(&self, name: &str, help: &str) -> Arc<Histogram> {
+        self.histogram_with(name, help, &[])
+    }
+
+    /// Gets or registers a histogram with labels.
+    pub fn histogram_with(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+    ) -> Arc<Histogram> {
+        match self.get_or_register(name, help, labels, "histogram", || {
+            Metric::Histogram(Arc::new(Histogram::new()))
+        }) {
+            Metric::Histogram(h) => h,
+            _ => unreachable!(),
+        }
+    }
+
+    /// Renders every registered series as Prometheus-style exposition
+    /// text (families in registration order, `# HELP` / `# TYPE`
+    /// comments, cumulative histogram buckets).
+    pub fn render(&self) -> String {
+        let inner = self.inner.lock().unwrap();
+        let mut out = String::new();
+        for family in &inner.families {
+            expo::write_help(&mut out, &family.name, &family.help, family.kind);
+            for series in inner.series.iter().filter(|s| s.name == family.name) {
+                let labels: Vec<(&str, &str)> = series
+                    .labels
+                    .iter()
+                    .map(|(k, v)| (k.as_str(), v.as_str()))
+                    .collect();
+                match &series.metric {
+                    Metric::Counter(c) => {
+                        expo::write_sample(&mut out, &series.name, &labels, c.get() as f64)
+                    }
+                    Metric::Gauge(g) => {
+                        expo::write_sample(&mut out, &series.name, &labels, g.get() as f64)
+                    }
+                    Metric::Histogram(h) => {
+                        expo::write_histogram(&mut out, &series.name, &labels, &h.snapshot())
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Gets or registers an unlabeled counter in the [`global()`] registry.
+pub fn counter(name: &str, help: &str) -> Arc<Counter> {
+    global().counter(name, help)
+}
+
+/// Gets or registers a labeled counter in the [`global()`] registry.
+pub fn counter_with(name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+    global().counter_with(name, help, labels)
+}
+
+/// Gets or registers an unlabeled gauge in the [`global()`] registry.
+pub fn gauge(name: &str, help: &str) -> Arc<Gauge> {
+    global().gauge(name, help)
+}
+
+/// Gets or registers a labeled gauge in the [`global()`] registry.
+pub fn gauge_with(name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+    global().gauge_with(name, help, labels)
+}
+
+/// Gets or registers an unlabeled histogram in the [`global()`] registry.
+pub fn histogram(name: &str, help: &str) -> Arc<Histogram> {
+    global().histogram(name, help)
+}
+
+/// Gets or registers a labeled histogram in the [`global()`] registry.
+pub fn histogram_with(name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Histogram> {
+    global().histogram_with(name, help, labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_name_and_labels_share_one_series() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter_with("requests_total", "Requests.", &[("code", "200")]);
+        let b = reg.counter_with("requests_total", "Requests.", &[("code", "200")]);
+        let other = reg.counter_with("requests_total", "Requests.", &[("code", "500")]);
+        a.inc();
+        b.add(2);
+        other.inc();
+        assert_eq!(a.get(), 3);
+        assert_eq!(other.get(), 1);
+    }
+
+    #[test]
+    fn label_order_does_not_split_series() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter_with("x_total", "X.", &[("a", "1"), ("b", "2")]);
+        let b = reg.counter_with("x_total", "X.", &[("b", "2"), ("a", "1")]);
+        a.inc();
+        assert_eq!(b.get(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "registered as counter")]
+    fn kind_mismatch_panics() {
+        let reg = MetricsRegistry::new();
+        reg.counter("confused_metric", "A counter.");
+        reg.gauge("confused_metric", "Now a gauge?");
+    }
+
+    #[test]
+    fn atomic_histogram_snapshot_matches_single_threaded() {
+        let h = Histogram::new();
+        let mut expect = LogHistogram::new();
+        for v in [1u64, 7, 300, 4_000, 123_456] {
+            h.record(v);
+            expect.record(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count(), expect.count());
+        assert_eq!(snap.sum(), expect.sum());
+        assert_eq!(snap.max(), expect.max());
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(snap.quantile(q), expect.quantile(q));
+        }
+    }
+
+    #[test]
+    fn render_emits_all_kinds() {
+        let reg = MetricsRegistry::new();
+        reg.counter("hits_total", "Hits.").add(5);
+        reg.gauge("depth", "Queue depth.").set(-2);
+        reg.histogram_with("latency_microseconds", "Latency.", &[("stage", "gemm")])
+            .record(100);
+        let text = reg.render();
+        assert!(text.contains("# HELP hits_total Hits."));
+        assert!(text.contains("# TYPE hits_total counter"));
+        assert!(text.contains("hits_total 5\n"));
+        assert!(text.contains("depth -2\n"));
+        assert!(text.contains("# TYPE latency_microseconds histogram"));
+        assert!(text.contains("latency_microseconds_bucket{stage=\"gemm\",le=\""));
+        assert!(text.contains("latency_microseconds_sum{stage=\"gemm\"} 100"));
+        assert!(text.contains("latency_microseconds_count{stage=\"gemm\"} 1"));
+    }
+
+    #[test]
+    fn global_registry_is_shared() {
+        let c = counter("obs_unit_test_global_total", "Unit-test counter.");
+        let before = c.get();
+        counter("obs_unit_test_global_total", "Unit-test counter.").inc();
+        assert_eq!(c.get(), before + 1);
+    }
+}

@@ -1,0 +1,143 @@
+//! Per-stage wall-time spans.
+//!
+//! A [`Span`] is a drop guard: it snapshots [`Instant::now`] when
+//! created and records the elapsed microseconds into a stage-labeled
+//! histogram when dropped. Hot pipeline code uses the [`stage_span!`](crate::stage_span)
+//! macro, which caches the histogram handle in a per-call-site
+//! `OnceLock` so the steady-state cost is one relaxed bool load, two
+//! clock reads, and two relaxed atomic adds.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::metrics::{histogram_with, Histogram};
+
+/// The histogram family every stage span records into, labeled by
+/// `stage` (e.g. `stage="winograd.input_transform"`).
+pub const STAGE_HISTOGRAM: &str = "wa_stage_duration_microseconds";
+
+const STAGE_HELP: &str = "Wall time per pipeline stage in microseconds, labeled by stage.";
+
+static SPANS_ENABLED: AtomicBool = AtomicBool::new(true);
+
+/// Whether spans currently record (default: on).
+pub fn spans_enabled() -> bool {
+    SPANS_ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turns span recording on or off process-wide. With spans off a span
+/// never reads the clock — this is the knob the overhead benchmark
+/// flips to isolate instrumentation cost.
+pub fn set_spans_enabled(enabled: bool) {
+    SPANS_ENABLED.store(enabled, Ordering::Relaxed);
+}
+
+/// The `stage`-labeled duration histogram for one pipeline stage, in
+/// the global registry. Call sites that run per-layer should cache the
+/// handle ([`stage_span!`](crate::stage_span) does).
+pub fn stage_histogram(stage: &str) -> Arc<Histogram> {
+    histogram_with(STAGE_HISTOGRAM, STAGE_HELP, &[("stage", stage)])
+}
+
+/// A drop guard timing one stage. Created by [`span`] or
+/// [`stage_span!`](crate::stage_span); records on drop.
+pub struct Span {
+    start: Option<Instant>,
+    hist: Option<Arc<Histogram>>,
+}
+
+impl Span {
+    /// A live span over the given histogram (starts timing now).
+    pub fn started(hist: Arc<Histogram>) -> Span {
+        Span {
+            start: Some(Instant::now()),
+            hist: Some(hist),
+        }
+    }
+
+    /// A no-op span (spans disabled): never reads the clock.
+    pub fn disabled() -> Span {
+        Span {
+            start: None,
+            hist: None,
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let (Some(start), Some(hist)) = (self.start, self.hist.take()) {
+            hist.record(start.elapsed().as_micros() as u64);
+        }
+    }
+}
+
+/// Times a stage by name, looking the histogram up in the registry on
+/// every call. Fine for per-request code; per-layer hot loops should
+/// use [`stage_span!`](crate::stage_span), which caches the handle.
+pub fn span(stage: &str) -> Span {
+    if !spans_enabled() {
+        return Span::disabled();
+    }
+    Span::started(stage_histogram(stage))
+}
+
+/// Times a stage with a per-call-site cached histogram handle.
+///
+/// ```
+/// let _span = wa_obs::stage_span!("doc.stage");
+/// // ... work ...
+/// // records into wa_stage_duration_microseconds{stage="doc.stage"} on drop
+/// ```
+#[macro_export]
+macro_rules! stage_span {
+    ($stage:expr) => {{
+        if $crate::spans_enabled() {
+            static HIST: ::std::sync::OnceLock<::std::sync::Arc<$crate::Histogram>> =
+                ::std::sync::OnceLock::new();
+            $crate::Span::started(::std::sync::Arc::clone(
+                HIST.get_or_init(|| $crate::stage_histogram($stage)),
+            ))
+        } else {
+            $crate::Span::disabled()
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_records_into_its_stage_histogram() {
+        let hist = stage_histogram("obs_unit_test.span");
+        let before = hist.count();
+        {
+            let _span = span("obs_unit_test.span");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        assert_eq!(hist.count(), before + 1);
+        assert!(hist.sum() >= 1_000, "expected >= 1ms recorded");
+    }
+
+    #[test]
+    fn disabled_spans_record_nothing() {
+        let hist = stage_histogram("obs_unit_test.disabled");
+        set_spans_enabled(false);
+        {
+            let _span = stage_span!("obs_unit_test.disabled");
+        }
+        set_spans_enabled(true);
+        assert_eq!(hist.count(), 0);
+    }
+
+    #[test]
+    fn macro_caches_and_records() {
+        let hist = stage_histogram("obs_unit_test.macro");
+        for _ in 0..3 {
+            let _span = stage_span!("obs_unit_test.macro");
+        }
+        assert_eq!(hist.count(), 3);
+    }
+}

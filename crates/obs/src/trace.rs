@@ -1,0 +1,99 @@
+//! Request trace IDs.
+//!
+//! A [`TraceId`] is minted at the serving edge (or supplied by the
+//! client as an opaque string), carried on the scheduler job, and logged
+//! at every hop so one request's life — admission, batch flush,
+//! executor chunk, response — is reconstructable from the logs.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// A 64-bit request trace ID, printed as 16 hex digits. Never zero.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct TraceId(u64);
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+impl TraceId {
+    /// Mints a fresh ID from wall-clock nanoseconds, a process-wide
+    /// counter, and ASLR entropy, mixed through splitmix64. Collisions
+    /// across processes are possible but irrelevant at log-correlation
+    /// granularity; within a process IDs are unique by the counter.
+    pub fn mint() -> TraceId {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let nanos = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0);
+        let seq = SEQ.fetch_add(1, Ordering::Relaxed);
+        let aslr = &SEQ as *const AtomicU64 as u64;
+        let mut id = splitmix64(nanos ^ aslr.rotate_left(32)) ^ splitmix64(seq);
+        if id == 0 {
+            id = 1;
+        }
+        TraceId(id)
+    }
+
+    /// The raw 64-bit value.
+    pub fn as_u64(&self) -> u64 {
+        self.0
+    }
+
+    /// Parses the 16-hex-digit form produced by `Display`.
+    pub fn parse(s: &str) -> Option<TraceId> {
+        let v = u64::from_str_radix(s, 16).ok()?;
+        if v == 0 {
+            return None;
+        }
+        Some(TraceId(v))
+    }
+}
+
+impl fmt::Display for TraceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+/// Whether a client-supplied trace ID is acceptable on the wire:
+/// 1–64 characters from `[0-9a-zA-Z_.-]`. The server treats valid IDs
+/// as opaque and echoes them; anything else is rejected at parse time
+/// so log lines stay one-line JSON.
+pub fn is_valid_trace_id(s: &str) -> bool {
+    !s.is_empty()
+        && s.len() <= 64
+        && s.bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b'.' || b == b'-')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minted_ids_are_distinct_nonzero_and_roundtrip() {
+        let a = TraceId::mint();
+        let b = TraceId::mint();
+        assert_ne!(a, b);
+        assert_ne!(a.as_u64(), 0);
+        let s = a.to_string();
+        assert_eq!(s.len(), 16);
+        assert_eq!(TraceId::parse(&s), Some(a));
+    }
+
+    #[test]
+    fn validation_accepts_the_wire_charset_only() {
+        assert!(is_valid_trace_id("00c0ffee00c0ffee"));
+        assert!(is_valid_trace_id("bench-run.42_a"));
+        assert!(!is_valid_trace_id(""));
+        assert!(!is_valid_trace_id("has space"));
+        assert!(!is_valid_trace_id("quote\"inside"));
+        assert!(!is_valid_trace_id(&"x".repeat(65)));
+    }
+}

@@ -1,9 +1,24 @@
 //! Quantize/dequantize kernels and the STE gradient mask.
 
+use std::sync::{Arc, OnceLock};
+
 use wa_tensor::Tensor;
 
 use crate::bitwidth::BitWidth;
 use crate::observer::Observer;
+
+/// Bumps `wa_fake_quant_calls_total{kind=...}` through a per-kind cached
+/// handle (one relaxed add per kernel invocation).
+fn count_fake_quant(cell: &OnceLock<Arc<wa_obs::Counter>>, kind: &'static str) {
+    cell.get_or_init(|| {
+        wa_obs::counter_with(
+            "wa_fake_quant_calls_total",
+            "Fake-quantization kernel invocations, by kind (uniform scale vs tap-wise).",
+            &[("kind", kind)],
+        )
+    })
+    .inc();
+}
 
 /// Fake-quantizes `x` (quantize then dequantize, staying in f32) using a
 /// scale derived from `observer`, updating the observer first.
@@ -38,6 +53,8 @@ pub fn fake_quant_scale(x: &Tensor, bits: BitWidth, scale: f32) -> Tensor {
     if bits.is_float() {
         return x.clone();
     }
+    static CALLS: OnceLock<Arc<wa_obs::Counter>> = OnceLock::new();
+    count_fake_quant(&CALLS, "scale");
     if scale <= 0.0 {
         return Tensor::zeros(x.shape());
     }
@@ -75,6 +92,8 @@ pub fn fake_quant_scale(x: &Tensor, bits: BitWidth, scale: f32) -> Tensor {
 /// ```
 pub fn fake_quant_taps(x: &Tensor, bits: &[BitWidth], scales: &[f32]) -> Tensor {
     let taps = check_taps(x, bits, scales);
+    static CALLS: OnceLock<Arc<wa_obs::Counter>> = OnceLock::new();
+    count_fake_quant(&CALLS, "taps");
     let mut out = x.deep_clone();
     for (i, v) in out.data_mut().iter_mut().enumerate() {
         let t = i % taps;

@@ -16,6 +16,9 @@
 //! | `POST /v1/models/load` | `{"name", "checkpoint"}` | install a checkpoint (socket `load_model`) |
 //! | `POST /v1/models/unload` | `{"name"}` | remove a model (socket `unload`) |
 //! | `POST /v1/shutdown` | — | graceful drain + exit (socket `shutdown`) |
+//! | `GET /v1/metrics` | — | Prometheus text exposition (socket `metrics`) |
+//! | `GET /v1/healthz` | — | liveness: `200` whenever the process can answer |
+//! | `GET /v1/readyz` | — | readiness: `200` until shutdown begins, then `503` |
 //!
 //! Every response body is the same JSON document the socket protocol
 //! would produce (`{"ok": true, ...}` / `{"ok": false, "error":
@@ -32,8 +35,8 @@
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::Ordering;
-use std::sync::Arc;
-use std::time::Duration;
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
 
 use wa_tensor::Json;
 
@@ -231,29 +234,53 @@ fn read_request(
     Ok(request)
 }
 
-/// Writes one JSON response with the framing headers HTTP/1.1 requires.
+/// A response body: structured JSON (the common case) or preformatted
+/// text with its own media type (`/v1/metrics`).
+enum Content {
+    Json(Json),
+    Text { mime: &'static str, text: String },
+}
+
+impl Content {
+    fn mime(&self) -> &'static str {
+        match self {
+            Content::Json(_) => "application/json",
+            Content::Text { mime, .. } => mime,
+        }
+    }
+
+    fn bytes(&self) -> Vec<u8> {
+        match self {
+            Content::Json(doc) => doc.to_string_compact().into_bytes(),
+            Content::Text { text, .. } => text.clone().into_bytes(),
+        }
+    }
+}
+
+/// Writes one response with the framing headers HTTP/1.1 requires.
 fn write_response(
     stream: &mut TcpStream,
     status: u16,
-    body: &Json,
+    content: &Content,
     keep_alive: bool,
 ) -> std::io::Result<()> {
-    let body = body.to_string_compact();
+    let body = content.bytes();
     let head = format!(
-        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        "HTTP/1.1 {status} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
         reason(status),
+        content.mime(),
         body.len(),
         if keep_alive { "keep-alive" } else { "close" },
     );
     stream.write_all(head.as_bytes())?;
-    stream.write_all(body.as_bytes())?;
+    stream.write_all(&body)?;
     stream.flush()
 }
 
 /// A routed outcome: status + body, plus connection directives.
 struct Routed {
     status: u16,
-    body: Json,
+    body: Content,
     /// Ask the server to begin its graceful drain after responding.
     stop: bool,
 }
@@ -262,7 +289,7 @@ impl Routed {
     fn err(status: u16, kind: ErrorKind, message: impl Into<String>) -> Routed {
         Routed {
             status,
-            body: error_response(None, &ErrorBody::new(kind, message)),
+            body: Content::Json(error_response(None, &ErrorBody::new(kind, message))),
             stop: false,
         }
     }
@@ -313,6 +340,12 @@ fn body_as_op(op: &str, body: &[u8]) -> Result<Request, ErrorBody> {
 
 /// Routes one parsed request to the shared dispatch.
 fn route(req: &HttpRequest, shared: &Shared) -> Routed {
+    // the observability endpoints answer directly — they have no socket
+    // op to re-frame into (metrics does, but its text body bypasses the
+    // JSON envelope) and must stay cheap and dependency-free
+    if let Some(routed) = route_observability(req, shared) {
+        return routed;
+    }
     // method → op table; a known path with the wrong method is 405, an
     // unknown path 404 — both structured JSON like every other error
     let no_body: &[u8] = &[];
@@ -329,7 +362,8 @@ fn route(req: &HttpRequest, shared: &Shared) -> Routed {
                 ErrorKind::BadRequest,
                 format!(
                     "no endpoint `{other}` (have /v1/infer, /v1/models, /v1/stats, \
-                     /v1/models/load, /v1/models/unload, /v1/shutdown)"
+                     /v1/models/load, /v1/models/unload, /v1/shutdown, /v1/metrics, \
+                     /v1/healthz, /v1/readyz)"
                 ),
             );
         }
@@ -346,7 +380,7 @@ fn route(req: &HttpRequest, shared: &Shared) -> Routed {
         Err(e) => {
             return Routed {
                 status: status_for_kind(e.kind),
-                body: error_response(None, &e),
+                body: Content::Json(error_response(None, &e)),
                 stop: false,
             };
         }
@@ -356,16 +390,115 @@ fn route(req: &HttpRequest, shared: &Shared) -> Routed {
         // caller handles the flag) — same ordering as the socket path
         return Routed {
             status: 200,
-            body: ok_response(None, vec![("stopping".to_string(), Json::Bool(true))]),
+            body: Content::Json(ok_response(
+                None,
+                vec![("stopping".to_string(), Json::Bool(true))],
+            )),
             stop: true,
         };
     }
     let response = dispatch(request, shared, None);
     Routed {
         status: status_of_response(&response),
-        body: response,
+        body: Content::Json(response),
         stop: false,
     }
+}
+
+/// The observability endpoints: `/v1/metrics`, `/v1/healthz`,
+/// `/v1/readyz`. Returns `None` for every other path.
+fn route_observability(req: &HttpRequest, shared: &Shared) -> Option<Routed> {
+    let path = req.path.as_str();
+    if !matches!(path, "/v1/metrics" | "/v1/healthz" | "/v1/readyz") {
+        return None;
+    }
+    if req.method != "GET" {
+        return Some(Routed::err(
+            405,
+            ErrorKind::BadRequest,
+            format!("`{path}` requires GET, got {}", req.method),
+        ));
+    }
+    Some(match path {
+        "/v1/metrics" => Routed {
+            status: 200,
+            body: Content::Text {
+                mime: "text/plain; version=0.0.4",
+                text: crate::metrics::metrics_text(shared),
+            },
+            stop: false,
+        },
+        "/v1/healthz" => Routed {
+            // liveness: reachable-and-answering is the whole check
+            status: 200,
+            body: Content::Json(Json::obj([
+                ("ok", Json::Bool(true)),
+                ("status", Json::from("alive")),
+                (
+                    "uptime_seconds",
+                    Json::from(shared.started.elapsed().as_secs_f64()),
+                ),
+            ])),
+            stop: false,
+        },
+        _ => {
+            // readiness: stop steering traffic here once shutdown begins
+            let shutting_down = shared.stop.load(Ordering::SeqCst);
+            let ready = !shutting_down;
+            Routed {
+                status: if ready { 200 } else { 503 },
+                body: Content::Json(Json::obj([
+                    ("ok", Json::Bool(ready)),
+                    ("ready", Json::Bool(ready)),
+                    ("shutting_down", Json::Bool(shutting_down)),
+                    ("models_loaded", Json::from(shared.registry.len())),
+                ])),
+                stop: false,
+            }
+        }
+    })
+}
+
+/// Status-class request counters (`wa_http_requests_total{code=...}`),
+/// cached so the hot path never touches the registration lock.
+fn http_request_counter(status: u16) -> &'static wa_obs::Counter {
+    static CLASSES: OnceLock<[Arc<wa_obs::Counter>; 4]> = OnceLock::new();
+    let classes = CLASSES.get_or_init(|| {
+        let class = |code: &'static str| {
+            wa_obs::counter_with(
+                "wa_http_requests_total",
+                "HTTP requests answered, by status-code class.",
+                &[("code", code)],
+            )
+        };
+        [class("2xx"), class("3xx"), class("4xx"), class("5xx")]
+    });
+    let idx = (status / 100).clamp(2, 5) as usize - 2;
+    &classes[idx]
+}
+
+/// One structured access-log line per routed request, carrying the
+/// response's trace id when the endpoint produced one (`/v1/infer`).
+fn access_log(req: &HttpRequest, routed: &Routed, micros: u64) {
+    http_request_counter(routed.status).inc();
+    if !wa_obs::log_enabled(wa_obs::Level::Info) {
+        return;
+    }
+    let trace = match &routed.body {
+        Content::Json(doc) => doc.get("trace_id").and_then(|t| t.as_str()).unwrap_or(""),
+        Content::Text { .. } => "",
+    };
+    wa_obs::info(
+        "wa_serve::http",
+        "request",
+        &[
+            ("method", req.method.as_str().into()),
+            ("path", req.path.as_str().into()),
+            ("status", u64::from(routed.status).into()),
+            ("micros", micros.into()),
+            ("trace_id", trace.into()),
+        ],
+    );
 }
 
 /// One HTTP connection's read → route → respond loop.
@@ -385,7 +518,7 @@ fn serve_http_connection(stream: TcpStream, shared: &Shared) {
             Err(HttpReadError::Closed) | Err(HttpReadError::Io) => return,
             Err(HttpReadError::Malformed(msg)) => {
                 let body = error_response(None, &ErrorBody::new(ErrorKind::BadFrame, msg));
-                let _ = write_response(&mut writer, 400, &body, false);
+                let _ = write_response(&mut writer, 400, &Content::Json(body), false);
                 return;
             }
             Err(HttpReadError::BodyTooLarge { declared, max }) => {
@@ -396,16 +529,18 @@ fn serve_http_connection(stream: TcpStream, shared: &Shared) {
                         format!("request body of {declared} bytes exceeds the {max}-byte cap"),
                     ),
                 );
-                let _ = write_response(&mut writer, 413, &body, false);
+                let _ = write_response(&mut writer, 413, &Content::Json(body), false);
                 return;
             }
             Err(HttpReadError::Unsupported(msg)) => {
                 let body = error_response(None, &ErrorBody::new(ErrorKind::BadRequest, msg));
-                let _ = write_response(&mut writer, 501, &body, false);
+                let _ = write_response(&mut writer, 501, &Content::Json(body), false);
                 return;
             }
         };
+        let started = Instant::now();
         let routed = route(&request, shared);
+        access_log(&request, &routed, started.elapsed().as_micros() as u64);
         let keep_alive = request.keep_alive && !routed.stop;
         let write = write_response(&mut writer, routed.status, &routed.body, keep_alive);
         if routed.stop {
@@ -441,7 +576,7 @@ fn refuse_http_connection(stream: TcpStream, shared: &Shared) {
             ),
         ),
     );
-    let _ = write_response(&mut writer, 429, &body, false);
+    let _ = write_response(&mut writer, 429, &Content::Json(body), false);
 }
 
 /// The HTTP accept loop: same stop flag, connection pool and busy

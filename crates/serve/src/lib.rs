@@ -26,7 +26,18 @@
 //! * [`http`] — an optional HTTP/1.1 front-end (`--http-port`) exposing
 //!   the same registry + scheduler as `POST /v1/infer`, `GET
 //!   /v1/models`, `GET /v1/stats`, `POST /v1/models/{load,unload}` and
-//!   `POST /v1/shutdown`, with error kinds mapped onto HTTP statuses.
+//!   `POST /v1/shutdown`, with error kinds mapped onto HTTP statuses;
+//!   plus the observability surface: `GET /v1/metrics` (Prometheus
+//!   text), `GET /v1/healthz` and `GET /v1/readyz`.
+//! * `metrics` (crate-private) — the `/v1/metrics` collector: refreshes
+//!   live gauges and renders the process-global [`wa_obs`] registry
+//!   followed by per-model series, so the Prometheus and `stats` views
+//!   read the same counters.
+//!
+//! Every `infer` request carries a trace id (caller-supplied or minted
+//! at the edge) that is echoed in the response, carried on the
+//! scheduler job, and stamped on each structured log line — see
+//! `docs/observability.md`.
 //!
 //! The `wa-serve` binary serves; the `wa-client` binary exercises a
 //! server end-to-end (build a checkpoint, load it, fire batched
@@ -63,6 +74,7 @@
 
 pub mod client;
 pub mod http;
+pub(crate) mod metrics;
 pub mod protocol;
 pub mod registry;
 pub mod scheduler;

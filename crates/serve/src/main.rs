@@ -62,9 +62,26 @@ fn main() -> std::io::Result<()> {
         }
         None => Server::bind(addr.as_str(), cfg)?,
     };
+    // scripts wait for these exact stdout lines — keep them as-is; the
+    // structured startup record goes to the leveled log on stderr
     println!("wa-serve listening on {}", server.local_addr());
     if let Some(http) = server.http_addr() {
         println!("wa-serve http listening on {http}");
     }
+    wa_obs::info(
+        "wa_serve",
+        "server started",
+        &[
+            ("addr", server.local_addr().to_string().into()),
+            (
+                "http_addr",
+                server
+                    .http_addr()
+                    .map(|a| a.to_string())
+                    .unwrap_or_default()
+                    .into(),
+            ),
+        ],
+    );
     server.run()
 }

@@ -1,0 +1,165 @@
+//! The `/v1/metrics` collector: one function that renders everything a
+//! scrape should see.
+//!
+//! Two sources feed the page:
+//!
+//! 1. The process-global [`wa_obs`] registry — counters, gauges and
+//!    stage histograms recorded by every crate in the pipeline. Gauges
+//!    that mirror live server state (uptime, open connections, in-flight
+//!    flushes, loaded models) are refreshed here, at scrape time, so
+//!    they are exact rather than sampled.
+//! 2. Per-model series rendered from each [`ServedModel`]'s
+//!    [`ModelStats`](crate::registry::ModelStats) with a `model` label.
+//!    Those counters live on the registry entry (not in the global
+//!    registry) so every `Registry` instance starts from zero; the
+//!    collector is where they meet the exposition format.
+//!
+//! The `stats` op reads the *same* [`ModelStats`] atomics, so the JSON
+//! and Prometheus views cannot drift: they are two renderings of one
+//! set of counters.
+
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, OnceLock};
+
+use wa_obs::expo;
+
+use crate::server::Shared;
+
+/// Process-state gauges refreshed on every scrape.
+struct ScrapeGauges {
+    uptime: Arc<wa_obs::Gauge>,
+    connections: Arc<wa_obs::Gauge>,
+    in_flight: Arc<wa_obs::Gauge>,
+    inflight_flushes: Arc<wa_obs::Gauge>,
+    models_loaded: Arc<wa_obs::Gauge>,
+    scrapes: Arc<wa_obs::Counter>,
+}
+
+fn scrape_gauges() -> &'static ScrapeGauges {
+    static G: OnceLock<ScrapeGauges> = OnceLock::new();
+    G.get_or_init(|| ScrapeGauges {
+        uptime: wa_obs::gauge("wa_uptime_seconds", "Seconds since the server started."),
+        connections: wa_obs::gauge(
+            "wa_connections_open",
+            "Currently-open client connections (socket and HTTP pooled).",
+        ),
+        in_flight: wa_obs::gauge(
+            "wa_requests_in_flight",
+            "Requests read off a connection but not yet answered.",
+        ),
+        inflight_flushes: wa_obs::gauge(
+            "wa_scheduler_inflight_flushes",
+            "Batch flushes currently executing.",
+        ),
+        models_loaded: wa_obs::gauge("wa_models_loaded", "Models currently loaded."),
+        scrapes: wa_obs::counter(
+            "wa_metrics_scrapes_total",
+            "Renders of the metrics exposition (HTTP scrapes and socket `metrics` ops).",
+        ),
+    })
+}
+
+/// Renders the full Prometheus text exposition for this server: the
+/// global registry (with live gauges refreshed first) followed by the
+/// per-model families.
+pub(crate) fn metrics_text(shared: &Shared) -> String {
+    let g = scrape_gauges();
+    g.scrapes.inc();
+    g.uptime.set(shared.started.elapsed().as_secs() as i64);
+    g.connections
+        .set(shared.conns.load(Ordering::SeqCst) as i64);
+    g.in_flight
+        .set(shared.in_flight.load(Ordering::SeqCst) as i64);
+    g.inflight_flushes
+        .set(shared.scheduler.inflight_flushes() as i64);
+    g.models_loaded.set(shared.registry.len() as i64);
+    let mut out = wa_obs::global().render();
+    render_model_series(&mut out, shared);
+    out
+}
+
+/// Per-model counter and histogram families, one sample per loaded
+/// model, labelled `model="<name>"`.
+fn render_model_series(out: &mut String, shared: &Shared) {
+    let entries = shared.registry.entries();
+    if entries.is_empty() {
+        return;
+    }
+    struct CounterFamily {
+        name: &'static str,
+        help: &'static str,
+        read: fn(&crate::registry::ModelStats) -> u64,
+    }
+    // `queued_samples` is a level, not a total: exposed as a gauge below
+    let counters: &[CounterFamily] = &[
+        CounterFamily {
+            name: "wa_model_requests_total",
+            help: "Inference requests answered, per model.",
+            read: |s| s.requests.load(Ordering::Relaxed),
+        },
+        CounterFamily {
+            name: "wa_model_samples_total",
+            help: "Samples pushed through the model.",
+            read: |s| s.samples.load(Ordering::Relaxed),
+        },
+        CounterFamily {
+            name: "wa_model_batches_total",
+            help: "Executor batches formed (less than requests means coalescing).",
+            read: |s| s.batches.load(Ordering::Relaxed),
+        },
+        CounterFamily {
+            name: "wa_model_busy_microseconds_total",
+            help: "Time spent inside the executor, per model.",
+            read: |s| s.busy_micros.load(Ordering::Relaxed),
+        },
+        CounterFamily {
+            name: "wa_model_deadline_expired_total",
+            help: "Requests answered with deadline_exceeded instead of running.",
+            read: |s| s.deadline_expired.load(Ordering::Relaxed),
+        },
+        CounterFamily {
+            name: "wa_model_rejected_busy_total",
+            help: "Requests refused with busy by the admission-control queue cap.",
+            read: |s| s.rejected_busy.load(Ordering::Relaxed),
+        },
+    ];
+    for fam in counters {
+        expo::write_help(out, fam.name, fam.help, "counter");
+        for m in &entries {
+            expo::write_sample(
+                out,
+                fam.name,
+                &[("model", m.name.as_str())],
+                (fam.read)(&m.stats) as f64,
+            );
+        }
+    }
+    expo::write_help(
+        out,
+        "wa_model_queued_samples",
+        "Samples admitted to the scheduler but not yet answered, per model.",
+        "gauge",
+    );
+    for m in &entries {
+        expo::write_sample(
+            out,
+            "wa_model_queued_samples",
+            &[("model", m.name.as_str())],
+            m.stats.queued_samples.load(Ordering::Relaxed) as f64,
+        );
+    }
+    expo::write_help(
+        out,
+        "wa_model_batch_latency_microseconds",
+        "Flushed-batch executor latency, per model (full history since load).",
+        "histogram",
+    );
+    for m in &entries {
+        expo::write_histogram(
+            out,
+            "wa_model_batch_latency_microseconds",
+            &[("model", m.name.as_str())],
+            &m.stats.latency_snapshot(),
+        );
+    }
+}

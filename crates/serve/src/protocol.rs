@@ -28,8 +28,9 @@
 //! | `load_model`  | `name`, `checkpoint` (a [`FullCheckpoint`] document) |
 //! | `unload`      | `name`                                   |
 //! | `list_models` | —                                        |
-//! | `infer`       | `model`, `input` (tensor, `[N,C,H,W]` or one `[C,H,W]` sample), optional `deadline_ms` |
+//! | `infer`       | `model`, `input` (tensor, `[N,C,H,W]` or one `[C,H,W]` sample), optional `deadline_ms`, optional `trace_id` |
 //! | `stats`       | —                                        |
+//! | `metrics`     | — (Prometheus exposition text in `text`) |
 //! | `shutdown`    | —                                        |
 //!
 //! # Responses
@@ -252,9 +253,15 @@ pub enum Request {
         /// is answered with a `deadline_exceeded` error instead of
         /// riding a late flush.
         deadline_ms: Option<u64>,
+        /// Optional client-supplied trace ID (1–64 chars of
+        /// `[0-9a-zA-Z_.-]`), echoed in the response and carried through
+        /// the scheduler's flush log; the server mints one when absent.
+        trace_id: Option<String>,
     },
     /// Per-model serving counters.
     Stats,
+    /// The process-wide metrics registry as Prometheus exposition text.
+    Metrics,
     /// Stop accepting connections and exit the serve loop.
     Shutdown,
 }
@@ -330,17 +337,32 @@ impl Request {
                         Some(ms as u64)
                     }
                 };
+                let trace_id = match doc.get("trace_id") {
+                    None | Some(Json::Null) => None,
+                    Some(v) => {
+                        let s = v
+                            .as_str()
+                            .filter(|s| wa_obs::is_valid_trace_id(s))
+                            .ok_or_else(|| {
+                                bad("`trace_id` must be 1-64 characters of [0-9a-zA-Z_.-]"
+                                    .to_string())
+                            })?;
+                        Some(s.to_string())
+                    }
+                };
                 Ok(Request::Infer {
                     model,
                     input,
                     deadline_ms,
+                    trace_id,
                 })
             }
             "stats" => Ok(Request::Stats),
+            "metrics" => Ok(Request::Metrics),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(bad(format!(
                 "unknown op `{other}` (expected load_model | unload | list_models | \
-                 infer | stats | shutdown)"
+                 infer | stats | metrics | shutdown)"
             ))),
         }
     }
@@ -429,6 +451,42 @@ mod tests {
             assert_eq!(err.kind, ErrorKind::BadRequest);
             assert!(err.message.contains(needle), "{}: {}", doc, err.message);
         }
+    }
+
+    #[test]
+    fn infer_trace_id_is_validated() {
+        let base = |trace: Json| {
+            Json::obj([
+                ("op", Json::from("infer")),
+                ("model", Json::from("m")),
+                ("input", Tensor::zeros(&[1, 4, 4]).to_json()),
+                ("trace_id", trace),
+            ])
+        };
+        let Request::Infer { trace_id, .. } =
+            Request::from_json(&base(Json::from("bench-run.42"))).unwrap()
+        else {
+            panic!("expected infer");
+        };
+        assert_eq!(trace_id.as_deref(), Some("bench-run.42"));
+        let Request::Infer { trace_id, .. } = Request::from_json(&base(Json::Null)).unwrap() else {
+            panic!("expected infer");
+        };
+        assert_eq!(trace_id, None);
+        for bad in [Json::from("has space"), Json::from(""), Json::from(3usize)] {
+            let err = Request::from_json(&base(bad)).unwrap_err();
+            assert_eq!(err.kind, ErrorKind::BadRequest);
+            assert!(err.message.contains("trace_id"));
+        }
+    }
+
+    #[test]
+    fn metrics_op_parses() {
+        let doc = Json::obj([("op", Json::from("metrics"))]);
+        assert!(matches!(
+            Request::from_json(&doc).unwrap(),
+            Request::Metrics
+        ));
     }
 
     #[test]

@@ -9,7 +9,7 @@
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, OnceLock, RwLock};
 
 use wa_models::ZooModel;
 use wa_nn::FullCheckpoint;
@@ -17,51 +17,21 @@ use wa_tensor::Json;
 
 use crate::protocol::{ErrorBody, ErrorKind};
 
-/// Batch latencies kept per model for quantile estimation.
-pub const LATENCY_WINDOW: usize = 256;
-
-/// A fixed-size ring of the most recent batch latencies (microseconds).
-/// Bounded memory per model, O(window log window) quantile reads — the
-/// `stats` op is rare next to `record` (once per flushed batch).
-#[derive(Debug)]
-struct LatencyRing {
-    micros: [u64; LATENCY_WINDOW],
-    /// Total records ever; `min(len, LATENCY_WINDOW)` entries are live.
-    len: u64,
-}
-
-impl Default for LatencyRing {
-    fn default() -> LatencyRing {
-        LatencyRing {
-            micros: [0; LATENCY_WINDOW],
-            len: 0,
-        }
-    }
-}
-
-impl LatencyRing {
-    fn record(&mut self, micros: u64) {
-        self.micros[(self.len % LATENCY_WINDOW as u64) as usize] = micros;
-        self.len += 1;
-    }
-
-    /// The `q`-quantile (0.0..=1.0) of the live window, or `None` when
-    /// nothing has been recorded yet.
-    fn quantile(&self, q: f64) -> Option<u64> {
-        let live = (self.len.min(LATENCY_WINDOW as u64)) as usize;
-        if live == 0 {
-            return None;
-        }
-        let mut sorted = self.micros[..live].to_vec();
-        sorted.sort_unstable();
-        let rank = ((q * (live - 1) as f64).round() as usize).min(live - 1);
-        Some(sorted[rank])
-    }
-}
-
 /// Per-model serving counters (relaxed atomics: the numbers are
-/// monotonic telemetry, not synchronization) plus a bounded ring of
-/// recent batch latencies for p50/p99 estimates.
+/// monotonic telemetry, not synchronization) plus a full-history
+/// log-linear latency histogram for p50/p99 estimates.
+///
+/// The histogram replaced an older 256-sample ring: the ring forgot
+/// history, so p99 under sustained load reflected only the last few
+/// seconds and a brief stall could vanish from the quantiles entirely.
+/// The `wa_obs` histogram accumulates every batch since load in fixed
+/// memory with ~3% quantile error, records lock-free, and renders
+/// directly as Prometheus bucket series.
+///
+/// The histogram lives on the entry (not in the global registry) so each
+/// `Registry` instance — and each test — starts from zero; `wa-serve`'s
+/// `/v1/metrics` collector renders it with a `model` label at scrape
+/// time.
 #[derive(Debug, Default)]
 pub struct ModelStats {
     /// `infer` requests answered.
@@ -80,7 +50,7 @@ pub struct ModelStats {
     pub deadline_expired: AtomicU64,
     /// Requests refused with `busy` by the admission-control queue cap.
     pub rejected_busy: AtomicU64,
-    latency: Mutex<LatencyRing>,
+    latency: wa_obs::Histogram,
 }
 
 impl ModelStats {
@@ -90,19 +60,19 @@ impl ModelStats {
         self.samples.fetch_add(samples, Ordering::Relaxed);
         self.batches.fetch_add(1, Ordering::Relaxed);
         self.busy_micros.fetch_add(micros, Ordering::Relaxed);
-        self.latency
-            .lock()
-            .expect("latency ring poisoned")
-            .record(micros);
+        self.latency.record(micros);
     }
 
-    /// The `q`-quantile (0.0..=1.0) of the recent batch latencies in
+    /// The `q`-quantile (0.0..=1.0) of all batch latencies since load in
     /// microseconds, or `None` before the first flushed batch.
     pub fn latency_quantile_micros(&self, q: f64) -> Option<u64> {
-        self.latency
-            .lock()
-            .expect("latency ring poisoned")
-            .quantile(q)
+        self.latency.quantile(q)
+    }
+
+    /// A point-in-time copy of the batch-latency histogram — what the
+    /// `/v1/metrics` collector renders under a `model` label.
+    pub fn latency_snapshot(&self) -> wa_obs::LogHistogram {
+        self.latency.snapshot()
     }
 
     /// The counters as a JSON object.
@@ -137,7 +107,7 @@ impl ModelStats {
                 Json::obj([
                     ("p50_ms", quantile_ms(0.50)),
                     ("p99_ms", quantile_ms(0.99)),
-                    ("window", Json::from(LATENCY_WINDOW)),
+                    ("count", Json::from(self.latency.count() as f64)),
                 ]),
             ),
             (
@@ -169,6 +139,24 @@ pub struct Registry {
     models: RwLock<BTreeMap<String, Arc<ServedModel>>>,
 }
 
+/// Global load/unload counters (process-wide lifecycle totals; the
+/// per-model counters live on each entry's [`ModelStats`]).
+struct RegistryMetrics {
+    loads: Arc<wa_obs::Counter>,
+    unloads: Arc<wa_obs::Counter>,
+}
+
+fn registry_metrics() -> &'static RegistryMetrics {
+    static M: OnceLock<RegistryMetrics> = OnceLock::new();
+    M.get_or_init(|| RegistryMetrics {
+        loads: wa_obs::counter(
+            "wa_model_loads_total",
+            "Models (re)loaded into a registry from a checkpoint.",
+        ),
+        unloads: wa_obs::counter("wa_model_unloads_total", "Models removed from a registry."),
+    })
+}
+
 impl Registry {
     /// Creates an empty registry.
     pub fn new() -> Registry {
@@ -191,6 +179,15 @@ impl Registry {
             stats: ModelStats::default(),
         });
         self.write().insert(name.to_string(), Arc::clone(&entry));
+        registry_metrics().loads.inc();
+        wa_obs::info(
+            "wa_serve::registry",
+            "model loaded",
+            &[
+                ("model", name.into()),
+                ("arch", entry.model.kind().name().into()),
+            ],
+        );
         Ok(entry)
     }
 
@@ -219,6 +216,12 @@ impl Registry {
     /// [`ErrorKind::UnknownModel`] if nothing is loaded under `name`.
     pub fn unload(&self, name: &str) -> Result<(), ErrorBody> {
         if self.write().remove(name).is_some() {
+            registry_metrics().unloads.inc();
+            wa_obs::info(
+                "wa_serve::registry",
+                "model unloaded",
+                &[("model", name.into())],
+            );
             Ok(())
         } else {
             Err(ErrorBody::new(
@@ -257,6 +260,12 @@ impl Registry {
                 })
                 .collect(),
         )
+    }
+
+    /// A point-in-time snapshot of every loaded model (name order), for
+    /// collectors that render per-model series outside the lock.
+    pub fn entries(&self) -> Vec<Arc<ServedModel>> {
+        self.read().values().cloned().collect()
     }
 
     /// One JSON row per loaded model with its counters — the `stats`
@@ -340,26 +349,31 @@ mod tests {
     }
 
     #[test]
-    fn latency_quantiles_track_the_recent_window() {
+    fn latency_quantiles_cover_the_full_history() {
         let stats = ModelStats::default();
         assert_eq!(stats.latency_quantile_micros(0.5), None);
         for us in 1..=100u64 {
             stats.record_batch(1, 1, us);
         }
-        // 100 records, window 256: all live
         assert_eq!(stats.latency_quantile_micros(0.0), Some(1));
-        assert_eq!(stats.latency_quantile_micros(1.0), Some(100));
+        let p100 = stats.latency_quantile_micros(1.0).unwrap();
+        assert!((97..=100).contains(&p100), "p100 was {p100}");
         let p50 = stats.latency_quantile_micros(0.5).unwrap();
-        assert!((49..=52).contains(&p50), "p50 was {p50}");
-        // overflow the window with a uniform value: old samples age out
-        for _ in 0..LATENCY_WINDOW {
+        assert!((48..=52).contains(&p50), "p50 was {p50}");
+        // Unlike the old 256-sample ring, history never ages out: a flood
+        // of fast batches shifts p50 but the early slow tail stays in p99.
+        for _ in 0..2048 {
             stats.record_batch(1, 1, 7);
         }
         assert_eq!(stats.latency_quantile_micros(0.5), Some(7));
-        assert_eq!(stats.latency_quantile_micros(0.99), Some(7));
+        let p999 = stats.latency_quantile_micros(0.999).unwrap();
+        assert!(p999 >= 90, "slow tail forgotten: p99.9 was {p999}");
         let row = stats.to_json();
         let lat = row.get("latency").expect("latency object");
         assert_eq!(lat.get("p50_ms").and_then(|v| v.as_f64()), Some(0.007));
+        assert_eq!(lat.get("count").and_then(|v| v.as_f64()), Some(2148.0));
+        let snap = stats.latency_snapshot();
+        assert_eq!(snap.count(), 2148);
     }
 
     #[test]

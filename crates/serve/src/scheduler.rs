@@ -33,15 +33,66 @@
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use wa_nn::{BatchExecutor, ExecutorConfig, WaError};
+use wa_obs::TraceId;
 use wa_tensor::Tensor;
 
 use crate::protocol::{ErrorBody, ErrorKind};
 use crate::registry::ServedModel;
+
+/// Cached handles into the global metrics registry. The per-model
+/// counters live on each entry's `ModelStats`; these are the
+/// process-wide scheduler aggregates `/v1/metrics` exposes directly.
+struct SchedMetrics {
+    /// Samples submitted but not yet answered, across all models.
+    queue_depth: Arc<wa_obs::Gauge>,
+    /// Submit → flush-assembly wait per answered job.
+    queue_wait: Arc<wa_obs::Histogram>,
+    /// Samples per flushed batch.
+    batch_size: Arc<wa_obs::Histogram>,
+    /// Executor wall time per flushed batch.
+    batch_duration: Arc<wa_obs::Histogram>,
+    batches: Arc<wa_obs::Counter>,
+    jobs: Arc<wa_obs::Counter>,
+    deadline_expired: Arc<wa_obs::Counter>,
+    busy_refusals: Arc<wa_obs::Counter>,
+}
+
+fn sched_metrics() -> &'static SchedMetrics {
+    static M: OnceLock<SchedMetrics> = OnceLock::new();
+    M.get_or_init(|| SchedMetrics {
+        queue_depth: wa_obs::gauge(
+            "wa_scheduler_queue_depth_samples",
+            "Samples submitted to the scheduler but not yet answered (all models).",
+        ),
+        queue_wait: wa_obs::histogram(
+            "wa_scheduler_queue_wait_microseconds",
+            "Time a job waited between submit and flush assembly.",
+        ),
+        batch_size: wa_obs::histogram(
+            "wa_scheduler_batch_size_samples",
+            "Samples per flushed batch.",
+        ),
+        batch_duration: wa_obs::histogram(
+            "wa_scheduler_batch_duration_microseconds",
+            "Executor wall time per flushed batch.",
+        ),
+        batches: wa_obs::counter("wa_scheduler_batches_total", "Batches flushed."),
+        jobs: wa_obs::counter("wa_scheduler_jobs_total", "Jobs accepted into the queue."),
+        deadline_expired: wa_obs::counter(
+            "wa_scheduler_deadline_expired_total",
+            "Jobs answered deadline_exceeded instead of running (drop-on-expiry).",
+        ),
+        busy_refusals: wa_obs::counter(
+            "wa_scheduler_busy_refusals_total",
+            "Submissions refused with busy by the per-model admission cap.",
+        ),
+    })
+}
 
 /// Hard cap on `max_inflight_flushes` (beyond this a config is a typo,
 /// not a deployment).
@@ -138,6 +189,12 @@ struct Job {
     /// Absolute expiry instant (from the request's `deadline_ms`); a job
     /// past it is answered with `deadline_exceeded` instead of running.
     deadline: Option<Instant>,
+    /// The request's trace ID, minted at the serving edge (or by
+    /// `submit_with_deadline` for direct callers) — carried through the
+    /// flush log so one request's life is reconstructable.
+    trace: String,
+    /// When the job entered the queue (for the queue-wait histogram).
+    submitted: Instant,
 }
 
 impl Job {
@@ -151,20 +208,24 @@ impl Job {
 /// is answered through here exactly once, so the `queued_samples` gauge
 /// can never leak. A dropped receiver just means the client went away.
 fn answer(job: Job, result: Result<Tensor, ErrorBody>) {
+    let samples = job.input.dim(0) as u64;
     job.entry
         .stats
         .queued_samples
-        .fetch_sub(job.input.dim(0) as u64, Ordering::Relaxed);
+        .fetch_sub(samples, Ordering::Relaxed);
+    sched_metrics().queue_depth.add(-(samples as i64));
     let _ = job.reply.send(result);
 }
 
 /// Releases a job's admission-control reservation without answering it
 /// (the caller reports the failure through its own return value).
 fn answer_unsent(job: Job) {
+    let samples = job.input.dim(0) as u64;
     job.entry
         .stats
         .queued_samples
-        .fetch_sub(job.input.dim(0) as u64, Ordering::Relaxed);
+        .fetch_sub(samples, Ordering::Relaxed);
+    sched_metrics().queue_depth.add(-(samples as i64));
 }
 
 /// The structured refusal for submissions racing a shutdown.
@@ -182,6 +243,16 @@ fn expire(job: Job) {
         .stats
         .deadline_expired
         .fetch_add(1, Ordering::Relaxed);
+    sched_metrics().deadline_expired.inc();
+    wa_obs::warn(
+        "wa_serve::scheduler",
+        "deadline expired, job dropped unexecuted",
+        &[
+            ("trace_id", job.trace.as_str().into()),
+            ("model", job.entry.name.as_str().into()),
+            ("samples", job.input.dim(0).into()),
+        ],
+    );
     let body = ErrorBody::new(
         ErrorKind::DeadlineExceeded,
         "the request's deadline_ms expired before inference ran; it was dropped unexecuted",
@@ -328,6 +399,23 @@ impl Scheduler {
         input: Tensor,
         deadline: Option<Instant>,
     ) -> Result<Receiver<Result<Tensor, ErrorBody>>, ErrorBody> {
+        self.submit_traced(entry, input, deadline, &TraceId::mint().to_string())
+    }
+
+    /// [`Scheduler::submit_with_deadline`] with an explicit trace ID
+    /// (the serving edge mints or echoes one per request); the ID rides
+    /// the job into the batch-flush log.
+    ///
+    /// # Errors
+    ///
+    /// See [`Scheduler::submit_with_deadline`].
+    pub fn submit_traced(
+        &self,
+        entry: Arc<ServedModel>,
+        input: Tensor,
+        deadline: Option<Instant>,
+        trace: &str,
+    ) -> Result<Receiver<Result<Tensor, ErrorBody>>, ErrorBody> {
         let want = entry.model.sample_shape();
         let shape = input.shape();
         if shape.len() != 4 || shape[0] == 0 || shape[1..] != want {
@@ -351,6 +439,17 @@ impl Scheduler {
         if queued.fetch_add(samples, Ordering::Relaxed) + samples > cap {
             queued.fetch_sub(samples, Ordering::Relaxed);
             entry.stats.rejected_busy.fetch_add(1, Ordering::Relaxed);
+            sched_metrics().busy_refusals.inc();
+            wa_obs::warn(
+                "wa_serve::scheduler",
+                "admission cap hit, refusing with busy",
+                &[
+                    ("trace_id", trace.into()),
+                    ("model", entry.name.as_str().into()),
+                    ("samples", samples.into()),
+                    ("max_queue", cap.into()),
+                ],
+            );
             return Err(ErrorBody::new(
                 ErrorKind::Busy,
                 format!(
@@ -359,13 +458,17 @@ impl Scheduler {
                 ),
             ));
         }
+        sched_metrics().queue_depth.add(samples as i64);
         let (reply, result) = channel();
         let job = Job {
             entry,
             input,
             reply,
             deadline,
+            trace: trace.to_string(),
+            submitted: Instant::now(),
         };
+        sched_metrics().jobs.inc();
         let guard = self.tx.lock().expect("scheduler sender lock poisoned");
         let tx = match guard.as_ref() {
             Some(tx) => tx,
@@ -595,6 +698,12 @@ fn flush(p: Pending, exec: &BatchExecutor) {
         return;
     }
     let entry = Arc::clone(&live[0].entry);
+    let metrics = sched_metrics();
+    for job in &live {
+        metrics
+            .queue_wait
+            .record(job.submitted.elapsed().as_micros() as u64);
+    }
     let inputs: Vec<&Tensor> = live.iter().map(|j| &j.input).collect();
     let batch = Tensor::concat_dim0(&inputs);
     let samples = batch.dim(0);
@@ -604,6 +713,28 @@ fn flush(p: Pending, exec: &BatchExecutor) {
     entry
         .stats
         .record_batch(live.len() as u64, samples as u64, micros);
+    metrics.batches.inc();
+    metrics.batch_size.record(samples as u64);
+    metrics.batch_duration.record(micros);
+    if wa_obs::log_enabled(wa_obs::Level::Info) {
+        let trace_ids = live
+            .iter()
+            .map(|j| j.trace.as_str())
+            .collect::<Vec<_>>()
+            .join(",");
+        wa_obs::info(
+            "wa_serve::scheduler",
+            "batch flushed",
+            &[
+                ("model", entry.name.as_str().into()),
+                ("requests", live.len().into()),
+                ("samples", samples.into()),
+                ("micros", micros.into()),
+                ("ok", result.is_ok().into()),
+                ("trace_ids", trace_ids.into()),
+            ],
+        );
+    }
     match result {
         Ok(output) => {
             // slice the stitched output back into per-request pieces, in
@@ -938,6 +1069,8 @@ mod tests {
                 input,
                 reply,
                 deadline,
+                trace: TraceId::mint().to_string(),
+                submitted: Instant::now(),
             });
             rxs.push(rx);
         }

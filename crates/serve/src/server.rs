@@ -12,7 +12,7 @@
 use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 use wa_tensor::Json;
@@ -405,6 +405,31 @@ fn serve_connection(mut stream: TcpStream, shared: &Shared) {
     }
 }
 
+/// Edge-level inference counters, registered once per process.
+struct InferMetrics {
+    requests: Arc<wa_obs::Counter>,
+}
+
+fn infer_metrics() -> &'static InferMetrics {
+    static METRICS: OnceLock<InferMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| InferMetrics {
+        requests: wa_obs::counter(
+            "wa_infer_requests_total",
+            "Inference requests accepted at the serving edge (socket and HTTP).",
+        ),
+    })
+}
+
+/// An error response that still echoes the request's trace id, so a
+/// caller correlating logs by trace never loses the failing requests.
+fn traced_error(id: Option<&Json>, err: &ErrorBody, trace: &str) -> Json {
+    let mut resp = error_response(id, err);
+    if let Json::Obj(pairs) = &mut resp {
+        pairs.push(("trace_id".to_string(), Json::from(trace)));
+    }
+    resp
+}
+
 /// Executes one request against the shared state (used by the socket
 /// connection loop and the HTTP front-end alike).
 pub(crate) fn dispatch(request: Request, shared: &Shared, id: Option<&Json>) -> Json {
@@ -435,10 +460,16 @@ pub(crate) fn dispatch(request: Request, shared: &Shared, id: Option<&Json>) -> 
             model,
             input,
             deadline_ms,
+            trace_id,
         } => {
+            // every request carries a trace id: the caller's if it sent
+            // one, a freshly minted one otherwise — either way it is
+            // echoed in the response and logged at every pipeline stage
+            let trace = trace_id.unwrap_or_else(|| wa_obs::TraceId::mint().to_string());
+            infer_metrics().requests.inc();
             let entry = match shared.registry.get(&model) {
                 Ok(entry) => entry,
-                Err(e) => return error_response(id, &e),
+                Err(e) => return traced_error(id, &e, &trace),
             };
             let samples = input.dim(0);
             // the budget is counted from dispatch (≈ request arrival);
@@ -446,7 +477,7 @@ pub(crate) fn dispatch(request: Request, shared: &Shared, id: Option<&Json>) -> 
             let deadline = deadline_ms.map(|ms| Instant::now() + Duration::from_millis(ms));
             let result = shared
                 .scheduler
-                .submit_with_deadline(entry, input, deadline)
+                .submit_traced(entry, input, deadline, &trace)
                 .and_then(|rx| {
                     rx.recv().map_err(|_| {
                         ErrorBody::new(ErrorKind::Internal, "the scheduler dropped the request")
@@ -459,12 +490,20 @@ pub(crate) fn dispatch(request: Request, shared: &Shared, id: Option<&Json>) -> 
                     vec![
                         ("model".to_string(), Json::from(model)),
                         ("samples".to_string(), Json::from(samples)),
+                        ("trace_id".to_string(), Json::from(trace)),
                         ("output".to_string(), output.to_json()),
                     ],
                 ),
-                Err(e) => error_response(id, &e),
+                Err(e) => traced_error(id, &e, &trace),
             }
         }
+        Request::Metrics => ok_response(
+            id,
+            vec![(
+                "metrics".to_string(),
+                Json::from(crate::metrics::metrics_text(shared)),
+            )],
+        ),
         Request::Stats => {
             let uptime = shared.started.elapsed();
             ok_response(

@@ -28,8 +28,22 @@
 //! `std::thread::scope`; the split never changes results.
 
 use std::cell::Cell;
+use std::sync::{Arc, OnceLock};
 
 use crate::tensor::Tensor;
+
+/// Bumps `wa_gemm_calls_total{kind=...}` through a per-kind cached
+/// handle: one relaxed atomic add per GEMM call.
+fn count_gemm_call(cell: &OnceLock<Arc<wa_obs::Counter>>, kind: &'static str) {
+    cell.get_or_init(|| {
+        wa_obs::counter_with(
+            "wa_gemm_calls_total",
+            "GEMM invocations, by kind (single 2-D products vs batched Winograd-coordinate products).",
+            &[("kind", kind)],
+        )
+    })
+    .inc();
+}
 
 /// Whether an operand of [`gemm`] is logically transposed.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -162,6 +176,8 @@ pub fn gemm_into(a: &Tensor, ta: Transpose, b: &Tensor, tb: Transpose, out: &mut
         n,
         out.shape()
     );
+    static CALLS: OnceLock<Arc<wa_obs::Counter>> = OnceLock::new();
+    count_gemm_call(&CALLS, "single");
     let out_data = out.data_mut();
     if m == 0 || n == 0 {
         return;
@@ -222,6 +238,8 @@ pub fn gemm_batched(
         batch * m * n,
         "gemm_batched output length mismatch"
     );
+    static CALLS: OnceLock<Arc<wa_obs::Counter>> = OnceLock::new();
+    count_gemm_call(&CALLS, "batched");
     if batch == 0 || m == 0 || n == 0 {
         return;
     }

@@ -17,6 +17,7 @@
 //!
 //! | crate | contents |
 //! |---|---|
+//! | [`obs`] | dependency-free observability: metrics registry, stage spans, JSON logging, trace IDs |
 //! | [`tensor`] | NCHW tensors, blocked GEMM, im2row/col2im, seeded RNG |
 //! | [`quant`] | symmetric uniform fake-quantization with STE |
 //! | [`winograd`] | exact Cook-Toom synthesis, canonical transforms, kernels, error analysis |
@@ -74,6 +75,9 @@
 //!
 //! See `examples/` for runnable end-to-end scenarios and `crates/bench`
 //! for the regenerators of every table and figure in the paper.
+
+/// Re-export of [`wa_obs`].
+pub use wa_obs as obs;
 
 /// Re-export of [`wa_tensor`].
 pub use wa_tensor as tensor;
