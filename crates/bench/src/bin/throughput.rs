@@ -26,7 +26,8 @@ use std::time::Instant;
 use wa_bench::{BenchRecord, Scale};
 use wa_core::ConvAlgo;
 use wa_models::{ExecutorConfig, Infer, LeNet, ModelSpec, ResNeXt20, ResNet18, SqueezeNet};
-use wa_nn::Layer;
+use wa_nn::{Layer, QuantConfig, Tape};
+use wa_quant::{BitWidth, Execution, TapPolicy};
 use wa_tensor::{SeededRng, Tensor};
 
 /// Times one executor run and returns samples/sec.
@@ -238,6 +239,76 @@ fn bench_zero_copy(record: &mut BenchRecord, rng: &mut SeededRng) {
     );
 }
 
+/// True-integer serving rows: full-width ResNet-18 on the
+/// [`Execution::Int8`] path — quantize → `i8×i8→i32` GEMM → fixed-point
+/// requantize — under im2row and F4, against a matching-geometry f32
+/// im2row row. Full width is the honest regime for this claim: the
+/// integer inner products dominate the wall clock, whereas at width
+/// 0.125 the per-element quantize/requantize passes swamp the tiny
+/// GEMMs. Observers are warmed first (integer serving requantizes
+/// through settled scales, and cold observers would break the
+/// batched == sequential assertion inside [`bench_model`]).
+///
+/// With `WA_ASSERT_SCALING` set the run pins the point of the int path:
+/// int8 im2row must sustain ≥ 1.5× the f32 im2row row's best
+/// samples/sec, and int8 F4 must beat int8 im2row (the Winograd
+/// algorithmic saving must survive integer execution).
+fn bench_int8(record: &mut BenchRecord, rng: &mut SeededRng, threads: &[usize]) {
+    let int8 = QuantConfig::uniform(BitWidth::INT8)
+        .with_transform(TapPolicy::PerTap)
+        .with_execution(Execution::Int8);
+    // full-width ResNet-18 runs ~50x slower per sample than the smoke
+    // width above, so keep the batch small. CIFAR-native 32×32 input:
+    // at 16×16 the deepest stage runs at 2×2 spatial, where every F4
+    // tile computes a 4×4 block and crops it to 2×2 — charging the
+    // Winograd rows 4× waste on exactly the channel-heaviest layers.
+    let batch_n = 4;
+    let x = rng.uniform_tensor(&[batch_n, 3, 32, 32], -1.0, 1.0);
+    let best = |pairs: &[(usize, f64)]| {
+        pairs
+            .iter()
+            .map(|&(_, sps)| sps)
+            .fold(f64::NEG_INFINITY, f64::max)
+    };
+    let mut bench = |name: &str, algo: ConvAlgo, quant: QuantConfig| -> f64 {
+        let spec = ModelSpec::builder()
+            .classes(10)
+            .algo(algo)
+            .quant(quant)
+            .build()
+            .expect("static spec");
+        let mut model = ResNet18::from_spec(&spec, rng).expect("static spec");
+        {
+            // calibrate: one training batch settles every observer
+            let warm = rng.uniform_tensor(&[2, 3, 32, 32], -1.0, 1.0);
+            let mut tape = Tape::new();
+            let v = tape.leaf(warm);
+            let _ = model.forward(&mut tape, v, true);
+        }
+        best(&bench_model(record, name, &model, &x, threads))
+    };
+    let f32_best = bench("ResNet-18 w1.0 im2row", ConvAlgo::Im2row, QuantConfig::FP32);
+    let im2row = bench("ResNet-18 int8 im2row", ConvAlgo::Im2row, int8);
+    let f4 = bench("ResNet-18 int8 F4", ConvAlgo::Winograd { m: 4 }, int8);
+    println!(
+        "{:<22} int8 im2row x{:.2} vs f32, int8 F4 x{:.2} vs int8 im2row",
+        "ResNet-18 int8",
+        im2row / f32_best,
+        f4 / im2row
+    );
+    if std::env::var_os("WA_ASSERT_SCALING").is_some() {
+        assert!(
+            im2row >= 1.5 * f32_best,
+            "int8 im2row must sustain at least 1.5x the f32 im2row row: \
+             {im2row:.1} vs {f32_best:.1} samples/sec"
+        );
+        assert!(
+            f4 > im2row,
+            "int8 F4 must beat int8 im2row: {f4:.1} vs {im2row:.1} samples/sec"
+        );
+    }
+}
+
 fn main() {
     if std::env::var_os("WA_SPANS").is_some_and(|v| v == "0") {
         wa_obs::set_spans_enabled(false);
@@ -306,6 +377,8 @@ fn main() {
     let fx = rng.uniform_tensor(&[batch_n, 3, 16, 16], -1.0, 1.0);
     let pairs = bench_model(&mut record, "ResNet-18 F4", &resnet_f4, &fx, &threads);
     assert_scaling("ResNet-18 F4", &pairs);
+
+    bench_int8(&mut record, &mut rng, &threads);
 
     bench_filter_cache(&mut record, &mut rng);
     bench_zero_copy(&mut record, &mut rng);

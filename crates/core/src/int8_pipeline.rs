@@ -1,0 +1,553 @@
+//! Fused eager kernels for the [`Execution::Int8`] Winograd inference
+//! path.
+//!
+//! The op-by-op pipeline materializes ~10 full-size intermediates per
+//! convolution (pad, gather, two matmuls + a fake-quant + two tile
+//! transposes per half, plus the quantize/permute/pack chain feeding the
+//! integer GEMM). At inference time none of those intermediates is
+//! needed: each `n×n` tile's journey from gathered input to packed i8
+//! GEMM operand — and from i32 accumulator to assembled output pixel —
+//! is a local computation that fits in registers. These kernels walk the
+//! tiles once, apply the transform matrices as plain ascending-`k` dot
+//! products, snap at exactly the sites the reference snaps, and write
+//! straight into the final layout (the pair-interleaved GEMM panels on
+//! the way in, the NCHW output on the way out).
+//!
+//! **Bit-exactness.** The f32 GEMM's micro-kernel accumulates `a·b`
+//! products in ascending `k` order, making `matmul_nt` bit-identical to
+//! a naive triple loop; the dot products here use the same order, the
+//! snapping uses the same [`round_clamp_i32`] arithmetic as
+//! `fake_quant_scale`, and all data movement (implicit zero padding,
+//! tile transposes folded into index order, output cropping) is exact by
+//! construction. The unit tests below pin both kernels `==`-equal to the
+//! tape-op sequences they replace, so the int8 parity contract is
+//! unchanged.
+//!
+//! [`Execution::Int8`]: wa_quant::Execution::Int8
+//! [`round_clamp_i32`]: wa_quant::round_clamp_i32
+
+use wa_quant::{round_clamp_i32, Requantizer};
+use wa_tensor::{PackedBI8, Tensor};
+use wa_winograd::TileGeometry;
+
+/// Largest supported tile edge (`n = m + r − 1`): F6 with r=3 gives
+/// `n = 8`. Layers beyond this take the op-by-op fallback.
+pub(crate) const MAX_TILE: usize = 8;
+
+/// Whether the fused kernels cover this `(n, m)` tile shape. The hot
+/// loops are monomorphized per shape (const tile edges let the compiler
+/// unroll the 6-element dot products and hoist every bounds check, which
+/// is worth ~3× over the generic loop); the shapes here are exactly the
+/// `F2/F4/F6 × r=3` configurations the paper evaluates. Anything else
+/// takes the op-by-op fallback.
+pub(crate) fn supports_tile(n: usize, m: usize) -> bool {
+    matches!((n, m), (4, 2) | (6, 4) | (8, 6))
+}
+
+/// Quantization parameters of the fused input half: the per-layer
+/// `Q(Bᵀ·d)` snap and the per-tap `Q(Bᵀ·d·B)` grids.
+pub(crate) struct FrontQuant<'a> {
+    /// Scale of the `Bᵀ·d` site.
+    pub s_bd: f32,
+    /// `qmax` of the activation bit-width at the `Bᵀ·d` site.
+    pub qmax_bd: i32,
+    /// Per-tap scales of the `Bᵀ·d·B` site (`n²` entries).
+    pub v_scales: &'a [f32],
+    /// Per-tap `qmax` values of the `Bᵀ·d·B` site (`n²` entries).
+    pub v_qmaxes: &'a [i32],
+}
+
+/// Fused input half: gather each `n×n` tile (implicit zero padding),
+/// apply `Bᵀ·d·B` with a `Q(Bᵀ·d)` snap between the two one-sided
+/// products, quantize each tap onto its i8 grid, and write the value
+/// straight into its packed-GEMM slot of `pb` (logical layout
+/// `[n², C, B·T]`: batch item = tap, row = input channel, column =
+/// global tile index).
+///
+/// Replaces `pad_tiles → gather_tiles → matmul_nt(bt) → fake_quant →
+/// tile_transpose → matmul_nt(bt) → tile_transpose → quantize_i8_taps →
+/// permute → pack`, bit-identically.
+///
+/// # Panics
+///
+/// Panics if shapes disagree with the geometry or `n > MAX_TILE`.
+pub(crate) fn fused_input_pack(
+    xq: &Tensor,
+    bt: &Tensor,
+    geom: &TileGeometry,
+    fq: &FrontQuant,
+    pb: &mut PackedBI8,
+) {
+    match geom.tile() {
+        4 => front_impl::<4>(xq, bt, geom, fq, pb),
+        6 => front_impl::<6>(xq, bt, geom, fq, pb),
+        8 => front_impl::<8>(xq, bt, geom, fq, pb),
+        n => panic!("fused input transform does not support tile edge {n}"),
+    }
+}
+
+fn front_impl<const N: usize>(
+    xq: &Tensor,
+    bt: &Tensor,
+    geom: &TileGeometry,
+    fq: &FrontQuant,
+    pb: &mut PackedBI8,
+) {
+    assert_eq!(bt.shape(), &[N, N], "Bᵀ shape mismatch");
+    let (batch, c_in) = (xq.dim(0), xq.dim(1));
+    let (h, w) = (geom.in_h, geom.in_w);
+    assert_eq!(
+        (xq.dim(2), xq.dim(3)),
+        (h, w),
+        "input does not match geometry"
+    );
+    assert_eq!(fq.v_scales.len(), N * N, "per-tap scale count mismatch");
+    assert_eq!(fq.v_qmaxes.len(), N * N, "per-tap qmax count mismatch");
+    assert_eq!(pb.batch(), N * N, "packed operand tap count mismatch");
+    assert_eq!(pb.k(), c_in, "packed operand channel count mismatch");
+    assert_eq!(
+        pb.n(),
+        batch * geom.tiles(),
+        "packed operand tile count mismatch"
+    );
+
+    // fixed-size local copies: every index below is provably in bounds,
+    // so the unrolled tile loops compile check-free
+    let mut btl = [0f32; MAX_TILE * MAX_TILE];
+    btl[..N * N].copy_from_slice(bt.data());
+    // B itself (Bᵀ transposed): lets the first product broadcast one `d`
+    // element against a contiguous row, vectorizing over `j`
+    let mut btt = [0f32; MAX_TILE * MAX_TILE];
+    for j in 0..N {
+        for q in 0..N {
+            btt[q * N + j] = btl[j * N + q];
+        }
+    }
+    let mut vs = [1f32; MAX_TILE * MAX_TILE];
+    vs[..N * N].copy_from_slice(fq.v_scales);
+    let mut vqm = [0i32; MAX_TILE * MAX_TILE];
+    vqm[..N * N].copy_from_slice(fq.v_qmaxes);
+
+    let t_per = geom.tiles();
+    let src = xq.data();
+    let mut d = [0f32; MAX_TILE * MAX_TILE];
+    let mut u = [0f32; MAX_TILE * MAX_TILE];
+    let mut v = [0f32; MAX_TILE * MAX_TILE];
+    let mut qv = [0i16; MAX_TILE * MAX_TILE];
+    for img in 0..batch {
+        for ty in 0..geom.tiles_y {
+            let y0 = (ty * geom.m) as isize - geom.pad as isize;
+            for tx in 0..geom.tiles_x {
+                let x0 = (tx * geom.m) as isize - geom.pad as isize;
+                let tile_g = img * t_per + ty * geom.tiles_x + tx;
+                for c in 0..c_in {
+                    // gather d with implicit zero padding (≡ pad_tiles +
+                    // gather_tiles, which read zeros from the pad halo);
+                    // the in-bounds span is copied wholesale, branch-free
+                    let plane = &src[(img * c_in + c) * h * w..][..h * w];
+                    let lo = (-x0).clamp(0, N as isize) as usize;
+                    let hi = (w as isize - x0).clamp(0, N as isize) as usize;
+                    for dy in 0..N {
+                        let yy = y0 + dy as isize;
+                        let row = &mut d[dy * N..dy * N + N];
+                        if yy < 0 || yy >= h as isize || lo >= hi {
+                            row.fill(0.0);
+                            continue;
+                        }
+                        row[..lo].fill(0.0);
+                        row[hi..].fill(0.0);
+                        let srow = yy as usize * w + (x0 + lo as isize) as usize;
+                        row[lo..hi].copy_from_slice(&plane[srow..srow + (hi - lo)]);
+                    }
+                    // u = d·Bᵀᵀ then the flat Q_bd snap (≡ matmul_nt +
+                    // fake_quant). Broadcast-accumulate form: each
+                    // u[p, j] still sums in ascending `q`, bit-identical
+                    // to the GEMM micro-kernel, but the inner loop runs
+                    // over a contiguous row and vectorizes.
+                    u[..N * N].fill(0.0);
+                    for p in 0..N {
+                        let urow = &mut u[p * N..p * N + N];
+                        for q in 0..N {
+                            let dv = d[p * N + q];
+                            let brow = &btt[q * N..q * N + N];
+                            for (cell, &bv) in urow.iter_mut().zip(brow) {
+                                *cell += dv * bv;
+                            }
+                        }
+                    }
+                    for cell in u[..N * N].iter_mut() {
+                        *cell = round_clamp_i32(*cell / fq.s_bd, fq.qmax_bd) as f32 * fq.s_bd;
+                    }
+                    // tap (i, j): v[i, j] = Σ_p bt[i, p]·u[p, j], same
+                    // broadcast form (u rows are contiguous in j), then
+                    // quantized straight into the packed slots (≡
+                    // tile_transpose + matmul_nt + tile_transpose +
+                    // quantize + permute + pack)
+                    v[..N * N].fill(0.0);
+                    for i in 0..N {
+                        let vrow = &mut v[i * N..i * N + N];
+                        for p in 0..N {
+                            let bv = btl[i * N + p];
+                            let urow = &u[p * N..p * N + N];
+                            for (cell, &uv) in vrow.iter_mut().zip(urow) {
+                                *cell += bv * uv;
+                            }
+                        }
+                    }
+                    for (t, cell) in qv[..N * N].iter_mut().enumerate() {
+                        *cell = round_clamp_i32(v[t] / vs[t], vqm[t]) as i16;
+                    }
+                    pb.write_taps(c, tile_g, &qv[..N * N]);
+                }
+            }
+        }
+    }
+}
+
+/// Quantization parameters of the fused output half: the per-tap
+/// fixed-point requantizers onto the Hadamard grid, then the per-layer
+/// `Q(Aᵀ·y)` and `Q(Aᵀ·y·A)` snaps.
+pub(crate) struct BackQuant<'a> {
+    /// Per-tap requantizers (`n²` entries, scale
+    /// `s_filter·s_v / s_hadamard`).
+    pub reqs: &'a [Requantizer],
+    /// Hadamard-site scale.
+    pub s_h: f32,
+    /// `qmax` of the activation bit-width (Hadamard site).
+    pub qmax_h: i32,
+    /// Scale of the `Aᵀ·y` site.
+    pub s_ay: f32,
+    /// `qmax` at the `Aᵀ·y` site.
+    pub qmax_ay: i32,
+    /// Scale of the `Aᵀ·y·A` (output) site.
+    pub s_aya: f32,
+    /// `qmax` at the output site.
+    pub qmax_aya: i32,
+}
+
+/// Fused output half: requantize each tile's `n²` i32 accumulators onto
+/// the Hadamard grid, apply `Aᵀ·y·A` with a `Q(Aᵀ·y)` snap between the
+/// one-sided products, add the bias, snap onto the output grid and write
+/// the cropped `m×m` block into the NCHW output.
+///
+/// `acc` is `[n², K, B·T]` (tap-major, the integer GEMM's output).
+/// Replaces `requantize → permute3 → matmul_nt(at) → fake_quant →
+/// tile_transpose → matmul_nt(at) → tile_transpose → assemble_output →
+/// add_bias_chan → fake_quant`, bit-identically.
+///
+/// # Panics
+///
+/// Panics if shapes disagree with the geometry or `n > MAX_TILE`.
+pub(crate) fn fused_requant_output(
+    acc: &[i32],
+    at: &Tensor,
+    geom: &TileGeometry,
+    batch: usize,
+    out_ch: usize,
+    bias: Option<&[f32]>,
+    bq: &BackQuant,
+) -> Tensor {
+    match (geom.tile(), geom.m) {
+        (4, 2) => back_impl::<4, 2>(acc, at, geom, batch, out_ch, bias, bq),
+        (6, 4) => back_impl::<6, 4>(acc, at, geom, batch, out_ch, bias, bq),
+        (8, 6) => back_impl::<8, 6>(acc, at, geom, batch, out_ch, bias, bq),
+        (n, m) => panic!("fused output transform does not support tile shape ({n}, {m})"),
+    }
+}
+
+#[allow(clippy::too_many_arguments)] // internal monomorphization target of fused_requant_output
+fn back_impl<const N: usize, const M: usize>(
+    acc: &[i32],
+    at: &Tensor,
+    geom: &TileGeometry,
+    batch: usize,
+    out_ch: usize,
+    bias: Option<&[f32]>,
+    bq: &BackQuant,
+) -> Tensor {
+    assert_eq!(at.shape(), &[M, N], "Aᵀ shape mismatch");
+    let t_per = geom.tiles();
+    let total_tiles = batch * t_per;
+    assert_eq!(
+        acc.len(),
+        N * N * out_ch * total_tiles,
+        "accumulator length mismatch"
+    );
+    assert_eq!(bq.reqs.len(), N * N, "requantizer count mismatch");
+    if let Some(b) = bias {
+        assert_eq!(b.len(), out_ch, "bias length mismatch");
+    }
+
+    let mut atl = [0f32; MAX_TILE * MAX_TILE];
+    atl[..M * N].copy_from_slice(at.data());
+    // A itself (Aᵀ transposed, [N, M]): lets the first product broadcast
+    // one `y` element against a contiguous row, vectorizing over `j`
+    let mut att = [0f32; MAX_TILE * MAX_TILE];
+    for j in 0..M {
+        for q in 0..N {
+            att[q * M + j] = atl[j * N + q];
+        }
+    }
+    let mut reqs = [Requantizer::new(1.0); MAX_TILE * MAX_TILE];
+    reqs[..N * N].copy_from_slice(bq.reqs);
+
+    let (oh, ow) = (geom.out_h, geom.out_w);
+    let mut out = Tensor::zeros(&[batch, out_ch, oh, ow]);
+    let dst = out.data_mut();
+    let mut y = [0f32; MAX_TILE * MAX_TILE];
+    let mut u = [0f32; MAX_TILE * MAX_TILE];
+    let mut f = [0f32; MAX_TILE * MAX_TILE];
+    for img in 0..batch {
+        for k in 0..out_ch {
+            let b = bias.map_or(0.0, |b| b[k]);
+            let d0 = (img * out_ch + k) * oh * ow;
+            for ty in 0..geom.tiles_y {
+                let y0 = ty * M;
+                let ylim = M.min(oh.saturating_sub(y0));
+                for tx in 0..geom.tiles_x {
+                    let x0 = tx * M;
+                    let xlim = M.min(ow.saturating_sub(x0));
+                    let tile_g = img * t_per + ty * geom.tiles_x + tx;
+                    // requantize the tile's accumulators onto the
+                    // Hadamard grid (≡ the per-tap Requantizer pass)
+                    for (t, cell) in y[..N * N].iter_mut().enumerate() {
+                        let a = acc[(t * out_ch + k) * total_tiles + tile_g];
+                        *cell = reqs[t].apply_clamped(a, bq.qmax_h) as f32 * bq.s_h;
+                    }
+                    // u = y·Aᵀᵀ then the flat Q_ay snap (≡ matmul_nt +
+                    // fake_quant). Broadcast-accumulate form: ascending
+                    // `q` per element, contiguous inner rows.
+                    u[..N * M].fill(0.0);
+                    for p in 0..N {
+                        let urow = &mut u[p * M..p * M + M];
+                        for q in 0..N {
+                            let yv = y[p * N + q];
+                            let arow = &att[q * M..q * M + M];
+                            for (cell, &av) in urow.iter_mut().zip(arow) {
+                                *cell += yv * av;
+                            }
+                        }
+                    }
+                    for cell in u[..N * M].iter_mut() {
+                        *cell = round_clamp_i32(*cell / bq.s_ay, bq.qmax_ay) as f32 * bq.s_ay;
+                    }
+                    // f[dy, dx] = Σ_p at[dy, p]·u[p, dx], same form
+                    f[..M * M].fill(0.0);
+                    for dy in 0..M {
+                        let frow = &mut f[dy * M..dy * M + M];
+                        for p in 0..N {
+                            let av = atl[dy * N + p];
+                            let urow = &u[p * M..p * M + M];
+                            for (cell, &uv) in frow.iter_mut().zip(urow) {
+                                *cell += av * uv;
+                            }
+                        }
+                    }
+                    // out = Q_aya(f + bias), cropped to the live region
+                    for dy in 0..ylim {
+                        let drow = d0 + (y0 + dy) * ow + x0;
+                        for dx in 0..xlim {
+                            let v = f[dy * M + dx] + b;
+                            dst[drow + dx] =
+                                round_clamp_i32(v / bq.s_aya, bq.qmax_aya) as f32 * bq.s_aya;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wa_nn::Tape;
+    use wa_quant::{fake_quant_scale, quantize_i8_taps, BitWidth};
+    use wa_tensor::SeededRng;
+    use wa_winograd::WinogradTransform;
+
+    /// The op-by-op tape sequence `fused_input_pack` replaces, yielding
+    /// the packed operand it must reproduce bit-for-bit.
+    fn reference_front(
+        xq: &Tensor,
+        bt: &Tensor,
+        geom: &TileGeometry,
+        fq: &FrontQuant,
+        bits: &[BitWidth],
+    ) -> Vec<i8> {
+        let n = geom.tile();
+        let (batch, c_in) = (xq.dim(0), xq.dim(1));
+        let total_tiles = batch * geom.tiles();
+        let mut tape = Tape::new();
+        let x = tape.leaf(xq.clone());
+        let btv = tape.leaf(bt.clone());
+        let xp = tape.pad_tiles(x, *geom);
+        let tiles = tape.gather_tiles(xp, *geom);
+        let rows = total_tiles * c_in;
+        let t1 = tape.reshape(tiles, &[rows * n, n]);
+        let t2 = tape.matmul_nt(t1, btv);
+        let t2q = tape.fake_quant(t2, BitWidth::INT8, fq.s_bd);
+        let t3 = tape.reshape(t2q, &[rows, n * n]);
+        let t4 = tape.tile_transpose(t3, n, n);
+        let t5 = tape.reshape(t4, &[rows * n, n]);
+        let t6 = tape.matmul_nt(t5, btv);
+        let t7 = tape.reshape(t6, &[rows, n * n]);
+        let v_pre = tape.tile_transpose(t7, n, n);
+        let qv = quantize_i8_taps(tape.value(v_pre), bits, fq.v_scales);
+        // permute [B·T·C, n²] → [n², C, B·T]
+        let mut v_p = vec![0i8; qv.len()];
+        for tile in 0..total_tiles {
+            for c in 0..c_in {
+                let src = &qv[(tile * c_in + c) * n * n..][..n * n];
+                for (t, &q) in src.iter().enumerate() {
+                    v_p[(t * c_in + c) * total_tiles + tile] = q;
+                }
+            }
+        }
+        v_p
+    }
+
+    /// The op-by-op tape sequence `fused_requant_output` replaces.
+    #[allow(clippy::too_many_arguments)]
+    fn reference_back(
+        acc: &[i32],
+        at: &Tensor,
+        geom: &TileGeometry,
+        batch: usize,
+        out_ch: usize,
+        bias: Option<&Tensor>,
+        bq: &BackQuant,
+    ) -> Tensor {
+        let n = geom.tile();
+        let m = geom.m;
+        let taps = n * n;
+        let total_tiles = batch * geom.tiles();
+        let block = out_ch * total_tiles;
+        let mut mm = Tensor::zeros(&[taps, out_ch, total_tiles]);
+        let md = mm.data_mut();
+        for (t, chunk) in md.chunks_mut(block).enumerate() {
+            for (d, &a) in chunk.iter_mut().zip(&acc[t * block..]) {
+                *d = bq.reqs[t].apply_clamped(a, bq.qmax_h) as f32 * bq.s_h;
+            }
+        }
+        let mut tape = Tape::new();
+        let mmv = tape.leaf(mm);
+        let atv = tape.leaf(at.clone());
+        let m3 = tape.permute3(mmv, [taps, out_ch, total_tiles], [2, 1, 0]);
+        let orows = total_tiles * out_ch;
+        let m_rows = tape.reshape(m3, &[orows, taps]);
+        let o1 = tape.reshape(m_rows, &[orows * n, n]);
+        let o2 = tape.matmul_nt(o1, atv);
+        let o2q = tape.fake_quant(o2, BitWidth::INT8, bq.s_ay);
+        let o3 = tape.reshape(o2q, &[orows, n * m]);
+        let o4 = tape.tile_transpose(o3, n, m);
+        let o5 = tape.reshape(o4, &[orows * m, n]);
+        let o6 = tape.matmul_nt(o5, atv);
+        let o7 = tape.reshape(o6, &[orows, m * m]);
+        let y_rows = tape.tile_transpose(o7, m, m);
+        let mut y = tape.assemble_output(y_rows, *geom, batch, out_ch);
+        if let Some(b) = bias {
+            let bv = tape.leaf(b.clone());
+            y = tape.add_bias_chan(y, bv);
+        }
+        let yq = tape.fake_quant(y, BitWidth::INT8, bq.s_aya);
+        tape.value(yq).clone()
+    }
+
+    fn geometry_cases() -> Vec<(usize, TileGeometry)> {
+        // (m, geometry): exercises exact tiling, overrun cropping and
+        // pad = 0 alongside the usual "same" padding
+        vec![
+            (4, TileGeometry::for_conv(8, 8, 4, 3, 1)),
+            (4, TileGeometry::for_conv(7, 10, 4, 3, 1)),
+            (2, TileGeometry::for_conv(6, 5, 2, 3, 1)),
+            (2, TileGeometry::for_conv(5, 5, 2, 3, 0)),
+        ]
+    }
+
+    #[test]
+    fn fused_front_matches_op_by_op_pipeline_exactly() {
+        let mut rng = SeededRng::new(97);
+        for (m, geom) in geometry_cases() {
+            let n = geom.tile();
+            let taps = n * n;
+            let (batch, c_in) = (2usize, 3usize);
+            let tr = WinogradTransform::cook_toom(m, 3);
+            let bt = tr.bt().clone();
+            let xq = rng.uniform_tensor(&[batch, c_in, geom.in_h, geom.in_w], -1.0, 1.0);
+            // snap the input like the real pipeline (values on a grid)
+            let xq = fake_quant_scale(&xq, BitWidth::INT8, 1.0 / 127.0);
+            let v_scales: Vec<f32> = (0..taps).map(|t| 0.01 + 0.003 * t as f32).collect();
+            let v_qmaxes = vec![BitWidth::INT8.qmax(); taps];
+            let bits = vec![BitWidth::INT8; taps];
+            let fq = FrontQuant {
+                s_bd: 0.021,
+                qmax_bd: BitWidth::INT8.qmax(),
+                v_scales: &v_scales,
+                v_qmaxes: &v_qmaxes,
+            };
+            let total_tiles = batch * geom.tiles();
+            let mut pb = PackedBI8::zeroed(taps, c_in, total_tiles);
+            fused_input_pack(&xq, &bt, &geom, &fq, &mut pb);
+            let reference = reference_front(&xq, &bt, &geom, &fq, &bits);
+            assert_eq!(
+                pb.unpack(),
+                reference,
+                "m={m} geom {}x{}",
+                geom.in_h,
+                geom.in_w
+            );
+        }
+    }
+
+    #[test]
+    fn fused_back_matches_op_by_op_pipeline_exactly() {
+        let mut rng = SeededRng::new(131);
+        for (m, geom) in geometry_cases() {
+            let n = geom.tile();
+            let taps = n * n;
+            let (batch, out_ch) = (2usize, 4usize);
+            let tr = WinogradTransform::cook_toom(m, 3);
+            let at = tr.at().clone();
+            let total_tiles = batch * geom.tiles();
+            let acc: Vec<i32> = (0..taps * out_ch * total_tiles)
+                .map(|_| rng.uniform(-40_000.0, 40_000.0) as i32)
+                .collect();
+            let reqs: Vec<Requantizer> = (0..taps)
+                .map(|t| Requantizer::new(2.4e-4 + 1e-5 * t as f64))
+                .collect();
+            let bias = rng.uniform_tensor(&[out_ch], -0.3, 0.3);
+            let bq = BackQuant {
+                reqs: &reqs,
+                s_h: 0.034,
+                qmax_h: BitWidth::INT8.qmax(),
+                s_ay: 0.055,
+                qmax_ay: BitWidth::INT8.qmax(),
+                s_aya: 0.042,
+                qmax_aya: BitWidth::INT8.qmax(),
+            };
+            for bias in [None, Some(&bias)] {
+                let fused = fused_requant_output(
+                    &acc,
+                    &at,
+                    &geom,
+                    batch,
+                    out_ch,
+                    bias.map(|b| b.data()),
+                    &bq,
+                );
+                let reference = reference_back(&acc, &at, &geom, batch, out_ch, bias, &bq);
+                assert_eq!(fused.shape(), reference.shape());
+                assert_eq!(
+                    fused.data(),
+                    reference.data(),
+                    "m={m} geom {}x{} bias={}",
+                    geom.in_h,
+                    geom.in_w,
+                    bias.is_some()
+                );
+            }
+        }
+    }
+}

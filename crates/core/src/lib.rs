@@ -59,6 +59,7 @@
 //! ```
 
 mod conv_layer;
+mod int8_pipeline;
 mod spec;
 mod trainer;
 mod winograd_layer;

@@ -108,6 +108,9 @@ impl ConvSpec {
         nonzero("out_channels", self.out_channels)?;
         nonzero("kernel", self.kernel)?;
         nonzero("stride", self.stride)?;
+        if let Some(reason) = self.quant.int8_incompatibility() {
+            return Err(WaError::invalid("ConvSpec", "quant.execution", reason));
+        }
         validate_algo_geometry(self.algo, self.kernel, self.stride)
     }
 

@@ -1,15 +1,18 @@
 //! The Winograd-aware convolution layer (paper §3.2, Figure 2).
 
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use wa_nn::{
     infer_quant, infer_quant_taps, observe_quant, observe_quant_taps, Infer, Layer, Param,
     QuantConfig, QuantStateMut, Tape, Var, WaError,
 };
-use wa_quant::{BitWidth, Observer, TapPolicy, TapQuant};
-use wa_tensor::{SeededRng, Tensor};
+use wa_quant::{quantize_i8_taps, BitWidth, Execution, Observer, Requantizer, TapPolicy, TapQuant};
+use wa_tensor::{gemm_i8_prepacked, PackedAI8, PackedBI8, SeededRng, Tensor};
 use wa_winograd::{TileGeometry, WinogradTransform};
 
+use crate::int8_pipeline::{
+    fused_input_pack, fused_requant_output, supports_tile, BackQuant, FrontQuant,
+};
 use crate::spec::ConvSpec;
 
 /// Identifies one quantization point `Qx` of Figure 2.
@@ -102,6 +105,48 @@ impl WinogradObservers {
             QuantSite::Ay => &mut self.ay,
             QuantSite::Aya => &mut self.aya,
         }
+    }
+}
+
+/// Prepacked integer Winograd-domain filter for the [`Execution::Int8`]
+/// path: the memoized `G·g·Gᵀ` rows re-quantized to `i8` (exact when the
+/// weight-side sites are calibrated — the cached values already sit on
+/// the quantization grid), permuted into `[n², K, C]` order and packed
+/// once into the [`gemm_i8_prepacked`] left-operand layout (widened
+/// i16), together with the per-tap scales they were quantized under (a
+/// per-layer site broadcasts its one scale). Packing at cache-build time
+/// keeps the per-inference GEMM free of operand widening — the filter is
+/// the large static side (`n²·K·C` elements, ~9.4M on a deep ResNet
+/// layer), so repacking it per call dominated the integer middle.
+#[derive(Debug)]
+struct Int8Filter {
+    /// Taps in `[n², K, C]` order, prepacked for the integer GEMM.
+    packed: PackedAI8,
+    /// One scale per tap position (`n²` entries).
+    scales: Vec<f32>,
+}
+
+/// A warm view of tap-wise calibration state: the state itself if it has
+/// observed anything, otherwise a one-off clone warmed on the tensor at
+/// hand (the tap-wise analogue of `infer_quant`'s cold-observer
+/// fallback).
+fn warm_taps(tq: &TapQuant, x: &Tensor) -> TapQuant {
+    let mut t = tq.clone();
+    if t.observations() == 0 {
+        t.observe(x);
+    }
+    t
+}
+
+/// A warm per-layer scale: the observer's settled scale, or the one-off
+/// fallback a cold observer would derive from the tensor at hand.
+fn warm_scale(obs: &Observer, bits: BitWidth, x: &Tensor) -> f32 {
+    if obs.observations() > 0 {
+        obs.scale(bits)
+    } else {
+        let mut tmp = obs.clone();
+        tmp.observe(x);
+        tmp.scale(bits)
     }
 }
 
@@ -338,6 +383,11 @@ pub struct WinogradAwareConv2d {
     /// public parameter fields directly must call
     /// [`WinogradAwareConv2d::invalidate_filter_cache`].
     filter_cache: Mutex<Option<(QuantConfig, Tensor)>>,
+    /// Memoized [`Int8Filter`] for the [`Execution::Int8`] path, derived
+    /// from [`WinogradAwareConv2d::cached_filter`] and shared across
+    /// [`wa_nn::BatchExecutor`] workers as an `Arc` handle. Invalidated
+    /// together with `filter_cache`.
+    filter_cache_i8: Mutex<Option<(QuantConfig, Arc<Int8Filter>)>>,
 }
 
 impl WinogradAwareConv2d {
@@ -424,6 +474,7 @@ impl WinogradAwareConv2d {
             pad: spec.pad,
             obs: WinogradObservers::new(m + r - 1),
             filter_cache: Mutex::new(None),
+            filter_cache_i8: Mutex::new(None),
         })
     }
 
@@ -514,6 +565,10 @@ impl WinogradAwareConv2d {
             .filter_cache
             .get_mut()
             .expect("filter cache lock poisoned") = None;
+        *self
+            .filter_cache_i8
+            .get_mut()
+            .expect("int8 filter cache lock poisoned") = None;
     }
 
     /// The quantized `G·g·Gᵀ` rows for the current weights/quant config,
@@ -554,6 +609,335 @@ impl WinogradAwareConv2d {
         let value = tape.value(u).clone();
         *guard = Some((self.quant, value.clone()));
         value
+    }
+
+    /// Rejects tap bit-widths the `i8` kernel cannot carry (`FP32` or
+    /// wider than 8 bits), naming the offending Winograd-domain site.
+    fn check_tap_bits(&self, site: &str, bits: &[BitWidth]) -> Result<(), WaError> {
+        for &b in bits {
+            let bad = match b {
+                BitWidth::Fp32 => true,
+                b => b.qmax() > i8::MAX as i32,
+            };
+            if bad {
+                return Err(WaError::invalid(
+                    "WinogradAwareConv2d",
+                    "quant.execution",
+                    format!(
+                        "`{}`: int8 execution requires every {site} tap at \
+                         most 8 bits, got {b}",
+                        self.weight.name
+                    ),
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// The prepacked integer filter for the current weights/quant config.
+    /// Re-quantizing [`WinogradAwareConv2d::cached_filter`] is exact on
+    /// calibrated state: the cached values already sit on the `G·g·Gᵀ`
+    /// site's grid, so `round(q·s/s) = q` recovers the integers
+    /// bit-for-bit. (A never-calibrated site derives a one-off scale from
+    /// the quantized rows themselves, which may drift sub-quantum — the
+    /// serving path refuses uncalibrated int8 checkpoints before this
+    /// matters.)
+    fn cached_filter_i8(&self) -> Result<Arc<Int8Filter>, WaError> {
+        {
+            let guard = self
+                .filter_cache_i8
+                .lock()
+                .expect("int8 filter cache lock poisoned");
+            if let Some((q, f)) = &*guard {
+                if *q == self.quant {
+                    return Ok(f.clone());
+                }
+            }
+        }
+        // derive outside the i8 lock: cached_filter takes its own lock
+        let u = self.cached_filter(); // [K·C, n²], values on the Ggt grid
+        let taps = self.input_tile() * self.input_tile();
+        let wbits = self.quant.weights;
+        let (u_bits, u_scales) = match self.quant.transform {
+            TapPolicy::PerTap => {
+                let tq = warm_taps(&self.obs.ggt_taps, &u);
+                let bits = tq.effective_bits(wbits);
+                let scales = tq.scales_for(&bits);
+                (bits, scales)
+            }
+            TapPolicy::PerLayer => {
+                let s = warm_scale(&self.obs.ggt, wbits, &u);
+                (vec![wbits; taps], vec![s; taps])
+            }
+        };
+        self.check_tap_bits("G·g·Gᵀ", &u_bits)?;
+        let q_rows = quantize_i8_taps(&u, &u_bits, &u_scales);
+        // permute [K·C, n²] → [n², K, C], the reference's `u_p` layout
+        let (out_ch, in_ch) = (self.out_channels(), self.in_channels());
+        let mut data = vec![0i8; out_ch * in_ch * taps];
+        for k in 0..out_ch {
+            for c in 0..in_ch {
+                let src = &q_rows[(k * in_ch + c) * taps..][..taps];
+                for (t, &q) in src.iter().enumerate() {
+                    data[(t * out_ch + k) * in_ch + c] = q;
+                }
+            }
+        }
+        let f = Arc::new(Int8Filter {
+            packed: PackedAI8::pack(&data, taps, out_ch, in_ch),
+            scales: u_scales,
+        });
+        let mut guard = self
+            .filter_cache_i8
+            .lock()
+            .expect("int8 filter cache lock poisoned");
+        *guard = Some((self.quant, f.clone()));
+        Ok(f)
+    }
+
+    /// The [`Execution::Int8`] inference pass. Numerically the pipeline
+    /// is: f32 front half identical to the reference up to `Q(Bᵀ·d·B)`,
+    /// then quantize per tap, batched `i8×i8→i32` GEMM against the
+    /// memoized integer filter, fixed-point requantize onto the Hadamard
+    /// grid, and an f32 back half identical to the reference from there.
+    /// Per element the Hadamard-site output is within 1 quantum of its
+    /// scale of the reference (exact integer arithmetic plus the
+    /// [`Requantizer`]'s ±1 sliver).
+    ///
+    /// On a **calibrated** layer the halves run as fused eager kernels
+    /// ([`fused_input_pack`] / [`fused_requant_output`]) that walk the
+    /// tiles once and write straight into the packed GEMM operand /
+    /// final output — bit-identical to the op-by-op tape sequence (the
+    /// f32 GEMM accumulates in ascending-`k` order, and the fused dot
+    /// products replicate it), but without materializing the ~10
+    /// intermediate tensors per convolution. A layer with any cold
+    /// quantization site falls back to the op-by-op pipeline, whose
+    /// observer semantics (one-off scales derived from the tensor at
+    /// hand) need the full intermediates.
+    fn infer_int8(&self, tape: &mut Tape, x: Var) -> Result<Var, WaError> {
+        if let Some(reason) = self.quant.int8_incompatibility() {
+            return Err(WaError::invalid(
+                "WinogradAwareConv2d",
+                "quant.execution",
+                format!("`{}`: {reason}", self.weight.name),
+            ));
+        }
+        let cfg = self.pipeline_cfg();
+        let (m, r) = (cfg.m, cfg.r);
+        let n = m + r - 1;
+        let taps = n * n;
+        let (batch, h, w_sp) = {
+            let v = tape.value(x);
+            (v.dim(0), v.dim(2), v.dim(3))
+        };
+        let geom = TileGeometry::for_conv(h, w_sp, m, r, cfg.pad);
+        let total_tiles = batch * geom.tiles();
+        let (in_ch, out_ch) = (cfg.in_ch, cfg.out_ch);
+        let abits = cfg.abits;
+
+        let warm = self.obs.bd.observations() > 0
+            && self.obs.hadamard.observations() > 0
+            && self.obs.ay.observations() > 0
+            && self.obs.aya.observations() > 0
+            && match self.quant.transform {
+                TapPolicy::PerTap => self.obs.bdb_taps.observations() > 0,
+                TapPolicy::PerLayer => self.obs.bdb.observations() > 0,
+            };
+        if warm && supports_tile(n, m) {
+            return self.infer_int8_fused(tape, x, &geom);
+        }
+
+        // -- f32 front half: identical ops to the reference up to (but
+        //    not including) the Q(Bᵀ·d·B) site
+        let xq = infer_quant(tape, x, abits, &self.obs.input);
+        let bt = tape.param_ref(&self.bt);
+        let v_pre = {
+            let _span = wa_obs::stage_span!("winograd.input_transform");
+            let xp = tape.pad_tiles(xq, geom);
+            let tiles = tape.gather_tiles(xp, geom); // [B·T·C, n²]
+            let rows = total_tiles * in_ch;
+            let t1 = tape.reshape(tiles, &[rows * n, n]);
+            let t2 = tape.matmul_nt(t1, bt);
+            let t2q = infer_quant(tape, t2, abits, &self.obs.bd);
+            let t3 = tape.reshape(t2q, &[rows, n * n]);
+            let t4 = tape.tile_transpose(t3, n, n);
+            let t5 = tape.reshape(t4, &[rows * n, n]);
+            let t6 = tape.matmul_nt(t5, bt);
+            let t7 = tape.reshape(t6, &[rows, n * n]);
+            tape.tile_transpose(t7, n, n) // BᵀdB, pre-quant
+        };
+
+        // -- integer middle: Q(Bᵀ·d·B) to i8 per tap, one i8 GEMM per
+        //    Winograd coordinate, requantize onto the Hadamard grid
+        let filter = self.cached_filter_i8()?;
+        let mm_t = {
+            let _span = wa_obs::stage_span!("int8.winograd_gemm");
+            let v_t = tape.value(v_pre);
+            let (v_bits, v_scales) = match self.quant.transform {
+                TapPolicy::PerTap => {
+                    let tq = warm_taps(&self.obs.bdb_taps, v_t);
+                    let bits = tq.effective_bits(abits);
+                    let scales = tq.scales_for(&bits);
+                    (bits, scales)
+                }
+                TapPolicy::PerLayer => {
+                    let s = warm_scale(&self.obs.bdb, abits, v_t);
+                    (vec![abits; taps], vec![s; taps])
+                }
+            };
+            self.check_tap_bits("Bᵀ·d·B", &v_bits)?;
+            let qv_rows = quantize_i8_taps(v_t, &v_bits, &v_scales);
+            // permute [B·T·C, n²] → [n², C, T], the reference's `v_p`
+            let mut v_p = vec![0i8; total_tiles * in_ch * taps];
+            for tile in 0..total_tiles {
+                for c in 0..in_ch {
+                    let src = &qv_rows[(tile * in_ch + c) * taps..][..taps];
+                    for (t, &q) in src.iter().enumerate() {
+                        v_p[(t * in_ch + c) * total_tiles + tile] = q;
+                    }
+                }
+            }
+            let pb = PackedBI8::pack(&v_p, taps, in_ch, total_tiles);
+            let mut acc = vec![0i32; taps * out_ch * total_tiles];
+            gemm_i8_prepacked(&filter.packed, &pb, &mut acc);
+            let block = out_ch * total_tiles;
+            let s_h = if self.obs.hadamard.observations() > 0 {
+                self.obs.hadamard.scale(abits)
+            } else {
+                // cold one-off: dequantize the accumulator and let a
+                // scratch observer derive the range, like infer_quant
+                // would from the f32 product
+                let mut pre = Tensor::zeros(&[taps, out_ch, total_tiles]);
+                let pd = pre.data_mut();
+                for (t, chunk) in pd.chunks_mut(block).enumerate() {
+                    let sq = filter.scales[t] as f64 * v_scales[t] as f64;
+                    for (d, &a) in chunk.iter_mut().zip(&acc[t * block..]) {
+                        *d = (a as f64 * sq) as f32;
+                    }
+                }
+                let mut tmp = self.obs.hadamard.clone();
+                tmp.observe(&pre);
+                tmp.scale(abits)
+            };
+            let qmax_h = abits.qmax();
+            let mut mm = Tensor::zeros(&[taps, out_ch, total_tiles]);
+            let md = mm.data_mut();
+            for (t, chunk) in md.chunks_mut(block).enumerate() {
+                let req =
+                    Requantizer::new(filter.scales[t] as f64 * v_scales[t] as f64 / s_h as f64);
+                for (d, &a) in chunk.iter_mut().zip(&acc[t * block..]) {
+                    *d = req.apply_clamped(a, qmax_h) as f32 * s_h;
+                }
+            }
+            mm
+        };
+
+        // -- f32 back half: identical ops to the reference from the
+        //    post-Hadamard permute onwards
+        let mm = tape.leaf(mm_t);
+        let at = tape.param_ref(&self.at);
+        let _span = wa_obs::stage_span!("winograd.output_transform");
+        let m3 = tape.permute3(mm, [taps, out_ch, total_tiles], [2, 1, 0]); // [T, K, n²]
+        let orows = total_tiles * out_ch;
+        let m_rows = tape.reshape(m3, &[orows, taps]);
+        let o1 = tape.reshape(m_rows, &[orows * n, n]);
+        let o2 = tape.matmul_nt(o1, at);
+        let o2q = infer_quant(tape, o2, abits, &self.obs.ay);
+        let o3 = tape.reshape(o2q, &[orows, n * m]);
+        let o4 = tape.tile_transpose(o3, n, m);
+        let o5 = tape.reshape(o4, &[orows * m, n]);
+        let o6 = tape.matmul_nt(o5, at);
+        let o7 = tape.reshape(o6, &[orows, m * m]);
+        let y_rows = tape.tile_transpose(o7, m, m);
+        let mut y = tape.assemble_output(y_rows, geom, batch, out_ch);
+        if let Some(b) = self.bias.as_ref() {
+            let bv = tape.param_ref(b);
+            y = tape.add_bias_chan(y, bv);
+        }
+        Ok(infer_quant(tape, y, abits, &self.obs.aya))
+    }
+
+    /// The fused [`Execution::Int8`] pass for a calibrated layer: one
+    /// eager tile walk per half plus the prepacked integer GEMM. Every
+    /// quantization site must be warm and `n ≤ MAX_TILE` (the caller's
+    /// dispatch guarantees both). Bit-identical to the op-by-op path —
+    /// the `int8_pipeline` unit tests pin the equivalence with `==`.
+    fn infer_int8_fused(
+        &self,
+        tape: &mut Tape,
+        x: Var,
+        geom: &TileGeometry,
+    ) -> Result<Var, WaError> {
+        let n = geom.tile();
+        let taps = n * n;
+        let abits = self.quant.activations;
+        let qmax_a = abits.qmax();
+        let (batch, in_ch, out_ch) = (
+            tape.value(x).dim(0),
+            self.in_channels(),
+            self.out_channels(),
+        );
+        let total_tiles = batch * geom.tiles();
+        let filter = self.cached_filter_i8()?;
+
+        let xq = infer_quant(tape, x, abits, &self.obs.input);
+
+        // per-tap grids at Q(Bᵀ·d·B) — the sites are warm by dispatch
+        let (v_bits, v_scales) = match self.quant.transform {
+            TapPolicy::PerTap => {
+                let bits = self.obs.bdb_taps.effective_bits(abits);
+                let scales = self.obs.bdb_taps.scales_for(&bits);
+                (bits, scales)
+            }
+            TapPolicy::PerLayer => (vec![abits; taps], vec![self.obs.bdb.scale(abits); taps]),
+        };
+        self.check_tap_bits("Bᵀ·d·B", &v_bits)?;
+        let v_qmaxes: Vec<i32> = v_bits.iter().map(|b| b.qmax()).collect();
+
+        let mut pb = PackedBI8::zeroed(taps, in_ch, total_tiles);
+        {
+            let _span = wa_obs::stage_span!("winograd.input_transform");
+            let fq = FrontQuant {
+                s_bd: self.obs.bd.scale(abits),
+                qmax_bd: qmax_a,
+                v_scales: &v_scales,
+                v_qmaxes: &v_qmaxes,
+            };
+            fused_input_pack(tape.value(xq), &self.bt.value, geom, &fq, &mut pb);
+        }
+
+        let mut acc = vec![0i32; taps * out_ch * total_tiles];
+        {
+            let _span = wa_obs::stage_span!("int8.winograd_gemm");
+            gemm_i8_prepacked(&filter.packed, &pb, &mut acc);
+        }
+
+        let s_h = self.obs.hadamard.scale(abits);
+        let reqs: Vec<Requantizer> = (0..taps)
+            .map(|t| Requantizer::new(filter.scales[t] as f64 * v_scales[t] as f64 / s_h as f64))
+            .collect();
+        let y = {
+            let _span = wa_obs::stage_span!("winograd.output_transform");
+            let bq = BackQuant {
+                reqs: &reqs,
+                s_h,
+                qmax_h: qmax_a,
+                s_ay: self.obs.ay.scale(abits),
+                qmax_ay: qmax_a,
+                s_aya: self.obs.aya.scale(abits),
+                qmax_aya: qmax_a,
+            };
+            fused_requant_output(
+                &acc,
+                &self.at.value,
+                geom,
+                batch,
+                out_ch,
+                self.bias.as_ref().map(|b| b.value.data()),
+                &bq,
+            )
+        };
+        Ok(tape.leaf(y))
     }
 
     fn pipeline_cfg(&self) -> PipelineCfg {
@@ -711,6 +1095,9 @@ impl Layer for WinogradAwareConv2d {
 impl Infer for WinogradAwareConv2d {
     fn infer(&self, tape: &mut Tape, x: Var) -> Result<Var, WaError> {
         self.check_input(tape.value(x).shape())?;
+        if self.quant.execution == Execution::Int8 {
+            return self.infer_int8(tape, x);
+        }
         let cfg = self.pipeline_cfg();
         let u_rows = tape.leaf(self.cached_filter());
         let vars = PipelineVars {

@@ -25,7 +25,7 @@
 
 use wa_core::{validate_algo_geometry, ConvAlgo};
 use wa_nn::{QuantConfig, WaError};
-use wa_quant::{BitWidth, TapPolicy};
+use wa_quant::{BitWidth, Execution, TapPolicy};
 use wa_tensor::Json;
 
 /// Validated configuration of a model-zoo network.
@@ -126,6 +126,7 @@ impl ModelSpec {
                     ("activations", self.quant.activations.to_string()),
                     ("weights", self.quant.weights.to_string()),
                     ("transform", self.quant.transform.to_string()),
+                    ("execution", self.quant.execution.to_string()),
                 ]),
             ),
             ("algo", Json::from(self.algo.to_string())),
@@ -218,10 +219,26 @@ impl ModelSpec {
                             invalid("quant.transform", e.to_string())
                         })?,
                 };
+                let execution = match q.get("execution") {
+                    None => Execution::FakeQuant,
+                    Some(v) => v
+                        .as_str()
+                        .ok_or_else(|| {
+                            invalid(
+                                "quant.execution",
+                                format!("expected an execution mode string, got {v}"),
+                            )
+                        })?
+                        .parse()
+                        .map_err(|e: wa_quant::ParseExecutionError| {
+                            invalid("quant.execution", e.to_string())
+                        })?,
+                };
                 QuantConfig {
                     activations: bits("activations", "quant.activations")?,
                     weights: bits("weights", "quant.weights")?,
                     transform,
+                    execution,
                 }
             }
         };
@@ -396,6 +413,7 @@ mod tests {
                 activations: BitWidth::INT8,
                 weights: BitWidth::INT10,
                 transform: TapPolicy::PerTap,
+                execution: Execution::FakeQuant,
             })
             .algo(ConvAlgo::WinogradFlex { m: 4 })
             .override_layer(1, ConvAlgo::Im2row)

@@ -1,6 +1,6 @@
 //! Parameterized layers built on the tape.
 
-use wa_quant::{BitWidth, Observer, TapPolicy, TapQuant};
+use wa_quant::{BitWidth, Execution, Observer, TapPolicy, TapQuant};
 use wa_tensor::{SeededRng, Tensor};
 
 use crate::error::WaError;
@@ -27,6 +27,12 @@ pub struct QuantConfig {
     pub weights: BitWidth,
     /// Transform-domain scaling policy for Winograd-aware layers.
     pub transform: TapPolicy,
+    /// How the quantized layer *executes* at inference time: f32
+    /// fake-quant simulation (the default, and always the training
+    /// semantics) or the true integer path (i8 storage, i8×i8→i32
+    /// GEMM, fixed-point requantization). Only convolution layers have
+    /// an integer kernel; other layers ignore the mode.
+    pub execution: Execution,
 }
 
 impl QuantConfig {
@@ -35,6 +41,7 @@ impl QuantConfig {
         activations: BitWidth::Fp32,
         weights: BitWidth::Fp32,
         transform: TapPolicy::PerLayer,
+        execution: Execution::FakeQuant,
     };
 
     /// Uniform precision for weights and activations, as the paper's
@@ -44,6 +51,7 @@ impl QuantConfig {
             activations: bits,
             weights: bits,
             transform: TapPolicy::PerLayer,
+            execution: Execution::FakeQuant,
         }
     }
 
@@ -59,9 +67,40 @@ impl QuantConfig {
         self
     }
 
+    /// Returns a copy with a different inference execution mode.
+    pub fn with_execution(mut self, execution: Execution) -> QuantConfig {
+        self.execution = execution;
+        self
+    }
+
     /// Whether any quantization is active.
     pub fn is_quantized(&self) -> bool {
         !self.activations.is_float() || !self.weights.is_float()
+    }
+
+    /// Why this config cannot run on the true integer path, if it
+    /// cannot: [`Execution::Int8`] needs *both* activations and weights
+    /// at integer widths of at most 8 bits (values must fit `i8`
+    /// storage and `pmaddwd`'s i16 operands). Returns `None` when the
+    /// config is not int8 or is int8-compatible.
+    pub fn int8_incompatibility(&self) -> Option<String> {
+        if self.execution != Execution::Int8 {
+            return None;
+        }
+        for (what, bits) in [("activations", self.activations), ("weights", self.weights)] {
+            match bits {
+                BitWidth::Fp32 => {
+                    return Some(format!("int8 execution requires integer {what}, got FP32"))
+                }
+                b if b.qmax() > i8::MAX as i32 => {
+                    return Some(format!(
+                        "int8 execution requires {what} of at most 8 bits, got {b}"
+                    ))
+                }
+                _ => {}
+            }
+        }
+        None
     }
 }
 
@@ -270,6 +309,14 @@ pub struct Conv2d {
     obs_in: Observer,
     obs_w: Observer,
     obs_out: Observer,
+    /// Memoized prepacked `i8` weight for the [`Execution::Int8`] path,
+    /// tagged with the [`QuantConfig`] it was quantized under. Weights
+    /// are constant across a batch, so the [`Infer`] path quantizes once
+    /// and shares the buffer (an `Arc` bump per chunk) across every
+    /// [`crate::BatchExecutor`] worker. Invalidated by every `&mut self`
+    /// path that can change the derivation, like the Winograd layer's
+    /// filter cache.
+    qweight_cache: std::sync::Mutex<Option<(QuantConfig, std::sync::Arc<wa_quant::QTensor>)>>,
 }
 
 impl Conv2d {
@@ -304,6 +351,7 @@ impl Conv2d {
             obs_in: Observer::default(),
             obs_w: Observer::default(),
             obs_out: Observer::default(),
+            qweight_cache: std::sync::Mutex::new(None),
         })
     }
 
@@ -331,6 +379,68 @@ impl Conv2d {
                 o.unfreeze()
             }
         }
+        self.invalidate_qweight_cache();
+    }
+
+    /// Drops the memoized prepacked `i8` weight. Called internally by
+    /// every `&mut self` path of the [`Layer`] API; only needed
+    /// explicitly after mutating the public `weight` field or observers
+    /// outside that API.
+    pub fn invalidate_qweight_cache(&mut self) {
+        *self
+            .qweight_cache
+            .get_mut()
+            .expect("qweight cache lock poisoned") = None;
+    }
+
+    /// The prepacked `i8` weight for the current weights/quant config,
+    /// quantized once and memoized (shared handle per caller).
+    fn cached_qweight(&self) -> std::sync::Arc<wa_quant::QTensor> {
+        let mut guard = self
+            .qweight_cache
+            .lock()
+            .expect("qweight cache lock poisoned");
+        if let Some((q, t)) = &*guard {
+            if *q == self.quant {
+                return t.clone();
+            }
+        }
+        let s_w = crate::int8::observer_scale(&self.obs_w, self.quant.weights, &self.weight.value);
+        let qt = std::sync::Arc::new(wa_quant::QTensor::quantize(
+            &self.weight.value,
+            self.quant.weights,
+            s_w,
+        ));
+        *guard = Some((self.quant, qt.clone()));
+        qt
+    }
+
+    /// The integer forward: quantize → `gemm_i8` → requantize, inserted
+    /// into the tape as a constant leaf (the [`Infer`] path records no
+    /// gradients, so eager evaluation is equivalent).
+    fn infer_int8(&self, tape: &mut Tape, x: Var) -> Result<Var, WaError> {
+        if let Some(reason) = self.quant.int8_incompatibility() {
+            return Err(WaError::invalid(
+                "Conv2d",
+                "quant.execution",
+                format!("`{}`: {reason}", self.weight.name),
+            ));
+        }
+        let xt = tape.value(x).clone();
+        let abits = self.quant.activations;
+        let s_in = crate::int8::observer_scale(&self.obs_in, abits, &xt);
+        let qw = self.cached_qweight();
+        let y = crate::int8::conv2d_int8(
+            &xt,
+            &qw,
+            self.bias.as_ref().map(|b| &b.value),
+            self.stride,
+            self.pad,
+            s_in,
+            abits,
+            &self.obs_out,
+        );
+        Ok(tape.leaf(y))
     }
 }
 
@@ -449,6 +559,7 @@ impl Layer for Conv2d {
     }
 
     fn forward(&mut self, tape: &mut Tape, x: Var, train: bool) -> Var {
+        self.invalidate_qweight_cache();
         let geom = self.geom();
         let wv = tape.param(&mut self.weight);
         let bias = self.bias.as_mut().map(|b| tape.param(b));
@@ -462,6 +573,7 @@ impl Layer for Conv2d {
     }
 
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.invalidate_qweight_cache();
         f(&mut self.weight);
         if let Some(b) = &mut self.bias {
             f(b);
@@ -469,12 +581,14 @@ impl Layer for Conv2d {
     }
 
     fn reset_statistics(&mut self) {
+        self.invalidate_qweight_cache();
         self.obs_in.reset();
         self.obs_w.reset();
         self.obs_out.reset();
     }
 
     fn visit_quant_state(&mut self, f: &mut dyn FnMut(&str, QuantStateMut<'_>)) {
+        self.invalidate_qweight_cache();
         let prefix = self.weight.name.trim_end_matches(".weight").to_string();
         f(
             &format!("{prefix}.q.input"),
@@ -494,6 +608,9 @@ impl Layer for Conv2d {
 impl Infer for Conv2d {
     fn infer(&self, tape: &mut Tape, x: Var) -> Result<Var, WaError> {
         self.check_input(tape.value(x).shape())?;
+        if self.quant.execution == Execution::Int8 {
+            return self.infer_int8(tape, x);
+        }
         let geom = self.geom();
         let wv = tape.param_ref(&self.weight);
         let bias = self.bias.as_ref().map(|b| tape.param_ref(b));

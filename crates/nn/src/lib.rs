@@ -55,6 +55,7 @@
 mod checkpoint;
 mod error;
 pub mod executor;
+pub(crate) mod int8;
 mod layers;
 mod metrics;
 mod optim;

@@ -77,7 +77,11 @@ impl Conv2dSpec {
         nonzero("in_channels", self.in_channels)?;
         nonzero("out_channels", self.out_channels)?;
         nonzero("kernel", self.kernel)?;
-        nonzero("stride", self.stride)
+        nonzero("stride", self.stride)?;
+        if let Some(reason) = self.quant.int8_incompatibility() {
+            return Err(WaError::invalid("Conv2dSpec", "quant.execution", reason));
+        }
+        Ok(())
     }
 }
 

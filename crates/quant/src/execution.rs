@@ -1,0 +1,88 @@
+//! Execution-mode selector: fake-quant simulation vs the true integer path.
+
+/// How a quantized layer *executes* at inference time.
+///
+/// Training always runs fake-quant (STE needs f32 gradients); this knob
+/// selects the arithmetic of the read-only `Infer` path:
+///
+/// * [`Execution::FakeQuant`] — the default: every site
+///   quantize-dequantizes in f32, so "INT8" costs exactly what f32
+///   costs. This is the reference semantics the paper trains against.
+/// * [`Execution::Int8`] — the deployment path: weights and the
+///   Winograd-domain filter are stored as `i8`, activations are
+///   quantized to `i8` on entry, the GEMM accumulates `i8×i8→i32`, and
+///   results are requantized with a fixed-point multiplier+shift
+///   ([`crate::Requantizer`]). Requires integer activation/weight
+///   widths of at most 8 bits.
+///
+/// # Example
+///
+/// ```
+/// use wa_quant::Execution;
+///
+/// assert_eq!("int8".parse::<Execution>().unwrap(), Execution::Int8);
+/// assert_eq!(Execution::default(), Execution::FakeQuant);
+/// assert_eq!(Execution::Int8.to_string(), "int8");
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Execution {
+    /// Quantize-dequantize in f32 (simulation; the training semantics).
+    #[default]
+    FakeQuant,
+    /// True integer arithmetic: i8 storage, i32 accumulation,
+    /// fixed-point requantization.
+    Int8,
+}
+
+impl std::fmt::Display for Execution {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Execution::FakeQuant => "fake-quant",
+            Execution::Int8 => "int8",
+        })
+    }
+}
+
+/// Error for unrecognized [`Execution`] strings.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseExecutionError(
+    /// The rejected input.
+    pub String,
+);
+
+impl std::fmt::Display for ParseExecutionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unrecognized execution mode `{}` (expected `fake-quant` or `int8`)",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for ParseExecutionError {}
+
+impl std::str::FromStr for Execution {
+    type Err = ParseExecutionError;
+
+    fn from_str(s: &str) -> Result<Execution, ParseExecutionError> {
+        match s.to_ascii_lowercase().as_str() {
+            "fake-quant" | "fakequant" | "fake_quant" => Ok(Execution::FakeQuant),
+            "int8" => Ok(Execution::Int8),
+            _ => Err(ParseExecutionError(s.to_string())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        for e in [Execution::FakeQuant, Execution::Int8] {
+            assert_eq!(e.to_string().parse::<Execution>().unwrap(), e);
+        }
+        assert!("int4".parse::<Execution>().is_err());
+    }
+}

@@ -19,6 +19,11 @@
 //!   one bit-width) per tap position of the `n×n` transformed tile
 //!   (Tap-Wise Quantization, Andri et al. 2022), selected per layer by
 //!   the transform-domain policy.
+//! * [`Execution`] / [`QTensor`] / [`Requantizer`] — the **true
+//!   integer** inference path: prepacked `i8` buffers with per-layer or
+//!   per-tap scales, and fixed-point (`i32` multiplier + right-shift)
+//!   requantization of `i8×i8→i32` GEMM accumulators, the deployment
+//!   recipe of LANCE (Li et al. 2020) and Andri et al. 2022.
 //!
 //! # Example
 //!
@@ -35,14 +40,20 @@
 #![warn(missing_docs)]
 
 mod bitwidth;
+mod execution;
 mod observer;
+mod qtensor;
 mod quantize;
+mod requant;
 mod tap;
 
 pub use bitwidth::{BitWidth, ParseBitWidthError};
+pub use execution::{Execution, ParseExecutionError};
 pub use observer::{Observer, ObserverMode};
+pub use qtensor::{quantize_i8, quantize_i8_taps, QTensor};
 pub use quantize::{
     dequantize_i32, fake_quant, fake_quant_scale, fake_quant_taps, quantization_rmse, quantize_i32,
-    ste_mask, ste_mask_taps,
+    round_clamp_i32, ste_mask, ste_mask_taps,
 };
+pub use requant::Requantizer;
 pub use tap::{ParseTapPolicyError, TapPolicy, TapQuant};

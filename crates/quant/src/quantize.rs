@@ -58,11 +58,45 @@ pub fn fake_quant_scale(x: &Tensor, bits: BitWidth, scale: f32) -> Tensor {
     if scale <= 0.0 {
         return Tensor::zeros(x.shape());
     }
-    let qmax = bits.qmax() as f32;
-    x.map(|v| {
-        let q = (v / scale).round().clamp(-qmax, qmax);
-        q * scale
-    })
+    let qmax = bits.qmax();
+    x.map(|v| round_clamp_i32(v / scale, qmax) as f32 * scale)
+}
+
+/// `clamp(round(x), −qmax, qmax)` with `f32::round` semantics (round
+/// half away from zero), built from two truncating casts so the x86-64
+/// SSE2 baseline autovectorizes it with `cvttps2dq` instead of emitting
+/// a `roundf` libm call per element — this sits in the inner loop of
+/// every quantize/fake-quant pass. Bit-identical to
+/// `(x.round() as i64).clamp(-qmax as i64, qmax as i64) as i32` for
+/// every input including ±∞ and NaN (both formulations take NaN to 0):
+/// the pre-clamp only moves values the final clamp saturates anyway, and
+/// within the clamped domain `x − trunc(x)` is exact (Sterbenz) and
+/// every f32 ≥ 2²⁴ is already integral.
+///
+/// The casts are `to_int_unchecked`, not `as`: a saturating `as` cast
+/// lowers to `fptosi.sat`, which LLVM scalarizes (`cvttss2si` per lane)
+/// on the SSE2 baseline and makes the cast the dominant cost of every
+/// snap loop. The explicit NaN select plus the `±lim` clamp establish
+/// the unchecked casts' range preconditions while staying vectorizable
+/// (an ordered-compare mask and `minps`/`maxps`).
+///
+/// # Panics
+///
+/// Debug-panics if `qmax` is not in `[1, 2³⁰ − 1]` (every
+/// [`BitWidth::qmax`] is).
+#[inline]
+pub fn round_clamp_i32(x: f32, qmax: i32) -> i32 {
+    debug_assert!((1..=(1 << 30) - 1).contains(&qmax));
+    let lim = (qmax + 1) as f32;
+    let x = if x.is_nan() { 0.0 } else { x };
+    let x = x.clamp(-lim, lim);
+    // SAFETY: x is NaN-free and clamped to [−lim, lim] ⊆ [−2³⁰, 2³⁰],
+    // every value of which is representable in i32
+    let t = unsafe { x.to_int_unchecked::<i32>() };
+    let frac = x - t as f32;
+    // SAFETY: |frac| < 1 by construction, so 2·frac ∈ (−2, 2)
+    let half = unsafe { (2.0 * frac).to_int_unchecked::<i32>() };
+    (t + half).clamp(-qmax, qmax)
 }
 
 /// Fake-quantizes a Winograd-domain tensor tap-by-tap: the element at
@@ -95,18 +129,24 @@ pub fn fake_quant_taps(x: &Tensor, bits: &[BitWidth], scales: &[f32]) -> Tensor 
     static CALLS: OnceLock<Arc<wa_obs::Counter>> = OnceLock::new();
     count_fake_quant(&CALLS, "taps");
     let mut out = x.deep_clone();
-    for (i, v) in out.data_mut().iter_mut().enumerate() {
-        let t = i % taps;
-        if bits[t].is_float() {
-            continue;
+    // per-tap constants hoisted so the inner loop is pure arithmetic
+    // (tap = flat index % taps ⇔ position within each `taps`-wide chunk)
+    let qmaxes: Vec<i32> = bits
+        .iter()
+        .map(|b| if b.is_float() { 0 } else { b.qmax() })
+        .collect();
+    for chunk in out.data_mut().chunks_exact_mut(taps) {
+        for (t, v) in chunk.iter_mut().enumerate() {
+            if bits[t].is_float() {
+                continue;
+            }
+            let scale = scales[t];
+            if scale <= 0.0 {
+                *v = 0.0;
+                continue;
+            }
+            *v = round_clamp_i32(*v / scale, qmaxes[t]) as f32 * scale;
         }
-        let scale = scales[t];
-        if scale <= 0.0 {
-            *v = 0.0;
-            continue;
-        }
-        let qmax = bits[t].qmax() as f32;
-        *v = (*v / scale).round().clamp(-qmax, qmax) * scale;
     }
     out
 }
@@ -190,7 +230,7 @@ pub fn quantize_i32(x: &Tensor, bits: BitWidth, scale: f32) -> Vec<i32> {
     let qmax = bits.qmax();
     x.data()
         .iter()
-        .map(|&v| ((v / scale).round() as i64).clamp(-(qmax as i64), qmax as i64) as i32)
+        .map(|&v| round_clamp_i32(v / scale, qmax))
         .collect()
 }
 
@@ -293,6 +333,67 @@ mod tests {
         assert_eq!(q, vec![2, -1, 0]);
         let back = dequantize_i32(&q, 0.25, &[3]);
         assert_eq!(back.data(), x.data());
+    }
+
+    /// The fast `round_clamp_i32` (unchecked-cast, vectorizable) must
+    /// agree with the obviously-correct i64 formulation on every input
+    /// class: rounding boundaries, saturation edges, non-finites and a
+    /// dense random sweep. This pins the SAFETY reasoning of the
+    /// unchecked casts — any input that escaped the range preconditions
+    /// would show up here as a miscompare (or UB under Miri).
+    #[test]
+    fn round_clamp_matches_i64_reference() {
+        let reference = |x: f32, qmax: i32| -> i32 {
+            let r = x.round();
+            if r.is_nan() {
+                return 0;
+            }
+            (r as i64).clamp(-qmax as i64, qmax as i64) as i32
+        };
+        let qmaxes = [1, 7, 127, 32_767, (1 << 30) - 1];
+        let mut cases = vec![
+            0.0f32,
+            -0.0,
+            0.49999997,
+            0.5,
+            0.50000006,
+            1.5,
+            2.5,
+            -0.5,
+            -1.5,
+            126.5,
+            127.0,
+            127.49,
+            127.5,
+            128.0,
+            -127.5,
+            -128.0,
+            1e30,
+            -1e30,
+            f32::INFINITY,
+            f32::NEG_INFINITY,
+            f32::NAN,
+            f32::MIN_POSITIVE,
+            -f32::MIN_POSITIVE,
+            1.0e-45, // smallest subnormal
+            16_777_216.0,
+            16_777_215.0,
+            (1u32 << 30) as f32,
+        ];
+        let mut rng = SeededRng::new(11);
+        for _ in 0..10_000 {
+            cases.push(rng.uniform(-200.0, 200.0));
+            cases.push(rng.uniform(-4e9, 4e9));
+        }
+        for &qmax in &qmaxes {
+            for &x in &cases {
+                assert_eq!(
+                    round_clamp_i32(x, qmax),
+                    reference(x, qmax),
+                    "x = {x:?}, qmax = {qmax}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,169 @@
+//! Fixed-point requantization: the integer path's replacement for
+//! "multiply by `scale_in·scale_w/scale_out` in f32".
+
+/// Converts a positive effective scale (`scale_in·scale_w/scale_out`)
+/// into an `i32` multiplier and a right shift, so an `i32` GEMM
+/// accumulator can be rescaled onto the next layer's grid with pure
+/// integer arithmetic — the deployment recipe of gemmlowp, LANCE (Li et
+/// al. 2020) and Tap-Wise Quantization (Andri et al. 2022).
+///
+/// `apply(acc)` computes `round(acc · scale)` to within ±1:
+/// the multiplier carries 30 significant bits, so the fixed-point
+/// product differs from the real product by less than `2⁻³⁰·|acc·scale|`
+/// and the result differs from exact rounding by at most one quantum
+/// (only when the real product sits within that sliver of a rounding
+/// boundary). Rounding is half-away-from-zero, matching `f32::round` as
+/// used by [`crate::quantize_i32`]; [`Requantizer::apply_clamped`]
+/// reuses that function's `±qmax` clamp semantics.
+///
+/// # Example
+///
+/// ```
+/// use wa_quant::Requantizer;
+///
+/// let r = Requantizer::new(0.25);
+/// assert_eq!(r.apply(1001), 250); // round(250.25)
+/// assert_eq!(r.apply(-1002), -251); // round(-250.5) away from zero
+/// assert_eq!(r.apply_clamped(100_000, 127), 127);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Requantizer {
+    multiplier: i32,
+    shift: u32,
+}
+
+impl Requantizer {
+    /// Decomposes `scale` into `multiplier · 2^−shift` with a 30-bit
+    /// multiplier.
+    ///
+    /// Scales too small to matter (`< ~2⁻³³`, e.g. the
+    /// `f32::MIN_POSITIVE` fallback of a never-observed tap) collapse to
+    /// the constant-zero requantizer, which is exact: every reachable
+    /// accumulator rounds to 0 at such a scale. Scales `≥ 2³⁰` saturate
+    /// the multiplier (the clamped result saturates anyway).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is not finite and positive.
+    pub fn new(scale: f64) -> Requantizer {
+        assert!(
+            scale.is_finite() && scale > 0.0,
+            "requantize scale must be a positive finite number, got {scale}"
+        );
+        let mut m = scale;
+        let mut shift: i64 = 0;
+        while m < (1i64 << 29) as f64 {
+            m *= 2.0;
+            shift += 1;
+        }
+        while m >= (1i64 << 30) as f64 {
+            m /= 2.0;
+            shift -= 1;
+        }
+        // now scale = m · 2^−shift with m ∈ [2^29, 2^30)
+        let multiplier = m.round() as i64;
+        if shift < 0 {
+            // scale ≥ 2^30: absurd for any real calibration; saturate.
+            return Requantizer {
+                multiplier: i32::MAX,
+                shift: 0,
+            };
+        }
+        if shift > 62 {
+            // scale < ~2^-33: every |acc| < 2^31 rounds to 0.
+            return Requantizer {
+                multiplier: 0,
+                shift: 0,
+            };
+        }
+        Requantizer {
+            multiplier: multiplier.min(i32::MAX as i64) as i32,
+            shift: shift as u32,
+        }
+    }
+
+    /// `round(acc · scale)` in pure integer arithmetic (±1; see the
+    /// type-level contract), saturating at the `i32` range.
+    pub fn apply(&self, acc: i32) -> i32 {
+        let prod = acc as i64 * self.multiplier as i64;
+        let r = if self.shift == 0 {
+            prod
+        } else {
+            // round half away from zero, like f32::round — branchless
+            // (mixed-sign accumulators would make a sign branch
+            // unpredictable in the per-element requantize loops):
+            // shift the magnitude, restore the sign via the mask
+            let half = 1i64 << (self.shift - 1);
+            let sign = prod >> 63; // 0 or -1
+            let mag = (prod ^ sign) - sign;
+            (((mag + half) >> self.shift) ^ sign) - sign
+        };
+        r.clamp(i32::MIN as i64, i32::MAX as i64) as i32
+    }
+
+    /// [`Requantizer::apply`] followed by the symmetric `±qmax` clamp of
+    /// [`crate::quantize_i32`] — one requantized output value on the
+    /// destination grid.
+    pub fn apply_clamped(&self, acc: i32, qmax: i32) -> i32 {
+        self.apply(acc).clamp(-qmax, qmax)
+    }
+
+    /// The scale this requantizer approximates (`multiplier · 2^−shift`).
+    pub fn effective_scale(&self) -> f64 {
+        self.multiplier as f64 / (1i64 << self.shift) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_f64_rounding_within_one() {
+        let scales = [0.5, 0.1, 1.0 / 127.0, 3.7e-4, 0.9999, 1.5, 12.25];
+        let accs = [-1_000_000i32, -12345, -1, 0, 1, 777, 32768, 2_000_000];
+        for &s in &scales {
+            let r = Requantizer::new(s);
+            for &acc in &accs {
+                let exact = (acc as f64 * s).round() as i64;
+                let got = r.apply(acc) as i64;
+                assert!(
+                    (got - exact).abs() <= 1,
+                    "scale {s}, acc {acc}: fixed-point {got} vs exact {exact}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn typical_conv_scales_are_exact() {
+        // For the scales a calibrated conv actually produces, the 30-bit
+        // multiplier reproduces f64 rounding exactly on small magnitudes.
+        let r = Requantizer::new(0.003921568859368563); // ~1/255
+        for acc in -50_000..50_000 {
+            let exact = (acc as f64 * 0.003921568859368563).round() as i32;
+            assert_eq!(r.apply(acc), exact, "acc {acc}");
+        }
+    }
+
+    #[test]
+    fn tiny_scale_collapses_to_zero() {
+        let r = Requantizer::new(f32::MIN_POSITIVE as f64);
+        assert_eq!(r.apply(i32::MAX), 0);
+        assert_eq!(r.apply(i32::MIN), 0);
+    }
+
+    #[test]
+    fn clamp_reuses_quantize_semantics() {
+        let r = Requantizer::new(1.0);
+        assert_eq!(r.apply_clamped(200, 127), 127);
+        assert_eq!(r.apply_clamped(-200, 127), -127);
+        assert_eq!(r.apply_clamped(55, 127), 55);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive finite")]
+    fn rejects_nonpositive_scale() {
+        let _ = Requantizer::new(0.0);
+    }
+}

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! wa-client make-checkpoint <path> [--arch lenet] [--classes N]
-//!           [--input-size N] [--width W] [--algo F2] [--quant INT8] [--transform per-tap] [--seed N]
+//!           [--input-size N] [--width W] [--algo F2] [--quant INT8] [--transform per-tap]
+//!           [--execution int8] [--calibration-batches N] [--seed N]
 //! wa-client load <addr> <name> <path> [--timeout MS]
 //! wa-client list <addr> [--timeout MS]
 //! wa-client infer <addr> <name> [--batch N] [--requests K]
@@ -19,6 +20,12 @@
 //! measured served samples/sec, and with `--record` appends the number
 //! to `results/serve_throughput.json`.
 //!
+//! `--execution int8` mints a checkpoint for the true-integer inference
+//! path. Integer serving needs settled scales, so the model is first
+//! calibrated on `--calibration-batches` (default 2) seeded random
+//! batches; passing `0` is rejected before writing — an uncalibrated
+//! int8 checkpoint would requantize through one-off per-request scales.
+//!
 //! `--timeout MS` bounds every network wait on the client side
 //! (connect, send, receive); an elapsed timeout exits with a structured
 //! `timed out after …` message instead of hanging. `--deadline-ms N`
@@ -32,15 +39,16 @@ use std::time::{Duration, Instant};
 use wa_bench::BenchRecord;
 use wa_core::ConvAlgo;
 use wa_models::{ModelKind, ModelSpec, ZooModel};
-use wa_nn::{FullCheckpoint, QuantConfig};
-use wa_quant::{BitWidth, TapPolicy};
+use wa_nn::{FullCheckpoint, Layer, QuantConfig, QuantSiteState, Tape};
+use wa_quant::{BitWidth, Execution, TapPolicy};
 use wa_serve::Client;
 use wa_tensor::{SeededRng, Tensor};
 
 fn usage() -> ! {
     eprintln!(
         "usage:\n  wa-client make-checkpoint <path> [--arch lenet] [--classes N] \
-         [--input-size N] [--width W] [--algo F2] [--quant INT8] [--transform per-tap] [--seed N]\n  \
+         [--input-size N] [--width W] [--algo F2] [--quant INT8] [--transform per-tap] \
+         [--execution int8] [--calibration-batches N] [--seed N]\n  \
          wa-client load <addr> <name> <path> [--timeout MS]\n  \
          wa-client list <addr> [--timeout MS]\n  \
          wa-client infer <addr> <name> [--batch N] [--requests K] [--concurrency C] \
@@ -129,22 +137,64 @@ fn make_checkpoint(path: &str, flags: &Flags) {
         .unwrap_or("per-layer")
         .parse()
         .unwrap_or_else(|e| fail(e));
+    let execution: Execution = flags
+        .get("execution")
+        .unwrap_or("fake-quant")
+        .parse()
+        .unwrap_or_else(|e| fail(e));
     let default_size = if kind == ModelKind::LeNet { 28 } else { 32 };
     let spec = ModelSpec::builder()
         .classes(flags.parsed("classes", 10))
         .input_size(flags.parsed("input-size", default_size))
         .width(flags.parsed("width", 1.0))
-        .quant(QuantConfig::uniform(bits).with_transform(transform))
+        .quant(
+            QuantConfig::uniform(bits)
+                .with_transform(transform)
+                .with_execution(execution),
+        )
         .algo(algo)
         .build()
         .unwrap_or_else(|e| fail(e));
     let mut rng = SeededRng::new(flags.parsed("seed", 0u64));
     let mut model = ZooModel::from_spec(kind, &spec, &mut rng).unwrap_or_else(|e| fail(e));
-    let doc = model
-        .to_full_checkpoint()
-        .unwrap_or_else(|e| fail(e))
-        .to_json()
-        .to_string_pretty();
+
+    // int8 serving requantizes through the calibrated scales, so warm
+    // every observer (and the BN moments) on seeded random batches
+    // before exporting
+    let calibration_default = if execution == Execution::Int8 {
+        2usize
+    } else {
+        0
+    };
+    let calibration = flags.parsed("calibration-batches", calibration_default);
+    let [c, h, w] = model.sample_shape();
+    for _ in 0..calibration {
+        let batch = rng.uniform_tensor(&[4, c, h, w], -1.0, 1.0);
+        let mut tape = Tape::new();
+        let x = tape.leaf(batch);
+        let _ = model.forward(&mut tape, x, true);
+    }
+
+    let ckpt = model.to_full_checkpoint().unwrap_or_else(|e| fail(e));
+    if execution == Execution::Int8 {
+        let cold = ckpt.quant.iter().find(|(_, state)| match state {
+            QuantSiteState::Observer { seen, .. } | QuantSiteState::Taps { seen, .. } => *seen == 0,
+            QuantSiteState::BatchNorm { .. } => false,
+        });
+        if ckpt.quant.is_empty() {
+            fail(
+                "int8 execution requires calibrated quantization state, but the model exports none",
+            );
+        }
+        if let Some((site, _)) = cold {
+            fail(format!(
+                "int8 execution requires calibrated quantization state, but \
+                 `quant.{site}` has no observations (seen = 0); mint with \
+                 --calibration-batches >= 1"
+            ));
+        }
+    }
+    let doc = ckpt.to_json().to_string_pretty();
     std::fs::write(path, &doc).unwrap_or_else(|e| fail(format!("writing {path}: {e}")));
     println!("wrote {kind} checkpoint ({} bytes) to {path}", doc.len());
 }

@@ -55,8 +55,9 @@ pub enum Transpose {
 }
 
 /// Multiply-accumulate operations (`m·n·k`) above which the GEMM is split
-/// across threads.
-const PARALLEL_THRESHOLD: usize = 64 * 64 * 64;
+/// across threads. Shared with the integer kernel (`gemm_i8`) so both
+/// paths make the same go-parallel decision for a given problem size.
+pub(crate) const PARALLEL_THRESHOLD: usize = 64 * 64 * 64;
 
 /// Rows per register tile.
 const MR: usize = 4;
@@ -108,8 +109,9 @@ pub fn with_gemm_thread_cap<R>(cap: usize, f: impl FnOnce() -> R) -> R {
 }
 
 /// Worker threads a GEMM may use right now: every available core, bounded
-/// by the ambient [`with_gemm_thread_cap`].
-fn gemm_threads() -> usize {
+/// by the ambient [`with_gemm_thread_cap`]. Shared with `gemm_i8`, so
+/// the cap governs the integer kernel too.
+pub(crate) fn gemm_threads() -> usize {
     std::thread::available_parallelism()
         .map(|p| p.get())
         .unwrap_or(1)

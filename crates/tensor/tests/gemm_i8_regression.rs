@@ -1,0 +1,187 @@
+//! Regression suite for the packed/threaded integer GEMM
+//! (`gemm_i8` / `gemm_i8_batched`) on shapes that do not divide evenly
+//! into its internal blocking:
+//!
+//! * odd `M` exercises the register-tile remainder rows,
+//! * odd `N`/`K` exercise the zero-padded B-panel edges, the `pmaddwd`
+//!   odd-`k` pad lane and the K-panel split,
+//! * `M·N·K` above the parallel threshold exercises the
+//!   `std::thread::scope` row split with a ragged final chunk,
+//! * thread caps around `M` exercise the split boundaries.
+//!
+//! Integer arithmetic is exact and order-independent, so — unlike the
+//! f32 suite, which needs an accumulation-order argument — **every**
+//! comparison here is plain `assert_eq!` against a naive `i32` triple
+//! loop, for every shape, transpose flag and worker count.
+
+use wa_tensor::{gemm_i8, gemm_i8_batched, with_gemm_thread_cap, SeededRng, Transpose};
+
+fn rand_i8(len: usize, seed: u64) -> Vec<i8> {
+    let mut rng = SeededRng::new(seed);
+    (0..len).map(|_| rng.uniform(-127.0, 128.0) as i8).collect()
+}
+
+/// Naive i32 triple loop over the logical (transpose-resolved) operands.
+fn naive_i32(
+    a: &[i8],
+    ta: Transpose,
+    b: &[i8],
+    tb: Transpose,
+    m: usize,
+    k: usize,
+    n: usize,
+) -> Vec<i32> {
+    let at = |i: usize, p: usize| match ta {
+        Transpose::No => a[i * k + p] as i32,
+        Transpose::Yes => a[p * m + i] as i32,
+    };
+    let bt = |p: usize, j: usize| match tb {
+        Transpose::No => b[p * n + j] as i32,
+        Transpose::Yes => b[j * k + p] as i32,
+    };
+    let mut out = vec![0i32; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0i32;
+            for p in 0..k {
+                acc += at(i, p) * bt(p, j);
+            }
+            out[i * n + j] = acc;
+        }
+    }
+    out
+}
+
+fn check(m: usize, k: usize, n: usize, ta: Transpose, tb: Transpose, seed: u64) {
+    let (ar, ac) = match ta {
+        Transpose::No => (m, k),
+        Transpose::Yes => (k, m),
+    };
+    let (br, bc) = match tb {
+        Transpose::No => (k, n),
+        Transpose::Yes => (n, k),
+    };
+    let a = rand_i8(ar * ac, seed);
+    let b = rand_i8(br * bc, seed + 1);
+    let want = naive_i32(&a, ta, &b, tb, m, k, n);
+    let mut got = vec![0i32; m * n];
+    gemm_i8(&a, ta, &b, tb, m, k, n, &mut got);
+    assert_eq!(
+        got, want,
+        "gemm_i8 {m}x{k}x{n} ta={ta:?} tb={tb:?} diverged from the naive i32 loop"
+    );
+}
+
+#[test]
+fn odd_shapes_exact() {
+    // every M/N/K odd or prime, including degenerate 1-extent cases
+    for &(m, k, n) in &[
+        (1usize, 1usize, 1usize),
+        (1, 7, 1),
+        (3, 1, 5),
+        (5, 3, 9),   // N > NR with a ragged last panel
+        (7, 11, 13), // everything prime
+        (9, 17, 8),  // N exactly one panel
+        (13, 5, 23),
+        (31, 29, 37),
+    ] {
+        check(m, k, n, Transpose::No, Transpose::No, 42);
+    }
+}
+
+#[test]
+fn transpose_cases_exact() {
+    for ta in [Transpose::No, Transpose::Yes] {
+        for tb in [Transpose::No, Transpose::Yes] {
+            check(17, 9, 21, ta, tb, 7);
+            check(4, 8, 8, ta, tb, 8); // exact tile multiples
+            check(33, 64, 15, ta, tb, 9);
+        }
+    }
+}
+
+#[test]
+fn register_tile_remainders_exact() {
+    // MR = 4: remainder rows 1, 2, 3 below and above a full tile
+    for m in 1..=9 {
+        check(m, 19, 11, Transpose::No, Transpose::No, 100 + m as u64);
+    }
+}
+
+#[test]
+fn k_panel_split_exact() {
+    // KC = 512 (i16 lanes): straddle the K-panel boundary, where the
+    // second panel accumulates onto the stored partial
+    for &k in &[511usize, 512, 513, 1025] {
+        check(5, k, 9, Transpose::No, Transpose::No, k as u64);
+    }
+}
+
+#[test]
+fn worker_count_boundaries_exact() {
+    // big enough to cross the parallel threshold; M deliberately not a
+    // multiple of typical worker counts
+    let (m, k, n) = (131usize, 67, 63);
+    let a = rand_i8(m * k, 1);
+    let b = rand_i8(k * n, 2);
+    let want = naive_i32(&a, Transpose::No, &b, Transpose::No, m, k, n);
+    for cap in [1usize, 2, 3, 4, 7, m - 1, m, m + 1] {
+        let mut got = vec![0i32; m * n];
+        with_gemm_thread_cap(cap, || {
+            gemm_i8(&a, Transpose::No, &b, Transpose::No, m, k, n, &mut got)
+        });
+        assert_eq!(got, want, "worker cap {cap} changed the result");
+    }
+}
+
+#[test]
+fn batched_matches_per_item_and_naive() {
+    let (batch, m, k, n) = (7usize, 5, 9, 11);
+    let a = rand_i8(batch * m * k, 3);
+    let b = rand_i8(batch * k * n, 4);
+    let mut got = vec![0i32; batch * m * n];
+    gemm_i8_batched(&a, &b, &mut got, batch, m, k, n);
+    for s in 0..batch {
+        let want = naive_i32(
+            &a[s * m * k..(s + 1) * m * k],
+            Transpose::No,
+            &b[s * k * n..(s + 1) * k * n],
+            Transpose::No,
+            m,
+            k,
+            n,
+        );
+        assert_eq!(&got[s * m * n..(s + 1) * m * n], &want[..], "item {s}");
+    }
+}
+
+#[test]
+fn batched_worker_split_exact() {
+    // batch·m·n·k over the threshold so the batch splits across threads
+    let (batch, m, k, n) = (16usize, 24, 24, 32);
+    let a = rand_i8(batch * m * k, 5);
+    let b = rand_i8(batch * k * n, 6);
+    let mut par = vec![0i32; batch * m * n];
+    gemm_i8_batched(&a, &b, &mut par, batch, m, k, n);
+    for cap in [1usize, 2, 3, batch - 1, batch, batch + 1] {
+        let mut capped = vec![0i32; batch * m * n];
+        with_gemm_thread_cap(cap, || gemm_i8_batched(&a, &b, &mut capped, batch, m, k, n));
+        assert_eq!(
+            par, capped,
+            "batch split under cap {cap} changed an element"
+        );
+    }
+}
+
+#[test]
+fn saturating_inputs_exact() {
+    // all-extreme operands: the i16-widened pmaddwd pair sum peaks at
+    // 2·127·128 < 2^15·2, still exact in i32
+    let (m, k, n) = (6usize, 33, 10);
+    let a = vec![-128i8; m * k];
+    let b = vec![127i8; k * n];
+    let want = naive_i32(&a, Transpose::No, &b, Transpose::No, m, k, n);
+    let mut got = vec![0i32; m * n];
+    gemm_i8(&a, Transpose::No, &b, Transpose::No, m, k, n, &mut got);
+    assert_eq!(got, want);
+}
