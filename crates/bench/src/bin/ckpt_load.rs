@@ -1,0 +1,116 @@
+//! **Checkpoint load**: JSON parse vs binary-container decode for a
+//! calibrated int8 ResNet-18 checkpoint — the measurement behind the
+//! container's cold-start claim.
+//!
+//! The run exports one quantized ResNet-18 to both formats, then times
+//! `FullCheckpoint::from_json_str` against `wa_nn::read_checkpoint` over
+//! several repetitions (best-of, so a stray page fault can't flatter
+//! either side). Both decodes must reproduce the original document
+//! exactly — a fast loader that loses calibration state would be
+//! worthless. Results land in `results/checkpoint_load.json` as a
+//! [`wa_bench::BenchRecord`]; with `WA_ASSERT_SCALING=1` (set by CI) the
+//! run asserts the binary decode is at least 10x faster than the JSON
+//! parse.
+
+use std::time::Instant;
+
+use wa_bench::BenchRecord;
+use wa_core::ConvAlgo;
+use wa_models::{ModelKind, ModelSpec, ZooModel};
+use wa_nn::{FullCheckpoint, Layer, QuantConfig, Tape};
+use wa_quant::BitWidth;
+use wa_tensor::SeededRng;
+
+/// Best-of-`runs` wall time for one decode, in microseconds.
+fn best_micros(runs: usize, decode: impl Fn()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..runs {
+        let t0 = Instant::now();
+        decode();
+        best = best.min(t0.elapsed().as_secs_f64() * 1e6);
+    }
+    best
+}
+
+fn main() {
+    let mut rng = SeededRng::new(17);
+    // quarter-width keeps the export around a million parameters: big
+    // enough that decode time is parameter-dominated, small enough that
+    // the JSON side finishes in CI time
+    let spec = ModelSpec::builder()
+        .classes(10)
+        .width(0.25)
+        .algo(ConvAlgo::Winograd { m: 2 })
+        .quant(QuantConfig::uniform(BitWidth::INT8))
+        .build()
+        .expect("static spec");
+    let mut model = ZooModel::from_spec(ModelKind::ResNet18, &spec, &mut rng).expect("static spec");
+    {
+        // calibrate: one training batch settles every observer so the
+        // checkpoint carries a full `quant` section
+        let warm = rng.uniform_tensor(&[2, 3, 8, 8], -1.0, 1.0);
+        let mut tape = Tape::new();
+        let x = tape.leaf(warm);
+        let _ = model.forward(&mut tape, x, true);
+    }
+    let doc = model.to_full_checkpoint().expect("export");
+    let params: usize = doc.params.params.values().map(|t| t.len()).sum();
+
+    let json_text = doc.to_json().to_string_pretty();
+    let container = wa_nn::write_checkpoint(&doc);
+    println!(
+        "ResNet-18 int8 w0.25: {params} params, JSON {} bytes, container {} bytes",
+        json_text.len(),
+        container.len()
+    );
+
+    // both decodes must be lossless before their times mean anything
+    let from_json = FullCheckpoint::from_json_str(&json_text).expect("JSON parses");
+    let from_bin = wa_nn::read_checkpoint(&container).expect("container parses");
+    for (label, got) in [("JSON", &from_json), ("binary", &from_bin)] {
+        assert_eq!(got.arch, doc.arch, "{label}: arch drifted");
+        assert_eq!(got.spec, doc.spec, "{label}: spec drifted");
+        assert_eq!(got.quant, doc.quant, "{label}: quant drifted");
+        assert_eq!(
+            got.params.params, doc.params.params,
+            "{label}: params drifted"
+        );
+    }
+
+    let runs = 5;
+    let json_us = best_micros(runs, || {
+        let _ = FullCheckpoint::from_json_str(&json_text).expect("JSON parses");
+    });
+    let bin_us = best_micros(runs, || {
+        let _ = wa_nn::read_checkpoint(&container).expect("container parses");
+    });
+    let speedup = json_us / bin_us;
+    println!(
+        "JSON parse {json_us:>12.1} us\nbinary decode {bin_us:>9.1} us  (x{speedup:.1} faster)"
+    );
+
+    let mut record = BenchRecord::new("checkpoint_load", "micros");
+    record.push(
+        "ResNet-18 int8 JSON parse",
+        json_us,
+        &[("params", params as f64), ("bytes", json_text.len() as f64)],
+    );
+    record.push(
+        "ResNet-18 int8 container decode",
+        bin_us,
+        &[
+            ("params", params as f64),
+            ("bytes", container.len() as f64),
+            ("speedup_vs_json", speedup),
+        ],
+    );
+    record.save();
+
+    if std::env::var_os("WA_ASSERT_SCALING").is_some() {
+        assert!(
+            speedup >= 10.0,
+            "the binary container must decode at least 10x faster than JSON: \
+             {bin_us:.1} us vs {json_us:.1} us (x{speedup:.1})"
+        );
+    }
+}

@@ -41,6 +41,13 @@ fn path_error(path: &str, message: impl Into<String>) -> JsonError {
     }
 }
 
+/// The canonical error path of one calibration site's state
+/// (`quant.<site>`), shared by the JSON reader and the binary container
+/// reader so both formats diagnose a broken quant section identically.
+pub(crate) fn quant_site_path(site: &str) -> String {
+    format!("quant.{site}")
+}
+
 /// A serialized set of parameters, keyed by parameter name.
 #[derive(Clone, Debug, Default)]
 pub struct Checkpoint {
@@ -360,7 +367,7 @@ impl FullCheckpoint {
                 .as_obj()
                 .ok_or_else(|| path_error("quant", "must be an object of site → state"))?;
             for (name, state) in sites {
-                let path = format!("quant.{name}");
+                let path = quant_site_path(name);
                 quant.insert(name.clone(), QuantSiteState::from_json(&path, state)?);
             }
         }
@@ -399,6 +406,16 @@ pub enum CheckpointError {
         /// Why the entry does not fit.
         reason: String,
     },
+    /// A binary checkpoint container could not be decoded (bad magic,
+    /// truncated section, out-of-bounds blob, checksum mismatch, …).
+    /// See [`crate::container`].
+    Container {
+        /// The container field the problem was found at
+        /// (`blobs.<name>.offset`, `meta.arch`, `checksum`, …).
+        path: String,
+        /// What is wrong with it.
+        reason: String,
+    },
 }
 
 impl std::fmt::Display for CheckpointError {
@@ -419,6 +436,9 @@ impl std::fmt::Display for CheckpointError {
             }
             CheckpointError::QuantState { name, reason } => {
                 write!(f, "quant state `{}`: {}", name, reason)
+            }
+            CheckpointError::Container { path, reason } => {
+                write!(f, "container field `{}`: {}", path, reason)
             }
         }
     }

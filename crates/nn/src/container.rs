@@ -1,0 +1,780 @@
+//! The binary checkpoint container: a GGUF-style single-file format
+//! that makes loading a model a read plus near-zero parse, instead of
+//! millions of floats decoded from JSON text.
+//!
+//! # Wire layout
+//!
+//! All integers are little-endian. The file is one contiguous run of
+//! four sections followed by a trailing checksum:
+//!
+//! ```text
+//! ┌──────────────────────────────────────────────────────────────┐
+//! │ header      magic "WACK" (4) · version u32 (4)               │
+//! ├──────────────────────────────────────────────────────────────┤
+//! │ metadata    count u32, then per entry:                       │
+//! │             key_len u32 · key (UTF-8) · val_len u32 · value  │
+//! ├──────────────────────────────────────────────────────────────┤
+//! │ blob table  count u32, then per blob:                        │
+//! │             name_len u32 · name (UTF-8) · dtype u8           │
+//! │             ndim u32 · dims u64 × ndim                       │
+//! │             scale_count u32 · scales f32 × count             │
+//! │             offset u64 (absolute, 64-aligned) · byte_len u64 │
+//! ├──────────────────────────────────────────────────────────────┤
+//! │ blob data   each blob starts on a 64-byte boundary;          │
+//! │             gaps are zero padding                            │
+//! ├──────────────────────────────────────────────────────────────┤
+//! │ checksum    FNV-1a 64 over every preceding byte, u64         │
+//! └──────────────────────────────────────────────────────────────┘
+//! ```
+//!
+//! # Dtype and alignment rules
+//!
+//! * dtype tag `0` = `f32` (4 bytes/element, **no** scales) — the
+//!   lossless encoding of a [`Tensor`]'s values.
+//! * dtype tag `1` = `i8` (1 byte/element) with **1** scale
+//!   (per-tensor) or **`dims[0]`** scales (per-first-dimension);
+//!   reading dequantizes to `f32` as `value × scale`.
+//! * Every blob's `offset` is 64-byte aligned so a reader can map
+//!   blobs straight into SIMD-friendly buffers, and `byte_len` must
+//!   equal `Π dims × sizeof(dtype)` exactly.
+//!
+//! # Validation contract
+//!
+//! [`Container::from_bytes`] is a *bounded, fully-validated* parser:
+//! every declared count and length is checked against the bytes that
+//! actually remain **before** anything is allocated, so a malformed or
+//! adversarial input yields a structured
+//! [`CheckpointError::Container`] naming the offending field — never a
+//! panic and never an allocation larger than the input itself. The
+//! checksum is verified *after* structural validation so a corrupted
+//! section reports its specific field, and flipped bytes inside blob
+//! data (structurally invisible) still fail the whole-file checksum.
+
+use std::collections::BTreeMap;
+
+use wa_tensor::Tensor;
+
+use crate::checkpoint::{quant_site_path, CheckpointError, FullCheckpoint, QuantSiteState};
+
+/// The four magic bytes every container starts with.
+pub const CONTAINER_MAGIC: [u8; 4] = *b"WACK";
+
+/// The format version this module writes and reads.
+pub const CONTAINER_VERSION: u32 = 1;
+
+/// Blob data alignment: every blob's file offset is a multiple of this.
+pub const CONTAINER_ALIGN: usize = 64;
+
+/// Bytes of the trailing whole-file checksum.
+const CHECKSUM_LEN: usize = 8;
+
+/// Smallest possible blob-table entry (empty name, zero dims/scales):
+/// name_len + dtype + ndim + scale_count + offset + byte_len.
+const MIN_BLOB_ENTRY: usize = 4 + 1 + 4 + 4 + 8 + 8;
+
+/// Smallest possible metadata entry (empty key and value).
+const MIN_META_ENTRY: usize = 4 + 4;
+
+/// FNV-1a 64 over `bytes` — the trailing whole-file checksum.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Element type of one stored blob.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BlobDtype {
+    /// 32-bit float, 4 bytes per element, no scales.
+    F32,
+    /// Signed 8-bit integer with dequantization scales.
+    I8,
+}
+
+impl BlobDtype {
+    /// The on-disk tag byte.
+    pub fn tag(self) -> u8 {
+        match self {
+            BlobDtype::F32 => 0,
+            BlobDtype::I8 => 1,
+        }
+    }
+
+    /// Bytes per element.
+    pub fn size(self) -> usize {
+        match self {
+            BlobDtype::F32 => 4,
+            BlobDtype::I8 => 1,
+        }
+    }
+
+    fn from_tag(tag: u8) -> Option<BlobDtype> {
+        match tag {
+            0 => Some(BlobDtype::F32),
+            1 => Some(BlobDtype::I8),
+            _ => None,
+        }
+    }
+}
+
+/// Decoded values of one blob.
+#[derive(Clone, Debug, PartialEq)]
+pub enum BlobData {
+    /// `f32` elements, row-major.
+    F32(Vec<f32>),
+    /// `i8` elements, row-major (see [`Blob::scales`]).
+    I8(Vec<i8>),
+}
+
+/// One named tensor blob of a container.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Blob {
+    /// Parameter name (`conv1.weight`, …).
+    pub name: String,
+    /// Element type.
+    pub dtype: BlobDtype,
+    /// Row-major shape.
+    pub shape: Vec<usize>,
+    /// Dequantization scales: empty for `f32`, one per tensor or one
+    /// per `shape[0]` slice for `i8`.
+    pub scales: Vec<f32>,
+    /// The element values.
+    pub data: BlobData,
+}
+
+impl Blob {
+    /// An `f32` blob holding a tensor's values losslessly.
+    pub fn from_tensor(name: &str, t: &Tensor) -> Blob {
+        Blob {
+            name: name.to_string(),
+            dtype: BlobDtype::F32,
+            shape: t.shape().to_vec(),
+            scales: Vec::new(),
+            data: BlobData::F32(t.data().to_vec()),
+        }
+    }
+
+    /// The blob as an `f32` [`Tensor`], dequantizing `i8` data through
+    /// the stored scales (`value × scale`, per tensor or per
+    /// first-dimension slice).
+    pub fn to_tensor(&self) -> Tensor {
+        match &self.data {
+            BlobData::F32(values) => Tensor::from_vec(values.clone(), &self.shape),
+            BlobData::I8(values) => {
+                let rows = self.shape[0].max(1);
+                let per_row = values.len() / rows;
+                let dequantized = values
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &q)| {
+                        let scale = if self.scales.len() == 1 {
+                            self.scales[0]
+                        } else {
+                            self.scales[i / per_row.max(1)]
+                        };
+                        f32::from(q) * scale
+                    })
+                    .collect();
+                Tensor::from_vec(dequantized, &self.shape)
+            }
+        }
+    }
+
+    fn byte_len(&self) -> usize {
+        let n: usize = self.shape.iter().product();
+        n * self.dtype.size()
+    }
+}
+
+/// A decoded checkpoint container: string-keyed metadata plus named,
+/// dtype-tagged tensor blobs. The metadata keys a [`FullCheckpoint`]
+/// uses are `arch`, `spec` (compact spec JSON) and `quant` (compact
+/// calibration-state JSON, present only when non-empty).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Container {
+    /// Metadata entries in file order.
+    pub meta: Vec<(String, String)>,
+    /// Tensor blobs in file order.
+    pub blobs: Vec<Blob>,
+}
+
+/// Whether `bytes` starts with the container magic — the format sniff
+/// the registry and `wa-client` use to pick the JSON or binary reader.
+pub fn is_container(bytes: &[u8]) -> bool {
+    bytes.len() >= CONTAINER_MAGIC.len() && bytes[..CONTAINER_MAGIC.len()] == CONTAINER_MAGIC
+}
+
+/// Serializes a [`FullCheckpoint`] to container bytes.
+pub fn write_checkpoint(doc: &FullCheckpoint) -> Vec<u8> {
+    Container::from_checkpoint(doc).to_bytes()
+}
+
+/// Decodes container bytes back into a [`FullCheckpoint`].
+///
+/// # Errors
+///
+/// [`CheckpointError::Container`] naming the offending field for any
+/// malformed input — the parser never panics and never allocates more
+/// than the input's own size.
+pub fn read_checkpoint(bytes: &[u8]) -> Result<FullCheckpoint, CheckpointError> {
+    Container::from_bytes(bytes)?.to_checkpoint()
+}
+
+/// A structured [`CheckpointError::Container`] at `path`.
+fn field_error(path: impl Into<String>, reason: impl Into<String>) -> CheckpointError {
+    CheckpointError::Container {
+        path: path.into(),
+        reason: reason.into(),
+    }
+}
+
+/// A bounds-checked little-endian cursor over the structural region of
+/// a container (everything before the trailing checksum). Every read
+/// validates against the remaining bytes first, so declared lengths can
+/// never drive an out-of-bounds slice or an oversized allocation.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize, path: &str) -> Result<&'a [u8], CheckpointError> {
+        if n > self.remaining() {
+            return Err(field_error(
+                path,
+                format!(
+                    "needs {n} bytes but only {} remain before the checksum (truncated?)",
+                    self.remaining()
+                ),
+            ));
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    fn u8(&mut self, path: &str) -> Result<u8, CheckpointError> {
+        Ok(self.take(1, path)?[0])
+    }
+
+    fn u32(&mut self, path: &str) -> Result<u32, CheckpointError> {
+        let b = self.take(4, path)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self, path: &str) -> Result<u64, CheckpointError> {
+        let b = self.take(8, path)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    fn f32(&mut self, path: &str) -> Result<f32, CheckpointError> {
+        let b = self.take(4, path)?;
+        Ok(f32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// A length-prefixed UTF-8 string; the declared length is checked
+    /// against the remaining bytes before anything is copied.
+    fn string(&mut self, path: &str) -> Result<String, CheckpointError> {
+        let len = self.u32(path)? as usize;
+        let bytes = self.take(len, path)?;
+        std::str::from_utf8(bytes)
+            .map(str::to_string)
+            .map_err(|_| field_error(path, "is not valid UTF-8"))
+    }
+
+    /// Reads a section's entry count and rejects counts that could not
+    /// possibly fit in the remaining bytes (each entry needs at least
+    /// `min_entry` bytes), so a hostile count can never size a `Vec`.
+    fn count(&mut self, path: &str, min_entry: usize) -> Result<usize, CheckpointError> {
+        let declared = self.u32(path)? as usize;
+        let fit = self.remaining() / min_entry;
+        if declared > fit {
+            return Err(field_error(
+                path,
+                format!(
+                    "declares {declared} entries but at most {fit} fit in the {} \
+                     bytes that remain",
+                    self.remaining()
+                ),
+            ));
+        }
+        Ok(declared)
+    }
+}
+
+/// One parsed blob-table row, before its data bytes are resolved.
+struct BlobEntry {
+    name: String,
+    dtype: BlobDtype,
+    shape: Vec<usize>,
+    scales: Vec<f32>,
+    offset: usize,
+    byte_len: usize,
+}
+
+impl Container {
+    /// Converts a [`FullCheckpoint`] into its container form: `arch`,
+    /// `spec` and (when non-empty) `quant` ride as metadata JSON text;
+    /// every parameter becomes a lossless `f32` blob.
+    pub fn from_checkpoint(doc: &FullCheckpoint) -> Container {
+        let mut meta = vec![
+            ("arch".to_string(), doc.arch.clone()),
+            ("spec".to_string(), doc.spec.to_string_compact()),
+        ];
+        if !doc.quant.is_empty() {
+            let quant = wa_tensor::Json::Obj(
+                doc.quant
+                    .iter()
+                    .map(|(k, v)| (k.clone(), v.to_json()))
+                    .collect(),
+            );
+            meta.push(("quant".to_string(), quant.to_string_compact()));
+        }
+        let blobs = doc
+            .params
+            .params
+            .iter()
+            .map(|(name, tensor)| Blob::from_tensor(name, tensor))
+            .collect();
+        Container { meta, blobs }
+    }
+
+    /// Rebuilds the [`FullCheckpoint`] this container encodes.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Container`] when a required metadata key is
+    /// missing or its embedded JSON does not parse; quant-section
+    /// problems carry the same `quant.<site>.<field>` paths the JSON
+    /// reader produces.
+    pub fn to_checkpoint(&self) -> Result<FullCheckpoint, CheckpointError> {
+        let meta = |key: &str| self.meta.iter().find(|(k, _)| k == key).map(|(_, v)| v);
+        let arch = meta("arch")
+            .ok_or_else(|| field_error("meta.arch", "missing (not a checkpoint container?)"))?
+            .clone();
+        let spec_text =
+            meta("spec").ok_or_else(|| field_error("meta.spec", "missing spec document"))?;
+        let spec = wa_tensor::Json::parse(spec_text)
+            .map_err(|e| field_error("meta.spec", format!("embedded JSON: {}", e.message)))?;
+        if spec.as_obj().is_none() {
+            return Err(field_error("meta.spec", "must be a JSON object"));
+        }
+        let mut quant = BTreeMap::new();
+        if let Some(text) = meta("quant") {
+            let doc = wa_tensor::Json::parse(text)
+                .map_err(|e| field_error("meta.quant", format!("embedded JSON: {}", e.message)))?;
+            let sites = doc
+                .as_obj()
+                .ok_or_else(|| field_error("meta.quant", "must be an object of site → state"))?;
+            for (name, state) in sites {
+                let site = QuantSiteState::from_json(&quant_site_path(name), state)
+                    .map_err(|e| field_error("meta.quant", e.message))?;
+                quant.insert(name.clone(), site);
+            }
+        }
+        let mut params = BTreeMap::new();
+        for blob in &self.blobs {
+            if params.insert(blob.name.clone(), blob.to_tensor()).is_some() {
+                return Err(field_error(
+                    format!("blobs.{}", blob.name),
+                    "duplicate blob name",
+                ));
+            }
+        }
+        Ok(FullCheckpoint {
+            arch,
+            spec,
+            quant,
+            params: crate::checkpoint::Checkpoint { params },
+        })
+    }
+
+    /// Serializes to the wire layout in the module docs: header,
+    /// metadata, blob table, 64-aligned blob data, trailing checksum.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        // pass 1: the table's byte size fixes where blob data starts
+        let mut table = 4; // blob count
+        for blob in &self.blobs {
+            table += 4 + blob.name.len() + 1 + 4 + 8 * blob.shape.len();
+            table += 4 + 4 * blob.scales.len() + 8 + 8;
+        }
+        let mut head = 4 + 4 + 4; // magic + version + meta count
+        for (k, v) in &self.meta {
+            head += 4 + k.len() + 4 + v.len();
+        }
+        let align = |pos: usize| pos.div_ceil(CONTAINER_ALIGN) * CONTAINER_ALIGN;
+        let mut offsets = Vec::with_capacity(self.blobs.len());
+        let mut cursor = head + table;
+        for blob in &self.blobs {
+            cursor = align(cursor);
+            offsets.push(cursor);
+            cursor += blob.byte_len();
+        }
+
+        let mut out = Vec::with_capacity(cursor + CHECKSUM_LEN);
+        out.extend_from_slice(&CONTAINER_MAGIC);
+        out.extend_from_slice(&CONTAINER_VERSION.to_le_bytes());
+        out.extend_from_slice(&(self.meta.len() as u32).to_le_bytes());
+        for (k, v) in &self.meta {
+            out.extend_from_slice(&(k.len() as u32).to_le_bytes());
+            out.extend_from_slice(k.as_bytes());
+            out.extend_from_slice(&(v.len() as u32).to_le_bytes());
+            out.extend_from_slice(v.as_bytes());
+        }
+        out.extend_from_slice(&(self.blobs.len() as u32).to_le_bytes());
+        for (blob, &offset) in self.blobs.iter().zip(&offsets) {
+            out.extend_from_slice(&(blob.name.len() as u32).to_le_bytes());
+            out.extend_from_slice(blob.name.as_bytes());
+            out.push(blob.dtype.tag());
+            out.extend_from_slice(&(blob.shape.len() as u32).to_le_bytes());
+            for &d in &blob.shape {
+                out.extend_from_slice(&(d as u64).to_le_bytes());
+            }
+            out.extend_from_slice(&(blob.scales.len() as u32).to_le_bytes());
+            for &s in &blob.scales {
+                out.extend_from_slice(&s.to_le_bytes());
+            }
+            out.extend_from_slice(&(offset as u64).to_le_bytes());
+            out.extend_from_slice(&(blob.byte_len() as u64).to_le_bytes());
+        }
+        for (blob, &offset) in self.blobs.iter().zip(&offsets) {
+            out.resize(offset, 0); // zero padding up to the alignment
+            match &blob.data {
+                BlobData::F32(values) => {
+                    for v in values {
+                        out.extend_from_slice(&v.to_le_bytes());
+                    }
+                }
+                BlobData::I8(values) => {
+                    out.extend(values.iter().map(|&v| v as u8));
+                }
+            }
+        }
+        let checksum = fnv1a64(&out);
+        out.extend_from_slice(&checksum.to_le_bytes());
+        out
+    }
+
+    /// Parses container bytes with full validation (see the module-level
+    /// validation contract).
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Container`] naming the malformed field.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Container, CheckpointError> {
+        let min = CONTAINER_MAGIC.len() + 4 + 4 + 4 + CHECKSUM_LEN;
+        if bytes.len() < min {
+            return Err(field_error(
+                "header",
+                format!(
+                    "{} bytes is shorter than the {min}-byte minimum container",
+                    bytes.len()
+                ),
+            ));
+        }
+        // structural region: everything before the trailing checksum
+        let body = &bytes[..bytes.len() - CHECKSUM_LEN];
+        let mut c = Cursor { buf: body, pos: 0 };
+        let magic = c.take(CONTAINER_MAGIC.len(), "magic")?;
+        if magic != CONTAINER_MAGIC {
+            return Err(field_error(
+                "magic",
+                format!("expected {CONTAINER_MAGIC:?} (\"WACK\"), got {magic:?}"),
+            ));
+        }
+        let version = c.u32("version")?;
+        if version != CONTAINER_VERSION {
+            return Err(field_error(
+                "version",
+                format!(
+                    "unsupported version {version} (this reader understands {CONTAINER_VERSION})"
+                ),
+            ));
+        }
+        let meta_count = c.count("meta.count", MIN_META_ENTRY)?;
+        let mut meta = Vec::with_capacity(meta_count);
+        for i in 0..meta_count {
+            let key = c.string(&format!("meta[{i}].key"))?;
+            let value = c.string(&format!("meta[{i}].value"))?;
+            if meta.iter().any(|(k, _)| *k == key) {
+                return Err(field_error(format!("meta.{key}"), "duplicate metadata key"));
+            }
+            meta.push((key, value));
+        }
+        let blob_count = c.count("blobs.count", MIN_BLOB_ENTRY)?;
+        let mut entries: Vec<BlobEntry> = Vec::with_capacity(blob_count);
+        for i in 0..blob_count {
+            let name = c.string(&format!("blobs[{i}].name"))?;
+            let at = |field: &str| format!("blobs.{name}.{field}");
+            if entries.iter().any(|e| e.name == name) {
+                return Err(field_error(format!("blobs.{name}"), "duplicate blob name"));
+            }
+            let tag = c.u8(&at("dtype"))?;
+            let dtype = BlobDtype::from_tag(tag)
+                .ok_or_else(|| field_error(at("dtype"), format!("unknown dtype tag {tag}")))?;
+            let ndim = c.count(&at("shape"), 8)?;
+            if ndim == 0 {
+                return Err(field_error(at("shape"), "must have at least one dimension"));
+            }
+            let mut shape = Vec::with_capacity(ndim);
+            let mut numel = 1usize;
+            for d in 0..ndim {
+                let dim = c.u64(&at("shape"))?;
+                let dim = usize::try_from(dim)
+                    .ok()
+                    .filter(|&v| v > 0)
+                    .ok_or_else(|| {
+                        field_error(at("shape"), format!("dimension {d} of {dim} is not usable"))
+                    })?;
+                numel = numel
+                    .checked_mul(dim)
+                    .ok_or_else(|| field_error(at("shape"), "element count overflows a usize"))?;
+                shape.push(dim);
+            }
+            let scale_count = c.count(&at("scales"), 4)?;
+            let mut scales = Vec::with_capacity(scale_count);
+            for _ in 0..scale_count {
+                let s = c.f32(&at("scales"))?;
+                if !s.is_finite() {
+                    return Err(field_error(
+                        at("scales"),
+                        format!("scale {s} is not finite"),
+                    ));
+                }
+                scales.push(s);
+            }
+            match dtype {
+                BlobDtype::F32 if !scales.is_empty() => {
+                    return Err(field_error(
+                        at("scales"),
+                        format!("f32 blobs carry no scales, found {}", scales.len()),
+                    ));
+                }
+                BlobDtype::I8 if scales.len() != 1 && scales.len() != shape[0] => {
+                    return Err(field_error(
+                        at("scales"),
+                        format!(
+                            "i8 blobs need 1 (per-tensor) or {} (per-slice) scales, found {}",
+                            shape[0],
+                            scales.len()
+                        ),
+                    ));
+                }
+                _ => {}
+            }
+            let offset = c.u64(&at("offset"))?;
+            let byte_len = c.u64(&at("byte_len"))?;
+            let want = numel
+                .checked_mul(dtype.size())
+                .ok_or_else(|| field_error(at("byte_len"), "byte size overflows a usize"))?;
+            if byte_len != want as u64 {
+                return Err(field_error(
+                    at("byte_len"),
+                    format!("declares {byte_len} bytes but dtype × shape imply {want}"),
+                ));
+            }
+            let offset = usize::try_from(offset)
+                .ok()
+                .filter(|&o| o % CONTAINER_ALIGN == 0)
+                .ok_or_else(|| {
+                    field_error(
+                        at("offset"),
+                        format!("{offset} is not {CONTAINER_ALIGN}-byte aligned"),
+                    )
+                })?;
+            let end = offset.checked_add(want).filter(|&e| e <= body.len());
+            if end.is_none() {
+                return Err(field_error(
+                    at("offset"),
+                    format!(
+                        "blob [{offset}, {offset}+{want}) runs past the {}-byte data region",
+                        body.len()
+                    ),
+                ));
+            }
+            entries.push(BlobEntry {
+                name,
+                dtype,
+                shape,
+                scales,
+                offset,
+                byte_len: want,
+            });
+        }
+        let table_end = c.pos;
+        // blobs must live after the table, not overlap, and leave no
+        // room for trailing garbage beyond alignment padding
+        let mut order: Vec<usize> = (0..entries.len()).collect();
+        order.sort_by_key(|&i| entries[i].offset);
+        let mut previous_end = table_end;
+        for &i in &order {
+            let e = &entries[i];
+            if e.offset < previous_end {
+                return Err(field_error(
+                    format!("blobs.{}.offset", e.name),
+                    format!(
+                        "blob at {} overlaps the bytes ending at {previous_end}",
+                        e.offset
+                    ),
+                ));
+            }
+            previous_end = e.offset + e.byte_len;
+        }
+        if body.len() - previous_end >= CONTAINER_ALIGN {
+            return Err(field_error(
+                "data",
+                format!(
+                    "{} trailing bytes after the last blob (corrupt table or appended data)",
+                    body.len() - previous_end
+                ),
+            ));
+        }
+        // checksum last: structural corruption reports its field above;
+        // flipped bytes anywhere (blob data included) are caught here
+        let stored = u64::from_le_bytes(
+            bytes[bytes.len() - CHECKSUM_LEN..]
+                .try_into()
+                .expect("checksum slice is 8 bytes"),
+        );
+        let computed = fnv1a64(body);
+        if stored != computed {
+            return Err(field_error(
+                "checksum",
+                format!("stored {stored:#018x} != computed {computed:#018x}"),
+            ));
+        }
+        let blobs = entries
+            .into_iter()
+            .map(|e| {
+                let raw = &body[e.offset..e.offset + e.byte_len];
+                let data = match e.dtype {
+                    BlobDtype::F32 => BlobData::F32(
+                        raw.chunks_exact(4)
+                            .map(|b| f32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+                            .collect(),
+                    ),
+                    BlobDtype::I8 => BlobData::I8(raw.iter().map(|&b| b as i8).collect()),
+                };
+                Blob {
+                    name: e.name,
+                    dtype: e.dtype,
+                    shape: e.shape,
+                    scales: e.scales,
+                    data,
+                }
+            })
+            .collect();
+        Ok(Container { meta, blobs })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wa_tensor::Json;
+
+    fn sample() -> Container {
+        Container {
+            meta: vec![
+                ("arch".to_string(), "lenet".to_string()),
+                ("spec".to_string(), "{\"classes\":10}".to_string()),
+            ],
+            blobs: vec![
+                Blob::from_tensor("w", &Tensor::from_vec(vec![1.5, -2.0, 0.25, 9.0], &[2, 2])),
+                Blob {
+                    name: "q".to_string(),
+                    dtype: BlobDtype::I8,
+                    shape: vec![2, 3],
+                    scales: vec![0.5, 0.25],
+                    data: BlobData::I8(vec![1, -2, 4, 8, -8, 100]),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn bytes_roundtrip_exactly() {
+        let c = sample();
+        let bytes = c.to_bytes();
+        assert!(is_container(&bytes));
+        let back = Container::from_bytes(&bytes).unwrap();
+        assert_eq!(back, c);
+    }
+
+    /// Byte position of the first blob's stored `offset` field.
+    fn first_offset_field(bytes: &[u8]) -> usize {
+        let u32_at = |p: usize| u32::from_le_bytes(bytes[p..p + 4].try_into().unwrap()) as usize;
+        let mut p = 8; // magic + version
+        let meta = u32_at(p);
+        p += 4;
+        for _ in 0..meta {
+            p += 4 + u32_at(p); // key
+            p += 4 + u32_at(p); // value
+        }
+        p += 4; // blob count
+        p += 4 + u32_at(p); // name
+        p += 1; // dtype
+        let ndim = u32_at(p);
+        p += 4 + 8 * ndim;
+        let scales = u32_at(p);
+        p += 4 + 4 * scales;
+        p
+    }
+
+    #[test]
+    fn unaligned_blob_offsets_are_rejected() {
+        let bytes = sample().to_bytes();
+        let field = first_offset_field(&bytes);
+        let offset = u64::from_le_bytes(bytes[field..field + 8].try_into().unwrap());
+        assert_eq!(offset % CONTAINER_ALIGN as u64, 0, "writer must align");
+        let mut mutated = bytes.clone();
+        mutated[field..field + 8].copy_from_slice(&(offset + 1).to_le_bytes());
+        let err = Container::from_bytes(&mutated).unwrap_err();
+        assert!(err.to_string().contains("offset"), "{err}");
+    }
+
+    #[test]
+    fn i8_blobs_dequantize_per_slice() {
+        let c = sample();
+        let t = c.blobs[1].to_tensor();
+        assert_eq!(t.shape(), &[2, 3]);
+        assert_eq!(t.data(), &[0.5, -1.0, 2.0, 2.0, -2.0, 25.0]);
+    }
+
+    #[test]
+    fn checkpoint_meta_survives() {
+        let doc = FullCheckpoint {
+            arch: "lenet".to_string(),
+            spec: Json::obj([("classes", 10usize)]),
+            quant: BTreeMap::new(),
+            params: crate::checkpoint::Checkpoint {
+                params: [("w".to_string(), Tensor::from_vec(vec![1.0, 2.0], &[2]))]
+                    .into_iter()
+                    .collect(),
+            },
+        };
+        let back = read_checkpoint(&write_checkpoint(&doc)).unwrap();
+        assert_eq!(back.arch, doc.arch);
+        assert_eq!(back.spec, doc.spec);
+        assert_eq!(back.params.params, doc.params.params);
+    }
+
+    #[test]
+    fn empty_and_garbage_inputs_are_structured_errors() {
+        for bad in [&b""[..], &b"WACK"[..], &[0u8; 23][..]] {
+            let err = Container::from_bytes(bad).unwrap_err();
+            assert!(matches!(err, CheckpointError::Container { .. }), "{err}");
+        }
+        let err = Container::from_bytes(&[0xFFu8; 64]).unwrap_err();
+        assert!(err.to_string().contains("magic"), "{err}");
+    }
+}

@@ -53,6 +53,7 @@
 //! ```
 
 mod checkpoint;
+pub mod container;
 mod error;
 pub mod executor;
 pub(crate) mod int8;
@@ -66,6 +67,9 @@ mod tape;
 pub use checkpoint::{
     export_params, export_quant_state, import_params, import_quant_state, Checkpoint,
     CheckpointError, FullCheckpoint, QuantSiteState,
+};
+pub use container::{
+    is_container, read_checkpoint, write_checkpoint, Blob, BlobData, BlobDtype, Container,
 };
 pub use error::WaError;
 pub use executor::{BatchExecutor, ExecutorConfig, ExecutorStats, Infer};

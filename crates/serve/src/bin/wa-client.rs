@@ -4,6 +4,7 @@
 //! wa-client make-checkpoint <path> [--arch lenet] [--classes N]
 //!           [--input-size N] [--width W] [--algo F2] [--quant INT8] [--transform per-tap]
 //!           [--execution int8] [--calibration-batches N] [--seed N]
+//! wa-client convert <input> <output>
 //! wa-client load <addr> <name> <path> [--timeout MS]
 //! wa-client list <addr> [--timeout MS]
 //! wa-client infer <addr> <name> [--batch N] [--requests K]
@@ -25,6 +26,15 @@
 //! calibrated on `--calibration-batches` (default 2) seeded random
 //! batches; passing `0` is rejected before writing — an uncalibrated
 //! int8 checkpoint would requantize through one-off per-request scales.
+//!
+//! `convert` round-trips a checkpoint between formats, sniffed from the
+//! input's bytes: a JSON document becomes a binary `.wack` container
+//! (magic `WACK`, see `docs/checkpoints.md`) and a container becomes
+//! pretty-printed JSON. `load` sniffs too: a JSON checkpoint is parsed
+//! locally and sent inline over the wire, while a binary container is
+//! loaded *by the server* from the given path (binary bytes never
+//! transit the JSON protocol — the server and client must share a
+//! filesystem for that form).
 //!
 //! `--timeout MS` bounds every network wait on the client side
 //! (connect, send, receive); an elapsed timeout exits with a structured
@@ -49,6 +59,7 @@ fn usage() -> ! {
         "usage:\n  wa-client make-checkpoint <path> [--arch lenet] [--classes N] \
          [--input-size N] [--width W] [--algo F2] [--quant INT8] [--transform per-tap] \
          [--execution int8] [--calibration-batches N] [--seed N]\n  \
+         wa-client convert <input> <output>\n  \
          wa-client load <addr> <name> <path> [--timeout MS]\n  \
          wa-client list <addr> [--timeout MS]\n  \
          wa-client infer <addr> <name> [--batch N] [--requests K] [--concurrency C] \
@@ -199,17 +210,65 @@ fn make_checkpoint(path: &str, flags: &Flags) {
     println!("wrote {kind} checkpoint ({} bytes) to {path}", doc.len());
 }
 
-fn load(addr: &str, name: &str, path: &str, flags: &Flags) {
-    let text =
-        std::fs::read_to_string(path).unwrap_or_else(|e| fail(format!("reading {path}: {e}")));
-    let ckpt = FullCheckpoint::from_json_str(&text)
-        .unwrap_or_else(|e| fail(format!("parsing {path}: {e}")));
-    let mut client = connect(addr, flags);
-    let resp = client.load_model(name, &ckpt).unwrap_or_else(|e| fail(e));
+/// Converts a checkpoint between the JSON and binary container formats
+/// (direction sniffed from the input's leading bytes).
+fn convert(input: &str, output: &str) {
+    let bytes = std::fs::read(input).unwrap_or_else(|e| fail(format!("reading {input}: {e}")));
+    let (params, from, out_bytes, to) = if wa_nn::is_container(&bytes) {
+        let ckpt = wa_nn::read_checkpoint(&bytes)
+            .unwrap_or_else(|e| fail(format!("parsing {input}: {e}")));
+        let text = ckpt.to_json().to_string_pretty();
+        (
+            ckpt.params.params.len(),
+            "binary",
+            text.into_bytes(),
+            "json",
+        )
+    } else {
+        let text = String::from_utf8(bytes).unwrap_or_else(|_| {
+            fail(format!(
+                "{input} is neither a binary container nor UTF-8 JSON"
+            ))
+        });
+        let ckpt = FullCheckpoint::from_json_str(&text)
+            .unwrap_or_else(|e| fail(format!("parsing {input}: {e}")));
+        let out = wa_nn::write_checkpoint(&ckpt);
+        (ckpt.params.params.len(), "json", out, "binary")
+    };
+    std::fs::write(output, &out_bytes).unwrap_or_else(|e| fail(format!("writing {output}: {e}")));
     println!(
-        "loaded `{name}` (arch {}, {} params)",
+        "converted {from} {input} ({params} params) to {to} {output} ({} bytes)",
+        out_bytes.len()
+    );
+}
+
+fn load(addr: &str, name: &str, path: &str, flags: &Flags) {
+    let bytes = std::fs::read(path).unwrap_or_else(|e| fail(format!("reading {path}: {e}")));
+    let mut client = connect(addr, flags);
+    let resp = if wa_nn::is_container(&bytes) {
+        // binary containers don't transit the JSON protocol: the server
+        // reads the path itself (it must see the same filesystem)
+        client
+            .load_model_path(name, path)
+            .unwrap_or_else(|e| fail(e))
+    } else {
+        let text = String::from_utf8(bytes).unwrap_or_else(|_| {
+            fail(format!(
+                "{path} is neither a binary container nor UTF-8 JSON"
+            ))
+        });
+        let ckpt = FullCheckpoint::from_json_str(&text)
+            .unwrap_or_else(|e| fail(format!("parsing {path}: {e}")));
+        client.load_model(name, &ckpt).unwrap_or_else(|e| fail(e))
+    };
+    println!(
+        "loaded `{name}` (arch {}, {} params, format {}, {} µs)",
         resp.get("arch").and_then(|v| v.as_str()).unwrap_or("?"),
-        resp.get("params").and_then(|v| v.as_f64()).unwrap_or(0.0)
+        resp.get("params").and_then(|v| v.as_f64()).unwrap_or(0.0),
+        resp.get("format").and_then(|v| v.as_str()).unwrap_or("?"),
+        resp.get("load_micros")
+            .and_then(|v| v.as_f64())
+            .unwrap_or(0.0)
     );
 }
 
@@ -316,6 +375,9 @@ fn main() {
     match (cmd.as_str(), &args[1..]) {
         ("make-checkpoint", rest) if !rest.is_empty() => {
             make_checkpoint(&rest[0], &Flags::parse(&rest[1..], &[]));
+        }
+        ("convert", rest) if rest.len() == 2 => {
+            convert(&rest[0], &rest[1]);
         }
         ("load", rest) if rest.len() >= 3 => {
             let flags = Flags::parse(&rest[3..], &[]);

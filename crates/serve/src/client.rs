@@ -210,6 +210,21 @@ impl Client {
         ]))
     }
 
+    /// Asks the server to load a checkpoint from a path on *its own*
+    /// filesystem (JSON or binary container, sniffed by magic) — the
+    /// fast path for binary containers, which never transit the wire.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::request`].
+    pub fn load_model_path(&mut self, name: &str, path: &str) -> Result<Json, ClientError> {
+        self.request(&Json::obj([
+            ("op", Json::from("load_model")),
+            ("name", Json::from(name)),
+            ("checkpoint", Json::from(path)),
+        ]))
+    }
+
     /// Removes a model.
     ///
     /// # Errors

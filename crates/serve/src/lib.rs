@@ -83,9 +83,9 @@ pub mod server;
 pub use client::{Client, ClientError};
 pub use http::status_for_kind;
 pub use protocol::{
-    error_response, ok_response, read_frame, write_frame, ErrorBody, ErrorKind, FrameError,
-    Request, DEFAULT_MAX_FRAME,
+    error_response, ok_response, read_frame, write_frame, CheckpointSource, ErrorBody, ErrorKind,
+    FrameError, Request, DEFAULT_MAX_FRAME,
 };
-pub use registry::{ModelStats, Registry, ServedModel};
+pub use registry::{checkpoint_resident_bytes, ModelLifecycle, ModelStats, Registry, ServedModel};
 pub use scheduler::{Scheduler, SchedulerConfig};
 pub use server::{Server, ServerConfig, ServerHandle};

@@ -4,15 +4,18 @@
 //! wa-serve [--addr 127.0.0.1:7878] [--http-port PORT] [--threads N]
 //!          [--chunk N] [--max-batch N] [--max-delay-ms N]
 //!          [--max-frame-mb N] [--max-conns N] [--max-queue N]
-//!          [--max-inflight-flushes N]
+//!          [--max-inflight-flushes N] [--max-model-bytes N]
 //! ```
 //!
 //! Binds, prints `wa-serve listening on <addr>` (scripts wait for that
 //! line; with `--http-port` a second `wa-serve http listening on
 //! <addr>` line follows), and serves until a `shutdown` request
 //! arrives. Models are loaded over the wire (`load_model` with a
-//! one-document checkpoint) — typically via `wa-client` or `POST
-//! /v1/models/load`.
+//! one-document checkpoint, or a server-side path to a JSON or binary
+//! container file) — typically via `wa-client` or `POST
+//! /v1/models/load`. `--max-model-bytes` caps resident parameter bytes
+//! across all models; over the cap, idle models are evicted LRU-first
+//! (see `docs/checkpoints.md`).
 
 use std::time::Duration;
 
@@ -22,7 +25,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: wa-serve [--addr HOST:PORT] [--http-port PORT] [--threads N] \
          [--chunk N] [--max-batch N] [--max-delay-ms N] [--max-frame-mb N] \
-         [--max-conns N] [--max-queue N] [--max-inflight-flushes N]"
+         [--max-conns N] [--max-queue N] [--max-inflight-flushes N] \
+         [--max-model-bytes N]"
     );
     std::process::exit(2);
 }
@@ -49,6 +53,7 @@ fn main() -> std::io::Result<()> {
             "--max-conns" => cfg.max_conns = parse(value()),
             "--max-queue" => cfg.scheduler.max_queue = parse(value()),
             "--max-inflight-flushes" => cfg.scheduler.max_inflight_flushes = parse(value()),
+            "--max-model-bytes" => cfg.max_model_bytes = Some(parse(value()) as u64),
             "--help" | "-h" => usage(),
             _ => usage(),
         }

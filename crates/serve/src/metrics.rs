@@ -32,6 +32,7 @@ struct ScrapeGauges {
     in_flight: Arc<wa_obs::Gauge>,
     inflight_flushes: Arc<wa_obs::Gauge>,
     models_loaded: Arc<wa_obs::Gauge>,
+    resident_bytes: Arc<wa_obs::Gauge>,
     scrapes: Arc<wa_obs::Counter>,
 }
 
@@ -52,6 +53,10 @@ fn scrape_gauges() -> &'static ScrapeGauges {
             "Batch flushes currently executing.",
         ),
         models_loaded: wa_obs::gauge("wa_models_loaded", "Models currently loaded."),
+        resident_bytes: wa_obs::gauge(
+            "wa_registry_resident_bytes",
+            "Parameter bytes resident across all loaded models (--max-model-bytes unit).",
+        ),
         scrapes: wa_obs::counter(
             "wa_metrics_scrapes_total",
             "Renders of the metrics exposition (HTTP scrapes and socket `metrics` ops).",
@@ -73,6 +78,8 @@ pub(crate) fn metrics_text(shared: &Shared) -> String {
     g.inflight_flushes
         .set(shared.scheduler.inflight_flushes() as i64);
     g.models_loaded.set(shared.registry.len() as i64);
+    g.resident_bytes
+        .set(shared.registry.resident_bytes_total() as i64);
     let mut out = wa_obs::global().render();
     render_model_series(&mut out, shared);
     out
@@ -81,9 +88,61 @@ pub(crate) fn metrics_text(shared: &Shared) -> String {
 /// Per-model counter and histogram families, one sample per loaded
 /// model, labelled `model="<name>"`.
 fn render_model_series(out: &mut String, shared: &Shared) {
+    // Lifecycle families are keyed by model *name* and outlive the
+    // entry, so an evicted model's eviction count stays scrapeable.
+    let lifecycles = shared.registry.lifecycle_entries();
+    if !lifecycles.is_empty() {
+        struct LifecycleFamily {
+            name: &'static str,
+            help: &'static str,
+            read: fn(&crate::registry::ModelLifecycle) -> u64,
+        }
+        let families: &[LifecycleFamily] = &[
+            LifecycleFamily {
+                name: "wa_model_lifecycle_loads_total",
+                help: "Checkpoints loaded under this model name (reloads included).",
+                read: |l| l.loads.load(Ordering::Relaxed),
+            },
+            LifecycleFamily {
+                name: "wa_model_lifecycle_reloads_total",
+                help: "Loads that hot-replaced a live model of the same name.",
+                read: |l| l.reloads.load(Ordering::Relaxed),
+            },
+            LifecycleFamily {
+                name: "wa_model_lifecycle_evictions_total",
+                help: "Times the --max-model-bytes budget evicted this model name.",
+                read: |l| l.evictions.load(Ordering::Relaxed),
+            },
+        ];
+        for fam in families {
+            expo::write_help(out, fam.name, fam.help, "counter");
+            for (name, lc) in &lifecycles {
+                expo::write_sample(
+                    out,
+                    fam.name,
+                    &[("model", name.as_str())],
+                    (fam.read)(lc) as f64,
+                );
+            }
+        }
+    }
     let entries = shared.registry.entries();
     if entries.is_empty() {
         return;
+    }
+    expo::write_help(
+        out,
+        "wa_model_resident_bytes",
+        "Parameter bytes this model keeps resident, per loaded model.",
+        "gauge",
+    );
+    for m in &entries {
+        expo::write_sample(
+            out,
+            "wa_model_resident_bytes",
+            &[("model", m.name.as_str())],
+            m.resident_bytes as f64,
+        );
     }
     struct CounterFamily {
         name: &'static str,

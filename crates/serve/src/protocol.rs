@@ -25,7 +25,7 @@
 //!
 //! | op            | fields                                   |
 //! |---------------|------------------------------------------|
-//! | `load_model`  | `name`, `checkpoint` (a [`FullCheckpoint`] document) |
+//! | `load_model`  | `name`, `checkpoint` (a [`FullCheckpoint`] document, or a server-side file path string — JSON or binary container, sniffed by magic) |
 //! | `unload`      | `name`                                   |
 //! | `list_models` | —                                        |
 //! | `infer`       | `model`, `input` (tensor, `[N,C,H,W]` or one `[C,H,W]` sample), optional `deadline_ms`, optional `trace_id` |
@@ -224,6 +224,18 @@ impl From<WaError> for ErrorBody {
     }
 }
 
+/// Where a `load_model` request's checkpoint comes from.
+#[derive(Debug)]
+pub enum CheckpointSource {
+    /// The checkpoint document rode inline in the request.
+    Inline(Box<FullCheckpoint>),
+    /// A server-side file path: the server reads the file, sniffs the
+    /// container magic, and parses JSON or binary accordingly — the
+    /// cold-start fast path (no multi-hundred-MB JSON frame on the
+    /// wire, and binary containers decode in milliseconds).
+    Path(String),
+}
+
 /// A parsed request (the `"op"` dispatch of the [module docs](self)).
 #[derive(Debug)]
 pub enum Request {
@@ -231,8 +243,8 @@ pub enum Request {
     LoadModel {
         /// Registry name to serve the model under.
         name: String,
-        /// The checkpoint (arch + spec + params).
-        checkpoint: Box<FullCheckpoint>,
+        /// The checkpoint (arch + spec + params), inline or by path.
+        checkpoint: CheckpointSource,
     },
     /// Remove a model from the registry.
     Unload {
@@ -299,15 +311,19 @@ impl Request {
         match op {
             "load_model" => {
                 let name = name_field("name")?;
-                let ckpt_doc = doc
-                    .get("checkpoint")
-                    .ok_or_else(|| bad("`load_model` needs a `checkpoint` object".to_string()))?;
-                let checkpoint = FullCheckpoint::from_json(ckpt_doc)
-                    .map_err(|e| bad(format!("bad checkpoint: {}", e.message)))?;
-                Ok(Request::LoadModel {
-                    name,
-                    checkpoint: Box::new(checkpoint),
-                })
+                let ckpt_doc = doc.get("checkpoint").ok_or_else(|| {
+                    bad("`load_model` needs a `checkpoint` object or path string".to_string())
+                })?;
+                let checkpoint = match ckpt_doc.as_str() {
+                    Some(path) if !path.is_empty() => CheckpointSource::Path(path.to_string()),
+                    Some(_) => return Err(bad("`checkpoint` path must be nonempty".to_string())),
+                    None => {
+                        let parsed = FullCheckpoint::from_json(ckpt_doc)
+                            .map_err(|e| bad(format!("bad checkpoint: {}", e.message)))?;
+                        CheckpointSource::Inline(Box::new(parsed))
+                    }
+                };
+                Ok(Request::LoadModel { name, checkpoint })
             }
             "unload" => Ok(Request::Unload {
                 name: name_field("name")?,

@@ -10,12 +10,59 @@
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock, RwLock};
+use std::time::Instant;
 
 use wa_models::ZooModel;
 use wa_nn::FullCheckpoint;
 use wa_tensor::Json;
 
 use crate::protocol::{ErrorBody, ErrorKind};
+
+/// Process-wide monotonic recency clock: every admitted inference
+/// stamps its model, and the eviction policy removes the idle model
+/// with the smallest stamp (least recently used).
+static USE_CLOCK: AtomicU64 = AtomicU64::new(1);
+
+/// The bytes a checkpoint's parameters occupy once resident (dense
+/// `f32` storage) — what the `--max-model-bytes` budget accounts.
+pub fn checkpoint_resident_bytes(doc: &FullCheckpoint) -> u64 {
+    doc.params
+        .params
+        .values()
+        .map(|t| 4 * t.data().len() as u64)
+        .sum()
+}
+
+/// Lifecycle totals for one model *name*, surviving eviction and
+/// reload (the [`ServedModel`] entry itself is replaced on each load).
+#[derive(Debug, Default)]
+pub struct ModelLifecycle {
+    /// Checkpoints loaded under this name (reloads included).
+    pub loads: AtomicU64,
+    /// Loads that replaced a live model (hot reloads).
+    pub reloads: AtomicU64,
+    /// Times the memory budget evicted this name.
+    pub evictions: AtomicU64,
+}
+
+impl ModelLifecycle {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            (
+                "loads",
+                Json::from(self.loads.load(Ordering::Relaxed) as f64),
+            ),
+            (
+                "reloads",
+                Json::from(self.reloads.load(Ordering::Relaxed) as f64),
+            ),
+            (
+                "evictions",
+                Json::from(self.evictions.load(Ordering::Relaxed) as f64),
+            ),
+        ])
+    }
+}
 
 /// Per-model serving counters (relaxed atomics: the numbers are
 /// monotonic telemetry, not synchronization) plus a full-history
@@ -50,10 +97,21 @@ pub struct ModelStats {
     pub deadline_expired: AtomicU64,
     /// Requests refused with `busy` by the admission-control queue cap.
     pub rejected_busy: AtomicU64,
+    /// Recency stamp of the last admitted inference, drawn from the
+    /// registry's monotonic use-clock; the LRU eviction key.
+    pub last_used: AtomicU64,
     latency: wa_obs::Histogram,
 }
 
 impl ModelStats {
+    /// Stamps this model as just-used (called on every admitted
+    /// inference and at load time, so a fresh model is never the
+    /// immediate eviction victim).
+    pub fn touch(&self) {
+        self.last_used
+            .store(USE_CLOCK.fetch_add(1, Ordering::Relaxed), Ordering::Relaxed);
+    }
+
     /// Records one flushed batch.
     pub fn record_batch(&self, requests: u64, samples: u64, micros: u64) {
         self.requests.fetch_add(requests, Ordering::Relaxed);
@@ -131,19 +189,37 @@ pub struct ServedModel {
     pub model: ZooModel,
     /// Serving counters.
     pub stats: ModelStats,
+    /// Parameter bytes this model keeps resident (the budget's unit).
+    pub resident_bytes: u64,
+    /// End-to-end load cost in microseconds: checkpoint read + parse
+    /// (when the server resolved a path) plus model build + import.
+    pub load_micros: u64,
+    /// Which source format the checkpoint arrived in
+    /// (`"inline"` / `"json"` / `"binary"`).
+    pub format: String,
+    /// Name-keyed lifecycle totals, shared across reloads.
+    pub lifecycle: Arc<ModelLifecycle>,
 }
 
-/// Name → model map shared by every connection thread.
+/// Name → model map shared by every connection thread, with an
+/// optional resident-bytes budget enforced by LRU eviction of idle
+/// models (`wa-serve --max-model-bytes`).
 #[derive(Debug, Default)]
 pub struct Registry {
     models: RwLock<BTreeMap<String, Arc<ServedModel>>>,
+    /// Resident-parameter-bytes budget; `None` = unlimited.
+    max_model_bytes: Option<u64>,
+    /// Lifecycle counters by model *name*, surviving eviction/reload.
+    lifecycle: RwLock<BTreeMap<String, Arc<ModelLifecycle>>>,
 }
 
-/// Global load/unload counters (process-wide lifecycle totals; the
-/// per-model counters live on each entry's [`ModelStats`]).
+/// Global load/unload/evict counters (process-wide lifecycle totals;
+/// the per-model counters live on each entry's [`ModelStats`] and
+/// [`ModelLifecycle`]).
 struct RegistryMetrics {
     loads: Arc<wa_obs::Counter>,
     unloads: Arc<wa_obs::Counter>,
+    evictions: Arc<wa_obs::Counter>,
 }
 
 fn registry_metrics() -> &'static RegistryMetrics {
@@ -154,13 +230,57 @@ fn registry_metrics() -> &'static RegistryMetrics {
             "Models (re)loaded into a registry from a checkpoint.",
         ),
         unloads: wa_obs::counter("wa_model_unloads_total", "Models removed from a registry."),
+        evictions: wa_obs::counter(
+            "wa_model_evictions_total",
+            "Idle models evicted by the --max-model-bytes memory budget.",
+        ),
     })
 }
 
 impl Registry {
-    /// Creates an empty registry.
+    /// Creates an empty registry with no memory budget.
     pub fn new() -> Registry {
         Registry::default()
+    }
+
+    /// Creates an empty registry capped at `max_model_bytes` resident
+    /// parameter bytes (`None` = unlimited). When a load would exceed
+    /// the cap, idle models are evicted least-recently-used first; if
+    /// nothing idle can be evicted the load is refused with `busy`.
+    pub fn with_budget(max_model_bytes: Option<u64>) -> Registry {
+        Registry {
+            max_model_bytes,
+            ..Registry::default()
+        }
+    }
+
+    /// The configured resident-bytes budget (`None` = unlimited).
+    pub fn budget(&self) -> Option<u64> {
+        self.max_model_bytes
+    }
+
+    /// Parameter bytes currently resident across all loaded models.
+    pub fn resident_bytes_total(&self) -> u64 {
+        self.read().values().map(|m| m.resident_bytes).sum()
+    }
+
+    /// The lifecycle counter block for `name`, created on first use and
+    /// retained after eviction so `evictions` totals survive the entry.
+    fn lifecycle_for(&self, name: &str) -> Arc<ModelLifecycle> {
+        let mut map = self.lifecycle.write().expect("lifecycle lock poisoned");
+        Arc::clone(map.entry(name.to_string()).or_default())
+    }
+
+    /// Every model name that has ever been loaded, with its lifecycle
+    /// totals (evicted names included — their counters outlive the
+    /// entry), for collectors that render labeled series.
+    pub fn lifecycle_entries(&self) -> Vec<(String, Arc<ModelLifecycle>)> {
+        self.lifecycle
+            .read()
+            .expect("lifecycle lock poisoned")
+            .iter()
+            .map(|(k, v)| (k.clone(), Arc::clone(v)))
+            .collect()
     }
 
     /// Reconstructs a model from a one-document checkpoint and installs
@@ -170,22 +290,116 @@ impl Registry {
     /// # Errors
     ///
     /// [`ErrorBody`] describing the bad checkpoint (unknown arch, invalid
-    /// spec, shape-mismatched params).
+    /// spec, shape-mismatched params), or [`ErrorKind::Busy`] when the
+    /// memory budget cannot make room.
     pub fn load(&self, name: &str, doc: &FullCheckpoint) -> Result<Arc<ServedModel>, ErrorBody> {
+        self.load_with_origin(name, doc, "inline", 0)
+    }
+
+    /// [`Registry::load`] with source attribution: `format` names where
+    /// the checkpoint came from (`"inline"` / `"json"` / `"binary"`) and
+    /// `parse_micros` is the time the caller already spent reading and
+    /// parsing it, folded into the entry's `load_micros`.
+    ///
+    /// # Errors
+    ///
+    /// As [`Registry::load`].
+    pub fn load_with_origin(
+        &self,
+        name: &str,
+        doc: &FullCheckpoint,
+        format: &str,
+        parse_micros: u64,
+    ) -> Result<Arc<ServedModel>, ErrorBody> {
+        let resident_bytes = checkpoint_resident_bytes(doc);
+        if let Some(budget) = self.max_model_bytes {
+            if resident_bytes > budget {
+                return Err(ErrorBody::new(
+                    ErrorKind::Busy,
+                    format!(
+                        "checkpoint `{name}` needs {resident_bytes} resident bytes but the \
+                         --max-model-bytes budget is {budget}"
+                    ),
+                ));
+            }
+        }
+        let build_start = Instant::now();
         let model = ZooModel::from_full_checkpoint(doc).map_err(ErrorBody::from)?;
+        let load_micros = parse_micros + build_start.elapsed().as_micros() as u64;
+        let lifecycle = self.lifecycle_for(name);
         let entry = Arc::new(ServedModel {
             name: name.to_string(),
             model,
             stats: ModelStats::default(),
+            resident_bytes,
+            load_micros,
+            format: format.to_string(),
+            lifecycle: Arc::clone(&lifecycle),
         });
-        self.write().insert(name.to_string(), Arc::clone(&entry));
+        entry.stats.touch();
+        let mut evicted: Vec<String> = Vec::new();
+        {
+            let mut models = self.write();
+            if let Some(budget) = self.max_model_bytes {
+                // Bytes that stay resident alongside the new model — a
+                // same-name reload replaces its old entry, so exclude it.
+                let mut used: u64 = models
+                    .iter()
+                    .filter(|(k, _)| k.as_str() != name)
+                    .map(|(_, m)| m.resident_bytes)
+                    .sum();
+                while used + resident_bytes > budget {
+                    let victim = models
+                        .iter()
+                        .filter(|(k, m)| {
+                            k.as_str() != name
+                                && m.stats.queued_samples.load(Ordering::Relaxed) == 0
+                        })
+                        .min_by_key(|(_, m)| m.stats.last_used.load(Ordering::Relaxed))
+                        .map(|(k, _)| k.clone());
+                    let Some(victim) = victim else {
+                        return Err(ErrorBody::new(
+                            ErrorKind::Busy,
+                            format!(
+                                "cannot make room for `{name}` ({resident_bytes} bytes): \
+                                 {used} bytes resident, every other model is busy, and the \
+                                 --max-model-bytes budget is {budget}"
+                            ),
+                        ));
+                    };
+                    let gone = models.remove(&victim).expect("eviction victim vanished");
+                    used -= gone.resident_bytes;
+                    gone.lifecycle.evictions.fetch_add(1, Ordering::Relaxed);
+                    registry_metrics().evictions.inc();
+                    evicted.push(victim);
+                }
+            }
+            let replaced = models
+                .insert(name.to_string(), Arc::clone(&entry))
+                .is_some();
+            lifecycle.loads.fetch_add(1, Ordering::Relaxed);
+            if replaced {
+                lifecycle.reloads.fetch_add(1, Ordering::Relaxed);
+            }
+        }
         registry_metrics().loads.inc();
+        for victim in &evicted {
+            wa_obs::info(
+                "wa_serve::registry",
+                "model evicted",
+                &[
+                    ("model", victim.as_str().into()),
+                    ("evicted_for", name.into()),
+                ],
+            );
+        }
         wa_obs::info(
             "wa_serve::registry",
             "model loaded",
             &[
                 ("model", name.into()),
                 ("arch", entry.model.kind().name().into()),
+                ("format", format.into()),
             ],
         );
         Ok(entry)
@@ -277,6 +491,10 @@ impl Registry {
                 .map(|m| {
                     Json::obj([
                         ("name", Json::from(m.name.as_str())),
+                        ("format", Json::from(m.format.as_str())),
+                        ("resident_bytes", Json::from(m.resident_bytes as f64)),
+                        ("load_micros", Json::from(m.load_micros as f64)),
+                        ("lifecycle", m.lifecycle.to_json()),
                         ("stats", m.stats.to_json()),
                     ])
                 })
@@ -346,6 +564,89 @@ mod tests {
         let err = reg.load("x", &doc).unwrap_err();
         assert_eq!(err.kind, ErrorKind::InvalidSpec);
         assert!(reg.is_empty());
+    }
+
+    #[test]
+    fn budget_evicts_the_least_recently_used_idle_model() {
+        let doc = lenet_doc();
+        let one = checkpoint_resident_bytes(&doc);
+        assert!(one > 0);
+        // Room for two resident models, not three.
+        let reg = Registry::with_budget(Some(2 * one));
+        reg.load("a", &doc).unwrap();
+        reg.load("b", &doc).unwrap();
+        assert_eq!(reg.resident_bytes_total(), 2 * one);
+        // Touch `a` so `b` becomes the LRU victim.
+        reg.get("a").unwrap().stats.touch();
+        reg.load("c", &doc).unwrap();
+        assert_eq!(reg.len(), 2);
+        assert!(reg.get("b").is_err(), "LRU model `b` should be evicted");
+        assert!(reg.get("a").is_ok() && reg.get("c").is_ok());
+        let lifecycles: BTreeMap<_, _> = reg.lifecycle_entries().into_iter().collect();
+        assert_eq!(lifecycles["b"].evictions.load(Ordering::Relaxed), 1);
+        assert_eq!(lifecycles["a"].evictions.load(Ordering::Relaxed), 0);
+        assert_eq!(lifecycles["c"].loads.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn budget_refuses_when_every_other_model_is_busy() {
+        let doc = lenet_doc();
+        let one = checkpoint_resident_bytes(&doc);
+        let reg = Registry::with_budget(Some(one));
+        reg.load("hot", &doc).unwrap();
+        // In-flight samples pin the only possible victim.
+        reg.get("hot")
+            .unwrap()
+            .stats
+            .queued_samples
+            .store(3, Ordering::Relaxed);
+        let err = reg.load("next", &doc).unwrap_err();
+        assert_eq!(err.kind, ErrorKind::Busy);
+        assert!(err.message.contains("busy"), "message: {}", err.message);
+        assert!(reg.get("hot").is_ok(), "busy model must not be evicted");
+        assert!(reg.get("next").is_err());
+    }
+
+    #[test]
+    fn oversized_checkpoint_is_refused_outright() {
+        let doc = lenet_doc();
+        let one = checkpoint_resident_bytes(&doc);
+        let reg = Registry::with_budget(Some(one - 1));
+        let err = reg.load("big", &doc).unwrap_err();
+        assert_eq!(err.kind, ErrorKind::Busy);
+        assert!(err.message.contains("--max-model-bytes"));
+        assert!(reg.is_empty());
+    }
+
+    #[test]
+    fn reload_replaces_in_place_and_counts_as_reload() {
+        let doc = lenet_doc();
+        let one = checkpoint_resident_bytes(&doc);
+        // Budget fits exactly one copy: a same-name reload must not
+        // double-count the entry it replaces.
+        let reg = Registry::with_budget(Some(one));
+        reg.load("m", &doc).unwrap();
+        reg.load("m", &doc).unwrap();
+        assert_eq!(reg.len(), 1);
+        assert_eq!(reg.resident_bytes_total(), one);
+        let lifecycles: BTreeMap<_, _> = reg.lifecycle_entries().into_iter().collect();
+        assert_eq!(lifecycles["m"].loads.load(Ordering::Relaxed), 2);
+        assert_eq!(lifecycles["m"].reloads.load(Ordering::Relaxed), 1);
+        assert_eq!(lifecycles["m"].evictions.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn stats_rows_carry_load_provenance() {
+        let reg = Registry::new();
+        reg.load_with_origin("m", &lenet_doc(), "binary", 1234)
+            .unwrap();
+        let rows = reg.stats_json();
+        let row = &rows.as_arr().unwrap()[0];
+        assert_eq!(row.get("format").unwrap().as_str(), Some("binary"));
+        assert!(row.get("load_micros").unwrap().as_f64().unwrap() >= 1234.0);
+        assert!(row.get("resident_bytes").unwrap().as_f64().unwrap() > 0.0);
+        let lc = row.get("lifecycle").unwrap();
+        assert_eq!(lc.get("loads").and_then(|v| v.as_f64()), Some(1.0));
     }
 
     #[test]

@@ -459,6 +459,9 @@ impl Scheduler {
             ));
         }
         sched_metrics().queue_depth.add(samples as i64);
+        // admitted: stamp recency so the memory budget's LRU eviction
+        // never picks a model that is actively serving traffic
+        entry.stats.touch();
         let (reply, result) = channel();
         let job = Job {
             entry,

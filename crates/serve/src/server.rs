@@ -17,9 +17,11 @@ use std::time::{Duration, Instant};
 
 use wa_tensor::Json;
 
+use wa_nn::FullCheckpoint;
+
 use crate::protocol::{
-    error_response, ok_response, read_frame, write_frame, ErrorBody, ErrorKind, FrameError,
-    Request, DEFAULT_MAX_FRAME,
+    error_response, ok_response, read_frame, write_frame, CheckpointSource, ErrorBody, ErrorKind,
+    FrameError, Request, DEFAULT_MAX_FRAME,
 };
 use crate::registry::Registry;
 use crate::scheduler::{Scheduler, SchedulerConfig};
@@ -39,6 +41,11 @@ pub struct ServerConfig {
     /// `429` response (HTTP) for its first request and then closed, so
     /// the thread count stays bounded under connection floods.
     pub max_conns: usize,
+    /// Resident-parameter-bytes budget across all loaded models
+    /// (`--max-model-bytes`): loads over the cap evict idle models
+    /// least-recently-used first, or fail with `busy` when every other
+    /// model has in-flight work. `None` = unlimited.
+    pub max_model_bytes: Option<u64>,
     /// Batching/executor policy.
     pub scheduler: SchedulerConfig,
 }
@@ -48,6 +55,7 @@ impl Default for ServerConfig {
         ServerConfig {
             max_frame: DEFAULT_MAX_FRAME,
             max_conns: DEFAULT_MAX_CONNS,
+            max_model_bytes: None,
             scheduler: SchedulerConfig::default(),
         }
     }
@@ -199,7 +207,7 @@ impl Server {
             listener,
             http_listener,
             shared: Arc::new(Shared {
-                registry: Registry::new(),
+                registry: Registry::with_budget(cfg.max_model_bytes),
                 scheduler,
                 max_frame: cfg.max_frame,
                 max_conns: cfg.max_conns,
@@ -430,24 +438,81 @@ fn traced_error(id: Option<&Json>, err: &ErrorBody, trace: &str) -> Json {
     resp
 }
 
+/// Resolves a request's checkpoint source into a parsed document plus
+/// load provenance: `(doc, format, parse_micros)`.
+///
+/// An inline document was already parsed by the protocol layer; a path
+/// is read from the *server's* filesystem and sniffed by magic — binary
+/// containers decode through [`wa_nn::read_checkpoint`], anything else
+/// goes through the JSON reader. Either reader's failure comes back as
+/// a structured `bad_request` naming the path and the offending field.
+fn resolve_checkpoint(
+    source: CheckpointSource,
+) -> Result<(FullCheckpoint, &'static str, u64), ErrorBody> {
+    let bad = |path: &str, detail: String| {
+        ErrorBody::new(
+            ErrorKind::BadRequest,
+            format!("checkpoint `{path}`: {detail}"),
+        )
+    };
+    match source {
+        CheckpointSource::Inline(doc) => Ok((*doc, "inline", 0)),
+        CheckpointSource::Path(path) => {
+            let start = Instant::now();
+            let bytes =
+                std::fs::read(&path).map_err(|e| bad(&path, format!("cannot read: {e}")))?;
+            let (doc, format) = if wa_nn::is_container(&bytes) {
+                let doc = wa_nn::read_checkpoint(&bytes).map_err(|e| bad(&path, e.to_string()))?;
+                (doc, "binary")
+            } else {
+                let text = String::from_utf8(bytes).map_err(|_| {
+                    bad(
+                        &path,
+                        "neither a binary container nor UTF-8 JSON".to_string(),
+                    )
+                })?;
+                let doc =
+                    FullCheckpoint::from_json_str(&text).map_err(|e| bad(&path, e.to_string()))?;
+                (doc, "json")
+            };
+            Ok((doc, format, start.elapsed().as_micros() as u64))
+        }
+    }
+}
+
 /// Executes one request against the shared state (used by the socket
 /// connection loop and the HTTP front-end alike).
 pub(crate) fn dispatch(request: Request, shared: &Shared, id: Option<&Json>) -> Json {
     match request {
-        Request::LoadModel { name, checkpoint } => match shared.registry.load(&name, &checkpoint) {
-            Ok(entry) => ok_response(
-                id,
-                vec![
-                    ("name".to_string(), Json::from(name)),
-                    ("arch".to_string(), Json::from(entry.model.kind().name())),
-                    (
-                        "params".to_string(),
-                        Json::from(checkpoint.params.params.len()),
-                    ),
-                ],
-            ),
-            Err(e) => error_response(id, &e),
-        },
+        Request::LoadModel { name, checkpoint } => {
+            let (doc, format, parse_micros) = match resolve_checkpoint(checkpoint) {
+                Ok(resolved) => resolved,
+                Err(e) => return error_response(id, &e),
+            };
+            match shared
+                .registry
+                .load_with_origin(&name, &doc, format, parse_micros)
+            {
+                Ok(entry) => ok_response(
+                    id,
+                    vec![
+                        ("name".to_string(), Json::from(name)),
+                        ("arch".to_string(), Json::from(entry.model.kind().name())),
+                        ("params".to_string(), Json::from(doc.params.params.len())),
+                        ("format".to_string(), Json::from(format)),
+                        (
+                            "load_micros".to_string(),
+                            Json::from(entry.load_micros as f64),
+                        ),
+                        (
+                            "resident_bytes".to_string(),
+                            Json::from(entry.resident_bytes as f64),
+                        ),
+                    ],
+                ),
+                Err(e) => error_response(id, &e),
+            }
+        }
         Request::Unload { name } => match shared.registry.unload(&name) {
             Ok(()) => ok_response(id, vec![("name".to_string(), Json::from(name))]),
             Err(e) => error_response(id, &e),
@@ -536,6 +601,22 @@ pub(crate) fn dispatch(request: Request, shared: &Shared, id: Option<&Json>) -> 
                                 Json::from(shared.scheduler.inflight_flushes()),
                             ),
                             ("max_queue", Json::from(shared.scheduler.config().max_queue)),
+                        ]),
+                    ),
+                    (
+                        "memory".to_string(),
+                        Json::obj([
+                            (
+                                "max_model_bytes",
+                                match shared.registry.budget() {
+                                    Some(b) => Json::from(b as f64),
+                                    None => Json::Null,
+                                },
+                            ),
+                            (
+                                "resident_bytes",
+                                Json::from(shared.registry.resident_bytes_total() as f64),
+                            ),
                         ]),
                     ),
                     ("models".to_string(), shared.registry.stats_json()),

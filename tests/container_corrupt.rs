@@ -1,0 +1,528 @@
+//! Seeded corrupt-container battery: ~30 deterministic mutations of a
+//! real binary checkpoint, every one of which must come back as a
+//! structured `CheckpointError` naming the offending field — never a
+//! panic, and never an allocation beyond a small multiple of the input
+//! (a counting global allocator enforces the bound, so a hostile
+//! declared count can't size a gigabyte `Vec` out of a kilobyte file).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicI64, Ordering};
+
+use winograd_aware::core::ConvAlgo;
+use winograd_aware::models::{ModelKind, ModelSpec, ZooModel};
+use winograd_aware::nn::{
+    read_checkpoint, write_checkpoint, Blob, BlobData, BlobDtype, CheckpointError, Container,
+    Layer, QuantConfig, Tape,
+};
+use winograd_aware::quant::BitWidth;
+use winograd_aware::tensor::{SeededRng, Tensor};
+
+/// System allocator with live-bytes accounting, so each parse attempt
+/// can assert a peak-allocation ceiling relative to its input size.
+struct CountingAlloc;
+
+static LIVE: AtomicI64 = AtomicI64::new(0);
+static PEAK: AtomicI64 = AtomicI64::new(0);
+
+fn note_alloc(bytes: i64) {
+    let live = LIVE.fetch_add(bytes, Ordering::Relaxed) + bytes;
+    PEAK.fetch_max(live, Ordering::Relaxed);
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc(layout);
+        if !p.is_null() {
+            note_alloc(layout.size() as i64);
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        LIVE.fetch_sub(layout.size() as i64, Ordering::Relaxed);
+        System.dealloc(ptr, layout);
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let p = System.realloc(ptr, layout, new_size);
+        if !p.is_null() {
+            note_alloc(new_size as i64 - layout.size() as i64);
+        }
+        p
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// FNV-1a 64 (the container's trailing checksum), re-derived here so a
+/// structural mutation can re-seal the file and exercise the *field*
+/// validation instead of tripping the checksum.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Recomputes and rewrites the trailing checksum after a structural
+/// mutation.
+fn reseal(mut bytes: Vec<u8>) -> Vec<u8> {
+    let body = bytes.len() - 8;
+    let sum = fnv1a64(&bytes[..body]);
+    bytes[body..].copy_from_slice(&sum.to_le_bytes());
+    bytes
+}
+
+/// Byte positions of one blob-table row's fields.
+struct BlobFields {
+    name_len: usize,
+    dtype: usize,
+    ndim: usize,
+    dims: usize,
+    scale_count: usize,
+    offset: usize,
+    byte_len: usize,
+    /// Decoded dimension count, for picking multi-dim blobs.
+    dims_decoded: usize,
+    /// Decoded data offset, for flipping blob-data bytes.
+    offset_decoded: usize,
+}
+
+/// Walks a well-formed container's bytes and records where every
+/// structural field of the header/table lives, so mutations can hit
+/// exact fields instead of guessing at byte positions.
+struct Layout2 {
+    meta_count: usize,
+    first_meta_key_len: usize,
+    first_meta_key: usize,
+    first_meta_val_len: usize,
+    blob_count: usize,
+    blobs: Vec<BlobFields>,
+}
+
+fn layout_of(bytes: &[u8]) -> Layout2 {
+    let u32_at = |p: usize| u32::from_le_bytes(bytes[p..p + 4].try_into().unwrap()) as usize;
+    let u64_at = |p: usize| u64::from_le_bytes(bytes[p..p + 8].try_into().unwrap()) as usize;
+    let mut p = 8; // magic + version
+    let meta_count = p;
+    let metas = u32_at(p);
+    p += 4;
+    let first_meta_key_len = p;
+    let first_meta_key = p + 4;
+    let mut first_meta_val_len = 0;
+    for i in 0..metas {
+        p += 4 + u32_at(p); // key
+        if i == 0 {
+            first_meta_val_len = p;
+        }
+        p += 4 + u32_at(p); // value
+    }
+    let blob_count = p;
+    let count = u32_at(p);
+    p += 4;
+    let mut blobs = Vec::new();
+    for _ in 0..count {
+        let name_len = p;
+        p += 4 + u32_at(p);
+        let dtype = p;
+        p += 1;
+        let ndim = p;
+        let dims_decoded = u32_at(p);
+        p += 4;
+        let dims = p;
+        p += 8 * dims_decoded;
+        let scale_count = p;
+        p += 4 + 4 * u32_at(p);
+        let offset = p;
+        let offset_decoded = u64_at(p);
+        p += 8;
+        let byte_len = p;
+        p += 8;
+        blobs.push(BlobFields {
+            name_len,
+            dtype,
+            ndim,
+            dims,
+            scale_count,
+            offset,
+            byte_len,
+            dims_decoded,
+            offset_decoded,
+        });
+    }
+    Layout2 {
+        meta_count,
+        first_meta_key_len,
+        first_meta_key,
+        first_meta_val_len,
+        blob_count,
+        blobs,
+    }
+}
+
+/// A calibrated int8 LeNet checkpoint in container form — a real file
+/// with metadata, a quant section and dozens of blobs.
+fn checkpoint_bytes() -> Vec<u8> {
+    let spec = ModelSpec::builder()
+        .classes(10)
+        .input_size(12)
+        .algo(ConvAlgo::Winograd { m: 2 })
+        .quant(QuantConfig::uniform(BitWidth::INT8))
+        .build()
+        .expect("static spec");
+    let mut model =
+        ZooModel::from_spec(ModelKind::LeNet, &spec, &mut SeededRng::new(3)).expect("build");
+    // one training batch warms every observer so `quant` is non-empty
+    let warm = SeededRng::new(4).uniform_tensor(&[2, 1, 12, 12], -1.0, 1.0);
+    let mut tape = Tape::new();
+    let x = tape.leaf(warm);
+    let _ = model.forward(&mut tape, x, true);
+    write_checkpoint(&model.to_full_checkpoint().expect("export"))
+}
+
+fn put_u32(bytes: &mut [u8], at: usize, v: u32) {
+    bytes[at..at + 4].copy_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(bytes: &mut [u8], at: usize, v: u64) {
+    bytes[at..at + 8].copy_from_slice(&v.to_le_bytes());
+}
+
+/// One battery case: a label, the mutated bytes, and a substring the
+/// structured error must contain (the "useful path" requirement).
+struct Case {
+    label: &'static str,
+    bytes: Vec<u8>,
+    expect: &'static str,
+}
+
+fn battery(base: &[u8]) -> Vec<Case> {
+    let lay = layout_of(base);
+    let multi = lay
+        .blobs
+        .iter()
+        .position(|b| b.dims_decoded >= 2)
+        .expect("a conv weight has >= 2 dims");
+    // scalar copies so every mutation closure can capture by value
+    let meta_count = lay.meta_count;
+    let first_meta_key_len = lay.first_meta_key_len;
+    let first_meta_key = lay.first_meta_key;
+    let first_meta_val_len = lay.first_meta_val_len;
+    let blob_count = lay.blob_count;
+    let b0_name_len = lay.blobs[0].name_len;
+    let b0_dtype = lay.blobs[0].dtype;
+    let b0_ndim = lay.blobs[0].ndim;
+    let b0_dims = lay.blobs[0].dims;
+    let b0_scale_count = lay.blobs[0].scale_count;
+    let b0_offset = lay.blobs[0].offset;
+    let b0_byte_len = lay.blobs[0].byte_len;
+    let b0_offset_decoded = lay.blobs[0].offset_decoded;
+    let b1_offset = lay.blobs[1].offset;
+    let multi_dims = lay.blobs[multi].dims;
+    let case = |label, bytes, expect| Case {
+        label,
+        bytes,
+        expect,
+    };
+    type Mutation = Box<dyn FnMut(&mut Vec<u8>)>;
+    let sealed = |label, mut f: Mutation, expect| {
+        let mut bytes = base.to_vec();
+        f(&mut bytes);
+        case(label, reseal(bytes), expect)
+    };
+    let mut cases = vec![
+        case("empty input", Vec::new(), "header"),
+        case("three bytes", base[..3].to_vec(), "header"),
+        case("header only, no sections", base[..23].to_vec(), "header"),
+        case(
+            "JSON text where a container was expected",
+            b"{\"arch\": \"lenet\", \"spec\": {}, \"params\": {}}".to_vec(),
+            "magic",
+        ),
+        case(
+            "first magic byte flipped",
+            {
+                let mut b = base.to_vec();
+                b[0] ^= 0xFF;
+                b
+            },
+            "magic",
+        ),
+        case(
+            "checksum flipped",
+            {
+                let mut b = base.to_vec();
+                let last = b.len() - 1;
+                b[last] ^= 0xFF;
+                b
+            },
+            "checksum",
+        ),
+        case(
+            "one blob-data byte flipped (structurally invisible)",
+            {
+                let mut b = base.to_vec();
+                let at = b0_offset_decoded + 1;
+                b[at] ^= 0x40;
+                b
+            },
+            "checksum",
+        ),
+        case("file cut in half", base[..base.len() / 2].to_vec(), ""),
+        sealed("future version", Box::new(|b| put_u32(b, 4, 2)), "version"),
+        sealed("version zero", Box::new(|b| put_u32(b, 4, 0)), "version"),
+        sealed(
+            "metadata count beyond the file",
+            Box::new(move |b| put_u32(b, meta_count, u32::MAX)),
+            "meta.count",
+        ),
+        sealed(
+            "metadata key length beyond the file",
+            Box::new(move |b| put_u32(b, first_meta_key_len, u32::MAX - 7)),
+            "meta[0].key",
+        ),
+        sealed(
+            "metadata key is not UTF-8",
+            Box::new(move |b| {
+                b[first_meta_key] = 0xFF;
+                b[first_meta_key + 1] = 0xFE;
+            }),
+            "meta[0].key",
+        ),
+        sealed(
+            "metadata value length beyond the file",
+            Box::new(move |b| put_u32(b, first_meta_val_len, 0x7FFF_FFF0)),
+            "meta[0].value",
+        ),
+        sealed(
+            "blob count beyond the file",
+            Box::new(move |b| put_u32(b, blob_count, u32::MAX)),
+            "blobs.count",
+        ),
+        sealed(
+            "blob name length beyond the file",
+            Box::new(move |b| put_u32(b, b0_name_len, 0x7000_0000)),
+            "blobs[0].name",
+        ),
+        sealed(
+            "unknown dtype tag",
+            Box::new(move |b| b[b0_dtype] = 7),
+            "dtype",
+        ),
+        sealed(
+            "zero dimensions",
+            Box::new(move |b| put_u32(b, b0_ndim, 0)),
+            "shape",
+        ),
+        sealed(
+            "dimension count beyond the file",
+            Box::new(move |b| put_u32(b, b0_ndim, u32::MAX / 2)),
+            "shape",
+        ),
+        sealed(
+            "zero-sized dimension",
+            Box::new(move |b| put_u64(b, b0_dims, 0)),
+            "shape",
+        ),
+        sealed(
+            "dimension of u64::MAX",
+            Box::new(move |b| put_u64(b, b0_dims, u64::MAX)),
+            "",
+        ),
+        sealed(
+            "element count that overflows usize",
+            Box::new(move |b| {
+                let dims = multi_dims;
+                put_u64(b, dims, 1 << 33);
+                put_u64(b, dims + 8, 1 << 33);
+            }),
+            "overflows",
+        ),
+        sealed(
+            "huge but non-overflowing dimension",
+            Box::new(move |b| put_u64(b, b0_dims, 1 << 40)),
+            "byte_len",
+        ),
+        sealed(
+            "scale count beyond the file",
+            Box::new(move |b| put_u32(b, b0_scale_count, u32::MAX - 3)),
+            "scales",
+        ),
+        sealed(
+            "declared byte length off by one",
+            Box::new(move |b| {
+                let at = b0_byte_len;
+                let v = u64::from_le_bytes(b[at..at + 8].try_into().unwrap());
+                put_u64(b, at, v + 1);
+            }),
+            "byte_len",
+        ),
+        sealed(
+            "unaligned blob offset",
+            Box::new(move |b| {
+                let at = b0_offset;
+                put_u64(b, at, b0_offset_decoded as u64 + 1);
+            }),
+            "offset",
+        ),
+        sealed(
+            "blob offset beyond the data region",
+            Box::new(move |b| put_u64(b, b0_offset, 1 << 40)),
+            "offset",
+        ),
+        sealed(
+            "blob offset inside the table",
+            Box::new(move |b| put_u64(b, b0_offset, 0)),
+            "overlap",
+        ),
+        sealed(
+            "two blobs at the same offset",
+            Box::new(move |b| {
+                put_u64(b, b1_offset, b0_offset_decoded as u64);
+            }),
+            "overlap",
+        ),
+        case(
+            "trailing garbage after the last blob",
+            {
+                let mut b = base.to_vec();
+                let body = b.len() - 8;
+                b.splice(body..body, std::iter::repeat_n(0u8, 128));
+                reseal(b)
+            },
+            "data",
+        ),
+    ];
+    // malformed-by-construction containers: shapes the writer would
+    // never emit, but a reader must still refuse with a named field
+    let tensor = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+    let mut f32_with_scales = Container {
+        meta: vec![("arch".to_string(), "lenet".to_string())],
+        blobs: vec![Blob::from_tensor("w", &tensor)],
+    };
+    f32_with_scales.blobs[0].scales = vec![0.5];
+    cases.push(case(
+        "f32 blob carrying scales",
+        f32_with_scales.to_bytes(),
+        "scales",
+    ));
+    let i8_blob = |scales: Vec<f32>| Blob {
+        name: "q".to_string(),
+        dtype: BlobDtype::I8,
+        shape: vec![2, 3],
+        scales,
+        data: BlobData::I8(vec![1, -2, 4, 8, -8, 100]),
+    };
+    cases.push(case(
+        "i8 blob with the wrong scale count",
+        Container {
+            meta: Vec::new(),
+            blobs: vec![i8_blob(vec![0.5, 0.25, 0.125])],
+        }
+        .to_bytes(),
+        "scales",
+    ));
+    cases.push(case(
+        "i8 blob with a NaN scale",
+        Container {
+            meta: Vec::new(),
+            blobs: vec![i8_blob(vec![f32::NAN])],
+        }
+        .to_bytes(),
+        "finite",
+    ));
+    cases.push(case(
+        "duplicate metadata key",
+        Container {
+            meta: vec![
+                ("arch".to_string(), "lenet".to_string()),
+                ("arch".to_string(), "resnet18".to_string()),
+            ],
+            blobs: Vec::new(),
+        }
+        .to_bytes(),
+        "duplicate",
+    ));
+    cases.push(case(
+        "duplicate blob name",
+        Container {
+            meta: Vec::new(),
+            blobs: vec![
+                Blob::from_tensor("w", &tensor),
+                Blob::from_tensor("w", &tensor),
+            ],
+        }
+        .to_bytes(),
+        "duplicate",
+    ));
+    cases.push(case(
+        "container without an arch key",
+        Container {
+            meta: vec![("spec".to_string(), "{}".to_string())],
+            blobs: Vec::new(),
+        }
+        .to_bytes(),
+        "meta.arch",
+    ));
+    cases.push(case(
+        "spec metadata that is not JSON",
+        Container {
+            meta: vec![
+                ("arch".to_string(), "lenet".to_string()),
+                ("spec".to_string(), "not json".to_string()),
+            ],
+            blobs: Vec::new(),
+        }
+        .to_bytes(),
+        "meta.spec",
+    ));
+    cases
+}
+
+/// The whole battery runs inside one test so the allocator counters are
+/// never raced by a concurrently-running sibling test.
+#[test]
+fn every_corrupt_container_is_a_structured_error_with_bounded_allocation() {
+    let base = checkpoint_bytes();
+    // sanity: the untampered file parses
+    read_checkpoint(&base).expect("pristine container must parse");
+
+    let cases = battery(&base);
+    assert!(cases.len() >= 30, "battery shrank to {} cases", cases.len());
+    for Case {
+        label,
+        bytes,
+        expect,
+    } in &cases
+    {
+        let baseline = LIVE.load(Ordering::Relaxed);
+        PEAK.store(baseline, Ordering::Relaxed);
+        let result = read_checkpoint(bytes);
+        let peak = PEAK.load(Ordering::Relaxed) - baseline;
+        let err = match result {
+            Err(e) => e,
+            Ok(_) => panic!("{label}: corrupt container parsed successfully"),
+        };
+        assert!(
+            matches!(err, CheckpointError::Container { .. }),
+            "{label}: expected a container error, got {err}"
+        );
+        let msg = err.to_string();
+        assert!(
+            msg.contains(expect),
+            "{label}: error `{msg}` does not name `{expect}`"
+        );
+        // the bounded-allocation contract: a parse attempt never holds
+        // more than ~2× the input live at once (slack for error strings
+        // and small fixed-size scratch)
+        let ceiling = 2 * bytes.len() as i64 + 16 * 1024;
+        assert!(
+            peak <= ceiling,
+            "{label}: peak allocation {peak} exceeds {ceiling} for a {}-byte input",
+            bytes.len()
+        );
+    }
+}

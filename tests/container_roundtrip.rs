@@ -1,0 +1,161 @@
+//! Binary-container round-trip sweep: every zoo architecture × every
+//! quantization mode goes JSON ⇄ binary with nothing lost, and a model
+//! rebuilt from the binary form produces bit-identical logits to the
+//! original — the container is a *lossless* re-encoding, not an
+//! approximation.
+
+use winograd_aware::core::ConvAlgo;
+use winograd_aware::models::{ExecutorConfig, Infer, ModelKind, ModelSpec, ZooModel};
+use winograd_aware::nn::{
+    is_container, read_checkpoint, write_checkpoint, FullCheckpoint, Layer, QuantConfig, Tape,
+};
+use winograd_aware::quant::BitWidth;
+use winograd_aware::tensor::SeededRng;
+
+const CFG: ExecutorConfig = ExecutorConfig {
+    threads: 2,
+    chunk: 2,
+};
+
+fn spec_for(kind: ModelKind, quant: QuantConfig) -> ModelSpec {
+    // per-tap transforms only exist on Winograd layers, so the whole
+    // sweep runs the paper's F2 algorithm
+    let builder = ModelSpec::builder()
+        .classes(10)
+        .algo(ConvAlgo::Winograd { m: 2 })
+        .quant(quant);
+    match kind {
+        ModelKind::LeNet => builder.input_size(12),
+        _ => builder.input_size(8).width(0.125),
+    }
+    .build()
+    .expect("static spec")
+}
+
+/// A calibrated model of the given kind/quant — one training batch
+/// warms every observer so quantized specs export a `quant` section.
+fn calibrated(kind: ModelKind, quant: QuantConfig, rng: &mut SeededRng) -> ZooModel {
+    let spec = spec_for(kind, quant);
+    let mut model = ZooModel::from_spec(kind, &spec, rng).expect("static spec");
+    let [c, h, w] = model.sample_shape();
+    let warm = rng.uniform_tensor(&[2, c, h, w], -1.0, 1.0);
+    let mut tape = Tape::new();
+    let x = tape.leaf(warm);
+    let _ = model.forward(&mut tape, x, true);
+    model
+}
+
+#[test]
+fn binary_roundtrip_is_lossless_across_the_zoo() {
+    let mut rng = SeededRng::new(60);
+    let quants = [
+        QuantConfig::FP32,
+        QuantConfig::uniform(BitWidth::INT8),
+        QuantConfig::per_tap(BitWidth::INT8),
+    ];
+    for kind in [
+        ModelKind::LeNet,
+        ModelKind::ResNet18,
+        ModelKind::SqueezeNet,
+        ModelKind::ResNeXt20,
+    ] {
+        for quant in quants {
+            let mut original = calibrated(kind, quant, &mut rng);
+            let doc = original.to_full_checkpoint().expect("export");
+
+            // JSON → binary → JSON: every field survives verbatim
+            let json_text = doc.to_json().to_string_pretty();
+            let from_json = FullCheckpoint::from_json_str(&json_text).expect("JSON parses");
+            let bytes = write_checkpoint(&from_json);
+            assert!(is_container(&bytes), "{kind}/{quant:?}: magic missing");
+            let back = read_checkpoint(&bytes).expect("container parses");
+            assert_eq!(back.arch, doc.arch, "{kind}/{quant:?}");
+            assert_eq!(back.spec, doc.spec, "{kind}/{quant:?}: spec drifted");
+            assert_eq!(back.quant, doc.quant, "{kind}/{quant:?}: quant drifted");
+            assert_eq!(
+                back.params.params, doc.params.params,
+                "{kind}/{quant:?}: params drifted"
+            );
+            // ... and re-encoding the decoded document is byte-stable
+            assert_eq!(bytes, write_checkpoint(&back), "{kind}/{quant:?}");
+
+            // binary → load → forward: bit-identical logits
+            let rebuilt = ZooModel::from_full_checkpoint(&back).expect("rebuild");
+            assert_eq!(rebuilt.kind(), kind);
+            let [c, h, w] = original.sample_shape();
+            let batch = rng.uniform_tensor(&[3, c, h, w], -1.0, 1.0);
+            let want = original.try_forward_batch(&batch, CFG).expect("original");
+            let got = rebuilt.try_forward_batch(&batch, CFG).expect("rebuilt");
+            assert_eq!(
+                want.data(),
+                got.data(),
+                "{kind}/{quant:?}: binary-loaded model must match bit-for-bit"
+            );
+        }
+    }
+}
+
+#[test]
+fn per_tap_bit_overrides_survive_the_binary_roundtrip() {
+    // mixed per-tap bit-widths are the hardest quant state to carry:
+    // they ride the container's `quant` metadata exactly like JSON
+    use winograd_aware::nn::QuantStateMut;
+    use winograd_aware::quant::BitWidth as B;
+
+    let mut rng = SeededRng::new(61);
+    let mut original = calibrated(
+        ModelKind::LeNet,
+        QuantConfig::per_tap(BitWidth::INT8),
+        &mut rng,
+    );
+    original.visit_quant_state(&mut |name, site| {
+        if let QuantStateMut::Taps(taps) = site {
+            if name.ends_with(".q.bdb") {
+                let mut bits = vec![B::INT8; taps.taps()];
+                bits[0] = B::INT16;
+                taps.set_bit_overrides(Some(bits)).expect("right length");
+            }
+        }
+    });
+    let doc = original.to_full_checkpoint().expect("export");
+    let back = read_checkpoint(&write_checkpoint(&doc)).expect("container parses");
+    assert_eq!(back.quant, doc.quant, "overrides must survive verbatim");
+
+    let rebuilt = ZooModel::from_full_checkpoint(&back).expect("rebuild");
+    let batch = rng.uniform_tensor(&[4, 1, 12, 12], -1.0, 1.0);
+    let want = original.try_forward_batch(&batch, CFG).expect("original");
+    let got = rebuilt.try_forward_batch(&batch, CFG).expect("rebuilt");
+    assert_eq!(want.data(), got.data());
+}
+
+#[test]
+fn quant_section_errors_name_the_same_paths_in_both_formats() {
+    // the JSON reader and the binary reader share one error-path helper,
+    // so a broken calibration site diagnoses identically either way
+    let json = "{\"arch\": \"lenet\", \"spec\": {}, \
+         \"quant\": {\"conv1.q.bdb\": {\"ranges\": [0.5, \"x\"], \"seen\": 1, \"frozen\": false}}, \
+         \"params\": {}}";
+    let json_err = FullCheckpoint::from_json_str(json).expect_err("bad range");
+    assert!(
+        json_err.message.contains("`quant.conv1.q.bdb.ranges`"),
+        "{json_err}"
+    );
+
+    let container = winograd_aware::nn::Container {
+        meta: vec![
+            ("arch".to_string(), "lenet".to_string()),
+            ("spec".to_string(), "{}".to_string()),
+            (
+                "quant".to_string(),
+                "{\"conv1.q.bdb\": {\"ranges\": [0.5, \"x\"], \"seen\": 1, \"frozen\": false}}"
+                    .to_string(),
+            ),
+        ],
+        blobs: Vec::new(),
+    };
+    let bin_err = read_checkpoint(&container.to_bytes()).expect_err("bad range");
+    assert!(
+        bin_err.to_string().contains("`quant.conv1.q.bdb.ranges`"),
+        "binary reader must carry the same site path, got: {bin_err}"
+    );
+}
